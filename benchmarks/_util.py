@@ -1,0 +1,20 @@
+"""Shared helpers for the reproduction benchmarks.
+
+Every benchmark regenerates one table or figure of the paper.  The
+rendered data is printed to stdout *and* written under
+``benchmarks/results/`` so the artifacts survive pytest's capture.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+RESULTS_DIR = Path(__file__).resolve().parent / "results"
+
+
+def emit(name: str, text: str) -> None:
+    """Print a reproduction table and persist it to results/<name>.txt."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    print(f"\n=== {name} ===\n{text}\n")
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")

@@ -1,0 +1,74 @@
+"""Ablation for Sec. 6.1: consolidated vs integrated error correction.
+
+Quantifies (a) the area argument -- one shared CEC unit vs per-adder EDC
+for growing accelerator cascades -- and (b) the quality recovered by CEC
+on a real approximate SAD accelerator.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.accelerators.cec import ConsolidatedErrorCorrection, edc_area_comparison
+from repro.accelerators.sad import SADAccelerator
+from repro.characterization.report import format_records
+
+from _util import emit
+
+
+def sweep_cec():
+    area_rows = []
+    for n_adders in (2, 4, 8, 16, 32, 63):
+        cmp = edc_area_comparison(n_adders)
+        area_rows.append(
+            {
+                "n_adders": n_adders,
+                "integrated_EDC_GE": cmp.integrated_edc_ge,
+                "consolidated_GE": cmp.consolidated_ge,
+                "saving_%": round(cmp.saving_percent, 1),
+            }
+        )
+
+    rng = np.random.default_rng(7)
+    quality_rows = []
+    exact = SADAccelerator(n_pixels=16)
+    for cell, lsbs in (("ApxFA1", 5), ("ApxFA2", 5), ("ApxFA5", 4)):
+        approx = SADAccelerator(n_pixels=16, fa=cell, approx_lsbs=lsbs)
+        cec = ConsolidatedErrorCorrection(approx.sad, exact.sad)
+        a_cal = rng.integers(0, 256, (4000, 16))
+        b_cal = rng.integers(0, 256, (4000, 16))
+        offset = cec.calibrate(a_cal, b_cal)
+        a = rng.integers(0, 256, (3000, 16))
+        b = rng.integers(0, 256, (3000, 16))
+        truth = exact.sad(a, b)
+        raw_med = float(np.abs(approx.sad(a, b) - truth).mean())
+        cec_med = float(np.abs(cec(a, b) - truth).mean())
+        quality_rows.append(
+            {
+                "accelerator": approx.name,
+                "offset": offset,
+                "MED_raw": round(raw_med, 2),
+                "MED_with_CEC": round(cec_med, 2),
+                "recovered_%": round(100 * (1 - cec_med / raw_med), 1)
+                if raw_med
+                else 0.0,
+            }
+        )
+    return area_rows, quality_rows
+
+
+def test_cec_ablation(benchmark):
+    area_rows, quality_rows = benchmark.pedantic(sweep_cec, rounds=1, iterations=1)
+    emit(
+        "cec_ablation",
+        format_records(area_rows, title="CEC vs integrated EDC: area")
+        + "\n\n"
+        + format_records(quality_rows, title="CEC quality recovery on SAD"),
+    )
+    # Area savings grow with cascade size and cross 80% by 16 adders.
+    savings = [row["saving_%"] for row in area_rows]
+    assert savings == sorted(savings)
+    assert dict((r["n_adders"], r["saving_%"]) for r in area_rows)[16] > 80
+    # CEC reduces mean error on every accelerator variant.
+    assert all(r["MED_with_CEC"] <= r["MED_raw"] for r in quality_rows)
+    assert any(r["recovered_%"] > 10 for r in quality_rows)

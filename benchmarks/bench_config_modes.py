@@ -1,0 +1,58 @@
+"""Ablation: accuracy-configurable GeAr modes (paper Sec. 4.2 / 6).
+
+The configuration word selects how many error-correction iterations the
+GeAr recovery circuitry may run.  This bench characterizes the full
+quality/latency/energy trade-off of every mode for three adder
+configurations -- the data an approximation management unit would use.
+"""
+
+from __future__ import annotations
+
+from repro.adders.configurable import ConfigurableGeArAdder
+from repro.adders.gear import GeArConfig
+from repro.characterization.report import format_records
+
+from _util import emit
+
+
+def sweep_modes():
+    rows = []
+    for cfg in ((16, 2, 2), (16, 4, 4), (12, 4, 4)):
+        adder = ConfigurableGeArAdder(GeArConfig(*cfg))
+        for record in adder.characterize_modes(n_samples=40_000):
+            rows.append(
+                {
+                    "adder": adder.config.name,
+                    "mode": record.mode,
+                    "error_rate": round(record.error_rate, 5),
+                    "MED": round(record.mean_error_distance, 3),
+                    "mean_cycles": round(record.mean_cycles, 4),
+                    "rel_energy": round(record.relative_energy, 4),
+                }
+            )
+    return rows
+
+
+def test_config_modes(benchmark):
+    rows = benchmark.pedantic(sweep_modes, rounds=1, iterations=1)
+    emit(
+        "config_modes",
+        format_records(
+            rows,
+            title="Accuracy-configurable GeAr: quality vs latency/energy "
+            "per mode",
+        ),
+    )
+    by_adder = {}
+    for row in rows:
+        by_adder.setdefault(row["adder"], []).append(row)
+    for adder, modes in by_adder.items():
+        modes.sort(key=lambda r: r["mode"])
+        error_rates = [m["error_rate"] for m in modes]
+        energies = [m["rel_energy"] for m in modes]
+        # Quality improves monotonically with the mode; the top mode is
+        # exact; latency/energy never decrease.
+        assert error_rates == sorted(error_rates, reverse=True), adder
+        assert error_rates[-1] == 0.0, adder
+        assert energies == sorted(energies), adder
+        assert modes[0]["mean_cycles"] == 1.0, adder

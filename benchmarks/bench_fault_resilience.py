@@ -1,0 +1,73 @@
+"""Ablation: stuck-at fault exposure of exact vs approximate adders.
+
+The paper's introduction motivates approximation partly via technology
+reliability ("each new technology node faces serious reliability
+threats ... hardware-level faults").  This bench quantifies one
+interaction: approximate components contain fewer fault sites (less
+logic) and their per-fault output perturbation is smaller in expectation
+-- a defect in an already-truncated LSB costs little.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.adders.netlist_builder import build_ripple_adder_netlist
+from repro.adders.ripple import ApproximateRippleAdder
+from repro.characterization.report import format_records
+from repro.logic.faults import fault_error_rates, fault_sites
+
+from _util import emit
+
+
+def sweep_faults():
+    rows = []
+    rng = np.random.default_rng(0)
+    configs = [
+        ("exact", ApproximateRippleAdder(8)),
+        ("ApxFA1x4", ApproximateRippleAdder(8, approx_fa="ApxFA1",
+                                            num_approx_lsbs=4)),
+        ("ApxFA3x4", ApproximateRippleAdder(8, approx_fa="ApxFA3",
+                                            num_approx_lsbs=4)),
+        ("ApxFA5x4", ApproximateRippleAdder(8, approx_fa="ApxFA5",
+                                            num_approx_lsbs=4)),
+    ]
+    for label, adder in configs:
+        netlist = build_ripple_adder_netlist(adder)
+        rates = fault_error_rates(netlist, n_random_vectors=1024, seed=3)
+        values = np.array(list(rates.values()))
+        rows.append(
+            {
+                "adder": label,
+                "fault_sites": len(fault_sites(netlist)),
+                "mean_fault_ER": round(float(values.mean()), 4),
+                "max_fault_ER": round(float(values.max()), 4),
+                "undetectable_%": round(
+                    100 * float(np.mean(values == 0.0)), 1
+                ),
+                "area_ge": round(netlist.area_ge, 1),
+            }
+        )
+    return rows
+
+
+def test_fault_resilience(benchmark):
+    rows = benchmark.pedantic(sweep_faults, rounds=1, iterations=1)
+    emit(
+        "fault_resilience",
+        format_records(
+            rows,
+            title="Single stuck-at fault exposure: exact vs approximate "
+            "8-bit adders",
+        ),
+    )
+    by_label = {r["adder"]: r for r in rows}
+    exact = by_label["exact"]
+    for label in ("ApxFA1x4", "ApxFA3x4", "ApxFA5x4"):
+        # A defect hits an approximate adder's output less often on
+        # average (part of the fault mass lands in already-inexact LSBs).
+        assert by_label[label]["mean_fault_ER"] < exact["mean_fault_ER"]
+        assert by_label[label]["area_ge"] < exact["area_ge"]
+    # The wire-only cells even make some stuck-at faults undetectable.
+    assert by_label["ApxFA5x4"]["undetectable_%"] > 0
+    assert all(r["mean_fault_ER"] > 0 for r in rows)

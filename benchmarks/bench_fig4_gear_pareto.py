@@ -1,0 +1,59 @@
+"""Reproduction of Fig. 4: the N=11 GeAr accuracy/area design space.
+
+Prints the full scatter grouped by R (the figure's symbol classes), the
+Pareto front, and the two constraint-driven selections the paper walks
+through (max accuracy; >= 90% accuracy at minimum area).
+"""
+
+from __future__ import annotations
+
+from repro.characterization.report import format_records
+from repro.dse.explorer import explore_gear_space
+from repro.dse.pareto import pareto_front
+from repro.dse.selection import select_max_accuracy, select_min_area
+
+from _util import emit
+
+
+def explore_fig4():
+    records = explore_gear_space(11)
+    front = pareto_front(
+        records, [("lut_count", True), ("accuracy_percent", False)]
+    )
+    max_acc = select_max_accuracy(records)
+    constrained = select_min_area(records, 90.0)
+    r3_constrained = select_min_area(
+        [r for r in records if r["r"] == 3], 90.0
+    )
+    return records, front, max_acc, constrained, r3_constrained
+
+
+def test_fig4(benchmark):
+    records, front, max_acc, constrained, r3 = benchmark(explore_fig4)
+    for rec in records:
+        rec["accuracy_percent"] = round(rec["accuracy_percent"], 2)
+    lines = [
+        format_records(
+            sorted(records, key=lambda r: r["lut_count"]),
+            columns=["r", "p", "accuracy_percent", "lut_count"],
+            title="Fig. 4 scatter: accuracy vs area (all N=11 configs)",
+        ),
+        "",
+        "Pareto front (area up, accuracy up): "
+        + ", ".join(f"R={r['r']},P={r['p']}" for r in
+                     sorted(front, key=lambda r: r["lut_count"])),
+        f"Max-accuracy selection: {max_acc['name']} "
+        f"({max_acc['accuracy_percent']:.2f}%)",
+        f"Min-area with >=90% accuracy (global): {constrained['name']} "
+        f"({constrained['lut_count']} LUTs)",
+        f"Min-area with >=90% accuracy within R=3 (paper's walk): "
+        f"{r3['name']} ({r3['lut_count']} LUTs)",
+    ]
+    emit("fig4_gear_pareto", "\n".join(lines))
+    assert (max_acc["r"], max_acc["p"]) == (1, 9)
+    assert (r3["r"], r3["p"]) == (3, 5)
+    assert constrained["accuracy_percent"] >= 90.0
+    # The front is a genuine trade-off curve.
+    ordered = sorted(front, key=lambda r: r["lut_count"])
+    accs = [r["accuracy_percent"] for r in ordered]
+    assert accs == sorted(accs)

@@ -1,0 +1,63 @@
+"""Reproduction of Fig. 5: 2x2 accurate vs approximate multipliers.
+
+Prints both truth tables, and the characterization table (area, power,
+error cases, max error) from our substrate next to the paper's ASIC
+numbers.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.characterization.paperdata import FIG5_AREA_GE, FIG5_POWER_NW
+from repro.characterization.report import format_records, format_table
+from repro.multipliers.characterize import characterize_mul2x2_family
+from repro.multipliers.mul2x2 import multiplier_2x2
+
+from _util import emit
+
+
+def characterize_fig5():
+    rows = characterize_mul2x2_family()
+    for row in rows:
+        row["area_GE(paper)"] = FIG5_AREA_GE[row["name"]]
+        row["power_nW(paper)"] = FIG5_POWER_NW[row["name"]]
+    truth_tables = {}
+    a = np.repeat(np.arange(4), 4)
+    b = np.tile(np.arange(4), 4)
+    for name in ("ApxMulSoA", "ApxMulOur"):
+        products = multiplier_2x2(name).multiply(a, b)
+        truth_tables[name] = [
+            [f"{av}x{bv}" if False else f"{av:02b}x{bv:02b}",
+             f"{int(p):04b}", int(p), av * bv]
+            for av, bv, p in zip(a, b, products)
+        ]
+    return rows, truth_tables
+
+
+def test_fig5(benchmark):
+    rows, truth_tables = benchmark(characterize_fig5)
+    parts = [
+        format_records(rows, title="Fig. 5 characterization (ours vs paper)")
+    ]
+    for name, table in truth_tables.items():
+        parts.append(
+            format_table(
+                ["a x b", "output", "value", "exact"],
+                table,
+                title=f"{name} truth table",
+            )
+        )
+    emit("fig5_mul2x2", "\n\n".join(parts))
+
+    by_name = {r["name"]: r for r in rows}
+    assert by_name["ApxMulSoA"]["n_error_cases"] == 1
+    assert by_name["ApxMulSoA"]["max_error_value"] == 2
+    assert by_name["ApxMulOur"]["n_error_cases"] == 3
+    assert by_name["ApxMulOur"]["max_error_value"] == 1
+    # Configurable-correction asymmetry (the paper's headline for Fig 5).
+    assert by_name["CfgMulOur"]["area_ge"] < by_name["CfgMulSoA"]["area_ge"]
+    # Our area ordering matches the paper's for the three raw designs.
+    ours = [by_name[n]["area_ge"] for n in ("ApxMulSoA", "ApxMulOur", "AccMul")]
+    paper = [FIG5_AREA_GE[n] for n in ("ApxMulSoA", "ApxMulOur", "AccMul")]
+    assert ours == sorted(ours) and paper == sorted(paper)

@@ -1,0 +1,50 @@
+"""Reproduction of Fig. 6: multi-bit multiplier area/power/quality.
+
+Characterizes accurate and approximate multipliers at 2x2, 4x4, 8x8 and
+16x16 (the paper's widths) and prints the area/power/quality table.
+"""
+
+from __future__ import annotations
+
+from repro.characterization.report import format_records
+from repro.multipliers.characterize import fig6_multiplier_family
+
+from _util import emit
+
+
+def characterize_fig6():
+    return fig6_multiplier_family(
+        widths=(2, 4, 8, 16), n_samples=20_000
+    )
+
+
+def test_fig6(benchmark):
+    records = benchmark.pedantic(characterize_fig6, rounds=1, iterations=1)
+    rows = [r.as_row() for r in records]
+    for row in rows:
+        row["power_nw"] = round(row["power_nw"], 1)
+    emit(
+        "fig6_multipliers",
+        format_records(
+            rows,
+            columns=["name", "width", "area_ge", "power_nw", "error_rate",
+                     "normalized_med", "max_error_distance"],
+            title="Fig. 6: accurate vs approximate multipliers (2x2..16x16)",
+        ),
+    )
+    # Shape: at every width the approximate variants dominate the
+    # accurate one in area and power, and accurate ones never err.
+    for width in (4, 8, 16):
+        at_width = [r for r in records if r.width == width]
+        acc = next(r for r in at_width if r.name.startswith("Acc"))
+        assert acc.metrics.error_rate == 0.0
+        for rec in at_width:
+            if rec is acc:
+                continue
+            assert rec.area_ge < acc.area_ge
+            assert rec.power_nw < acc.power_nw
+            assert rec.metrics.error_rate > 0.0
+    # Absolute error grows with width for the all-approximate variant.
+    v1 = sorted((r for r in records if "V1" in r.name), key=lambda r: r.width)
+    meds = [r.metrics.mean_error_distance for r in v1]
+    assert meds == sorted(meds)

@@ -1,0 +1,76 @@
+"""Reproduction of Fig. 9: bit-rate increase vs approximated LSBs.
+
+Encodes a synthetic sequence with the HEVC-lite encoder, swapping the
+motion-estimation SAD accelerator across every ApxSAD variant and 2/4/6
+approximated LSBs, and prints the % bit-rate increase over the accurate
+encode plus the accelerator power model (the paper's 2-bit vs 4-bit
+power observation).
+"""
+
+from __future__ import annotations
+
+from repro.accelerators.sad import SAD_VARIANT_CELLS, SADAccelerator
+from repro.characterization.report import format_records
+from repro.media.synthetic import moving_sequence
+from repro.video.codec import HevcLiteEncoder
+
+from _util import emit
+
+LSB_SWEEP = (2, 4, 6)
+
+
+def sweep_fig9():
+    frames = moving_sequence(n_frames=4, size=64, noise_sigma=3.0)
+    encoder = HevcLiteEncoder(search_range=4, qp=4)
+    baseline = encoder.encode(frames, SADAccelerator(n_pixels=64))
+    rows = []
+    for variant, cell in SAD_VARIANT_CELLS.items():
+        if variant == "AccuSAD":
+            continue
+        for lsbs in LSB_SWEEP:
+            accelerator = SADAccelerator(n_pixels=64, fa=cell, approx_lsbs=lsbs)
+            result = encoder.encode(frames, accelerator)
+            rows.append(
+                {
+                    "variant": variant,
+                    "approx_lsbs": lsbs,
+                    "bits": result.total_bits,
+                    "bitrate_increase_%": round(
+                        result.bitrate_increase_percent(baseline), 2
+                    ),
+                    "psnr_db": round(result.psnr_db, 2),
+                    "sad_energy_fJ/op": round(accelerator.energy_per_op_fj, 0),
+                }
+            )
+    return baseline, rows
+
+
+def test_fig9(benchmark):
+    baseline, rows = benchmark.pedantic(sweep_fig9, rounds=1, iterations=1)
+    header = (
+        f"Baseline (AccuSAD): {baseline.total_bits} bits, "
+        f"{baseline.psnr_db:.2f} dB\n\n"
+    )
+    emit(
+        "fig9_hevc_bitrate",
+        header + format_records(
+            rows, title="Fig. 9: bit-rate increase vs approximated LSBs"
+        ),
+    )
+    by_variant = {}
+    for row in rows:
+        by_variant.setdefault(row["variant"], {})[row["approx_lsbs"]] = row
+    for variant, sweep in by_variant.items():
+        # Bit-rate increase grows with the number of approximated LSBs,
+        # with 6 LSBs clearly worse than 2 (the paper's conclusion).
+        assert (
+            sweep[2]["bitrate_increase_%"]
+            <= sweep[4]["bitrate_increase_%"] + 0.3
+        ), variant
+        assert (
+            sweep[6]["bitrate_increase_%"] > sweep[2]["bitrate_increase_%"]
+        ), variant
+        # 4-bit approximation consumes less power than 2-bit, always.
+        assert (
+            sweep[4]["sad_energy_fJ/op"] < sweep[2]["sad_energy_fJ/op"]
+        ), variant

@@ -1,0 +1,90 @@
+"""Ablation: multiplier architectures at equal width (beyond Fig. 6).
+
+Fig. 6 sweeps the recursive 2x2-composition family.  The library also
+provides Wallace-tree and signed Booth multipliers; this bench compares
+all three architectures at 8x8 under comparable approximation pressure
+(area vs quality), and the truncated variants against their analytic
+worst-case bounds.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.characterization.report import format_records
+from repro.errors.metrics import compute_error_metrics
+from repro.multipliers.booth import BoothMultiplier
+from repro.multipliers.recursive import RecursiveMultiplier
+from repro.multipliers.wallace import WallaceMultiplier
+
+from _util import emit
+
+
+def sweep_architectures():
+    rng = np.random.default_rng(9)
+    a = rng.integers(0, 256, 30_000)
+    b = rng.integers(0, 256, 30_000)
+    sa = rng.integers(-128, 128, 30_000)
+    sb = rng.integers(-128, 128, 30_000)
+    rows = []
+
+    def record(name, area, approx, exact):
+        metrics = compute_error_metrics(approx, exact)
+        rows.append(
+            {
+                "multiplier": name,
+                "area_ge": round(area, 0),
+                "error_rate": round(metrics.error_rate, 4),
+                "MED": round(metrics.mean_error_distance, 2),
+                "max_ED": int(metrics.max_error_distance),
+            }
+        )
+
+    configs = [
+        ("Recursive(exact)", RecursiveMultiplier(8, leaf_policy="none")),
+        ("Recursive(ApxMulOur,all)",
+         RecursiveMultiplier(8, leaf_mul="ApxMulOur", leaf_policy="all")),
+        ("Recursive(low_half)",
+         RecursiveMultiplier(8, leaf_mul="ApxMulOur", leaf_policy="low_half")),
+        ("Wallace(exact)", WallaceMultiplier(8)),
+        ("Wallace(ApxFA1,cols<6)",
+         WallaceMultiplier(8, compress_fa="ApxFA1", approx_columns=6)),
+        ("Wallace(trunc<4)", WallaceMultiplier(8, truncate_columns=4)),
+    ]
+    for name, mul in configs:
+        record(name, mul.area_ge, mul.multiply(a, b), a * b)
+
+    booth_exact = BoothMultiplier(8)
+    record("Booth(exact,signed)", 0.0,
+           booth_exact.multiply(sa, sb), sa * sb)
+    booth_trunc = BoothMultiplier(8, truncate_digits=1)
+    record("Booth(trunc=1,signed)", 0.0,
+           booth_trunc.multiply(sa, sb), sa * sb)
+    return rows, booth_trunc
+
+
+def test_multiplier_archs(benchmark):
+    rows, booth_trunc = benchmark.pedantic(
+        sweep_architectures, rounds=1, iterations=1
+    )
+    emit(
+        "multiplier_archs",
+        format_records(
+            rows, title="Multiplier architectures at 8x8 (beyond Fig. 6)"
+        ),
+    )
+    by_name = {r["multiplier"]: r for r in rows}
+    # Exact variants never err.
+    for name in ("Recursive(exact)", "Wallace(exact)", "Booth(exact,signed)"):
+        assert by_name[name]["error_rate"] == 0.0, name
+    # Approximation reduces area within each architecture family.
+    assert (by_name["Wallace(trunc<4)"]["area_ge"]
+            < by_name["Wallace(exact)"]["area_ge"])
+    assert (by_name["Recursive(ApxMulOur,all)"]["area_ge"]
+            < by_name["Recursive(exact)"]["area_ge"])
+    # Low-half protection beats all-approximate on quality.
+    assert (by_name["Recursive(low_half)"]["MED"]
+            < by_name["Recursive(ApxMulOur,all)"]["MED"])
+    # Booth truncation honours its analytic bound.
+    assert (by_name["Booth(trunc=1,signed)"]["max_ED"]
+            <= booth_trunc.truncation_error_bound())

@@ -1,0 +1,89 @@
+"""Ablation: inherent resilience of ML inference (paper Sec. 1 claim).
+
+"There is a large body of resource-hungry applications that can tolerate
+approximation errors" -- with "deep learning networks ... recognition
+and machine learning" first on the list.  This bench quantifies that on
+the library's own substrate: a quantized MLP classifier whose MACs run
+through increasingly approximate multipliers/accumulators, reporting
+classification accuracy against an arithmetic-cost proxy.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.accelerators.neural import MLPClassifier, make_classification_data
+from repro.adders.ripple import ApproximateRippleAdder
+from repro.characterization.report import format_records
+from repro.multipliers.booth import BoothMultiplier
+
+from _util import emit
+
+
+def sweep_resilience():
+    X, y = make_classification_data(n_samples=450, n_classes=3, seed=2)
+    mlp = MLPClassifier.train(X, y, hidden=8, epochs=300, seed=2)
+    quantized = mlp.quantize(X)
+    rows = [
+        {
+            "datapath": "float",
+            "accuracy": round(mlp.accuracy(X, y), 4),
+            "relative_cost": 1.00,
+        },
+        {
+            "datapath": "int8 exact",
+            "accuracy": round(quantized.accuracy(X, y), 4),
+            "relative_cost": 1.00,
+        },
+    ]
+    # Booth-digit truncation sweep: dropped digits remove partial-product
+    # rows, a direct MAC-energy proxy.
+    n_digits = 8  # 16-bit Booth
+    for trunc in (1, 2, 3, 4):
+        multiplier = BoothMultiplier(16, truncate_digits=trunc)
+        accuracy = quantized.accuracy(X, y, multiplier=multiplier)
+        rows.append(
+            {
+                "datapath": f"Booth trunc={trunc}",
+                "accuracy": round(accuracy, 4),
+                "relative_cost": round(1 - trunc / n_digits, 3),
+            }
+        )
+    # Approximate accumulator on top of exact multiplies.
+    accumulator = ApproximateRippleAdder(24, approx_fa="ApxFA1",
+                                         num_approx_lsbs=6)
+    rows.append(
+        {
+            "datapath": "exact mul + ApxFA1x6 accumulator",
+            "accuracy": round(
+                quantized.accuracy(
+                    X, y, multiplier=BoothMultiplier(16),
+                    accumulator=accumulator,
+                ),
+                4,
+            ),
+            "relative_cost": round(accumulator.area_ge
+                                   / ApproximateRippleAdder(24).area_ge, 3),
+        }
+    )
+    return rows
+
+
+def test_neural_resilience(benchmark):
+    rows = benchmark.pedantic(sweep_resilience, rounds=1, iterations=1)
+    emit(
+        "neural_resilience",
+        format_records(
+            rows,
+            title="MLP classification accuracy under approximate MACs",
+        ),
+    )
+    by_name = {r["datapath"]: r for r in rows}
+    exact = by_name["int8 exact"]["accuracy"]
+    # Mild approximation: negligible accuracy loss (the resilience claim).
+    assert by_name["Booth trunc=1"]["accuracy"] >= exact - 0.03
+    assert by_name["Booth trunc=2"]["accuracy"] >= exact - 0.05
+    # Aggressive approximation eventually degrades: the trade-off is real.
+    assert by_name["Booth trunc=4"]["accuracy"] <= exact
+    # Quantization itself costs little vs float.
+    assert exact >= by_name["float"]["accuracy"] - 0.05

@@ -1,0 +1,58 @@
+"""Reproduction of Table I / Table II: the survey taxonomy."""
+
+from __future__ import annotations
+
+from repro.characterization.report import format_records, format_table
+from repro.survey.taxonomy import (
+    TABLE_I,
+    TABLE_II,
+    Category,
+    Layer,
+    category_layer_matrix,
+)
+
+from _util import emit
+
+
+def render_survey():
+    table1_rows = [
+        {
+            "layer": t.layer.value,
+            "category": t.category.value,
+            "refs": " ".join(t.references),
+            "motivation": t.motivation,
+            "case_study": t.case_study[:40],
+            "cross_layer": "yes" if t.cross_layer else "no",
+        }
+        for t in TABLE_I
+    ]
+    table2_rows = [
+        {"category": c.value, "definition": TABLE_II[c][:70]} for c in Category
+    ]
+    matrix = category_layer_matrix()
+    matrix_rows = [
+        [c.value] + [matrix[c][layer] for layer in Layer] for c in Category
+    ]
+    return table1_rows, table2_rows, matrix_rows
+
+
+def test_table1_survey(benchmark):
+    table1_rows, table2_rows, matrix_rows = benchmark(render_survey)
+    text = "\n\n".join(
+        [
+            format_records(table1_rows, title="Table I: techniques per layer"),
+            format_records(table2_rows, title="Table II: classification"),
+            format_table(
+                ["category"] + [layer.value for layer in Layer],
+                matrix_rows,
+                title="Category x layer coverage",
+            ),
+        ]
+    )
+    emit("table1_survey", text)
+    assert len(table1_rows) == 12
+    assert len(table2_rows) == 5
+    # Functional approximation spans all three layers (the paper's core
+    # cross-layer observation).
+    functional = [r for r in matrix_rows if "functional" in r[0]]
+    assert all(count > 0 for count in functional[0][1:])

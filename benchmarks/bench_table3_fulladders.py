@@ -1,0 +1,55 @@
+"""Reproduction of Table III: 1-bit full-adder characterization.
+
+Prints, for every adder of Table III, the truth-table-derived error
+count and the area/power/delay from our gate-level substrate next to
+the paper's published ASIC numbers.
+"""
+
+from __future__ import annotations
+
+from repro.adders.fulladder import FULL_ADDER_NAMES, FULL_ADDERS
+from repro.characterization.paperdata import (
+    TABLE_III_AREA_GE,
+    TABLE_III_ERROR_CASES,
+    TABLE_III_POWER_NW,
+)
+from repro.characterization.report import format_records
+from repro.logic.simulate import estimate_power
+
+from _util import emit
+
+
+def characterize_table3():
+    rows = []
+    for name in FULL_ADDER_NAMES:
+        fa = FULL_ADDERS[name]
+        netlist = fa.netlist()
+        power = estimate_power(netlist)
+        rows.append(
+            {
+                "adder": name,
+                "errors(ours)": fa.n_error_cases,
+                "errors(paper)": TABLE_III_ERROR_CASES[name],
+                "area_GE(ours)": round(netlist.area_ge, 2),
+                "area_GE(paper)": TABLE_III_AREA_GE[name],
+                "power_nW(ours)": round(power.total_nw, 1),
+                "power_nW(paper)": TABLE_III_POWER_NW[name],
+                "delay_ps(ours)": round(netlist.delay_ps(), 1),
+            }
+        )
+    return rows
+
+
+def test_table3(benchmark):
+    rows = benchmark(characterize_table3)
+    emit(
+        "table3_fulladders",
+        format_records(rows, title="Table III: 1-bit full adders (ours vs paper)"),
+    )
+    # Shape assertions: error counts exact, orderings preserved.
+    assert [r["errors(ours)"] for r in rows] == [0, 2, 2, 3, 3, 4]
+    ours = {r["adder"]: r["area_GE(ours)"] for r in rows}
+    paper = {r["adder"]: r["area_GE(paper)"] for r in rows}
+    order_ours = sorted(ours, key=ours.get)
+    order_paper = sorted(paper, key=paper.get)
+    assert order_ours == order_paper

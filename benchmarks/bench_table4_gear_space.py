@@ -1,0 +1,55 @@
+"""Reproduction of Table IV: accuracy/area of every N=11 GeAr config.
+
+The paper tabulates the model-predicted accuracy percentage and the
+Virtex-6 LUT count for all valid (R, P) combinations of an 11-bit GeAr
+adder.  We print the analytic accuracy (exact DP model), the paper's
+inclusion-exclusion model, a Monte-Carlo cross-check, and our LUT/area
+proxies.
+"""
+
+from __future__ import annotations
+
+from repro.adders.gear import GeArConfig
+from repro.adders.gear_error import (
+    monte_carlo_error_rate,
+    paper_error_probability,
+)
+from repro.characterization.report import format_records
+from repro.dse.explorer import explore_gear_space
+
+from _util import emit
+
+
+def sweep_table4():
+    records = explore_gear_space(11, model="exact")
+    for record in records:
+        config = GeArConfig(11, record["r"], record["p"])
+        record["acc%_paperIE"] = round(
+            100 * (1 - paper_error_probability(config)), 2
+        )
+        record["acc%_mc"] = round(
+            100 * (1 - monte_carlo_error_rate(config, n_samples=100_000)), 2
+        )
+        record["accuracy_percent"] = round(record["accuracy_percent"], 2)
+        record["area_ge"] = round(record["area_ge"], 1)
+        record["delay_ps"] = round(record["delay_ps"], 1)
+    return records
+
+
+def test_table4(benchmark):
+    records = benchmark.pedantic(sweep_table4, rounds=1, iterations=1)
+    emit(
+        "table4_gear_space",
+        format_records(
+            records,
+            columns=["r", "p", "k", "l", "accuracy_percent", "acc%_paperIE",
+                     "acc%_mc", "lut_count", "area_ge", "delay_ps"],
+            title="Table IV: N=11 GeAr accuracy/area sweep (exact DP model)",
+        ),
+    )
+    assert len(records) == 17
+    best = max(records, key=lambda r: r["accuracy_percent"])
+    assert (best["r"], best["p"]) == (1, 9)  # paper's max-accuracy pick
+    # The three accuracy models agree within a percentage point.
+    for record in records:
+        assert abs(record["accuracy_percent"] - record["acc%_mc"]) < 1.0

@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Approximate HLS: synthesizing accelerators under an error budget.
+
+The paper (Sec. 6) generates its accelerators manually and calls
+HLS-for-approximate-computing "an interesting research problem".  This
+example runs our baseline solution on an 8-term SAD datapath: for a
+sweep of worst-case output-error budgets, the synthesizer assigns the
+cheapest approximate adder ladder rung to every node such that the
+*guaranteed* (interval-analysis) bound meets the budget.
+
+Run:  python3 examples/approximate_hls.py
+"""
+
+import numpy as np
+
+from repro.accelerators.dataflow import DataflowAccelerator
+from repro.accelerators.hls import ApproximateSynthesizer
+
+N_TERMS = 8
+
+
+def sad_template() -> DataflowAccelerator:
+    acc = DataflowAccelerator(f"sad{N_TERMS}")
+    a = [acc.add_input(f"a{i}") for i in range(N_TERMS)]
+    b = [acc.add_input(f"b{i}") for i in range(N_TERMS)]
+    diffs = [
+        acc.add_node("abs", [acc.add_node("sub", [a[i], b[i]])])
+        for i in range(N_TERMS)
+    ]
+    while len(diffs) > 1:
+        diffs = [
+            acc.add_node("add", [diffs[i], diffs[i + 1]])
+            for i in range(0, len(diffs), 2)
+        ]
+    acc.set_output(diffs[0])
+    return acc
+
+
+def main() -> None:
+    ranges = {f"{p}{i}": (0, 255) for p in "ab" for i in range(N_TERMS)}
+    synthesizer = ApproximateSynthesizer()
+    rng = np.random.default_rng(11)
+    stim = {name: rng.integers(0, 256, 30_000) for name in ranges}
+    exact_output = sad_template().evaluate(stim)
+
+    print(f"datapath: SAD over {N_TERMS} pixel pairs "
+          f"({N_TERMS} sub + {N_TERMS} abs + {N_TERMS - 1} add nodes)")
+    print(f"\n{'budget':>8s} {'bound':>7s} {'obs.max':>8s} {'obs.MED':>8s} "
+          f"{'area GE':>8s}  assignment mix")
+    for budget in (0, 16, 64, 256, 1024, 4096):
+        acc = sad_template()
+        result = synthesizer.synthesize(acc, ranges, error_budget=budget)
+        observed = np.abs(acc.evaluate(stim) - exact_output)
+        mix = {}
+        for name in result.assignment.values():
+            mix[name] = mix.get(name, 0) + 1
+        mix_text = ", ".join(f"{v}x{k}" for k, v in sorted(mix.items()))
+        print(f"{budget:8d} {result.error_bound:7d} {observed.max():8d} "
+              f"{observed.mean():8.2f} {result.area_ge:8.0f}  {mix_text}")
+        assert observed.max() <= result.error_bound  # soundness
+
+    print("\n-> tighter budgets buy exact units near the output (high "
+          "significance), looser budgets push approximation everywhere; "
+          "the guaranteed bound is never violated by simulation.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Approximate ML inference: the paper's resilience claim, measured.
+
+Trains a small MLP classifier (pure NumPy), quantizes it to int8 with
+calibration, then runs inference with increasingly approximate
+multiply-accumulate hardware from this library:
+
+* signed radix-4 Booth multipliers with truncated partial products,
+* approximate accumulation adders (Table III cells in the LSBs),
+
+showing the accuracy/arithmetic-cost trade-off that makes "recognition
+and machine learning" the paper's flagship approximate-computing
+workload.
+
+Run:  python3 examples/approximate_inference.py
+"""
+
+from repro.accelerators.neural import MLPClassifier, make_classification_data
+from repro.adders.ripple import ApproximateRippleAdder
+from repro.multipliers.booth import BoothMultiplier
+
+
+def main() -> None:
+    X, y = make_classification_data(n_samples=600, n_classes=3,
+                                    n_features=4, seed=5)
+    split = len(X) * 2 // 3
+    x_train, y_train = X[:split], y[:split]
+    x_test, y_test = X[split:], y[split:]
+
+    print("training a 4-8-3 MLP with NumPy gradient descent ...")
+    mlp = MLPClassifier.train(x_train, y_train, hidden=8, epochs=300, seed=5)
+    print(f"  float accuracy:      train {mlp.accuracy(x_train, y_train):.3f}"
+          f"  test {mlp.accuracy(x_test, y_test):.3f}")
+
+    quantized = mlp.quantize(x_train)
+    print(f"  int8 accuracy:       train "
+          f"{quantized.accuracy(x_train, y_train):.3f}"
+          f"  test {quantized.accuracy(x_test, y_test):.3f}")
+
+    print("\ninference through approximate MAC hardware:")
+    print(f"  {'datapath':34s} {'test acc':>8s} {'MAC cost':>9s}")
+    for trunc in (0, 1, 2, 3, 4):
+        multiplier = BoothMultiplier(16, truncate_digits=trunc)
+        accuracy = quantized.accuracy(x_test, y_test, multiplier=multiplier)
+        cost = 1 - trunc / 8
+        label = "exact Booth" if trunc == 0 else f"Booth trunc={trunc}"
+        print(f"  {label:34s} {accuracy:8.3f} {cost:8.0%}")
+    for cell, lsbs in (("ApxFA1", 6), ("ApxFA5", 8)):
+        accumulator = ApproximateRippleAdder(24, approx_fa=cell,
+                                             num_approx_lsbs=lsbs)
+        accuracy = quantized.accuracy(
+            x_test, y_test, multiplier=BoothMultiplier(16),
+            accumulator=accumulator,
+        )
+        cost = accumulator.area_ge / ApproximateRippleAdder(24).area_ge
+        print(f"  {'accumulator ' + cell + 'x' + str(lsbs):34s} "
+              f"{accuracy:8.3f} {cost:8.0%}")
+
+    print("\n-> one to two truncated Booth digits (12-25% of the partial-"
+          "product\n   work removed) cost essentially no accuracy; the "
+          "cliff only comes later\n   -- the inherent-resilience argument "
+          "of the paper's introduction.")
+
+
+if __name__ == "__main__":
+    main()

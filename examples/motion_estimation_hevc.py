@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""The paper's HEVC case study end-to-end (Sec. 6, Fig. 8 and Fig. 9).
+
+Encodes a synthetic video with the HEVC-lite encoder while swapping the
+motion-estimation SAD accelerator between the accurate version and
+approximate variants, then reports:
+
+* one block's SAD surface under exact vs approximate hardware (Fig. 8),
+* bit-rate increase and PSNR per variant and LSB count (Fig. 9),
+* the accelerator energy model backing the paper's "4-bit approximation
+  costs less power than 2-bit" observation.
+
+Run:  python3 examples/motion_estimation_hevc.py
+"""
+
+import numpy as np
+
+from repro.accelerators.sad import SADAccelerator
+from repro.media.synthetic import moving_sequence
+from repro.video.codec import HevcLiteEncoder
+from repro.video.motion import full_search, sad_surface
+
+
+def show_surface(title: str, surface: np.ndarray, search: int) -> None:
+    print(f"  {title}")
+    for dy in range(surface.shape[0]):
+        row = " ".join(
+            f"{int(v):5d}" if v < (1 << 62) else "    ." for v in surface[dy]
+        )
+        print(f"    dy={dy - search:+d}: {row}")
+
+
+def main() -> None:
+    frames = moving_sequence(n_frames=4, size=64, noise_sigma=3.0)
+    print(f"Sequence: {len(frames)} frames of {frames[0].shape}, "
+          "global pan (2, 1) + moving object")
+
+    # ------------------------------------------------------------------
+    print("\n== Fig. 8: SAD surface, exact vs approximate ==")
+    exact = SADAccelerator(n_pixels=64)
+    approx = SADAccelerator(n_pixels=64, fa="ApxFA2", approx_lsbs=4)
+    block, search = (48, 48), 3
+    surf_exact = sad_surface(frames[1], frames[0], block, 8, search, exact)
+    surf_apx = sad_surface(frames[1], frames[0], block, 8, search, approx)
+    show_surface("exact SAD surface:", surf_exact, search)
+    show_surface("ApxSAD2 (4 LSBs) surface:", surf_apx, search)
+    mv_e = full_search(frames[1], frames[0], block, 8, search, exact)
+    mv_a = full_search(frames[1], frames[0], block, 8, search, approx)
+    print(f"  exact motion vector:  (dx={mv_e.dx}, dy={mv_e.dy})  "
+          f"SAD={mv_e.sad}")
+    print(f"  approx motion vector: (dx={mv_a.dx}, dy={mv_a.dy})  "
+          f"SAD={mv_a.sad}")
+    print("  -> surface values shift, the global minimum survives.")
+
+    # ------------------------------------------------------------------
+    print("\n== Fig. 9: bit-rate impact of approximate motion estimation ==")
+    encoder = HevcLiteEncoder(search_range=4, qp=4)
+    baseline = encoder.encode(frames, exact)
+    print(f"  baseline: {baseline.total_bits} bits, "
+          f"PSNR {baseline.psnr_db:.2f} dB")
+    print(f"  {'variant':10s} {'LSBs':>4s} {'bits':>8s} "
+          f"{'increase':>9s} {'PSNR':>7s} {'energy/op':>10s}")
+    for cell in ("ApxFA1", "ApxFA2", "ApxFA3", "ApxFA4", "ApxFA5"):
+        for lsbs in (2, 4, 6):
+            acc = SADAccelerator(n_pixels=64, fa=cell, approx_lsbs=lsbs)
+            result = encoder.encode(frames, acc)
+            incr = result.bitrate_increase_percent(baseline)
+            print(f"  {cell:10s} {lsbs:4d} {result.total_bits:8d} "
+                  f"{incr:8.2f}% {result.psnr_db:6.2f} "
+                  f"{acc.energy_per_op_fj:9.0f}fJ")
+    print("  -> 2/4 LSBs: marginal bit-rate cost; 6 LSBs: clearly larger;"
+          "\n     4-LSB variants always burn less energy than 2-LSB ones,"
+          "\n     so ApxSAD with 4 approximated bits is the sweet spot "
+          "(the paper's conclusion).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,97 @@
+#!/usr/bin/env python3
+"""Quickstart: the cross-layer approximate computing library in 5 minutes.
+
+Walks the paper's stack bottom-up:
+
+1. 1-bit approximate full adders (Table III) and their characterization,
+2. multi-bit adders (ripple with approximated LSBs; GeAr with error
+   correction),
+3. 2x2 and multi-bit approximate multipliers (Fig. 5 / Fig. 6),
+4. a complete approximate accelerator (SAD) with quality metrics.
+
+Run:  python3 examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro.accelerators.sad import SADAccelerator
+from repro.adders.fulladder import FULL_ADDER_NAMES, FULL_ADDERS
+from repro.adders.gear import GeArAdder, GeArConfig
+from repro.adders.ripple import ApproximateRippleAdder
+from repro.errors.metrics import compute_error_metrics
+from repro.logic.simulate import estimate_power
+from repro.multipliers.mul2x2 import multiplier_2x2
+from repro.multipliers.recursive import RecursiveMultiplier
+
+
+def main() -> None:
+    rng = np.random.default_rng(0)
+
+    # ------------------------------------------------------------------
+    print("== 1. 1-bit full adders (Table III) ==")
+    for name in FULL_ADDER_NAMES:
+        fa = FULL_ADDERS[name]
+        netlist = fa.netlist()
+        power = estimate_power(netlist)
+        print(
+            f"  {name}: {fa.n_error_cases} error cases, "
+            f"{netlist.area_ge:5.2f} GE, {power.total_nw:6.1f} nW, "
+            f"{netlist.delay_ps():5.1f} ps -- {fa.description}"
+        )
+
+    # ------------------------------------------------------------------
+    print("\n== 2a. 8-bit ripple adder with 4 approximated LSBs ==")
+    adder = ApproximateRippleAdder(8, approx_fa="ApxFA1", num_approx_lsbs=4)
+    a = rng.integers(0, 256, 20_000)
+    b = rng.integers(0, 256, 20_000)
+    metrics = compute_error_metrics(adder.add(a, b), a + b)
+    print(f"  {adder.name}: ER={metrics.error_rate:.3f}, "
+          f"MED={metrics.mean_error_distance:.2f}, "
+          f"max ED={metrics.max_error_distance:.0f}, "
+          f"area={adder.area_ge:.1f} GE (exact: "
+          f"{ApproximateRippleAdder(8).area_ge:.1f} GE)")
+
+    print("\n== 2b. GeAr accuracy-configurable adder ==")
+    gear = GeArAdder(GeArConfig(n=16, r=4, p=4))
+    x = rng.integers(0, 1 << 16, 20_000)
+    y = rng.integers(0, 1 << 16, 20_000)
+    approx = gear.add(x, y)
+    corrected, iterations = gear.add_with_correction(x, y)
+    print(f"  {gear.name}: raw ER={np.mean(approx != x + y):.4f}, "
+          f"corrected ER={np.mean(corrected != x + y):.4f} "
+          f"(mean {iterations.mean():.3f} correction iterations)")
+    print(f"  carry chain shortened {16 / gear.config.l:.1f}x "
+          f"(delay {gear.delay_ps:.0f} ps vs "
+          f"{ApproximateRippleAdder(16).delay_ps:.0f} ps)")
+
+    # ------------------------------------------------------------------
+    print("\n== 3. Approximate multipliers ==")
+    for name in ("AccMul", "ApxMulSoA", "ApxMulOur"):
+        spec = multiplier_2x2(name)
+        print(f"  {name}: {spec.n_error_cases} error cases, "
+              f"max error {spec.max_error_value}, {spec.area_ge:.2f} GE")
+    mul8 = RecursiveMultiplier(8, leaf_mul="ApxMulOur", leaf_policy="low_half")
+    p = mul8.multiply(a, b)
+    metrics = compute_error_metrics(p, a * b)
+    print(f"  {mul8.name}: ER={metrics.error_rate:.3f}, "
+          f"NMED={metrics.normalized_med:.5f}")
+
+    # ------------------------------------------------------------------
+    print("\n== 4. SAD accelerator (the paper's case study) ==")
+    blocks_a = rng.integers(0, 256, (5_000, 64))
+    blocks_b = rng.integers(0, 256, (5_000, 64))
+    exact_sad = SADAccelerator(n_pixels=64)
+    truth = exact_sad.sad(blocks_a, blocks_b)
+    for lsbs in (2, 4, 6):
+        acc = SADAccelerator(n_pixels=64, fa="ApxFA2", approx_lsbs=lsbs)
+        result = acc.sad(blocks_a, blocks_b)
+        saving = 100 * (1 - acc.energy_per_op_fj / exact_sad.energy_per_op_fj)
+        print(f"  ApxSAD2 with {lsbs} LSBs: "
+              f"MRED={np.mean(np.abs(result - truth) / np.maximum(truth, 1)):.4f}, "
+              f"energy saving {saving:.1f}%")
+    print("\nDone. See examples/motion_estimation_hevc.py for the full "
+          "cross-layer case study.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,85 @@
+"""repro -- Cross-Layer Approximate Computing: From Logic to Architectures.
+
+A from-scratch Python reproduction of Shafique, Hafiz, Rehman,
+El-Harouni & Henkel, "Invited: Cross-Layer Approximate Computing: From
+Logic to Architectures" (DAC 2016), spanning the full stack the paper
+describes:
+
+* :mod:`repro.logic` -- gate-level substrate (cells, netlists, truth-table
+  synthesis, simulation, power/delay estimation);
+* :mod:`repro.adders` -- Table III 1-bit approximate full adders, multi-bit
+  ripple adders, and the GeAr accuracy-configurable adder with analytic
+  error models and iterative error correction;
+* :mod:`repro.multipliers` -- Fig. 5 2x2 approximate multipliers and their
+  recursive / Wallace-tree multi-bit compositions;
+* :mod:`repro.errors` -- quality metrics, discrete error-PMF algebra, and
+  statistical error propagation / masking analysis;
+* :mod:`repro.accelerators` -- dataflow accelerator framework, the SAD and
+  low-pass-filter case studies, approximate DCT, consolidated error
+  correction, and the approximation management unit;
+* :mod:`repro.video` -- the HEVC-lite encoder substrate behind the Fig. 8/9
+  experiments;
+* :mod:`repro.media` -- synthetic images/video and SSIM;
+* :mod:`repro.dse` -- design-space exploration (Table IV / Fig. 4);
+* :mod:`repro.survey` -- the Table I/II taxonomy as structured data;
+* :mod:`repro.characterization` -- published constants and reporting.
+
+Quickstart:
+    >>> from repro.adders import GeArAdder, GeArConfig
+    >>> adder = GeArAdder(GeArConfig(n=16, r=4, p=4))
+    >>> int(adder.add(1000, 2000))
+    3000
+"""
+
+from . import (
+    accelerators,
+    adders,
+    characterization,
+    dse,
+    errors,
+    logic,
+    media,
+    multipliers,
+    survey,
+    video,
+)
+from .adders import (
+    ApproximateRippleAdder,
+    FULL_ADDERS,
+    GeArAdder,
+    GeArConfig,
+    full_adder,
+)
+from .accelerators import LowPassFilterAccelerator, SADAccelerator
+from .errors import ErrorPMF, compute_error_metrics
+from .multipliers import RecursiveMultiplier, WallaceMultiplier, multiplier_2x2
+from .video import HevcLiteEncoder
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "accelerators",
+    "adders",
+    "characterization",
+    "dse",
+    "errors",
+    "logic",
+    "media",
+    "multipliers",
+    "survey",
+    "video",
+    "ApproximateRippleAdder",
+    "FULL_ADDERS",
+    "GeArAdder",
+    "GeArConfig",
+    "full_adder",
+    "LowPassFilterAccelerator",
+    "SADAccelerator",
+    "ErrorPMF",
+    "compute_error_metrics",
+    "RecursiveMultiplier",
+    "WallaceMultiplier",
+    "multiplier_2x2",
+    "HevcLiteEncoder",
+    "__version__",
+]

@@ -1,0 +1,75 @@
+"""Approximate accelerators: dataflow framework, SAD, low-pass filter,
+DCT, consolidated error correction, and the approximation manager."""
+
+from .bank import (
+    EpochRecord,
+    MultiAcceleratorArchitecture,
+    RunningApplication,
+)
+from .cec import (
+    CEC_UNIT_AREA_GE,
+    EDC_AREA_PER_ADDER_GE,
+    ConsolidatedErrorCorrection,
+    EdcAreaComparison,
+    edc_area_comparison,
+)
+from .dataflow import DataflowAccelerator, ExactArithmetic, Node
+from .dct import ApproximateDCT8x8, integer_dct_matrix
+from .filters import LowPassFilterAccelerator, gaussian3x3_exact
+from .hls import (
+    AdderCandidate,
+    ApproximateSynthesizer,
+    SynthesisResult,
+    default_adder_candidates,
+)
+from .neural import MLPClassifier, QuantizedMLP, make_classification_data
+from .manager import (
+    AcceleratorMode,
+    AcceleratorProfile,
+    ApplicationRequest,
+    ApproximationManager,
+    ModeAssignment,
+)
+from .sad import (
+    SAD_VARIANT_CELLS,
+    SADAccelerator,
+    characterize_sad_family,
+    make_sad_variants,
+)
+from .sobel import SobelAccelerator, sobel_exact
+
+__all__ = [
+    "EpochRecord",
+    "MultiAcceleratorArchitecture",
+    "RunningApplication",
+    "CEC_UNIT_AREA_GE",
+    "EDC_AREA_PER_ADDER_GE",
+    "ConsolidatedErrorCorrection",
+    "EdcAreaComparison",
+    "edc_area_comparison",
+    "DataflowAccelerator",
+    "ExactArithmetic",
+    "Node",
+    "ApproximateDCT8x8",
+    "integer_dct_matrix",
+    "LowPassFilterAccelerator",
+    "gaussian3x3_exact",
+    "AdderCandidate",
+    "ApproximateSynthesizer",
+    "SynthesisResult",
+    "default_adder_candidates",
+    "AcceleratorMode",
+    "AcceleratorProfile",
+    "ApplicationRequest",
+    "ApproximationManager",
+    "ModeAssignment",
+    "SAD_VARIANT_CELLS",
+    "SADAccelerator",
+    "characterize_sad_family",
+    "make_sad_variants",
+    "SobelAccelerator",
+    "sobel_exact",
+    "MLPClassifier",
+    "QuantizedMLP",
+    "make_classification_data",
+]

@@ -1,0 +1,166 @@
+"""Multi-accelerator approximate computing architecture (paper Sec. 6).
+
+The paper's architectural vision is "a wide-range of diverse approximate
+accelerators in a multi-accelerator approximate computing architecture"
+where, "for a set of concurrently executing applications, an appropriate
+set of accelerators and their appropriate approximation modes are
+selected by the approximation management unit, such that the performance
+and quality constraints of those applications are met and the overall
+power is minimized".
+
+:class:`MultiAcceleratorArchitecture` simulates exactly that control
+loop over discrete epochs:
+
+1. applications submit work (operations/epoch) with a minimum quality;
+2. the :class:`~repro.accelerators.manager.ApproximationManager` picks
+   each application's mode;
+3. the epoch executes; per-application *measured* quality is fed back
+   (callers supply a quality monitor -- e.g. SSIM of filter outputs or
+   bit-rate of an encoder);
+4. the manager adapts modes (tighten on violation, relax with headroom);
+5. energy, quality and mode histories accumulate for reporting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from .manager import (
+    AcceleratorMode,
+    AcceleratorProfile,
+    ApplicationRequest,
+    ApproximationManager,
+)
+
+__all__ = ["RunningApplication", "EpochRecord", "MultiAcceleratorArchitecture"]
+
+#: Measures the quality actually delivered to the app in one epoch,
+#: given the active mode.  Signature: (mode, epoch_index) -> quality.
+QualityMonitor = Callable[[AcceleratorMode, int], float]
+
+
+@dataclass
+class RunningApplication:
+    """One application executing on the architecture.
+
+    Attributes:
+        name: Application identifier.
+        kind: Accelerator kind it needs (must match a profile).
+        min_quality: Quality constraint in [0, 1].
+        ops_per_epoch: Accelerator invocations per epoch (drives energy).
+        quality_monitor: Observed-quality callback; defaults to the
+            mode's characterized quality (perfect prediction).
+    """
+
+    name: str
+    kind: str
+    min_quality: float
+    ops_per_epoch: int = 1000
+    quality_monitor: Optional[QualityMonitor] = None
+
+    def request(self) -> ApplicationRequest:
+        return ApplicationRequest(self.name, self.kind, self.min_quality)
+
+
+@dataclass(frozen=True)
+class EpochRecord:
+    """Telemetry of one simulated epoch."""
+
+    epoch: int
+    modes: Dict[str, str]
+    measured_quality: Dict[str, float]
+    violations: Tuple[str, ...]
+    energy: float
+
+
+class MultiAcceleratorArchitecture:
+    """A bank of approximate accelerators under management.
+
+    Example:
+        >>> profile = AcceleratorProfile("sad", (
+        ...     AcceleratorMode("exact", 1.0, 100.0),
+        ...     AcceleratorMode("apx", 0.9, 40.0),
+        ... ))
+        >>> arch = MultiAcceleratorArchitecture([profile])
+        >>> app = RunningApplication("enc", "sad", min_quality=0.85)
+        >>> records = arch.run([app], n_epochs=3)
+        >>> records[-1].modes["enc"]
+        'apx'
+    """
+
+    def __init__(self, profiles: List[AcceleratorProfile]) -> None:
+        self.manager = ApproximationManager(profiles)
+        self.history: List[EpochRecord] = []
+
+    # ------------------------------------------------------------------
+    # simulation
+    # ------------------------------------------------------------------
+    def run(
+        self, applications: List[RunningApplication], n_epochs: int = 10
+    ) -> List[EpochRecord]:
+        """Simulate the managed architecture for ``n_epochs``.
+
+        Returns:
+            The per-epoch telemetry (also appended to ``self.history``).
+        """
+        if n_epochs < 1:
+            raise ValueError(f"n_epochs must be >= 1, got {n_epochs}")
+        names = [app.name for app in applications]
+        if len(set(names)) != len(names):
+            raise ValueError("application names must be unique")
+        requests = [app.request() for app in applications]
+        self.manager.select_modes(requests)
+        records: List[EpochRecord] = []
+        for epoch in range(n_epochs):
+            assignments = self.manager.current_assignments
+            measured: Dict[str, float] = {}
+            violations: List[str] = []
+            energy = 0.0
+            for app in applications:
+                mode = assignments[app.name]
+                if app.quality_monitor is not None:
+                    quality = app.quality_monitor(mode, epoch)
+                else:
+                    quality = mode.quality
+                measured[app.name] = quality
+                if quality < app.min_quality:
+                    violations.append(app.name)
+                energy += mode.power_nw * app.ops_per_epoch
+            record = EpochRecord(
+                epoch=epoch,
+                modes={name: assignments[name].name for name in names},
+                measured_quality=measured,
+                violations=tuple(violations),
+                energy=energy,
+            )
+            records.append(record)
+            # Feedback: adapt each application's mode for the next epoch.
+            for app in applications:
+                self.manager.adapt(app.name, app.request(), measured[app.name])
+        self.history.extend(records)
+        return records
+
+    # ------------------------------------------------------------------
+    # reporting
+    # ------------------------------------------------------------------
+    def total_energy(self) -> float:
+        """Accumulated energy across all simulated epochs."""
+        return sum(record.energy for record in self.history)
+
+    def violation_epochs(self, app: str) -> List[int]:
+        """Epoch indices where ``app`` missed its quality constraint."""
+        return [
+            record.epoch for record in self.history if app in record.violations
+        ]
+
+    def exact_baseline_energy(
+        self, applications: List[RunningApplication], n_epochs: int
+    ) -> float:
+        """Energy if every application always ran its highest-quality mode."""
+        total = 0.0
+        for app in applications:
+            profile = self.manager.profiles[app.kind]
+            best = max(profile.modes, key=lambda m: (m.quality, -m.power_nw))
+            total += best.power_nw * app.ops_per_epoch * n_epochs
+        return total

@@ -1,0 +1,148 @@
+"""Consolidated Error Correction (CEC) unit (paper Sec. 6.1, ref [37]).
+
+State-of-the-art accuracy-configurable adders integrate an Error
+Detection and Correction (EDC) stage into *every* adder, so a cascade of
+k adders pays k EDC overheads.  The CEC observation (Mazahir et al.,
+DAC 2016) is that the accumulated error at the *accelerator output* can
+only take a small set of specific values (sums of per-adder error
+offsets), so a single shared unit that adds one compensating offset at
+the output recovers most of the quality at a fraction of the area.
+
+:class:`ConsolidatedErrorCorrection` implements the statistical variant:
+it calibrates the accelerator's output-error PMF on sample data, selects
+the correction offset minimizing the expected remaining error magnitude
+(over the small candidate set the PMF exposes), and applies it to
+subsequent outputs.  :func:`edc_area_comparison` quantifies the area
+argument against per-adder EDC.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict
+
+import numpy as np
+
+from ..errors.pmf import ErrorPMF
+
+__all__ = [
+    "ConsolidatedErrorCorrection",
+    "EdcAreaComparison",
+    "edc_area_comparison",
+]
+
+#: Area of one integrated EDC stage (detector + incrementer + mux),
+#: in gate equivalents per corrected adder -- modelled after the GeAr
+#: correction circuitry of Fig. 3.
+EDC_AREA_PER_ADDER_GE = 9.0
+
+#: Area of one shared CEC unit (offset register + output adder), GE.
+CEC_UNIT_AREA_GE = 14.0
+
+
+class ConsolidatedErrorCorrection:
+    """Shared output-offset error correction for an accelerator.
+
+    Args:
+        accelerator_fn: Callable mapping input arrays to approximate
+            outputs (e.g. ``sad_accelerator.sad``).
+        reference_fn: Callable producing the exact outputs for the same
+            inputs.
+
+    Example:
+        >>> import numpy as np
+        >>> apx = lambda x: x + 3            # constant +3 error
+        >>> exact = lambda x: x
+        >>> cec = ConsolidatedErrorCorrection(apx, exact)
+        >>> cec.calibrate(np.arange(100))
+        -3
+        >>> int(cec.correct(apx(np.asarray(10))))
+        10
+    """
+
+    def __init__(
+        self,
+        accelerator_fn: Callable[..., np.ndarray],
+        reference_fn: Callable[..., np.ndarray],
+    ) -> None:
+        self.accelerator_fn = accelerator_fn
+        self.reference_fn = reference_fn
+        self.offset: int | None = None
+        self.error_pmf: ErrorPMF | None = None
+
+    def calibrate(self, *calibration_inputs) -> int:
+        """Learn the correction offset from calibration data.
+
+        Runs both the approximate and exact accelerators, builds the
+        output-error PMF, and picks the offset ``-e`` (over observed
+        error values and their mean) minimizing the expected remaining
+        absolute error.
+
+        Returns:
+            The selected offset (added to raw outputs by :meth:`correct`).
+        """
+        approx = np.asarray(self.accelerator_fn(*calibration_inputs))
+        exact = np.asarray(self.reference_fn(*calibration_inputs))
+        self.error_pmf = ErrorPMF.from_pairs(approx, exact)
+        candidates = {-v for v in self.error_pmf.support}
+        candidates.add(-int(round(self.error_pmf.mean)))
+        best_offset = 0
+        best_cost = float("inf")
+        for offset in sorted(candidates):
+            cost = self.error_pmf.shift(offset).mean_abs
+            if cost < best_cost:
+                best_cost = cost
+                best_offset = offset
+        self.offset = int(best_offset)
+        return self.offset
+
+    def correct(self, raw_output: np.ndarray) -> np.ndarray:
+        """Apply the calibrated offset to raw accelerator outputs."""
+        if self.offset is None:
+            raise RuntimeError("call calibrate() before correct()")
+        return np.asarray(raw_output, dtype=np.int64) + self.offset
+
+    def __call__(self, *inputs) -> np.ndarray:
+        """Run the accelerator and correct its output."""
+        return self.correct(self.accelerator_fn(*inputs))
+
+    def residual_error_pmf(self) -> ErrorPMF:
+        """Predicted error PMF after correction."""
+        if self.error_pmf is None or self.offset is None:
+            raise RuntimeError("call calibrate() first")
+        return self.error_pmf.shift(self.offset)
+
+
+@dataclass(frozen=True)
+class EdcAreaComparison:
+    """Area comparison of integrated EDC vs. one consolidated unit."""
+
+    n_adders: int
+    integrated_edc_ge: float
+    consolidated_ge: float
+
+    @property
+    def saving_ge(self) -> float:
+        return self.integrated_edc_ge - self.consolidated_ge
+
+    @property
+    def saving_percent(self) -> float:
+        if self.integrated_edc_ge == 0:
+            return 0.0
+        return 100.0 * self.saving_ge / self.integrated_edc_ge
+
+
+def edc_area_comparison(n_adders: int) -> EdcAreaComparison:
+    """Compare per-adder EDC area against one shared CEC unit.
+
+    Args:
+        n_adders: Number of approximate adders in the accelerator
+            cascade (each would otherwise embed its own EDC).
+    """
+    if n_adders < 1:
+        raise ValueError(f"n_adders must be >= 1, got {n_adders}")
+    return EdcAreaComparison(
+        n_adders=n_adders,
+        integrated_edc_ge=EDC_AREA_PER_ADDER_GE * n_adders,
+        consolidated_ge=CEC_UNIT_AREA_GE,
+    )

@@ -1,0 +1,222 @@
+"""Dataflow-graph framework for approximate accelerators (paper Fig. 7).
+
+The paper's methodology composes accelerators from a library of
+(approximate) arithmetic blocks.  :class:`DataflowAccelerator` captures
+exactly that: a DAG of arithmetic nodes, each optionally bound to an
+approximate *unit* (an adder or multiplier instance from
+:mod:`repro.adders` / :mod:`repro.multipliers`).  Evaluation is
+vectorized; area/power/delay roll up from the bound units, which is the
+characterization input the paper's design-space exploration consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["Node", "DataflowAccelerator", "ExactArithmetic"]
+
+_OPS = ("input", "const", "add", "sub", "abs", "mul", "shl", "shr", "neg", "clip")
+
+
+class ExactArithmetic:
+    """Fallback unit performing exact arithmetic (infinite precision)."""
+
+    name = "exact"
+    area_ge = 0.0
+    delay_ps = 0.0
+
+    def add(self, a, b):
+        return np.asarray(a, dtype=np.int64) + np.asarray(b, dtype=np.int64)
+
+    def sub(self, a, b):
+        return np.asarray(a, dtype=np.int64) - np.asarray(b, dtype=np.int64)
+
+    def multiply(self, a, b):
+        return np.asarray(a, dtype=np.int64) * np.asarray(b, dtype=np.int64)
+
+
+@dataclass
+class Node:
+    """One operation in the accelerator datapath.
+
+    Attributes:
+        index: Position in the graph's node list.
+        op: Operation name (see module-level ``_OPS``).
+        args: Indices of operand nodes.
+        unit: Arithmetic unit executing the op (``None`` -> exact).
+        param: Extra operand (constant value, shift amount, clip bound).
+        name: Optional label (required for inputs).
+    """
+
+    index: int
+    op: str
+    args: Tuple[int, ...] = ()
+    unit: object | None = None
+    param: int | Tuple[int, int] | None = None
+    name: str | None = None
+
+
+class DataflowAccelerator:
+    """A DAG of arithmetic operations with pluggable approximate units.
+
+    Example (a 2-term SAD):
+        >>> acc = DataflowAccelerator("sad2")
+        >>> a0, a1 = acc.add_input("a0"), acc.add_input("a1")
+        >>> b0, b1 = acc.add_input("b0"), acc.add_input("b1")
+        >>> d0 = acc.add_node("abs", [acc.add_node("sub", [a0, b0])])
+        >>> d1 = acc.add_node("abs", [acc.add_node("sub", [a1, b1])])
+        >>> out = acc.add_node("add", [d0, d1])
+        >>> acc.set_output(out)
+        >>> int(acc.evaluate({"a0": 5, "a1": 2, "b0": 9, "b1": 2}))
+        4
+    """
+
+    def __init__(self, name: str, default_unit: object | None = None) -> None:
+        self.name = name
+        self.nodes: List[Node] = []
+        self.inputs: Dict[str, int] = {}
+        self.output: int | None = None
+        self.default_unit = default_unit or ExactArithmetic()
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def add_input(self, name: str) -> int:
+        """Declare a named primary input; returns its node index."""
+        if name in self.inputs:
+            raise ValueError(f"duplicate input {name!r}")
+        node = Node(index=len(self.nodes), op="input", name=name)
+        self.nodes.append(node)
+        self.inputs[name] = node.index
+        return node.index
+
+    def add_const(self, value: int) -> int:
+        """A constant-valued node."""
+        node = Node(index=len(self.nodes), op="const", param=int(value))
+        self.nodes.append(node)
+        return node.index
+
+    def add_node(
+        self,
+        op: str,
+        args: Sequence[int],
+        unit: object | None = None,
+        param: int | Tuple[int, int] | None = None,
+    ) -> int:
+        """Append an operation node; returns its index.
+
+        Args:
+            op: One of ``add sub abs mul shl shr neg clip``.
+            args: Operand node indices (must precede this node).
+            unit: Arithmetic unit override for this node.
+            param: Shift amount (``shl``/``shr``) or ``(lo, hi)`` clip
+                bounds.
+        """
+        if op not in _OPS or op in ("input", "const"):
+            raise ValueError(f"unknown op {op!r}")
+        expected = {"add": 2, "sub": 2, "mul": 2, "abs": 1, "shl": 1,
+                    "shr": 1, "neg": 1, "clip": 1}[op]
+        if len(args) != expected:
+            raise ValueError(f"op {op!r} takes {expected} args, got {len(args)}")
+        for arg in args:
+            if not 0 <= arg < len(self.nodes):
+                raise ValueError(f"arg index {arg} out of range")
+        if op in ("shl", "shr") and not isinstance(param, int):
+            raise ValueError(f"op {op!r} needs an int shift param")
+        if op == "clip" and (
+            not isinstance(param, tuple) or len(param) != 2
+        ):
+            raise ValueError("clip needs a (lo, hi) param")
+        node = Node(
+            index=len(self.nodes), op=op, args=tuple(args), unit=unit, param=param
+        )
+        self.nodes.append(node)
+        return node.index
+
+    def set_output(self, node_index: int) -> None:
+        if not 0 <= node_index < len(self.nodes):
+            raise ValueError(f"output index {node_index} out of range")
+        self.output = node_index
+
+    # ------------------------------------------------------------------
+    # evaluation
+    # ------------------------------------------------------------------
+    def evaluate(
+        self, stimuli: Dict[str, np.ndarray], all_nodes: bool = False
+    ):
+        """Evaluate the graph on (vectorized) inputs.
+
+        Args:
+            stimuli: Mapping from input name to array-like values.
+            all_nodes: Return every node's value (list) instead of just
+                the output.
+        """
+        if self.output is None and not all_nodes:
+            raise ValueError("accelerator has no output; call set_output")
+        missing = [n for n in self.inputs if n not in stimuli]
+        if missing:
+            raise ValueError(f"missing stimuli: {missing}")
+        values: List[np.ndarray] = []
+        for node in self.nodes:
+            unit = node.unit or self.default_unit
+            if node.op == "input":
+                val = np.asarray(stimuli[node.name], dtype=np.int64)
+            elif node.op == "const":
+                val = np.asarray(node.param, dtype=np.int64)
+            elif node.op == "add":
+                val = unit.add(values[node.args[0]], values[node.args[1]])
+            elif node.op == "sub":
+                val = unit.sub(values[node.args[0]], values[node.args[1]])
+            elif node.op == "mul":
+                val = unit.multiply(values[node.args[0]], values[node.args[1]])
+            elif node.op == "abs":
+                val = np.abs(values[node.args[0]])
+            elif node.op == "neg":
+                val = -values[node.args[0]]
+            elif node.op == "shl":
+                val = values[node.args[0]] << node.param
+            elif node.op == "shr":
+                val = values[node.args[0]] >> node.param
+            elif node.op == "clip":
+                lo, hi = node.param
+                val = np.clip(values[node.args[0]], lo, hi)
+            else:  # pragma: no cover - guarded at construction
+                raise AssertionError(node.op)
+            values.append(np.asarray(val, dtype=np.int64))
+        if all_nodes:
+            return values
+        return values[self.output]
+
+    # ------------------------------------------------------------------
+    # roll-ups
+    # ------------------------------------------------------------------
+    def units(self) -> List[object]:
+        """Distinct arithmetic-unit instances bound to nodes."""
+        seen: List[object] = []
+        for node in self.nodes:
+            unit = node.unit
+            if unit is not None and all(unit is not u for u in seen):
+                seen.append(unit)
+        return seen
+
+    @property
+    def area_ge(self) -> float:
+        """Sum of per-node unit areas (each node is its own hardware)."""
+        total = 0.0
+        for node in self.nodes:
+            if node.op in ("add", "sub", "mul"):
+                unit = node.unit or self.default_unit
+                total += float(getattr(unit, "area_ge", 0.0))
+        return total
+
+    def n_arith_nodes(self) -> int:
+        return sum(1 for n in self.nodes if n.op in ("add", "sub", "mul"))
+
+    def __repr__(self) -> str:
+        return (
+            f"DataflowAccelerator({self.name!r}, {len(self.nodes)} nodes, "
+            f"{self.n_arith_nodes()} arithmetic)"
+        )

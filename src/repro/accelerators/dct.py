@@ -1,0 +1,143 @@
+"""Approximate 2-D DCT accelerator (lpACLib-style extension).
+
+lpACLib -- the open-source library this paper releases -- ships a DCT
+kernel as one of its approximate accelerators.  This module provides an
+8x8 integer DCT-II accelerator in the same spirit: the transform is two
+matrix passes of multiply-accumulate operations whose multiplies and
+adds run through approximate units from this library.
+
+The integer basis uses the AVC/HEVC-style scaled cosine matrix (6-bit
+precision, factor 64); exact configuration round-trips within the
+quantization error of the fixed-point basis.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Callable
+
+import numpy as np
+
+from ..adders.ripple import ApproximateRippleAdder
+from ..multipliers.recursive import RecursiveMultiplier
+
+__all__ = ["ApproximateDCT8x8", "integer_dct_matrix"]
+
+
+@lru_cache(maxsize=None)
+def integer_dct_matrix(size: int = 8, scale: int = 64) -> np.ndarray:
+    """Scaled integer DCT-II basis matrix ``C`` with ``C C^T ~ scale^2 I``."""
+    k = np.arange(size)
+    basis = np.cos(np.pi * (2 * k[None, :] + 1) * k[:, None] / (2 * size))
+    basis[0, :] *= 1.0 / np.sqrt(2.0)
+    basis *= np.sqrt(2.0 / size) * scale
+    return np.round(basis).astype(np.int64)
+
+
+class ApproximateDCT8x8:
+    """8x8 2-D integer DCT through approximate multipliers and adders.
+
+    The MAC datapath multiplies 9-bit signed samples with 7-bit signed
+    coefficients; sign handling is explicit (sign-magnitude) so the
+    unsigned approximate multiplier models apply directly, as in the
+    lpACLib kernels.
+
+    Args:
+        multiplier: Unsigned multiplier used for the magnitude product
+            (``None`` -> exact).
+        adder_fa: Full-adder cell for the accumulation adders' LSBs.
+        adder_approx_lsbs: Approximated LSBs in each accumulation adder.
+
+    Example:
+        >>> dct = ApproximateDCT8x8()
+        >>> block = np.arange(64).reshape(8, 8)
+        >>> out = dct.forward(block)
+        >>> out.shape
+        (8, 8)
+    """
+
+    SIZE = 8
+    SCALE = 64
+
+    def __init__(
+        self,
+        multiplier: RecursiveMultiplier | None = None,
+        adder_fa: str = "AccuFA",
+        adder_approx_lsbs: int = 0,
+    ) -> None:
+        self.matrix = integer_dct_matrix(self.SIZE, self.SCALE)
+        self.multiplier = multiplier
+        # Accumulator: products reach ~ 9 + 7 = 16 bits; 8-term sums add
+        # 3 bits of growth.
+        self.accumulator = ApproximateRippleAdder(
+            20, approx_fa=adder_fa, num_approx_lsbs=min(adder_approx_lsbs, 20)
+        )
+        self.adder_approx_lsbs = adder_approx_lsbs
+
+    @property
+    def name(self) -> str:
+        mul_name = self.multiplier.name if self.multiplier else "exact"
+        return f"DCT8x8[{mul_name},{self.accumulator.approx_fa.name}]"
+
+    # ------------------------------------------------------------------
+    # datapath helpers
+    # ------------------------------------------------------------------
+    def _signed_multiply(self, x: np.ndarray, c: np.ndarray) -> np.ndarray:
+        """Sign-magnitude product through the (unsigned) multiplier."""
+        if self.multiplier is None:
+            return x * c
+        sign = np.sign(x) * np.sign(c)
+        mag = self.multiplier.multiply(np.abs(x), np.abs(c))
+        return sign * mag
+
+    def _signed_accumulate(self, terms: np.ndarray) -> np.ndarray:
+        """Reduce the last axis through the approximate accumulator.
+
+        Signed values are handled in two's complement: operands are
+        wrapped into the accumulator's unsigned range, added modularly,
+        and the result is sign-extended -- exactly what the hardware
+        adder does.
+        """
+        width = self.accumulator.width
+        mask = (1 << width) - 1
+        total = np.asarray(terms[..., 0], dtype=np.int64)
+        for i in range(1, terms.shape[-1]):
+            raw = self.accumulator.add_modular(
+                total & mask, terms[..., i] & mask
+            )
+            total = raw - ((raw >> (width - 1)) << width)
+        return total
+
+    def _matmul(self, left: np.ndarray, right: np.ndarray) -> np.ndarray:
+        """``left @ right`` through the approximate MAC datapath."""
+        if self.multiplier is None and self.adder_approx_lsbs == 0:
+            return left @ right
+        rows, inner = left.shape
+        cols = right.shape[1]
+        products = self._signed_multiply(
+            left[:, None, :].repeat(cols, axis=1),
+            right.T[None, :, :].repeat(rows, axis=0),
+        )
+        return self._signed_accumulate(products)
+
+    # ------------------------------------------------------------------
+    # transforms
+    # ------------------------------------------------------------------
+    def forward(self, block: np.ndarray) -> np.ndarray:
+        """2-D DCT of an 8x8 block, rescaled back to sample range."""
+        block = np.asarray(block, dtype=np.int64)
+        if block.shape != (self.SIZE, self.SIZE):
+            raise ValueError(f"expected an 8x8 block, got {block.shape}")
+        stage1 = self._matmul(self.matrix, block)
+        stage1 = np.rint(stage1 / self.SCALE).astype(np.int64)
+        stage2 = self._matmul(stage1, self.matrix.T)
+        return np.rint(stage2 / self.SCALE).astype(np.int64)
+
+    def inverse(self, coeffs: np.ndarray) -> np.ndarray:
+        """Inverse 2-D DCT (always exact -- decoder side is precise)."""
+        coeffs = np.asarray(coeffs, dtype=np.float64)
+        basis = self.matrix.astype(np.float64) / self.SCALE
+        return np.rint(basis.T @ coeffs @ basis).astype(np.int64)
+
+    def __repr__(self) -> str:
+        return f"ApproximateDCT8x8({self.name})"

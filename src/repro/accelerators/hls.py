@@ -1,0 +1,361 @@
+"""Approximate high-level synthesis (paper Sec. 6).
+
+The paper notes that accelerators "can either be generated manually (as
+done in this paper) or using specialized high-level synthesis (HLS)
+techniques/tools for approximate computing, which is an interesting
+research problem".  This module provides a baseline solution: given a
+dataflow accelerator template and a *worst-case output-error budget*, it
+assigns an approximate adder to every add/sub node such that the
+guaranteed output error bound (from :mod:`repro.errors.interval`) meets
+the budget at minimum estimated area.
+
+Algorithm: marginal-benefit greedy.  Every node starts at the cheapest
+candidate; while the propagated output bound exceeds the budget, the
+node upgrade with the best bound-reduction per unit area is applied.
+Since the most accurate candidate is exact, the loop always terminates
+with a feasible (possibly all-exact) assignment.
+
+Nodes whose operand *value ranges* may be negative are pinned to exact
+units (the ripple-adder behavioural models take unsigned operands); the
+value ranges themselves are computed by interval analysis from declared
+input ranges.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Sequence, Tuple
+
+from ..adders.ripple import ApproximateRippleAdder
+from ..errors.interval import ErrorInterval, adder_error_interval
+from .dataflow import DataflowAccelerator
+
+__all__ = [
+    "AdderCandidate",
+    "default_adder_candidates",
+    "SynthesisResult",
+    "ApproximateSynthesizer",
+]
+
+
+@dataclass(frozen=True)
+class _ValueRange:
+    lo: int
+    hi: int
+
+    def __add__(self, other: "_ValueRange") -> "_ValueRange":
+        return _ValueRange(self.lo + other.lo, self.hi + other.hi)
+
+    def __sub__(self, other: "_ValueRange") -> "_ValueRange":
+        return _ValueRange(self.lo - other.hi, self.hi - other.lo)
+
+    def __neg__(self) -> "_ValueRange":
+        return _ValueRange(-self.hi, -self.lo)
+
+    def mul(self, other: "_ValueRange") -> "_ValueRange":
+        corners = [
+            self.lo * other.lo, self.lo * other.hi,
+            self.hi * other.lo, self.hi * other.hi,
+        ]
+        return _ValueRange(min(corners), max(corners))
+
+    def abs(self) -> "_ValueRange":
+        if self.lo >= 0:
+            return self
+        if self.hi <= 0:
+            return _ValueRange(-self.hi, -self.lo)
+        return _ValueRange(0, max(-self.lo, self.hi))
+
+    def shl(self, k: int) -> "_ValueRange":
+        return _ValueRange(self.lo << k, self.hi << k)
+
+    def shr(self, k: int) -> "_ValueRange":
+        return _ValueRange(self.lo >> k, self.hi >> k)
+
+    def clip(self, lo: int, hi: int) -> "_ValueRange":
+        return _ValueRange(
+            min(max(self.lo, lo), hi), min(max(self.hi, lo), hi)
+        )
+
+    @property
+    def non_negative(self) -> bool:
+        return self.lo >= 0
+
+    def required_bits(self) -> int:
+        """Unsigned bits needed to hold any value in the range."""
+        return max(int(self.hi).bit_length(), int(abs(self.lo)).bit_length(), 1)
+
+
+@dataclass(frozen=True)
+class AdderCandidate:
+    """One rung of the accuracy/cost ladder available to the synthesizer.
+
+    Attributes:
+        name: Label (e.g. ``"ApxFA5x4"`` or ``"exact"``).
+        approx_fa: Table III cell for the approximated LSBs
+            (ignored when ``approx_lsbs`` is 0).
+        approx_lsbs: Number of approximated LSBs (0 = exact).
+    """
+
+    name: str
+    approx_fa: str
+    approx_lsbs: int
+
+    def build(self, width: int) -> ApproximateRippleAdder:
+        return ApproximateRippleAdder(
+            width,
+            approx_fa=self.approx_fa,
+            num_approx_lsbs=min(self.approx_lsbs, width),
+        )
+
+    def area_ge(self, width: int) -> float:
+        return self.build(width).area_ge
+
+    def error_interval(self, width: int) -> ErrorInterval:
+        return adder_error_interval(self.build(width))
+
+
+def default_adder_candidates() -> List[AdderCandidate]:
+    """Cheapest-first accuracy ladder used when none is supplied."""
+    return [
+        AdderCandidate("ApxFA5x6", "ApxFA5", 6),
+        AdderCandidate("ApxFA5x4", "ApxFA5", 4),
+        AdderCandidate("ApxFA1x4", "ApxFA1", 4),
+        AdderCandidate("ApxFA1x2", "ApxFA1", 2),
+        AdderCandidate("exact", "AccuFA", 0),
+    ]
+
+
+@dataclass
+class SynthesisResult:
+    """Outcome of an approximate-HLS run.
+
+    Attributes:
+        accelerator: The template with units assigned (ready to run).
+        assignment: node index -> candidate name.
+        error_bound: Guaranteed worst-case |output error|.
+        area_ge: Total assigned-unit area.
+        budget: The requested bound.
+    """
+
+    accelerator: DataflowAccelerator
+    assignment: Dict[int, str]
+    error_bound: int
+    area_ge: float
+    budget: int
+
+
+class ApproximateSynthesizer:
+    """Assigns approximate adders to a dataflow template under a budget.
+
+    Example:
+        >>> acc = DataflowAccelerator("sum4")
+        >>> xs = [acc.add_input(f"x{i}") for i in range(4)]
+        >>> s1 = acc.add_node("add", [xs[0], xs[1]])
+        >>> s2 = acc.add_node("add", [xs[2], xs[3]])
+        >>> acc.set_output(acc.add_node("add", [s1, s2]))
+        >>> synth = ApproximateSynthesizer()
+        >>> result = synth.synthesize(acc, {f"x{i}": (0, 255) for i in range(4)},
+        ...                           error_budget=0)
+        >>> result.error_bound
+        0
+    """
+
+    def __init__(
+        self, candidates: Sequence[AdderCandidate] | None = None
+    ) -> None:
+        self.candidates = list(
+            default_adder_candidates() if candidates is None else candidates
+        )
+        if not self.candidates:
+            raise ValueError("need at least one candidate")
+        exact = [c for c in self.candidates if c.approx_lsbs == 0]
+        if not exact:
+            raise ValueError(
+                "the candidate ladder must include an exact adder "
+                "(approx_lsbs=0) so every budget is feasible"
+            )
+
+    # ------------------------------------------------------------------
+    # analysis
+    # ------------------------------------------------------------------
+    def _value_ranges(
+        self,
+        accelerator: DataflowAccelerator,
+        input_ranges: Dict[str, Tuple[int, int]],
+    ) -> List[_ValueRange]:
+        ranges: List[_ValueRange] = []
+        for node in accelerator.nodes:
+            if node.op == "input":
+                if node.name not in input_ranges:
+                    raise ValueError(f"missing range for input {node.name!r}")
+                lo, hi = input_ranges[node.name]
+                ranges.append(_ValueRange(int(lo), int(hi)))
+            elif node.op == "const":
+                ranges.append(_ValueRange(int(node.param), int(node.param)))
+            elif node.op == "add":
+                ranges.append(ranges[node.args[0]] + ranges[node.args[1]])
+            elif node.op == "sub":
+                ranges.append(ranges[node.args[0]] - ranges[node.args[1]])
+            elif node.op == "mul":
+                ranges.append(ranges[node.args[0]].mul(ranges[node.args[1]]))
+            elif node.op == "abs":
+                ranges.append(ranges[node.args[0]].abs())
+            elif node.op == "neg":
+                ranges.append(-ranges[node.args[0]])
+            elif node.op == "shl":
+                ranges.append(ranges[node.args[0]].shl(node.param))
+            elif node.op == "shr":
+                ranges.append(ranges[node.args[0]].shr(node.param))
+            elif node.op == "clip":
+                ranges.append(ranges[node.args[0]].clip(*node.param))
+            else:  # pragma: no cover
+                raise AssertionError(node.op)
+        return ranges
+
+    def _propagate_errors(
+        self,
+        accelerator: DataflowAccelerator,
+        unit_intervals: Dict[int, ErrorInterval],
+    ) -> ErrorInterval:
+        errors: List[ErrorInterval] = []
+        for node in accelerator.nodes:
+            if node.op in ("input", "const"):
+                errors.append(ErrorInterval.exact())
+            elif node.op == "add":
+                combined = errors[node.args[0]] + errors[node.args[1]]
+                errors.append(
+                    combined + unit_intervals.get(node.index,
+                                                  ErrorInterval.exact())
+                )
+            elif node.op == "sub":
+                combined = errors[node.args[0]] - errors[node.args[1]]
+                errors.append(
+                    combined + unit_intervals.get(node.index,
+                                                  ErrorInterval.exact())
+                )
+            elif node.op == "mul":
+                # Exact multiplier over erroneous operands needs value
+                # ranges; handled conservatively by the caller pinning
+                # mul operands exact.  Here operand errors must be zero.
+                ea, eb = errors[node.args[0]], errors[node.args[1]]
+                if (ea.lo, ea.hi, eb.lo, eb.hi) != (0, 0, 0, 0):
+                    raise ValueError(
+                        "mul over approximate operands is not supported; "
+                        "pin upstream nodes exact"
+                    )
+                errors.append(ErrorInterval.exact())
+            elif node.op == "abs":
+                errors.append(errors[node.args[0]].through_abs())
+            elif node.op == "neg":
+                errors.append(-errors[node.args[0]])
+            elif node.op == "shl":
+                errors.append(errors[node.args[0]].scale(1 << node.param))
+            elif node.op == "shr":
+                src = errors[node.args[0]]
+                errors.append(
+                    ErrorInterval(
+                        src.lo >> node.param,
+                        -((-src.hi) >> node.param),
+                    )
+                )
+            elif node.op == "clip":
+                src = errors[node.args[0]]
+                errors.append(ErrorInterval(min(src.lo, 0), max(src.hi, 0)))
+            else:  # pragma: no cover
+                raise AssertionError(node.op)
+        return errors[accelerator.output]
+
+    # ------------------------------------------------------------------
+    # synthesis
+    # ------------------------------------------------------------------
+    def synthesize(
+        self,
+        accelerator: DataflowAccelerator,
+        input_ranges: Dict[str, Tuple[int, int]],
+        error_budget: int,
+    ) -> SynthesisResult:
+        """Assign units so the worst-case output error meets the budget.
+
+        Args:
+            accelerator: Template graph (its add/sub nodes get units
+                assigned in place).
+            input_ranges: Declared ``(lo, hi)`` range per input.
+            error_budget: Maximum tolerated ``|output error|`` (>= 0).
+
+        Returns:
+            A :class:`SynthesisResult`; ``result.accelerator`` is the
+            same object, now executable with the chosen units.
+        """
+        if error_budget < 0:
+            raise ValueError(f"error_budget must be >= 0, got {error_budget}")
+        if accelerator.output is None:
+            raise ValueError("template needs an output; call set_output")
+        ranges = self._value_ranges(accelerator, input_ranges)
+        exact_level = max(
+            i for i, c in enumerate(self.candidates) if c.approx_lsbs == 0
+        )
+
+        assignable: List[int] = []
+        widths: Dict[int, int] = {}
+        for node in accelerator.nodes:
+            if node.op not in ("add", "sub"):
+                continue
+            operand_ranges = [ranges[a] for a in node.args]
+            widths[node.index] = max(
+                r.required_bits() for r in operand_ranges + [ranges[node.index]]
+            )
+            if all(r.non_negative for r in operand_ranges) or node.op == "sub":
+                assignable.append(node.index)
+
+        # Nodes with possibly-negative add operands stay exact (None
+        # unit = exact default); sub handles signs via two's complement.
+        levels: Dict[int, int] = {idx: 0 for idx in assignable}
+
+        def bound_for(current: Dict[int, int]) -> int:
+            intervals = {
+                idx: self.candidates[level].error_interval(widths[idx])
+                for idx, level in current.items()
+            }
+            return self._propagate_errors(accelerator, intervals).max_abs
+
+        bound = bound_for(levels)
+        while bound > error_budget:
+            best_choice = None
+            best_score = None
+            for idx in assignable:
+                if levels[idx] >= exact_level:
+                    continue
+                trial = dict(levels)
+                trial[idx] = levels[idx] + 1
+                new_bound = bound_for(trial)
+                area_delta = self.candidates[trial[idx]].area_ge(
+                    widths[idx]
+                ) - self.candidates[levels[idx]].area_ge(widths[idx])
+                score = (
+                    (bound - new_bound) / max(area_delta, 1e-9),
+                    -(idx),
+                )
+                if best_score is None or score > best_score:
+                    best_score = score
+                    best_choice = (idx, new_bound)
+            if best_choice is None:
+                break  # everything exact; bound is as low as it gets
+            levels[best_choice[0]] += 1
+            bound = bound_for(levels)
+
+        assignment: Dict[int, str] = {}
+        area = 0.0
+        for idx, level in levels.items():
+            candidate = self.candidates[level]
+            unit = candidate.build(widths[idx])
+            accelerator.nodes[idx].unit = unit
+            assignment[idx] = candidate.name
+            area += unit.area_ge
+        return SynthesisResult(
+            accelerator=accelerator,
+            assignment=assignment,
+            error_bound=bound,
+            area_ge=area,
+            budget=error_budget,
+        )

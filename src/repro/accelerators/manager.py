@@ -1,0 +1,208 @@
+"""Approximation management unit (paper Sec. 6).
+
+In a multi-accelerator approximate computing architecture, "an
+appropriate set of accelerators and their appropriate approximation
+modes are selected by the approximation management unit, such that the
+performance and quality constraints of those applications are met and
+the overall power is minimized".  This module implements that unit:
+
+* accelerators advertise discrete *modes*, each with a quality score and
+  a power cost (from characterization);
+* applications request an accelerator kind and a minimum quality;
+* :meth:`ApproximationManager.select_modes` assigns one mode per
+  application, minimizing total power subject to every quality
+  constraint (exact search over the mode product space when small,
+  per-application greedy otherwise -- the per-application choice is
+  actually independent, so greedy is optimal here and the exact path
+  exists for validation);
+* :meth:`ApproximationManager.adapt` implements run-time approximation
+  control: measured quality below target tightens the mode, comfortable
+  headroom relaxes it (with hysteresis), the data-driven control loop
+  motivated in Sec. 6.2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+__all__ = [
+    "AcceleratorMode",
+    "AcceleratorProfile",
+    "ApplicationRequest",
+    "ModeAssignment",
+    "ApproximationManager",
+]
+
+
+@dataclass(frozen=True)
+class AcceleratorMode:
+    """One operating point of an accelerator.
+
+    Attributes:
+        name: Mode label (e.g. ``"ApxSAD2/4"``).
+        quality: Quality score in [0, 1] (1 = exact).
+        power_nw: Average power in this mode.
+    """
+
+    name: str
+    quality: float
+    power_nw: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.quality <= 1.0:
+            raise ValueError(f"quality must be in [0, 1], got {self.quality}")
+        if self.power_nw < 0:
+            raise ValueError(f"power must be >= 0, got {self.power_nw}")
+
+
+@dataclass(frozen=True)
+class AcceleratorProfile:
+    """An accelerator kind with its available modes."""
+
+    kind: str
+    modes: Tuple[AcceleratorMode, ...]
+
+    def __post_init__(self) -> None:
+        if not self.modes:
+            raise ValueError(f"accelerator {self.kind!r} needs >= 1 mode")
+
+    def feasible_modes(self, min_quality: float) -> List[AcceleratorMode]:
+        return [m for m in self.modes if m.quality >= min_quality]
+
+    def cheapest_mode(self, min_quality: float) -> AcceleratorMode:
+        """Lowest-power mode meeting the quality bound."""
+        feasible = self.feasible_modes(min_quality)
+        if not feasible:
+            raise ValueError(
+                f"accelerator {self.kind!r} has no mode with quality >= "
+                f"{min_quality}"
+            )
+        return min(feasible, key=lambda m: (m.power_nw, -m.quality))
+
+
+@dataclass(frozen=True)
+class ApplicationRequest:
+    """A running application's accelerator demand."""
+
+    app: str
+    kind: str
+    min_quality: float
+
+
+@dataclass(frozen=True)
+class ModeAssignment:
+    """Result of a management decision."""
+
+    assignments: Dict[str, AcceleratorMode]
+    total_power_nw: float
+
+
+class ApproximationManager:
+    """Selects and adapts approximation modes for running applications.
+
+    Example:
+        >>> sad = AcceleratorProfile("sad", (
+        ...     AcceleratorMode("exact", 1.0, 100.0),
+        ...     AcceleratorMode("apx4", 0.95, 60.0),
+        ...     AcceleratorMode("apx6", 0.80, 40.0),
+        ... ))
+        >>> mgr = ApproximationManager([sad])
+        >>> result = mgr.select_modes(
+        ...     [ApplicationRequest("encoder", "sad", 0.9)])
+        >>> result.assignments["encoder"].name
+        'apx4'
+    """
+
+    #: Quality slack required before relaxing to a cheaper mode.
+    hysteresis = 0.02
+
+    def __init__(self, profiles: List[AcceleratorProfile]) -> None:
+        self.profiles: Dict[str, AcceleratorProfile] = {}
+        for profile in profiles:
+            if profile.kind in self.profiles:
+                raise ValueError(f"duplicate accelerator kind {profile.kind!r}")
+            self.profiles[profile.kind] = profile
+        self._current: Dict[str, AcceleratorMode] = {}
+
+    def select_modes(
+        self, requests: List[ApplicationRequest]
+    ) -> ModeAssignment:
+        """Minimum-power mode per application meeting its quality bound."""
+        assignments: Dict[str, AcceleratorMode] = {}
+        total = 0.0
+        for request in requests:
+            if request.kind not in self.profiles:
+                raise KeyError(f"unknown accelerator kind {request.kind!r}")
+            mode = self.profiles[request.kind].cheapest_mode(request.min_quality)
+            assignments[request.app] = mode
+            total += mode.power_nw
+        self._current = dict(assignments)
+        return ModeAssignment(assignments=assignments, total_power_nw=total)
+
+    def select_modes_exhaustive(
+        self, requests: List[ApplicationRequest]
+    ) -> ModeAssignment:
+        """Exact search over the full mode product space (validation).
+
+        Per-application choices are independent, so this must agree with
+        :meth:`select_modes`; it exists to validate that optimality and
+        to support future coupled constraints (e.g. shared power budget).
+        """
+        from itertools import product as iproduct
+
+        options: List[List[AcceleratorMode]] = []
+        for request in requests:
+            feasible = self.profiles[request.kind].feasible_modes(
+                request.min_quality
+            )
+            if not feasible:
+                raise ValueError(
+                    f"no feasible mode for {request.app!r}"
+                )
+            options.append(feasible)
+        best: Optional[Tuple[float, Tuple[AcceleratorMode, ...]]] = None
+        for combo in iproduct(*options):
+            power = sum(m.power_nw for m in combo)
+            if best is None or power < best[0]:
+                best = (power, combo)
+        assert best is not None
+        assignments = {
+            req.app: mode for req, mode in zip(requests, best[1])
+        }
+        return ModeAssignment(assignments=assignments, total_power_nw=best[0])
+
+    def adapt(
+        self, app: str, request: ApplicationRequest, measured_quality: float
+    ) -> AcceleratorMode:
+        """Run-time adaptation from measured output quality.
+
+        If the measured quality violates the application's bound, switch
+        to the next-higher-quality mode; if it exceeds the bound by more
+        than the hysteresis margin, relax to the cheapest feasible mode.
+
+        Args:
+            app: Application name (must have a current assignment).
+            request: The application's standing request.
+            measured_quality: Observed quality of recent outputs.
+
+        Returns:
+            The (possibly updated) active mode.
+        """
+        if app not in self._current:
+            raise KeyError(f"no current assignment for {app!r}")
+        profile = self.profiles[request.kind]
+        current = self._current[app]
+        ordered = sorted(profile.modes, key=lambda m: m.quality)
+        if measured_quality < request.min_quality:
+            better = [m for m in ordered if m.quality > current.quality]
+            if better:
+                current = better[0]
+        elif measured_quality > request.min_quality + self.hysteresis:
+            current = profile.cheapest_mode(request.min_quality)
+        self._current[app] = current
+        return current
+
+    @property
+    def current_assignments(self) -> Dict[str, AcceleratorMode]:
+        return dict(self._current)

@@ -1,0 +1,252 @@
+"""Approximate neural-network inference (the paper's RMS workload class).
+
+The paper's introduction leads with "deep learning networks ...
+recognition and machine learning" as the application class whose
+inherent resilience approximate computing exploits, and Table I lists
+machine-learning kernels at both the software and architectural layers.
+This module provides the matching application substrate:
+
+* :func:`make_classification_data` -- deterministic synthetic
+  classification datasets (Gaussian clusters);
+* :class:`MLPClassifier` -- a small NumPy MLP trained exactly (plain
+  gradient descent, no external framework);
+* :class:`QuantizedMLP` -- the inference engine: int8 weights / uint8
+  activations, whose multiply-accumulate operations run through
+  *pluggable approximate units* (a signed Booth multiplier and an
+  approximate accumulator), so classification accuracy can be traded
+  against arithmetic energy exactly as the paper's resilience argument
+  predicts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..adders.ripple import ApproximateRippleAdder
+from ..multipliers.booth import BoothMultiplier
+
+__all__ = ["make_classification_data", "MLPClassifier", "QuantizedMLP"]
+
+
+def make_classification_data(
+    n_samples: int = 600,
+    n_classes: int = 3,
+    n_features: int = 4,
+    seed: int = 0,
+    spread: float = 1.3,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Deterministic Gaussian-cluster classification data.
+
+    Returns:
+        ``(X, y)``: features scaled to [0, 1] and integer class labels.
+    """
+    rng = np.random.default_rng(seed)
+    centers = rng.uniform(-4.0, 4.0, size=(n_classes, n_features))
+    per_class = n_samples // n_classes
+    xs, ys = [], []
+    for label, center in enumerate(centers):
+        xs.append(rng.normal(center, spread, size=(per_class, n_features)))
+        ys.append(np.full(per_class, label))
+    features = np.concatenate(xs)
+    labels = np.concatenate(ys)
+    order = rng.permutation(len(labels))
+    features, labels = features[order], labels[order]
+    lo, hi = features.min(axis=0), features.max(axis=0)
+    features = (features - lo) / np.maximum(hi - lo, 1e-9)
+    return features, labels.astype(np.int64)
+
+
+class MLPClassifier:
+    """One-hidden-layer MLP trained with plain NumPy gradient descent.
+
+    Example:
+        >>> X, y = make_classification_data(n_samples=300, seed=1)
+        >>> mlp = MLPClassifier.train(X, y, hidden=8, epochs=200, seed=1)
+        >>> mlp.accuracy(X, y) > 0.8
+        True
+    """
+
+    def __init__(self, w1: np.ndarray, b1: np.ndarray,
+                 w2: np.ndarray, b2: np.ndarray) -> None:
+        self.w1, self.b1, self.w2, self.b2 = w1, b1, w2, b2
+
+    @classmethod
+    def train(
+        cls,
+        features: np.ndarray,
+        labels: np.ndarray,
+        hidden: int = 8,
+        epochs: int = 300,
+        learning_rate: float = 0.5,
+        seed: int = 0,
+    ) -> "MLPClassifier":
+        """Train with full-batch gradient descent (softmax cross-entropy)."""
+        rng = np.random.default_rng(seed)
+        n_features = features.shape[1]
+        n_classes = int(labels.max()) + 1
+        w1 = rng.normal(0, 0.5, size=(n_features, hidden))
+        b1 = np.zeros(hidden)
+        w2 = rng.normal(0, 0.5, size=(hidden, n_classes))
+        b2 = np.zeros(n_classes)
+        onehot = np.eye(n_classes)[labels]
+        for _ in range(epochs):
+            hidden_act = np.maximum(features @ w1 + b1, 0.0)
+            logits = hidden_act @ w2 + b2
+            logits -= logits.max(axis=1, keepdims=True)
+            probs = np.exp(logits)
+            probs /= probs.sum(axis=1, keepdims=True)
+            grad_logits = (probs - onehot) / len(labels)
+            grad_w2 = hidden_act.T @ grad_logits
+            grad_b2 = grad_logits.sum(axis=0)
+            grad_hidden = grad_logits @ w2.T * (hidden_act > 0)
+            grad_w1 = features.T @ grad_hidden
+            grad_b1 = grad_hidden.sum(axis=0)
+            w1 -= learning_rate * grad_w1
+            b1 -= learning_rate * grad_b1
+            w2 -= learning_rate * grad_w2
+            b2 -= learning_rate * grad_b2
+        return cls(w1, b1, w2, b2)
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        """Float-precision class predictions."""
+        hidden_act = np.maximum(features @ self.w1 + self.b1, 0.0)
+        return np.argmax(hidden_act @ self.w2 + self.b2, axis=1)
+
+    def accuracy(self, features: np.ndarray, labels: np.ndarray) -> float:
+        """Float-precision classification accuracy."""
+        return float(np.mean(self.predict(features) == labels))
+
+    def quantize(
+        self, calibration_features: np.ndarray, activation_bits: int = 8
+    ) -> "QuantizedMLP":
+        """Fixed-point version of this network (int8 weights).
+
+        Args:
+            calibration_features: Representative inputs used to fix the
+                hidden-activation scale (post-training calibration).
+            activation_bits: Activation width (8 -> uint8).
+        """
+        return QuantizedMLP(
+            self, calibration_features, activation_bits=activation_bits
+        )
+
+
+class QuantizedMLP:
+    """Fixed-point MLP inference through approximate arithmetic units.
+
+    Weights quantize to int8 symmetric; activations to uint8.  Each MAC
+    computes ``w * x`` through the (signed) ``multiplier`` and
+    accumulates through the ``accumulator`` adder; ``None`` selects
+    exact arithmetic, so the quantization loss and the approximation
+    loss are separable.
+    """
+
+    WEIGHT_BITS = 8
+
+    def __init__(
+        self,
+        mlp: MLPClassifier,
+        calibration_features: np.ndarray,
+        activation_bits: int = 8,
+    ) -> None:
+        self.activation_bits = activation_bits
+        self.act_scale = (1 << activation_bits) - 1
+
+        def quant_weights(w: np.ndarray) -> Tuple[np.ndarray, float]:
+            scale = float(np.abs(w).max()) or 1.0
+            q = np.rint(w / scale * 127).astype(np.int64)
+            return q, scale
+
+        self.w1, self.w1_scale = quant_weights(mlp.w1)
+        self.w2, self.w2_scale = quant_weights(mlp.w2)
+        # Calibrate the hidden-activation range on representative data so
+        # the layer-2 bias scale is static (content-independent).
+        calibration = np.asarray(calibration_features, dtype=np.float64)
+        hidden_float = np.maximum(calibration @ mlp.w1 + mlp.b1, 0.0)
+        self.hidden_max = float(hidden_float.max()) or 1.0
+        # Layer-1 accumulator scale relative to float pre-activations.
+        gamma1 = self.act_scale * 127.0 / self.w1_scale
+        self.b1 = np.rint(mlp.b1 * gamma1).astype(np.int64)
+        # Hidden rescale divisor: fixed -> uint8 covering [0, hidden_max].
+        self.hidden_divisor = max(
+            int(round(self.hidden_max * gamma1 / self.act_scale)), 1
+        )
+        # Layer-2 bias at the (rescaled-hidden x int8-weight) scale.
+        gamma2 = (self.act_scale / self.hidden_max) * 127.0 / self.w2_scale
+        self.b2 = np.rint(mlp.b2 * gamma2).astype(np.int64)
+
+    # ------------------------------------------------------------------
+    # fixed-point datapath
+    # ------------------------------------------------------------------
+    def _mac_layer(
+        self,
+        activations: np.ndarray,
+        weights: np.ndarray,
+        bias: np.ndarray,
+        multiplier: Optional[BoothMultiplier],
+        accumulator: Optional[ApproximateRippleAdder],
+    ) -> np.ndarray:
+        """``activations @ weights + bias`` through approximate units."""
+        n_samples, n_in = activations.shape
+        n_out = weights.shape[1]
+        if multiplier is None and accumulator is None:
+            return activations @ weights + bias
+        # Products: broadcast every (sample, in, out) triple.
+        acts = activations[:, :, None]
+        wts = weights[None, :, :]
+        if multiplier is None:
+            products = acts * wts
+        else:
+            products = multiplier.multiply(
+                np.broadcast_to(wts, (n_samples, n_in, n_out)),
+                np.broadcast_to(acts, (n_samples, n_in, n_out)),
+            )
+        if accumulator is None:
+            return products.sum(axis=1) + bias
+        width = accumulator.width
+        mask = (1 << width) - 1
+        total = np.broadcast_to(bias, (n_samples, n_out)).astype(np.int64)
+        for k in range(n_in):
+            raw = accumulator.add_modular(
+                total & mask, products[:, k, :] & mask
+            )
+            total = raw - ((raw >> (width - 1)) << width)
+        return total
+
+    def predict(
+        self,
+        features: np.ndarray,
+        multiplier: Optional[BoothMultiplier] = None,
+        accumulator: Optional[ApproximateRippleAdder] = None,
+    ) -> np.ndarray:
+        """Class predictions through the fixed-point datapath.
+
+        Args:
+            features: Float features in [0, 1].
+            multiplier: Signed multiplier for every MAC (``None`` exact).
+            accumulator: Accumulation adder (``None`` exact); must be
+                wide enough for the layer sums (>= 24 bits recommended).
+        """
+        acts = np.rint(
+            np.clip(features, 0.0, 1.0) * self.act_scale
+        ).astype(np.int64)
+        hidden = self._mac_layer(acts, self.w1, self.b1, multiplier, accumulator)
+        hidden = np.maximum(hidden, 0)
+        # Static calibrated rescale to uint8 (saturating).
+        hidden = np.clip(hidden // self.hidden_divisor, 0, self.act_scale)
+        logits = self._mac_layer(hidden, self.w2, self.b2, multiplier, accumulator)
+        return np.argmax(logits, axis=1)
+
+    def accuracy(
+        self,
+        features: np.ndarray,
+        labels: np.ndarray,
+        multiplier: Optional[BoothMultiplier] = None,
+        accumulator: Optional[ApproximateRippleAdder] = None,
+    ) -> float:
+        """Classification accuracy of the (approximate) fixed-point path."""
+        predictions = self.predict(features, multiplier, accumulator)
+        return float(np.mean(predictions == labels))

@@ -1,0 +1,173 @@
+"""Characterization of multi-bit adders: area, delay, and quality.
+
+Implements the "characterization" step of the paper's methodology flow
+(Fig. 7): every adder in the library is swept (exhaustively when
+feasible, by sampling otherwise) and reduced to the metric bundle used
+for design-space exploration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List
+
+import numpy as np
+
+from ..errors.metrics import ErrorMetrics, compute_error_metrics
+from .fulladder import FULL_ADDER_NAMES, FULL_ADDERS
+from .gear import GeArAdder, GeArConfig
+from .ripple import ApproximateRippleAdder
+
+__all__ = [
+    "AdderCharacterization",
+    "characterize_adder",
+    "characterize_ripple_family",
+    "characterize_gear",
+    "adder_energy_per_op_fj",
+]
+
+#: Above this operand width, exhaustive pair enumeration is replaced by
+#: uniform sampling.
+_EXHAUSTIVE_WIDTH_LIMIT = 11
+
+
+@dataclass(frozen=True)
+class AdderCharacterization:
+    """Characterization record of one adder instance.
+
+    Attributes:
+        name: Component name.
+        width: Operand width in bits.
+        area_ge: ASIC area estimate in gate equivalents.
+        delay_ps: Critical-path delay estimate.
+        metrics: Quality metrics versus exact addition.
+        lut_count: FPGA LUT estimate (GeAr only; 0 otherwise).
+    """
+
+    name: str
+    width: int
+    area_ge: float
+    delay_ps: float
+    metrics: ErrorMetrics
+    lut_count: int = 0
+
+    def as_row(self) -> Dict[str, float]:
+        """Flatten into a report row."""
+        row = {
+            "name": self.name,
+            "width": self.width,
+            "area_ge": round(self.area_ge, 2),
+            "delay_ps": round(self.delay_ps, 1),
+            "lut_count": self.lut_count,
+        }
+        row.update(
+            {k: round(v, 6) for k, v in self.metrics.as_dict().items()}
+        )
+        return row
+
+
+def _operand_sweep(
+    width: int, n_samples: int, seed: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """Exhaustive operand pairs when small, uniform samples otherwise."""
+    if width <= _EXHAUSTIVE_WIDTH_LIMIT:
+        values = np.arange(1 << width, dtype=np.int64)
+        a = np.repeat(values, 1 << width)
+        b = np.tile(values, 1 << width)
+        return a, b
+    rng = np.random.default_rng(seed)
+    hi = 1 << width
+    return (
+        rng.integers(0, hi, size=n_samples, dtype=np.int64),
+        rng.integers(0, hi, size=n_samples, dtype=np.int64),
+    )
+
+
+def characterize_adder(
+    adder,
+    name: str | None = None,
+    n_samples: int = 100_000,
+    seed: int = 0,
+) -> AdderCharacterization:
+    """Characterize any adder exposing ``add``/``width``/``area_ge``.
+
+    Args:
+        adder: Adder instance (:class:`ApproximateRippleAdder`,
+            :class:`GeArAdder`, or anything with the same protocol).
+        name: Override for the record name.
+        n_samples: Sample count when the width is too large to sweep
+            exhaustively.
+        seed: RNG seed for sampled sweeps.
+    """
+    width = adder.width
+    a, b = _operand_sweep(width, n_samples, seed)
+    approx = adder.add(a, b)
+    exact = a + b
+    metrics = compute_error_metrics(approx, exact, max_output=float(2 ** (width + 1)))
+    return AdderCharacterization(
+        name=name or adder.name,
+        width=width,
+        area_ge=float(getattr(adder, "area_ge", 0.0)),
+        delay_ps=float(getattr(adder, "delay_ps", 0.0)),
+        metrics=metrics,
+        lut_count=int(getattr(adder, "lut_count", 0)),
+    )
+
+
+def characterize_ripple_family(
+    width: int,
+    approx_lsb_counts: Iterable[int] = (0, 2, 4, 6),
+    fa_names: Iterable[str] | None = None,
+    n_samples: int = 100_000,
+    seed: int = 0,
+) -> List[AdderCharacterization]:
+    """Characterize ripple adders over all (cell, #approx LSBs) choices.
+
+    This reproduces the library-characterization sweep behind the
+    paper's Sec. 6 case study (each ApxFA variant at 2/4/6 approximated
+    LSBs).
+    """
+    records = []
+    names = list(fa_names) if fa_names is not None else [
+        n for n in FULL_ADDER_NAMES if n != "AccuFA"
+    ]
+    for fa_name in names:
+        for k in approx_lsb_counts:
+            adder = ApproximateRippleAdder(
+                width, approx_fa=fa_name, num_approx_lsbs=k
+            )
+            records.append(
+                characterize_adder(adder, n_samples=n_samples, seed=seed)
+            )
+    return records
+
+
+def characterize_gear(
+    config: GeArConfig, n_samples: int = 100_000, seed: int = 0
+) -> AdderCharacterization:
+    """Characterize one GeAr configuration by simulation."""
+    return characterize_adder(GeArAdder(config), n_samples=n_samples, seed=seed)
+
+
+def adder_energy_per_op_fj(adder) -> float:
+    """Estimated switching energy per addition, from per-cell energies.
+
+    For ripple adders this sums the synthesized per-bit cell energy
+    scaled by a nominal 0.4 toggle activity per output; for GeAr the
+    accurate cell model is applied to every sub-adder bit.  Used by the
+    accelerator power roll-ups.
+    """
+    activity = 0.4
+    if isinstance(adder, ApproximateRippleAdder):
+        total = 0.0
+        for bit in range(adder.width):
+            nl = adder.cell_at(bit).netlist()
+            total += sum(
+                g.cell.energy_per_toggle_fj for g in nl.gates
+            ) * activity
+        return total
+    if isinstance(adder, GeArAdder):
+        nl = FULL_ADDERS["AccuFA"].netlist()
+        per_bit = sum(g.cell.energy_per_toggle_fj for g in nl.gates) * activity
+        return per_bit * adder.config.k * adder.config.l
+    raise TypeError(f"cannot estimate energy for {type(adder).__name__}")

@@ -1,0 +1,156 @@
+"""Accuracy-configurable adder with runtime modes (paper Sec. 4.2 / 6).
+
+"In case of adaptive systems, where an accelerator is required to
+operate sometimes in approximate mode and sometimes in accurate mode, or
+need to adaptively change the level of approximation, usage of
+configurable adder/multiplier blocks is required.  A configuration word
+can then set the control bits of different approximate logic blocks."
+
+:class:`ConfigurableGeArAdder` realizes that for GeAr: the configuration
+word selects how many error-correction iterations the (optional)
+detection/recovery circuitry of Fig. 3 runs per addition.  Mode 0 is the
+raw approximate adder (1 cycle); mode ``m`` runs up to ``m`` correction
+iterations (each costing a cycle and correction energy); mode ``k-1``
+is exact.  :meth:`characterize_modes` produces the per-mode
+(quality, latency, energy) records the approximation manager consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+from .gear import GeArAdder, GeArConfig
+
+__all__ = ["ModeCharacterization", "ConfigurableGeArAdder"]
+
+
+@dataclass(frozen=True)
+class ModeCharacterization:
+    """Measured behaviour of one accuracy mode.
+
+    Attributes:
+        mode: Maximum correction iterations allowed (0 = raw).
+        error_rate: Fraction of additions still erroneous in this mode.
+        mean_error_distance: Mean |error| in this mode.
+        mean_cycles: Average cycles per addition (1 + actual iterations).
+        relative_energy: Energy per addition relative to mode 0
+            (each correction iteration re-fires the affected sub-adder).
+    """
+
+    mode: int
+    error_rate: float
+    mean_error_distance: float
+    mean_cycles: float
+    relative_energy: float
+
+
+class ConfigurableGeArAdder:
+    """GeAr adder with a runtime accuracy-mode configuration word.
+
+    Example:
+        >>> adder = ConfigurableGeArAdder(GeArConfig(n=12, r=4, p=4))
+        >>> adder.set_mode(0)
+        >>> int(adder.add(0x0FF, 0x001))    # raw approximate
+        0
+        >>> adder.set_mode(adder.n_modes - 1)
+        >>> int(adder.add(0x0FF, 0x001))    # fully corrected
+        256
+    """
+
+    def __init__(self, config: GeArConfig) -> None:
+        self._adder = GeArAdder(config)
+        self._mode = 0
+
+    @property
+    def config(self) -> GeArConfig:
+        return self._adder.config
+
+    @property
+    def n_modes(self) -> int:
+        """Modes 0 .. k-1; mode k-1 guarantees the exact sum."""
+        return self._adder.config.k
+
+    @property
+    def mode(self) -> int:
+        return self._mode
+
+    def set_mode(self, mode: int) -> None:
+        """Write the configuration word (0 = raw, k-1 = exact)."""
+        if not 0 <= mode < self.n_modes:
+            raise ValueError(
+                f"mode must be in [0, {self.n_modes - 1}], got {mode}"
+            )
+        self._mode = mode
+
+    @property
+    def name(self) -> str:
+        return f"Cfg{self._adder.name}@mode{self._mode}"
+
+    # ------------------------------------------------------------------
+    # arithmetic
+    # ------------------------------------------------------------------
+    def add(self, a, b) -> np.ndarray:
+        """Add in the current mode."""
+        result, _ = self.add_with_stats(a, b)
+        return result
+
+    def add_with_stats(self, a, b) -> Tuple[np.ndarray, np.ndarray]:
+        """Add in the current mode, returning per-element cycle counts."""
+        if self._mode == 0:
+            a_arr = np.asarray(a, dtype=np.int64)
+            b_arr = np.asarray(b, dtype=np.int64)
+            shape = np.broadcast_shapes(a_arr.shape, b_arr.shape)
+            return self._adder.add(a, b), np.ones(shape, dtype=np.int64)
+        result, iterations = self._adder.add_with_correction(
+            a, b, max_iterations=self._mode
+        )
+        return result, iterations + 1
+
+    # ------------------------------------------------------------------
+    # characterization
+    # ------------------------------------------------------------------
+    def characterize_modes(
+        self, n_samples: int = 50_000, seed: int = 0
+    ) -> List[ModeCharacterization]:
+        """Quality/latency/energy of every mode on uniform operands.
+
+        Energy model: one base addition fires all ``k`` sub-adders; each
+        correction iteration re-fires at most ``k - 1`` sub-adders, so
+        ``relative_energy = 1 + mean_iterations * (k - 1) / k``.
+        """
+        rng = np.random.default_rng(seed)
+        hi = 1 << self.config.n
+        a = rng.integers(0, hi, n_samples, dtype=np.int64)
+        b = rng.integers(0, hi, n_samples, dtype=np.int64)
+        exact = a + b
+        records = []
+        saved_mode = self._mode
+        try:
+            for mode in range(self.n_modes):
+                self.set_mode(mode)
+                result, cycles = self.add_with_stats(a, b)
+                errors = np.abs(result - exact)
+                iterations = cycles - 1
+                records.append(
+                    ModeCharacterization(
+                        mode=mode,
+                        error_rate=float(np.mean(errors != 0)),
+                        mean_error_distance=float(errors.mean()),
+                        mean_cycles=float(cycles.mean()),
+                        relative_energy=float(
+                            1.0
+                            + iterations.mean()
+                            * (self.config.k - 1)
+                            / self.config.k
+                        ),
+                    )
+                )
+        finally:
+            self._mode = saved_mode
+        return records
+
+    def __repr__(self) -> str:
+        return f"ConfigurableGeArAdder({self.config.name}, mode={self._mode})"

@@ -1,0 +1,238 @@
+"""1-bit accurate and approximate full adders (paper Table III).
+
+The paper implements the accurate full adder (``AccuFA``) and five
+approximate variants (``ApxFA1`` .. ``ApxFA5``) based on the IMPACT
+designs of Gupta et al. [11][12].  Each variant is defined by its truth
+table; the table below is transcribed verbatim from Table III of the
+paper (error cases relative to ``AccuFA`` are the paper's bold-red
+entries and are re-derived here rather than hard-coded).
+
+Design intent of each variant:
+
+* ``AccuFA``  -- exact mirror-adder reference.
+* ``ApxFA1``  -- IMPACT approximation 1 (simplified mirror adder,
+  2 error cases).
+* ``ApxFA2``  -- IMPACT approximation with ``Sum = not Cout`` on a
+  simplified carry (2 error cases).
+* ``ApxFA3``  -- inverts the approximate ``Cout`` to compute ``Sum``
+  (3 error cases).
+* ``ApxFA4``  -- further simplified carry logic (3 error cases).
+* ``ApxFA5``  -- wire-only adder: ``Cout = A`` and ``Sum = B``
+  (4 error cases, zero transistors).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import lru_cache
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from ..logic.netlist import Netlist
+from ..logic.synth import synthesize_truth_table
+
+__all__ = [
+    "FullAdderSpec",
+    "FULL_ADDERS",
+    "FULL_ADDER_NAMES",
+    "full_adder",
+    "accurate_full_adder",
+]
+
+#: Row order of the truth tables: index = (A << 2) | (B << 1) | Cin.
+_ROW_ORDER = [(a, b, c) for a in (0, 1) for b in (0, 1) for c in (0, 1)]
+
+# (sum, cout) per row, rows indexed by (A<<2)|(B<<1)|Cin. Transcribed from
+# Table III of the paper.
+_TABLES: Dict[str, Tuple[Tuple[int, int], ...]] = {
+    "AccuFA": ((0, 0), (1, 0), (1, 0), (0, 1), (1, 0), (0, 1), (0, 1), (1, 1)),
+    "ApxFA1": ((0, 0), (1, 0), (0, 1), (0, 1), (0, 0), (0, 1), (0, 1), (1, 1)),
+    "ApxFA2": ((1, 0), (1, 0), (1, 0), (0, 1), (1, 0), (0, 1), (0, 1), (0, 1)),
+    "ApxFA3": ((1, 0), (1, 0), (0, 1), (0, 1), (1, 0), (0, 1), (0, 1), (0, 1)),
+    "ApxFA4": ((0, 0), (1, 0), (0, 0), (1, 0), (0, 1), (0, 1), (0, 1), (1, 1)),
+    "ApxFA5": ((0, 0), (0, 0), (1, 0), (1, 0), (0, 1), (0, 1), (1, 1), (1, 1)),
+}
+
+_DESCRIPTIONS: Dict[str, str] = {
+    "AccuFA": "accurate mirror full adder (reference)",
+    "ApxFA1": "IMPACT approximation 1: simplified mirror adder",
+    "ApxFA2": "IMPACT approximation 2: Sum from simplified carry",
+    "ApxFA3": "IMPACT approximation 3: Sum = NOT Cout",
+    "ApxFA4": "IMPACT approximation 4: simplified carry logic",
+    "ApxFA5": "wire-only adder: Cout = A, Sum = B",
+}
+
+
+@dataclass(frozen=True)
+class FullAdderSpec:
+    """Behavioural + structural model of a 1-bit (approximate) full adder.
+
+    Attributes:
+        name: Library name (``"AccuFA"``, ``"ApxFA1"``, ...).
+        table: ``(sum, cout)`` for every row, indexed ``(A<<2)|(B<<1)|Cin``.
+        description: Human-readable design intent.
+    """
+
+    name: str
+    table: Tuple[Tuple[int, int], ...]
+    description: str
+
+    def __post_init__(self) -> None:
+        if len(self.table) != 8:
+            raise ValueError(f"{self.name}: full-adder table needs 8 rows")
+
+    # -- behavioural -------------------------------------------------------
+    @property
+    def sum_lut(self) -> np.ndarray:
+        """Sum output for each of the 8 input rows, as a uint8 LUT."""
+        return np.asarray([row[0] for row in self.table], dtype=np.uint8)
+
+    @property
+    def cout_lut(self) -> np.ndarray:
+        """Carry output for each of the 8 input rows, as a uint8 LUT."""
+        return np.asarray([row[1] for row in self.table], dtype=np.uint8)
+
+    def evaluate(
+        self, a: np.ndarray, b: np.ndarray, cin: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Vectorized evaluation on arrays of 0/1 values.
+
+        Returns:
+            ``(sum, cout)`` arrays with the broadcast shape of the inputs.
+        """
+        a = np.asarray(a, dtype=np.int64)
+        b = np.asarray(b, dtype=np.int64)
+        cin = np.asarray(cin, dtype=np.int64)
+        index = (a << 2) | (b << 1) | cin
+        return self.sum_lut[index], self.cout_lut[index]
+
+    # -- quality -----------------------------------------------------------
+    def error_cases(self) -> List[Tuple[int, int, int]]:
+        """Input triples ``(A, B, Cin)`` whose output differs from AccuFA."""
+        reference = _TABLES["AccuFA"]
+        return [
+            _ROW_ORDER_LOOKUP[i]
+            for i in range(8)
+            if self.table[i] != reference[i]
+        ]
+
+    @property
+    def n_error_cases(self) -> int:
+        """Number of erroneous rows (the paper's '#Error Cases')."""
+        return len(self.error_cases())
+
+    def error_magnitudes(self) -> List[int]:
+        """Signed value error ``approx - exact`` (as 2*Cout + Sum) per row."""
+        reference = _TABLES["AccuFA"]
+        return [
+            (2 * self.table[i][1] + self.table[i][0])
+            - (2 * reference[i][1] + reference[i][0])
+            for i in range(8)
+        ]
+
+    # -- structural --------------------------------------------------------
+    def netlist(self) -> Netlist:
+        """Gate-level netlist of this adder (technology-mapped).
+
+        The netlist's inputs are ``["a", "b", "cin"]`` and its outputs
+        ``["sum", "cout"]``.  Each adder uses the hand-mapped minimal
+        structure implied by its truth table (e.g. ``sum = XOR3``/
+        ``cout = MAJ3`` for AccuFA, minority/inverter pairs for the
+        IMPACT variants); :meth:`sop_netlist` gives the generic two-level
+        synthesis result instead.
+        """
+        return _structural_fa(self.name)
+
+    def sop_netlist(self) -> Netlist:
+        """Generic two-level (Quine-McCluskey) synthesis of the table."""
+        return _synthesize_fa(self.name)
+
+    @property
+    def area_ge(self) -> float:
+        """Synthesized cell area in gate equivalents (our model)."""
+        return self.netlist().area_ge
+
+    @property
+    def delay_ps(self) -> float:
+        """Synthesized longest-path delay in picoseconds (our model)."""
+        return self.netlist().delay_ps()
+
+
+_ROW_ORDER_LOOKUP = {((a << 2) | (b << 1) | c): (a, b, c) for a, b, c in _ROW_ORDER}
+
+
+@lru_cache(maxsize=None)
+def _synthesize_fa(name: str) -> Netlist:
+    spec_table = _TABLES[name]
+    return synthesize_truth_table(
+        name + "_sop",
+        input_names=["a", "b", "cin"],
+        output_tables={
+            "sum": [row[0] for row in spec_table],
+            "cout": [row[1] for row in spec_table],
+        },
+    )
+
+
+@lru_cache(maxsize=None)
+def _structural_fa(name: str) -> Netlist:
+    """Hand technology-mapped netlists (minimal forms of each table)."""
+    nl = Netlist(name, inputs=["a", "b", "cin"], outputs=["sum", "cout"])
+    if name == "AccuFA":
+        nl.add_gate("XOR3", ["a", "b", "cin"], "sum")
+        nl.add_gate("MAJ3", ["a", "b", "cin"], "cout")
+    elif name == "ApxFA1":
+        # sum = cin AND (a XNOR b); cout = b OR (a AND cin)
+        nl.add_gate("XNOR2", ["a", "b"], "eq")
+        nl.add_gate("AND2", ["cin", "eq"], "sum")
+        nl.add_gate("AND2", ["a", "cin"], "ac")
+        nl.add_gate("OR2", ["b", "ac"], "cout")
+    elif name == "ApxFA2":
+        # sum = minority(a, b, cin); cout = NOT sum (= exact majority)
+        nl.add_gate("MIN3", ["a", "b", "cin"], "sum")
+        nl.add_gate("INV", ["sum"], "cout")
+    elif name == "ApxFA3":
+        # sum = NOT(b OR (a AND cin)) as one AOI21; cout = NOT sum
+        nl.add_gate("AOI21", ["a", "cin", "b"], "sum")
+        nl.add_gate("INV", ["sum"], "cout")
+    elif name == "ApxFA4":
+        # sum = (NOT a OR b) AND cin as AOI21 on inverted pins; cout = a
+        nl.add_gate("INV", ["b"], "b_n")
+        nl.add_gate("INV", ["cin"], "cin_n")
+        nl.add_gate("AOI21", ["a", "b_n", "cin_n"], "sum")
+        nl.add_gate("WIRE", ["a"], "cout")
+    elif name == "ApxFA5":
+        # Wire-only: route inputs straight to outputs; no logic cost.
+        nl.add_gate("WIRE", ["b"], "sum")
+        nl.add_gate("WIRE", ["a"], "cout")
+    else:
+        raise KeyError(f"no structural mapping for {name!r}")
+    nl.validate()
+    return nl
+
+
+#: All full adders of Table III, keyed by name, in paper order.
+FULL_ADDERS: Dict[str, FullAdderSpec] = {
+    name: FullAdderSpec(name, table, _DESCRIPTIONS[name])
+    for name, table in _TABLES.items()
+}
+
+#: Paper order of the adder names.
+FULL_ADDER_NAMES: Tuple[str, ...] = tuple(_TABLES)
+
+
+def full_adder(name: str) -> FullAdderSpec:
+    """Look up a full-adder spec by name (case-sensitive, paper names)."""
+    try:
+        return FULL_ADDERS[name]
+    except KeyError:
+        known = ", ".join(FULL_ADDER_NAMES)
+        raise KeyError(
+            f"unknown full adder {name!r}; known adders: {known}"
+        ) from None
+
+
+def accurate_full_adder() -> FullAdderSpec:
+    """The exact reference full adder (``AccuFA``)."""
+    return FULL_ADDERS["AccuFA"]

@@ -1,0 +1,169 @@
+"""Parallel-prefix (Kogge-Stone) adders: exact and speculative.
+
+The paper's library targets "low-power and high-performance"
+components; on the performance axis the relevant exact baseline is not
+the ripple adder but a logarithmic-depth parallel-prefix adder.  This
+module provides:
+
+* :func:`build_kogge_stone_netlist` -- a gate-level Kogge-Stone adder
+  (generate/propagate preprocessing, log2(N) combine levels, sum
+  postprocessing), the delay yardstick for the substrate;
+* :class:`SpeculativePrefixAdder` -- a prefix adder whose carry tree is
+  *truncated*: the carry into bit ``i`` considers only the previous
+  ``lookahead`` positions (Verma et al.'s almost-correct-adder idea,
+  ACA-I [7]).  This is provably the same function as
+  ``GeAr(N, R=1, P=lookahead)``, which the test suite exploits as an
+  independent cross-validation of both models.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from ..logic.netlist import Netlist
+from .gear import GeArConfig
+
+__all__ = ["build_kogge_stone_netlist", "SpeculativePrefixAdder"]
+
+
+def build_kogge_stone_netlist(width: int) -> Netlist:
+    """Gate-level Kogge-Stone adder of the given width.
+
+    Interface matches :func:`repro.adders.netlist_builder.
+    build_ripple_adder_netlist`: inputs ``a*``, ``b*``, ``cin``; outputs
+    ``s*`` and ``cout``.
+
+    Args:
+        width: Operand width (>= 1).
+
+    Returns:
+        A validated netlist with logarithmic carry depth.
+    """
+    if width < 1:
+        raise ValueError(f"width must be >= 1, got {width}")
+    inputs = (
+        [f"a{i}" for i in range(width)]
+        + [f"b{i}" for i in range(width)]
+        + ["cin"]
+    )
+    outputs = [f"s{i}" for i in range(width)] + ["cout"]
+    netlist = Netlist(f"ks{width}", inputs=inputs, outputs=outputs)
+
+    # Preprocess: p_i = a_i ^ b_i, g_i = a_i & b_i.
+    for i in range(width):
+        netlist.add_gate("XOR2", [f"a{i}", f"b{i}"], f"p0_{i}")
+        netlist.add_gate("AND2", [f"a{i}", f"b{i}"], f"g0_{i}")
+
+    # Fold cin into position 0: g'_0 = g_0 | (p_0 & cin).
+    netlist.add_gate("AND2", [f"p0_0", "cin"], "pc0")
+    netlist.add_gate("OR2", [f"g0_0", "pc0"], "gc0_0")
+
+    def g_net(level: int, i: int) -> str:
+        if level == 0:
+            return "gc0_0" if i == 0 else f"g0_{i}"
+        return f"g{level}_{i}"
+
+    def p_net(level: int, i: int) -> str:
+        return f"p{level}_{i}" if level else f"p0_{i}"
+
+    # Kogge-Stone combine: at level l, span 2**(l-1).
+    level = 0
+    span = 1
+    while span < width:
+        level += 1
+        for i in range(width):
+            if i >= span:
+                lo = i - span
+                netlist.add_gate(
+                    "AND2", [p_net(level - 1, i), g_net(level - 1, lo)],
+                    f"t{level}_{i}",
+                )
+                netlist.add_gate(
+                    "OR2", [g_net(level - 1, i), f"t{level}_{i}"],
+                    f"g{level}_{i}",
+                )
+                netlist.add_gate(
+                    "AND2", [p_net(level - 1, i), p_net(level - 1, lo)],
+                    f"p{level}_{i}",
+                )
+            else:
+                netlist.add_gate("WIRE", [g_net(level - 1, i)], f"g{level}_{i}")
+                netlist.add_gate("WIRE", [p_net(level - 1, i)], f"p{level}_{i}")
+        span <<= 1
+
+    # Postprocess: s_i = p_i ^ c_i with c_0 = cin, c_{i+1} = G_i.
+    netlist.add_gate("XOR2", ["p0_0", "cin"], "s0")
+    for i in range(1, width):
+        netlist.add_gate("XOR2", [f"p0_{i}", g_net(level, i - 1)], f"s{i}")
+    netlist.add_gate("WIRE", [g_net(level, width - 1)], "cout")
+    netlist.validate()
+    return netlist
+
+
+class SpeculativePrefixAdder:
+    """Prefix adder with a truncated (speculative) carry window.
+
+    The carry into bit ``i`` is computed only from positions
+    ``[max(0, i - lookahead), i)`` with an assumed zero carry into the
+    window -- the ACA-I speculation.  Functionally identical to
+    ``GeAr(N, R=1, P=lookahead)``.
+
+    Example:
+        >>> adder = SpeculativePrefixAdder(16, lookahead=4)
+        >>> int(adder.add(0x00F0, 0x0010))   # carry chain of length 5
+        256
+    """
+
+    def __init__(self, width: int, lookahead: int) -> None:
+        if width < 2:
+            raise ValueError(f"width must be >= 2, got {width}")
+        if not 1 <= lookahead < width:
+            raise ValueError(
+                f"lookahead must be in [1, {width - 1}], got {lookahead}"
+            )
+        self.width = width
+        self.lookahead = lookahead
+
+    @property
+    def name(self) -> str:
+        return f"SpecPrefix{self.width}[L={self.lookahead}]"
+
+    def equivalent_gear_config(self) -> GeArConfig:
+        """The GeAr configuration computing the same function."""
+        return GeArConfig(n=self.width, r=1, p=self.lookahead)
+
+    def add(self, a, b) -> np.ndarray:
+        """Speculative addition; result has ``width + 1`` bits."""
+        a = np.asarray(a, dtype=np.int64)
+        b = np.asarray(b, dtype=np.int64)
+        mask_all = (1 << self.width) - 1
+        a &= mask_all
+        b &= mask_all
+        shape = np.broadcast_shapes(a.shape, b.shape)
+        result = ((a ^ b) & 1).astype(np.int64)  # bit 0: no carry-in
+        for i in range(1, self.width + 1):
+            if i == self.width:
+                # The carry-out reuses the top sum window (one extra bit
+                # of speculation), matching the GeAr top sub-adder.
+                lo = max(0, self.width - 1 - self.lookahead)
+            else:
+                lo = max(0, i - self.lookahead)
+            window_mask = (1 << (i - lo)) - 1
+            window_sum = ((a >> lo) & window_mask) + ((b >> lo) & window_mask)
+            carry = (window_sum >> (i - lo)) & 1
+            if i < self.width:
+                bit = ((a >> i) ^ (b >> i) ^ carry) & 1
+                result = result | (bit << i)
+            else:
+                result = result | (carry << self.width)
+        return np.broadcast_to(result, shape) if result.shape != shape else result
+
+    @property
+    def delay_levels(self) -> int:
+        """Carry-tree depth: log2 of the speculation window (+pre/post)."""
+        return 2 + max(1, int(np.ceil(np.log2(self.lookahead))))
+
+    def __repr__(self) -> str:
+        return f"SpeculativePrefixAdder(width={self.width}, lookahead={self.lookahead})"

@@ -1,0 +1,186 @@
+"""Multi-bit ripple-carry adders built from 1-bit (approximate) cells.
+
+This is the lpACLib-style construction used throughout the paper: an
+N-bit ripple-carry adder whose ``num_approx_lsbs`` least-significant bit
+positions use one of the approximate full adders of Table III while the
+remaining (most-significant) positions use the accurate cell.  The same
+structure doubles as a two's-complement subtractor (for the SAD
+accelerator's ``|a - b|`` datapath).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from .fulladder import FULL_ADDERS, FullAdderSpec, full_adder
+
+__all__ = ["ApproximateRippleAdder", "ExactAdder"]
+
+
+def _as_int_array(x) -> np.ndarray:
+    arr = np.asarray(x, dtype=np.int64)
+    if np.any(arr < 0):
+        raise ValueError("operands must be non-negative integers")
+    return arr
+
+
+@dataclass(frozen=True)
+class ExactAdder:
+    """Reference integer adder with the same interface as the approximate one.
+
+    Attributes:
+        width: Operand width in bits; the result carries ``width + 1``
+            bits (the final carry is kept).
+    """
+
+    width: int
+
+    def add(self, a, b, cin: int = 0) -> np.ndarray:
+        """Exact ``a + b + cin`` (inputs truncated to ``width`` bits)."""
+        mask = (1 << self.width) - 1
+        return (_as_int_array(a) & mask) + (_as_int_array(b) & mask) + int(cin)
+
+    def sub(self, a, b) -> np.ndarray:
+        """Exact ``a - b`` as a signed integer."""
+        mask = (1 << self.width) - 1
+        return (_as_int_array(a) & mask) - (_as_int_array(b) & mask)
+
+    @property
+    def name(self) -> str:
+        return f"Exact{self.width}"
+
+    @property
+    def num_approx_lsbs(self) -> int:
+        return 0
+
+    @property
+    def area_ge(self) -> float:
+        return FULL_ADDERS["AccuFA"].area_ge * self.width
+
+    @property
+    def delay_ps(self) -> float:
+        return FULL_ADDERS["AccuFA"].delay_ps * self.width
+
+
+class ApproximateRippleAdder:
+    """N-bit ripple-carry adder with approximate LSB cells.
+
+    The ``num_approx_lsbs`` least-significant positions instantiate
+    ``approx_fa``; the rest instantiate ``accurate_fa``.  Evaluation is
+    bit-true and vectorized: operands are NumPy integer arrays, bits are
+    extracted per position, looked up in the cell truth tables, and the
+    carry is rippled.
+
+    Example:
+        >>> adder = ApproximateRippleAdder(8, approx_fa="ApxFA1",
+        ...                                num_approx_lsbs=4)
+        >>> int(adder.add(100, 27))  # inexact in the low 4 bits
+        128
+    """
+
+    def __init__(
+        self,
+        width: int,
+        approx_fa: str | FullAdderSpec = "ApxFA1",
+        num_approx_lsbs: int = 0,
+        accurate_fa: str | FullAdderSpec = "AccuFA",
+    ) -> None:
+        if width < 1:
+            raise ValueError(f"width must be >= 1, got {width}")
+        if not 0 <= num_approx_lsbs <= width:
+            raise ValueError(
+                f"num_approx_lsbs must be in [0, {width}], got {num_approx_lsbs}"
+            )
+        self.width = width
+        self.num_approx_lsbs = num_approx_lsbs
+        self.approx_fa = (
+            full_adder(approx_fa) if isinstance(approx_fa, str) else approx_fa
+        )
+        self.accurate_fa = (
+            full_adder(accurate_fa)
+            if isinstance(accurate_fa, str)
+            else accurate_fa
+        )
+
+    @property
+    def name(self) -> str:
+        return (
+            f"RCA{self.width}[{self.approx_fa.name}"
+            f"x{self.num_approx_lsbs}]"
+        )
+
+    def cell_at(self, position: int) -> FullAdderSpec:
+        """The full-adder spec used at bit ``position`` (0 = LSB)."""
+        if not 0 <= position < self.width:
+            raise ValueError(f"bit position {position} out of range")
+        if position < self.num_approx_lsbs:
+            return self.approx_fa
+        return self.accurate_fa
+
+    # ------------------------------------------------------------------
+    # arithmetic
+    # ------------------------------------------------------------------
+    def add(self, a, b, cin: int = 0) -> np.ndarray:
+        """Approximate ``a + b + cin``; result has ``width + 1`` bits."""
+        a = _as_int_array(a)
+        b = _as_int_array(b)
+        carry = np.broadcast_to(
+            np.asarray(int(cin), dtype=np.int64), np.broadcast_shapes(a.shape, b.shape)
+        ).copy()
+        total = np.zeros_like(carry)
+        for bit in range(self.width):
+            spec = self.cell_at(bit)
+            abit = (a >> bit) & 1
+            bbit = (b >> bit) & 1
+            s, carry_u8 = spec.evaluate(abit, bbit, carry)
+            total |= s.astype(np.int64) << bit
+            carry = carry_u8.astype(np.int64)
+        total |= carry << self.width
+        return total
+
+    def add_modular(self, a, b, cin: int = 0) -> np.ndarray:
+        """Approximate addition truncated to ``width`` bits (carry dropped)."""
+        return self.add(a, b, cin) & ((1 << self.width) - 1)
+
+    def sub(self, a, b) -> np.ndarray:
+        """Approximate ``a - b`` via two's complement through this adder.
+
+        ``b`` is inverted bitwise and added with a carry-in of 1, exactly
+        as an adder/subtractor datapath would do.  The raw result
+        ``a + ~b + 1`` carries ``width + 1`` bits and equals
+        ``a - b + 2**width`` for an exact adder, so subtracting the bias
+        recovers the signed difference over the full range
+        ``[-(2**width - 1), 2**width - 1]``.
+        """
+        a = _as_int_array(a)
+        b = _as_int_array(b)
+        mask = (1 << self.width) - 1
+        raw = self.add(a & mask, (~b) & mask, cin=1)
+        return raw - (1 << self.width)
+
+    # ------------------------------------------------------------------
+    # physical roll-ups
+    # ------------------------------------------------------------------
+    @property
+    def area_ge(self) -> float:
+        """Total cell area (sum of the per-bit synthesized FA areas)."""
+        return float(
+            sum(self.cell_at(i).area_ge for i in range(self.width))
+        )
+
+    @property
+    def delay_ps(self) -> float:
+        """Critical-path delay: the full carry ripple through all cells."""
+        return float(
+            sum(self.cell_at(i).delay_ps for i in range(self.width))
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"ApproximateRippleAdder(width={self.width}, "
+            f"approx_fa={self.approx_fa.name!r}, "
+            f"num_approx_lsbs={self.num_approx_lsbs})"
+        )

@@ -1,0 +1,73 @@
+"""State-of-the-art approximate adders expressed as GeAr configurations.
+
+The paper (Sec. 4.2) notes that "various configurations of GeAr adder
+model directly translate to state-of-the-art approximate adders (for
+instance, ACA-I [7], ACA-II [9], ETAII [8] and GDA [13])".  This module
+provides those mappings, following Table 1 of the original GeAr paper
+(Shafique et al., DAC 2015):
+
+* **ACA-I** (Verma et al., "almost correct adder"): every result bit is
+  computed from the preceding ``L - 1`` bits, i.e. ``GeAr(R=1, P=L-1)``.
+* **ACA-II** (Kahng/Kang accuracy-configurable adder): overlapping
+  sub-adders of width ``L`` advancing by ``L/2``, i.e.
+  ``GeAr(R=L/2, P=L/2)``.
+* **ETAII** (Zhu et al., error-tolerant adder II): block-partitioned
+  adder where each block's carry is predicted from the previous block,
+  structurally ``GeAr(R=X, P=X)`` for block size ``X``.
+* **GDA** (Ye et al., gracefully-degrading adder): configurable carry
+  selection per block; its fixed-prediction operating points map to
+  ``GeAr(R=block, P=prediction)``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from .gear import GeArConfig
+
+__all__ = ["aca_i", "aca_ii", "etaii", "gda", "known_adder_configs"]
+
+
+def aca_i(n: int, l: int) -> GeArConfig:
+    """ACA-I almost-correct adder of width ``n`` with lookahead ``l``.
+
+    Args:
+        n: Operand width.
+        l: Sub-adder (speculation window) width of the original design.
+    """
+    return GeArConfig(n=n, r=1, p=l - 1)
+
+
+def aca_ii(n: int, l: int) -> GeArConfig:
+    """ACA-II accuracy-configurable adder with sub-adder width ``l``."""
+    if l % 2:
+        raise ValueError(f"ACA-II needs an even sub-adder width, got {l}")
+    return GeArConfig(n=n, r=l // 2, p=l // 2)
+
+
+def etaii(n: int, block: int) -> GeArConfig:
+    """ETAII error-tolerant adder with block size ``block``."""
+    return GeArConfig(n=n, r=block, p=block)
+
+
+def gda(n: int, block: int, prediction: int) -> GeArConfig:
+    """GDA operating point: ``block``-bit blocks, ``prediction``-bit carry
+    prediction per block."""
+    return GeArConfig(n=n, r=block, p=prediction)
+
+
+def known_adder_configs(n: int = 16) -> Dict[str, GeArConfig]:
+    """A representative set of published adders at width ``n``.
+
+    Returns a name -> config mapping covering the four designs the paper
+    lists, at their commonly evaluated operating points.
+    """
+    configs: Dict[str, GeArConfig] = {}
+    if n >= 8:
+        configs[f"ACA-I({n},{n // 4})"] = aca_i(n, n // 4)
+        configs[f"ACA-II({n},{n // 2})"] = aca_ii(n, n // 2)
+        configs[f"ETAII({n},{n // 4})"] = etaii(n, n // 4)
+        configs[f"GDA({n},{n // 8},{n // 8})"] = gda(n, n // 8, n // 8)
+    else:
+        raise ValueError(f"width {n} too small for the published designs")
+    return configs

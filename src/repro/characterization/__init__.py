@@ -1,0 +1,6 @@
+"""Published paper constants and uniform report rendering."""
+
+from . import paperdata
+from .report import format_records, format_table, records_to_csv
+
+__all__ = ["paperdata", "format_records", "format_table", "records_to_csv"]

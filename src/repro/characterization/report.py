@@ -1,0 +1,75 @@
+"""ASCII table / CSV rendering for characterization records.
+
+Every benchmark prints its reproduced table/figure data through these
+helpers so outputs are uniform and machine-diffable.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence
+
+__all__ = ["format_table", "format_records", "records_to_csv"]
+
+
+def _cell(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str], rows: Sequence[Sequence], title: str | None = None
+) -> str:
+    """Render rows as a fixed-width ASCII table.
+
+    Example:
+        >>> print(format_table(["a", "b"], [[1, 2.5]]))
+        a | b
+        --+----
+        1 | 2.5
+    """
+    cells = [[_cell(v) for v in row] for row in rows]
+    for row in cells:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells, expected {len(headers)}"
+            )
+    widths = [
+        max(len(str(headers[i])), *(len(r[i]) for r in cells), 1)
+        if cells
+        else len(str(headers[i]))
+        for i in range(len(headers))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(" | ".join(str(h).ljust(w) for h, w in zip(headers, widths)).rstrip())
+    lines.append("-+-".join("-" * w for w in widths))
+    for row in cells:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)).rstrip())
+    return "\n".join(lines)
+
+
+def format_records(
+    records: Sequence[Dict], columns: Sequence[str] | None = None,
+    title: str | None = None,
+) -> str:
+    """Render a list of record dictionaries as an ASCII table."""
+    if not records:
+        return title or "(no records)"
+    columns = list(columns) if columns else list(records[0].keys())
+    rows = [[record.get(col, "") for col in columns] for record in records]
+    return format_table(columns, rows, title=title)
+
+
+def records_to_csv(
+    records: Sequence[Dict], columns: Sequence[str] | None = None
+) -> str:
+    """Serialize records to a simple CSV string (no quoting of commas)."""
+    if not records:
+        return ""
+    columns = list(columns) if columns else list(records[0].keys())
+    lines = [",".join(columns)]
+    for record in records:
+        lines.append(",".join(_cell(record.get(col, "")) for col in columns))
+    return "\n".join(lines)

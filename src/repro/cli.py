@@ -1,0 +1,272 @@
+"""Command-line interface for the approximate-component library.
+
+Four subcommands mirror the workflows a library user runs most:
+
+* ``repro characterize-adders`` -- Table III-style characterization of
+  the 1-bit cells and multi-bit ripple adders.
+* ``repro explore-gear`` -- Table IV / Fig. 4 design-space sweep with
+  constraint queries.
+* ``repro characterize-multipliers`` -- Fig. 5 / Fig. 6 multiplier
+  characterization.
+* ``repro encode`` -- the HEVC-lite case study with a chosen SAD
+  variant (Fig. 9 data points).
+
+Example:
+    $ python -m repro.cli explore-gear --width 11 --min-accuracy 90
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Sequence
+
+from .accelerators.sad import SAD_VARIANT_CELLS, SADAccelerator
+from .adders.characterize import characterize_adder, characterize_ripple_family
+from .adders.fulladder import FULL_ADDER_NAMES, FULL_ADDERS
+from .characterization.report import format_records, records_to_csv
+from .dse.explorer import explore_gear_space
+from .dse.selection import select_max_accuracy, select_min_area
+from .logic.simulate import estimate_power
+from .media.synthetic import moving_sequence
+from .multipliers.characterize import (
+    characterize_mul2x2_family,
+    fig6_multiplier_family,
+)
+from .video.codec import HevcLiteEncoder
+
+__all__ = ["main", "build_parser"]
+
+
+def _print(records: List[dict], columns, as_csv: bool, title: str) -> None:
+    if as_csv:
+        print(records_to_csv(records, columns))
+    else:
+        print(format_records(records, columns=columns, title=title))
+
+
+def _cmd_characterize_adders(args: argparse.Namespace) -> int:
+    rows = []
+    for name in FULL_ADDER_NAMES:
+        fa = FULL_ADDERS[name]
+        netlist = fa.netlist()
+        rows.append(
+            {
+                "adder": name,
+                "error_cases": fa.n_error_cases,
+                "area_ge": round(netlist.area_ge, 2),
+                "power_nw": round(estimate_power(netlist).total_nw, 1),
+                "delay_ps": round(netlist.delay_ps(), 1),
+            }
+        )
+    _print(rows, None, args.csv, "1-bit full adders (Table III)")
+    if args.width:
+        records = characterize_ripple_family(
+            args.width, approx_lsb_counts=tuple(args.lsbs)
+        )
+        family_rows = [r.as_row() for r in records]
+        _print(
+            family_rows,
+            ["name", "area_ge", "error_rate", "mean_error_distance",
+             "max_error_distance"],
+            args.csv,
+            f"\n{args.width}-bit ripple adders",
+        )
+    return 0
+
+
+def _cmd_explore_gear(args: argparse.Namespace) -> int:
+    records = explore_gear_space(args.width)
+    for record in records:
+        record["accuracy_percent"] = round(record["accuracy_percent"], 3)
+    _print(
+        records,
+        ["r", "p", "k", "l", "accuracy_percent", "lut_count", "delay_ps"],
+        args.csv,
+        f"GeAr design space, N={args.width} (Table IV)",
+    )
+    best = select_max_accuracy(records)
+    print(f"\nmax accuracy: {best['name']} ({best['accuracy_percent']}%)")
+    if args.min_accuracy is not None:
+        try:
+            pick = select_min_area(records, args.min_accuracy)
+            print(
+                f"min area with >= {args.min_accuracy}% accuracy: "
+                f"{pick['name']} ({pick['lut_count']} LUTs)"
+            )
+        except ValueError as exc:
+            print(f"constraint infeasible: {exc}", file=sys.stderr)
+            return 1
+    return 0
+
+
+def _cmd_characterize_multipliers(args: argparse.Namespace) -> int:
+    _print(
+        characterize_mul2x2_family(),
+        None,
+        args.csv,
+        "2x2 multipliers (Fig. 5)",
+    )
+    if args.widths:
+        records = fig6_multiplier_family(
+            widths=tuple(args.widths), n_samples=args.samples
+        )
+        rows = [r.as_row() for r in records]
+        _print(
+            rows,
+            ["name", "width", "area_ge", "power_nw", "error_rate",
+             "normalized_med"],
+            args.csv,
+            "\nmulti-bit multipliers (Fig. 6)",
+        )
+    return 0
+
+
+def _cmd_characterize_sad(args: argparse.Namespace) -> int:
+    from .accelerators.sad import characterize_sad_family
+
+    records = characterize_sad_family(
+        n_pixels=args.pixels,
+        lsb_counts=tuple(args.lsbs),
+        n_samples=args.samples,
+    )
+    _print(records, None, args.csv,
+           f"SAD accelerator family ({args.pixels} pixels)")
+    return 0
+
+
+def _cmd_luts(args: argparse.Namespace) -> int:
+    from .adders.netlist_builder import build_ripple_adder_netlist
+    from .adders.ripple import ApproximateRippleAdder
+    from .logic.mapping import map_to_luts
+
+    rows = []
+    for name in FULL_ADDER_NAMES:
+        mapping = map_to_luts(FULL_ADDERS[name].netlist(), k=args.k)
+        rows.append(
+            {
+                "component": name,
+                "luts": mapping.n_luts,
+                "luts_dup": mapping.n_luts_duplicated,
+                "depth": mapping.depth,
+            }
+        )
+    if args.width:
+        for cell, lsbs in (("AccuFA", 0), ("ApxFA1", args.width // 2),
+                           ("ApxFA5", args.width // 2)):
+            adder = ApproximateRippleAdder(
+                args.width, approx_fa=cell, num_approx_lsbs=lsbs
+            )
+            netlist = build_ripple_adder_netlist(adder)
+            mapping = map_to_luts(netlist, k=args.k)
+            rows.append(
+                {
+                    "component": adder.name,
+                    "luts": mapping.n_luts,
+                    "luts_dup": mapping.n_luts_duplicated,
+                    "depth": mapping.depth,
+                }
+            )
+    _print(rows, None, args.csv, f"{args.k}-LUT mapping estimates")
+    return 0
+
+
+def _cmd_encode(args: argparse.Namespace) -> int:
+    if args.variant not in SAD_VARIANT_CELLS:
+        known = ", ".join(SAD_VARIANT_CELLS)
+        print(f"unknown variant {args.variant!r}; known: {known}",
+              file=sys.stderr)
+        return 2
+    frames = moving_sequence(
+        n_frames=args.frames, size=args.size, seed=args.seed,
+        noise_sigma=args.noise,
+    )
+    encoder = HevcLiteEncoder(search_range=args.search_range, qp=args.qp)
+    baseline = encoder.encode(frames, SADAccelerator(n_pixels=64))
+    cell = SAD_VARIANT_CELLS[args.variant]
+    accelerator = SADAccelerator(
+        n_pixels=64, fa=cell, approx_lsbs=args.approx_lsbs
+    )
+    result = encoder.encode(frames, accelerator)
+    print(f"baseline (AccuSAD): {baseline.total_bits} bits, "
+          f"{baseline.psnr_db:.2f} dB")
+    print(f"{args.variant} ({args.approx_lsbs} LSBs): "
+          f"{result.total_bits} bits "
+          f"({result.bitrate_increase_percent(baseline):+.2f}%), "
+          f"{result.psnr_db:.2f} dB, "
+          f"SAD energy {accelerator.energy_per_op_fj:.0f} fJ/op "
+          f"(exact: {SADAccelerator(n_pixels=64).energy_per_op_fj:.0f})")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the CLI argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Cross-layer approximate computing component library",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser(
+        "characterize-adders", help="Table III characterization"
+    )
+    p.add_argument("--width", type=int, default=0,
+                   help="also characterize W-bit ripple adders")
+    p.add_argument("--lsbs", type=int, nargs="+", default=[2, 4, 6],
+                   help="approximated-LSB counts for the family sweep")
+    p.add_argument("--csv", action="store_true")
+    p.set_defaults(func=_cmd_characterize_adders)
+
+    p = sub.add_parser("explore-gear", help="Table IV / Fig. 4 sweep")
+    p.add_argument("--width", type=int, default=11)
+    p.add_argument("--min-accuracy", type=float, default=None,
+                   help="also run the min-area selection at this bound")
+    p.add_argument("--csv", action="store_true")
+    p.set_defaults(func=_cmd_explore_gear)
+
+    p = sub.add_parser(
+        "characterize-multipliers", help="Fig. 5 / Fig. 6 characterization"
+    )
+    p.add_argument("--widths", type=int, nargs="*", default=[4, 8])
+    p.add_argument("--samples", type=int, default=20_000)
+    p.add_argument("--csv", action="store_true")
+    p.set_defaults(func=_cmd_characterize_multipliers)
+
+    p = sub.add_parser(
+        "characterize-sad", help="SAD accelerator family characterization"
+    )
+    p.add_argument("--pixels", type=int, default=64)
+    p.add_argument("--lsbs", type=int, nargs="+", default=[2, 4, 6])
+    p.add_argument("--samples", type=int, default=3000)
+    p.add_argument("--csv", action="store_true")
+    p.set_defaults(func=_cmd_characterize_sad)
+
+    p = sub.add_parser("luts", help="FPGA LUT-mapping estimates")
+    p.add_argument("--k", type=int, default=6)
+    p.add_argument("--width", type=int, default=0,
+                   help="also map W-bit ripple adders")
+    p.add_argument("--csv", action="store_true")
+    p.set_defaults(func=_cmd_luts)
+
+    p = sub.add_parser("encode", help="HEVC-lite case study (Fig. 9)")
+    p.add_argument("--variant", default="ApxSAD2")
+    p.add_argument("--approx-lsbs", type=int, default=4)
+    p.add_argument("--frames", type=int, default=4)
+    p.add_argument("--size", type=int, default=64)
+    p.add_argument("--search-range", type=int, default=4)
+    p.add_argument("--qp", type=int, default=4)
+    p.add_argument("--noise", type=float, default=3.0)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=_cmd_encode)
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,71 @@
+"""Design-space sweeps (paper Table IV, Fig. 4, Fig. 6).
+
+:func:`explore_gear_space` enumerates every valid ``(R, P)`` of an
+N-bit GeAr adder, evaluates the analytic accuracy model and the FPGA
+LUT area proxy, and returns records suitable for
+:mod:`repro.dse.pareto` and :mod:`repro.dse.selection` -- the Table IV /
+Fig. 4 data.  :func:`explore_multiplier_space` does the same for the
+recursive multiplier family of Fig. 6.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List
+
+from ..adders.gear import GeArAdder, GeArConfig
+from ..adders.gear_error import exact_error_probability, monte_carlo_error_rate
+from ..multipliers.characterize import fig6_multiplier_family
+
+__all__ = ["explore_gear_space", "explore_multiplier_space"]
+
+
+def explore_gear_space(
+    n: int = 11, model: str = "exact", include_delay: bool = True
+) -> List[Dict]:
+    """Characterize every valid approximate GeAr configuration of width n.
+
+    Args:
+        n: Operand width (the paper sweeps N = 11).
+        model: Accuracy model -- ``"exact"`` (DP over generate/propagate
+            strings) or ``"monte_carlo"``.
+        include_delay: Also record the critical-path delay proxy.
+
+    Returns:
+        One record per configuration with keys ``r``, ``p``, ``k``,
+        ``l``, ``accuracy_percent``, ``lut_count``, ``area_ge`` (and
+        ``delay_ps``), sorted by (r, p).
+    """
+    records: List[Dict] = []
+    for config in GeArConfig.all_valid(n):
+        if model == "exact":
+            p_err = exact_error_probability(config)
+        elif model == "monte_carlo":
+            p_err = monte_carlo_error_rate(config)
+        else:
+            raise ValueError(f"unknown model {model!r}")
+        adder = GeArAdder(config)
+        record = {
+            "name": config.name,
+            "n": config.n,
+            "r": config.r,
+            "p": config.p,
+            "k": config.k,
+            "l": config.l,
+            "accuracy_percent": 100.0 * (1.0 - p_err),
+            "lut_count": adder.lut_count,
+            "area_ge": adder.area_ge,
+        }
+        if include_delay:
+            record["delay_ps"] = adder.delay_ps
+        records.append(record)
+    records.sort(key=lambda rec: (rec["r"], rec["p"]))
+    return records
+
+
+def explore_multiplier_space(
+    widths: Iterable[int] = (4, 8), n_samples: int = 30_000
+) -> List[Dict]:
+    """Characterization records for the recursive-multiplier family."""
+    return [
+        rec.as_row() for rec in fig6_multiplier_family(widths, n_samples=n_samples)
+    ]

@@ -1,0 +1,76 @@
+"""Pareto-front utilities for design-space exploration (paper Fig. 7).
+
+The paper's methodology selects "a set of pareto-optimal points ... in
+the design space exploration process".  These helpers are generic over
+record dictionaries so the same code explores adders (Table IV, Fig. 4),
+multipliers (Fig. 6), and accelerator configurations.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+__all__ = ["dominates", "pareto_front", "pareto_indices"]
+
+#: Objective direction: True = minimize, False = maximize.
+Direction = bool
+
+
+def _objective_vector(
+    record: Dict, objectives: Sequence[Tuple[str, Direction]]
+) -> Tuple[float, ...]:
+    vector = []
+    for key, minimize in objectives:
+        value = float(record[key])
+        vector.append(value if minimize else -value)
+    return tuple(vector)
+
+
+def dominates(
+    a: Dict, b: Dict, objectives: Sequence[Tuple[str, Direction]]
+) -> bool:
+    """True if record ``a`` Pareto-dominates record ``b``.
+
+    Args:
+        a: Candidate record (mapping with the objective keys).
+        b: Record possibly dominated.
+        objectives: ``(key, minimize)`` pairs; ``minimize=False`` means
+            the objective is maximized.
+    """
+    va = _objective_vector(a, objectives)
+    vb = _objective_vector(b, objectives)
+    return all(x <= y for x, y in zip(va, vb)) and any(
+        x < y for x, y in zip(va, vb)
+    )
+
+
+def pareto_indices(
+    records: Sequence[Dict], objectives: Sequence[Tuple[str, Direction]]
+) -> List[int]:
+    """Indices of the non-dominated records (stable order)."""
+    if not objectives:
+        raise ValueError("need at least one objective")
+    front = []
+    for i, candidate in enumerate(records):
+        if not any(
+            dominates(other, candidate, objectives)
+            for j, other in enumerate(records)
+            if j != i
+        ):
+            front.append(i)
+    return front
+
+
+def pareto_front(
+    records: Sequence[Dict], objectives: Sequence[Tuple[str, Direction]]
+) -> List[Dict]:
+    """The non-dominated subset of ``records``.
+
+    Example:
+        >>> recs = [{"area": 1, "acc": 90}, {"area": 2, "acc": 80},
+        ...         {"area": 2, "acc": 95}]
+        >>> front = pareto_front(recs, [("area", True), ("acc", False)])
+        >>> [r["acc"] for r in front]
+        [90, 95]
+    """
+    return [records[i] for i in pareto_indices(records, objectives)]

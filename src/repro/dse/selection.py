@@ -1,0 +1,76 @@
+"""Constraint-based configuration selection (paper Sec. 4.2 / Fig. 4).
+
+The paper walks two selection queries over the N=11 GeAr space:
+
+* "for the constraint of maximum accuracy percentage, GeAr (R=1, P=9)
+  can be selected" -> :func:`select_max_accuracy`;
+* "to find a low-area adder configuration with at least 90% accuracy
+  ... R=3 and P=5" -> :func:`select_min_area` with
+  ``min_accuracy_percent=90``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+__all__ = ["select_max_accuracy", "select_min_area", "filter_records"]
+
+
+def filter_records(
+    records: Sequence[Dict], **minimums: float
+) -> List[Dict]:
+    """Keep records whose ``key`` is >= the given minimum for each kwarg.
+
+    Example:
+        >>> recs = [{"accuracy_percent": 95}, {"accuracy_percent": 80}]
+        >>> len(filter_records(recs, accuracy_percent=90))
+        1
+    """
+    kept = []
+    for record in records:
+        if all(float(record[key]) >= bound for key, bound in minimums.items()):
+            kept.append(record)
+    return kept
+
+
+def select_max_accuracy(records: Sequence[Dict]) -> Dict:
+    """The configuration with the highest accuracy (ties -> least area)."""
+    if not records:
+        raise ValueError("no records to select from")
+    return max(
+        records,
+        key=lambda rec: (
+            float(rec["accuracy_percent"]),
+            -float(rec.get("lut_count", rec.get("area_ge", 0.0))),
+        ),
+    )
+
+
+def select_min_area(
+    records: Sequence[Dict],
+    min_accuracy_percent: float,
+    area_key: str = "lut_count",
+) -> Dict:
+    """Least-area configuration meeting an accuracy bound.
+
+    Args:
+        records: Exploration records (e.g. from
+            :func:`repro.dse.explorer.explore_gear_space`).
+        min_accuracy_percent: Quality constraint.
+        area_key: Which area proxy to minimize (ties -> higher accuracy).
+
+    Raises:
+        ValueError: If no configuration meets the bound.
+    """
+    feasible = filter_records(records, accuracy_percent=min_accuracy_percent)
+    if not feasible:
+        raise ValueError(
+            f"no configuration reaches {min_accuracy_percent}% accuracy"
+        )
+    return min(
+        feasible,
+        key=lambda rec: (
+            float(rec[area_key]),
+            -float(rec["accuracy_percent"]),
+        ),
+    )

@@ -1,0 +1,47 @@
+"""Error metrics, discrete error-PMF algebra, and statistical propagation."""
+
+from .metrics import (
+    ErrorMetrics,
+    accuracy_percent,
+    compute_error_metrics,
+    error_rate,
+    max_error_distance,
+    mean_error_distance,
+    mean_relative_error_distance,
+    mse,
+    normalized_med,
+    psnr,
+)
+from .interval import ErrorInterval, adder_error_interval
+from .pmf import ErrorPMF
+from .sensitivity import NodeSensitivity, rank_node_sensitivity
+from .propagation import (
+    abs_masking_factor,
+    argmin_flip_probability,
+    predict_sad_error_pmf,
+    propagate_adder_tree,
+    propagate_weighted_sum,
+)
+
+__all__ = [
+    "ErrorMetrics",
+    "accuracy_percent",
+    "compute_error_metrics",
+    "error_rate",
+    "max_error_distance",
+    "mean_error_distance",
+    "mean_relative_error_distance",
+    "mse",
+    "normalized_med",
+    "psnr",
+    "ErrorPMF",
+    "ErrorInterval",
+    "adder_error_interval",
+    "NodeSensitivity",
+    "rank_node_sensitivity",
+    "abs_masking_factor",
+    "argmin_flip_probability",
+    "predict_sad_error_pmf",
+    "propagate_adder_tree",
+    "propagate_weighted_sum",
+]

@@ -1,0 +1,125 @@
+"""Worst-case error-interval analysis for approximate datapaths.
+
+Complements the probabilistic PMF propagation of
+:mod:`repro.errors.propagation` with *guaranteed* bounds: every
+component contributes an error interval ``[lo, hi]`` (e.g. a ripple
+adder with k approximated LSBs errs by at most ``2**(k+1) - 1`` in either
+direction; GeAr only ever loses carries, so its interval is one-sided),
+and intervals compose through the datapath operators.  The resulting
+output interval is a sound worst-case bound -- the quantity a designer
+needs to certify that an accelerator can never exceed a maximum error
+value (the Fig. 5 selection criterion).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..adders.gear import GeArAdder
+from ..adders.ripple import ApproximateRippleAdder
+
+__all__ = ["ErrorInterval", "adder_error_interval"]
+
+
+@dataclass(frozen=True)
+class ErrorInterval:
+    """A closed integer interval ``[lo, hi]`` of possible error values."""
+
+    lo: int
+    hi: int
+
+    def __post_init__(self) -> None:
+        if self.lo > self.hi:
+            raise ValueError(f"empty interval [{self.lo}, {self.hi}]")
+
+    # -- constructors -------------------------------------------------
+    @classmethod
+    def exact(cls) -> "ErrorInterval":
+        """The zero-error interval of an exact component."""
+        return cls(0, 0)
+
+    @classmethod
+    def symmetric(cls, magnitude: int) -> "ErrorInterval":
+        return cls(-magnitude, magnitude)
+
+    # -- queries -------------------------------------------------------
+    @property
+    def max_abs(self) -> int:
+        """Largest possible error magnitude."""
+        return max(abs(self.lo), abs(self.hi))
+
+    @property
+    def width(self) -> int:
+        return self.hi - self.lo
+
+    def contains(self, value: int) -> bool:
+        return self.lo <= value <= self.hi
+
+    # -- interval arithmetic over error terms --------------------------
+    def __add__(self, other: "ErrorInterval") -> "ErrorInterval":
+        """Error of a sum: errors add."""
+        return ErrorInterval(self.lo + other.lo, self.hi + other.hi)
+
+    def __sub__(self, other: "ErrorInterval") -> "ErrorInterval":
+        """Error of a difference: subtrahend error enters negated."""
+        return ErrorInterval(self.lo - other.hi, self.hi - other.lo)
+
+    def __neg__(self) -> "ErrorInterval":
+        return ErrorInterval(-self.hi, -self.lo)
+
+    def scale(self, factor: int) -> "ErrorInterval":
+        """Error of ``factor * x`` (e.g. a shift by k scales by 2**k)."""
+        a, b = self.lo * factor, self.hi * factor
+        return ErrorInterval(min(a, b), max(a, b))
+
+    def through_abs(self) -> "ErrorInterval":
+        """Sound error interval after ``y = |x + e|`` vs ``|x|``.
+
+        For any signal x: ``| |x + e| - |x| | <= |e|``, so the deviation
+        interval is the symmetric hull of the input interval.
+        """
+        magnitude = self.max_abs
+        return ErrorInterval(-magnitude, magnitude)
+
+    def accumulate(self, n: int) -> "ErrorInterval":
+        """Error of summing ``n`` independent terms with this interval."""
+        if n < 0:
+            raise ValueError(f"n must be >= 0, got {n}")
+        return ErrorInterval(self.lo * n, self.hi * n)
+
+    def union(self, other: "ErrorInterval") -> "ErrorInterval":
+        """Hull of two alternatives (e.g. a mode multiplexer)."""
+        return ErrorInterval(min(self.lo, other.lo), max(self.hi, other.hi))
+
+    def __repr__(self) -> str:
+        return f"ErrorInterval([{self.lo}, {self.hi}])"
+
+
+def adder_error_interval(adder) -> ErrorInterval:
+    """Sound per-operation error interval of a library adder.
+
+    * :class:`~repro.adders.ripple.ApproximateRippleAdder` with ``k``
+      approximated LSBs: the approximate sum bits differ by at most
+      ``2**k - 1`` and the carry into position ``k`` by at most
+      ``2**k``, giving ``[-(2**(k+1) - 1), 2**(k+1) - 1]`` (zero for
+      ``k = 0``).
+    * :class:`~repro.adders.gear.GeArAdder`: carries can only be
+      *missed*; each of the ``k - 1`` upper sub-adders can lose a carry
+      worth ``2**(s*R + P)``, so the interval is one-sided:
+      ``[-sum_s 2**(s*R + P), 0]``.
+    """
+    if isinstance(adder, ApproximateRippleAdder):
+        k = adder.num_approx_lsbs
+        if k == 0:
+            return ErrorInterval.exact()
+        bound = (1 << (k + 1)) - 1
+        return ErrorInterval(-bound, bound)
+    if isinstance(adder, GeArAdder):
+        config = adder.config
+        loss = sum(
+            1 << (s * config.r + config.p) for s in range(1, config.k)
+        )
+        return ErrorInterval(-loss, 0)
+    raise TypeError(
+        f"no error-interval model for {type(adder).__name__}"
+    )

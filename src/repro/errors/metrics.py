@@ -1,0 +1,173 @@
+"""Output-quality metrics for approximate arithmetic components.
+
+All metrics compare an approximate output vector against the exact
+reference, following the definitions standard in the approximate-
+computing literature (and used implicitly throughout the paper):
+
+* **ER** (error rate): fraction of inputs with any output deviation.
+* **MED** (mean error distance): mean of ``|approx - exact|``.
+* **NMED**: MED normalized by the maximum exact output magnitude.
+* **MRED** (mean relative error distance): mean of
+  ``|approx - exact| / |exact|`` over inputs with nonzero exact output.
+* **max ED**: worst-case ``|approx - exact|`` (the paper's
+  "maximum error value").
+* **accuracy %**: ``100 * (1 - ER)`` -- the paper's Table IV metric.
+* **PSNR**: peak signal-to-noise ratio for image-valued outputs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+import numpy as np
+
+__all__ = [
+    "ErrorMetrics",
+    "compute_error_metrics",
+    "error_rate",
+    "mean_error_distance",
+    "normalized_med",
+    "mean_relative_error_distance",
+    "max_error_distance",
+    "accuracy_percent",
+    "mse",
+    "psnr",
+]
+
+
+def _pair(approx, exact):
+    a = np.asarray(approx, dtype=np.float64)
+    e = np.asarray(exact, dtype=np.float64)
+    if a.shape != e.shape:
+        raise ValueError(
+            f"approx shape {a.shape} != exact shape {e.shape}"
+        )
+    if a.size == 0:
+        raise ValueError("metrics need at least one sample")
+    return a, e
+
+
+def error_rate(approx, exact) -> float:
+    """Fraction of samples where the approximate output is wrong."""
+    a, e = _pair(approx, exact)
+    return float(np.mean(a != e))
+
+
+def mean_error_distance(approx, exact) -> float:
+    """Mean absolute deviation ``E[|approx - exact|]`` (MED)."""
+    a, e = _pair(approx, exact)
+    return float(np.mean(np.abs(a - e)))
+
+
+def normalized_med(approx, exact, max_output: float | None = None) -> float:
+    """MED normalized by the maximum exact output magnitude (NMED)."""
+    a, e = _pair(approx, exact)
+    if max_output is None:
+        max_output = float(np.max(np.abs(e)))
+    if max_output == 0:
+        raise ValueError("max_output is zero; NMED undefined")
+    return mean_error_distance(a, e) / max_output
+
+
+def mean_relative_error_distance(approx, exact) -> float:
+    """MRED over samples with nonzero exact output."""
+    a, e = _pair(approx, exact)
+    nonzero = e != 0
+    if not np.any(nonzero):
+        raise ValueError("all exact outputs are zero; MRED undefined")
+    return float(np.mean(np.abs(a[nonzero] - e[nonzero]) / np.abs(e[nonzero])))
+
+
+def max_error_distance(approx, exact) -> float:
+    """Worst-case absolute deviation (the paper's 'Max. Error Value')."""
+    a, e = _pair(approx, exact)
+    return float(np.max(np.abs(a - e)))
+
+
+def accuracy_percent(approx, exact) -> float:
+    """``100 * (1 - error rate)`` -- the paper's Table IV accuracy."""
+    return 100.0 * (1.0 - error_rate(approx, exact))
+
+
+def mse(approx, exact) -> float:
+    """Mean squared error."""
+    a, e = _pair(approx, exact)
+    return float(np.mean((a - e) ** 2))
+
+
+def psnr(approx, exact, peak: float = 255.0) -> float:
+    """Peak signal-to-noise ratio in dB (``inf`` for identical signals)."""
+    err = mse(approx, exact)
+    if err == 0:
+        return float("inf")
+    return float(10.0 * np.log10(peak * peak / err))
+
+
+@dataclass(frozen=True)
+class ErrorMetrics:
+    """Bundle of the standard quality metrics for one component.
+
+    Attributes mirror the free functions of this module; ``n_samples``
+    records the evaluation population size.
+    """
+
+    error_rate: float
+    mean_error_distance: float
+    normalized_med: float
+    max_error_distance: float
+    mean_relative_error_distance: float
+    n_samples: int
+
+    @property
+    def accuracy_percent(self) -> float:
+        return 100.0 * (1.0 - self.error_rate)
+
+    @property
+    def n_error_cases(self) -> int:
+        """Number of erroneous samples (exact only for exhaustive sweeps)."""
+        return round(self.error_rate * self.n_samples)
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "error_rate": self.error_rate,
+            "accuracy_percent": self.accuracy_percent,
+            "mean_error_distance": self.mean_error_distance,
+            "normalized_med": self.normalized_med,
+            "max_error_distance": self.max_error_distance,
+            "mean_relative_error_distance": self.mean_relative_error_distance,
+            "n_samples": self.n_samples,
+        }
+
+
+def compute_error_metrics(
+    approx, exact, max_output: float | None = None
+) -> ErrorMetrics:
+    """Compute the full :class:`ErrorMetrics` bundle in one pass.
+
+    Args:
+        approx: Approximate outputs.
+        exact: Exact reference outputs (same shape).
+        max_output: Normalization constant for NMED; defaults to the
+            maximum observed exact magnitude (1.0 if all-zero).
+    """
+    a, e = _pair(approx, exact)
+    if max_output is None:
+        observed = float(np.max(np.abs(e)))
+        max_output = observed if observed > 0 else 1.0
+    nonzero = e != 0
+    if np.any(nonzero):
+        mred = float(
+            np.mean(np.abs(a[nonzero] - e[nonzero]) / np.abs(e[nonzero]))
+        )
+    else:
+        mred = 0.0
+    med = float(np.mean(np.abs(a - e)))
+    return ErrorMetrics(
+        error_rate=float(np.mean(a != e)),
+        mean_error_distance=med,
+        normalized_med=med / max_output,
+        max_error_distance=float(np.max(np.abs(a - e))),
+        mean_relative_error_distance=mred,
+        n_samples=int(a.size),
+    )

@@ -1,0 +1,201 @@
+"""Discrete probability-mass-function algebra for error analysis.
+
+The paper (Sec. 6) calls for *statistical error analysis* of approximate
+logic blocks so that accelerator-level quality can be predicted "without
+extensive numerical simulations".  :class:`ErrorPMF` is the workhorse:
+a discrete distribution over integer error values supporting exactly the
+operations error propagation needs -- convolution (sum of independent
+errors), negation (subtraction datapaths), scaling by powers of two
+(shift alignment), and moment/tail queries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Mapping, Tuple
+
+import numpy as np
+
+__all__ = ["ErrorPMF"]
+
+
+class ErrorPMF:
+    """A discrete PMF over integer values (typically error magnitudes).
+
+    Instances are immutable; all operations return new PMFs.  Probability
+    mass below ``prune_tol`` is dropped (and the PMF re-normalized) to
+    keep supports compact across long convolution chains.
+
+    Example:
+        >>> coin = ErrorPMF({0: 0.5, 1: 0.5})
+        >>> two = coin.convolve(coin)
+        >>> two.probability(1)
+        0.5
+    """
+
+    #: Mass threshold below which support points are pruned.
+    prune_tol = 1e-12
+
+    def __init__(self, mass: Mapping[int, float]) -> None:
+        cleaned: Dict[int, float] = {}
+        for value, prob in mass.items():
+            if prob < 0:
+                raise ValueError(f"negative probability {prob} at {value}")
+            if prob > self.prune_tol:
+                cleaned[int(value)] = cleaned.get(int(value), 0.0) + float(prob)
+        if not cleaned:
+            raise ValueError("PMF needs at least one support point")
+        total = sum(cleaned.values())
+        if abs(total - 1.0) > 1e-6:
+            raise ValueError(f"PMF mass sums to {total}, expected 1")
+        self._mass: Dict[int, float] = {
+            v: p / total for v, p in sorted(cleaned.items())
+        }
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def delta(cls, value: int = 0) -> "ErrorPMF":
+        """Point mass at ``value`` (an exact component has delta(0))."""
+        return cls({value: 1.0})
+
+    @classmethod
+    def from_samples(cls, samples: Iterable[int]) -> "ErrorPMF":
+        """Empirical PMF from integer samples."""
+        arr = np.asarray(list(samples), dtype=np.int64)
+        if arr.size == 0:
+            raise ValueError("need at least one sample")
+        values, counts = np.unique(arr, return_counts=True)
+        return cls(
+            {int(v): c / arr.size for v, c in zip(values, counts)}
+        )
+
+    @classmethod
+    def from_pairs(cls, approx, exact) -> "ErrorPMF":
+        """Empirical error PMF of ``approx - exact`` over paired outputs."""
+        a = np.asarray(approx, dtype=np.int64)
+        e = np.asarray(exact, dtype=np.int64)
+        return cls.from_samples((a - e).ravel())
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    @property
+    def support(self) -> Tuple[int, ...]:
+        return tuple(self._mass)
+
+    def probability(self, value: int) -> float:
+        """Mass at ``value`` (0.0 outside the support)."""
+        return self._mass.get(int(value), 0.0)
+
+    def items(self) -> Iterable[Tuple[int, float]]:
+        """Iterate over ``(value, probability)`` pairs, values ascending."""
+        return self._mass.items()
+
+    @property
+    def error_rate(self) -> float:
+        """Probability of a nonzero error."""
+        return 1.0 - self.probability(0)
+
+    @property
+    def mean(self) -> float:
+        return sum(v * p for v, p in self._mass.items())
+
+    @property
+    def variance(self) -> float:
+        mu = self.mean
+        return sum((v - mu) ** 2 * p for v, p in self._mass.items())
+
+    @property
+    def mean_abs(self) -> float:
+        """Mean error distance implied by the PMF."""
+        return sum(abs(v) * p for v, p in self._mass.items())
+
+    @property
+    def max_abs(self) -> int:
+        """Largest error magnitude in the support."""
+        return max(abs(v) for v in self._mass)
+
+    def mode(self) -> int:
+        """The most likely value (ties broken toward smaller values)."""
+        return max(self._mass, key=lambda v: (self._mass[v], -abs(v)))
+
+    def tail_probability(self, threshold: int) -> float:
+        """``P[|error| >= threshold]``."""
+        return sum(p for v, p in self._mass.items() if abs(v) >= threshold)
+
+    # ------------------------------------------------------------------
+    # algebra
+    # ------------------------------------------------------------------
+    def convolve(self, other: "ErrorPMF") -> "ErrorPMF":
+        """PMF of the sum of two independent errors."""
+        out: Dict[int, float] = {}
+        for v1, p1 in self._mass.items():
+            for v2, p2 in other._mass.items():
+                out[v1 + v2] = out.get(v1 + v2, 0.0) + p1 * p2
+        return ErrorPMF(out)
+
+    def __add__(self, other: "ErrorPMF") -> "ErrorPMF":
+        return self.convolve(other)
+
+    def negate(self) -> "ErrorPMF":
+        """PMF of ``-error`` (for subtraction datapaths)."""
+        return ErrorPMF({-v: p for v, p in self._mass.items()})
+
+    def scale(self, factor: int) -> "ErrorPMF":
+        """PMF of ``factor * error`` (e.g. a left shift by k is 2**k)."""
+        if factor == 0:
+            return ErrorPMF.delta(0)
+        return ErrorPMF({v * factor: p for v, p in self._mass.items()})
+
+    def shift(self, offset: int) -> "ErrorPMF":
+        """PMF of ``error + offset`` (applying a correction constant)."""
+        return ErrorPMF({v + offset: p for v, p in self._mass.items()})
+
+    def mixture(self, other: "ErrorPMF", weight: float) -> "ErrorPMF":
+        """Mixture ``weight * self + (1 - weight) * other``."""
+        if not 0.0 <= weight <= 1.0:
+            raise ValueError(f"weight must be in [0, 1], got {weight}")
+        out: Dict[int, float] = {}
+        for v, p in self._mass.items():
+            out[v] = out.get(v, 0.0) + weight * p
+        for v, p in other._mass.items():
+            out[v] = out.get(v, 0.0) + (1.0 - weight) * p
+        return ErrorPMF(out)
+
+    def convolve_n(self, n: int) -> "ErrorPMF":
+        """PMF of the sum of ``n`` i.i.d. copies (fast doubling)."""
+        if n < 0:
+            raise ValueError(f"n must be >= 0, got {n}")
+        result = ErrorPMF.delta(0)
+        base = self
+        while n:
+            if n & 1:
+                result = result.convolve(base)
+            n >>= 1
+            if n:
+                base = base.convolve(base)
+        return result
+
+    # ------------------------------------------------------------------
+    # misc
+    # ------------------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ErrorPMF):
+            return NotImplemented
+        if set(self._mass) != set(other._mass):
+            return False
+        return all(
+            abs(self._mass[v] - other._mass[v]) < 1e-9 for v in self._mass
+        )
+
+    def __hash__(self) -> int:  # immutable value type
+        return hash(tuple(self._mass.items()))
+
+    def __repr__(self) -> str:
+        head = ", ".join(
+            f"{v}: {p:.4f}" for v, p in list(self._mass.items())[:6]
+        )
+        more = "" if len(self._mass) <= 6 else ", ..."
+        return f"ErrorPMF({{{head}{more}}})"

@@ -1,0 +1,125 @@
+"""Per-node error-sensitivity analysis of dataflow accelerators.
+
+Supports the paper's Fig. 7 step "statistical error analysis ... to
+adopt appropriate basic approximate logic blocks": before choosing
+*which* nodes of an accelerator to approximate, rank them by how much a
+unit of error injected at each node perturbs the output.  Nodes feeding
+high-significance positions (or surviving abs/clip masking) rank high;
+heavily masked nodes rank low -- those are the profitable places to
+approximate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from ..accelerators.dataflow import DataflowAccelerator
+
+__all__ = ["NodeSensitivity", "rank_node_sensitivity"]
+
+
+@dataclass(frozen=True)
+class NodeSensitivity:
+    """Measured sensitivity of one dataflow node.
+
+    Attributes:
+        node_index: Index in the accelerator's node list.
+        op: The node's operation.
+        mean_output_shift: Mean |output change| per unit of injected
+            error at the node.
+        masked_fraction: Fraction of injections fully absorbed
+            downstream (output unchanged).
+    """
+
+    node_index: int
+    op: str
+    mean_output_shift: float
+    masked_fraction: float
+
+
+def rank_node_sensitivity(
+    accelerator: DataflowAccelerator,
+    stimuli: Dict[str, np.ndarray],
+    injection: int = 1,
+) -> List[NodeSensitivity]:
+    """Rank arithmetic nodes by output sensitivity to injected error.
+
+    For every add/sub/mul node, the node's value is perturbed by
+    ``+injection`` and the graph downstream is re-evaluated; the mean
+    absolute output change and the fraction of fully masked injections
+    are recorded.
+
+    Args:
+        accelerator: Evaluated graph (must have an output).
+        stimuli: Input vectors to measure over.
+        injection: Error magnitude injected at each node.
+
+    Returns:
+        Sensitivities sorted most-sensitive first.
+    """
+    if accelerator.output is None:
+        raise ValueError("accelerator has no output; call set_output")
+    baseline_values = accelerator.evaluate(stimuli, all_nodes=True)
+    baseline_out = baseline_values[accelerator.output]
+
+    results: List[NodeSensitivity] = []
+    for node in accelerator.nodes:
+        if node.op not in ("add", "sub", "mul"):
+            continue
+        perturbed = _evaluate_with_injection(
+            accelerator, stimuli, node.index, injection, baseline_values
+        )
+        delta = np.abs(perturbed - baseline_out)
+        results.append(
+            NodeSensitivity(
+                node_index=node.index,
+                op=node.op,
+                mean_output_shift=float(delta.mean()) / abs(injection),
+                masked_fraction=float(np.mean(delta == 0)),
+            )
+        )
+    results.sort(key=lambda s: (-s.mean_output_shift, s.node_index))
+    return results
+
+
+def _evaluate_with_injection(
+    accelerator: DataflowAccelerator,
+    stimuli: Dict[str, np.ndarray],
+    inject_at: int,
+    injection: int,
+    baseline_values: List[np.ndarray],
+) -> np.ndarray:
+    """Re-evaluate downstream of ``inject_at`` with a perturbed value."""
+    values = list(baseline_values)
+    values[inject_at] = values[inject_at] + injection
+    for node in accelerator.nodes[inject_at + 1 :]:
+        unit = node.unit or accelerator.default_unit
+        if node.op in ("input", "const"):
+            continue
+        if node.op == "add":
+            values[node.index] = unit.add(
+                values[node.args[0]], values[node.args[1]]
+            )
+        elif node.op == "sub":
+            values[node.index] = unit.sub(
+                values[node.args[0]], values[node.args[1]]
+            )
+        elif node.op == "mul":
+            values[node.index] = unit.multiply(
+                values[node.args[0]], values[node.args[1]]
+            )
+        elif node.op == "abs":
+            values[node.index] = np.abs(values[node.args[0]])
+        elif node.op == "neg":
+            values[node.index] = -values[node.args[0]]
+        elif node.op == "shl":
+            values[node.index] = values[node.args[0]] << node.param
+        elif node.op == "shr":
+            values[node.index] = values[node.args[0]] >> node.param
+        elif node.op == "clip":
+            lo, hi = node.param
+            values[node.index] = np.clip(values[node.args[0]], lo, hi)
+    return values[accelerator.output]

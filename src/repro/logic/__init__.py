@@ -1,0 +1,58 @@
+"""Gate-level substrate: cells, netlists, synthesis, simulation, power.
+
+This subpackage replaces the ASIC leg of the paper's tool flow (Fig. 2):
+Synopsys DC -> :mod:`repro.logic.synth`, ModelSim -> netlist evaluation,
+SAIF/PrimeTime -> :mod:`repro.logic.simulate`.
+"""
+
+from .cells import CELL_LIBRARY, Cell, cell
+from .equivalence import EquivalenceReport, check_equivalence, count_error_cases
+from .faults import StuckAtFault, fault_error_rates, fault_sites, inject_stuck_at
+from .mapping import LutMapping, map_to_luts
+from .netlist import Gate, Netlist, NetlistError
+from .simulate import (
+    PowerReport,
+    estimate_power,
+    exhaustive_stimuli,
+    random_stimuli,
+    toggle_counts,
+)
+from .vcd import NetActivity, saif_summary, write_vcd
+from .synth import (
+    Implicant,
+    minimize_sop,
+    minimum_cover,
+    prime_implicants,
+    synthesize_truth_table,
+)
+
+__all__ = [
+    "CELL_LIBRARY",
+    "Cell",
+    "cell",
+    "LutMapping",
+    "map_to_luts",
+    "EquivalenceReport",
+    "check_equivalence",
+    "count_error_cases",
+    "StuckAtFault",
+    "fault_error_rates",
+    "fault_sites",
+    "inject_stuck_at",
+    "NetActivity",
+    "saif_summary",
+    "write_vcd",
+    "Gate",
+    "Netlist",
+    "NetlistError",
+    "PowerReport",
+    "estimate_power",
+    "exhaustive_stimuli",
+    "random_stimuli",
+    "toggle_counts",
+    "Implicant",
+    "minimize_sop",
+    "minimum_cover",
+    "prime_implicants",
+    "synthesize_truth_table",
+]

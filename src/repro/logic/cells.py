@@ -1,0 +1,142 @@
+"""Standard-cell library for the gate-level substrate.
+
+The paper characterizes its approximate components with an ASIC flow
+(Synopsys Design Compiler for area, PrimeTime for power).  We replace that
+flow with a small technology library whose cells carry:
+
+* ``area_ge`` -- area in *gate equivalents* (GE), the unit used by the
+  paper's Table III and Fig. 5 (1 GE = area of one NAND2).
+* ``energy_per_toggle_fj`` -- dynamic switching energy per output toggle,
+  proportional to a typical cell's output capacitance.
+* ``leakage_nw`` -- static leakage power.
+* ``delay_ps`` -- pin-to-pin propagation delay used for longest-path
+  timing estimates.
+
+Absolute values are representative of a generic 65 nm library; the paper's
+comparisons are *relative* (approximate vs. accurate variants of the same
+block), and relative ordering is preserved by any library in which area,
+energy and delay grow with transistor count.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Tuple
+
+__all__ = ["Cell", "CELL_LIBRARY", "cell"]
+
+
+@dataclass(frozen=True)
+class Cell:
+    """A combinational standard cell.
+
+    Attributes:
+        name: Library name of the cell (e.g. ``"NAND2"``).
+        n_inputs: Number of input pins.
+        truth: Output bit for every input combination.  Index ``i`` holds
+            the output when the input pins, read MSB-first, encode the
+            integer ``i`` (pin 0 is the MSB of the index).
+        area_ge: Cell area in gate equivalents.
+        energy_per_toggle_fj: Dynamic energy dissipated per output toggle.
+        leakage_nw: Static leakage power in nanowatts.
+        delay_ps: Propagation delay in picoseconds.
+    """
+
+    name: str
+    n_inputs: int
+    truth: Tuple[int, ...]
+    area_ge: float
+    energy_per_toggle_fj: float
+    leakage_nw: float
+    delay_ps: float
+
+    def __post_init__(self) -> None:
+        if len(self.truth) != 1 << self.n_inputs:
+            raise ValueError(
+                f"cell {self.name}: truth table has {len(self.truth)} rows, "
+                f"expected {1 << self.n_inputs}"
+            )
+        if any(bit not in (0, 1) for bit in self.truth):
+            raise ValueError(f"cell {self.name}: truth table must be 0/1")
+
+    def evaluate(self, *inputs: int) -> int:
+        """Evaluate the cell on scalar 0/1 inputs (pin order as declared)."""
+        if len(inputs) != self.n_inputs:
+            raise ValueError(
+                f"cell {self.name} expects {self.n_inputs} inputs, "
+                f"got {len(inputs)}"
+            )
+        index = 0
+        for bit in inputs:
+            index = (index << 1) | (int(bit) & 1)
+        return self.truth[index]
+
+
+def _truth(n_inputs: int, fn: Callable[..., int]) -> Tuple[int, ...]:
+    """Build a truth tuple from a Python function of 0/1 arguments."""
+    rows = []
+    for index in range(1 << n_inputs):
+        bits = [(index >> (n_inputs - 1 - k)) & 1 for k in range(n_inputs)]
+        rows.append(int(bool(fn(*bits))))
+    return tuple(rows)
+
+
+def _make_library() -> Dict[str, Cell]:
+    """Construct the default technology library.
+
+    Areas follow common GE conventions (NAND2/NOR2 = 1.0 GE, INV = 0.67 GE,
+    XOR2 = 2.33 GE, ...).  Energy and delay scale with area so that larger
+    cells are slower and hungrier, which is all the paper's relative
+    comparisons require.
+    """
+    defs = [
+        # name, n, fn, area_ge
+        ("WIRE", 1, lambda a: a, 0.00),
+        ("INV", 1, lambda a: 1 - a, 0.67),
+        ("BUF", 1, lambda a: a, 1.00),
+        ("NAND2", 2, lambda a, b: 1 - (a & b), 1.00),
+        ("NOR2", 2, lambda a, b: 1 - (a | b), 1.00),
+        ("AND2", 2, lambda a, b: a & b, 1.33),
+        ("OR2", 2, lambda a, b: a | b, 1.33),
+        ("XOR2", 2, lambda a, b: a ^ b, 2.33),
+        ("XNOR2", 2, lambda a, b: 1 - (a ^ b), 2.33),
+        ("NAND3", 3, lambda a, b, c: 1 - (a & b & c), 1.33),
+        ("NOR3", 3, lambda a, b, c: 1 - (a | b | c), 1.33),
+        ("AND3", 3, lambda a, b, c: a & b & c, 1.67),
+        ("OR3", 3, lambda a, b, c: a | b | c, 1.67),
+        ("XOR3", 3, lambda a, b, c: a ^ b ^ c, 4.67),
+        ("MAJ3", 3, lambda a, b, c: (a & b) | (a & c) | (b & c), 2.33),
+        ("MIN3", 3, lambda a, b, c: 1 - ((a & b) | (a & c) | (b & c)), 2.33),
+        ("MUX2", 3, lambda s, a, b: b if s else a, 2.33),
+        ("AOI21", 3, lambda a, b, c: 1 - ((a & b) | c), 1.33),
+        ("OAI21", 3, lambda a, b, c: 1 - ((a | b) & c), 1.33),
+        ("AND4", 4, lambda a, b, c, d: a & b & c & d, 2.00),
+        ("OR4", 4, lambda a, b, c, d: a | b | c | d, 2.00),
+    ]
+    library: Dict[str, Cell] = {}
+    for name, n_inputs, fn, area in defs:
+        library[name] = Cell(
+            name=name,
+            n_inputs=n_inputs,
+            truth=_truth(n_inputs, fn),
+            area_ge=area,
+            # 1 GE ~ 1.8 fJ/toggle and ~2.5 nW leakage in a generic 65 nm
+            # node; delays ~12 ps per GE of complexity.
+            energy_per_toggle_fj=1.8 * area,
+            leakage_nw=2.5 * area,
+            delay_ps=12.0 * area,
+        )
+    return library
+
+
+#: The default technology library, keyed by cell name.
+CELL_LIBRARY: Dict[str, Cell] = _make_library()
+
+
+def cell(name: str) -> Cell:
+    """Look up a cell by name, raising ``KeyError`` with a helpful message."""
+    try:
+        return CELL_LIBRARY[name]
+    except KeyError:
+        known = ", ".join(sorted(CELL_LIBRARY))
+        raise KeyError(f"unknown cell {name!r}; known cells: {known}") from None

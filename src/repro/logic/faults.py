@@ -1,0 +1,123 @@
+"""Stuck-at fault injection for gate-level netlists.
+
+The paper motivates approximate computing partly through technology
+reliability: "each new technology node faces serious reliability
+threats [19], which may lead to different types of hardware-level
+faults".  This module lets the substrate quantify that interaction:
+
+* :func:`inject_stuck_at` -- a copy of a netlist with one net forced to
+  0 or 1 (the classic stuck-at fault model);
+* :func:`fault_sites` -- enumerates injectable nets;
+* :func:`fault_error_rates` -- output-error statistics of every
+  single-fault machine against the fault-free design, i.e. how much a
+  *defect* perturbs an (already approximate) component.
+
+Combined with the error metrics this answers questions like "does an
+approximate adder mask manufacturing faults better than the exact one?"
+(see ``tests/integration`` and the fault-resilience bench).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from .netlist import Netlist
+from .simulate import exhaustive_stimuli, random_stimuli
+
+__all__ = ["StuckAtFault", "fault_sites", "inject_stuck_at", "fault_error_rates"]
+
+
+@dataclass(frozen=True)
+class StuckAtFault:
+    """A single stuck-at fault site."""
+
+    net: str
+    value: int  # 0 or 1
+
+    def __post_init__(self) -> None:
+        if self.value not in (0, 1):
+            raise ValueError(f"stuck-at value must be 0/1, got {self.value}")
+
+
+def fault_sites(netlist: Netlist) -> List[str]:
+    """Nets where a stuck-at fault can be injected (all driven nets)."""
+    return [gate.output for gate in netlist.gates]
+
+
+def inject_stuck_at(netlist: Netlist, fault: StuckAtFault) -> Netlist:
+    """Return a copy of ``netlist`` with ``fault.net`` tied to a constant.
+
+    The faulty net's driver is kept (it still burns power in silicon)
+    but every *consumer* of the net reads the stuck value instead, which
+    is exactly the single-stuck-line fault model.
+
+    Raises:
+        ValueError: If the net is not an injectable site.
+    """
+    if fault.net not in {g.output for g in netlist.gates}:
+        raise ValueError(f"net {fault.net!r} is not an injectable site")
+    faulty = Netlist(
+        f"{netlist.name}__sa{fault.value}_{fault.net}",
+        inputs=list(netlist.inputs),
+        outputs=list(netlist.outputs),
+    )
+    stuck_const = "VDD" if fault.value else "GND"
+    stuck_alias = f"{fault.net}__stuck"
+    for gate in netlist.gates:
+        out = gate.output
+        if out == fault.net:
+            # Keep the original cone on a renamed net; expose the stuck
+            # value under the original name via a wire.
+            out = f"{fault.net}__orig"
+        inputs = [
+            stuck_alias if net == fault.net else net for net in gate.inputs
+        ]
+        faulty.add_gate(gate.cell.name, inputs, out)
+    faulty.add_gate("WIRE", [stuck_const], stuck_alias)
+    # Outputs that referenced the faulty net must also read the stuck value.
+    if fault.net in netlist.outputs:
+        faulty.add_gate("WIRE", [stuck_alias], fault.net)
+    faulty.validate()
+    return faulty
+
+
+def fault_error_rates(
+    netlist: Netlist,
+    faults: Sequence[StuckAtFault] | None = None,
+    n_random_vectors: int = 2048,
+    seed: int = 0,
+) -> Dict[StuckAtFault, float]:
+    """Output-error rate of each single-fault machine vs the fault-free one.
+
+    Args:
+        netlist: Fault-free design.
+        faults: Fault list; default is stuck-at-0 and stuck-at-1 on
+            every injectable net.
+        n_random_vectors: Vector count when the input space is large.
+        seed: RNG seed.
+
+    Returns:
+        Mapping fault -> fraction of vectors with any differing output.
+    """
+    if faults is None:
+        faults = [
+            StuckAtFault(net, v) for net in fault_sites(netlist) for v in (0, 1)
+        ]
+    inputs = list(netlist.inputs)
+    if len(inputs) <= 16:
+        stimuli = exhaustive_stimuli(inputs)
+    else:
+        stimuli = random_stimuli(inputs, n_random_vectors, seed)
+    golden = netlist.evaluate(stimuli)
+    rates: Dict[StuckAtFault, float] = {}
+    for fault in faults:
+        faulty = inject_stuck_at(netlist, fault)
+        out = faulty.evaluate(stimuli)
+        mismatch = np.zeros(np.asarray(stimuli[inputs[0]]).shape, dtype=bool)
+        for net in netlist.outputs:
+            mismatch |= out[net] != golden[net]
+        rates[fault] = float(np.mean(mismatch))
+    return rates

@@ -1,0 +1,201 @@
+"""K-input LUT technology mapping (the Xilinx ISE substitute).
+
+The paper's Table IV reports Virtex-6 LUT counts from ISE synthesis.
+This module estimates LUT usage for any :class:`~repro.logic.netlist.
+Netlist` with two classic bounds:
+
+* **duplication-free greedy cone covering** (``n_luts``): gates are
+  visited topologically and each gate absorbs single-fanout fanin cones
+  while the combined support fits in K inputs -- the FlowMap-style
+  heuristic restricted to fanout-free cones;
+* **full-duplication estimate** (``n_luts_duplicated``): each primary
+  output whose transitive input support fits in K inputs costs exactly
+  one LUT (logic replication allowed), which is what ISE typically does
+  for small arithmetic cells.
+
+Real mappers land between the two; both are monotone in circuit
+complexity, which is all the paper's area comparisons require.
+Zero-area cells (``WIRE``) are routing and map for free.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Dict, FrozenSet, List, Set
+
+from .netlist import Gate, Netlist
+
+__all__ = ["LutMapping", "map_to_luts"]
+
+_CONSTS = {"GND", "VDD"}
+
+
+@dataclass(frozen=True)
+class LutMapping:
+    """Result of LUT-mapping a netlist.
+
+    Attributes:
+        n_luts: LUT count of the duplication-free greedy covering.
+        n_luts_duplicated: LUT count allowing full logic duplication
+            (every K-feasible output cone is one LUT).
+        k: Targeted LUT input count.
+        depth: LUT levels on the longest input-to-output path (greedy
+            covering).
+        cones: Leaf set of every greedy LUT root.
+    """
+
+    n_luts: int
+    n_luts_duplicated: int
+    k: int
+    depth: int
+    cones: Dict[str, FrozenSet[str]]
+
+
+def _is_wire(gate: Gate) -> bool:
+    return gate.cell.area_ge == 0.0 and gate.cell.n_inputs == 1
+
+
+def map_to_luts(netlist: Netlist, k: int = 6) -> LutMapping:
+    """Map a netlist onto K-input LUTs.
+
+    Args:
+        netlist: Combinational netlist (validated on entry).
+        k: LUT input count (6 for the paper's Virtex-6 target).
+
+    Returns:
+        A :class:`LutMapping`.
+
+    Raises:
+        ValueError: If ``k < 2`` or a cell has more than ``k`` inputs.
+    """
+    if k < 2:
+        raise ValueError(f"k must be >= 2, got {k}")
+    netlist.validate()
+    drivers: Dict[str, Gate] = {g.output: g for g in netlist.gates}
+    primary = set(netlist.inputs)
+
+    fanout: Dict[str, int] = {}
+    for gate in netlist.gates:
+        for net in gate.inputs:
+            fanout[net] = fanout.get(net, 0) + 1
+    for net in netlist.outputs:
+        fanout[net] = fanout.get(net, 0) + 1
+
+    # -- forward pass: greedy duplication-free cones ---------------------
+    support: Dict[str, FrozenSet[str]] = {}
+    wire_alias: Dict[str, str] = {}  # wire output -> effective source net
+    depth: Dict[str, int] = {net: 0 for net in primary | _CONSTS}
+
+    def resolve(net: str) -> str:
+        while net in wire_alias:
+            net = wire_alias[net]
+        return net
+
+    def leaf_set(net: str) -> FrozenSet[str]:
+        net = resolve(net)
+        if net in primary:
+            return frozenset([net])
+        if net in _CONSTS:
+            return frozenset()
+        return support[net]
+
+    for gate in netlist.topological_order():
+        if _is_wire(gate):
+            src = resolve(gate.inputs[0])
+            wire_alias[gate.output] = src
+            depth[gate.output] = depth.get(src, 0)
+            continue
+        if gate.cell.n_inputs > k:
+            raise ValueError(
+                f"cell {gate.cell.name} has {gate.cell.n_inputs} inputs; "
+                f"cannot map onto {k}-LUTs without decomposition"
+            )
+        combined: Set[str] = set()
+        level = 0
+        for raw in gate.inputs:
+            net = resolve(raw)
+            if net in _CONSTS:
+                continue
+            absorbable = (
+                net in drivers
+                and fanout.get(net, 0) == 1
+                and net not in netlist.outputs
+            )
+            if absorbable:
+                merged = combined | set(leaf_set(net))
+                if len(merged) <= k:
+                    combined = merged
+                    level = max(
+                        [level]
+                        + [depth.get(leaf, 0) for leaf in leaf_set(net)]
+                    )
+                    continue
+            combined.add(net)
+            level = max(level, depth.get(net, 0))
+        support[gate.output] = frozenset(combined)
+        depth[gate.output] = level + 1
+
+    # -- collect greedy roots reachable from the outputs -----------------
+    mapped: Dict[str, FrozenSet[str]] = {}
+    stack: List[str] = [resolve(out) for out in netlist.outputs]
+    while stack:
+        net = stack.pop()
+        if net in mapped or net in primary or net in _CONSTS:
+            continue
+        cone = leaf_set(net)
+        mapped[net] = cone
+        for leaf in cone:
+            stack.append(resolve(leaf))
+    n_luts = len(mapped)
+
+    # -- duplication estimate: one LUT per K-feasible output cone --------
+    full_support_cache: Dict[str, FrozenSet[str]] = {}
+
+    def full_support(net: str) -> FrozenSet[str]:
+        net = resolve(net)
+        if net in primary:
+            return frozenset([net])
+        if net in _CONSTS:
+            return frozenset()
+        if net in full_support_cache:
+            return full_support_cache[net]
+        gate = drivers[net]
+        total: Set[str] = set()
+        for fanin in gate.inputs:
+            total |= set(full_support(fanin))
+        result = frozenset(total)
+        full_support_cache[net] = result
+        return result
+
+    def greedy_roots_under(net: str, seen: Set[str]) -> int:
+        """Greedy LUT roots in the transitive fanin of one output."""
+        net = resolve(net)
+        if net in primary or net in _CONSTS or net in seen:
+            return 0
+        seen.add(net)
+        count = 1
+        for leaf in mapped.get(net, frozenset()):
+            count += greedy_roots_under(leaf, seen)
+        return count
+
+    n_dup = 0
+    for out in netlist.outputs:
+        net = resolve(out)
+        if net in primary or net in _CONSTS:
+            continue
+        if len(full_support(net)) <= k:
+            n_dup += 1
+        else:
+            n_dup += greedy_roots_under(net, set())
+
+    max_depth = max(
+        (depth.get(resolve(out), 0) for out in netlist.outputs), default=0
+    )
+    return LutMapping(
+        n_luts=n_luts,
+        n_luts_duplicated=min(n_dup, n_luts) if n_dup else 0,
+        k=k,
+        depth=max_depth,
+        cones=dict(mapped),
+    )

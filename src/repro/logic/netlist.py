@@ -1,0 +1,247 @@
+"""Gate-level netlist representation and evaluation.
+
+A :class:`Netlist` is a directed acyclic graph of standard-cell instances
+connected by named nets.  It supports:
+
+* vectorized functional evaluation over NumPy arrays of 0/1 values
+  (ModelSim substitute),
+* structural checks (single driver per net, no combinational loops),
+* area roll-up in gate equivalents,
+* longest-path delay estimation (static timing substitute).
+
+Power estimation lives in :mod:`repro.logic.simulate` because it needs a
+stimulus to count toggles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+import numpy as np
+
+from .cells import CELL_LIBRARY, Cell, cell
+
+__all__ = ["Gate", "Netlist", "NetlistError"]
+
+#: Reserved net names carrying constant logic values.
+_CONST_NETS = {"GND": 0, "VDD": 1}
+
+
+class NetlistError(ValueError):
+    """Raised for structural problems in a netlist."""
+
+
+@dataclass(frozen=True)
+class Gate:
+    """One standard-cell instance inside a netlist."""
+
+    cell: Cell
+    inputs: Tuple[str, ...]
+    output: str
+
+    def __post_init__(self) -> None:
+        if len(self.inputs) != self.cell.n_inputs:
+            raise NetlistError(
+                f"gate {self.cell.name} -> {self.output}: expected "
+                f"{self.cell.n_inputs} inputs, got {len(self.inputs)}"
+            )
+
+
+class Netlist:
+    """A combinational gate-level netlist.
+
+    Nets are identified by strings.  ``GND`` and ``VDD`` are implicit
+    constant nets.  Primary inputs must be declared up front; primary
+    outputs may be declared at construction or via :meth:`set_outputs`.
+
+    Example:
+        >>> nl = Netlist("half_adder", inputs=["a", "b"], outputs=["s", "c"])
+        >>> _ = nl.add_gate("XOR2", ["a", "b"], "s")
+        >>> _ = nl.add_gate("AND2", ["a", "b"], "c")
+        >>> out = nl.evaluate({"a": np.array([0, 1, 1]), "b": np.array([1, 0, 1])})
+        >>> out["s"].tolist(), out["c"].tolist()
+        ([1, 1, 0], [0, 0, 1])
+    """
+
+    def __init__(
+        self,
+        name: str,
+        inputs: Sequence[str],
+        outputs: Sequence[str] = (),
+    ) -> None:
+        if len(set(inputs)) != len(inputs):
+            raise NetlistError(f"duplicate primary input in {list(inputs)}")
+        for net in inputs:
+            if net in _CONST_NETS:
+                raise NetlistError(f"{net} is a reserved constant net")
+        self.name = name
+        self.inputs: Tuple[str, ...] = tuple(inputs)
+        self.outputs: Tuple[str, ...] = tuple(outputs)
+        self.gates: List[Gate] = []
+        self._drivers: Dict[str, Gate] = {}
+        self._order_cache: List[Gate] | None = None
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def add_gate(
+        self, cell_name: str, inputs: Sequence[str], output: str
+    ) -> Gate:
+        """Instantiate ``cell_name`` driving net ``output``."""
+        if output in self._drivers:
+            raise NetlistError(f"net {output!r} already has a driver")
+        if output in self.inputs or output in _CONST_NETS:
+            raise NetlistError(f"net {output!r} cannot be driven by a gate")
+        gate = Gate(cell(cell_name), tuple(inputs), output)
+        self.gates.append(gate)
+        self._drivers[output] = gate
+        self._order_cache = None
+        return gate
+
+    def add_buffer(self, src: str, dst: str) -> Gate:
+        """Alias net ``src`` onto ``dst`` through a BUF cell."""
+        return self.add_gate("BUF", [src], dst)
+
+    def set_outputs(self, outputs: Sequence[str]) -> None:
+        """Declare (or re-declare) the primary outputs."""
+        self.outputs = tuple(outputs)
+
+    # ------------------------------------------------------------------
+    # structure
+    # ------------------------------------------------------------------
+    def _known_nets(self) -> set:
+        nets = set(self.inputs) | set(_CONST_NETS) | set(self._drivers)
+        return nets
+
+    def validate(self) -> None:
+        """Check that every net is driven and the graph is acyclic."""
+        known = self._known_nets()
+        for gate in self.gates:
+            for net in gate.inputs:
+                if net not in known:
+                    raise NetlistError(
+                        f"gate {gate.cell.name} -> {gate.output}: "
+                        f"input net {net!r} has no driver"
+                    )
+        for net in self.outputs:
+            if net not in known:
+                raise NetlistError(f"primary output {net!r} has no driver")
+        self.topological_order()  # raises on cycles
+
+    def topological_order(self) -> List[Gate]:
+        """Return gates in an evaluation-safe order (Kahn's algorithm)."""
+        if self._order_cache is not None:
+            return self._order_cache
+        ready = set(self.inputs) | set(_CONST_NETS)
+        remaining = list(self.gates)
+        order: List[Gate] = []
+        while remaining:
+            progressed = False
+            still: List[Gate] = []
+            for gate in remaining:
+                if all(net in ready for net in gate.inputs):
+                    order.append(gate)
+                    ready.add(gate.output)
+                    progressed = True
+                else:
+                    still.append(gate)
+            if not progressed:
+                bad = ", ".join(g.output for g in still[:5])
+                raise NetlistError(
+                    f"combinational loop or undriven net involving: {bad}"
+                )
+            remaining = still
+        self._order_cache = order
+        return order
+
+    # ------------------------------------------------------------------
+    # evaluation
+    # ------------------------------------------------------------------
+    def evaluate(
+        self, stimuli: Dict[str, np.ndarray], trace: bool = False
+    ) -> Dict[str, np.ndarray]:
+        """Evaluate the netlist on vectors of 0/1 values.
+
+        Args:
+            stimuli: Mapping from every primary-input net to an array of
+                0/1 values.  All arrays must share one shape.
+            trace: When true, the returned mapping contains *every* net's
+                waveform (needed for toggle counting), not just the
+                primary outputs.
+
+        Returns:
+            Mapping from net name to its evaluated array.
+        """
+        missing = [net for net in self.inputs if net not in stimuli]
+        if missing:
+            raise NetlistError(f"missing stimuli for inputs: {missing}")
+        values: Dict[str, np.ndarray] = {}
+        shape = None
+        for net in self.inputs:
+            arr = np.asarray(stimuli[net]).astype(np.uint8)
+            if shape is None:
+                shape = arr.shape
+            elif arr.shape != shape:
+                raise NetlistError("stimulus arrays must share one shape")
+            values[net] = arr
+        if shape is None:  # netlist with no inputs (constant logic)
+            shape = ()
+        values["GND"] = np.zeros(shape, dtype=np.uint8)
+        values["VDD"] = np.ones(shape, dtype=np.uint8)
+
+        for gate in self.topological_order():
+            index = np.zeros(shape, dtype=np.int64)
+            for net in gate.inputs:
+                index = (index << 1) | values[net]
+            lut = np.asarray(gate.cell.truth, dtype=np.uint8)
+            values[gate.output] = lut[index]
+
+        if trace:
+            return values
+        return {net: values[net] for net in self.outputs}
+
+    def evaluate_int(
+        self, stimuli: Dict[str, np.ndarray]
+    ) -> Dict[str, np.ndarray]:
+        """Like :meth:`evaluate` but accepts/returns plain int arrays."""
+        return self.evaluate(stimuli)
+
+    # ------------------------------------------------------------------
+    # metrics
+    # ------------------------------------------------------------------
+    @property
+    def area_ge(self) -> float:
+        """Total cell area in gate equivalents."""
+        return float(sum(g.cell.area_ge for g in self.gates))
+
+    @property
+    def leakage_nw(self) -> float:
+        """Total static leakage power in nanowatts."""
+        return float(sum(g.cell.leakage_nw for g in self.gates))
+
+    def cell_counts(self) -> Dict[str, int]:
+        """Histogram of cell usage by cell name."""
+        counts: Dict[str, int] = {}
+        for gate in self.gates:
+            counts[gate.cell.name] = counts.get(gate.cell.name, 0) + 1
+        return counts
+
+    def delay_ps(self) -> float:
+        """Longest combinational path delay (sum of cell delays)."""
+        arrival: Dict[str, float] = {net: 0.0 for net in self.inputs}
+        arrival.update({net: 0.0 for net in _CONST_NETS})
+        worst = 0.0
+        for gate in self.topological_order():
+            t_in = max((arrival.get(net, 0.0) for net in gate.inputs), default=0.0)
+            t_out = t_in + gate.cell.delay_ps
+            arrival[gate.output] = t_out
+            worst = max(worst, t_out)
+        return worst
+
+    def __repr__(self) -> str:
+        return (
+            f"Netlist({self.name!r}, {len(self.inputs)} in, "
+            f"{len(self.outputs)} out, {len(self.gates)} gates, "
+            f"{self.area_ge:.2f} GE)"
+        )

@@ -1,0 +1,135 @@
+"""Vector simulation, switching-activity capture and power estimation.
+
+This replaces the ModelSim + SAIF + PrimeTime leg of the paper's tool flow
+(Fig. 2): a stimulus is applied to a netlist, per-net toggle counts are
+recorded (the SAIF equivalent), and dynamic power is computed from the
+per-cell switching energy in the technology library.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Sequence
+
+import numpy as np
+
+from .netlist import Netlist
+
+__all__ = [
+    "PowerReport",
+    "exhaustive_stimuli",
+    "random_stimuli",
+    "toggle_counts",
+    "estimate_power",
+]
+
+
+@dataclass(frozen=True)
+class PowerReport:
+    """Power estimate for a netlist under a given stimulus.
+
+    Attributes:
+        dynamic_nw: Average dynamic (switching) power in nanowatts.
+        static_nw: Leakage power in nanowatts.
+        total_nw: Sum of the two.
+        n_vectors: Number of stimulus vectors applied.
+        frequency_hz: Clock frequency assumed for averaging.
+    """
+
+    dynamic_nw: float
+    static_nw: float
+    n_vectors: int
+    frequency_hz: float
+
+    @property
+    def total_nw(self) -> float:
+        return self.dynamic_nw + self.static_nw
+
+
+def exhaustive_stimuli(input_names: Sequence[str]) -> Dict[str, np.ndarray]:
+    """All ``2**n`` input combinations, LSB-first over the name list.
+
+    ``input_names[0]`` toggles fastest, mirroring a counter sweep.
+    """
+    n = len(input_names)
+    index = np.arange(1 << n, dtype=np.int64)
+    return {
+        name: ((index >> i) & 1).astype(np.uint8)
+        for i, name in enumerate(input_names)
+    }
+
+
+def random_stimuli(
+    input_names: Sequence[str], n_vectors: int, seed: int = 0
+) -> Dict[str, np.ndarray]:
+    """Uniform random 0/1 vectors for each input net."""
+    rng = np.random.default_rng(seed)
+    return {
+        name: rng.integers(0, 2, size=n_vectors, dtype=np.int64).astype(np.uint8)
+        for name in input_names
+    }
+
+
+def toggle_counts(
+    netlist: Netlist, stimuli: Dict[str, np.ndarray]
+) -> Dict[str, int]:
+    """Count output toggles per net across consecutive stimulus vectors.
+
+    This is the information a SAIF file would carry: how often each net
+    switched during the simulation.
+    """
+    trace = netlist.evaluate(stimuli, trace=True)
+    counts: Dict[str, int] = {}
+    for net, wave in trace.items():
+        wave = np.asarray(wave)
+        if wave.ndim == 0 or wave.shape[0] < 2:
+            counts[net] = 0
+        else:
+            counts[net] = int(np.count_nonzero(wave[1:] != wave[:-1]))
+    return counts
+
+
+def estimate_power(
+    netlist: Netlist,
+    stimuli: Dict[str, np.ndarray] | None = None,
+    frequency_hz: float = 100e6,
+    seed: int = 0,
+    n_random_vectors: int = 2048,
+) -> PowerReport:
+    """Estimate average power of a netlist under a stimulus.
+
+    Dynamic power is ``sum_over_gates(toggles * E_toggle) * f / n_vectors``
+    (each vector is one clock cycle); static power is the sum of cell
+    leakages.  If no stimulus is given, a reproducible uniform-random one
+    is generated -- the same input-statistics assumption the paper's error
+    models use.
+
+    Args:
+        netlist: The design under analysis.
+        stimuli: Optional mapping from primary inputs to 0/1 vectors.
+        frequency_hz: Assumed operating frequency.
+        seed: Seed for the generated stimulus (ignored if one is given).
+        n_random_vectors: Length of the generated stimulus.
+
+    Returns:
+        A :class:`PowerReport`.
+    """
+    if stimuli is None:
+        if len(netlist.inputs) <= 11:
+            stimuli = exhaustive_stimuli(netlist.inputs)
+        else:
+            stimuli = random_stimuli(netlist.inputs, n_random_vectors, seed)
+    n_vectors = int(np.asarray(next(iter(stimuli.values()))).shape[0])
+    counts = toggle_counts(netlist, stimuli)
+    energy_fj = 0.0
+    for gate in netlist.gates:
+        energy_fj += counts.get(gate.output, 0) * gate.cell.energy_per_toggle_fj
+    cycles = max(n_vectors - 1, 1)
+    # fJ * Hz = 1e-15 W; report nW (1e-9 W).
+    dynamic_nw = energy_fj * 1e-15 * frequency_hz / cycles * 1e9
+    return PowerReport(
+        dynamic_nw=dynamic_nw,
+        static_nw=netlist.leakage_nw,
+        n_vectors=n_vectors,
+        frequency_hz=frequency_hz,
+    )

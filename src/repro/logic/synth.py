@@ -1,0 +1,268 @@
+"""Truth-table to gate-level synthesis (two-level, Quine-McCluskey).
+
+This is the stand-in for the logic-synthesis step of the paper's ASIC flow
+(Synopsys Design Compiler).  Given a multi-output truth table it:
+
+1. finds all prime implicants per output (Quine-McCluskey),
+2. selects a cover (essential primes + greedy set cover),
+3. emits a sum-of-products :class:`~repro.logic.netlist.Netlist` with
+   shared input inverters and balanced AND/OR trees.
+
+The component truth tables in this library have at most 4 inputs, so the
+exact QM procedure is always fast; the implementation nevertheless works
+for any input count within reason.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+from typing import Dict, FrozenSet, Iterable, List, Sequence, Set, Tuple
+
+from .netlist import Netlist
+
+__all__ = [
+    "Implicant",
+    "prime_implicants",
+    "minimum_cover",
+    "minimize_sop",
+    "synthesize_truth_table",
+]
+
+
+@dataclass(frozen=True)
+class Implicant:
+    """A product term over ``n`` variables.
+
+    ``care`` has a 1 for every variable that appears in the product;
+    ``value`` gives that variable's required polarity (only bits inside
+    ``care`` are meaningful).  Variable ``i`` corresponds to bit ``i``
+    of a minterm index (bit 0 = least significant input).
+    """
+
+    value: int
+    care: int
+
+    def covers(self, minterm: int) -> bool:
+        """True if the product term evaluates to 1 on ``minterm``."""
+        return (minterm & self.care) == (self.value & self.care)
+
+    def literals(self, n_vars: int) -> List[Tuple[int, bool]]:
+        """Return ``(variable index, positive polarity)`` pairs."""
+        out = []
+        for i in range(n_vars):
+            if (self.care >> i) & 1:
+                out.append((i, bool((self.value >> i) & 1)))
+        return out
+
+    def minterms(self, n_vars: int) -> List[int]:
+        """Enumerate all minterms covered by this implicant."""
+        free = [i for i in range(n_vars) if not ((self.care >> i) & 1)]
+        base = self.value & self.care
+        terms = []
+        for k in range(1 << len(free)):
+            m = base
+            for j, var in enumerate(free):
+                if (k >> j) & 1:
+                    m |= 1 << var
+            terms.append(m)
+        return sorted(terms)
+
+
+def prime_implicants(
+    n_vars: int, ones: Iterable[int], dont_cares: Iterable[int] = ()
+) -> List[Implicant]:
+    """Compute all prime implicants of a single-output function.
+
+    Args:
+        n_vars: Number of input variables.
+        ones: Minterm indices where the function is 1.
+        dont_cares: Minterm indices whose value is unconstrained.
+
+    Returns:
+        All prime implicants, deterministically ordered.
+    """
+    full_care = (1 << n_vars) - 1
+    current: Set[Tuple[int, int]] = {
+        (m & full_care, full_care) for m in set(ones) | set(dont_cares)
+    }
+    primes: Set[Tuple[int, int]] = set()
+    while current:
+        merged: Set[Tuple[int, int]] = set()
+        used: Set[Tuple[int, int]] = set()
+        group = sorted(current)
+        for (v1, c1), (v2, c2) in combinations(group, 2):
+            if c1 != c2:
+                continue
+            diff = (v1 ^ v2) & c1
+            if diff and (diff & (diff - 1)) == 0:  # single-bit difference
+                merged.add((v1 & ~diff, c1 & ~diff))
+                used.add((v1, c1))
+                used.add((v2, c2))
+        primes |= current - used
+        current = merged
+    return [Implicant(v, c) for v, c in sorted(primes)]
+
+
+def minimum_cover(
+    n_vars: int, ones: Sequence[int], primes: Sequence[Implicant]
+) -> List[Implicant]:
+    """Select a small cover of ``ones`` using essential primes + greed.
+
+    The greedy step picks, at each round, the prime covering the most
+    still-uncovered minterms (ties broken by fewer literals, then by
+    deterministic ordering), which is optimal for all component tables in
+    this library and near-optimal in general.
+    """
+    remaining: Set[int] = set(ones)
+    chosen: List[Implicant] = []
+
+    # Essential primes first.
+    for minterm in sorted(remaining):
+        covering = [p for p in primes if p.covers(minterm)]
+        if len(covering) == 1 and covering[0] not in chosen:
+            chosen.append(covering[0])
+    for p in chosen:
+        remaining -= set(p.minterms(n_vars))
+
+    # Greedy set cover for the rest.
+    candidates = [p for p in primes if p not in chosen]
+    while remaining:
+        best = None
+        best_key = None
+        for p in candidates:
+            gain = len(remaining & set(p.minterms(n_vars)))
+            if gain == 0:
+                continue
+            n_literals = bin(p.care).count("1")
+            key = (-gain, n_literals, p.value, p.care)
+            if best_key is None or key < best_key:
+                best, best_key = p, key
+        if best is None:
+            raise ValueError("prime implicants do not cover all minterms")
+        chosen.append(best)
+        candidates.remove(best)
+        remaining -= set(best.minterms(n_vars))
+    return chosen
+
+
+def minimize_sop(
+    n_vars: int, ones: Sequence[int], dont_cares: Sequence[int] = ()
+) -> List[Implicant]:
+    """Minimize a single-output function into a short list of products."""
+    ones = sorted(set(ones))
+    if not ones:
+        return []
+    if len(ones) + len(set(dont_cares)) == (1 << n_vars):
+        return [Implicant(0, 0)]  # constant 1
+    primes = prime_implicants(n_vars, ones, dont_cares)
+    return minimum_cover(n_vars, ones, primes)
+
+
+def _tree_reduce(
+    netlist: Netlist, nets: List[str], cell2: str, prefix: str
+) -> str:
+    """Reduce a list of nets with a balanced tree of 2-input cells."""
+    if not nets:
+        raise ValueError("cannot reduce an empty net list")
+    level = 0
+    while len(nets) > 1:
+        nxt: List[str] = []
+        for i in range(0, len(nets) - 1, 2):
+            out = f"{prefix}_t{level}_{i // 2}"
+            netlist.add_gate(cell2, [nets[i], nets[i + 1]], out)
+            nxt.append(out)
+        if len(nets) % 2:
+            nxt.append(nets[-1])
+        nets = nxt
+        level += 1
+    return nets[0]
+
+
+def synthesize_truth_table(
+    name: str,
+    input_names: Sequence[str],
+    output_tables: Dict[str, Sequence[int]],
+    dont_cares: Dict[str, Sequence[int]] | None = None,
+) -> Netlist:
+    """Synthesize a multi-output truth table into a gate-level netlist.
+
+    Args:
+        name: Netlist name.
+        input_names: Input net names; ``input_names[0]`` is the **MSB** of
+            the row index (matching how truth tables are written down).
+        output_tables: For each output net, a table of ``2**n`` output
+            bits indexed by the row number.
+        dont_cares: Optional per-output lists of don't-care row indices.
+
+    Returns:
+        A validated SOP netlist implementing the table, with product terms
+        shared across outputs when they are bit-identical.
+    """
+    n = len(input_names)
+    n_rows = 1 << n
+    for out, table in output_tables.items():
+        if len(table) != n_rows:
+            raise ValueError(
+                f"output {out!r}: table has {len(table)} rows, expected {n_rows}"
+            )
+    dont_cares = dont_cares or {}
+    netlist = Netlist(name, inputs=list(input_names), outputs=list(output_tables))
+
+    inverted: Dict[str, str] = {}
+
+    def inv(net: str) -> str:
+        if net not in inverted:
+            out = f"{net}_n"
+            netlist.add_gate("INV", [net], out)
+            inverted[net] = out
+        return inverted[net]
+
+    # Row index bit i (in Implicant convention, bit 0 = LSB) corresponds to
+    # input_names[n - 1 - i] because input_names[0] is the MSB.
+    def var_net(var: int, positive: bool) -> str:
+        base = input_names[n - 1 - var]
+        return base if positive else inv(base)
+
+    product_cache: Dict[FrozenSet[Tuple[int, bool]], str] = {}
+    product_counter = [0]
+
+    def product_net(implicant: Implicant) -> str:
+        lits = implicant.literals(n)
+        key = frozenset(lits)
+        if key in product_cache:
+            return product_cache[key]
+        if not lits:
+            net = "VDD"
+        elif len(lits) == 1:
+            var, pos = lits[0]
+            net = var_net(var, pos)
+        else:
+            nets = [var_net(v, p) for v, p in lits]
+            net = _tree_reduce(
+                netlist, nets, "AND2", f"{name}_p{product_counter[0]}"
+            )
+        product_cache[key] = net
+        product_counter[0] += 1
+        return net
+
+    for out_name, table in output_tables.items():
+        ones = [i for i in range(n_rows) if table[i]]
+        # Convert row index (MSB-first) to minterm index (bit i = var i,
+        # LSB-first): row bit for input_names[j] sits at position n-1-j in
+        # both conventions, so the integer is the same.
+        cover = minimize_sop(n, ones, dont_cares.get(out_name, ()))
+        if not ones:
+            netlist.add_gate("BUF", ["GND"], out_name)
+            continue
+        if len(cover) == 1 and cover[0].care == 0:
+            netlist.add_gate("BUF", ["VDD"], out_name)
+            continue
+        terms = [product_net(p) for p in cover]
+        if len(terms) == 1:
+            netlist.add_gate("BUF", [terms[0]], out_name)
+        else:
+            total = _tree_reduce(netlist, terms, "OR2", f"{name}_{out_name}_or")
+            netlist.add_gate("BUF", [total], out_name)
+    netlist.validate()
+    return netlist

@@ -1,0 +1,36 @@
+"""Approximate multipliers: 2x2 elementary blocks (Fig. 5), recursive
+multi-bit composition (Fig. 6), and Wallace-tree construction."""
+
+from .characterize import (
+    MultiplierCharacterization,
+    characterize_mul2x2_family,
+    characterize_multiplier,
+    fig6_multiplier_family,
+)
+from .mul2x2 import (
+    MULTIPLIER_2X2_NAMES,
+    MULTIPLIERS_2X2,
+    ConfigurableMul2x2,
+    Mul2x2Spec,
+    multiplier_2x2,
+)
+from .booth import BoothMultiplier, booth_recode
+from .recursive import LEAF_POLICIES, RecursiveMultiplier
+from .wallace import WallaceMultiplier
+
+__all__ = [
+    "MultiplierCharacterization",
+    "characterize_mul2x2_family",
+    "characterize_multiplier",
+    "fig6_multiplier_family",
+    "MULTIPLIER_2X2_NAMES",
+    "MULTIPLIERS_2X2",
+    "ConfigurableMul2x2",
+    "Mul2x2Spec",
+    "multiplier_2x2",
+    "LEAF_POLICIES",
+    "RecursiveMultiplier",
+    "WallaceMultiplier",
+    "BoothMultiplier",
+    "booth_recode",
+]

@@ -1,0 +1,150 @@
+"""Radix-4 Booth multiplier with approximate low-order partial products.
+
+The paper's survey covers approximate multipliers beyond the 2x2
+composition, citing designs that approximate the partial-product array
+of a Booth recoding (e.g. Farshchi et al. [33]).  This module implements
+a bit-true **signed** radix-4 (modified) Booth multiplier:
+
+* the multiplier operand is recoded into ``ceil((W+1)/2)`` digits in
+  ``{-2, -1, 0, +1, +2}``;
+* each digit selects a partial product ``d * a`` (shift/negate of the
+  multiplicand);
+* partial products are accumulated by (possibly approximate) adders.
+
+Approximation knobs:
+
+* ``truncate_digits`` -- drop the lowest Booth partial products entirely
+  (their total weight is bounded, so the error interval is known);
+* ``adder_fa`` / ``adder_approx_lsbs`` -- approximate cells in the
+  accumulation adders, as everywhere else in the library.
+
+This adds signed multiplication to the library (the recursive/Wallace
+builders are unsigned), which the DCT accelerator and any filter with
+negative coefficients need.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from ..adders.ripple import ApproximateRippleAdder
+
+__all__ = ["BoothMultiplier", "booth_recode"]
+
+
+def booth_recode(value: np.ndarray, width: int) -> List[np.ndarray]:
+    """Radix-4 Booth digits of a signed ``width``-bit operand.
+
+    Args:
+        value: Array of signed integers in ``[-2**(width-1),
+            2**(width-1) - 1]``.
+        width: Operand width in bits.
+
+    Returns:
+        List of digit arrays (values in ``{-2, -1, 0, 1, 2}``), least
+        significant digit first; ``sum(d_i * 4**i) == value``.
+    """
+    value = np.asarray(value, dtype=np.int64)
+    unsigned = value & ((1 << width) - 1)
+    n_digits = (width + 1) // 2
+    digits: List[np.ndarray] = []
+    padded = unsigned << 1  # append the implicit y_{-1} = 0
+    for i in range(n_digits):
+        window = (padded >> (2 * i)) & 0b111
+        # Classic radix-4 table over (y_{2i+1}, y_{2i}, y_{2i-1}).
+        digit = np.select(
+            [window == 0, window == 1, window == 2, window == 3,
+             window == 4, window == 5, window == 6, window == 7],
+            [0, 1, 1, 2, -2, -1, -1, 0],
+        )
+        digits.append(digit.astype(np.int64))
+    # Sign correction for odd widths handled by the final digit covering
+    # the sign bit; verify via reconstruction in tests.
+    return digits
+
+
+class BoothMultiplier:
+    """Signed radix-4 Booth multiplier with approximation knobs.
+
+    Example:
+        >>> mul = BoothMultiplier(8)
+        >>> int(mul.multiply(-100, 77))
+        -7700
+    """
+
+    def __init__(
+        self,
+        width: int,
+        truncate_digits: int = 0,
+        adder_fa: str = "AccuFA",
+        adder_approx_lsbs: int = 0,
+    ) -> None:
+        if width < 2 or width % 2:
+            raise ValueError(f"width must be even and >= 2, got {width}")
+        n_digits = (width + 1) // 2
+        if not 0 <= truncate_digits <= n_digits:
+            raise ValueError(
+                f"truncate_digits must be in [0, {n_digits}], got "
+                f"{truncate_digits}"
+            )
+        self.width = width
+        self.n_digits = n_digits
+        self.truncate_digits = truncate_digits
+        # Accumulator covers the full 2W-bit signed product.
+        self.accumulator = ApproximateRippleAdder(
+            2 * width + 2,
+            approx_fa=adder_fa,
+            num_approx_lsbs=min(adder_approx_lsbs, 2 * width + 2),
+        )
+        self.adder_approx_lsbs = adder_approx_lsbs
+
+    @property
+    def name(self) -> str:
+        return (
+            f"Booth{self.width}x{self.width}"
+            f"[trunc={self.truncate_digits},"
+            f"{self.accumulator.approx_fa.name}x{self.adder_approx_lsbs}]"
+        )
+
+    def _to_signed(self, value, width: int) -> np.ndarray:
+        value = np.asarray(value, dtype=np.int64) & ((1 << width) - 1)
+        sign = value >> (width - 1)
+        return value - (sign << width)
+
+    def _acc_add(self, total: np.ndarray, term: np.ndarray) -> np.ndarray:
+        """Two's-complement accumulate through the approximate adder."""
+        w = self.accumulator.width
+        mask = (1 << w) - 1
+        raw = self.accumulator.add_modular(total & mask, term & mask)
+        return raw - ((raw >> (w - 1)) << w)
+
+    def multiply(self, a, b) -> np.ndarray:
+        """Signed product of two ``width``-bit operands.
+
+        Operands are interpreted as two's-complement ``width``-bit
+        values (plain negative Python ints are accepted).
+        """
+        a_signed = self._to_signed(a, self.width)
+        b_signed = self._to_signed(b, self.width)
+        digits = booth_recode(b_signed, self.width)
+        shape = np.broadcast_shapes(a_signed.shape, b_signed.shape)
+        total = np.zeros(shape, dtype=np.int64)
+        for i, digit in enumerate(digits):
+            if i < self.truncate_digits:
+                continue
+            partial = digit * a_signed << (2 * i)
+            total = self._acc_add(total, partial)
+        return total
+
+    def truncation_error_bound(self) -> int:
+        """Worst-case |error| from the dropped Booth digits alone."""
+        max_a = 1 << (self.width - 1)  # |a| <= 2**(W-1)
+        bound = 0
+        for i in range(self.truncate_digits):
+            bound += 2 * max_a << (2 * i)  # |digit| <= 2
+        return bound
+
+    def __repr__(self) -> str:
+        return f"BoothMultiplier({self.name})"

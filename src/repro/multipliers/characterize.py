@@ -1,0 +1,205 @@
+"""Characterization of 2x2 .. 16x16 multipliers (paper Fig. 5 / Fig. 6).
+
+Rolls every multiplier up to the record used by the Fig. 6 bench: area
+(GE), estimated power (nW), and output-quality metrics versus the exact
+product.  Quality is exhaustive up to 8x8 and sampled above.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List
+
+import numpy as np
+
+from ..errors.metrics import ErrorMetrics, compute_error_metrics
+from ..logic.simulate import estimate_power
+from .mul2x2 import MULTIPLIERS_2X2, ConfigurableMul2x2, multiplier_2x2
+from .recursive import RecursiveMultiplier
+from .wallace import WallaceMultiplier
+
+__all__ = [
+    "MultiplierCharacterization",
+    "characterize_multiplier",
+    "characterize_mul2x2_family",
+    "fig6_multiplier_family",
+]
+
+_EXHAUSTIVE_WIDTH_LIMIT = 8
+
+
+@dataclass(frozen=True)
+class MultiplierCharacterization:
+    """Characterization record of one multiplier instance."""
+
+    name: str
+    width: int
+    area_ge: float
+    power_nw: float
+    metrics: ErrorMetrics
+
+    def as_row(self) -> Dict[str, float]:
+        row = {
+            "name": self.name,
+            "width": self.width,
+            "area_ge": round(self.area_ge, 2),
+            "power_nw": round(self.power_nw, 1),
+        }
+        row.update({k: round(v, 6) for k, v in self.metrics.as_dict().items()})
+        return row
+
+
+def _operand_sweep(width: int, n_samples: int, seed: int):
+    if width <= _EXHAUSTIVE_WIDTH_LIMIT:
+        values = np.arange(1 << width, dtype=np.int64)
+        return (
+            np.repeat(values, 1 << width),
+            np.tile(values, 1 << width),
+        )
+    rng = np.random.default_rng(seed)
+    hi = 1 << width
+    return (
+        rng.integers(0, hi, size=n_samples, dtype=np.int64),
+        rng.integers(0, hi, size=n_samples, dtype=np.int64),
+    )
+
+
+def _power_model_nw(mul) -> float:
+    """Power roll-up proportional to switching cells.
+
+    2x2 leaves are simulated gate-level (exhaustive stimulus); adders and
+    Wallace cells reuse the per-cell energy model with a nominal 0.4
+    activity, expressed as equivalent nW at the library's reference
+    frequency.
+    """
+    if isinstance(mul, RecursiveMultiplier):
+        total = 0.0
+        for name, count in mul.leaf_counts().items():
+            total += estimate_power(MULTIPLIERS_2X2[name].netlist()).total_nw * count
+        from ..adders.characterize import adder_energy_per_op_fj
+
+        for w in mul.adder_widths():
+            # fJ/op at 100 MHz -> nW: E * f = 1e-15 * 1e8 W = 1e-7 * E nW.
+            total += adder_energy_per_op_fj(mul._adder(w)) * 0.1
+            total += mul._adder(w).area_ge * 2.5  # leakage
+        return total
+    if isinstance(mul, WallaceMultiplier):
+        from ..adders.fulladder import FULL_ADDERS
+
+        total = 1.33 * mul.width * mul.width * 2.5  # pp AND leakage
+        for name, count in mul.cell_counts().items():
+            base = name.removesuffix("_half")
+            nl = FULL_ADDERS[base].netlist()
+            total += estimate_power(nl).total_nw * count * (
+                0.6 if name.endswith("_half") else 1.0
+            )
+        from ..adders.characterize import adder_energy_per_op_fj
+
+        total += adder_energy_per_op_fj(mul.final_adder) * 0.1
+        return total
+    raise TypeError(f"no power model for {type(mul).__name__}")
+
+
+def characterize_multiplier(
+    mul, name: str | None = None, n_samples: int = 100_000, seed: int = 0
+) -> MultiplierCharacterization:
+    """Characterize any multiplier exposing ``multiply``/``width``."""
+    width = mul.width
+    a, b = _operand_sweep(width, n_samples, seed)
+    approx = mul.multiply(a, b)
+    exact = a * b
+    metrics = compute_error_metrics(
+        approx, exact, max_output=float((2**width - 1) ** 2)
+    )
+    return MultiplierCharacterization(
+        name=name or mul.name,
+        width=width,
+        area_ge=float(mul.area_ge),
+        power_nw=_power_model_nw(mul),
+        metrics=metrics,
+    )
+
+
+def characterize_mul2x2_family() -> List[Dict[str, float]]:
+    """The Fig. 5 comparison table rows (our model side).
+
+    Returns rows for AccMul, ApxMulSoA, CfgMulSoA, ApxMulOur, CfgMulOur
+    with area, power, number of error cases and maximum error value.
+    """
+    rows: List[Dict[str, float]] = []
+    for name in ("AccMul", "ApxMulSoA", "ApxMulOur"):
+        spec = multiplier_2x2(name)
+        power = estimate_power(spec.netlist()).total_nw
+        rows.append(
+            {
+                "name": name,
+                "area_ge": round(spec.area_ge, 2),
+                "power_nw": round(power, 1),
+                "n_error_cases": spec.n_error_cases,
+                "max_error_value": spec.max_error_value,
+            }
+        )
+    for base in ("ApxMulSoA", "ApxMulOur"):
+        cfg = ConfigurableMul2x2(base)
+        base_power = estimate_power(cfg.base.netlist()).total_nw
+        # Correction logic power scales with its share of the area.
+        corr_power = base_power * cfg.correction_area_ge / max(cfg.base.area_ge, 1e-9)
+        rows.append(
+            {
+                "name": cfg.name,
+                "area_ge": round(cfg.area_ge, 2),
+                "power_nw": round(base_power + corr_power, 1),
+                "n_error_cases": 0,
+                "max_error_value": 0,
+            }
+        )
+    return rows
+
+
+def fig6_multiplier_family(
+    widths: Iterable[int] = (2, 4, 8, 16),
+    leaf_mul: str = "ApxMulOur",
+    n_samples: int = 50_000,
+    seed: int = 0,
+) -> List[MultiplierCharacterization]:
+    """Accurate vs. approximate multipliers at each width (Fig. 6 data)."""
+    records: List[MultiplierCharacterization] = []
+    for width in widths:
+        if width == 2:
+            for name in ("AccMul", "ApxMulSoA", "ApxMulOur"):
+                spec = multiplier_2x2(name)
+                a, b = _operand_sweep(2, n_samples, seed)
+                metrics = compute_error_metrics(
+                    spec.multiply(a, b), a * b, max_output=9.0
+                )
+                records.append(
+                    MultiplierCharacterization(
+                        name=name,
+                        width=2,
+                        area_ge=spec.area_ge,
+                        power_nw=estimate_power(spec.netlist()).total_nw,
+                        metrics=metrics,
+                    )
+                )
+            continue
+        variants = {
+            f"AccMul{width}": RecursiveMultiplier(width, leaf_policy="none"),
+            f"ApxMul{width}_V1(all)": RecursiveMultiplier(
+                width, leaf_mul=leaf_mul, leaf_policy="all"
+            ),
+            f"ApxMul{width}_V2(low)": RecursiveMultiplier(
+                width, leaf_mul=leaf_mul, leaf_policy="low_half"
+            ),
+            f"ApxMul{width}_V3(low+adders)": RecursiveMultiplier(
+                width,
+                leaf_mul=leaf_mul,
+                leaf_policy="low_half",
+                adder_fa="ApxFA1",
+                adder_approx_lsbs=width // 2,
+            ),
+        }
+        for name, mul in variants.items():
+            records.append(
+                characterize_multiplier(mul, name=name, n_samples=n_samples, seed=seed)
+            )
+    return records

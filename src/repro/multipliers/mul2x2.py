@@ -1,0 +1,262 @@
+"""2x2 accurate and approximate multipliers (paper Fig. 5).
+
+Three elementary multipliers:
+
+* ``AccMul``     -- exact 2x2 multiplier (4-bit product).
+* ``ApxMulSoA``  -- the state-of-the-art design of Kulkarni et al. [15]:
+  the product is encoded in 3 bits, so only ``3 x 3`` is wrong
+  (7 instead of 9).  One error case, maximum error value 2.
+* ``ApxMulOur``  -- the paper's design: the product MSB is re-used as the
+  LSB (``out3 = out0 = a1 & a0 & b1 & b0``).  ``3 x 3`` becomes exact,
+  while ``1 x 1``, ``1 x 3`` and ``3 x 1`` are each off by 1.  Three
+  error cases, maximum error value 1.
+
+Configurable versions (``CfgMulSoA``, ``CfgMulOur``) add a mode input
+that restores exactness: the SoA design needs a corrective *addition*
+(+2 on the ``3 x 3`` case), while the paper's design only needs to
+re-derive the true LSB (``a0 & b0``) and multiplex it in -- the "simple
+correction via an inverter" that makes ``CfgMulOur`` cheaper than
+``CfgMulSoA``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from ..logic.netlist import Netlist
+from ..logic.synth import synthesize_truth_table
+
+__all__ = [
+    "Mul2x2Spec",
+    "MULTIPLIERS_2X2",
+    "MULTIPLIER_2X2_NAMES",
+    "multiplier_2x2",
+    "ConfigurableMul2x2",
+]
+
+
+def _accurate_table() -> Tuple[int, ...]:
+    return tuple((i >> 2) * (i & 3) for i in range(16))
+
+
+def _soa_table() -> Tuple[int, ...]:
+    """Kulkarni: out2 = a1 b1, out1 = a1 b0 | a0 b1, out0 = a0 b0."""
+    rows = []
+    for i in range(16):
+        a, b = i >> 2, i & 3
+        a1, a0 = a >> 1, a & 1
+        b1, b0 = b >> 1, b & 1
+        rows.append(
+            ((a1 & b1) << 2) | ((a1 & b0 | a0 & b1) << 1) | (a0 & b0)
+        )
+    return tuple(rows)
+
+
+def _our_table() -> Tuple[int, ...]:
+    """Paper design: accurate product with out0 tied to out3."""
+    rows = []
+    for i in range(16):
+        a, b = i >> 2, i & 3
+        product = a * b
+        msb = (product >> 3) & 1  # = a1 a0 b1 b0
+        rows.append((product & 0b1110) | msb)
+    return tuple(rows)
+
+
+@dataclass(frozen=True)
+class Mul2x2Spec:
+    """Behavioural + structural model of a 2x2 multiplier.
+
+    Attributes:
+        name: ``"AccMul"``, ``"ApxMulSoA"`` or ``"ApxMulOur"``.
+        table: 4-bit product for each input row ``(a << 2) | b``.
+        description: Design intent.
+    """
+
+    name: str
+    table: Tuple[int, ...]
+    description: str
+
+    def __post_init__(self) -> None:
+        if len(self.table) != 16:
+            raise ValueError(f"{self.name}: 2x2 table needs 16 rows")
+
+    @property
+    def lut(self) -> np.ndarray:
+        """Product LUT indexed by ``(a << 2) | b``."""
+        return np.asarray(self.table, dtype=np.int64)
+
+    def multiply(self, a, b) -> np.ndarray:
+        """Vectorized 2-bit x 2-bit product (operands masked to 2 bits)."""
+        a = np.asarray(a, dtype=np.int64) & 3
+        b = np.asarray(b, dtype=np.int64) & 3
+        return self.lut[(a << 2) | b]
+
+    # -- quality -----------------------------------------------------------
+    def error_cases(self) -> List[Tuple[int, int]]:
+        """Operand pairs whose product deviates from the exact one."""
+        exact = _accurate_table()
+        return [
+            (i >> 2, i & 3) for i in range(16) if self.table[i] != exact[i]
+        ]
+
+    @property
+    def n_error_cases(self) -> int:
+        return len(self.error_cases())
+
+    @property
+    def max_error_value(self) -> int:
+        exact = _accurate_table()
+        return max(abs(self.table[i] - exact[i]) for i in range(16))
+
+    # -- structural --------------------------------------------------------
+    def netlist(self) -> Netlist:
+        """Gate-level netlist with inputs ``a1 a0 b1 b0``, outputs ``p3..p0``."""
+        return _mul_netlist(self.name)
+
+    @property
+    def area_ge(self) -> float:
+        return self.netlist().area_ge
+
+    @property
+    def delay_ps(self) -> float:
+        return self.netlist().delay_ps()
+
+
+@lru_cache(maxsize=None)
+def _mul_netlist(name: str) -> Netlist:
+    inputs = ["a1", "a0", "b1", "b0"]
+    if name == "AccMul":
+        nl = Netlist(name, inputs=inputs, outputs=["p3", "p2", "p1", "p0"])
+        nl.add_gate("AND2", ["a0", "b0"], "p0")
+        nl.add_gate("AND2", ["a0", "b1"], "w01")
+        nl.add_gate("AND2", ["a1", "b0"], "w10")
+        nl.add_gate("AND2", ["a1", "b1"], "w11")
+        nl.add_gate("XOR2", ["w01", "w10"], "p1")
+        nl.add_gate("AND2", ["w01", "w10"], "c1")
+        nl.add_gate("XOR2", ["w11", "c1"], "p2")
+        nl.add_gate("AND2", ["w11", "c1"], "p3")
+        nl.validate()
+        return nl
+    if name == "ApxMulSoA":
+        # 3-bit output design of Kulkarni et al.; p3 tied low.
+        nl = Netlist(name, inputs=inputs, outputs=["p3", "p2", "p1", "p0"])
+        nl.add_gate("AND2", ["a0", "b0"], "p0")
+        nl.add_gate("AND2", ["a0", "b1"], "w01")
+        nl.add_gate("AND2", ["a1", "b0"], "w10")
+        nl.add_gate("OR2", ["w01", "w10"], "p1")
+        nl.add_gate("AND2", ["a1", "b1"], "p2")
+        nl.add_gate("WIRE", ["GND"], "p3")
+        nl.validate()
+        return nl
+    if name == "ApxMulOur":
+        # Accurate structure with the carry path collapsed: the only case
+        # with a p3/c1 interaction is 3x3, so p3 = p0 = a1 a0 b1 b0 and
+        # p2 reduces to a1 b1 AND NOT(a0 b0) on the error-free rows.
+        nl = Netlist(name, inputs=inputs, outputs=["p3", "p2", "p1", "p0"])
+        nl.add_gate("AND2", ["a0", "b0"], "w00")
+        nl.add_gate("AND2", ["a1", "b1"], "w11")
+        nl.add_gate("AND2", ["w00", "w11"], "msb")
+        nl.add_gate("WIRE", ["msb"], "p3")
+        nl.add_gate("WIRE", ["msb"], "p0")
+        nl.add_gate("AND2", ["a0", "b1"], "w01")
+        nl.add_gate("AND2", ["a1", "b0"], "w10")
+        nl.add_gate("XOR2", ["w01", "w10"], "p1")
+        nl.add_gate("INV", ["msb"], "msb_n")
+        nl.add_gate("AND2", ["w11", "msb_n"], "p2")
+        nl.validate()
+        return nl
+    raise KeyError(f"no netlist for multiplier {name!r}")
+
+
+MULTIPLIERS_2X2: Dict[str, Mul2x2Spec] = {
+    "AccMul": Mul2x2Spec("AccMul", _accurate_table(), "exact 2x2 multiplier"),
+    "ApxMulSoA": Mul2x2Spec(
+        "ApxMulSoA",
+        _soa_table(),
+        "Kulkarni 3-bit approximate multiplier (3x3 -> 7)",
+    ),
+    "ApxMulOur": Mul2x2Spec(
+        "ApxMulOur",
+        _our_table(),
+        "paper's multiplier: product MSB tied to LSB (max error 1)",
+    ),
+}
+
+MULTIPLIER_2X2_NAMES: Tuple[str, ...] = tuple(MULTIPLIERS_2X2)
+
+
+def multiplier_2x2(name: str) -> Mul2x2Spec:
+    """Look up a 2x2 multiplier spec by name."""
+    try:
+        return MULTIPLIERS_2X2[name]
+    except KeyError:
+        known = ", ".join(MULTIPLIER_2X2_NAMES)
+        raise KeyError(
+            f"unknown 2x2 multiplier {name!r}; known: {known}"
+        ) from None
+
+
+class ConfigurableMul2x2:
+    """Accuracy-configurable 2x2 multiplier (``CfgMulSoA`` / ``CfgMulOur``).
+
+    In approximate mode the underlying approximate table is used; in
+    accurate mode the correction logic restores the exact product.  The
+    correction-cost asymmetry of Fig. 5 is modelled structurally: the SoA
+    design corrects ``3 x 3`` by *adding* 2 (a half-adder chain on p1/p2
+    plus the regenerated p3), while the paper's design only regenerates
+    the true LSB ``a0 & b0`` and gates the tied-MSB path.
+
+    Example:
+        >>> m = ConfigurableMul2x2("ApxMulOur")
+        >>> int(m.multiply(3, 1))              # approximate mode
+        2
+        >>> int(m.multiply(3, 1, accurate=True))
+        3
+    """
+
+    def __init__(self, base: str) -> None:
+        if base not in ("ApxMulSoA", "ApxMulOur"):
+            raise ValueError(
+                f"configurable version exists for ApxMulSoA/ApxMulOur, got {base!r}"
+            )
+        self.base = multiplier_2x2(base)
+        self.exact = multiplier_2x2("AccMul")
+
+    @property
+    def name(self) -> str:
+        return "CfgMulSoA" if self.base.name == "ApxMulSoA" else "CfgMulOur"
+
+    def multiply(self, a, b, accurate: bool = False) -> np.ndarray:
+        """Product in the selected mode (vectorized)."""
+        if accurate:
+            return self.exact.multiply(a, b)
+        return self.base.multiply(a, b)
+
+    @property
+    def correction_area_ge(self) -> float:
+        """Area of the mode-correction logic on top of the base design."""
+        if self.base.name == "ApxMulSoA":
+            # Regenerate p3 (AND of partial products) and add +2 into
+            # p1/p2: an AND stage plus a 2-bit incrementer (XOR + AND +
+            # XOR) gated by the mode signal.
+            extra = ["AND2", "AND2", "XOR2", "AND2", "XOR2", "MUX2"]
+        else:
+            # Regenerate the exact LSB and select it in accurate mode;
+            # p3 needs only the inverse of the gating condition.
+            extra = ["INV", "MUX2"]
+        from ..logic.cells import cell
+
+        return float(sum(cell(c).area_ge for c in extra))
+
+    @property
+    def area_ge(self) -> float:
+        """Total configurable-multiplier area (base + correction)."""
+        return self.base.area_ge + self.correction_area_ge
+
+    def __repr__(self) -> str:
+        return f"ConfigurableMul2x2({self.base.name!r})"

@@ -1,0 +1,190 @@
+"""Wallace-tree multiplier with approximate column compression.
+
+The paper points to Wallace-tree construction as the standard way of
+summing partial products (Sec. 5) and cites the approximate Wallace-tree
+multiplier of Bhardwaj et al. [17].  This module implements:
+
+* exact partial-product generation (``a_i AND b_j``),
+* column-wise Wallace reduction using full/half adders, where columns of
+  significance below ``approx_columns`` use an approximate full-adder
+  cell from Table III (half adders are derived from the same cell with
+  ``cin = 0``),
+* optional truncation (dropping the lowest partial-product columns
+  entirely, the most aggressive approximation of [17]),
+* a final carry-propagate addition through a configurable multi-bit
+  (possibly approximate) adder.
+
+Cell counts are tracked during construction so area/power roll-ups are
+consistent with the synthesized 1-bit cells.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from ..adders.fulladder import FULL_ADDERS, FullAdderSpec, full_adder
+from ..adders.ripple import ApproximateRippleAdder
+
+__all__ = ["WallaceMultiplier"]
+
+
+class WallaceMultiplier:
+    """Approximate Wallace-tree multiplier.
+
+    Args:
+        width: Operand width in bits (>= 2; any width, not only powers
+            of two).
+        compress_fa: Table III cell used in approximated columns.
+        approx_columns: Columns with significance below this use the
+            approximate cell for compression.
+        truncate_columns: Columns with significance below this are
+            dropped entirely (truncated multiplier); must be <=
+            ``approx_columns`` semantics-wise but is independent.
+        final_adder_fa: Cell for the approximated LSBs of the final
+            carry-propagate adder.
+        final_adder_approx_lsbs: Number of approximated LSBs in the
+            final adder.
+
+    Example:
+        >>> exact = WallaceMultiplier(8)
+        >>> int(exact.multiply(200, 100))
+        20000
+    """
+
+    def __init__(
+        self,
+        width: int,
+        compress_fa: str = "AccuFA",
+        approx_columns: int = 0,
+        truncate_columns: int = 0,
+        final_adder_fa: str = "AccuFA",
+        final_adder_approx_lsbs: int = 0,
+    ) -> None:
+        if width < 2:
+            raise ValueError(f"width must be >= 2, got {width}")
+        if approx_columns < 0 or truncate_columns < 0:
+            raise ValueError("column counts must be non-negative")
+        self.width = width
+        self.compress_fa = full_adder(compress_fa)
+        self.accurate_fa = FULL_ADDERS["AccuFA"]
+        self.approx_columns = approx_columns
+        self.truncate_columns = truncate_columns
+        self.product_width = 2 * width
+        self.final_adder = ApproximateRippleAdder(
+            self.product_width,
+            approx_fa=final_adder_fa,
+            num_approx_lsbs=min(final_adder_approx_lsbs, self.product_width),
+        )
+        #: cell usage recorded by the last reduction (name -> count);
+        #: structure is input-independent so one dry run fixes it.
+        self._cell_counts: Dict[str, int] | None = None
+
+    @property
+    def name(self) -> str:
+        return (
+            f"Wallace{self.width}x{self.width}"
+            f"[{self.compress_fa.name}<{self.approx_columns},"
+            f"trunc<{self.truncate_columns}]"
+        )
+
+    def _column_cell(self, column: int) -> FullAdderSpec:
+        if column < self.approx_columns:
+            return self.compress_fa
+        return self.accurate_fa
+
+    # ------------------------------------------------------------------
+    # datapath
+    # ------------------------------------------------------------------
+    def multiply(self, a, b) -> np.ndarray:
+        """Approximate product of two ``width``-bit unsigned operands."""
+        mask = (1 << self.width) - 1
+        a = np.asarray(a, dtype=np.int64) & mask
+        b = np.asarray(b, dtype=np.int64) & mask
+        shape = np.broadcast_shapes(a.shape, b.shape)
+        a = np.broadcast_to(a, shape)
+        b = np.broadcast_to(b, shape)
+
+        counts: Dict[str, int] = {}
+        columns: List[List[np.ndarray]] = [
+            [] for _ in range(self.product_width)
+        ]
+        for i in range(self.width):
+            for j in range(self.width):
+                col = i + j
+                if col < self.truncate_columns:
+                    continue
+                columns[col].append(((a >> i) & 1) * ((b >> j) & 1))
+
+        # Wallace reduction: compress every column with >2 bits.
+        while any(len(col) > 2 for col in columns):
+            nxt: List[List[np.ndarray]] = [
+                [] for _ in range(self.product_width + 1)
+            ]
+            for c, col in enumerate(columns):
+                cell = self._column_cell(c)
+                idx = 0
+                while len(col) - idx >= 3:
+                    s, carry = cell.evaluate(col[idx], col[idx + 1], col[idx + 2])
+                    counts[cell.name] = counts.get(cell.name, 0) + 1
+                    nxt[c].append(s.astype(np.int64))
+                    nxt[c + 1].append(carry.astype(np.int64))
+                    idx += 3
+                if len(col) - idx == 2:
+                    s, carry = cell.evaluate(
+                        col[idx], col[idx + 1], np.zeros(shape, dtype=np.int64)
+                    )
+                    counts[cell.name + "_half"] = (
+                        counts.get(cell.name + "_half", 0) + 1
+                    )
+                    nxt[c].append(s.astype(np.int64))
+                    nxt[c + 1].append(carry.astype(np.int64))
+                    idx += 2
+                if len(col) - idx == 1:
+                    nxt[c].append(col[idx])
+            if nxt[self.product_width]:
+                # Carries past the product width are dropped (cannot occur
+                # for exact structure, may for approximate cells).
+                nxt = nxt[: self.product_width]
+            else:
+                nxt = nxt[: self.product_width]
+            columns = nxt
+
+        if self._cell_counts is None:
+            self._cell_counts = counts
+
+        # Final carry-propagate addition of the two remaining rows.
+        row0 = np.zeros(shape, dtype=np.int64)
+        row1 = np.zeros(shape, dtype=np.int64)
+        for c, col in enumerate(columns):
+            if len(col) >= 1:
+                row0 |= col[0] << c
+            if len(col) == 2:
+                row1 |= col[1] << c
+        return self.final_adder.add_modular(row0, row1)
+
+    # ------------------------------------------------------------------
+    # structural roll-ups
+    # ------------------------------------------------------------------
+    def cell_counts(self) -> Dict[str, int]:
+        """Compression-cell usage (runs a dry reduction if needed)."""
+        if self._cell_counts is None:
+            self.multiply(np.zeros(1, dtype=np.int64), np.zeros(1, dtype=np.int64))
+        assert self._cell_counts is not None
+        return dict(self._cell_counts)
+
+    @property
+    def area_ge(self) -> float:
+        """Partial products + compression cells + final adder area."""
+        and_area = 1.33 * (self.width * self.width)  # AND2 per pp bit
+        total = and_area
+        for name, count in self.cell_counts().items():
+            base = name.removesuffix("_half")
+            # A half adder costs roughly 60% of its full adder.
+            factor = 0.6 if name.endswith("_half") else 1.0
+            total += FULL_ADDERS[base].area_ge * factor * count
+        return total + self.final_adder.area_ge
+
+    def __repr__(self) -> str:
+        return f"WallaceMultiplier({self.name})"

@@ -1,0 +1,25 @@
+"""The paper's survey tables (Table I / II) as structured, queryable data."""
+
+from .taxonomy import (
+    TABLE_I,
+    TABLE_II,
+    Category,
+    Layer,
+    Technique,
+    by_category,
+    by_layer,
+    category_layer_matrix,
+    cross_layer_techniques,
+)
+
+__all__ = [
+    "TABLE_I",
+    "TABLE_II",
+    "Category",
+    "Layer",
+    "Technique",
+    "by_category",
+    "by_layer",
+    "category_layer_matrix",
+    "cross_layer_techniques",
+]

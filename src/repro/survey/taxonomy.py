@@ -1,0 +1,241 @@
+"""The paper's survey taxonomy as queryable structured data.
+
+Table I catalogues approximate-computing techniques per layer of the
+hardware/software stack; Table II classifies them into five approximation
+categories.  Both are reproduced here as data so the survey tables can be
+regenerated, filtered and cross-referenced programmatically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Dict, List, Tuple
+
+__all__ = [
+    "Layer",
+    "Category",
+    "Technique",
+    "TABLE_I",
+    "TABLE_II",
+    "by_layer",
+    "by_category",
+    "cross_layer_techniques",
+    "category_layer_matrix",
+]
+
+
+class Layer(str, Enum):
+    """Abstraction layer of the hardware/software stack."""
+
+    SOFTWARE = "software"
+    ARCHITECTURAL = "architectural"
+    HW_CIRCUIT = "hw/circuit"
+
+
+class Category(str, Enum):
+    """The five approximation classes of Table II."""
+
+    SELECTIVE = "selective approximation"
+    TIMING = "timing relaxation"
+    FUNCTIONAL = "functional approximation"
+    DOMAIN_SPECIFIC = "domain specific approximation"
+    DATA = "data/information approximation"
+
+
+#: Table II: category -> the paper's one-line definition.
+TABLE_II: Dict[Category, str] = {
+    Category.SELECTIVE: (
+        "Analysis of software code or instructions to suggest a certain "
+        "accuracy mode for a part of code"
+    ),
+    Category.TIMING: (
+        "Relaxing of synchronization, timing and handshaking constraints "
+        "to reduce control overhead"
+    ),
+    Category.FUNCTIONAL: (
+        "An approximate alternative of an algorithm that improves "
+        "area/power performance"
+    ),
+    Category.DOMAIN_SPECIFIC: (
+        "Leveraging the domain specific knowledge for approximations in "
+        "applications and their algorithms"
+    ),
+    Category.DATA: (
+        "Use of unreliable memories, load value approximation, data "
+        "truncation, data decimation, etc."
+    ),
+}
+
+
+@dataclass(frozen=True)
+class Technique:
+    """One row of Table I.
+
+    Attributes:
+        layer: Stack layer the technique operates at.
+        category: Approximation class (Table II).
+        references: Citation keys from the paper's bibliography.
+        description: Short description of the technique.
+        motivation: Primary benefit the technique targets.
+        case_study: Application(s) evaluated in the cited work.
+        cross_layer: Whether the technique depends on other layers.
+    """
+
+    layer: Layer
+    category: Category
+    references: Tuple[str, ...]
+    description: str
+    motivation: str
+    case_study: str
+    cross_layer: bool
+
+
+TABLE_I: Tuple[Technique, ...] = (
+    Technique(
+        Layer.SOFTWARE,
+        Category.SELECTIVE,
+        ("[38]",),
+        "Adaptively skips prediction-function executions with data/"
+        "operation decimation depending on video properties",
+        "improved thermal profile",
+        "HEVC video encoder",
+        cross_layer=False,
+    ),
+    Technique(
+        Layer.SOFTWARE,
+        Category.SELECTIVE,
+        ("[20]", "[21]"),
+        "Automatically identifies error-resilient code that can be "
+        "skipped (code perforation) keeping error within bounds",
+        "improved performance",
+        "Recognition, Mining and Synthesis (RMS)",
+        cross_layer=False,
+    ),
+    Technique(
+        Layer.SOFTWARE,
+        Category.TIMING,
+        ("[22]", "[23]"),
+        "Relaxes synchronization in parallel programs, exploiting "
+        "iterative-convergence properties to drop dependencies",
+        "improved performance",
+        "Recognition and Mining (RM)",
+        cross_layer=False,
+    ),
+    Technique(
+        Layer.SOFTWARE,
+        Category.DOMAIN_SPECIFIC,
+        ("[25]", "[26]"),
+        "Domain knowledge drives approximate (sometimes scalable) models",
+        "improved performance",
+        "machine learning applications",
+        cross_layer=False,
+    ),
+    Technique(
+        Layer.SOFTWARE,
+        Category.FUNCTIONAL,
+        ("[24]",),
+        "Approximatable code segments replaced with trained neural "
+        "networks (parrot transformation) on NPU-augmented processors",
+        "improved performance",
+        "fft, inversek2j, jmeint, jpeg, kmeans, sobel",
+        cross_layer=True,
+    ),
+    Technique(
+        Layer.SOFTWARE,
+        Category.DATA,
+        ("[39]",),
+        "Approximate cache: error correction shut down in MLC-STTRAM "
+        "caches guided by video properties",
+        "power efficiency",
+        "HEVC video encoder",
+        cross_layer=True,
+    ),
+    Technique(
+        Layer.SOFTWARE,
+        Category.DATA,
+        ("[27]", "[28]"),
+        "Approximation in data storage: unequal error protection and "
+        "hybrid SRAM cells under voltage scaling",
+        "power/memory efficiency",
+        "video processing / vision applications",
+        cross_layer=True,
+    ),
+    Technique(
+        Layer.ARCHITECTURAL,
+        Category.SELECTIVE,
+        ("[4]", "[29]"),
+        "Chosen instructions or code segments execute in approximate "
+        "mode on approximate hardware",
+        "improved performance",
+        "fft, sor, mc, smm, lu, zxing, jmeint, imagefill, raytracer, RMS",
+        cross_layer=True,
+    ),
+    Technique(
+        Layer.ARCHITECTURAL,
+        Category.DOMAIN_SPECIFIC,
+        ("[30]", "[31]"),
+        "Domain knowledge drives application-specific accelerators",
+        "power efficiency",
+        "RMS and vision applications",
+        cross_layer=False,
+    ),
+    Technique(
+        Layer.ARCHITECTURAL,
+        Category.FUNCTIONAL,
+        ("[7]", "[8]", "[9]", "[11]", "[13]", "[14]", "[32]", "[33]"),
+        "Truncation of circuit critical paths to increase performance "
+        "at the cost of accuracy",
+        "improved performance",
+        "DSP, vision/image processing, RMS applications",
+        cross_layer=False,
+    ),
+    Technique(
+        Layer.HW_CIRCUIT,
+        Category.TIMING,
+        ("[34]", "[35]"),
+        "Deliberate voltage over-scaling for power efficiency",
+        "power efficiency",
+        "RMS and vision applications",
+        cross_layer=False,
+    ),
+    Technique(
+        Layer.HW_CIRCUIT,
+        Category.FUNCTIONAL,
+        ("[12]",),
+        "Hardware complexity reduced using approximate equivalent "
+        "models with fewer transistors",
+        "power efficiency",
+        "RMS and vision applications",
+        cross_layer=False,
+    ),
+)
+
+
+def by_layer(layer: Layer) -> List[Technique]:
+    """All Table I techniques at one layer."""
+    return [t for t in TABLE_I if t.layer == layer]
+
+
+def by_category(category: Category) -> List[Technique]:
+    """All Table I techniques in one Table II category."""
+    return [t for t in TABLE_I if t.category == category]
+
+
+def cross_layer_techniques() -> List[Technique]:
+    """Techniques with dependencies on other layers."""
+    return [t for t in TABLE_I if t.cross_layer]
+
+
+def category_layer_matrix() -> Dict[Category, Dict[Layer, int]]:
+    """Counts of techniques per (category, layer) cell.
+
+    Exposes the paper's observation that "most of the approximation
+    schemes may be applied at multiple layers".
+    """
+    matrix: Dict[Category, Dict[Layer, int]] = {
+        category: {layer: 0 for layer in Layer} for category in Category
+    }
+    for technique in TABLE_I:
+        matrix[technique.category][technique.layer] += 1
+    return matrix

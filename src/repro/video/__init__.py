@@ -1,0 +1,32 @@
+"""HEVC-lite video substrate: motion estimation, transform coding, rate
+estimation, and the hybrid encoder used by the Fig. 8/9 experiments."""
+
+from .bits import (
+    coefficient_block_bits,
+    motion_vector_bits,
+    se_bits,
+    ue_bits,
+    zigzag_order,
+)
+from .codec import EncodeResult, HevcLiteEncoder
+from .motion import MotionVector, full_search, motion_field, sad_surface
+from .rd import RDPoint, bd_rate_percent, rd_sweep
+from .transform import TransformStage
+
+__all__ = [
+    "coefficient_block_bits",
+    "motion_vector_bits",
+    "se_bits",
+    "ue_bits",
+    "zigzag_order",
+    "EncodeResult",
+    "HevcLiteEncoder",
+    "MotionVector",
+    "full_search",
+    "motion_field",
+    "sad_surface",
+    "TransformStage",
+    "RDPoint",
+    "bd_rate_percent",
+    "rd_sweep",
+]

@@ -1,0 +1,95 @@
+"""Rate-distortion sweeps for the HEVC-lite encoder.
+
+Fig. 9 compares encoders at one operating point; an RD sweep makes the
+comparison complete: encode the same sequence at several quantization
+steps and trace (bits, PSNR) curves per SAD accelerator.  The shape that
+must hold (and that the tests assert): approximating the motion
+estimation shifts the curve right (more bits at equal quality) without
+changing its monotone character, and mild approximation keeps the curves
+nearly overlapping -- the quantitative backing for "marginal bit-rate
+increase".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from ..accelerators.sad import SADAccelerator
+from .codec import HevcLiteEncoder
+
+__all__ = ["RDPoint", "rd_sweep", "bd_rate_percent"]
+
+
+@dataclass(frozen=True)
+class RDPoint:
+    """One rate-distortion operating point."""
+
+    qp: int
+    bits: int
+    psnr_db: float
+
+
+def rd_sweep(
+    frames: Sequence[np.ndarray],
+    sad_accelerator: SADAccelerator,
+    qps: Sequence[int] = (2, 4, 8, 16),
+    search_range: int = 4,
+) -> List[RDPoint]:
+    """Encode the sequence at each quantization step.
+
+    Args:
+        frames: Video frames (divisible into 8x8 blocks).
+        sad_accelerator: Motion-estimation SAD unit.
+        qps: Quantization steps to sweep (ascending recommended).
+        search_range: Motion search range.
+
+    Returns:
+        One :class:`RDPoint` per qp.
+    """
+    points = []
+    for qp in qps:
+        encoder = HevcLiteEncoder(search_range=search_range, qp=qp)
+        result = encoder.encode(frames, sad_accelerator)
+        points.append(RDPoint(qp=qp, bits=result.total_bits,
+                              psnr_db=result.psnr_db))
+    return points
+
+
+def bd_rate_percent(
+    reference: Sequence[RDPoint], test: Sequence[RDPoint]
+) -> float:
+    """Bjontegaard-style average bit-rate overhead of ``test`` vs
+    ``reference`` at equal quality.
+
+    Both curves are interpolated (log-rate vs PSNR, piecewise linear)
+    over their common PSNR range; the mean log-rate difference converts
+    to an average percentage rate difference.  Positive = ``test`` needs
+    more bits.
+
+    Raises:
+        ValueError: If fewer than two points per curve or no PSNR
+            overlap exists.
+    """
+    if len(reference) < 2 or len(test) < 2:
+        raise ValueError("need >= 2 RD points per curve")
+
+    def curve(points: Sequence[RDPoint]) -> Tuple[np.ndarray, np.ndarray]:
+        pts = sorted(points, key=lambda p: p.psnr_db)
+        psnr = np.array([p.psnr_db for p in pts], dtype=float)
+        log_rate = np.log(np.array([p.bits for p in pts], dtype=float))
+        return psnr, log_rate
+
+    psnr_ref, rate_ref = curve(reference)
+    psnr_test, rate_test = curve(test)
+    lo = max(psnr_ref.min(), psnr_test.min())
+    hi = min(psnr_ref.max(), psnr_test.max())
+    if hi <= lo:
+        raise ValueError("RD curves share no PSNR range")
+    grid = np.linspace(lo, hi, 64)
+    ref_interp = np.interp(grid, psnr_ref, rate_ref)
+    test_interp = np.interp(grid, psnr_test, rate_test)
+    mean_log_diff = float(np.mean(test_interp - ref_interp))
+    return 100.0 * (np.exp(mean_log_diff) - 1.0)

@@ -1,0 +1,128 @@
+"""Tests for the multi-accelerator architecture simulator."""
+
+import pytest
+
+from repro.accelerators.bank import (
+    MultiAcceleratorArchitecture,
+    RunningApplication,
+)
+from repro.accelerators.manager import AcceleratorMode, AcceleratorProfile
+
+
+@pytest.fixture
+def profiles():
+    return [
+        AcceleratorProfile(
+            "sad",
+            (
+                AcceleratorMode("exact", 1.0, 100.0),
+                AcceleratorMode("apx4", 0.95, 60.0),
+                AcceleratorMode("apx6", 0.80, 40.0),
+            ),
+        ),
+        AcceleratorProfile(
+            "filter",
+            (
+                AcceleratorMode("exact", 1.0, 50.0),
+                AcceleratorMode("apx", 0.9, 20.0),
+            ),
+        ),
+    ]
+
+
+class TestSimulation:
+    def test_basic_run(self, profiles):
+        arch = MultiAcceleratorArchitecture(profiles)
+        apps = [
+            RunningApplication("enc", "sad", 0.9, ops_per_epoch=100),
+            RunningApplication("cam", "filter", 0.85, ops_per_epoch=10),
+        ]
+        records = arch.run(apps, n_epochs=5)
+        assert len(records) == 5
+        assert records[0].modes == {"enc": "apx4", "cam": "apx"}
+        assert not records[0].violations
+
+    def test_energy_accounting(self, profiles):
+        arch = MultiAcceleratorArchitecture(profiles)
+        apps = [RunningApplication("enc", "sad", 0.9, ops_per_epoch=100)]
+        records = arch.run(apps, n_epochs=3)
+        assert records[0].energy == pytest.approx(60.0 * 100)
+        assert arch.total_energy() == pytest.approx(3 * 60.0 * 100)
+
+    def test_beats_exact_baseline(self, profiles):
+        arch = MultiAcceleratorArchitecture(profiles)
+        apps = [
+            RunningApplication("enc", "sad", 0.9, ops_per_epoch=100),
+            RunningApplication("cam", "filter", 0.85, ops_per_epoch=100),
+        ]
+        arch.run(apps, n_epochs=4)
+        baseline = arch.exact_baseline_energy(apps, 4)
+        assert arch.total_energy() < baseline
+
+    def test_duplicate_app_names_rejected(self, profiles):
+        arch = MultiAcceleratorArchitecture(profiles)
+        apps = [
+            RunningApplication("x", "sad", 0.9),
+            RunningApplication("x", "filter", 0.9),
+        ]
+        with pytest.raises(ValueError, match="unique"):
+            arch.run(apps)
+
+    def test_bad_epoch_count(self, profiles):
+        arch = MultiAcceleratorArchitecture(profiles)
+        with pytest.raises(ValueError, match="epochs"):
+            arch.run([RunningApplication("x", "sad", 0.9)], n_epochs=0)
+
+
+class TestAdaptiveControl:
+    def test_degrading_content_tightens_mode(self, profiles):
+        """When measured quality drops below the bound, the manager
+        moves the app to a higher-quality mode next epoch."""
+
+        def flaky_monitor(mode, epoch):
+            # Content becomes hard at epoch 2: approximate mode under-
+            # delivers by 0.1.
+            penalty = 0.1 if epoch >= 2 and mode.name != "exact" else 0.0
+            return mode.quality - penalty
+
+        arch = MultiAcceleratorArchitecture(profiles)
+        apps = [
+            RunningApplication(
+                "enc", "sad", 0.9, quality_monitor=flaky_monitor
+            )
+        ]
+        records = arch.run(apps, n_epochs=6)
+        assert records[0].modes["enc"] == "apx4"
+        assert "enc" in records[2].violations
+        # After the violation, the mode is tightened.
+        later_modes = [r.modes["enc"] for r in records[3:]]
+        assert any(m in ("exact",) for m in later_modes)
+
+    def test_violation_epochs_reported(self, profiles):
+        def bad_monitor(mode, epoch):
+            return 0.0 if epoch == 1 else mode.quality
+
+        arch = MultiAcceleratorArchitecture(profiles)
+        apps = [
+            RunningApplication("cam", "filter", 0.85,
+                               quality_monitor=bad_monitor)
+        ]
+        arch.run(apps, n_epochs=3)
+        assert arch.violation_epochs("cam") == [1]
+
+    def test_recovered_content_relaxes_mode(self, profiles):
+        """Once measured quality has comfortable headroom again, the
+        manager relaxes back to the cheap mode."""
+
+        def spike_monitor(mode, epoch):
+            return mode.quality - (0.2 if epoch == 1 else 0.0)
+
+        arch = MultiAcceleratorArchitecture(profiles)
+        apps = [
+            RunningApplication("enc", "sad", 0.9,
+                               quality_monitor=spike_monitor)
+        ]
+        records = arch.run(apps, n_epochs=5)
+        assert records[0].modes["enc"] == "apx4"
+        assert records[2].modes["enc"] == "exact"  # reacted to the spike
+        assert records[-1].modes["enc"] == "apx4"  # relaxed again

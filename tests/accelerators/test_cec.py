@@ -1,0 +1,85 @@
+"""Tests for the Consolidated Error Correction unit."""
+
+import numpy as np
+import pytest
+
+from repro.accelerators.cec import (
+    ConsolidatedErrorCorrection,
+    edc_area_comparison,
+)
+from repro.accelerators.sad import SADAccelerator
+
+
+class TestCalibration:
+    def test_constant_offset_fully_corrected(self):
+        cec = ConsolidatedErrorCorrection(lambda x: x + 3, lambda x: x)
+        offset = cec.calibrate(np.arange(100))
+        assert offset == -3
+        assert int(cec.correct(np.asarray(13))) == 10
+
+    def test_call_runs_and_corrects(self):
+        cec = ConsolidatedErrorCorrection(lambda x: x - 5, lambda x: x)
+        cec.calibrate(np.arange(50))
+        assert np.array_equal(cec(np.array([10, 20])), [10, 20])
+
+    def test_correct_before_calibrate_rejected(self):
+        cec = ConsolidatedErrorCorrection(lambda x: x, lambda x: x)
+        with pytest.raises(RuntimeError, match="calibrate"):
+            cec.correct(np.asarray(1))
+
+    def test_exact_accelerator_gets_zero_offset(self):
+        cec = ConsolidatedErrorCorrection(lambda x: x, lambda x: x)
+        assert cec.calibrate(np.arange(10)) == 0
+
+    def test_mixed_errors_pick_best_offset(self, rng):
+        # Error is -4 with prob 0.75, 0 otherwise: offset +4 minimizes
+        # E|err + off| (1.0 at +4 vs 3.0 at 0).
+        noise = rng.random(4000) < 0.75
+        apx = lambda x: x - 4 * noise.astype(int)
+        cec = ConsolidatedErrorCorrection(apx, lambda x: x)
+        assert cec.calibrate(np.arange(4000)) == 4
+
+    def test_residual_pmf_reflects_offset(self):
+        cec = ConsolidatedErrorCorrection(lambda x: x + 2, lambda x: x)
+        cec.calibrate(np.arange(10))
+        residual = cec.residual_error_pmf()
+        assert residual.probability(0) == 1.0
+
+
+class TestOnSadAccelerator:
+    def test_cec_improves_mean_error(self, rng):
+        approx = SADAccelerator(n_pixels=16, fa="ApxFA2", approx_lsbs=5)
+        exact = SADAccelerator(n_pixels=16)
+        a_cal = rng.integers(0, 256, (3000, 16))
+        b_cal = rng.integers(0, 256, (3000, 16))
+        cec = ConsolidatedErrorCorrection(approx.sad, exact.sad)
+        cec.calibrate(a_cal, b_cal)
+        a = rng.integers(0, 256, (2000, 16))
+        b = rng.integers(0, 256, (2000, 16))
+        truth = exact.sad(a, b)
+        raw_med = np.abs(approx.sad(a, b) - truth).mean()
+        corrected_med = np.abs(cec(a, b) - truth).mean()
+        assert corrected_med < raw_med
+
+
+class TestAreaComparison:
+    def test_savings_grow_with_cascade_size(self):
+        small = edc_area_comparison(2)
+        large = edc_area_comparison(64)
+        assert large.saving_ge > small.saving_ge
+
+    def test_break_even(self):
+        # One shared unit beats per-adder EDC once the cascade is larger
+        # than CEC_area / EDC_area adders.
+        assert edc_area_comparison(1).saving_ge < 0
+        assert edc_area_comparison(16).saving_ge > 0
+
+    def test_saving_percent(self):
+        comparison = edc_area_comparison(10)
+        assert comparison.saving_percent == pytest.approx(
+            100 * comparison.saving_ge / comparison.integrated_edc_ge
+        )
+
+    def test_invalid_cascade(self):
+        with pytest.raises(ValueError, match="n_adders"):
+            edc_area_comparison(0)

@@ -1,0 +1,158 @@
+"""Tests for the dataflow accelerator framework."""
+
+import numpy as np
+import pytest
+
+from repro.accelerators.dataflow import DataflowAccelerator, ExactArithmetic
+from repro.adders.ripple import ApproximateRippleAdder
+
+
+class AdderUnit:
+    """Adapter exposing an ApproximateRippleAdder as a dataflow unit."""
+
+    def __init__(self, width, fa="AccuFA", lsbs=0):
+        self._adder = ApproximateRippleAdder(width, approx_fa=fa, num_approx_lsbs=lsbs)
+        self.area_ge = self._adder.area_ge
+        self.name = self._adder.name
+
+    def add(self, a, b):
+        return self._adder.add(a, b)
+
+    def sub(self, a, b):
+        return self._adder.sub(a, b)
+
+    def multiply(self, a, b):  # pragma: no cover - unused
+        raise NotImplementedError
+
+
+def build_sad2(unit=None) -> DataflowAccelerator:
+    acc = DataflowAccelerator("sad2", default_unit=unit)
+    a0, a1 = acc.add_input("a0"), acc.add_input("a1")
+    b0, b1 = acc.add_input("b0"), acc.add_input("b1")
+    d0 = acc.add_node("abs", [acc.add_node("sub", [a0, b0])])
+    d1 = acc.add_node("abs", [acc.add_node("sub", [a1, b1])])
+    acc.set_output(acc.add_node("add", [d0, d1]))
+    return acc
+
+
+class TestConstruction:
+    def test_duplicate_input_rejected(self):
+        acc = DataflowAccelerator("x")
+        acc.add_input("a")
+        with pytest.raises(ValueError, match="duplicate"):
+            acc.add_input("a")
+
+    def test_unknown_op_rejected(self):
+        acc = DataflowAccelerator("x")
+        acc.add_input("a")
+        with pytest.raises(ValueError, match="op"):
+            acc.add_node("divide", [0])
+
+    def test_wrong_arity_rejected(self):
+        acc = DataflowAccelerator("x")
+        acc.add_input("a")
+        with pytest.raises(ValueError, match="takes 2"):
+            acc.add_node("add", [0])
+
+    def test_forward_reference_rejected(self):
+        acc = DataflowAccelerator("x")
+        acc.add_input("a")
+        with pytest.raises(ValueError, match="out of range"):
+            acc.add_node("abs", [5])
+
+    def test_shift_needs_param(self):
+        acc = DataflowAccelerator("x")
+        acc.add_input("a")
+        with pytest.raises(ValueError, match="shift"):
+            acc.add_node("shl", [0])
+
+    def test_clip_needs_bounds(self):
+        acc = DataflowAccelerator("x")
+        acc.add_input("a")
+        with pytest.raises(ValueError, match="clip"):
+            acc.add_node("clip", [0], param=5)
+
+    def test_output_index_validated(self):
+        acc = DataflowAccelerator("x")
+        with pytest.raises(ValueError, match="out of range"):
+            acc.set_output(0)
+
+
+class TestEvaluation:
+    def test_sad2_scalar(self):
+        acc = build_sad2()
+        assert int(acc.evaluate({"a0": 5, "a1": 2, "b0": 9, "b1": 2})) == 4
+
+    def test_sad2_vectorized(self, rng):
+        acc = build_sad2()
+        a0, a1 = rng.integers(0, 256, 100), rng.integers(0, 256, 100)
+        b0, b1 = rng.integers(0, 256, 100), rng.integers(0, 256, 100)
+        out = acc.evaluate({"a0": a0, "a1": a1, "b0": b0, "b1": b1})
+        assert np.array_equal(out, np.abs(a0 - b0) + np.abs(a1 - b1))
+
+    def test_const_shift_clip_neg(self):
+        acc = DataflowAccelerator("ops")
+        x = acc.add_input("x")
+        c = acc.add_const(10)
+        total = acc.add_node("add", [x, c])
+        shifted = acc.add_node("shl", [total], param=2)
+        halved = acc.add_node("shr", [shifted], param=1)
+        negated = acc.add_node("neg", [halved])
+        acc.set_output(acc.add_node("clip", [negated], param=(-25, 0)))
+        # x=5: (5+10)<<2=60 >>1=30, neg=-30, clip=-25.
+        assert int(acc.evaluate({"x": 5})) == -25
+
+    def test_mul_node(self):
+        acc = DataflowAccelerator("mul")
+        x, y = acc.add_input("x"), acc.add_input("y")
+        acc.set_output(acc.add_node("mul", [x, y]))
+        assert int(acc.evaluate({"x": 6, "y": 7})) == 42
+
+    def test_missing_stimulus(self):
+        acc = build_sad2()
+        with pytest.raises(ValueError, match="missing"):
+            acc.evaluate({"a0": 1})
+
+    def test_no_output_rejected(self):
+        acc = DataflowAccelerator("x")
+        acc.add_input("a")
+        with pytest.raises(ValueError, match="output"):
+            acc.evaluate({"a": 1})
+
+    def test_all_nodes_trace(self):
+        acc = build_sad2()
+        values = acc.evaluate(
+            {"a0": 5, "a1": 2, "b0": 9, "b1": 2}, all_nodes=True
+        )
+        assert len(values) == len(acc.nodes)
+
+    def test_approximate_unit_changes_result(self):
+        exact = build_sad2()
+        approx = build_sad2(unit=AdderUnit(8, fa="ApxFA5", lsbs=6))
+        stim = {"a0": 200, "a1": 3, "b0": 9, "b1": 77}
+        assert int(exact.evaluate(stim)) != int(approx.evaluate(stim))
+
+
+class TestRollups:
+    def test_area_counts_arith_nodes(self):
+        unit = AdderUnit(8)
+        acc = build_sad2(unit=unit)
+        assert acc.area_ge == pytest.approx(3 * unit.area_ge)
+
+    def test_exact_unit_is_free(self):
+        acc = build_sad2()
+        assert acc.area_ge == 0.0
+
+    def test_n_arith_nodes(self):
+        assert build_sad2().n_arith_nodes() == 3
+
+    def test_units_deduplicated(self):
+        unit = AdderUnit(8)
+        acc = DataflowAccelerator("u")
+        x, y = acc.add_input("x"), acc.add_input("y")
+        s1 = acc.add_node("add", [x, y], unit=unit)
+        acc.set_output(acc.add_node("add", [s1, y], unit=unit))
+        assert len(acc.units()) == 1
+
+    def test_repr(self):
+        assert "3 arithmetic" in repr(build_sad2())

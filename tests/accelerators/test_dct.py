@@ -1,0 +1,83 @@
+"""Tests for the approximate DCT accelerator."""
+
+import numpy as np
+import pytest
+
+from repro.accelerators.dct import ApproximateDCT8x8, integer_dct_matrix
+from repro.multipliers.recursive import RecursiveMultiplier
+
+
+class TestBasisMatrix:
+    def test_shape_and_dtype(self):
+        m = integer_dct_matrix()
+        assert m.shape == (8, 8)
+        assert m.dtype == np.int64
+
+    def test_rows_nearly_orthogonal(self):
+        m = integer_dct_matrix().astype(float)
+        gram = m @ m.T
+        scale = gram[0, 0]
+        off_diag = gram - np.diag(np.diag(gram))
+        assert np.abs(off_diag).max() < 0.02 * scale
+
+    def test_dc_row_constant(self):
+        m = integer_dct_matrix()
+        assert len(set(m[0].tolist())) == 1
+
+
+class TestExactTransform:
+    def test_roundtrip_small_error(self, rng):
+        dct = ApproximateDCT8x8()
+        block = rng.integers(-128, 128, (8, 8))
+        recon = dct.inverse(dct.forward(block))
+        assert np.abs(recon - block).max() <= 8  # fixed-point rounding
+
+    def test_dc_block(self):
+        dct = ApproximateDCT8x8()
+        block = np.full((8, 8), 50)
+        coeffs = dct.forward(block)
+        assert abs(coeffs[0, 0]) > 10
+        assert np.abs(coeffs[1:, 1:]).max() <= 1
+
+    def test_energy_compaction_on_smooth_blocks(self):
+        dct = ApproximateDCT8x8()
+        ramp = np.tile(np.arange(8), (8, 1)) * 10
+        coeffs = dct.forward(ramp)
+        low = np.abs(coeffs[:2, :2]).sum()
+        high = np.abs(coeffs[4:, 4:]).sum()
+        assert low > 10 * high
+
+    def test_wrong_shape_rejected(self):
+        with pytest.raises(ValueError, match="8x8"):
+            ApproximateDCT8x8().forward(np.zeros((4, 4)))
+
+
+class TestApproximateTransform:
+    def test_approximate_adders_distort(self, rng):
+        block = rng.integers(-128, 128, (8, 8))
+        exact = ApproximateDCT8x8().forward(block)
+        noisy = ApproximateDCT8x8(adder_fa="ApxFA5", adder_approx_lsbs=6).forward(
+            block
+        )
+        assert not np.array_equal(exact, noisy)
+
+    def test_approximate_multiplier_distorts(self, rng):
+        block = rng.integers(0, 128, (8, 8))
+        mul = RecursiveMultiplier(16, leaf_mul="ApxMulSoA", leaf_policy="all")
+        exact = ApproximateDCT8x8().forward(block)
+        noisy = ApproximateDCT8x8(multiplier=mul).forward(block)
+        assert not np.array_equal(exact, noisy)
+
+    def test_mild_approximation_keeps_dc(self, rng):
+        """Low-LSB approximation must not destroy the DC coefficient."""
+        block = rng.integers(0, 128, (8, 8))
+        exact = ApproximateDCT8x8().forward(block)
+        mild = ApproximateDCT8x8(adder_fa="ApxFA1", adder_approx_lsbs=2).forward(
+            block
+        )
+        dc_exact, dc_mild = int(exact[0, 0]), int(mild[0, 0])
+        assert abs(dc_exact - dc_mild) <= max(4, abs(dc_exact) // 8)
+
+    def test_name(self):
+        dct = ApproximateDCT8x8(adder_fa="ApxFA2", adder_approx_lsbs=2)
+        assert "DCT8x8" in dct.name

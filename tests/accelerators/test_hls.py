@@ -1,0 +1,162 @@
+"""Tests for the approximate-HLS synthesizer."""
+
+import numpy as np
+import pytest
+
+from repro.accelerators.dataflow import DataflowAccelerator
+from repro.accelerators.hls import (
+    AdderCandidate,
+    ApproximateSynthesizer,
+    default_adder_candidates,
+)
+
+
+def sum_tree_template(n: int = 4) -> DataflowAccelerator:
+    acc = DataflowAccelerator(f"sum{n}")
+    nodes = [acc.add_input(f"x{i}") for i in range(n)]
+    while len(nodes) > 1:
+        nxt = []
+        for i in range(0, len(nodes) - 1, 2):
+            nxt.append(acc.add_node("add", [nodes[i], nodes[i + 1]]))
+        if len(nodes) % 2:
+            nxt.append(nodes[-1])
+        nodes = nxt
+    acc.set_output(nodes[0])
+    return acc
+
+
+def sad_template(n: int = 4) -> DataflowAccelerator:
+    acc = DataflowAccelerator(f"sad{n}")
+    a = [acc.add_input(f"a{i}") for i in range(n)]
+    b = [acc.add_input(f"b{i}") for i in range(n)]
+    diffs = [
+        acc.add_node("abs", [acc.add_node("sub", [a[i], b[i]])])
+        for i in range(n)
+    ]
+    while len(diffs) > 1:
+        diffs = [
+            acc.add_node("add", [diffs[i], diffs[i + 1]])
+            for i in range(0, len(diffs), 2)
+        ]
+    acc.set_output(diffs[0])
+    return acc
+
+
+RANGES4 = {f"x{i}": (0, 255) for i in range(4)}
+SAD_RANGES = {f"{p}{i}": (0, 255) for p in "ab" for i in range(4)}
+
+
+class TestCandidates:
+    def test_default_ladder_ends_exact(self):
+        ladder = default_adder_candidates()
+        assert ladder[-1].approx_lsbs == 0
+
+    def test_ladder_must_include_exact(self):
+        with pytest.raises(ValueError, match="exact"):
+            ApproximateSynthesizer([AdderCandidate("apx", "ApxFA5", 4)])
+
+    def test_empty_ladder_rejected(self):
+        with pytest.raises(ValueError, match="candidate"):
+            ApproximateSynthesizer([])
+
+    def test_candidate_build_clamps_lsbs(self):
+        candidate = AdderCandidate("wide", "ApxFA1", 99)
+        assert candidate.build(8).num_approx_lsbs == 8
+
+
+class TestSynthesis:
+    def test_zero_budget_gives_exact_datapath(self, rng):
+        synth = ApproximateSynthesizer()
+        acc = sum_tree_template()
+        result = synth.synthesize(acc, RANGES4, error_budget=0)
+        assert result.error_bound == 0
+        stim = {k: rng.integers(0, 256, 2000) for k in RANGES4}
+        exact = sum(stim[k] for k in RANGES4)
+        assert np.array_equal(acc.evaluate(stim), exact)
+
+    def test_loose_budget_gives_cheapest(self):
+        synth = ApproximateSynthesizer()
+        result = synth.synthesize(sum_tree_template(), RANGES4, 10**9)
+        assert set(result.assignment.values()) == {
+            default_adder_candidates()[0].name
+        }
+
+    def test_bound_respects_budget(self):
+        synth = ApproximateSynthesizer()
+        for budget in (0, 10, 100, 1000):
+            result = synth.synthesize(sum_tree_template(), RANGES4, budget)
+            assert result.error_bound <= budget
+
+    def test_bound_is_sound_empirically(self, rng):
+        synth = ApproximateSynthesizer()
+        acc = sad_template()
+        result = synth.synthesize(acc, SAD_RANGES, error_budget=200)
+        stim = {k: rng.integers(0, 256, 20_000) for k in SAD_RANGES}
+        exact = sad_template().evaluate(stim)
+        observed = np.abs(acc.evaluate(stim) - exact)
+        assert observed.max() <= result.error_bound
+
+    def test_area_monotone_in_budget(self):
+        synth = ApproximateSynthesizer()
+        areas = [
+            synth.synthesize(sad_template(), SAD_RANGES, budget).area_ge
+            for budget in (0, 50, 500, 10**6)
+        ]
+        assert all(x >= y for x, y in zip(areas, areas[1:]))
+        assert areas[0] > areas[-1]
+
+    def test_missing_input_range_rejected(self):
+        synth = ApproximateSynthesizer()
+        with pytest.raises(ValueError, match="range"):
+            synth.synthesize(sum_tree_template(), {"x0": (0, 255)}, 0)
+
+    def test_negative_budget_rejected(self):
+        synth = ApproximateSynthesizer()
+        with pytest.raises(ValueError, match="budget"):
+            synth.synthesize(sum_tree_template(), RANGES4, -1)
+
+    def test_template_needs_output(self):
+        synth = ApproximateSynthesizer()
+        acc = DataflowAccelerator("empty")
+        acc.add_input("x")
+        with pytest.raises(ValueError, match="output"):
+            synth.synthesize(acc, {"x": (0, 1)}, 0)
+
+    def test_negative_operand_adds_stay_exact(self, rng):
+        """An add fed by possibly-negative values must not get an
+        unsigned approximate unit."""
+        synth = ApproximateSynthesizer()
+        acc = DataflowAccelerator("signed")
+        x, y = acc.add_input("x"), acc.add_input("y")
+        d = acc.add_node("sub", [x, y])  # may be negative
+        acc.set_output(acc.add_node("add", [d, x]))
+        result = synth.synthesize(
+            acc, {"x": (0, 255), "y": (0, 255)}, error_budget=10**9
+        )
+        add_node = acc.nodes[acc.output]
+        # The final add keeps the exact default unit (None) because its
+        # first operand range spans negatives.
+        assert add_node.unit is None
+        stim = {"x": rng.integers(0, 256, 1000), "y": rng.integers(0, 256, 1000)}
+        # sub itself may be approximate, but evaluation must still run.
+        acc.evaluate(stim)
+
+
+class TestValueAnalysis:
+    def test_shift_and_clip_ranges(self):
+        synth = ApproximateSynthesizer()
+        acc = DataflowAccelerator("ops")
+        x = acc.add_input("x")
+        shifted = acc.add_node("shl", [x], param=2)
+        clipped = acc.add_node("clip", [shifted], param=(0, 100))
+        acc.set_output(acc.add_node("add", [clipped, x]))
+        result = synth.synthesize(acc, {"x": (0, 255)}, error_budget=0)
+        assert result.error_bound == 0
+
+    def test_mul_with_exact_operands_allowed(self):
+        synth = ApproximateSynthesizer()
+        acc = DataflowAccelerator("mul")
+        x, y = acc.add_input("x"), acc.add_input("y")
+        acc.set_output(acc.add_node("mul", [x, y]))
+        result = synth.synthesize(acc, {"x": (0, 15), "y": (0, 15)}, 0)
+        assert result.error_bound == 0

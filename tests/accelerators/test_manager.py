@@ -1,0 +1,129 @@
+"""Tests for the approximation management unit."""
+
+import pytest
+
+from repro.accelerators.manager import (
+    AcceleratorMode,
+    AcceleratorProfile,
+    ApplicationRequest,
+    ApproximationManager,
+)
+
+
+@pytest.fixture
+def sad_profile():
+    return AcceleratorProfile(
+        "sad",
+        (
+            AcceleratorMode("exact", 1.0, 100.0),
+            AcceleratorMode("apx2", 0.98, 80.0),
+            AcceleratorMode("apx4", 0.95, 60.0),
+            AcceleratorMode("apx6", 0.80, 40.0),
+        ),
+    )
+
+
+@pytest.fixture
+def filter_profile():
+    return AcceleratorProfile(
+        "filter",
+        (
+            AcceleratorMode("exact", 1.0, 50.0),
+            AcceleratorMode("apx", 0.9, 20.0),
+        ),
+    )
+
+
+class TestModes:
+    def test_quality_bounds_validated(self):
+        with pytest.raises(ValueError, match="quality"):
+            AcceleratorMode("bad", 1.5, 10.0)
+
+    def test_negative_power_rejected(self):
+        with pytest.raises(ValueError, match="power"):
+            AcceleratorMode("bad", 0.5, -1.0)
+
+    def test_profile_needs_modes(self):
+        with pytest.raises(ValueError, match="mode"):
+            AcceleratorProfile("empty", ())
+
+    def test_cheapest_mode(self, sad_profile):
+        assert sad_profile.cheapest_mode(0.9).name == "apx4"
+        assert sad_profile.cheapest_mode(0.99).name == "exact"
+
+    def test_cheapest_mode_infeasible(self, sad_profile):
+        profile = AcceleratorProfile(
+            "weak", (AcceleratorMode("only", 0.5, 1.0),)
+        )
+        with pytest.raises(ValueError, match="no mode"):
+            profile.cheapest_mode(0.9)
+
+
+class TestSelection:
+    def test_minimum_power_selection(self, sad_profile, filter_profile):
+        mgr = ApproximationManager([sad_profile, filter_profile])
+        result = mgr.select_modes(
+            [
+                ApplicationRequest("encoder", "sad", 0.9),
+                ApplicationRequest("camera", "filter", 0.85),
+            ]
+        )
+        assert result.assignments["encoder"].name == "apx4"
+        assert result.assignments["camera"].name == "apx"
+        assert result.total_power_nw == pytest.approx(60.0 + 20.0)
+
+    def test_greedy_matches_exhaustive(self, sad_profile, filter_profile):
+        mgr = ApproximationManager([sad_profile, filter_profile])
+        requests = [
+            ApplicationRequest("a", "sad", 0.9),
+            ApplicationRequest("b", "filter", 0.5),
+            ApplicationRequest("c", "sad", 0.99),
+        ]
+        greedy = mgr.select_modes(requests)
+        exhaustive = mgr.select_modes_exhaustive(requests)
+        assert greedy.total_power_nw == pytest.approx(exhaustive.total_power_nw)
+
+    def test_unknown_kind_rejected(self, sad_profile):
+        mgr = ApproximationManager([sad_profile])
+        with pytest.raises(KeyError, match="gpu"):
+            mgr.select_modes([ApplicationRequest("x", "gpu", 0.5)])
+
+    def test_duplicate_profile_rejected(self, sad_profile):
+        with pytest.raises(ValueError, match="duplicate"):
+            ApproximationManager([sad_profile, sad_profile])
+
+
+class TestAdaptation:
+    def test_quality_violation_tightens(self, sad_profile):
+        mgr = ApproximationManager([sad_profile])
+        request = ApplicationRequest("enc", "sad", 0.9)
+        mgr.select_modes([request])  # apx4
+        mode = mgr.adapt("enc", request, measured_quality=0.85)
+        assert mode.quality > 0.95  # moved up from apx4
+
+    def test_headroom_relaxes(self, sad_profile):
+        mgr = ApproximationManager([sad_profile])
+        request = ApplicationRequest("enc", "sad", 0.9)
+        mgr.select_modes([request])
+        mgr.adapt("enc", request, 0.85)  # tightened
+        relaxed = mgr.adapt("enc", request, 0.97)  # comfortable headroom
+        assert relaxed.name == "apx4"
+
+    def test_hysteresis_band_keeps_mode(self, sad_profile):
+        mgr = ApproximationManager([sad_profile])
+        request = ApplicationRequest("enc", "sad", 0.9)
+        initial = mgr.select_modes([request]).assignments["enc"]
+        stable = mgr.adapt("enc", request, 0.905)  # inside the band
+        assert stable == initial
+
+    def test_adapt_unknown_app(self, sad_profile):
+        mgr = ApproximationManager([sad_profile])
+        with pytest.raises(KeyError, match="assignment"):
+            mgr.adapt("ghost", ApplicationRequest("ghost", "sad", 0.9), 0.5)
+
+    def test_already_best_mode_stays(self, sad_profile):
+        mgr = ApproximationManager([sad_profile])
+        request = ApplicationRequest("enc", "sad", 1.0)
+        mgr.select_modes([request])  # exact
+        mode = mgr.adapt("enc", request, measured_quality=0.99)
+        assert mode.name == "exact"

@@ -1,0 +1,113 @@
+"""Tests for approximate neural-network inference."""
+
+import numpy as np
+import pytest
+
+from repro.accelerators.neural import (
+    MLPClassifier,
+    QuantizedMLP,
+    make_classification_data,
+)
+from repro.adders.ripple import ApproximateRippleAdder
+from repro.multipliers.booth import BoothMultiplier
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return make_classification_data(n_samples=360, n_classes=3, seed=3)
+
+
+@pytest.fixture(scope="module")
+def trained(dataset):
+    X, y = dataset
+    return MLPClassifier.train(X, y, hidden=8, epochs=250, seed=3)
+
+
+class TestData:
+    def test_deterministic(self):
+        x1, y1 = make_classification_data(seed=7)
+        x2, y2 = make_classification_data(seed=7)
+        assert np.array_equal(x1, x2) and np.array_equal(y1, y2)
+
+    def test_features_normalized(self, dataset):
+        X, _ = dataset
+        assert X.min() >= 0.0 and X.max() <= 1.0
+
+    def test_all_classes_present(self, dataset):
+        _, y = dataset
+        assert set(np.unique(y)) == {0, 1, 2}
+
+
+class TestTraining:
+    def test_learns_better_than_chance(self, dataset, trained):
+        X, y = dataset
+        assert trained.accuracy(X, y) > 0.75
+
+    def test_training_deterministic(self, dataset):
+        X, y = dataset
+        a = MLPClassifier.train(X, y, hidden=4, epochs=50, seed=5)
+        b = MLPClassifier.train(X, y, hidden=4, epochs=50, seed=5)
+        assert np.array_equal(a.w1, b.w1)
+
+    def test_predictions_shape(self, dataset, trained):
+        X, _ = dataset
+        assert trained.predict(X).shape == (len(X),)
+
+
+class TestQuantization:
+    def test_quantization_loss_small(self, dataset, trained):
+        X, y = dataset
+        quantized = trained.quantize(dataset[0])
+        float_acc = trained.accuracy(X, y)
+        fixed_acc = quantized.accuracy(X, y)
+        assert fixed_acc >= float_acc - 0.05
+
+    def test_weights_are_int8(self, dataset, trained):
+        quantized = trained.quantize(dataset[0])
+        for w in (quantized.w1, quantized.w2):
+            assert w.dtype == np.int64
+            assert np.abs(w).max() <= 127
+
+
+class TestApproximateInference:
+    def test_exact_units_match_quantized_path(self, dataset, trained):
+        X, y = dataset
+        quantized = trained.quantize(dataset[0])
+        baseline = quantized.predict(X)
+        with_units = quantized.predict(
+            X,
+            multiplier=BoothMultiplier(16),
+            accumulator=ApproximateRippleAdder(24),
+        )
+        assert np.array_equal(baseline, with_units)
+
+    def test_graceful_degradation_with_truncation(self, dataset, trained):
+        """The paper's resilience claim: mild arithmetic approximation
+        barely moves classification accuracy."""
+        X, y = dataset
+        quantized = trained.quantize(dataset[0])
+        exact_acc = quantized.accuracy(X, y)
+        mild = quantized.accuracy(
+            X, y, multiplier=BoothMultiplier(16, truncate_digits=1)
+        )
+        assert mild >= exact_acc - 0.03
+
+    def test_heavy_truncation_eventually_hurts(self, dataset, trained):
+        X, y = dataset
+        quantized = trained.quantize(dataset[0])
+        exact_acc = quantized.accuracy(X, y)
+        heavy = quantized.accuracy(
+            X, y, multiplier=BoothMultiplier(16, truncate_digits=6)
+        )
+        assert heavy < exact_acc
+
+    def test_approximate_accumulator_tolerated(self, dataset, trained):
+        X, y = dataset
+        quantized = trained.quantize(dataset[0])
+        accumulator = ApproximateRippleAdder(
+            24, approx_fa="ApxFA1", num_approx_lsbs=6
+        )
+        acc = quantized.accuracy(
+            X, y, multiplier=BoothMultiplier(16), accumulator=accumulator
+        )
+        assert acc >= quantized.accuracy(X, y) - 0.05

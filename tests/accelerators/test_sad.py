@@ -1,0 +1,122 @@
+"""Tests for the SAD accelerator and its ApxSAD variants."""
+
+import numpy as np
+import pytest
+
+from repro.accelerators.sad import (
+    SAD_VARIANT_CELLS,
+    SADAccelerator,
+    make_sad_variants,
+)
+
+
+class TestExactSAD:
+    def test_matches_reference(self, rng):
+        acc = SADAccelerator(n_pixels=64)
+        a = rng.integers(0, 256, (50, 64))
+        b = rng.integers(0, 256, (50, 64))
+        assert np.array_equal(acc.sad(a, b), np.abs(a - b).sum(axis=-1))
+
+    def test_identical_blocks_give_zero(self):
+        acc = SADAccelerator(n_pixels=16)
+        block = np.arange(16)
+        assert int(acc.sad(block, block)) == 0
+
+    def test_single_pixel(self):
+        acc = SADAccelerator(n_pixels=1)
+        assert int(acc.sad([7], [250])) == 243
+
+    def test_odd_pixel_count(self, rng):
+        acc = SADAccelerator(n_pixels=9)
+        a = rng.integers(0, 256, (10, 9))
+        b = rng.integers(0, 256, (10, 9))
+        assert np.array_equal(acc.sad(a, b), np.abs(a - b).sum(axis=-1))
+
+    def test_maximal_inputs(self):
+        acc = SADAccelerator(n_pixels=64)
+        a = np.full(64, 255)
+        b = np.zeros(64, dtype=int)
+        assert int(acc.sad(a, b)) == 64 * 255
+
+    def test_wrong_pixel_count_rejected(self):
+        acc = SADAccelerator(n_pixels=64)
+        with pytest.raises(ValueError, match="64"):
+            acc.sad(np.zeros((2, 32)), np.zeros((2, 32)))
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError, match="n_pixels"):
+            SADAccelerator(n_pixels=0)
+        with pytest.raises(ValueError, match="approx_lsbs"):
+            SADAccelerator(approx_lsbs=-1)
+
+
+class TestApproximateSAD:
+    @pytest.mark.parametrize("fa", ["ApxFA1", "ApxFA2", "ApxFA3", "ApxFA4", "ApxFA5"])
+    def test_errors_bounded(self, fa, rng):
+        acc = SADAccelerator(n_pixels=64, fa=fa, approx_lsbs=4)
+        a = rng.integers(0, 256, (100, 64))
+        b = rng.integers(0, 256, (100, 64))
+        exact = np.abs(a - b).sum(axis=-1)
+        errors = np.abs(acc.sad(a, b) - exact)
+        # Error budget: 64 subtractor errors + tree-node errors, each
+        # bounded by ~2**(approx_lsbs+1).
+        assert errors.max() < 127 * (1 << 5)
+
+    def test_zero_lsbs_is_exact(self, rng):
+        acc = SADAccelerator(n_pixels=16, fa="ApxFA5", approx_lsbs=0)
+        a = rng.integers(0, 256, (20, 16))
+        b = rng.integers(0, 256, (20, 16))
+        assert np.array_equal(acc.sad(a, b), np.abs(a - b).sum(axis=-1))
+
+    def test_error_grows_with_lsbs(self, rng):
+        a = rng.integers(0, 256, (400, 64))
+        b = rng.integers(0, 256, (400, 64))
+        exact = np.abs(a - b).sum(axis=-1)
+        meds = []
+        for k in (0, 2, 4, 6):
+            acc = SADAccelerator(n_pixels=64, fa="ApxFA2", approx_lsbs=k)
+            meds.append(float(np.abs(acc.sad(a, b) - exact).mean()))
+        assert meds[0] == 0.0
+        assert meds[1] < meds[2] < meds[3]
+
+
+class TestVariants:
+    def test_all_variants_present(self):
+        variants = make_sad_variants()
+        assert set(variants) == set(SAD_VARIANT_CELLS)
+
+    def test_exclude_accurate(self):
+        variants = make_sad_variants(include_accurate=False)
+        assert "AccuSAD" not in variants
+
+    def test_variant_cells(self):
+        variants = make_sad_variants(approx_lsbs=4)
+        assert variants["ApxSAD3"].fa == "ApxFA3"
+        assert variants["AccuSAD"].approx_lsbs == 0
+
+    def test_names(self):
+        acc = SADAccelerator(n_pixels=64, fa="ApxFA2", approx_lsbs=4)
+        assert acc.name == "ApxSAD2(lsbs=4)"
+
+
+class TestPhysical:
+    def test_area_positive(self):
+        assert SADAccelerator(n_pixels=64).area_ge > 0
+
+    def test_approximation_reduces_area_and_energy(self):
+        exact = SADAccelerator(n_pixels=64)
+        approx = SADAccelerator(n_pixels=64, fa="ApxFA3", approx_lsbs=4)
+        assert approx.area_ge < exact.area_ge
+        assert approx.energy_per_op_fj < exact.energy_per_op_fj
+
+    def test_four_lsbs_cheaper_than_two(self):
+        """Fig. 9 claim: 4-bit approximation always saves more power
+        than 2-bit, for every cell type."""
+        for cell in ("ApxFA1", "ApxFA2", "ApxFA3", "ApxFA4", "ApxFA5"):
+            two = SADAccelerator(n_pixels=64, fa=cell, approx_lsbs=2)
+            four = SADAccelerator(n_pixels=64, fa=cell, approx_lsbs=4)
+            assert four.energy_per_op_fj < two.energy_per_op_fj
+
+    def test_power_scales_with_throughput(self):
+        acc = SADAccelerator(n_pixels=64)
+        assert acc.power_nw(2e6) == pytest.approx(2 * acc.power_nw(1e6))

@@ -1,0 +1,57 @@
+"""Tests for SAD-family characterization and its CLI surface."""
+
+import pytest
+
+from repro.accelerators.sad import characterize_sad_family
+from repro.cli import main
+
+
+class TestCharacterizeFamily:
+    @pytest.fixture(scope="class")
+    def records(self):
+        return characterize_sad_family(
+            n_pixels=16, lsb_counts=(2, 4), n_samples=800
+        )
+
+    def test_row_count(self, records):
+        # AccuSAD + 5 cells x 2 LSB counts.
+        assert len(records) == 1 + 5 * 2
+
+    def test_exact_row_first_and_clean(self, records):
+        assert records[0]["name"] == "AccuSAD"
+        assert records[0]["mean_error_distance"] == 0.0
+
+    def test_energy_decreases_with_lsbs(self, records):
+        by_name = {r["name"]: r for r in records}
+        for cell in ("ApxSAD1", "ApxSAD2", "ApxSAD3", "ApxSAD4", "ApxSAD5"):
+            assert (by_name[f"{cell}/4"]["energy_fj"]
+                    < by_name[f"{cell}/2"]["energy_fj"])
+            assert (by_name[f"{cell}/2"]["energy_fj"]
+                    < by_name["AccuSAD"]["energy_fj"])
+
+    def test_error_grows_with_lsbs(self, records):
+        by_name = {r["name"]: r for r in records}
+        for cell in ("ApxSAD1", "ApxSAD2", "ApxSAD5"):
+            assert (by_name[f"{cell}/4"]["mean_error_distance"]
+                    >= by_name[f"{cell}/2"]["mean_error_distance"])
+
+    def test_relative_error_modest(self, records):
+        assert all(r["mean_relative_error"] < 0.2 for r in records)
+
+
+class TestCliSurface:
+    def test_characterize_sad(self, capsys):
+        assert main(["characterize-sad", "--pixels", "16",
+                     "--lsbs", "2", "--samples", "200"]) == 0
+        out = capsys.readouterr().out
+        assert "ApxSAD5/2" in out
+
+    def test_luts(self, capsys):
+        assert main(["luts"]) == 0
+        out = capsys.readouterr().out
+        assert "AccuFA" in out and "depth" in out
+
+    def test_luts_with_adders(self, capsys):
+        assert main(["luts", "--width", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "RCA8" in out

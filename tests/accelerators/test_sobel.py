@@ -1,0 +1,82 @@
+"""Tests for the Sobel edge-detection accelerator."""
+
+import numpy as np
+import pytest
+
+from repro.accelerators.sobel import SobelAccelerator, sobel_exact
+from repro.media.synthetic import standard_images
+
+
+class TestExactReference:
+    def test_flat_image_has_no_edges(self):
+        img = np.full((10, 10), 128)
+        assert np.all(sobel_exact(img) == 0)
+
+    def test_vertical_edge_detected(self):
+        img = np.zeros((8, 8), dtype=np.int64)
+        img[:, 4:] = 200
+        out = sobel_exact(img)
+        assert out[:, 3:5].max() == 255  # clipped strong edge
+        assert np.all(out[:, 0:2] == 0)
+
+    def test_horizontal_edge_detected(self):
+        img = np.zeros((8, 8), dtype=np.int64)
+        img[4:, :] = 200
+        out = sobel_exact(img)
+        assert out[3:5, :].max() == 255
+        assert np.all(out[0:2, :] == 0)
+
+    def test_output_range(self, rng):
+        img = rng.integers(0, 256, (16, 16))
+        out = sobel_exact(img)
+        assert out.min() >= 0 and out.max() <= 255
+
+
+class TestAccelerator:
+    def test_exact_configuration_matches_reference(self, rng):
+        acc = SobelAccelerator()
+        img = rng.integers(0, 256, (20, 20))
+        assert np.array_equal(acc.apply(img), sobel_exact(img))
+
+    def test_approximate_differs_but_bounded(self, rng):
+        acc = SobelAccelerator(fa="ApxFA2", approx_lsbs=3)
+        img = rng.integers(0, 256, (24, 24))
+        approx = acc.apply(img).astype(int)
+        exact = sobel_exact(img)
+        assert not np.array_equal(approx, exact)
+        assert np.abs(approx - exact).max() < 128
+
+    def test_edge_structure_survives_mild_approximation(self):
+        img = np.zeros((16, 16), dtype=np.int64)
+        img[:, 8:] = 200
+        acc = SobelAccelerator(fa="ApxFA1", approx_lsbs=2)
+        out = acc.apply(img)
+        # The edge column still dominates the flat regions.
+        assert out[:, 7:9].max() > 4 * max(1, out[:, 0:2].max())
+
+    def test_error_grows_with_lsbs(self, rng):
+        img = rng.integers(0, 256, (32, 32))
+        exact = sobel_exact(img)
+        meds = []
+        for k in (0, 2, 4):
+            acc = SobelAccelerator(fa="ApxFA5", approx_lsbs=k)
+            meds.append(float(np.abs(acc.apply(img).astype(int) - exact).mean()))
+        assert meds[0] == 0.0
+        assert meds[0] < meds[1] < meds[2]
+
+    def test_requires_2d(self):
+        with pytest.raises(ValueError, match="2-D"):
+            SobelAccelerator().apply(np.zeros(16))
+
+    def test_area_reduced_by_approximation(self):
+        assert (
+            SobelAccelerator(fa="ApxFA3", approx_lsbs=4).area_ge
+            < SobelAccelerator().area_ge
+        )
+
+    def test_on_content_classes(self):
+        acc = SobelAccelerator(fa="ApxFA1", approx_lsbs=3)
+        for name, img in standard_images(32).items():
+            out = acc.apply(img)
+            assert out.shape == img.shape, name
+            assert out.min() >= 0 and out.max() <= 255, name

@@ -1,0 +1,86 @@
+"""Tests for the accuracy-configurable GeAr adder."""
+
+import numpy as np
+import pytest
+
+from repro.adders.configurable import ConfigurableGeArAdder
+from repro.adders.gear import GeArConfig
+
+
+@pytest.fixture
+def adder():
+    return ConfigurableGeArAdder(GeArConfig(n=16, r=2, p=2))
+
+
+class TestModes:
+    def test_mode_count_is_k(self, adder):
+        assert adder.n_modes == adder.config.k
+
+    def test_default_mode_zero(self, adder):
+        assert adder.mode == 0
+
+    def test_invalid_mode_rejected(self, adder):
+        with pytest.raises(ValueError, match="mode"):
+            adder.set_mode(adder.n_modes)
+        with pytest.raises(ValueError, match="mode"):
+            adder.set_mode(-1)
+
+    def test_mode_zero_is_raw_approximate(self, adder, rng):
+        from repro.adders.gear import GeArAdder
+
+        raw = GeArAdder(adder.config)
+        a = rng.integers(0, 1 << 16, 500)
+        b = rng.integers(0, 1 << 16, 500)
+        adder.set_mode(0)
+        assert np.array_equal(adder.add(a, b), raw.add(a, b))
+
+    def test_highest_mode_is_exact(self, adder, rng):
+        adder.set_mode(adder.n_modes - 1)
+        a = rng.integers(0, 1 << 16, 2000)
+        b = rng.integers(0, 1 << 16, 2000)
+        assert np.array_equal(adder.add(a, b), a + b)
+
+    def test_error_rate_monotone_in_mode(self, adder, rng):
+        a = rng.integers(0, 1 << 16, 5000)
+        b = rng.integers(0, 1 << 16, 5000)
+        rates = []
+        for mode in range(adder.n_modes):
+            adder.set_mode(mode)
+            rates.append(float(np.mean(adder.add(a, b) != a + b)))
+        assert all(x >= y for x, y in zip(rates, rates[1:]))
+        assert rates[0] > 0.0
+        assert rates[-1] == 0.0
+
+    def test_cycles_reflect_corrections(self, adder):
+        adder.set_mode(adder.n_modes - 1)
+        _, cycles = adder.add_with_stats(0x00FF, 0x0001)
+        assert int(cycles) >= 2  # at least one correction fired
+        _, cycles = adder.add_with_stats(0x0101, 0x0202)
+        assert int(cycles) == 1  # nothing to correct
+
+    def test_name_mentions_mode(self, adder):
+        adder.set_mode(1)
+        assert "mode1" in adder.name
+
+
+class TestCharacterization:
+    def test_per_mode_records(self, adder):
+        records = adder.characterize_modes(n_samples=20_000)
+        assert len(records) == adder.n_modes
+        error_rates = [r.error_rate for r in records]
+        assert error_rates == sorted(error_rates, reverse=True)
+        assert records[-1].error_rate == 0.0
+
+    def test_latency_energy_grow_with_mode(self, adder):
+        records = adder.characterize_modes(n_samples=20_000)
+        cycles = [r.mean_cycles for r in records]
+        energy = [r.relative_energy for r in records]
+        assert cycles[0] == 1.0
+        assert all(x <= y + 1e-12 for x, y in zip(cycles, cycles[1:]))
+        assert energy[0] == 1.0
+        assert energy[-1] > 1.0
+
+    def test_mode_restored_after_characterization(self, adder):
+        adder.set_mode(1)
+        adder.characterize_modes(n_samples=1000)
+        assert adder.mode == 1

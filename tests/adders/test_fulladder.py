@@ -1,0 +1,121 @@
+"""Tests for the Table III 1-bit full adders."""
+
+import numpy as np
+import pytest
+
+from repro.adders.fulladder import (
+    FULL_ADDER_NAMES,
+    FULL_ADDERS,
+    accurate_full_adder,
+    full_adder,
+)
+from repro.characterization.paperdata import TABLE_III_ERROR_CASES
+from repro.logic.simulate import exhaustive_stimuli
+
+
+class TestLookup:
+    def test_all_six_adders_present(self):
+        assert FULL_ADDER_NAMES == (
+            "AccuFA", "ApxFA1", "ApxFA2", "ApxFA3", "ApxFA4", "ApxFA5",
+        )
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(KeyError, match="ApxFA1"):
+            full_adder("ApxFA9")
+
+    def test_accurate_helper(self):
+        assert accurate_full_adder().name == "AccuFA"
+
+
+class TestAccurateSemantics:
+    def test_accufa_is_exact(self):
+        fa = FULL_ADDERS["AccuFA"]
+        for a in (0, 1):
+            for b in (0, 1):
+                for c in (0, 1):
+                    s, co = fa.evaluate(a, b, c)
+                    assert 2 * int(co) + int(s) == a + b + c
+
+    def test_vectorized_evaluation(self):
+        fa = FULL_ADDERS["AccuFA"]
+        a = np.array([0, 1, 1])
+        b = np.array([1, 1, 0])
+        c = np.array([1, 1, 0])
+        s, co = fa.evaluate(a, b, c)
+        assert list(s) == [0, 1, 1]
+        assert list(co) == [1, 1, 0]
+
+
+class TestErrorCases:
+    @pytest.mark.parametrize("name", FULL_ADDER_NAMES)
+    def test_error_case_counts_match_table_iii(self, name):
+        assert FULL_ADDERS[name].n_error_cases == TABLE_III_ERROR_CASES[name]
+
+    def test_apxfa5_is_pass_through(self):
+        fa = FULL_ADDERS["ApxFA5"]
+        for a in (0, 1):
+            for b in (0, 1):
+                for c in (0, 1):
+                    s, co = fa.evaluate(a, b, c)
+                    assert int(s) == b and int(co) == a
+
+    def test_apxfa3_sum_is_not_cout(self):
+        fa = FULL_ADDERS["ApxFA3"]
+        assert all(s == 1 - co for s, co in fa.table)
+
+    def test_apxfa2_cout_is_exact_majority(self):
+        fa = FULL_ADDERS["ApxFA2"]
+        acc = FULL_ADDERS["AccuFA"]
+        assert [row[1] for row in fa.table] == [row[1] for row in acc.table]
+
+    def test_error_magnitudes_bounded_by_pm2(self):
+        for name in FULL_ADDER_NAMES:
+            mags = FULL_ADDERS[name].error_magnitudes()
+            assert all(abs(m) <= 2 for m in mags)
+
+    def test_accufa_has_zero_error_magnitudes(self):
+        assert FULL_ADDERS["AccuFA"].error_magnitudes() == [0] * 8
+
+
+class TestNetlists:
+    @pytest.mark.parametrize("name", FULL_ADDER_NAMES)
+    def test_structural_netlist_matches_table(self, name):
+        fa = FULL_ADDERS[name]
+        nl = fa.netlist()
+        stim = exhaustive_stimuli(["a", "b", "cin"])
+        out = nl.evaluate(stim)
+        index = (
+            (stim["a"].astype(int) << 2)
+            | (stim["b"].astype(int) << 1)
+            | stim["cin"].astype(int)
+        )
+        assert np.array_equal(out["sum"], fa.sum_lut[index])
+        assert np.array_equal(out["cout"], fa.cout_lut[index])
+
+    @pytest.mark.parametrize("name", FULL_ADDER_NAMES)
+    def test_sop_netlist_matches_table(self, name):
+        fa = FULL_ADDERS[name]
+        nl = fa.sop_netlist()
+        stim = exhaustive_stimuli(["a", "b", "cin"])
+        out = nl.evaluate(stim)
+        index = (
+            (stim["a"].astype(int) << 2)
+            | (stim["b"].astype(int) << 1)
+            | stim["cin"].astype(int)
+        )
+        assert np.array_equal(out["sum"], fa.sum_lut[index])
+        assert np.array_equal(out["cout"], fa.cout_lut[index])
+
+    def test_area_ordering_matches_table_iii(self):
+        # Paper: AccuFA > ApxFA1 > ApxFA2 > ApxFA4 > ApxFA3 > ApxFA5 = 0.
+        areas = {name: FULL_ADDERS[name].area_ge for name in FULL_ADDER_NAMES}
+        assert areas["AccuFA"] > areas["ApxFA1"] > areas["ApxFA2"]
+        assert areas["ApxFA2"] > areas["ApxFA4"] > areas["ApxFA3"]
+        assert areas["ApxFA5"] == 0.0
+
+    def test_delay_decreases_with_approximation(self):
+        assert (
+            FULL_ADDERS["AccuFA"].delay_ps
+            > FULL_ADDERS["ApxFA3"].delay_ps
+            > FULL_ADDERS["ApxFA5"].delay_ps
+        )

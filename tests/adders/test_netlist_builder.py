@@ -1,0 +1,75 @@
+"""Tests for structural multi-bit adder netlists."""
+
+import numpy as np
+import pytest
+
+from repro.adders.netlist_builder import (
+    build_ripple_adder_netlist,
+    build_subtractor_netlist,
+    evaluate_adder_netlist,
+)
+from repro.adders.ripple import ApproximateRippleAdder
+from repro.logic.simulate import estimate_power
+
+
+class TestRippleAdderNetlist:
+    @pytest.mark.parametrize(
+        "fa, lsbs", [("AccuFA", 0), ("ApxFA1", 3), ("ApxFA2", 4),
+                     ("ApxFA3", 8), ("ApxFA4", 2), ("ApxFA5", 5)],
+    )
+    def test_netlist_matches_behavioural_model(self, fa, lsbs, rng):
+        adder = ApproximateRippleAdder(8, approx_fa=fa, num_approx_lsbs=lsbs)
+        netlist = build_ripple_adder_netlist(adder)
+        a = rng.integers(0, 256, 400)
+        b = rng.integers(0, 256, 400)
+        assert np.array_equal(
+            evaluate_adder_netlist(netlist, a, b), adder.add(a, b)
+        )
+
+    def test_carry_in_honoured(self):
+        adder = ApproximateRippleAdder(8)
+        netlist = build_ripple_adder_netlist(adder)
+        a, b = np.array([200]), np.array([55])
+        assert int(evaluate_adder_netlist(netlist, a, b, cin=1)[0]) == 256
+
+    def test_interface_nets(self):
+        netlist = build_ripple_adder_netlist(ApproximateRippleAdder(4))
+        assert set(netlist.inputs) == {
+            "a0", "a1", "a2", "a3", "b0", "b1", "b2", "b3", "cin"
+        }
+        assert set(netlist.outputs) == {"s0", "s1", "s2", "s3", "cout"}
+
+    def test_area_matches_behavioural_rollup(self):
+        adder = ApproximateRippleAdder(8, approx_fa="ApxFA3", num_approx_lsbs=4)
+        netlist = build_ripple_adder_netlist(adder)
+        assert netlist.area_ge == pytest.approx(adder.area_ge)
+
+    def test_power_decreases_with_approximation(self):
+        exact = build_ripple_adder_netlist(ApproximateRippleAdder(8))
+        approx = build_ripple_adder_netlist(
+            ApproximateRippleAdder(8, approx_fa="ApxFA5", num_approx_lsbs=6)
+        )
+        p_exact = estimate_power(exact, n_random_vectors=512).total_nw
+        p_approx = estimate_power(approx, n_random_vectors=512).total_nw
+        assert p_approx < p_exact
+
+
+class TestSubtractorNetlist:
+    @pytest.mark.parametrize("fa, lsbs", [("AccuFA", 0), ("ApxFA2", 4)])
+    def test_matches_behavioural_sub(self, fa, lsbs, rng):
+        adder = ApproximateRippleAdder(8, approx_fa=fa, num_approx_lsbs=lsbs)
+        netlist = build_subtractor_netlist(adder)
+        a = rng.integers(0, 256, 300)
+        b = rng.integers(0, 256, 300)
+        raw = evaluate_adder_netlist(netlist, a, b, cin=None)
+        assert np.array_equal(raw - 256, adder.sub(a, b))
+
+    def test_no_cin_port(self):
+        netlist = build_subtractor_netlist(ApproximateRippleAdder(4))
+        assert "cin" not in netlist.inputs
+
+    def test_inverter_rank_counted(self):
+        adder = ApproximateRippleAdder(4)
+        sub = build_subtractor_netlist(adder)
+        add = build_ripple_adder_netlist(adder)
+        assert sub.cell_counts().get("INV", 0) >= add.cell_counts().get("INV", 0) + 4

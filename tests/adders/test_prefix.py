@@ -1,0 +1,101 @@
+"""Tests for parallel-prefix adders (Kogge-Stone, speculative)."""
+
+import numpy as np
+import pytest
+
+from repro.adders.gear import GeArAdder
+from repro.adders.netlist_builder import (
+    build_ripple_adder_netlist,
+    evaluate_adder_netlist,
+)
+from repro.adders.prefix import SpeculativePrefixAdder, build_kogge_stone_netlist
+from repro.adders.ripple import ApproximateRippleAdder
+
+
+class TestKoggeStone:
+    def test_exhaustive_width6(self):
+        netlist = build_kogge_stone_netlist(6)
+        values = np.arange(64)
+        a = np.repeat(values, 64)
+        b = np.tile(values, 64)
+        assert np.array_equal(evaluate_adder_netlist(netlist, a, b, 0), a + b)
+
+    def test_carry_in(self):
+        netlist = build_kogge_stone_netlist(6)
+        values = np.arange(64)
+        a = np.repeat(values, 64)
+        b = np.tile(values, 64)
+        assert np.array_equal(
+            evaluate_adder_netlist(netlist, a, b, 1), a + b + 1
+        )
+
+    def test_random_width16(self, rng):
+        netlist = build_kogge_stone_netlist(16)
+        a = rng.integers(0, 1 << 16, 1500)
+        b = rng.integers(0, 1 << 16, 1500)
+        assert np.array_equal(evaluate_adder_netlist(netlist, a, b, 0), a + b)
+
+    def test_width_one(self):
+        netlist = build_kogge_stone_netlist(1)
+        out = evaluate_adder_netlist(
+            netlist, np.array([1]), np.array([1]), 1
+        )
+        assert int(out[0]) == 3
+
+    def test_invalid_width(self):
+        with pytest.raises(ValueError, match="width"):
+            build_kogge_stone_netlist(0)
+
+    def test_logarithmic_delay_beats_ripple(self):
+        """The high-performance claim: prefix delay grows ~log N while
+        ripple delay grows linearly."""
+        ks16 = build_kogge_stone_netlist(16)
+        rc16 = build_ripple_adder_netlist(ApproximateRippleAdder(16))
+        assert ks16.delay_ps() < 0.5 * rc16.delay_ps()
+        # Delay roughly flat from 8 to 16 bits (one extra level).
+        ks8 = build_kogge_stone_netlist(8)
+        assert ks16.delay_ps() < 1.5 * ks8.delay_ps()
+
+    def test_speed_costs_area(self):
+        ks = build_kogge_stone_netlist(16)
+        rc = build_ripple_adder_netlist(ApproximateRippleAdder(16))
+        assert ks.area_ge > rc.area_ge
+
+
+class TestSpeculativePrefix:
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError, match="width"):
+            SpeculativePrefixAdder(1, 1)
+        with pytest.raises(ValueError, match="lookahead"):
+            SpeculativePrefixAdder(8, 0)
+        with pytest.raises(ValueError, match="lookahead"):
+            SpeculativePrefixAdder(8, 8)
+
+    def test_long_carry_chain_missed(self):
+        adder = SpeculativePrefixAdder(16, lookahead=4)
+        # 0x00F0 + 0x0010: carry generated at bit 4 ripples to bit 8;
+        # bit 8 only sees bits 4..7 (all propagate) -> correct here; but
+        # 0x0FFF + 0x0001 ripples 12 positions -> missed.
+        assert int(adder.add(0x0FFF, 0x0001)) != 0x1000
+
+    def test_short_chains_exact(self, rng):
+        adder = SpeculativePrefixAdder(12, lookahead=6)
+        a = rng.integers(0, 1 << 6, 500)  # carries never exceed window
+        b = rng.integers(0, 1 << 6, 500)
+        assert np.array_equal(adder.add(a, b), a + b)
+
+    @pytest.mark.parametrize("n, lookahead", [(8, 2), (8, 4), (10, 3)])
+    def test_equivalent_to_gear_exhaustively(self, n, lookahead):
+        """ACA-I speculation == GeAr(R=1, P=L): two independent models,
+        one function."""
+        speculative = SpeculativePrefixAdder(n, lookahead)
+        gear = GeArAdder(speculative.equivalent_gear_config())
+        values = np.arange(1 << n)
+        a = np.repeat(values, 1 << n)
+        b = np.tile(values, 1 << n)
+        assert np.array_equal(speculative.add(a, b), gear.add(a, b))
+
+    def test_delay_levels_grow_with_lookahead(self):
+        shallow = SpeculativePrefixAdder(16, 2).delay_levels
+        deep = SpeculativePrefixAdder(16, 8).delay_levels
+        assert shallow < deep

@@ -1,0 +1,143 @@
+"""Tests for the multi-bit approximate ripple-carry adder."""
+
+import numpy as np
+import pytest
+
+from repro.adders.fulladder import FULL_ADDERS
+from repro.adders.ripple import ApproximateRippleAdder, ExactAdder
+
+
+class TestExactAdder:
+    def test_add(self, operand_pairs_8bit):
+        a, b = operand_pairs_8bit
+        adder = ExactAdder(8)
+        assert np.array_equal(adder.add(a, b), a + b)
+
+    def test_sub(self, operand_pairs_8bit):
+        a, b = operand_pairs_8bit
+        adder = ExactAdder(8)
+        assert np.array_equal(adder.sub(a, b), a - b)
+
+    def test_metadata(self):
+        adder = ExactAdder(8)
+        assert adder.num_approx_lsbs == 0
+        assert adder.area_ge > 0
+
+
+class TestConstruction:
+    def test_invalid_width(self):
+        with pytest.raises(ValueError, match="width"):
+            ApproximateRippleAdder(0)
+
+    def test_invalid_lsb_count(self):
+        with pytest.raises(ValueError, match="num_approx_lsbs"):
+            ApproximateRippleAdder(8, num_approx_lsbs=9)
+
+    def test_cell_at_boundary(self):
+        adder = ApproximateRippleAdder(8, approx_fa="ApxFA2", num_approx_lsbs=3)
+        assert adder.cell_at(0).name == "ApxFA2"
+        assert adder.cell_at(2).name == "ApxFA2"
+        assert adder.cell_at(3).name == "AccuFA"
+
+    def test_cell_at_out_of_range(self):
+        adder = ApproximateRippleAdder(8)
+        with pytest.raises(ValueError, match="position"):
+            adder.cell_at(8)
+
+    def test_accepts_spec_objects(self):
+        adder = ApproximateRippleAdder(
+            4, approx_fa=FULL_ADDERS["ApxFA5"], num_approx_lsbs=2
+        )
+        assert adder.approx_fa.name == "ApxFA5"
+
+
+class TestExactness:
+    @pytest.mark.parametrize("width", [1, 4, 8, 16])
+    def test_no_approx_lsbs_is_exact(self, width, rng):
+        adder = ApproximateRippleAdder(width)
+        hi = 1 << width
+        a = rng.integers(0, hi, 500)
+        b = rng.integers(0, hi, 500)
+        assert np.array_equal(adder.add(a, b), a + b)
+
+    def test_carry_in(self):
+        adder = ApproximateRippleAdder(8)
+        assert int(adder.add(100, 100, cin=1)) == 201
+
+    def test_result_carries_width_plus_one_bits(self):
+        adder = ApproximateRippleAdder(8)
+        assert int(adder.add(255, 255)) == 510
+
+    def test_add_modular_truncates(self):
+        adder = ApproximateRippleAdder(8)
+        assert int(adder.add_modular(255, 255)) == 510 % 256
+
+    def test_sub_full_signed_range(self, rng):
+        adder = ApproximateRippleAdder(8)
+        a = rng.integers(0, 256, 2000)
+        b = rng.integers(0, 256, 2000)
+        assert np.array_equal(adder.sub(a, b), a - b)
+
+    def test_negative_operand_rejected(self):
+        adder = ApproximateRippleAdder(8)
+        with pytest.raises(ValueError, match="non-negative"):
+            adder.add(np.array([-1]), np.array([1]))
+
+
+class TestApproximation:
+    @pytest.mark.parametrize("fa", ["ApxFA1", "ApxFA2", "ApxFA3", "ApxFA4", "ApxFA5"])
+    def test_errors_confined_near_approx_lsbs(self, fa, rng):
+        """Approximating k LSBs perturbs the result by less than 2**(k+2).
+
+        The k approximate positions plus one erroneous carry into
+        position k bound the deviation.
+        """
+        k = 4
+        adder = ApproximateRippleAdder(8, approx_fa=fa, num_approx_lsbs=k)
+        a = rng.integers(0, 256, 2000)
+        b = rng.integers(0, 256, 2000)
+        errors = np.abs(adder.add(a, b) - (a + b))
+        assert errors.max() < (1 << (k + 2))
+
+    def test_zero_approx_lsbs_ignores_cell_choice(self, rng):
+        adder = ApproximateRippleAdder(8, approx_fa="ApxFA5", num_approx_lsbs=0)
+        a = rng.integers(0, 256, 200)
+        b = rng.integers(0, 256, 200)
+        assert np.array_equal(adder.add(a, b), a + b)
+
+    def test_more_approx_lsbs_more_error(self, rng):
+        a = rng.integers(0, 256, 4000)
+        b = rng.integers(0, 256, 4000)
+        meds = []
+        for k in (0, 2, 4, 6):
+            adder = ApproximateRippleAdder(8, approx_fa="ApxFA5", num_approx_lsbs=k)
+            meds.append(float(np.mean(np.abs(adder.add(a, b) - (a + b)))))
+        assert meds[0] == 0.0
+        assert meds[0] < meds[1] < meds[2] < meds[3]
+
+    def test_scalar_operands(self):
+        adder = ApproximateRippleAdder(8, approx_fa="ApxFA1", num_approx_lsbs=2)
+        result = adder.add(3, 5)
+        assert result.shape == ()
+
+
+class TestPhysical:
+    def test_area_decreases_with_approximation(self):
+        exact = ApproximateRippleAdder(8)
+        approx = ApproximateRippleAdder(8, approx_fa="ApxFA3", num_approx_lsbs=4)
+        assert approx.area_ge < exact.area_ge
+
+    def test_area_scales_with_width(self):
+        assert (
+            ApproximateRippleAdder(16).area_ge
+            == pytest.approx(2 * ApproximateRippleAdder(8).area_ge)
+        )
+
+    def test_delay_decreases_with_approximation(self):
+        exact = ApproximateRippleAdder(8)
+        approx = ApproximateRippleAdder(8, approx_fa="ApxFA5", num_approx_lsbs=4)
+        assert approx.delay_ps < exact.delay_ps
+
+    def test_name_mentions_configuration(self):
+        adder = ApproximateRippleAdder(8, approx_fa="ApxFA2", num_approx_lsbs=3)
+        assert "ApxFA2" in adder.name and "3" in adder.name

@@ -1,0 +1,57 @@
+"""Tests for the published-adder-to-GeAr mappings."""
+
+import pytest
+
+from repro.adders.gear import GeArConfig
+from repro.adders.variants import aca_i, aca_ii, etaii, gda, known_adder_configs
+
+
+class TestMappings:
+    def test_aca_i(self):
+        cfg = aca_i(16, 4)
+        assert (cfg.n, cfg.r, cfg.p) == (16, 1, 3)
+        assert cfg.l == 4
+
+    def test_aca_ii(self):
+        cfg = aca_ii(16, 8)
+        assert (cfg.r, cfg.p) == (4, 4)
+
+    def test_aca_ii_odd_width_rejected(self):
+        with pytest.raises(ValueError, match="even"):
+            aca_ii(16, 5)
+
+    def test_etaii(self):
+        cfg = etaii(16, 4)
+        assert (cfg.r, cfg.p) == (4, 4)
+
+    def test_gda(self):
+        cfg = gda(16, 2, 2)
+        assert (cfg.r, cfg.p) == (2, 2)
+
+    def test_invalid_mapping_surfaces_gear_error(self):
+        with pytest.raises(ValueError, match="divide"):
+            gda(16, 4, 2)
+
+
+class TestKnownConfigs:
+    def test_returns_all_four_designs(self):
+        configs = known_adder_configs(16)
+        names = " ".join(configs)
+        for design in ("ACA-I", "ACA-II", "ETAII", "GDA"):
+            assert design in names
+
+    def test_all_configs_valid(self):
+        for cfg in known_adder_configs(16).values():
+            assert isinstance(cfg, GeArConfig)
+
+    def test_width_32(self):
+        configs = known_adder_configs(32)
+        assert all(c.n == 32 for c in configs.values())
+
+    def test_too_small_width_rejected(self):
+        with pytest.raises(ValueError, match="too small"):
+            known_adder_configs(4)
+
+    def test_etaii_equals_aca_ii_structure(self):
+        """The GeAr paper maps both to R = P sub-adders."""
+        assert etaii(16, 4) == gda(16, 4, 4)

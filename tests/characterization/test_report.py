@@ -1,0 +1,87 @@
+"""Tests for report rendering."""
+
+import pytest
+
+from repro.characterization.report import (
+    format_records,
+    format_table,
+    records_to_csv,
+)
+
+
+class TestFormatTable:
+    def test_basic_render(self):
+        out = format_table(["a", "b"], [[1, 2.5]])
+        lines = out.splitlines()
+        assert lines[0].startswith("a")
+        assert "2.5" in lines[2]
+
+    def test_title(self):
+        out = format_table(["x"], [[1]], title="Table IV")
+        assert out.splitlines()[0] == "Table IV"
+
+    def test_column_alignment(self):
+        out = format_table(["name", "v"], [["long-name", 1], ["s", 22]])
+        lines = out.splitlines()
+        assert lines[2].index("|") == lines[3].index("|")
+
+    def test_row_width_validated(self):
+        with pytest.raises(ValueError, match="cells"):
+            format_table(["a", "b"], [[1]])
+
+    def test_float_formatting(self):
+        out = format_table(["v"], [[0.123456789]])
+        assert "0.1235" in out
+
+    def test_empty_rows(self):
+        out = format_table(["a"], [])
+        assert "a" in out
+
+
+class TestFormatRecords:
+    def test_uses_record_keys(self):
+        out = format_records([{"x": 1, "y": 2}])
+        assert out.splitlines()[0].split("|")[0].strip() == "x"
+
+    def test_column_selection(self):
+        out = format_records([{"x": 1, "y": 2}], columns=["y"])
+        assert "x" not in out.splitlines()[0]
+
+    def test_missing_column_blank(self):
+        out = format_records([{"x": 1}], columns=["x", "z"])
+        assert "z" in out.splitlines()[0]
+
+    def test_empty_records(self):
+        assert format_records([], title="empty") == "empty"
+
+
+class TestCsv:
+    def test_round_trip_columns(self):
+        csv = records_to_csv([{"a": 1, "b": 2}, {"a": 3, "b": 4}])
+        lines = csv.splitlines()
+        assert lines[0] == "a,b"
+        assert lines[1] == "1,2"
+
+    def test_empty(self):
+        assert records_to_csv([]) == ""
+
+
+class TestPaperData:
+    def test_table_iii_orderings(self):
+        from repro.characterization.paperdata import (
+            TABLE_III_AREA_GE,
+            TABLE_III_POWER_NW,
+        )
+
+        area = TABLE_III_AREA_GE
+        assert (
+            area["AccuFA"] > area["ApxFA1"] > area["ApxFA2"]
+            > area["ApxFA4"] > area["ApxFA3"] > area["ApxFA5"]
+        )
+        assert TABLE_III_POWER_NW["ApxFA5"] == 0.0
+
+    def test_fig5_orderings(self):
+        from repro.characterization.paperdata import FIG5_AREA_GE
+
+        assert FIG5_AREA_GE["ApxMulSoA"] < FIG5_AREA_GE["ApxMulOur"]
+        assert FIG5_AREA_GE["CfgMulOur"] < FIG5_AREA_GE["CfgMulSoA"]

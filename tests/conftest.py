@@ -1,0 +1,30 @@
+"""Shared fixtures for the repro test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A deterministic RNG for sampled tests."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def operand_pairs_8bit(rng) -> tuple[np.ndarray, np.ndarray]:
+    """A batch of random 8-bit operand pairs."""
+    return (
+        rng.integers(0, 256, size=2000, dtype=np.int64),
+        rng.integers(0, 256, size=2000, dtype=np.int64),
+    )
+
+
+@pytest.fixture
+def operand_pairs_16bit(rng) -> tuple[np.ndarray, np.ndarray]:
+    """A batch of random 16-bit operand pairs."""
+    return (
+        rng.integers(0, 1 << 16, size=2000, dtype=np.int64),
+        rng.integers(0, 1 << 16, size=2000, dtype=np.int64),
+    )

@@ -1,0 +1,59 @@
+"""Tests for the design-space sweeps."""
+
+import pytest
+
+from repro.dse.explorer import explore_gear_space, explore_multiplier_space
+
+
+class TestGearSpace:
+    @pytest.fixture(scope="class")
+    def records(self):
+        return explore_gear_space(11)
+
+    def test_all_17_configurations(self, records):
+        assert len(records) == 17
+
+    def test_record_keys(self, records):
+        expected = {"name", "n", "r", "p", "k", "l", "accuracy_percent",
+                    "lut_count", "area_ge", "delay_ps"}
+        assert expected <= set(records[0])
+
+    def test_sorted_by_r_then_p(self, records):
+        keys = [(r["r"], r["p"]) for r in records]
+        assert keys == sorted(keys)
+
+    def test_accuracies_in_range(self, records):
+        assert all(0 < r["accuracy_percent"] < 100 for r in records)
+
+    def test_r1_p9_most_accurate(self, records):
+        """Paper: R=1, P=9 is the maximum-accuracy N=11 configuration."""
+        best = max(records, key=lambda r: r["accuracy_percent"])
+        assert (best["r"], best["p"]) == (1, 9)
+
+    def test_accuracy_increases_with_p_within_r(self, records):
+        for r_value in {rec["r"] for rec in records}:
+            group = [rec for rec in records if rec["r"] == r_value]
+            accs = [rec["accuracy_percent"] for rec in group]
+            assert accs == sorted(accs)
+
+    def test_monte_carlo_model_close_to_exact(self):
+        mc = explore_gear_space(8, model="monte_carlo")
+        exact = explore_gear_space(8, model="exact")
+        for m, e in zip(mc, exact):
+            assert m["accuracy_percent"] == pytest.approx(
+                e["accuracy_percent"], abs=0.5
+            )
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(ValueError, match="model"):
+            explore_gear_space(8, model="tarot")
+
+    def test_lut_model_is_k_times_l(self, records):
+        assert all(r["lut_count"] == r["k"] * r["l"] for r in records)
+
+
+class TestMultiplierSpace:
+    def test_records_have_quality_and_cost(self):
+        records = explore_multiplier_space(widths=(4,), n_samples=2000)
+        assert all("area_ge" in r and "error_rate" in r for r in records)
+        assert len(records) == 4  # Acc + V1 + V2 + V3

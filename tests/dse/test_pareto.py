@@ -1,0 +1,77 @@
+"""Tests for Pareto-front utilities."""
+
+import pytest
+
+from repro.dse.pareto import dominates, pareto_front, pareto_indices
+
+OBJ = [("area", True), ("accuracy", False)]
+
+
+class TestDominates:
+    def test_strict_domination(self):
+        assert dominates({"area": 1, "accuracy": 90}, {"area": 2, "accuracy": 80}, OBJ)
+
+    def test_equal_does_not_dominate(self):
+        rec = {"area": 1, "accuracy": 90}
+        assert not dominates(rec, dict(rec), OBJ)
+
+    def test_tradeoff_does_not_dominate(self):
+        a = {"area": 1, "accuracy": 80}
+        b = {"area": 2, "accuracy": 90}
+        assert not dominates(a, b, OBJ)
+        assert not dominates(b, a, OBJ)
+
+    def test_partial_tie_dominates(self):
+        a = {"area": 1, "accuracy": 90}
+        b = {"area": 1, "accuracy": 80}
+        assert dominates(a, b, OBJ)
+
+
+class TestParetoFront:
+    def test_front_excludes_dominated(self):
+        records = [
+            {"area": 1, "accuracy": 90},
+            {"area": 2, "accuracy": 80},   # dominated
+            {"area": 2, "accuracy": 95},
+            {"area": 3, "accuracy": 94},   # dominated
+        ]
+        front = pareto_front(records, OBJ)
+        assert [r["accuracy"] for r in front] == [90, 95]
+
+    def test_all_on_front_when_tradeoff(self):
+        records = [{"area": i, "accuracy": 10 * i} for i in range(1, 5)]
+        assert len(pareto_front(records, OBJ)) == 4
+
+    def test_single_record(self):
+        records = [{"area": 1, "accuracy": 50}]
+        assert pareto_front(records, OBJ) == records
+
+    def test_indices_stable_order(self):
+        records = [
+            {"area": 3, "accuracy": 99},
+            {"area": 1, "accuracy": 50},
+            {"area": 2, "accuracy": 75},
+        ]
+        assert pareto_indices(records, OBJ) == [0, 1, 2]
+
+    def test_duplicates_both_kept(self):
+        records = [
+            {"area": 1, "accuracy": 90},
+            {"area": 1, "accuracy": 90},
+        ]
+        assert len(pareto_front(records, OBJ)) == 2
+
+    def test_empty_objectives_rejected(self):
+        with pytest.raises(ValueError, match="objective"):
+            pareto_front([{"a": 1}], [])
+
+    def test_front_members_mutually_nondominated(self):
+        records = [
+            {"area": a, "accuracy": acc}
+            for a, acc in [(1, 30), (2, 60), (2, 55), (4, 90), (5, 85), (3, 70)]
+        ]
+        front = pareto_front(records, OBJ)
+        for x in front:
+            for y in front:
+                if x is not y:
+                    assert not dominates(x, y, OBJ)

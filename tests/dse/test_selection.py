@@ -1,0 +1,62 @@
+"""Tests for constraint-based configuration selection."""
+
+import pytest
+
+from repro.dse.explorer import explore_gear_space
+from repro.dse.selection import (
+    filter_records,
+    select_max_accuracy,
+    select_min_area,
+)
+
+
+class TestFilter:
+    def test_filters_on_bound(self):
+        records = [{"accuracy_percent": 95}, {"accuracy_percent": 80}]
+        assert len(filter_records(records, accuracy_percent=90)) == 1
+
+    def test_multiple_bounds(self):
+        records = [
+            {"accuracy_percent": 95, "lut_count": 30},
+            {"accuracy_percent": 95, "lut_count": 10},
+        ]
+        kept = filter_records(records, accuracy_percent=90, lut_count=20)
+        assert len(kept) == 1
+
+    def test_empty_input(self):
+        assert filter_records([], accuracy_percent=1) == []
+
+
+class TestSelection:
+    @pytest.fixture(scope="class")
+    def records(self):
+        return explore_gear_space(11)
+
+    def test_max_accuracy_is_r1_p9(self, records):
+        best = select_max_accuracy(records)
+        assert (best["r"], best["p"]) == (1, 9)
+
+    def test_min_area_meets_constraint(self, records):
+        pick = select_min_area(records, 90.0)
+        assert pick["accuracy_percent"] >= 90.0
+        others = filter_records(records, accuracy_percent=90.0)
+        assert all(pick["lut_count"] <= r["lut_count"] for r in others)
+
+    def test_paper_constraint_within_r3(self, records):
+        """Paper Fig. 4 walk-through: among R=3 configurations, the >=90%
+        choice is P=5."""
+        r3 = [r for r in records if r["r"] == 3]
+        pick = select_min_area(r3, 90.0)
+        assert (pick["r"], pick["p"]) == (3, 5)
+
+    def test_unreachable_constraint_raises(self, records):
+        with pytest.raises(ValueError, match="accuracy"):
+            select_min_area(records, 99.999)
+
+    def test_empty_records_raise(self):
+        with pytest.raises(ValueError, match="records"):
+            select_max_accuracy([])
+
+    def test_area_key_override(self, records):
+        pick = select_min_area(records, 90.0, area_key="area_ge")
+        assert pick["accuracy_percent"] >= 90.0

@@ -1,0 +1,92 @@
+"""Tests for worst-case error-interval analysis."""
+
+import numpy as np
+import pytest
+
+from repro.adders.gear import GeArAdder, GeArConfig
+from repro.adders.ripple import ApproximateRippleAdder
+from repro.errors.interval import ErrorInterval, adder_error_interval
+
+
+class TestIntervalAlgebra:
+    def test_exact_is_zero(self):
+        assert ErrorInterval.exact() == ErrorInterval(0, 0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            ErrorInterval(3, 1)
+
+    def test_addition(self):
+        assert ErrorInterval(-1, 2) + ErrorInterval(-3, 1) == ErrorInterval(-4, 3)
+
+    def test_subtraction_negates_second(self):
+        assert ErrorInterval(0, 2) - ErrorInterval(-1, 3) == ErrorInterval(-3, 3)
+
+    def test_negation(self):
+        assert -ErrorInterval(-1, 5) == ErrorInterval(-5, 1)
+
+    def test_scale_positive(self):
+        assert ErrorInterval(-1, 2).scale(4) == ErrorInterval(-4, 8)
+
+    def test_scale_negative_swaps(self):
+        assert ErrorInterval(-1, 2).scale(-1) == ErrorInterval(-2, 1)
+
+    def test_through_abs_symmetric_hull(self):
+        assert ErrorInterval(-3, 1).through_abs() == ErrorInterval(-3, 3)
+
+    def test_accumulate(self):
+        assert ErrorInterval(-1, 2).accumulate(3) == ErrorInterval(-3, 6)
+
+    def test_union(self):
+        assert ErrorInterval(-1, 1).union(ErrorInterval(0, 5)) == ErrorInterval(-1, 5)
+
+    def test_queries(self):
+        interval = ErrorInterval(-7, 3)
+        assert interval.max_abs == 7
+        assert interval.width == 10
+        assert interval.contains(0)
+        assert not interval.contains(4)
+
+
+class TestAdderIntervals:
+    def test_exact_ripple_interval_is_zero(self):
+        assert adder_error_interval(ApproximateRippleAdder(8)) == ErrorInterval.exact()
+
+    @pytest.mark.parametrize("fa", ["ApxFA1", "ApxFA2", "ApxFA3", "ApxFA4", "ApxFA5"])
+    @pytest.mark.parametrize("k", [2, 4, 6])
+    def test_ripple_interval_sound(self, fa, k, rng):
+        """Observed errors never leave the declared interval."""
+        adder = ApproximateRippleAdder(8, approx_fa=fa, num_approx_lsbs=k)
+        interval = adder_error_interval(adder)
+        a = rng.integers(0, 256, 5000)
+        b = rng.integers(0, 256, 5000)
+        errors = adder.add(a, b) - (a + b)
+        assert errors.min() >= interval.lo
+        assert errors.max() <= interval.hi
+
+    @pytest.mark.parametrize("cfg", [(8, 2, 2), (12, 4, 4), (16, 2, 2)])
+    def test_gear_interval_sound_and_one_sided(self, cfg, rng):
+        adder = GeArAdder(GeArConfig(*cfg))
+        interval = adder_error_interval(adder)
+        assert interval.hi == 0  # GeAr only loses carries
+        hi = 1 << adder.config.n
+        a = rng.integers(0, hi, 5000)
+        b = rng.integers(0, hi, 5000)
+        errors = adder.add(a, b) - (a + b)
+        assert errors.max() <= 0
+        assert errors.min() >= interval.lo
+
+    def test_gear_interval_exhaustive_tightness(self):
+        """For a small GeAr the worst case in the interval is achieved."""
+        config = GeArConfig(6, 2, 2)
+        adder = GeArAdder(config)
+        interval = adder_error_interval(adder)
+        values = np.arange(64)
+        a = np.repeat(values, 64)
+        b = np.tile(values, 64)
+        errors = adder.add(a, b) - (a + b)
+        assert errors.min() == interval.lo
+
+    def test_unknown_adder_rejected(self):
+        with pytest.raises(TypeError, match="interval"):
+            adder_error_interval(object())

@@ -1,0 +1,94 @@
+"""Tests for output-quality metrics."""
+
+import numpy as np
+import pytest
+
+from repro.errors.metrics import (
+    accuracy_percent,
+    compute_error_metrics,
+    error_rate,
+    max_error_distance,
+    mean_error_distance,
+    mean_relative_error_distance,
+    mse,
+    normalized_med,
+    psnr,
+)
+
+
+class TestPointMetrics:
+    def test_error_rate(self):
+        assert error_rate([1, 2, 3, 5], [1, 2, 3, 4]) == 0.25
+
+    def test_error_rate_perfect(self):
+        assert error_rate([1, 2], [1, 2]) == 0.0
+
+    def test_mean_error_distance(self):
+        assert mean_error_distance([0, 4], [2, 2]) == 2.0
+
+    def test_max_error_distance(self):
+        assert max_error_distance([0, 10], [1, 2]) == 8.0
+
+    def test_normalized_med(self):
+        assert normalized_med([0, 4], [2, 2]) == pytest.approx(1.0)
+
+    def test_normalized_med_custom_max(self):
+        assert normalized_med([0, 4], [2, 2], max_output=4) == 0.5
+
+    def test_normalized_med_zero_max_rejected(self):
+        with pytest.raises(ValueError, match="zero"):
+            normalized_med([0], [0])
+
+    def test_mred_skips_zero_exact(self):
+        assert mean_relative_error_distance([1, 5], [0, 4]) == pytest.approx(0.25)
+
+    def test_mred_all_zero_rejected(self):
+        with pytest.raises(ValueError, match="zero"):
+            mean_relative_error_distance([1], [0])
+
+    def test_accuracy_percent(self):
+        assert accuracy_percent([1, 2, 3, 5], [1, 2, 3, 4]) == 75.0
+
+    def test_mse(self):
+        assert mse([0, 4], [2, 2]) == 4.0
+
+    def test_psnr_identical_is_infinite(self):
+        assert psnr([5, 5], [5, 5]) == float("inf")
+
+    def test_psnr_value(self):
+        # MSE = 1 against peak 255 -> 10 log10(255^2) dB.
+        assert psnr([1], [2]) == pytest.approx(10 * np.log10(255**2))
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="shape"):
+            error_rate([1, 2], [1])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="sample"):
+            error_rate([], [])
+
+
+class TestBundle:
+    def test_bundle_consistent_with_point_metrics(self, rng):
+        approx = rng.integers(0, 100, 500)
+        exact = rng.integers(0, 100, 500)
+        bundle = compute_error_metrics(approx, exact)
+        assert bundle.error_rate == error_rate(approx, exact)
+        assert bundle.mean_error_distance == mean_error_distance(approx, exact)
+        assert bundle.max_error_distance == max_error_distance(approx, exact)
+        assert bundle.n_samples == 500
+
+    def test_bundle_accuracy_percent(self):
+        bundle = compute_error_metrics([1, 2, 3, 5], [1, 2, 3, 4])
+        assert bundle.accuracy_percent == 75.0
+        assert bundle.n_error_cases == 1
+
+    def test_bundle_all_zero_exact(self):
+        bundle = compute_error_metrics([0, 1], [0, 0])
+        assert bundle.mean_relative_error_distance == 0.0
+        assert bundle.normalized_med == 0.5  # max_output defaults to 1
+
+    def test_as_dict_keys(self):
+        bundle = compute_error_metrics([1], [1])
+        keys = set(bundle.as_dict())
+        assert {"error_rate", "accuracy_percent", "max_error_distance"} <= keys

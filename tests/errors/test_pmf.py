@@ -1,0 +1,138 @@
+"""Tests for the discrete error-PMF algebra."""
+
+import numpy as np
+import pytest
+
+from repro.errors.pmf import ErrorPMF
+
+
+class TestConstruction:
+    def test_delta(self):
+        d = ErrorPMF.delta(3)
+        assert d.probability(3) == 1.0
+        assert d.support == (3,)
+
+    def test_normalization_tolerance(self):
+        pmf = ErrorPMF({0: 0.5000001, 1: 0.5})
+        assert sum(p for _, p in pmf.items()) == pytest.approx(1.0)
+
+    def test_unnormalized_rejected(self):
+        with pytest.raises(ValueError, match="sums"):
+            ErrorPMF({0: 0.3, 1: 0.3})
+
+    def test_negative_probability_rejected(self):
+        with pytest.raises(ValueError, match="negative"):
+            ErrorPMF({0: 1.2, 1: -0.2})
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="support"):
+            ErrorPMF({})
+
+    def test_from_samples(self):
+        pmf = ErrorPMF.from_samples([0, 0, 1, 1])
+        assert pmf.probability(0) == 0.5
+        assert pmf.probability(1) == 0.5
+
+    def test_from_pairs(self):
+        pmf = ErrorPMF.from_pairs([5, 5, 7], [5, 6, 7])
+        assert pmf.probability(0) == pytest.approx(2 / 3)
+        assert pmf.probability(-1) == pytest.approx(1 / 3)
+
+
+class TestQueries:
+    def test_error_rate(self):
+        pmf = ErrorPMF({0: 0.75, 2: 0.25})
+        assert pmf.error_rate == 0.25
+
+    def test_moments(self):
+        pmf = ErrorPMF({0: 0.5, 2: 0.5})
+        assert pmf.mean == 1.0
+        assert pmf.variance == 1.0
+
+    def test_mean_abs_and_max_abs(self):
+        pmf = ErrorPMF({-3: 0.5, 1: 0.5})
+        assert pmf.mean_abs == 2.0
+        assert pmf.max_abs == 3
+
+    def test_mode(self):
+        pmf = ErrorPMF({0: 0.6, 5: 0.4})
+        assert pmf.mode() == 0
+
+    def test_tail_probability(self):
+        pmf = ErrorPMF({0: 0.5, -2: 0.3, 4: 0.2})
+        assert pmf.tail_probability(2) == pytest.approx(0.5)
+        assert pmf.tail_probability(5) == 0.0
+
+
+class TestAlgebra:
+    def test_convolution(self):
+        coin = ErrorPMF({0: 0.5, 1: 0.5})
+        two = coin.convolve(coin)
+        assert two.probability(0) == pytest.approx(0.25)
+        assert two.probability(1) == pytest.approx(0.5)
+        assert two.probability(2) == pytest.approx(0.25)
+
+    def test_add_operator(self):
+        coin = ErrorPMF({0: 0.5, 1: 0.5})
+        assert (coin + coin) == coin.convolve(coin)
+
+    def test_delta_is_convolution_identity(self):
+        pmf = ErrorPMF({-1: 0.25, 0: 0.5, 3: 0.25})
+        assert pmf.convolve(ErrorPMF.delta(0)) == pmf
+
+    def test_negate(self):
+        pmf = ErrorPMF({1: 0.7, -2: 0.3})
+        neg = pmf.negate()
+        assert neg.probability(-1) == pytest.approx(0.7)
+        assert neg.probability(2) == pytest.approx(0.3)
+
+    def test_scale(self):
+        pmf = ErrorPMF({1: 0.5, 2: 0.5})
+        scaled = pmf.scale(4)
+        assert scaled.support == (4, 8)
+
+    def test_scale_zero_collapses_to_delta(self):
+        pmf = ErrorPMF({1: 0.5, 2: 0.5})
+        assert pmf.scale(0) == ErrorPMF.delta(0)
+
+    def test_shift(self):
+        pmf = ErrorPMF({0: 0.5, 2: 0.5})
+        assert pmf.shift(-1).support == (-1, 1)
+
+    def test_mixture(self):
+        a = ErrorPMF.delta(0)
+        b = ErrorPMF.delta(4)
+        mix = a.mixture(b, weight=0.25)
+        assert mix.probability(0) == pytest.approx(0.25)
+        assert mix.probability(4) == pytest.approx(0.75)
+
+    def test_mixture_weight_validated(self):
+        with pytest.raises(ValueError, match="weight"):
+            ErrorPMF.delta(0).mixture(ErrorPMF.delta(1), weight=1.5)
+
+    def test_convolve_n_matches_repeated_convolution(self):
+        pmf = ErrorPMF({0: 0.5, 1: 0.3, 2: 0.2})
+        manual = ErrorPMF.delta(0)
+        for _ in range(5):
+            manual = manual.convolve(pmf)
+        assert pmf.convolve_n(5) == manual
+
+    def test_convolve_n_zero(self):
+        assert ErrorPMF({1: 1.0}).convolve_n(0) == ErrorPMF.delta(0)
+
+    def test_convolve_n_negative_rejected(self):
+        with pytest.raises(ValueError, match=">= 0"):
+            ErrorPMF.delta(0).convolve_n(-1)
+
+    def test_mass_conserved_through_long_chains(self):
+        pmf = ErrorPMF({-1: 0.3, 0: 0.4, 1: 0.3})
+        total = pmf.convolve_n(64)
+        assert sum(p for _, p in total.items()) == pytest.approx(1.0, abs=1e-9)
+
+    def test_clt_shape(self):
+        """Many convolutions approach a normal: mean and variance scale."""
+        pmf = ErrorPMF({0: 0.5, 1: 0.5})
+        n = 100
+        total = pmf.convolve_n(n)
+        assert total.mean == pytest.approx(n * 0.5, abs=1e-6)
+        assert total.variance == pytest.approx(n * 0.25, abs=1e-4)

@@ -1,0 +1,131 @@
+"""Tests for statistical error propagation and masking analysis."""
+
+import numpy as np
+import pytest
+
+from repro.errors.pmf import ErrorPMF
+from repro.errors.propagation import (
+    abs_masking_factor,
+    argmin_flip_probability,
+    predict_sad_error_pmf,
+    propagate_adder_tree,
+    propagate_weighted_sum,
+)
+
+
+class TestAdderTree:
+    def test_exact_leaves_exact_tree(self):
+        out = propagate_adder_tree(ErrorPMF.delta(0), 8)
+        assert out == ErrorPMF.delta(0)
+
+    def test_leaf_errors_accumulate(self):
+        leaf = ErrorPMF({0: 0.5, 1: 0.5})
+        out = propagate_adder_tree(leaf, 4)
+        assert out.mean == pytest.approx(2.0)
+
+    def test_node_errors_added(self):
+        leaf = ErrorPMF.delta(0)
+        node = ErrorPMF({0: 0.5, -1: 0.5})
+        out = propagate_adder_tree(leaf, 4, node_error=node)
+        # 3 adder nodes, each -0.5 mean.
+        assert out.mean == pytest.approx(-1.5)
+
+    def test_single_leaf_no_nodes(self):
+        node = ErrorPMF({0: 0.5, -1: 0.5})
+        out = propagate_adder_tree(ErrorPMF.delta(2), 1, node_error=node)
+        assert out == ErrorPMF.delta(2)
+
+    def test_invalid_leaf_count(self):
+        with pytest.raises(ValueError, match="n_leaves"):
+            propagate_adder_tree(ErrorPMF.delta(0), 0)
+
+    def test_matches_monte_carlo(self, rng):
+        """Analytic tree propagation agrees with direct simulation."""
+        leaf = ErrorPMF({0: 0.6, 1: 0.25, -2: 0.15})
+        n = 8
+        predicted = propagate_adder_tree(leaf, n)
+        values = np.array(list(leaf.support))
+        probs = np.array([leaf.probability(int(v)) for v in leaf.support])
+        draws = rng.choice(values, size=(20000, n), p=probs).sum(axis=1)
+        assert predicted.mean == pytest.approx(float(draws.mean()), abs=0.05)
+        assert predicted.variance == pytest.approx(float(draws.var()), rel=0.1)
+
+
+class TestWeightedSum:
+    def test_weights_scale_errors(self):
+        term = ErrorPMF({0: 0.5, 1: 0.5})
+        out = propagate_weighted_sum([term, term], [1, 4])
+        assert out.mean == pytest.approx(0.5 + 2.0)
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError, match="align"):
+            propagate_weighted_sum([ErrorPMF.delta(0)], [1, 2])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="term"):
+            propagate_weighted_sum([], [])
+
+
+class TestAbsMasking:
+    def test_large_signals_pass_errors_through(self):
+        error = ErrorPMF({1: 1.0})
+        signals = np.full(100, 1000)
+        assert abs_masking_factor(signals, error) == pytest.approx(1.0)
+
+    def test_zero_signals_mask_nothing_for_positive_error(self):
+        # |0 + 1| - |0| = 1: error fully visible.
+        error = ErrorPMF({1: 1.0})
+        assert abs_masking_factor(np.zeros(10), error) == pytest.approx(1.0)
+
+    def test_sign_folding_masks(self):
+        # signal = -1, error = +2 -> |1| - |-1| = 0: fully masked.
+        error = ErrorPMF({2: 1.0})
+        factor = abs_masking_factor(np.full(10, -1), error)
+        assert factor == pytest.approx(0.0)
+
+    def test_exact_error_trivially_unmasked(self):
+        assert abs_masking_factor(np.arange(-5, 5), ErrorPMF.delta(0)) == 1.0
+
+    def test_empty_signal_rejected(self):
+        with pytest.raises(ValueError, match="signal"):
+            abs_masking_factor(np.array([]), ErrorPMF.delta(0))
+
+
+class TestArgminFlip:
+    def test_exact_scores_never_flip(self):
+        scores = np.array([10, 20, 30])
+        assert argmin_flip_probability(scores, ErrorPMF.delta(0)) == 0.0
+
+    def test_common_mode_shift_never_flips(self):
+        """The Fig. 8 insight: a shared surface shift keeps the argmin."""
+        scores = np.array([15, 11, 30, 12])
+        shift = ErrorPMF({40: 0.5, 80: 0.5})
+        p = argmin_flip_probability(
+            scores, ErrorPMF.delta(0), common_mode=shift, n_trials=500
+        )
+        assert p == 0.0
+
+    def test_large_per_candidate_noise_flips(self):
+        scores = np.array([100, 101])
+        noise = ErrorPMF({0: 0.5, 5: 0.5})
+        p = argmin_flip_probability(scores, noise, n_trials=4000, seed=1)
+        # Winner flips when candidate0 draws +5 and candidate1 draws 0.
+        assert p == pytest.approx(0.25, abs=0.03)
+
+    def test_wide_margins_resist_noise(self):
+        scores = np.array([0, 1000])
+        noise = ErrorPMF({0: 0.5, 5: 0.5})
+        assert argmin_flip_probability(scores, noise, n_trials=500) == 0.0
+
+    def test_needs_two_candidates(self):
+        with pytest.raises(ValueError, match="two"):
+            argmin_flip_probability(np.array([1]), ErrorPMF.delta(0))
+
+
+class TestSadPrediction:
+    def test_composition(self):
+        pixel = ErrorPMF({0: 0.9, -1: 0.1})
+        adder = ErrorPMF({0: 0.95, -2: 0.05})
+        out = predict_sad_error_pmf(pixel, adder, n_pixels=16)
+        expected_mean = 16 * pixel.mean + 15 * adder.mean
+        assert out.mean == pytest.approx(expected_mean)

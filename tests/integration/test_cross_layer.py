@@ -1,0 +1,135 @@
+"""Cross-layer integration: one thread from logic cells to applications.
+
+These tests exercise the full stack the paper's title promises -- a
+change at the *logic* layer (a different 1-bit cell, a stuck-at defect,
+a GeAr configuration) must propagate coherently through the arithmetic,
+accelerator, and application layers.
+"""
+
+import numpy as np
+import pytest
+
+from repro.accelerators.filters import LowPassFilterAccelerator
+from repro.accelerators.sad import SADAccelerator
+from repro.adders.fulladder import FULL_ADDERS
+from repro.adders.netlist_builder import build_ripple_adder_netlist
+from repro.adders.ripple import ApproximateRippleAdder
+from repro.errors.pmf import ErrorPMF
+from repro.errors.propagation import predict_sad_error_pmf
+from repro.logic.faults import StuckAtFault, inject_stuck_at
+from repro.logic.simulate import estimate_power
+from repro.media.ssim import ssim
+from repro.media.synthetic import moving_sequence, standard_images
+from repro.video.codec import HevcLiteEncoder
+
+
+class TestLogicToApplication:
+    def test_cell_choice_propagates_to_codec_bitrate(self):
+        """A single 1-bit cell swap at the logic layer changes the
+        application-layer bit-rate, monotonically with aggressiveness."""
+        frames = moving_sequence(n_frames=2, size=32, noise_sigma=2.0)
+        encoder = HevcLiteEncoder(search_range=2, qp=4)
+        base = encoder.encode(frames, SADAccelerator(n_pixels=64))
+        # Cell error count at the logic layer (Table III ordering).
+        mild = encoder.encode(
+            frames, SADAccelerator(n_pixels=64, fa="ApxFA1", approx_lsbs=6)
+        )
+        harsh = encoder.encode(
+            frames, SADAccelerator(n_pixels=64, fa="ApxFA5", approx_lsbs=6)
+        )
+        assert base.total_bits <= mild.total_bits + 50
+        assert mild.psnr_db >= harsh.psnr_db - 1.0
+
+    def test_power_quality_tradeoff_consistent_across_layers(self):
+        """Logic-layer power savings and application-layer quality loss
+        move together: a cheaper cell never costs zero quality while a
+        pricier one costs more power."""
+        cells = ("ApxFA1", "ApxFA3", "ApxFA5")
+        powers = []
+        ssims = []
+        image = standard_images(48)["blobs"]
+        reference = LowPassFilterAccelerator().apply(image)
+        for cell in cells:
+            netlist = build_ripple_adder_netlist(
+                ApproximateRippleAdder(8, approx_fa=cell, num_approx_lsbs=5)
+            )
+            powers.append(estimate_power(netlist, n_random_vectors=256).total_nw)
+            accelerator = LowPassFilterAccelerator(fa=cell, approx_lsbs=5)
+            ssims.append(ssim(reference, accelerator.apply(image)))
+        # ApxFA5 is the cheapest cell of the three ...
+        assert powers[2] == min(powers)
+        # ... and every approximate configuration loses some quality.
+        assert all(s < 1.0 for s in ssims)
+
+    def test_statistical_prediction_matches_accelerator_simulation(self, rng):
+        """Characterize components once, predict the SAD accelerator's
+        error PMF analytically, validate against direct simulation."""
+        n_pixels = 16
+        accelerator = SADAccelerator(
+            n_pixels=n_pixels, fa="ApxFA2", approx_lsbs=3
+        )
+        exact = SADAccelerator(n_pixels=n_pixels)
+        # Component-level characterization.
+        a = rng.integers(0, 256, 60_000)
+        b = rng.integers(0, 256, 60_000)
+        pixel_pmf = ErrorPMF.from_pairs(
+            accelerator.absolute_differences(a, b), np.abs(a - b)
+        )
+        # The tree adders err too; approximate them with the first-level
+        # adder's PMF measured on representative operands.
+        t1 = accelerator._tree[0]
+        ops = rng.integers(0, 256, 60_000)
+        ops2 = rng.integers(0, 256, 60_000)
+        adder_pmf = ErrorPMF.from_pairs(t1.add(ops, ops2), ops + ops2)
+        predicted = predict_sad_error_pmf(pixel_pmf, adder_pmf, n_pixels)
+        # Simulation.
+        blocks_a = rng.integers(0, 256, (20_000, n_pixels))
+        blocks_b = rng.integers(0, 256, (20_000, n_pixels))
+        observed = accelerator.sad(blocks_a, blocks_b) - exact.sad(
+            blocks_a, blocks_b
+        )
+        assert predicted.mean == pytest.approx(
+            float(observed.mean()), abs=max(3.0, 0.3 * abs(predicted.mean))
+        )
+
+
+class TestDefectsThroughTheStack:
+    def test_stuck_at_fault_visible_in_adder_outputs(self, rng):
+        """A logic-layer defect in an approximate adder perturbs the
+        arithmetic layer measurably."""
+        adder = ApproximateRippleAdder(8, approx_fa="ApxFA1", num_approx_lsbs=4)
+        netlist = build_ripple_adder_netlist(adder)
+        # Fault the MSB cell's carry: high-impact site.
+        target = next(
+            g.output for g in netlist.gates if g.output == "cout"
+        )
+        faulty = inject_stuck_at(netlist, StuckAtFault(target, 1))
+        from repro.adders.netlist_builder import evaluate_adder_netlist
+
+        a = rng.integers(0, 256, 1000)
+        b = rng.integers(0, 256, 1000)
+        clean = evaluate_adder_netlist(netlist, a, b)
+        broken = evaluate_adder_netlist(faulty, a, b)
+        flips = np.mean(clean != broken)
+        assert flips > 0.3  # carry-out stuck at 1 hits most vectors
+
+    def test_lsb_fault_cheaper_than_msb_fault(self, rng):
+        """Where the fault lands matters: an LSB-cell defect perturbs the
+        sum far less than an MSB-cell defect -- the same significance
+        argument that justifies LSB-first approximation."""
+        adder = ApproximateRippleAdder(8)
+        netlist = build_ripple_adder_netlist(adder)
+        from repro.adders.netlist_builder import evaluate_adder_netlist
+
+        a = rng.integers(0, 256, 2000)
+        b = rng.integers(0, 256, 2000)
+        clean = evaluate_adder_netlist(netlist, a, b)
+        lsb_fault = inject_stuck_at(netlist, StuckAtFault("s0", 1))
+        msb_fault = inject_stuck_at(netlist, StuckAtFault("s7", 1))
+        lsb_med = np.abs(
+            evaluate_adder_netlist(lsb_fault, a, b) - clean
+        ).mean()
+        msb_med = np.abs(
+            evaluate_adder_netlist(msb_fault, a, b) - clean
+        ).mean()
+        assert msb_med > 32 * lsb_med

@@ -1,0 +1,205 @@
+"""End-to-end checks of the paper's headline claims.
+
+Each test corresponds to a sentence or figure of the paper and exercises
+the full stack (components -> accelerators -> applications), asserting
+the *shape* the paper reports rather than absolute ASIC numbers.
+"""
+
+import numpy as np
+import pytest
+
+from repro.accelerators.filters import LowPassFilterAccelerator
+from repro.accelerators.sad import SADAccelerator, make_sad_variants
+from repro.adders.fulladder import FULL_ADDER_NAMES, FULL_ADDERS
+from repro.adders.gear import GeArConfig
+from repro.dse.explorer import explore_gear_space
+from repro.dse.selection import select_max_accuracy, select_min_area
+from repro.media.ssim import ssim
+from repro.media.synthetic import moving_sequence, standard_images
+from repro.multipliers.mul2x2 import multiplier_2x2
+from repro.video.codec import HevcLiteEncoder
+from repro.video.motion import full_search, sad_surface
+
+
+class TestTableIII:
+    def test_error_case_progression(self):
+        """Table III: 0/2/2/3/3/4 error cases."""
+        counts = [FULL_ADDERS[n].n_error_cases for n in FULL_ADDER_NAMES]
+        assert counts == [0, 2, 2, 3, 3, 4]
+
+    def test_every_approximation_saves_area_and_delay(self):
+        acc = FULL_ADDERS["AccuFA"]
+        for name in FULL_ADDER_NAMES[1:]:
+            assert FULL_ADDERS[name].area_ge < acc.area_ge
+            assert FULL_ADDERS[name].delay_ps < acc.delay_ps
+
+
+class TestTableIVAndFig4:
+    @pytest.fixture(scope="class")
+    def records(self):
+        return explore_gear_space(11)
+
+    def test_max_accuracy_selection(self, records):
+        """'For the constraint of maximum accuracy percentage,
+        GeAr(R=1, P=9) can be selected.'"""
+        best = select_max_accuracy(records)
+        assert (best["r"], best["p"]) == (1, 9)
+
+    def test_r3_constraint_selection(self, records):
+        """'To find a low-area adder configuration with at least 90%
+        accuracy ... R=3 and P=5.'"""
+        r3 = [r for r in records if r["r"] == 3]
+        pick = select_min_area(r3, 90.0)
+        assert (pick["r"], pick["p"]) == (3, 5)
+
+    def test_design_space_exposes_tradeoff(self, records):
+        """Accuracy costs LUTs along the Pareto front."""
+        from repro.dse.pareto import pareto_front
+
+        front = pareto_front(
+            records, [("lut_count", True), ("accuracy_percent", False)]
+        )
+        front = sorted(front, key=lambda r: r["lut_count"])
+        accs = [r["accuracy_percent"] for r in front]
+        assert accs == sorted(accs)
+        assert len(front) >= 3
+
+
+class TestFig5:
+    def test_multiplier_tradeoff(self):
+        """'Depending upon the bound on the maximum error value or
+        number of error cases, either ApxMulSoA or ApxMulOur can be
+        deployed.'"""
+        soa = multiplier_2x2("ApxMulSoA")
+        our = multiplier_2x2("ApxMulOur")
+        assert soa.n_error_cases < our.n_error_cases
+        assert our.max_error_value < soa.max_error_value
+
+
+class TestFig8:
+    @pytest.fixture(scope="class")
+    def frame_pair(self):
+        frames = moving_sequence(n_frames=2, size=64, noise_sigma=2.0)
+        return frames[1], frames[0]
+
+    def test_surface_shifted_but_minimum_preserved(self, frame_pair):
+        """'The whole error surface for the approximate case is shifted
+        ... the global minima remains the same.'"""
+        cur, ref = frame_pair
+        exact = SADAccelerator(n_pixels=64)
+        preserved = 0
+        blocks = [(0, 0), (8, 16), (24, 24), (40, 8), (48, 48)]
+        for variant in make_sad_variants(approx_lsbs=4, include_accurate=False).values():
+            for block in blocks:
+                s_exact = sad_surface(cur, ref, block, 8, 4, exact)
+                s_apx = sad_surface(cur, ref, block, 8, 4, variant)
+                valid = s_exact < (1 << 62)
+                # Surface is displaced (the values change) ...
+                assert np.mean(s_apx[valid] != s_exact[valid]) > 0.5
+                # ... but roughly follows the same trend ...
+                corr = np.corrcoef(
+                    s_apx[valid].astype(float), s_exact[valid].astype(float)
+                )[0, 1]
+                assert corr > 0.9
+                if np.argmin(s_apx) == np.argmin(s_exact):
+                    preserved += 1
+                # ... and even when the argmin flips, the selection loss
+                # is bounded by twice the surface perturbation (the
+                # classic argmin-stability bound).
+                chosen = s_exact.reshape(-1)[np.argmin(s_apx.reshape(-1))]
+                best = s_exact[valid].min()
+                max_dev = int(np.abs(s_apx[valid] - s_exact[valid]).max())
+                assert chosen <= best + 2 * max_dev
+        # The winning candidate itself survives in the majority of cases.
+        assert preserved >= 0.6 * 5 * 5
+
+    def test_motion_vectors_match_for_mild_approximation(self, frame_pair):
+        cur, ref = frame_pair
+        exact = SADAccelerator(n_pixels=64)
+        approx = SADAccelerator(n_pixels=64, fa="ApxFA1", approx_lsbs=2)
+        same = 0
+        blocks = [(x, y) for x in (0, 16, 32, 48) for y in (0, 16, 32, 48)]
+        for block in blocks:
+            mv_e = full_search(cur, ref, block, 8, 4, exact)
+            mv_a = full_search(cur, ref, block, 8, 4, approx)
+            same += (mv_e.dx, mv_e.dy) == (mv_a.dx, mv_a.dy)
+        assert same >= 0.75 * len(blocks)
+
+
+class TestFig9:
+    @pytest.fixture(scope="class")
+    def encoded(self):
+        frames = moving_sequence(n_frames=3, size=64, noise_sigma=3.0)
+        enc = HevcLiteEncoder(search_range=4, qp=4)
+        base = enc.encode(frames, SADAccelerator(n_pixels=64))
+        increases = {}
+        for k in (2, 4, 6):
+            acc = SADAccelerator(n_pixels=64, fa="ApxFA2", approx_lsbs=k)
+            increases[k] = enc.encode(frames, acc).bitrate_increase_percent(base)
+        return increases
+
+    def test_bitrate_increase_monotone_in_lsbs(self, encoded):
+        assert encoded[2] <= encoded[4] <= encoded[6]
+
+    def test_six_lsbs_clearly_worse_than_two(self, encoded):
+        """'Approximating 6-bits ... results in a large increase in the
+        bit-rate ... 2-bits and 4-bits result in a marginal increase.'"""
+        assert encoded[6] > encoded[2] + 0.5
+        assert encoded[2] < 1.5
+
+    def test_four_lsbs_lower_power_than_two_for_all_cells(self):
+        """'Approximating 4-bits always resulted in an overall lower
+        power consumption compared to approximating the 2-bits, for all
+        types of approximate adders.'"""
+        for cell in ("ApxFA1", "ApxFA2", "ApxFA3", "ApxFA4", "ApxFA5"):
+            two = SADAccelerator(n_pixels=64, fa=cell, approx_lsbs=2)
+            four = SADAccelerator(n_pixels=64, fa=cell, approx_lsbs=4)
+            assert four.energy_per_op_fj < two.energy_per_op_fj
+
+
+class TestFig10:
+    def test_ssim_varies_with_content(self):
+        """'For the same adder and kernel, the achieved accuracy varied
+        across the images.'"""
+        exact = LowPassFilterAccelerator()
+        approx = LowPassFilterAccelerator(fa="ApxFA1", approx_lsbs=5)
+        scores = {
+            name: ssim(exact.apply(img), approx.apply(img))
+            for name, img in standard_images(64).items()
+        }
+        values = list(scores.values())
+        assert len(values) == 7
+        assert max(values) - min(values) > 0.001
+        assert all(v > 0.5 for v in values)  # still recognizable
+
+
+class TestCrossLayerComposition:
+    def test_mode_selection_over_characterized_accelerators(self):
+        """Sec. 6: the approximation manager picks the cheapest mode that
+        satisfies each application's quality constraint, using real
+        characterization data."""
+        from repro.accelerators.manager import (
+            AcceleratorMode,
+            AcceleratorProfile,
+            ApplicationRequest,
+            ApproximationManager,
+        )
+
+        frames = moving_sequence(n_frames=2, size=32, noise_sigma=2.0)
+        enc = HevcLiteEncoder(search_range=2)
+        base = enc.encode(frames, SADAccelerator(n_pixels=64))
+        modes = []
+        for k in (0, 2, 4, 6):
+            acc = SADAccelerator(n_pixels=64, fa="ApxFA2", approx_lsbs=k)
+            result = enc.encode(frames, acc)
+            quality = min(
+                1.0, base.total_bits / max(result.total_bits, 1)
+            )
+            modes.append(
+                AcceleratorMode(f"lsb{k}", quality, acc.energy_per_op_fj)
+            )
+        profile = AcceleratorProfile("sad", tuple(modes))
+        mgr = ApproximationManager([profile])
+        strict = mgr.select_modes([ApplicationRequest("hq", "sad", 0.999)])
+        loose = mgr.select_modes([ApplicationRequest("lq", "sad", 0.8)])
+        assert loose.total_power_nw <= strict.total_power_nw

@@ -1,0 +1,50 @@
+"""Integration: single-point (Fig. 9) and RD-curve views must agree."""
+
+import numpy as np
+import pytest
+
+from repro.accelerators.sad import SADAccelerator
+from repro.media.synthetic import moving_sequence
+from repro.video.codec import HevcLiteEncoder
+from repro.video.rd import bd_rate_percent, rd_sweep
+
+
+@pytest.fixture(scope="module")
+def frames():
+    return moving_sequence(n_frames=3, size=48, noise_sigma=3.0)
+
+
+class TestRdConsistency:
+    def test_single_point_and_curve_agree_on_ordering(self, frames):
+        """If variant A costs more bits than variant B at one qp, its
+        whole RD curve should sit at or above B's (BD-rate ordering)."""
+        exact = SADAccelerator(n_pixels=64)
+        mild = SADAccelerator(n_pixels=64, fa="ApxFA2", approx_lsbs=2)
+        heavy = SADAccelerator(n_pixels=64, fa="ApxFA2", approx_lsbs=6)
+        qps = (3, 6, 12)
+
+        curve_exact = rd_sweep(frames, exact, qps=qps, search_range=3)
+        curve_mild = rd_sweep(frames, mild, qps=qps, search_range=3)
+        curve_heavy = rd_sweep(frames, heavy, qps=qps, search_range=3)
+
+        bd_mild = bd_rate_percent(curve_exact, curve_mild)
+        bd_heavy = bd_rate_percent(curve_exact, curve_heavy)
+        # Curve view: heavier approximation costs at least as much rate.
+        assert bd_heavy >= bd_mild - 0.5
+        # Single-point view at the middle qp agrees in direction.
+        encoder = HevcLiteEncoder(search_range=3, qp=6)
+        base = encoder.encode(frames, exact)
+        single_mild = encoder.encode(frames, mild).bitrate_increase_percent(base)
+        single_heavy = encoder.encode(frames, heavy).bitrate_increase_percent(base)
+        assert single_heavy >= single_mild - 0.5
+
+    def test_psnr_stability_under_mild_approximation(self, frames):
+        """Mild SAD approximation must not visibly damage reconstruction
+        quality at any rate point (the quality loss shows up as bits)."""
+        exact = SADAccelerator(n_pixels=64)
+        mild = SADAccelerator(n_pixels=64, fa="ApxFA1", approx_lsbs=2)
+        for qp in (3, 8):
+            encoder = HevcLiteEncoder(search_range=3, qp=qp)
+            base = encoder.encode(frames, exact)
+            test = encoder.encode(frames, mild)
+            assert test.psnr_db >= base.psnr_db - 0.5

@@ -1,0 +1,43 @@
+"""Documentation integrity: the README's code blocks actually run."""
+
+import re
+from pathlib import Path
+
+import pytest
+
+README = Path(__file__).resolve().parents[2] / "README.md"
+
+
+def python_blocks():
+    text = README.read_text()
+    return re.findall(r"```python\n(.*?)```", text, flags=re.DOTALL)
+
+
+class TestReadme:
+    def test_readme_exists_with_key_sections(self):
+        text = README.read_text()
+        for heading in ("## Installation", "## Quickstart",
+                        "## Architecture", "## Reproducing"):
+            assert heading in text
+
+    def test_has_python_blocks(self):
+        assert len(python_blocks()) >= 1
+
+    @pytest.mark.parametrize("index", range(len(python_blocks())))
+    def test_python_blocks_execute(self, index, capsys):
+        code = python_blocks()[index]
+        namespace: dict = {}
+        exec(compile(code, f"README.md[block {index}]", "exec"), namespace)
+        capsys.readouterr()  # swallow the example prints
+
+    def test_all_example_scripts_listed(self):
+        text = README.read_text()
+        examples_dir = Path(__file__).resolve().parents[2] / "examples"
+        for script in sorted(examples_dir.glob("*.py")):
+            assert script.name in text, f"{script.name} missing from README"
+
+    def test_all_benchmarks_listed(self):
+        text = README.read_text()
+        bench_dir = Path(__file__).resolve().parents[2] / "benchmarks"
+        for script in sorted(bench_dir.glob("bench_*.py")):
+            assert script.name in text, f"{script.name} missing from README"

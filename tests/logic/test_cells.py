@@ -1,0 +1,91 @@
+"""Tests for the standard-cell library."""
+
+import pytest
+
+from repro.logic.cells import CELL_LIBRARY, Cell, cell
+
+
+class TestCellLookup:
+    def test_known_cell(self):
+        nand = cell("NAND2")
+        assert nand.name == "NAND2"
+        assert nand.n_inputs == 2
+
+    def test_unknown_cell_raises_with_known_names(self):
+        with pytest.raises(KeyError, match="NAND2"):
+            cell("FROBNICATOR")
+
+    def test_library_has_basic_cells(self):
+        for name in ("INV", "NAND2", "NOR2", "AND2", "OR2", "XOR2",
+                     "XNOR2", "MAJ3", "MIN3", "MUX2", "WIRE"):
+            assert name in CELL_LIBRARY
+
+
+class TestCellSemantics:
+    @pytest.mark.parametrize(
+        "name, inputs, expected",
+        [
+            ("INV", (0,), 1),
+            ("INV", (1,), 0),
+            ("NAND2", (1, 1), 0),
+            ("NAND2", (1, 0), 1),
+            ("NOR2", (0, 0), 1),
+            ("NOR2", (0, 1), 0),
+            ("XOR2", (1, 0), 1),
+            ("XOR2", (1, 1), 0),
+            ("XNOR2", (1, 1), 1),
+            ("MAJ3", (1, 1, 0), 1),
+            ("MAJ3", (1, 0, 0), 0),
+            ("MIN3", (1, 0, 0), 1),
+            ("MIN3", (1, 1, 0), 0),
+            ("MUX2", (0, 1, 0), 1),  # select=0 -> first data input
+            ("MUX2", (1, 1, 0), 0),  # select=1 -> second data input
+            ("AOI21", (1, 1, 0), 0),
+            ("AOI21", (0, 0, 0), 1),
+            ("WIRE", (1,), 1),
+        ],
+    )
+    def test_truth(self, name, inputs, expected):
+        assert cell(name).evaluate(*inputs) == expected
+
+    def test_xor3_matches_parity(self):
+        xor3 = cell("XOR3")
+        for a in (0, 1):
+            for b in (0, 1):
+                for c in (0, 1):
+                    assert xor3.evaluate(a, b, c) == (a ^ b ^ c)
+
+    def test_maj3_is_complement_of_min3(self):
+        maj, mino = cell("MAJ3"), cell("MIN3")
+        for i in range(8):
+            bits = ((i >> 2) & 1, (i >> 1) & 1, i & 1)
+            assert maj.evaluate(*bits) == 1 - mino.evaluate(*bits)
+
+    def test_wrong_arity_raises(self):
+        with pytest.raises(ValueError, match="expects 2 inputs"):
+            cell("NAND2").evaluate(1)
+
+
+class TestCellPhysics:
+    def test_wire_is_free(self):
+        wire = cell("WIRE")
+        assert wire.area_ge == 0.0
+        assert wire.energy_per_toggle_fj == 0.0
+        assert wire.delay_ps == 0.0
+
+    def test_nand2_is_the_area_unit(self):
+        assert cell("NAND2").area_ge == pytest.approx(1.0)
+
+    def test_xor_larger_than_nand(self):
+        assert cell("XOR2").area_ge > cell("NAND2").area_ge
+
+    def test_energy_and_delay_scale_with_area(self):
+        small, big = cell("INV"), cell("XOR3")
+        assert big.energy_per_toggle_fj > small.energy_per_toggle_fj
+        assert big.delay_ps > small.delay_ps
+
+    def test_invalid_truth_table_rejected(self):
+        with pytest.raises(ValueError, match="rows"):
+            Cell("BAD", 2, (0, 1), 1.0, 1.0, 1.0, 1.0)
+        with pytest.raises(ValueError, match="0/1"):
+            Cell("BAD", 1, (0, 2), 1.0, 1.0, 1.0, 1.0)

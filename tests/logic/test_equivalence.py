@@ -1,0 +1,85 @@
+"""Tests for combinational equivalence checking."""
+
+import pytest
+
+from repro.adders.fulladder import FULL_ADDER_NAMES, FULL_ADDERS
+from repro.adders.netlist_builder import build_ripple_adder_netlist
+from repro.adders.ripple import ApproximateRippleAdder
+from repro.logic.equivalence import check_equivalence, count_error_cases
+from repro.logic.netlist import Netlist
+
+
+def xor_gate() -> Netlist:
+    nl = Netlist("x", inputs=["a", "b"], outputs=["y"])
+    nl.add_gate("XOR2", ["a", "b"], "y")
+    return nl
+
+
+def xor_from_nands() -> Netlist:
+    nl = Netlist("x2", inputs=["a", "b"], outputs=["y"])
+    nl.add_gate("NAND2", ["a", "b"], "n1")
+    nl.add_gate("NAND2", ["a", "n1"], "n2")
+    nl.add_gate("NAND2", ["b", "n1"], "n3")
+    nl.add_gate("NAND2", ["n2", "n3"], "y")
+    return nl
+
+
+class TestEquivalence:
+    def test_identical_netlists_equivalent(self):
+        report = check_equivalence(xor_gate(), xor_gate())
+        assert report.equivalent and report.exhaustive
+        assert report.n_mismatches == 0
+
+    def test_different_structures_same_function(self):
+        report = check_equivalence(xor_gate(), xor_from_nands())
+        assert report.equivalent
+
+    def test_inequivalent_netlists_report_counterexamples(self):
+        nl = Netlist("and", inputs=["a", "b"], outputs=["y"])
+        nl.add_gate("AND2", ["a", "b"], "y")
+        report = check_equivalence(xor_gate(), nl)
+        assert not report.equivalent
+        assert report.n_mismatches == 3  # 01, 10 differ, 11 differs
+        assert len(report.counterexamples) == 3
+        for example in report.counterexamples:
+            assert set(example) == {"a", "b"}
+
+    def test_interface_mismatch_rejected(self):
+        nl = Netlist("other", inputs=["a", "c"], outputs=["y"])
+        nl.add_gate("AND2", ["a", "c"], "y")
+        with pytest.raises(ValueError, match="input mismatch"):
+            check_equivalence(xor_gate(), nl)
+
+    def test_structural_vs_sop_adders(self):
+        """Every Table III adder's hand mapping equals its SOP synthesis."""
+        for name in FULL_ADDER_NAMES:
+            fa = FULL_ADDERS[name]
+            sop = fa.sop_netlist()
+            # Rename to match interfaces (sop uses same port names).
+            report = check_equivalence(fa.netlist(), sop)
+            assert report.equivalent, name
+            assert report.exhaustive
+
+    def test_large_interface_random_mode(self):
+        adder = ApproximateRippleAdder(12)
+        netlist = build_ripple_adder_netlist(adder)
+        report = check_equivalence(netlist, netlist, n_random_vectors=256)
+        assert report.equivalent
+        assert not report.exhaustive
+        assert report.n_vectors == 256
+
+
+class TestErrorCases:
+    @pytest.mark.parametrize("name", FULL_ADDER_NAMES)
+    def test_error_cases_match_table_iii(self, name):
+        golden = FULL_ADDERS["AccuFA"].netlist()
+        candidate = FULL_ADDERS[name].netlist()
+        assert count_error_cases(golden, candidate) == FULL_ADDERS[
+            name
+        ].n_error_cases
+
+    def test_too_many_inputs_rejected(self):
+        adder = ApproximateRippleAdder(12)
+        netlist = build_ripple_adder_netlist(adder)
+        with pytest.raises(ValueError, match="exhaustive"):
+            count_error_cases(netlist, netlist)

@@ -1,0 +1,96 @@
+"""Tests for stuck-at fault injection."""
+
+import numpy as np
+import pytest
+
+from repro.adders.fulladder import FULL_ADDERS
+from repro.logic.faults import (
+    StuckAtFault,
+    fault_error_rates,
+    fault_sites,
+    inject_stuck_at,
+)
+from repro.logic.netlist import Netlist
+
+
+def and_or() -> Netlist:
+    nl = Netlist("ao", inputs=["a", "b", "c"], outputs=["y"])
+    nl.add_gate("AND2", ["a", "b"], "m")
+    nl.add_gate("OR2", ["m", "c"], "y")
+    return nl
+
+
+class TestInjection:
+    def test_invalid_value_rejected(self):
+        with pytest.raises(ValueError, match="0/1"):
+            StuckAtFault("m", 2)
+
+    def test_unknown_site_rejected(self):
+        with pytest.raises(ValueError, match="site"):
+            inject_stuck_at(and_or(), StuckAtFault("ghost", 0))
+
+    def test_fault_sites_are_gate_outputs(self):
+        assert set(fault_sites(and_or())) == {"m", "y"}
+
+    def test_stuck_at_zero_masks_and(self):
+        faulty = inject_stuck_at(and_or(), StuckAtFault("m", 0))
+        out = faulty.evaluate(
+            {"a": np.array([1, 1]), "b": np.array([1, 1]),
+             "c": np.array([0, 1])}
+        )
+        # m stuck at 0 -> y = c.
+        assert list(out["y"]) == [0, 1]
+
+    def test_stuck_at_one_forces_output(self):
+        faulty = inject_stuck_at(and_or(), StuckAtFault("y", 1))
+        out = faulty.evaluate(
+            {"a": np.array([0]), "b": np.array([0]), "c": np.array([0])}
+        )
+        assert int(out["y"][0]) == 1
+
+    def test_original_netlist_untouched(self):
+        nl = and_or()
+        n_gates = len(nl.gates)
+        inject_stuck_at(nl, StuckAtFault("m", 0))
+        assert len(nl.gates) == n_gates
+
+    def test_faulty_netlist_is_valid(self):
+        faulty = inject_stuck_at(and_or(), StuckAtFault("m", 1))
+        faulty.validate()
+
+
+class TestFaultRates:
+    def test_all_single_faults_by_default(self):
+        rates = fault_error_rates(and_or())
+        assert len(rates) == 2 * len(fault_sites(and_or()))
+
+    def test_rates_in_unit_interval(self):
+        rates = fault_error_rates(FULL_ADDERS["AccuFA"].netlist())
+        assert all(0.0 <= rate <= 1.0 for rate in rates.values())
+
+    def test_redundant_fault_has_zero_rate(self):
+        # y = a OR (a AND b): the AND is logically redundant, so m
+        # stuck-at-0 is undetectable.
+        nl = Netlist("red", inputs=["a", "b"], outputs=["y"])
+        nl.add_gate("AND2", ["a", "b"], "m")
+        nl.add_gate("OR2", ["a", "m"], "y")
+        rates = fault_error_rates(nl, [StuckAtFault("m", 0)])
+        assert rates[StuckAtFault("m", 0)] == 0.0
+
+    def test_output_fault_rate_known(self):
+        # y stuck at 1 in AND(a,b): wrong for 3 of 4 vectors.
+        nl = Netlist("and", inputs=["a", "b"], outputs=["y"])
+        nl.add_gate("AND2", ["a", "b"], "y")
+        rates = fault_error_rates(nl, [StuckAtFault("y", 1)])
+        assert rates[StuckAtFault("y", 1)] == pytest.approx(0.75)
+
+    def test_approximate_adder_masks_some_faults(self):
+        """ApxFA5 has no logic, so it has no injectable faults at all --
+        the degenerate end of fault resilience."""
+        netlist = FULL_ADDERS["ApxFA5"].netlist()
+        sites = fault_sites(netlist)
+        rates = fault_error_rates(netlist)
+        # Wire outputs are sites, but stuck faults on them do flip
+        # outputs; the point is the *count* shrinks with approximation.
+        accurate_sites = fault_sites(FULL_ADDERS["AccuFA"].netlist())
+        assert len(sites) <= len(accurate_sites)

@@ -1,0 +1,111 @@
+"""Tests for K-LUT technology mapping."""
+
+import pytest
+
+from repro.adders.fulladder import FULL_ADDERS
+from repro.logic.mapping import map_to_luts
+from repro.logic.netlist import Netlist
+from repro.multipliers.mul2x2 import multiplier_2x2
+
+
+def chain(n: int) -> Netlist:
+    nl = Netlist("chain", inputs=["a", "b"], outputs=[f"n{n}"])
+    prev = "a"
+    for i in range(1, n + 1):
+        nl.add_gate("AND2", [prev, "b"], f"n{i}")
+        prev = f"n{i}"
+    return nl
+
+
+class TestBasicMapping:
+    def test_single_gate_is_one_lut(self):
+        nl = Netlist("g", inputs=["a", "b"], outputs=["y"])
+        nl.add_gate("AND2", ["a", "b"], "y")
+        mapping = map_to_luts(nl)
+        assert mapping.n_luts == 1
+        assert mapping.depth == 1
+
+    def test_chain_fits_one_lut_when_support_small(self):
+        # A chain of AND2(prev, b) has support {a, b} regardless of length.
+        mapping = map_to_luts(chain(10), k=6)
+        assert mapping.n_luts == 1
+        assert mapping.depth == 1
+
+    def test_wire_only_netlist_is_free(self):
+        nl = Netlist("wires", inputs=["a"], outputs=["y"])
+        nl.add_gate("WIRE", ["a"], "y")
+        mapping = map_to_luts(nl)
+        assert mapping.n_luts == 0
+        assert mapping.depth == 0
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError, match="k"):
+            map_to_luts(chain(2), k=1)
+
+    def test_cell_wider_than_k_rejected(self):
+        nl = Netlist("wide", inputs=["a", "b", "c", "d"], outputs=["y"])
+        nl.add_gate("AND4", ["a", "b", "c", "d"], "y")
+        with pytest.raises(ValueError, match="decompos"):
+            map_to_luts(nl, k=3)
+
+    def test_fanout_creates_boundary(self):
+        nl = Netlist("f", inputs=["a", "b", "c"], outputs=["y", "z"])
+        nl.add_gate("AND2", ["a", "b"], "shared")
+        nl.add_gate("OR2", ["shared", "c"], "y")
+        nl.add_gate("XOR2", ["shared", "c"], "z")
+        mapping = map_to_luts(nl, k=2)
+        # k=2 cannot absorb; shared is a boundary -> 3 LUTs.
+        assert mapping.n_luts == 3
+
+    def test_large_support_splits(self):
+        nl = Netlist("wide", inputs=[f"i{k}" for k in range(8)], outputs=["y"])
+        nl.add_gate("AND2", ["i0", "i1"], "p0")
+        nl.add_gate("AND2", ["i2", "i3"], "p1")
+        nl.add_gate("AND2", ["i4", "i5"], "p2")
+        nl.add_gate("AND2", ["i6", "i7"], "p3")
+        nl.add_gate("AND2", ["p0", "p1"], "q0")
+        nl.add_gate("AND2", ["p2", "p3"], "q1")
+        nl.add_gate("AND2", ["q0", "q1"], "y")
+        mapping = map_to_luts(nl, k=6)
+        # 8-input AND: cannot fit one 6-LUT; needs at least 2.
+        assert 2 <= mapping.n_luts <= 3
+        assert mapping.depth == 2
+
+
+class TestComponentMapping:
+    def test_accufa_maps_to_two_luts(self):
+        mapping = map_to_luts(FULL_ADDERS["AccuFA"].netlist(), k=6)
+        assert mapping.n_luts == 2  # sum and cout, 3 inputs each
+        assert mapping.depth == 1
+
+    def test_apxfa5_maps_to_zero_luts(self):
+        mapping = map_to_luts(FULL_ADDERS["ApxFA5"].netlist(), k=6)
+        assert mapping.n_luts == 0
+
+    def test_mapping_monotone_in_complexity(self):
+        acc = map_to_luts(multiplier_2x2("AccMul").netlist(), k=6)
+        soa = map_to_luts(multiplier_2x2("ApxMulSoA").netlist(), k=6)
+        assert soa.n_luts <= acc.n_luts
+        assert soa.n_luts_duplicated <= acc.n_luts_duplicated
+
+    def test_accmul_duplicated_is_one_lut_per_output(self):
+        # Every product bit is a function of 4 variables -> 4 LUTs.
+        mapping = map_to_luts(multiplier_2x2("AccMul").netlist(), k=6)
+        assert mapping.n_luts_duplicated == 4
+
+    def test_duplicated_never_exceeds_greedy(self):
+        for name, fa in FULL_ADDERS.items():
+            mapping = map_to_luts(fa.netlist(), k=6)
+            assert mapping.n_luts_duplicated <= mapping.n_luts, name
+
+    def test_ripple_adder_netlist_mapping(self):
+        from repro.adders.netlist_builder import build_ripple_adder_netlist
+        from repro.adders.ripple import ApproximateRippleAdder
+
+        exact = build_ripple_adder_netlist(ApproximateRippleAdder(8))
+        approx = build_ripple_adder_netlist(
+            ApproximateRippleAdder(8, approx_fa="ApxFA5", num_approx_lsbs=4)
+        )
+        map_exact = map_to_luts(exact)
+        map_approx = map_to_luts(approx)
+        assert map_approx.n_luts < map_exact.n_luts

@@ -1,0 +1,132 @@
+"""Tests for netlist construction, evaluation and metrics."""
+
+import numpy as np
+import pytest
+
+from repro.logic.netlist import Netlist, NetlistError
+
+
+def half_adder() -> Netlist:
+    nl = Netlist("ha", inputs=["a", "b"], outputs=["s", "c"])
+    nl.add_gate("XOR2", ["a", "b"], "s")
+    nl.add_gate("AND2", ["a", "b"], "c")
+    return nl
+
+
+class TestConstruction:
+    def test_duplicate_driver_rejected(self):
+        nl = half_adder()
+        with pytest.raises(NetlistError, match="already has a driver"):
+            nl.add_gate("OR2", ["a", "b"], "s")
+
+    def test_driving_an_input_rejected(self):
+        nl = half_adder()
+        with pytest.raises(NetlistError, match="cannot be driven"):
+            nl.add_gate("OR2", ["a", "b"], "a")
+
+    def test_driving_a_constant_rejected(self):
+        nl = half_adder()
+        with pytest.raises(NetlistError, match="cannot be driven"):
+            nl.add_gate("OR2", ["a", "b"], "VDD")
+
+    def test_duplicate_inputs_rejected(self):
+        with pytest.raises(NetlistError, match="duplicate"):
+            Netlist("bad", inputs=["a", "a"])
+
+    def test_wrong_gate_arity_rejected(self):
+        nl = half_adder()
+        with pytest.raises(NetlistError, match="expected 2 inputs"):
+            nl.add_gate("AND2", ["a"], "x")
+
+    def test_validate_detects_undriven_input(self):
+        nl = Netlist("bad", inputs=["a"], outputs=["y"])
+        nl.add_gate("AND2", ["a", "ghost"], "y")
+        with pytest.raises(NetlistError, match="ghost"):
+            nl.validate()
+
+    def test_validate_detects_undriven_output(self):
+        nl = Netlist("bad", inputs=["a"], outputs=["nowhere"])
+        with pytest.raises(NetlistError, match="nowhere"):
+            nl.validate()
+
+
+class TestEvaluation:
+    def test_half_adder_truth(self):
+        nl = half_adder()
+        out = nl.evaluate(
+            {"a": np.array([0, 0, 1, 1]), "b": np.array([0, 1, 0, 1])}
+        )
+        assert list(out["s"]) == [0, 1, 1, 0]
+        assert list(out["c"]) == [0, 0, 0, 1]
+
+    def test_constants_available(self):
+        nl = Netlist("const", inputs=["a"], outputs=["y"])
+        nl.add_gate("AND2", ["a", "VDD"], "y")
+        out = nl.evaluate({"a": np.array([0, 1])})
+        assert list(out["y"]) == [0, 1]
+
+    def test_gnd_forces_zero(self):
+        nl = Netlist("gnd", inputs=["a"], outputs=["y"])
+        nl.add_gate("AND2", ["a", "GND"], "y")
+        out = nl.evaluate({"a": np.array([1, 1])})
+        assert list(out["y"]) == [0, 0]
+
+    def test_missing_stimulus_raises(self):
+        nl = half_adder()
+        with pytest.raises(NetlistError, match="missing"):
+            nl.evaluate({"a": np.array([0])})
+
+    def test_mismatched_shapes_raise(self):
+        nl = half_adder()
+        with pytest.raises(NetlistError, match="share one shape"):
+            nl.evaluate({"a": np.array([0, 1]), "b": np.array([0])})
+
+    def test_trace_returns_internal_nets(self):
+        nl = Netlist("chain", inputs=["a"], outputs=["y"])
+        nl.add_gate("INV", ["a"], "mid")
+        nl.add_gate("INV", ["mid"], "y")
+        trace = nl.evaluate({"a": np.array([0, 1])}, trace=True)
+        assert "mid" in trace
+        assert list(trace["mid"]) == [1, 0]
+
+    def test_scalar_inputs(self):
+        nl = half_adder()
+        out = nl.evaluate({"a": np.array(1), "b": np.array(1)})
+        assert int(out["c"]) == 1
+
+    def test_out_of_order_gate_insertion(self):
+        # Gates added consumer-first must still evaluate correctly.
+        nl = Netlist("ooo", inputs=["a"], outputs=["y"])
+        nl.add_gate("INV", ["mid"], "y")
+        nl.add_gate("INV", ["a"], "mid")
+        out = nl.evaluate({"a": np.array([0, 1])})
+        assert list(out["y"]) == [0, 1]
+
+    def test_combinational_loop_detected(self):
+        nl = Netlist("loop", inputs=["a"], outputs=["y"])
+        nl.add_gate("AND2", ["a", "y"], "x")
+        nl.add_gate("INV", ["x"], "y")
+        with pytest.raises(NetlistError, match="loop"):
+            nl.evaluate({"a": np.array([1])})
+
+
+class TestMetrics:
+    def test_area_is_sum_of_cells(self):
+        nl = half_adder()
+        assert nl.area_ge == pytest.approx(2.33 + 1.33)
+
+    def test_cell_counts(self):
+        nl = half_adder()
+        assert nl.cell_counts() == {"XOR2": 1, "AND2": 1}
+
+    def test_delay_is_longest_path(self):
+        nl = Netlist("path", inputs=["a"], outputs=["y"])
+        nl.add_gate("INV", ["a"], "m1")
+        nl.add_gate("INV", ["m1"], "m2")
+        nl.add_gate("INV", ["m2"], "y")
+        single = Netlist("one", inputs=["a"], outputs=["y"])
+        single.add_gate("INV", ["a"], "y")
+        assert nl.delay_ps() == pytest.approx(3 * single.delay_ps())
+
+    def test_repr_mentions_gate_count(self):
+        assert "2 gates" in repr(half_adder())

@@ -1,0 +1,96 @@
+"""Tests for simulation, toggle counting and power estimation."""
+
+import numpy as np
+import pytest
+
+from repro.logic.netlist import Netlist
+from repro.logic.simulate import (
+    estimate_power,
+    exhaustive_stimuli,
+    random_stimuli,
+    toggle_counts,
+)
+
+
+def inverter_chain(n: int) -> Netlist:
+    nl = Netlist("chain", inputs=["a"], outputs=[f"n{n}"])
+    prev = "a"
+    for i in range(1, n + 1):
+        nl.add_gate("INV", [prev], f"n{i}")
+        prev = f"n{i}"
+    return nl
+
+
+class TestStimuli:
+    def test_exhaustive_covers_all_combinations(self):
+        stim = exhaustive_stimuli(["a", "b", "c"])
+        rows = set(
+            zip(stim["a"].tolist(), stim["b"].tolist(), stim["c"].tolist())
+        )
+        assert len(rows) == 8
+
+    def test_exhaustive_first_name_toggles_fastest(self):
+        stim = exhaustive_stimuli(["x", "y"])
+        assert list(stim["x"]) == [0, 1, 0, 1]
+        assert list(stim["y"]) == [0, 0, 1, 1]
+
+    def test_random_stimuli_deterministic(self):
+        s1 = random_stimuli(["a"], 100, seed=5)
+        s2 = random_stimuli(["a"], 100, seed=5)
+        assert np.array_equal(s1["a"], s2["a"])
+
+    def test_random_stimuli_binary(self):
+        s = random_stimuli(["a"], 1000, seed=1)
+        assert set(np.unique(s["a"])) <= {0, 1}
+
+
+class TestToggleCounts:
+    def test_alternating_input_toggles_every_cycle(self):
+        nl = inverter_chain(1)
+        counts = toggle_counts(nl, {"a": np.array([0, 1, 0, 1])})
+        assert counts["a"] == 3
+        assert counts["n1"] == 3
+
+    def test_constant_input_never_toggles(self):
+        nl = inverter_chain(1)
+        counts = toggle_counts(nl, {"a": np.array([1, 1, 1])})
+        assert counts["n1"] == 0
+
+    def test_single_vector_has_no_toggles(self):
+        nl = inverter_chain(1)
+        counts = toggle_counts(nl, {"a": np.array([1])})
+        assert counts["n1"] == 0
+
+
+class TestEstimatePower:
+    def test_idle_design_has_only_leakage(self):
+        nl = inverter_chain(2)
+        report = estimate_power(nl, {"a": np.array([0, 0, 0, 0])})
+        assert report.dynamic_nw == 0.0
+        assert report.static_nw == pytest.approx(nl.leakage_nw)
+        assert report.total_nw == report.static_nw
+
+    def test_activity_increases_power(self):
+        nl = inverter_chain(2)
+        quiet = estimate_power(nl, {"a": np.array([0, 0, 0, 0])})
+        busy = estimate_power(nl, {"a": np.array([0, 1, 0, 1])})
+        assert busy.total_nw > quiet.total_nw
+
+    def test_power_scales_with_frequency(self):
+        nl = inverter_chain(2)
+        stim = {"a": np.array([0, 1, 0, 1])}
+        slow = estimate_power(nl, stim, frequency_hz=1e6)
+        fast = estimate_power(nl, stim, frequency_hz=1e8)
+        assert fast.dynamic_nw == pytest.approx(100 * slow.dynamic_nw)
+        assert fast.static_nw == slow.static_nw
+
+    def test_default_stimulus_exhaustive_for_small_designs(self):
+        nl = inverter_chain(1)
+        report = estimate_power(nl)
+        assert report.n_vectors == 2
+
+    def test_longer_chain_burns_more(self):
+        stim = {"a": np.array([0, 1] * 8)}
+        short = estimate_power(inverter_chain(1), stim)
+        long = estimate_power(inverter_chain(4), stim)
+        assert long.total_nw > short.total_nw

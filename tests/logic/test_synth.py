@@ -1,0 +1,119 @@
+"""Tests for Quine-McCluskey minimization and truth-table synthesis."""
+
+import numpy as np
+import pytest
+
+from repro.logic.simulate import exhaustive_stimuli
+from repro.logic.synth import (
+    Implicant,
+    minimize_sop,
+    prime_implicants,
+    synthesize_truth_table,
+)
+
+
+class TestImplicant:
+    def test_covers(self):
+        imp = Implicant(value=0b10, care=0b11)
+        assert imp.covers(0b10)
+        assert not imp.covers(0b11)
+
+    def test_minterm_expansion(self):
+        imp = Implicant(value=0b10, care=0b10)  # var1=1, var0 free
+        assert imp.minterms(2) == [0b10, 0b11]
+
+    def test_literals(self):
+        imp = Implicant(value=0b10, care=0b11)
+        assert imp.literals(2) == [(0, False), (1, True)]
+
+
+class TestPrimeImplicants:
+    def test_xor_has_no_merges(self):
+        primes = prime_implicants(2, [0b01, 0b10])
+        assert len(primes) == 2
+        assert all(p.care == 0b11 for p in primes)
+
+    def test_full_function_merges_to_tautology(self):
+        primes = prime_implicants(2, [0, 1, 2, 3])
+        assert primes == [Implicant(0, 0)]
+
+    def test_classic_example(self):
+        # f = sum m(0,1,2,5,6,7) over 3 vars: a textbook QM case with
+        # cyclic prime implicant structure.
+        primes = prime_implicants(3, [0, 1, 2, 5, 6, 7])
+        minterm_sets = {tuple(p.minterms(3)) for p in primes}
+        assert (0, 1) in minterm_sets
+        assert (5, 7) in minterm_sets
+        assert len(primes) == 6
+
+    def test_dont_cares_enlarge_implicants(self):
+        with_dc = minimize_sop(2, [0b11], dont_cares=[0b10])
+        assert len(with_dc) == 1
+        assert with_dc[0].care == 0b10  # only var1 (shared by 2,3) required
+
+
+class TestMinimizeSop:
+    def test_empty_function(self):
+        assert minimize_sop(2, []) == []
+
+    def test_constant_one(self):
+        assert minimize_sop(2, [0, 1, 2, 3]) == [Implicant(0, 0)]
+
+    @pytest.mark.parametrize("n_vars", [1, 2, 3, 4])
+    def test_cover_is_correct_for_random_functions(self, n_vars):
+        rng = np.random.default_rng(n_vars)
+        for _ in range(20):
+            truth = rng.integers(0, 2, size=1 << n_vars)
+            ones = [i for i in range(1 << n_vars) if truth[i]]
+            cover = minimize_sop(n_vars, ones)
+            for m in range(1 << n_vars):
+                covered = any(p.covers(m) for p in cover)
+                assert covered == bool(truth[m])
+
+
+class TestSynthesizeTruthTable:
+    def _check(self, n, tables):
+        names = [f"i{k}" for k in range(n)]
+        nl = synthesize_truth_table("f", names, tables)
+        stim = exhaustive_stimuli(names)
+        out = nl.evaluate(stim)
+        # Row index is MSB-first over input_names.
+        index = np.zeros(1 << n, dtype=int)
+        for k, name in enumerate(names):
+            index |= stim[name].astype(int) << (n - 1 - k)
+        for out_name, table in tables.items():
+            expected = np.asarray(table)[index]
+            assert np.array_equal(out[out_name], expected), out_name
+
+    def test_single_output(self):
+        self._check(2, {"y": [0, 1, 1, 0]})  # XOR
+
+    def test_multi_output_shares_products(self):
+        tables = {"s": [0, 1, 1, 0], "c": [0, 0, 0, 1]}
+        self._check(2, tables)
+
+    def test_constant_outputs(self):
+        self._check(2, {"zero": [0, 0, 0, 0], "one": [1, 1, 1, 1]})
+
+    def test_three_input_adders(self):
+        # The accurate full adder synthesizes correctly.
+        sum_table = [0, 1, 1, 0, 1, 0, 0, 1]
+        cout_table = [0, 0, 0, 1, 0, 1, 1, 1]
+        self._check(3, {"sum": sum_table, "cout": cout_table})
+
+    def test_random_four_input_functions(self):
+        rng = np.random.default_rng(99)
+        for trial in range(10):
+            table = list(rng.integers(0, 2, size=16))
+            self._check(4, {"y": table})
+
+    def test_wrong_table_length_rejected(self):
+        with pytest.raises(ValueError, match="rows"):
+            synthesize_truth_table("f", ["a", "b"], {"y": [0, 1]})
+
+    def test_product_sharing_reduces_area(self):
+        # Two identical outputs must not double the AND-plane.
+        tables = {"y1": [0, 0, 0, 1], "y2": [0, 0, 0, 1]}
+        nl = synthesize_truth_table("shared", ["a", "b"], tables)
+        and_gates = nl.cell_counts().get("AND2", 0)
+        assert and_gates == 1

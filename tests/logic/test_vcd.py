@@ -1,0 +1,99 @@
+"""Tests for VCD export and SAIF-style activity summaries."""
+
+import numpy as np
+import pytest
+
+from repro.logic.netlist import Netlist
+from repro.logic.simulate import exhaustive_stimuli, toggle_counts
+from repro.logic.vcd import NetActivity, saif_summary, write_vcd
+
+
+def half_adder() -> Netlist:
+    nl = Netlist("ha", inputs=["a", "b"], outputs=["s", "c"])
+    nl.add_gate("XOR2", ["a", "b"], "s")
+    nl.add_gate("AND2", ["a", "b"], "c")
+    return nl
+
+
+STIM = {"a": np.array([0, 1, 0, 1]), "b": np.array([0, 0, 1, 1])}
+
+
+class TestSaifSummary:
+    def test_one_record_per_net(self):
+        records = saif_summary(half_adder(), STIM)
+        assert {r.net for r in records} == {"a", "b", "s", "c"}
+
+    def test_t0_t1_partition_cycles(self):
+        for record in saif_summary(half_adder(), STIM):
+            assert record.t0 + record.t1 == 4
+
+    def test_toggles_match_toggle_counts(self):
+        nl = half_adder()
+        records = {r.net: r for r in saif_summary(nl, STIM)}
+        counts = toggle_counts(nl, STIM)
+        for net, count in counts.items():
+            if net in records:
+                assert records[net].tc == count, net
+
+    def test_known_activity(self):
+        records = {r.net: r for r in saif_summary(half_adder(), STIM)}
+        # s = a^b over cycles: 0,1,1,0 -> t1=2, toggles=2.
+        assert records["s"].t1 == 2
+        assert records["s"].tc == 2
+        # c = a&b: 0,0,0,1 -> t1=1, one toggle.
+        assert records["c"].t1 == 1
+        assert records["c"].tc == 1
+
+
+class TestVcd:
+    def test_header_structure(self):
+        vcd = write_vcd(half_adder(), STIM)
+        assert "$timescale 1ns $end" in vcd
+        assert "$scope module ha $end" in vcd
+        assert "$enddefinitions $end" in vcd
+        assert vcd.count("$var wire 1 ") == 4
+
+    def test_initial_dump_covers_all_nets(self):
+        vcd = write_vcd(half_adder(), STIM)
+        dump = vcd.split("$dumpvars")[1].split("$end")[0].strip().splitlines()
+        assert len(dump) == 4
+        assert all(line[0] in "01" for line in dump)
+
+    def test_value_changes_only_on_change(self):
+        constant = {"a": np.array([1, 1, 1]), "b": np.array([0, 0, 0])}
+        vcd = write_vcd(half_adder(), constant)
+        # After the initial dump, no timestep should appear except the
+        # final timestamp.
+        body = vcd.split("$end")[-1]
+        assert "#1" not in body and "#2" not in body
+        assert "#3" in body
+
+    def test_change_count_matches_toggles(self):
+        nl = half_adder()
+        vcd = write_vcd(nl, STIM)
+        counts = toggle_counts(nl, STIM)
+        body = vcd.split("$dumpvars")[1]
+        body = body.split("$end", 1)[1]
+        n_changes = sum(
+            1 for line in body.splitlines() if line and line[0] in "01"
+        )
+        assert n_changes == sum(counts.values())
+
+    def test_unique_identifiers_for_many_nets(self):
+        # Force > 94 nets to exercise multi-character identifiers.
+        nl = Netlist("big", inputs=["a"], outputs=["n99"])
+        prev = "a"
+        for i in range(100):
+            nl.add_gate("INV", [prev], f"n{i}")
+            prev = f"n{i}"
+        vcd = write_vcd(nl, {"a": np.array([0, 1])})
+        ids = [
+            line.split()[3]
+            for line in vcd.splitlines()
+            if line.startswith("$var")
+        ]
+        assert len(ids) == len(set(ids)) == 101
+
+    def test_custom_timescale(self):
+        vcd = write_vcd(half_adder(), STIM, timescale="10ps")
+        assert "$timescale 10ps $end" in vcd

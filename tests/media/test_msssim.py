@@ -1,0 +1,66 @@
+"""Tests for multi-scale SSIM."""
+
+import numpy as np
+import pytest
+
+from repro.media.msssim import ms_ssim
+from repro.media.ssim import ssim
+from repro.media.synthetic import standard_images
+
+
+class TestMsSsim:
+    def test_identical_images_score_one(self, rng):
+        img = rng.integers(0, 256, (64, 64)).astype(float)
+        assert ms_ssim(img, img) == pytest.approx(1.0)
+
+    def test_monotone_in_noise(self, rng):
+        img = standard_images(64)["blobs"].astype(float)
+        scores = []
+        for noise_sigma in (2, 10, 40):
+            noisy = np.clip(img + rng.normal(0, noise_sigma, img.shape), 0, 255)
+            scores.append(ms_ssim(img, noisy))
+        assert scores[0] > scores[1] > scores[2]
+
+    def test_bounded(self, rng):
+        img = rng.integers(0, 256, (48, 48)).astype(float)
+        noisy = np.clip(img + rng.normal(0, 15, img.shape), 0, 255)
+        assert 0.0 < ms_ssim(img, noisy) <= 1.0
+
+    def test_adapts_scales_to_small_images(self):
+        img = np.tile(np.arange(16, dtype=float), (16, 1)) * 10
+        # Only one usable scale at 16x16 with an 11-tap window.
+        assert ms_ssim(img, img) == pytest.approx(1.0)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="mismatch"):
+            ms_ssim(np.zeros((32, 32)), np.zeros((32, 16)))
+
+    def test_too_small_rejected(self):
+        with pytest.raises(ValueError, match="window"):
+            ms_ssim(np.zeros((8, 8)), np.zeros((8, 8)))
+
+    def test_empty_weights_rejected(self, rng):
+        img = rng.integers(0, 256, (32, 32)).astype(float)
+        with pytest.raises(ValueError, match="weight"):
+            ms_ssim(img, img, weights=[])
+
+    def test_high_frequency_error_less_penalized_at_scale(self, rng):
+        """MS-SSIM forgives pure high-frequency error more than
+        single-scale SSIM does -- the psycho-visual point of Fig. 10."""
+        img = standard_images(64)["blobs"].astype(float)
+        checker = np.indices(img.shape).sum(axis=0) % 2
+        distorted = np.clip(img + 6 * (2 * checker - 1), 0, 255)
+        single = ssim(img, distorted)
+        multi = ms_ssim(img, distorted)
+        assert multi > single
+
+    def test_tracks_approximate_filter_quality(self):
+        from repro.accelerators.filters import LowPassFilterAccelerator
+
+        img = standard_images(64)["value_noise"]
+        exact = LowPassFilterAccelerator().apply(img).astype(float)
+        mild = LowPassFilterAccelerator(fa="ApxFA1", approx_lsbs=3).apply(img)
+        harsh = LowPassFilterAccelerator(fa="ApxFA5", approx_lsbs=7).apply(img)
+        assert ms_ssim(exact, mild.astype(float)) > ms_ssim(
+            exact, harsh.astype(float)
+        )

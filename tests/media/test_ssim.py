@@ -1,0 +1,87 @@
+"""Tests for the SSIM implementation."""
+
+import numpy as np
+import pytest
+
+from repro.media.ssim import gaussian_window, ssim, ssim_map
+from repro.media.synthetic import standard_images
+
+
+class TestGaussianWindow:
+    def test_normalized(self):
+        assert gaussian_window().sum() == pytest.approx(1.0)
+
+    def test_symmetric(self):
+        w = gaussian_window(11, 1.5)
+        assert np.allclose(w, w.T)
+        assert np.allclose(w, w[::-1, ::-1])
+
+    def test_peak_at_center(self):
+        w = gaussian_window(11, 1.5)
+        assert w[5, 5] == w.max()
+
+    def test_even_size_rejected(self):
+        with pytest.raises(ValueError, match="odd"):
+            gaussian_window(10)
+
+
+class TestSsim:
+    def test_identical_images_score_one(self, rng):
+        img = rng.integers(0, 256, (32, 32)).astype(float)
+        assert ssim(img, img) == pytest.approx(1.0)
+
+    def test_severe_distortion_scores_low(self, rng):
+        img = rng.integers(0, 256, (32, 32)).astype(float)
+        inverted = 255.0 - img
+        assert ssim(img, inverted) < 0.2
+
+    def test_monotone_in_noise_level(self, rng):
+        img = standard_images(64)["blobs"].astype(float)
+        scores = []
+        for sigma in (2, 8, 32):
+            noisy = img + rng.normal(0, sigma, img.shape)
+            scores.append(ssim(img, np.clip(noisy, 0, 255)))
+        assert scores[0] > scores[1] > scores[2]
+
+    def test_luminance_shift_penalized_gently(self):
+        img = np.tile(np.arange(64, dtype=float), (64, 1)) * 2
+        shifted = img + 5
+        assert 0.9 < ssim(img, shifted) < 1.0
+
+    def test_symmetry(self, rng):
+        a = rng.integers(0, 256, (32, 32)).astype(float)
+        b = np.clip(a + rng.normal(0, 10, a.shape), 0, 255)
+        assert ssim(a, b) == pytest.approx(ssim(b, a), abs=1e-9)
+
+    def test_bounded_above_by_one(self, rng):
+        a = rng.integers(0, 256, (32, 32)).astype(float)
+        b = np.clip(a + rng.normal(0, 3, a.shape), 0, 255)
+        assert ssim(a, b) <= 1.0
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="mismatch"):
+            ssim(np.zeros((16, 16)), np.zeros((16, 8)))
+
+    def test_requires_2d(self):
+        with pytest.raises(ValueError, match="2-D"):
+            ssim(np.zeros(100), np.zeros(100))
+
+    def test_window_larger_than_image_rejected(self):
+        with pytest.raises(ValueError, match="smaller"):
+            ssim(np.zeros((4, 4)), np.zeros((4, 4)))
+
+
+class TestSsimMap:
+    def test_valid_output_shape(self):
+        img = np.zeros((32, 32))
+        out = ssim_map(img, img)
+        assert out.shape == (22, 22)  # 32 - 11 + 1
+
+    def test_local_distortion_localized(self, rng):
+        img = rng.integers(0, 256, (48, 48)).astype(float)
+        distorted = img.copy()
+        distorted[:16, :16] = rng.integers(0, 256, (16, 16))
+        smap = ssim_map(img, distorted)
+        corrupted_zone = smap[:6, :6].mean()
+        clean_zone = smap[-6:, -6:].mean()
+        assert clean_zone > corrupted_zone

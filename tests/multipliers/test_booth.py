@@ -1,0 +1,98 @@
+"""Tests for the radix-4 Booth multiplier."""
+
+import numpy as np
+import pytest
+
+from repro.multipliers.booth import BoothMultiplier, booth_recode
+
+
+class TestRecoding:
+    @pytest.mark.parametrize("width", [4, 8, 12, 16])
+    def test_reconstruction(self, width, rng):
+        lo, hi = -(1 << (width - 1)), 1 << (width - 1)
+        values = rng.integers(lo, hi, 1000)
+        digits = booth_recode(values, width)
+        recon = sum(d * (4**i) for i, d in enumerate(digits))
+        assert np.array_equal(recon, values)
+
+    def test_digit_range(self, rng):
+        values = rng.integers(-128, 128, 500)
+        for digit in booth_recode(values, 8):
+            assert digit.min() >= -2 and digit.max() <= 2
+
+    def test_digit_count(self):
+        assert len(booth_recode(np.array([0]), 8)) == 4
+        assert len(booth_recode(np.array([0]), 16)) == 8
+
+    def test_extremes(self):
+        for width in (4, 8):
+            lo = -(1 << (width - 1))
+            hi = (1 << (width - 1)) - 1
+            values = np.array([lo, hi, 0, -1, 1])
+            digits = booth_recode(values, width)
+            recon = sum(d * (4**i) for i, d in enumerate(digits))
+            assert np.array_equal(recon, values)
+
+
+class TestExactMultiplier:
+    @pytest.mark.parametrize("width", [4, 8, 16])
+    def test_signed_products(self, width, rng):
+        mul = BoothMultiplier(width)
+        lo, hi = -(1 << (width - 1)), 1 << (width - 1)
+        a = rng.integers(lo, hi, 1000)
+        b = rng.integers(lo, hi, 1000)
+        assert np.array_equal(mul.multiply(a, b), a * b)
+
+    def test_exhaustive_4x4(self):
+        mul = BoothMultiplier(4)
+        values = np.arange(-8, 8)
+        a = np.repeat(values, 16)
+        b = np.tile(values, 16)
+        assert np.array_equal(mul.multiply(a, b), a * b)
+
+    def test_twos_complement_inputs_accepted(self):
+        mul = BoothMultiplier(8)
+        # 0xFF == -1 in 8-bit two's complement.
+        assert int(mul.multiply(0xFF, 2)) == -2
+
+    def test_odd_width_rejected(self):
+        with pytest.raises(ValueError, match="even"):
+            BoothMultiplier(7)
+
+    def test_bad_truncation_rejected(self):
+        with pytest.raises(ValueError, match="truncate"):
+            BoothMultiplier(8, truncate_digits=9)
+
+
+class TestApproximation:
+    def test_truncation_bound_sound(self, rng):
+        for t in (1, 2, 3):
+            mul = BoothMultiplier(8, truncate_digits=t)
+            a = rng.integers(-128, 128, 3000)
+            b = rng.integers(-128, 128, 3000)
+            errors = np.abs(mul.multiply(a, b) - a * b)
+            assert errors.max() <= mul.truncation_error_bound()
+
+    def test_truncation_error_grows(self, rng):
+        a = rng.integers(-128, 128, 3000)
+        b = rng.integers(-128, 128, 3000)
+        meds = []
+        for t in (0, 1, 2):
+            mul = BoothMultiplier(8, truncate_digits=t)
+            meds.append(float(np.abs(mul.multiply(a, b) - a * b).mean()))
+        assert meds[0] == 0.0
+        assert meds[0] < meds[1] < meds[2]
+
+    def test_approximate_adders_distort(self, rng):
+        mul = BoothMultiplier(8, adder_fa="ApxFA5", adder_approx_lsbs=4)
+        a = rng.integers(-128, 128, 3000)
+        b = rng.integers(-128, 128, 3000)
+        errors = np.abs(mul.multiply(a, b) - a * b)
+        assert errors.max() > 0
+        # LSB-only approximation stays far from full-scale error.
+        assert errors.mean() < 64
+
+    def test_name(self):
+        mul = BoothMultiplier(8, truncate_digits=1, adder_fa="ApxFA1",
+                              adder_approx_lsbs=2)
+        assert "Booth8x8" in mul.name and "trunc=1" in mul.name

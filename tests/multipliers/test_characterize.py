@@ -1,0 +1,100 @@
+"""Tests for multiplier characterization (Fig. 5 / Fig. 6 data)."""
+
+import numpy as np
+import pytest
+
+from repro.multipliers.characterize import (
+    characterize_mul2x2_family,
+    characterize_multiplier,
+    fig6_multiplier_family,
+)
+from repro.multipliers.recursive import RecursiveMultiplier
+from repro.multipliers.wallace import WallaceMultiplier
+
+
+class TestCharacterizeMultiplier:
+    def test_exact_multiplier_perfect(self):
+        record = characterize_multiplier(RecursiveMultiplier(4, leaf_policy="none"))
+        assert record.metrics.error_rate == 0.0
+
+    def test_exhaustive_below_limit(self):
+        record = characterize_multiplier(RecursiveMultiplier(4))
+        assert record.metrics.n_samples == 16 * 16
+
+    def test_sampled_at_16_bits(self):
+        record = characterize_multiplier(
+            RecursiveMultiplier(16), n_samples=2000
+        )
+        assert record.metrics.n_samples == 2000
+
+    def test_wallace_power_model(self):
+        record = characterize_multiplier(WallaceMultiplier(4))
+        assert record.power_nw > 0
+
+    def test_unknown_type_rejected(self):
+        class FakeMul:
+            width = 4
+            name = "fake"
+            area_ge = 1.0
+
+            def multiply(self, a, b):
+                return np.asarray(a) * np.asarray(b)
+
+        with pytest.raises(TypeError, match="power model"):
+            characterize_multiplier(FakeMul())
+
+
+class TestMul2x2Family:
+    def test_five_rows(self):
+        rows = characterize_mul2x2_family()
+        assert [r["name"] for r in rows] == [
+            "AccMul", "ApxMulSoA", "ApxMulOur", "CfgMulSoA", "CfgMulOur",
+        ]
+
+    def test_fig5_error_shape(self):
+        rows = {r["name"]: r for r in characterize_mul2x2_family()}
+        assert rows["ApxMulSoA"]["n_error_cases"] == 1
+        assert rows["ApxMulSoA"]["max_error_value"] == 2
+        assert rows["ApxMulOur"]["n_error_cases"] == 3
+        assert rows["ApxMulOur"]["max_error_value"] == 1
+
+    def test_fig5_configurable_cost_shape(self):
+        rows = {r["name"]: r for r in characterize_mul2x2_family()}
+        assert rows["CfgMulOur"]["area_ge"] < rows["CfgMulSoA"]["area_ge"]
+        # Configurables cost more than their raw approximate bases.
+        assert rows["CfgMulSoA"]["area_ge"] > rows["ApxMulSoA"]["area_ge"]
+        assert rows["CfgMulOur"]["area_ge"] > rows["ApxMulOur"]["area_ge"]
+
+
+class TestFig6Family:
+    @pytest.fixture(scope="class")
+    def records(self):
+        return fig6_multiplier_family(widths=(2, 4, 8), n_samples=5000)
+
+    def test_each_width_has_accurate_and_approximate(self, records):
+        for width in (4, 8):
+            names = [r.name for r in records if r.width == width]
+            assert any("Acc" in n for n in names)
+            assert any("Apx" in n for n in names)
+
+    def test_accurate_never_errs(self, records):
+        for record in records:
+            if record.name.startswith("Acc"):
+                assert record.metrics.error_rate == 0.0
+
+    def test_approximate_cheaper_at_every_width(self, records):
+        """Fig. 6 shape: approximate multipliers save area and power."""
+        for width in (4, 8):
+            acc = next(
+                r for r in records if r.width == width and r.name.startswith("Acc")
+            )
+            v1 = next(r for r in records if r.width == width and "V1" in r.name)
+            assert v1.area_ge < acc.area_ge
+            assert v1.power_nw < acc.power_nw
+
+    def test_error_grows_with_width_for_v1(self, records):
+        v1s = sorted(
+            (r for r in records if "V1" in r.name), key=lambda r: r.width
+        )
+        meds = [r.metrics.mean_error_distance for r in v1s]
+        assert meds == sorted(meds)

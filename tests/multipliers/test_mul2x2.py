@@ -1,0 +1,144 @@
+"""Tests for the 2x2 multipliers of Fig. 5."""
+
+import numpy as np
+import pytest
+
+from repro.characterization.paperdata import (
+    FIG5_ERROR_CASES,
+    FIG5_MAX_ERROR,
+)
+from repro.multipliers.mul2x2 import (
+    MULTIPLIER_2X2_NAMES,
+    ConfigurableMul2x2,
+    multiplier_2x2,
+)
+
+
+def all_pairs():
+    a = np.repeat(np.arange(4), 4)
+    b = np.tile(np.arange(4), 4)
+    return a, b
+
+
+class TestAccMul:
+    def test_exact_products(self):
+        a, b = all_pairs()
+        acc = multiplier_2x2("AccMul")
+        assert np.array_equal(acc.multiply(a, b), a * b)
+
+    def test_no_errors(self):
+        acc = multiplier_2x2("AccMul")
+        assert acc.n_error_cases == 0
+        assert acc.max_error_value == 0
+
+    def test_operands_masked_to_two_bits(self):
+        acc = multiplier_2x2("AccMul")
+        assert int(acc.multiply(7, 5)) == (7 & 3) * (5 & 3)
+
+
+class TestApxMulSoA:
+    def test_single_error_case_is_3x3(self):
+        soa = multiplier_2x2("ApxMulSoA")
+        assert soa.error_cases() == [(3, 3)]
+
+    def test_3x3_gives_7(self):
+        soa = multiplier_2x2("ApxMulSoA")
+        assert int(soa.multiply(3, 3)) == 7
+
+    def test_paper_characterization(self):
+        soa = multiplier_2x2("ApxMulSoA")
+        assert soa.n_error_cases == FIG5_ERROR_CASES["ApxMulSoA"]
+        assert soa.max_error_value == FIG5_MAX_ERROR["ApxMulSoA"]
+
+    def test_output_fits_three_bits(self):
+        a, b = all_pairs()
+        soa = multiplier_2x2("ApxMulSoA")
+        assert np.all(soa.multiply(a, b) < 8)
+
+
+class TestApxMulOur:
+    def test_three_error_cases(self):
+        our = multiplier_2x2("ApxMulOur")
+        assert our.error_cases() == [(1, 1), (1, 3), (3, 1)]
+
+    def test_max_error_is_one(self):
+        our = multiplier_2x2("ApxMulOur")
+        assert our.max_error_value == FIG5_MAX_ERROR["ApxMulOur"]
+
+    def test_3x3_is_exact(self):
+        our = multiplier_2x2("ApxMulOur")
+        assert int(our.multiply(3, 3)) == 9
+
+    def test_msb_equals_lsb(self):
+        a, b = all_pairs()
+        our = multiplier_2x2("ApxMulOur")
+        products = our.multiply(a, b)
+        assert np.array_equal(products >> 3, products & 1)
+
+    def test_paper_error_count(self):
+        our = multiplier_2x2("ApxMulOur")
+        assert our.n_error_cases == FIG5_ERROR_CASES["ApxMulOur"]
+
+
+class TestNetlists:
+    @pytest.mark.parametrize("name", MULTIPLIER_2X2_NAMES)
+    def test_netlist_matches_table(self, name):
+        spec = multiplier_2x2(name)
+        nl = spec.netlist()
+        a, b = all_pairs()
+        out = nl.evaluate(
+            {
+                "a1": (a >> 1) & 1,
+                "a0": a & 1,
+                "b1": (b >> 1) & 1,
+                "b0": b & 1,
+            }
+        )
+        value = (
+            (out["p3"].astype(int) << 3)
+            | (out["p2"].astype(int) << 2)
+            | (out["p1"].astype(int) << 1)
+            | out["p0"].astype(int)
+        )
+        assert np.array_equal(value, spec.multiply(a, b))
+
+    def test_area_ordering_matches_fig5(self):
+        # Paper: AccMul > ApxMulOur > ApxMulSoA.
+        acc = multiplier_2x2("AccMul").area_ge
+        our = multiplier_2x2("ApxMulOur").area_ge
+        soa = multiplier_2x2("ApxMulSoA").area_ge
+        assert acc > our > soa
+
+    def test_unknown_multiplier_raises(self):
+        with pytest.raises(KeyError, match="AccMul"):
+            multiplier_2x2("NopeMul")
+
+
+class TestConfigurable:
+    def test_accurate_mode_is_exact(self):
+        a, b = all_pairs()
+        for base in ("ApxMulSoA", "ApxMulOur"):
+            cfg = ConfigurableMul2x2(base)
+            assert np.array_equal(cfg.multiply(a, b, accurate=True), a * b)
+
+    def test_approximate_mode_matches_base(self):
+        a, b = all_pairs()
+        cfg = ConfigurableMul2x2("ApxMulOur")
+        assert np.array_equal(
+            cfg.multiply(a, b), multiplier_2x2("ApxMulOur").multiply(a, b)
+        )
+
+    def test_our_correction_cheaper_than_soa(self):
+        """Fig. 5: inverter correction beats adder correction."""
+        soa = ConfigurableMul2x2("ApxMulSoA")
+        our = ConfigurableMul2x2("ApxMulOur")
+        assert our.correction_area_ge < soa.correction_area_ge
+        assert our.area_ge < soa.area_ge
+
+    def test_names(self):
+        assert ConfigurableMul2x2("ApxMulSoA").name == "CfgMulSoA"
+        assert ConfigurableMul2x2("ApxMulOur").name == "CfgMulOur"
+
+    def test_base_must_be_approximate(self):
+        with pytest.raises(ValueError, match="configurable"):
+            ConfigurableMul2x2("AccMul")

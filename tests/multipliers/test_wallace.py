@@ -1,0 +1,110 @@
+"""Tests for the Wallace-tree multiplier."""
+
+import numpy as np
+import pytest
+
+from repro.multipliers.wallace import WallaceMultiplier
+
+
+class TestExactness:
+    @pytest.mark.parametrize("width", [2, 3, 4, 5, 8, 11, 16])
+    def test_exact_configuration(self, width, rng):
+        mul = WallaceMultiplier(width)
+        hi = 1 << width
+        a = rng.integers(0, hi, 300)
+        b = rng.integers(0, hi, 300)
+        assert np.array_equal(mul.multiply(a, b), a * b)
+
+    def test_exhaustive_4x4(self):
+        mul = WallaceMultiplier(4)
+        values = np.arange(16)
+        a = np.repeat(values, 16)
+        b = np.tile(values, 16)
+        assert np.array_equal(mul.multiply(a, b), a * b)
+
+    def test_extreme_operands(self):
+        mul = WallaceMultiplier(8)
+        assert int(mul.multiply(255, 255)) == 255 * 255
+        assert int(mul.multiply(0, 255)) == 0
+
+    def test_invalid_width(self):
+        with pytest.raises(ValueError, match="width"):
+            WallaceMultiplier(1)
+
+
+class TestApproximation:
+    def test_approx_columns_introduce_bounded_error(self, rng):
+        mul = WallaceMultiplier(8, compress_fa="ApxFA1", approx_columns=4)
+        hi = 1 << 8
+        a = rng.integers(0, hi, 3000)
+        b = rng.integers(0, hi, 3000)
+        errors = np.abs(mul.multiply(a, b) - a * b)
+        assert errors.max() > 0
+        # Errors originate in low columns; allow carry leakage headroom.
+        assert errors.max() < (1 << 8)
+
+    def test_truncation_underestimates(self, rng):
+        mul = WallaceMultiplier(8, truncate_columns=4)
+        hi = 1 << 8
+        a = rng.integers(0, hi, 2000)
+        b = rng.integers(0, hi, 2000)
+        assert np.all(mul.multiply(a, b) <= a * b)
+
+    def test_truncation_error_bounded_by_dropped_mass(self, rng):
+        t = 4
+        mul = WallaceMultiplier(8, truncate_columns=t)
+        hi = 1 << 8
+        a = rng.integers(0, hi, 2000)
+        b = rng.integers(0, hi, 2000)
+        # Dropped pp bits: columns 0..t-1 hold at most (c+1) bits of
+        # weight 2**c each.
+        bound = sum((c + 1) << c for c in range(t))
+        assert np.abs(mul.multiply(a, b) - a * b).max() <= bound
+
+    def test_more_approx_columns_more_error(self, rng):
+        hi = 1 << 8
+        a = rng.integers(0, hi, 3000)
+        b = rng.integers(0, hi, 3000)
+        meds = []
+        for cols in (0, 4, 8):
+            mul = WallaceMultiplier(8, compress_fa="ApxFA5", approx_columns=cols)
+            meds.append(float(np.abs(mul.multiply(a, b) - a * b).mean()))
+        assert meds[0] == 0.0
+        assert meds[0] < meds[1] < meds[2]
+
+    def test_approximate_final_adder(self, rng):
+        mul = WallaceMultiplier(
+            8, final_adder_fa="ApxFA5", final_adder_approx_lsbs=6
+        )
+        hi = 1 << 8
+        a = rng.integers(0, hi, 2000)
+        b = rng.integers(0, hi, 2000)
+        assert np.abs(mul.multiply(a, b) - a * b).max() > 0
+
+
+class TestStructure:
+    def test_cell_counts_stable(self):
+        mul = WallaceMultiplier(8)
+        first = mul.cell_counts()
+        second = mul.cell_counts()
+        assert first == second
+
+    def test_cell_counts_partition_by_column(self):
+        mul = WallaceMultiplier(8, compress_fa="ApxFA2", approx_columns=4)
+        counts = mul.cell_counts()
+        assert any(name.startswith("ApxFA2") for name in counts)
+        assert any(name.startswith("AccuFA") for name in counts)
+
+    def test_area_reduced_by_approximation(self):
+        exact = WallaceMultiplier(8)
+        approx = WallaceMultiplier(8, compress_fa="ApxFA5", approx_columns=8)
+        assert approx.area_ge < exact.area_ge
+
+    def test_truncation_reduces_area_further(self):
+        full = WallaceMultiplier(8)
+        truncated = WallaceMultiplier(8, truncate_columns=6)
+        assert truncated.area_ge < full.area_ge
+
+    def test_name(self):
+        mul = WallaceMultiplier(8, compress_fa="ApxFA1", approx_columns=3)
+        assert "Wallace8x8" in mul.name and "ApxFA1" in mul.name

@@ -1,0 +1,110 @@
+"""Property-based tests (hypothesis) for the multiplier models."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.multipliers.mul2x2 import MULTIPLIER_2X2_NAMES, multiplier_2x2
+from repro.multipliers.recursive import RecursiveMultiplier
+from repro.multipliers.wallace import WallaceMultiplier
+
+
+class TestMul2x2Properties:
+    @given(
+        name=st.sampled_from(list(MULTIPLIER_2X2_NAMES)),
+        a=st.integers(0, 3),
+        b=st.integers(0, 3),
+    )
+    def test_commutative(self, name, a, b):
+        spec = multiplier_2x2(name)
+        assert int(spec.multiply(a, b)) == int(spec.multiply(b, a))
+
+    @given(
+        name=st.sampled_from(list(MULTIPLIER_2X2_NAMES)),
+        a=st.integers(0, 3),
+        b=st.integers(0, 3),
+    )
+    def test_zero_annihilates(self, name, a, b):
+        spec = multiplier_2x2(name)
+        assert int(spec.multiply(0, b)) == 0
+        assert int(spec.multiply(a, 0)) == 0
+
+    @given(name=st.sampled_from(list(MULTIPLIER_2X2_NAMES)), a=st.integers(0, 3),
+           b=st.integers(0, 3))
+    def test_error_within_published_max(self, name, a, b):
+        spec = multiplier_2x2(name)
+        assert abs(int(spec.multiply(a, b)) - a * b) <= spec.max_error_value
+
+
+class TestRecursiveProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        width=st.sampled_from([2, 4, 8, 16]),
+        a=st.integers(min_value=0, max_value=(1 << 16) - 1),
+        b=st.integers(min_value=0, max_value=(1 << 16) - 1),
+    )
+    def test_accurate_configuration_exact(self, width, a, b):
+        mul = RecursiveMultiplier(width, leaf_policy="none")
+        mask = (1 << width) - 1
+        assert int(mul.multiply(a, b)) == (a & mask) * (b & mask)
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        a=st.integers(min_value=0, max_value=255),
+        b=st.integers(min_value=0, max_value=255),
+        leaf=st.sampled_from(["ApxMulSoA", "ApxMulOur"]),
+    )
+    def test_approximate_commutative(self, a, b, leaf):
+        """The recursive structure is symmetric, so approximation
+        preserves commutativity."""
+        mul = RecursiveMultiplier(8, leaf_mul=leaf, leaf_policy="all")
+        assert int(mul.multiply(a, b)) == int(mul.multiply(b, a))
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        a=st.integers(min_value=0, max_value=255),
+        b=st.integers(min_value=0, max_value=255),
+    )
+    def test_zero_annihilates(self, a, b):
+        mul = RecursiveMultiplier(8, leaf_policy="all")
+        assert int(mul.multiply(a, 0)) == 0
+        assert int(mul.multiply(0, b)) == 0
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        a=st.integers(min_value=0, max_value=255),
+        b=st.integers(min_value=0, max_value=255),
+    )
+    def test_our_leaf_error_bounded(self, a, b):
+        """Each ApxMulOur leaf errs by at most 1; 16 leaves with exact
+        adders bound the 8x8 error by the sum of leaf weights."""
+        mul = RecursiveMultiplier(8, leaf_mul="ApxMulOur", leaf_policy="all")
+        error = abs(int(mul.multiply(a, b)) - a * b)
+        # Leaf at offsets (i, j) has weight 2**(2i + 2j); worst case all
+        # 16 leaves err by 1 simultaneously.
+        bound = sum(
+            1 << (2 * i + 2 * j) for i in range(4) for j in range(4)
+        )
+        assert error <= bound
+
+
+class TestWallaceProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        width=st.integers(min_value=2, max_value=12),
+        a=st.integers(min_value=0, max_value=(1 << 12) - 1),
+        b=st.integers(min_value=0, max_value=(1 << 12) - 1),
+    )
+    def test_exact_configuration(self, width, a, b):
+        mul = WallaceMultiplier(width)
+        mask = (1 << width) - 1
+        assert int(mul.multiply(a, b)) == (a & mask) * (b & mask)
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        a=st.integers(min_value=0, max_value=255),
+        b=st.integers(min_value=0, max_value=255),
+        t=st.integers(min_value=1, max_value=8),
+    )
+    def test_truncation_never_overestimates(self, a, b, t):
+        mul = WallaceMultiplier(8, truncate_columns=t)
+        assert int(mul.multiply(a, b)) <= a * b

@@ -1,0 +1,91 @@
+"""Property-based tests (hypothesis) for the error-PMF algebra."""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors.pmf import ErrorPMF
+
+
+@st.composite
+def pmfs(draw, max_support: int = 6, value_range: int = 20):
+    """Strategy generating small normalized PMFs."""
+    n = draw(st.integers(min_value=1, max_value=max_support))
+    values = draw(
+        st.lists(
+            st.integers(-value_range, value_range),
+            min_size=n, max_size=n, unique=True,
+        )
+    )
+    weights = draw(
+        st.lists(
+            st.floats(min_value=0.05, max_value=1.0, allow_nan=False),
+            min_size=n, max_size=n,
+        )
+    )
+    total = sum(weights)
+    return ErrorPMF({v: w / total for v, w in zip(values, weights)})
+
+
+class TestAlgebraicLaws:
+    @settings(max_examples=60, deadline=None)
+    @given(a=pmfs(), b=pmfs())
+    def test_convolution_commutative(self, a, b):
+        assert a.convolve(b) == b.convolve(a)
+
+    @settings(max_examples=40, deadline=None)
+    @given(a=pmfs(max_support=4), b=pmfs(max_support=4), c=pmfs(max_support=4))
+    def test_convolution_associative(self, a, b, c):
+        assert a.convolve(b).convolve(c) == a.convolve(b.convolve(c))
+
+    @settings(max_examples=60, deadline=None)
+    @given(a=pmfs())
+    def test_delta_identity(self, a):
+        assert a.convolve(ErrorPMF.delta(0)) == a
+
+    @settings(max_examples=60, deadline=None)
+    @given(a=pmfs(), b=pmfs())
+    def test_mean_additive_under_convolution(self, a, b):
+        combined = a.convolve(b)
+        assert math.isclose(combined.mean, a.mean + b.mean, abs_tol=1e-9)
+
+    @settings(max_examples=60, deadline=None)
+    @given(a=pmfs(), b=pmfs())
+    def test_variance_additive_under_convolution(self, a, b):
+        combined = a.convolve(b)
+        assert math.isclose(
+            combined.variance, a.variance + b.variance, abs_tol=1e-6
+        )
+
+    @settings(max_examples=60, deadline=None)
+    @given(a=pmfs())
+    def test_double_negation_is_identity(self, a):
+        assert a.negate().negate() == a
+
+    @settings(max_examples=60, deadline=None)
+    @given(a=pmfs(), k=st.integers(min_value=1, max_value=8))
+    def test_scale_scales_mean(self, a, k):
+        assert math.isclose(a.scale(k).mean, k * a.mean, abs_tol=1e-9)
+
+    @settings(max_examples=60, deadline=None)
+    @given(a=pmfs(), offset=st.integers(-10, 10))
+    def test_shift_shifts_mean_only(self, a, offset):
+        shifted = a.shift(offset)
+        assert math.isclose(shifted.mean, a.mean + offset, abs_tol=1e-9)
+        assert math.isclose(shifted.variance, a.variance, abs_tol=1e-6)
+
+    @settings(max_examples=40, deadline=None)
+    @given(a=pmfs(max_support=4), n=st.integers(min_value=0, max_value=6))
+    def test_convolve_n_mass_conserved(self, a, n):
+        total = a.convolve_n(n)
+        assert math.isclose(
+            sum(p for _, p in total.items()), 1.0, abs_tol=1e-7
+        )
+
+    @settings(max_examples=60, deadline=None)
+    @given(a=pmfs(), w=st.floats(min_value=0.0, max_value=1.0))
+    def test_mixture_mean_interpolates(self, a, w):
+        b = ErrorPMF.delta(0)
+        mix = a.mixture(b, weight=w)
+        assert math.isclose(mix.mean, w * a.mean, abs_tol=1e-9)

@@ -1,0 +1,109 @@
+"""Property-based tests: structural netlists vs behavioural models."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.adders.fulladder import FULL_ADDER_NAMES
+from repro.adders.netlist_builder import (
+    build_ripple_adder_netlist,
+    build_subtractor_netlist,
+    evaluate_adder_netlist,
+)
+from repro.adders.ripple import ApproximateRippleAdder
+from repro.multipliers.booth import BoothMultiplier, booth_recode
+
+
+class TestAdderNetlistProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        fa=st.sampled_from(list(FULL_ADDER_NAMES)),
+        lsbs=st.integers(min_value=0, max_value=6),
+        a=st.integers(min_value=0, max_value=63),
+        b=st.integers(min_value=0, max_value=63),
+        cin=st.integers(min_value=0, max_value=1),
+    )
+    def test_structural_equals_behavioural_add(self, fa, lsbs, a, b, cin):
+        adder = ApproximateRippleAdder(6, approx_fa=fa, num_approx_lsbs=lsbs)
+        netlist = build_ripple_adder_netlist(adder)
+        structural = int(
+            evaluate_adder_netlist(netlist, np.array([a]), np.array([b]), cin)[0]
+        )
+        assert structural == int(adder.add(a, b, cin))
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        fa=st.sampled_from(list(FULL_ADDER_NAMES)),
+        lsbs=st.integers(min_value=0, max_value=6),
+        a=st.integers(min_value=0, max_value=63),
+        b=st.integers(min_value=0, max_value=63),
+    )
+    def test_structural_equals_behavioural_sub(self, fa, lsbs, a, b):
+        adder = ApproximateRippleAdder(6, approx_fa=fa, num_approx_lsbs=lsbs)
+        netlist = build_subtractor_netlist(adder)
+        raw = int(
+            evaluate_adder_netlist(
+                netlist, np.array([a]), np.array([b]), cin=None
+            )[0]
+        )
+        assert raw - 64 == int(adder.sub(a, b))
+
+
+class TestBoothProperties:
+    @settings(max_examples=80, deadline=None)
+    @given(
+        width=st.sampled_from([4, 8, 12]),
+        value=st.integers(min_value=-(1 << 11), max_value=(1 << 11) - 1),
+    )
+    def test_recode_reconstructs(self, width, value):
+        lo, hi = -(1 << (width - 1)), (1 << (width - 1)) - 1
+        value = max(lo, min(hi, value))
+        digits = booth_recode(np.array([value]), width)
+        recon = sum(int(d[0]) * (4**i) for i, d in enumerate(digits))
+        assert recon == value
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        a=st.integers(min_value=-128, max_value=127),
+        b=st.integers(min_value=-128, max_value=127),
+    )
+    def test_exact_booth_is_signed_multiplication(self, a, b):
+        mul = BoothMultiplier(8)
+        assert int(mul.multiply(a, b)) == a * b
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        a=st.integers(min_value=-128, max_value=127),
+        b=st.integers(min_value=-128, max_value=127),
+        t=st.integers(min_value=0, max_value=4),
+    )
+    def test_truncation_bound_always_holds(self, a, b, t):
+        mul = BoothMultiplier(8, truncate_digits=t)
+        error = abs(int(mul.multiply(a, b)) - a * b)
+        assert error <= mul.truncation_error_bound()
+
+
+class TestHlsSoundnessProperty:
+    @settings(max_examples=15, deadline=None)
+    @given(
+        budget=st.integers(min_value=0, max_value=2000),
+        seed=st.integers(min_value=0, max_value=2**16),
+    )
+    def test_synthesized_bound_never_violated(self, budget, seed):
+        from repro.accelerators.dataflow import DataflowAccelerator
+        from repro.accelerators.hls import ApproximateSynthesizer
+
+        acc = DataflowAccelerator("t")
+        xs = [acc.add_input(f"x{i}") for i in range(4)]
+        s1 = acc.add_node("add", [xs[0], xs[1]])
+        s2 = acc.add_node("add", [xs[2], xs[3]])
+        acc.set_output(acc.add_node("add", [s1, s2]))
+        result = ApproximateSynthesizer().synthesize(
+            acc, {f"x{i}": (0, 255) for i in range(4)}, budget
+        )
+        assert result.error_bound <= budget
+        rng = np.random.default_rng(seed)
+        stim = {f"x{i}": rng.integers(0, 256, 500) for i in range(4)}
+        exact = sum(stim[f"x{i}"] for i in range(4))
+        observed = np.abs(acc.evaluate(stim) - exact)
+        assert observed.max() <= result.error_bound

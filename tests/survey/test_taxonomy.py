@@ -1,0 +1,74 @@
+"""Tests for the survey taxonomy (Tables I and II)."""
+
+from repro.survey.taxonomy import (
+    TABLE_I,
+    TABLE_II,
+    Category,
+    Layer,
+    by_category,
+    by_layer,
+    category_layer_matrix,
+    cross_layer_techniques,
+)
+
+
+class TestTables:
+    def test_table_ii_has_five_categories(self):
+        assert len(TABLE_II) == 5
+        assert set(TABLE_II) == set(Category)
+
+    def test_table_i_covers_all_layers(self):
+        assert {t.layer for t in TABLE_I} == set(Layer)
+
+    def test_every_technique_has_references(self):
+        assert all(t.references for t in TABLE_I)
+
+    def test_reference_format(self):
+        for t in TABLE_I:
+            for ref in t.references:
+                assert ref.startswith("[") and ref.endswith("]")
+
+
+class TestQueries:
+    def test_by_layer_partition(self):
+        total = sum(len(by_layer(layer)) for layer in Layer)
+        assert total == len(TABLE_I)
+
+    def test_software_layer_largest(self):
+        """The survey's weight is on software-layer techniques."""
+        counts = {layer: len(by_layer(layer)) for layer in Layer}
+        assert counts[Layer.SOFTWARE] >= counts[Layer.ARCHITECTURAL]
+        assert counts[Layer.SOFTWARE] >= counts[Layer.HW_CIRCUIT]
+
+    def test_by_category(self):
+        functional = by_category(Category.FUNCTIONAL)
+        assert len(functional) == 3  # software, architectural, circuit
+
+    def test_functional_approximation_spans_all_layers(self):
+        layers = {t.layer for t in by_category(Category.FUNCTIONAL)}
+        assert layers == set(Layer)
+
+    def test_cross_layer_subset(self):
+        cross = cross_layer_techniques()
+        assert 0 < len(cross) < len(TABLE_I)
+        assert all(t.cross_layer for t in cross)
+
+    def test_neural_acceleration_is_cross_layer(self):
+        npu = [t for t in TABLE_I if "[24]" in t.references]
+        assert len(npu) == 1 and npu[0].cross_layer
+
+
+class TestMatrix:
+    def test_matrix_totals_match_table(self):
+        matrix = category_layer_matrix()
+        total = sum(
+            count for row in matrix.values() for count in row.values()
+        )
+        assert total == len(TABLE_I)
+
+    def test_gear_reference_in_architectural_functional(self):
+        """The paper's own adder work [14] sits in the architectural
+        functional-approximation row of Table I."""
+        row = by_category(Category.FUNCTIONAL)
+        arch = [t for t in row if t.layer == Layer.ARCHITECTURAL]
+        assert any("[14]" in t.references for t in arch)

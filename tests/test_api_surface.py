@@ -1,0 +1,77 @@
+"""API-surface integrity: every exported name resolves and is documented."""
+
+import importlib
+import inspect
+
+import pytest
+
+import repro
+
+SUBPACKAGES = [
+    "repro.logic",
+    "repro.adders",
+    "repro.multipliers",
+    "repro.errors",
+    "repro.accelerators",
+    "repro.video",
+    "repro.media",
+    "repro.dse",
+    "repro.survey",
+    "repro.characterization",
+]
+
+
+class TestExports:
+    def test_top_level_all_resolves(self):
+        for name in repro.__all__:
+            assert getattr(repro, name, None) is not None, name
+
+    @pytest.mark.parametrize("module_name", SUBPACKAGES)
+    def test_subpackage_all_resolves(self, module_name):
+        module = importlib.import_module(module_name)
+        assert hasattr(module, "__all__"), module_name
+        for name in module.__all__:
+            assert getattr(module, name, None) is not None, (
+                f"{module_name}.{name}"
+            )
+
+    @pytest.mark.parametrize("module_name", SUBPACKAGES)
+    def test_subpackage_has_docstring(self, module_name):
+        module = importlib.import_module(module_name)
+        assert module.__doc__ and module.__doc__.strip(), module_name
+
+    def test_version(self):
+        assert repro.__version__.count(".") == 2
+
+
+class TestDocumentation:
+    @pytest.mark.parametrize("module_name", SUBPACKAGES)
+    def test_public_callables_documented(self, module_name):
+        """Every public class/function in __all__ carries a docstring."""
+        module = importlib.import_module(module_name)
+        undocumented = []
+        for name in module.__all__:
+            obj = getattr(module, name)
+            if inspect.isclass(obj) or inspect.isfunction(obj):
+                if not (obj.__doc__ and obj.__doc__.strip()):
+                    undocumented.append(name)
+        assert not undocumented, f"{module_name}: {undocumented}"
+
+    def test_public_methods_documented_on_core_classes(self):
+        from repro.accelerators import SADAccelerator
+        from repro.adders import ApproximateRippleAdder, GeArAdder
+        from repro.errors import ErrorPMF
+
+        for cls in (SADAccelerator, ApproximateRippleAdder, GeArAdder, ErrorPMF):
+            for name, member in inspect.getmembers(cls):
+                if name.startswith("_"):
+                    continue
+                if inspect.isfunction(member):
+                    assert member.__doc__, f"{cls.__name__}.{name}"
+
+
+class TestCliModule:
+    def test_cli_importable_without_side_effects(self):
+        module = importlib.import_module("repro.cli")
+        assert callable(module.main)
+        assert callable(module.build_parser)

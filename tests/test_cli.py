@@ -1,0 +1,84 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_known_commands(self):
+        parser = build_parser()
+        for command in (
+            "characterize-adders",
+            "explore-gear",
+            "characterize-multipliers",
+            "encode",
+        ):
+            args = parser.parse_args([command])
+            assert callable(args.func)
+
+
+class TestCharacterizeAdders:
+    def test_table3_output(self, capsys):
+        assert main(["characterize-adders"]) == 0
+        out = capsys.readouterr().out
+        assert "AccuFA" in out and "ApxFA5" in out
+
+    def test_family_sweep(self, capsys):
+        assert main(["characterize-adders", "--width", "8",
+                     "--lsbs", "2", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "RCA8" in out
+
+    def test_csv_mode(self, capsys):
+        assert main(["characterize-adders", "--csv"]) == 0
+        out = capsys.readouterr().out
+        assert out.splitlines()[0].startswith("adder,")
+
+
+class TestExploreGear:
+    def test_sweep(self, capsys):
+        assert main(["explore-gear", "--width", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "max accuracy" in out
+
+    def test_constraint_selection(self, capsys):
+        assert main(["explore-gear", "--width", "11",
+                     "--min-accuracy", "90"]) == 0
+        out = capsys.readouterr().out
+        assert "min area with >= 90" in out
+
+    def test_infeasible_constraint_fails(self, capsys):
+        assert main(["explore-gear", "--width", "8",
+                     "--min-accuracy", "99.9999"]) == 1
+        assert "infeasible" in capsys.readouterr().err
+
+
+class TestMultipliers:
+    def test_fig5_only(self, capsys):
+        assert main(["characterize-multipliers", "--widths"]) == 0
+        out = capsys.readouterr().out
+        assert "CfgMulOur" in out
+
+    def test_with_fig6(self, capsys):
+        assert main(["characterize-multipliers", "--widths", "4",
+                     "--samples", "2000"]) == 0
+        out = capsys.readouterr().out
+        assert "ApxMul4" in out
+
+
+class TestEncode:
+    def test_encode_small(self, capsys):
+        assert main(["encode", "--frames", "2", "--size", "32",
+                     "--search-range", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "baseline" in out and "ApxSAD2" in out
+
+    def test_unknown_variant(self, capsys):
+        assert main(["encode", "--variant", "ApxSAD9",
+                     "--frames", "2", "--size", "32"]) == 2
+        assert "unknown variant" in capsys.readouterr().err

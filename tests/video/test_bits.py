@@ -1,0 +1,97 @@
+"""Tests for the exp-Golomb rate model."""
+
+import numpy as np
+import pytest
+
+from repro.video.bits import (
+    coefficient_block_bits,
+    motion_vector_bits,
+    se_bits,
+    ue_bits,
+    zigzag_order,
+)
+
+
+class TestExpGolomb:
+    @pytest.mark.parametrize(
+        "value, bits",
+        [(0, 1), (1, 3), (2, 3), (3, 5), (6, 5), (7, 7), (14, 7), (15, 9)],
+    )
+    def test_ue_lengths(self, value, bits):
+        assert ue_bits(value) == bits
+
+    def test_ue_negative_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            ue_bits(-1)
+
+    @pytest.mark.parametrize(
+        "value, bits", [(0, 1), (1, 3), (-1, 3), (2, 5), (-2, 5), (3, 5)]
+    )
+    def test_se_lengths(self, value, bits):
+        assert se_bits(value) == bits
+
+    def test_se_symmetric(self):
+        for v in range(1, 50):
+            assert se_bits(v) <= se_bits(-v) <= se_bits(v) + 2
+
+    def test_ue_monotone(self):
+        lengths = [ue_bits(v) for v in range(200)]
+        assert lengths == sorted(lengths)
+
+
+class TestZigzag:
+    def test_covers_all_positions(self):
+        order = zigzag_order(8)
+        assert len(order) == 64
+        assert len(set(order)) == 64
+
+    def test_starts_at_dc(self):
+        assert zigzag_order(8)[0] == (0, 0)
+
+    def test_frequency_monotone(self):
+        order = zigzag_order(4)
+        sums = [y + x for (y, x) in order]
+        assert sums == sorted(sums)
+
+
+class TestBlockBits:
+    def test_zero_block_costs_one_bit(self):
+        assert coefficient_block_bits(np.zeros((8, 8), dtype=int)) == 1
+
+    def test_dc_only_block(self):
+        block = np.zeros((8, 8), dtype=int)
+        block[0, 0] = 1
+        # flag + ue(last=0) + significance + level ue(0) + sign.
+        assert coefficient_block_bits(block) == 1 + 1 + 1 + 1 + 1
+
+    def test_more_energy_more_bits(self, rng):
+        small = rng.integers(-2, 3, (8, 8))
+        large = small * 10
+        assert coefficient_block_bits(large) >= coefficient_block_bits(small)
+
+    def test_sparse_cheaper_than_dense(self, rng):
+        dense = rng.integers(1, 4, (8, 8))
+        sparse = np.zeros((8, 8), dtype=int)
+        sparse[0, 0] = 3
+        assert coefficient_block_bits(sparse) < coefficient_block_bits(dense)
+
+    def test_high_frequency_tail_costs(self):
+        dc = np.zeros((8, 8), dtype=int)
+        dc[0, 0] = 1
+        hf = np.zeros((8, 8), dtype=int)
+        hf[7, 7] = 1
+        assert coefficient_block_bits(hf) > coefficient_block_bits(dc)
+
+    def test_non_square_rejected(self):
+        with pytest.raises(ValueError, match="square"):
+            coefficient_block_bits(np.zeros((4, 8)))
+
+
+class TestMotionVectorBits:
+    def test_zero_mv_minimal(self):
+        assert motion_vector_bits(0, 0) == 2
+
+    def test_predictor_reduces_cost(self):
+        direct = motion_vector_bits(4, 4)
+        predicted = motion_vector_bits(4, 4, pred=(4, 4))
+        assert predicted < direct

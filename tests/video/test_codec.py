@@ -1,0 +1,110 @@
+"""Tests for the HEVC-lite encoder."""
+
+import numpy as np
+import pytest
+
+from repro.accelerators.sad import SADAccelerator
+from repro.media.synthetic import moving_sequence
+from repro.video.codec import HevcLiteEncoder
+
+
+@pytest.fixture(scope="module")
+def frames():
+    return moving_sequence(n_frames=3, size=32, noise_sigma=2.0)
+
+
+@pytest.fixture(scope="module")
+def exact_sad():
+    return SADAccelerator(n_pixels=64)
+
+
+class TestEncode:
+    def test_basic_encode(self, frames, exact_sad):
+        enc = HevcLiteEncoder(search_range=2)
+        result = enc.encode(frames, exact_sad)
+        assert result.total_bits > 0
+        assert len(result.frame_bits) == 3
+        assert len(result.motion_fields) == 2
+        assert result.psnr_db > 25.0
+
+    def test_total_is_sum_of_frames(self, frames, exact_sad):
+        enc = HevcLiteEncoder(search_range=2)
+        result = enc.encode(frames, exact_sad)
+        assert result.total_bits == sum(result.frame_bits)
+
+    def test_inter_cheap_on_static_noiseless_content(self, exact_sad):
+        frame = moving_sequence(n_frames=1, size=32, noise_sigma=0.0)[0]
+        enc = HevcLiteEncoder(search_range=2)
+        result = enc.encode([frame, frame], exact_sad)
+        # A perfectly predictable frame costs a fraction of the intra one.
+        assert result.frame_bits[1] < result.frame_bits[0] / 2
+
+    def test_static_sequence_is_cheap(self, exact_sad):
+        frame = moving_sequence(n_frames=1, size=32, noise_sigma=0.0)[0]
+        enc = HevcLiteEncoder(search_range=2)
+        static = enc.encode([frame, frame, frame], exact_sad)
+        moving = enc.encode(
+            moving_sequence(n_frames=3, size=32, noise_sigma=0.0), exact_sad
+        )
+        assert static.frame_bits[1] < moving.frame_bits[1]
+
+    def test_deterministic(self, frames, exact_sad):
+        enc = HevcLiteEncoder(search_range=2)
+        r1 = enc.encode(frames, exact_sad)
+        r2 = enc.encode(frames, exact_sad)
+        assert r1.total_bits == r2.total_bits
+
+    def test_coarser_qp_fewer_bits(self, frames, exact_sad):
+        fine = HevcLiteEncoder(search_range=2, qp=2).encode(frames, exact_sad)
+        coarse = HevcLiteEncoder(search_range=2, qp=16).encode(frames, exact_sad)
+        assert coarse.total_bits < fine.total_bits
+        assert coarse.psnr_db < fine.psnr_db
+
+
+class TestValidation:
+    def test_empty_sequence_rejected(self, exact_sad):
+        with pytest.raises(ValueError, match="frame"):
+            HevcLiteEncoder().encode([], exact_sad)
+
+    def test_mismatched_shapes_rejected(self, exact_sad):
+        with pytest.raises(ValueError, match="share"):
+            HevcLiteEncoder().encode(
+                [np.zeros((16, 16)), np.zeros((32, 32))], exact_sad
+            )
+
+    def test_indivisible_frames_rejected(self, exact_sad):
+        with pytest.raises(ValueError, match="divisible"):
+            HevcLiteEncoder().encode([np.zeros((20, 20))], exact_sad)
+
+    def test_wrong_sad_size_rejected(self, frames):
+        with pytest.raises(ValueError, match="pixels"):
+            HevcLiteEncoder().encode(frames, SADAccelerator(n_pixels=16))
+
+    def test_wrong_block_size_rejected(self):
+        with pytest.raises(ValueError, match="block_size"):
+            HevcLiteEncoder(block_size=16)
+
+
+class TestApproximateSadEffect:
+    def test_bitrate_increase_percent(self, frames, exact_sad):
+        enc = HevcLiteEncoder(search_range=2)
+        base = enc.encode(frames, exact_sad)
+        assert base.bitrate_increase_percent(base) == 0.0
+
+    def test_heavy_approximation_grows_bitrate(self):
+        """Fig. 9 shape: 6 approximated LSBs cost clearly more bits than
+        2 approximated LSBs across a realistic sequence."""
+        frames = moving_sequence(n_frames=4, size=64, noise_sigma=3.0)
+        enc = HevcLiteEncoder(search_range=4, qp=4)
+        base = enc.encode(frames, SADAccelerator(n_pixels=64))
+        light = enc.encode(
+            frames, SADAccelerator(n_pixels=64, fa="ApxFA2", approx_lsbs=2)
+        )
+        heavy = enc.encode(
+            frames, SADAccelerator(n_pixels=64, fa="ApxFA2", approx_lsbs=6)
+        )
+        light_incr = light.bitrate_increase_percent(base)
+        heavy_incr = heavy.bitrate_increase_percent(base)
+        assert heavy_incr > light_incr
+        assert heavy_incr > 1.0  # clearly visible cost
+        assert light_incr < 1.5  # marginal cost

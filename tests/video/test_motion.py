@@ -1,0 +1,101 @@
+"""Tests for full-search motion estimation."""
+
+import numpy as np
+import pytest
+
+from repro.accelerators.sad import SADAccelerator
+from repro.media.synthetic import moving_sequence
+from repro.video.motion import full_search, motion_field, sad_surface
+
+
+@pytest.fixture
+def shifted_pair(rng):
+    """A reference frame and a copy shifted by (dx=2, dy=1)."""
+    ref = rng.integers(0, 256, (32, 32)).astype(np.int64)
+    cur = np.roll(np.roll(ref, 1, axis=0), 2, axis=1)
+    return cur, ref
+
+
+class TestSadSurface:
+    def test_surface_shape(self, shifted_pair):
+        cur, ref = shifted_pair
+        acc = SADAccelerator(n_pixels=64)
+        surface = sad_surface(cur, ref, (8, 8), 8, 3, acc)
+        assert surface.shape == (7, 7)
+
+    def test_true_shift_is_global_minimum(self, shifted_pair):
+        cur, ref = shifted_pair
+        acc = SADAccelerator(n_pixels=64)
+        surface = sad_surface(cur, ref, (8, 8), 8, 3, acc)
+        iy, ix = np.unravel_index(np.argmin(surface), surface.shape)
+        # Block content moved by (+2, +1), so it is found at (-2, -1).
+        assert (ix - 3, iy - 3) == (-2, -1)
+        assert surface[iy, ix] == 0
+
+    def test_out_of_frame_candidates_sentinel(self):
+        frame = np.zeros((16, 16))
+        acc = SADAccelerator(n_pixels=64)
+        surface = sad_surface(frame, frame, (0, 0), 8, 2, acc)
+        assert surface[0, 0] >= (1 << 62)  # dy=-2, dx=-2 out of frame
+        assert surface[2, 2] == 0  # dy=0, dx=0 valid
+
+    def test_block_must_fit(self):
+        frame = np.zeros((16, 16))
+        acc = SADAccelerator(n_pixels=64)
+        with pytest.raises(ValueError, match="fit"):
+            sad_surface(frame, frame, (12, 0), 8, 2, acc)
+
+    def test_accelerator_size_checked(self):
+        frame = np.zeros((16, 16))
+        acc = SADAccelerator(n_pixels=16)
+        with pytest.raises(ValueError, match="pixels"):
+            sad_surface(frame, frame, (0, 0), 8, 2, acc)
+
+    def test_frame_shape_mismatch(self):
+        acc = SADAccelerator(n_pixels=64)
+        with pytest.raises(ValueError, match="shapes"):
+            sad_surface(np.zeros((16, 16)), np.zeros((16, 8)), (0, 0), 8, 2, acc)
+
+
+class TestFullSearch:
+    def test_finds_exact_shift(self, shifted_pair):
+        cur, ref = shifted_pair
+        acc = SADAccelerator(n_pixels=64)
+        mv = full_search(cur, ref, (8, 8), 8, 3, acc)
+        assert (mv.dx, mv.dy) == (-2, -1)
+        assert mv.sad == 0
+
+    def test_tie_break_prefers_small_displacement(self):
+        frame = np.full((16, 16), 100)
+        acc = SADAccelerator(n_pixels=64)
+        mv = full_search(frame, frame, (4, 4), 8, 2, acc)
+        assert (mv.dx, mv.dy) == (0, 0)
+
+    def test_approximate_sad_preserves_clear_minimum(self, shifted_pair):
+        """Fig. 8: the approximate surface is shifted but the best
+        candidate survives when the minimum is distinct."""
+        cur, ref = shifted_pair
+        exact = SADAccelerator(n_pixels=64)
+        approx = SADAccelerator(n_pixels=64, fa="ApxFA2", approx_lsbs=4)
+        mv_exact = full_search(cur, ref, (8, 8), 8, 3, exact)
+        mv_approx = full_search(cur, ref, (8, 8), 8, 3, approx)
+        assert (mv_exact.dx, mv_exact.dy) == (mv_approx.dx, mv_approx.dy)
+
+
+class TestMotionField:
+    def test_field_covers_all_blocks(self, shifted_pair):
+        cur, ref = shifted_pair
+        acc = SADAccelerator(n_pixels=64)
+        field = motion_field(cur, ref, 8, 2, acc)
+        assert len(field) == (32 // 8) ** 2
+
+    def test_divisibility_checked(self):
+        acc = SADAccelerator(n_pixels=64)
+        with pytest.raises(ValueError, match="divisible"):
+            motion_field(np.zeros((20, 20)), np.zeros((20, 20)), 8, 2, acc)
+
+    def test_static_scene_yields_zero_motion(self):
+        frames = moving_sequence(n_frames=1, size=32, noise_sigma=0.0)
+        acc = SADAccelerator(n_pixels=64)
+        field = motion_field(frames[0], frames[0], 8, 2, acc)
+        assert all(mv.dx == 0 and mv.dy == 0 for mv in field.values())

@@ -1,0 +1,73 @@
+"""Tests for rate-distortion sweeps."""
+
+import numpy as np
+import pytest
+
+from repro.accelerators.sad import SADAccelerator
+from repro.media.synthetic import moving_sequence
+from repro.video.rd import RDPoint, bd_rate_percent, rd_sweep
+
+
+@pytest.fixture(scope="module")
+def frames():
+    return moving_sequence(n_frames=2, size=32, noise_sigma=2.0)
+
+
+@pytest.fixture(scope="module")
+def exact_curve(frames):
+    return rd_sweep(frames, SADAccelerator(n_pixels=64), qps=(2, 4, 8, 16),
+                    search_range=2)
+
+
+class TestSweep:
+    def test_one_point_per_qp(self, exact_curve):
+        assert [p.qp for p in exact_curve] == [2, 4, 8, 16]
+
+    def test_rate_decreases_with_qp(self, exact_curve):
+        bits = [p.bits for p in exact_curve]
+        assert bits == sorted(bits, reverse=True)
+
+    def test_quality_decreases_with_qp(self, exact_curve):
+        psnr = [p.psnr_db for p in exact_curve]
+        assert psnr == sorted(psnr, reverse=True)
+
+
+class TestBdRate:
+    def test_identical_curves_zero_overhead(self, exact_curve):
+        assert bd_rate_percent(exact_curve, exact_curve) == pytest.approx(0.0)
+
+    def test_known_offset(self):
+        ref = [RDPoint(0, 1000, 30.0), RDPoint(1, 2000, 36.0)]
+        # Test curve needs 10% more bits at every quality.
+        test = [RDPoint(0, 1100, 30.0), RDPoint(1, 2200, 36.0)]
+        assert bd_rate_percent(ref, test) == pytest.approx(10.0, abs=0.1)
+
+    def test_approximate_sad_costs_rate(self, frames, exact_curve):
+        heavy = rd_sweep(
+            frames,
+            SADAccelerator(n_pixels=64, fa="ApxFA5", approx_lsbs=6),
+            qps=(2, 4, 8, 16),
+            search_range=2,
+        )
+        overhead = bd_rate_percent(exact_curve, heavy)
+        assert overhead > -1.0  # never meaningfully better than exact
+
+    def test_mild_approximation_nearly_overlaps(self, frames, exact_curve):
+        mild = rd_sweep(
+            frames,
+            SADAccelerator(n_pixels=64, fa="ApxFA1", approx_lsbs=2),
+            qps=(2, 4, 8, 16),
+            search_range=2,
+        )
+        overhead = bd_rate_percent(exact_curve, mild)
+        assert abs(overhead) < 2.0  # "marginal increase"
+
+    def test_too_few_points_rejected(self):
+        with pytest.raises(ValueError, match="points"):
+            bd_rate_percent([RDPoint(0, 1, 1.0)], [RDPoint(0, 1, 1.0)])
+
+    def test_disjoint_ranges_rejected(self):
+        a = [RDPoint(0, 100, 10.0), RDPoint(1, 200, 12.0)]
+        b = [RDPoint(0, 100, 40.0), RDPoint(1, 200, 42.0)]
+        with pytest.raises(ValueError, match="range"):
+            bd_rate_percent(a, b)

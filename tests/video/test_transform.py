@@ -1,0 +1,48 @@
+"""Tests for the transform/quantization stage."""
+
+import numpy as np
+import pytest
+
+from repro.video.transform import TransformStage
+
+
+class TestQuantization:
+    def test_reconstruction_error_bounded_by_qp(self, rng):
+        stage = TransformStage(qp=8)
+        residual = rng.integers(-100, 100, (8, 8))
+        recon = stage.reconstruct(stage.forward_quantize(residual))
+        # Quantization error per coefficient is <= qp/2; after the
+        # orthonormal-ish inverse it stays within a small multiple.
+        assert np.abs(recon - residual).max() <= 2 * stage.qp
+
+    def test_zero_residual_codes_to_zero(self):
+        stage = TransformStage(qp=8)
+        coeffs = stage.forward_quantize(np.zeros((8, 8), dtype=int))
+        assert np.all(coeffs == 0)
+
+    def test_coarser_qp_fewer_nonzero_coefficients(self, rng):
+        residual = rng.integers(-30, 30, (8, 8))
+        fine = TransformStage(qp=2).forward_quantize(residual)
+        coarse = TransformStage(qp=32).forward_quantize(residual)
+        assert np.count_nonzero(coarse) <= np.count_nonzero(fine)
+
+    def test_qp_validated(self):
+        with pytest.raises(ValueError, match="qp"):
+            TransformStage(qp=0)
+
+    def test_shape_validated(self):
+        stage = TransformStage()
+        with pytest.raises(ValueError, match="8x8"):
+            stage.forward_quantize(np.zeros((4, 4)))
+
+    def test_finer_qp_better_reconstruction(self, rng):
+        residual = rng.integers(-100, 100, (8, 8))
+        fine = TransformStage(qp=2)
+        coarse = TransformStage(qp=32)
+        err_fine = np.abs(
+            fine.reconstruct(fine.forward_quantize(residual)) - residual
+        ).mean()
+        err_coarse = np.abs(
+            coarse.reconstruct(coarse.forward_quantize(residual)) - residual
+        ).mean()
+        assert err_fine < err_coarse
