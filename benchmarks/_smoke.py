@@ -1,0 +1,95 @@
+"""Benchmark smoke check: fast path vs legacy loop on a Fig. 8 surface.
+
+Runs a down-scaled version of the Fig. 8 SAD-surface experiment (16x16
+frames, 4x4 blocks, search range 2) under BOTH evaluation engines for
+every ApxSAD variant and fails on any result divergence.  Wall-clock
+times for the two engines are reported alongside.
+
+Usable two ways:
+
+* standalone: ``PYTHONPATH=src python benchmarks/_smoke.py`` (exit code
+  1 on divergence);
+* from the tier-1 suite: ``tests/integration/test_benchmark_smoke.py``
+  imports :func:`run_smoke` and asserts on its records.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+if __name__ == "__main__":  # allow standalone execution from the repo root
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+SIZE = 16
+BLOCK_SIZE = 4
+SEARCH = 2
+APPROX_LSBS = 4
+
+
+def run_smoke() -> list:
+    """Down-scaled Fig. 8 surfaces under both engines, per variant.
+
+    Returns:
+        List of dicts with ``variant``, ``diverged`` (bool),
+        ``max_abs_diff``, ``loop_s`` and ``fast_s``.
+    """
+    from repro.accelerators.sad import make_sad_variants
+    from repro.media.synthetic import moving_sequence
+    from repro.video.motion import sad_surface
+
+    frames = moving_sequence(n_frames=2, size=SIZE, noise_sigma=2.0)
+    cur, ref = frames[1], frames[0]
+    block_xy = (SIZE // 2, SIZE // 2)
+    n_pixels = BLOCK_SIZE * BLOCK_SIZE
+    fast_variants = make_sad_variants(
+        n_pixels=n_pixels, approx_lsbs=APPROX_LSBS, eval_mode="auto"
+    )
+    loop_variants = make_sad_variants(
+        n_pixels=n_pixels, approx_lsbs=APPROX_LSBS, eval_mode="loop"
+    )
+    records = []
+    for name in fast_variants:
+        t0 = time.perf_counter()
+        surface_fast = sad_surface(
+            cur, ref, block_xy, BLOCK_SIZE, SEARCH, fast_variants[name]
+        )
+        t1 = time.perf_counter()
+        surface_loop = sad_surface(
+            cur, ref, block_xy, BLOCK_SIZE, SEARCH, loop_variants[name]
+        )
+        t2 = time.perf_counter()
+        diff = np.abs(surface_fast - surface_loop)
+        records.append(
+            {
+                "variant": name,
+                "diverged": bool(diff.max() > 0),
+                "max_abs_diff": int(diff.max()),
+                "fast_s": t1 - t0,
+                "loop_s": t2 - t1,
+            }
+        )
+    return records
+
+
+def main() -> int:
+    records = run_smoke()
+    width = max(len(r["variant"]) for r in records)
+    for r in records:
+        status = "DIVERGED" if r["diverged"] else "ok"
+        print(
+            f"{r['variant']:<{width}}  {status:<8}  "
+            f"fast {r['fast_s'] * 1e3:7.2f} ms  loop {r['loop_s'] * 1e3:7.2f} ms"
+        )
+    if any(r["diverged"] for r in records):
+        print("FAIL: fast path diverged from the legacy loop", file=sys.stderr)
+        return 1
+    print("smoke ok: fast path bit-identical to legacy loop")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

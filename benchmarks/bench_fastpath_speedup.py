@@ -1,0 +1,121 @@
+"""Fast-path vs legacy-loop wall-clock on the Fig. 6 / 8 / 9 kernels.
+
+Times the arithmetic kernels behind the paper's architecture-level
+experiments under both evaluation engines (``eval_mode="auto"`` vs
+``"loop"``), verifies the results are bit-identical, and records the
+speedups under ``benchmarks/results/fastpath_speedup.txt``.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.accelerators.sad import SADAccelerator
+from repro.characterization.report import format_records
+from repro.media.synthetic import moving_sequence
+from repro.multipliers.recursive import RecursiveMultiplier
+from repro.video.codec import HevcLiteEncoder
+from repro.video.motion import sad_surface
+
+from _util import emit
+
+
+def _timed(fn):
+    t0 = time.perf_counter()
+    result = fn()
+    return result, time.perf_counter() - t0
+
+
+def _fig6_kernel(eval_mode, a, b):
+    """Fig. 6 hot path: one batched 8x8 recursive multiply."""
+    mul = RecursiveMultiplier(
+        8, leaf_mul="ApxMulOur", adder_fa="ApxFA1", adder_approx_lsbs=4,
+        eval_mode=eval_mode,
+    )
+    mul.multiply(a[:4], b[:4])  # warm-up: compile LUTs outside the timer
+    return _timed(lambda: mul.multiply(a, b))
+
+
+def _gather_fig8_batch(cur, ref, block_size=8, search=4):
+    """Every (block, displacement) candidate pair of the frame, stacked
+    into one batch -- the Fig. 8 surface sweep as a single vectorized
+    accelerator call."""
+    h, w = cur.shape
+    blocks, cands = [], []
+    for by in range(search, h - block_size - search + 1, block_size):
+        for bx in range(search, w - block_size - search + 1, block_size):
+            block = cur[by : by + block_size, bx : bx + block_size].reshape(-1)
+            for dy in range(-search, search + 1):
+                for dx in range(-search, search + 1):
+                    cand = ref[
+                        by + dy : by + dy + block_size,
+                        bx + dx : bx + dx + block_size,
+                    ].reshape(-1)
+                    blocks.append(block)
+                    cands.append(cand)
+    return np.asarray(blocks), np.asarray(cands)
+
+
+def _fig8_kernel(eval_mode, cur, ref):
+    """Down-scaled Fig. 8: ApxSAD1 surfaces of every block of the frame
+    (8x8 blocks, +-4 search), scored in one batched SAD call."""
+    acc = SADAccelerator(n_pixels=64, fa="ApxFA1", approx_lsbs=4,
+                         eval_mode=eval_mode)
+    a, b = _gather_fig8_batch(cur, ref)
+    acc.sad(a[:8], b[:8])  # warm-up: compile LUTs outside the timer
+    return _timed(lambda: acc.sad(a, b))
+
+
+def _fig9_kernel(eval_mode, frames):
+    """Down-scaled Fig. 9: one ApxSAD2 HEVC-lite encode."""
+    acc = SADAccelerator(n_pixels=64, fa="ApxFA2", approx_lsbs=4,
+                         eval_mode=eval_mode)
+    encoder = HevcLiteEncoder(search_range=2, qp=4)
+    result, seconds = _timed(lambda: encoder.encode(frames, acc))
+    return result.total_bits, seconds
+
+
+def sweep_speedups():
+    rng = np.random.default_rng(7)
+    a = rng.integers(0, 256, 200_000)
+    b = rng.integers(0, 256, 200_000)
+    frames = moving_sequence(n_frames=3, size=64, noise_sigma=2.0)
+    kernels = {
+        "fig6_mul8x8_200k": lambda mode: _fig6_kernel(mode, a, b),
+        "fig8_sad_surface": lambda mode: _fig8_kernel(mode, frames[1], frames[0]),
+        "fig9_hevc_encode": lambda mode: _fig9_kernel(mode, frames),
+    }
+    rows = []
+    for name, kernel in kernels.items():
+        fast_result, fast_s = kernel("auto")
+        loop_result, loop_s = kernel("loop")
+        identical = bool(np.array_equal(fast_result, loop_result))
+        rows.append(
+            {
+                "kernel": name,
+                "loop_ms": round(loop_s * 1e3, 2),
+                "fast_ms": round(fast_s * 1e3, 2),
+                "speedup": round(loop_s / fast_s, 1),
+                "bit_identical": identical,
+            }
+        )
+    return rows
+
+
+def test_fastpath_speedup(benchmark):
+    rows = benchmark.pedantic(sweep_speedups, rounds=1, iterations=1)
+    emit(
+        "fastpath_speedup",
+        format_records(
+            rows,
+            title="Fast path (segment/LUT) vs legacy bit-loop, Fig. 6/8/9 kernels",
+        ),
+    )
+    assert all(r["bit_identical"] for r in rows)
+    # The LSB-segment LUT plus native MSB add must pay off decisively on
+    # the SAD surface (the acceptance bar is 10x).
+    fig8 = next(r for r in rows if r["kernel"] == "fig8_sad_surface")
+    assert fig8["speedup"] >= 10.0, rows
+    assert all(r["speedup"] > 1.0 for r in rows), rows

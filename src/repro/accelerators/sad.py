@@ -19,7 +19,7 @@ from typing import Dict, List
 import numpy as np
 
 from ..adders.characterize import adder_energy_per_op_fj
-from ..adders.ripple import ApproximateRippleAdder
+from ..adders.ripple import ApproximateRippleAdder, _as_int_array
 
 __all__ = [
     "SADAccelerator",
@@ -27,6 +27,49 @@ __all__ = [
     "characterize_sad_family",
     "SAD_VARIANT_CELLS",
 ]
+
+#: Pixel widths up to this get a full pairwise ``|a - b|`` table
+#: (``2**(2*bits)`` int64 entries -- 512 KiB at 8-bit video pixels).
+_ABSDIFF_LUT_MAX_PIXEL_BITS = 8
+
+#: A tree level is fused into one value-folded table only while
+#: ``2**(width + approx_lsbs)`` entries stay reasonable (8 MiB of int64
+#: at the cap); wider levels fall back to the adder's own fast path.
+_FUSED_ADD_LUT_MAX_BITS = 20
+
+
+def _fused_add_lut(adder: ApproximateRippleAdder):
+    """Collapse one tree adder into a value-folded table (or a marker).
+
+    Tree operands are *trusted*: ``_check_tree_widths`` guarantees both
+    inputs fit in ``adder.width`` bits and the tree always adds with
+    ``cin = 0``.  Under those conditions ``adder.add(a, b)`` depends
+    only on ``a`` (all of it) and the low ``s = num_approx_lsbs`` bits
+    of ``b`` -- b's accurate MSBs contribute the exact value
+    ``b - b_lo`` -- so one table covers the whole add:
+
+        T[(x << s) | y] = adder.add(x, y)          (y < 2**s)
+        adder.add(a, b) = T[(a << s) | (b & lo)] + (b - (b & lo))
+
+    Returns ``"native"`` for exact levels (``s == 0``: the trusted add
+    is literally ``a + b``), the table for fusable levels, or ``None``
+    when the table would be too large or the accurate cell is not the
+    exact ``AccuFA`` (callers then fall back to ``adder.add``).
+    """
+    if not adder._msb_native:
+        return None
+    s = adder.num_approx_lsbs
+    if s == 0:
+        return "native"
+    if adder.width + s > _FUSED_ADD_LUT_MAX_BITS:
+        return None
+    table = adder.add(
+        np.repeat(np.arange(1 << adder.width, dtype=np.int64), 1 << s),
+        np.tile(np.arange(1 << s, dtype=np.int64), 1 << adder.width),
+    )
+    table.setflags(write=False)
+    return table
+
 
 #: Approximate cell behind each published SAD variant name.
 SAD_VARIANT_CELLS: Dict[str, str] = {
@@ -50,6 +93,9 @@ class SADAccelerator:
             every subtractor and tree adder.
         approx_lsbs: Number of approximated LSBs in each arithmetic
             stage (0 = fully accurate accelerator).
+        eval_mode: Evaluation engine for every subtractor and tree adder
+            (``"auto"``/``"lut"`` = segment/LUT fast path, ``"loop"`` =
+            legacy cell-level reference; bit-identical results).
 
     Example:
         >>> acc = SADAccelerator(n_pixels=4)
@@ -63,6 +109,7 @@ class SADAccelerator:
         pixel_bits: int = 8,
         fa: str = "AccuFA",
         approx_lsbs: int = 0,
+        eval_mode: str = "auto",
     ) -> None:
         if n_pixels < 1:
             raise ValueError(f"n_pixels must be >= 1, got {n_pixels}")
@@ -72,10 +119,20 @@ class SADAccelerator:
         self.pixel_bits = pixel_bits
         self.fa = fa
         self.approx_lsbs = approx_lsbs
+        self.eval_mode = eval_mode
         self._sub = ApproximateRippleAdder(
-            pixel_bits, approx_fa=fa, num_approx_lsbs=min(approx_lsbs, pixel_bits)
+            pixel_bits,
+            approx_fa=fa,
+            num_approx_lsbs=min(approx_lsbs, pixel_bits),
+            eval_mode=eval_mode,
         )
-        # Tree adders: one width per reduction level.
+        # Tree adders: one width per reduction level.  For n_pixels that
+        # are not powers of two the odd element of a level is *wired*
+        # through to the next level (no adder), so a value entering the
+        # level-i adder may originate several levels up; the level
+        # widths below must therefore be checked against the widest
+        # value any earlier level can emit, not just the direct
+        # predecessor (see _check_tree_widths).
         self._tree: List[ApproximateRippleAdder] = []
         width = pixel_bits
         remaining = n_pixels
@@ -83,10 +140,53 @@ class SADAccelerator:
             width += 1
             self._tree.append(
                 ApproximateRippleAdder(
-                    width, approx_fa=fa, num_approx_lsbs=min(approx_lsbs, width)
+                    width,
+                    approx_fa=fa,
+                    num_approx_lsbs=min(approx_lsbs, width),
+                    eval_mode=eval_mode,
                 )
             )
             remaining = (remaining + 1) // 2
+        self._check_tree_widths()
+        # Fused-LUT datapath (fast engines only): the per-pixel |a - b|
+        # stage and each tree-level add each collapse into a single
+        # int64 gather.  Bit-identical by construction -- every table is
+        # filled by evaluating the corresponding ripple-adder stage.
+        self._absdiff_lut: np.ndarray | None = None
+        self._tree_fused: list = []
+        if eval_mode != "loop":
+            if pixel_bits <= _ABSDIFF_LUT_MAX_PIXEL_BITS:
+                n_vals = 1 << pixel_bits
+                lut = np.abs(
+                    self._sub.sub(
+                        np.repeat(np.arange(n_vals, dtype=np.int64), n_vals),
+                        np.tile(np.arange(n_vals, dtype=np.int64), n_vals),
+                    )
+                )
+                lut.setflags(write=False)
+                self._absdiff_lut = lut
+            self._tree_fused = [_fused_add_lut(adder) for adder in self._tree]
+
+    def _check_tree_widths(self) -> None:
+        """Verify every reduction level is wide enough for its operands.
+
+        A level-i adder of width ``w`` truncates operand bits >= ``w``,
+        so a carried (wired-through) odd element must still fit.  The
+        widest value at a level is ``pixel_bits + 1 + i`` bits (the
+        approximate subtractor can emit ``|a-b| = 2**pixel_bits``, and
+        each adder level appends one carry bit); wired-through elements
+        are always *narrower* than the level's pair sums, so the direct
+        bound suffices.  This guards the invariant the odd-element
+        bypass relies on.
+        """
+        max_bits = self.pixel_bits + 1  # |a - b| can reach 2**pixel_bits
+        for level, adder in enumerate(self._tree):
+            if adder.width < max_bits:
+                raise AssertionError(
+                    f"tree level {level} adder width {adder.width} cannot "
+                    f"hold {max_bits}-bit operands"
+                )
+            max_bits = adder.width + 1  # add() emits width+1 bits
 
     @property
     def name(self) -> str:
@@ -99,11 +199,38 @@ class SADAccelerator:
     # datapath
     # ------------------------------------------------------------------
     def absolute_differences(self, a, b) -> np.ndarray:
-        """Per-pixel ``|a - b|`` through the approximate subtractor."""
-        a = np.asarray(a, dtype=np.int64)
-        b = np.asarray(b, dtype=np.int64)
+        """Per-pixel ``|a - b|`` through the approximate subtractor.
+
+        With a fast engine and video-width pixels the whole subtract +
+        absolute-value stage is one gather from a precomputed pairwise
+        table; the table itself was filled through ``self._sub.sub``, so
+        the result is bit-identical to the explicit datapath.
+        """
+        a = _as_int_array(a)
+        b = _as_int_array(b)
+        if self._absdiff_lut is not None:
+            mask = (1 << self.pixel_bits) - 1
+            return self._absdiff_lut[
+                ((a & mask) << self.pixel_bits) | (b & mask)
+            ]
         diff = self._sub.sub(a, b)
         return np.abs(diff)
+
+    def _tree_add(self, level: int, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """One reduction-level add on *trusted* operands.
+
+        Operands here are prior-stage outputs already proven to fit the
+        level's width (``_check_tree_widths``), so fused levels skip the
+        adder's validation/masking and cost one gather plus one add.
+        """
+        adder = self._tree[level]
+        fused = self._tree_fused[level] if self._tree_fused else None
+        if fused is None:
+            return adder.add(a, b)
+        if isinstance(fused, str):  # "native": exact level
+            return a + b
+        b_lo = b & ((1 << adder.num_approx_lsbs) - 1)
+        return fused[(a << adder.num_approx_lsbs) | b_lo] + (b - b_lo)
 
     def sad(self, a, b) -> np.ndarray:
         """SAD over the last axis (must have length ``n_pixels``).
@@ -124,8 +251,15 @@ class SADAccelerator:
             n = values.shape[-1]
             even = values[..., 0 : n - (n % 2) : 2]
             odd = values[..., 1 : n : 2]
-            summed = self._tree[level].add(even, odd)
+            summed = self._tree_add(level, even, odd)
             if n % 2:
+                # Non-power-of-two reduction: the odd element is wired
+                # through to the next level unchanged (no adder cell
+                # touches it).  This is safe because level widths grow
+                # monotonically -- a wired-through value is always
+                # narrower than the receiving adder (_check_tree_widths)
+                # -- and it matches the physical datapath, where an
+                # unpaired bus is registered, not re-added.
                 summed = np.concatenate(
                     [summed, values[..., -1:]], axis=-1
                 )
@@ -228,7 +362,10 @@ def characterize_sad_family(
 
 
 def make_sad_variants(
-    n_pixels: int = 64, approx_lsbs: int = 4, include_accurate: bool = True
+    n_pixels: int = 64,
+    approx_lsbs: int = 4,
+    include_accurate: bool = True,
+    eval_mode: str = "auto",
 ) -> Dict[str, SADAccelerator]:
     """The accelerator variants of Fig. 8: one per Table III cell.
 
@@ -236,14 +373,17 @@ def make_sad_variants(
         n_pixels: Pixels per SAD block.
         approx_lsbs: Approximated LSBs in each variant's arithmetic.
         include_accurate: Also return the exact ``AccuSAD`` reference.
+        eval_mode: Evaluation engine for every variant's arithmetic.
     """
     variants: Dict[str, SADAccelerator] = {}
     for name, cell in SAD_VARIANT_CELLS.items():
         if name == "AccuSAD":
             if include_accurate:
-                variants[name] = SADAccelerator(n_pixels, fa="AccuFA")
+                variants[name] = SADAccelerator(
+                    n_pixels, fa="AccuFA", eval_mode=eval_mode
+                )
             continue
         variants[name] = SADAccelerator(
-            n_pixels, fa=cell, approx_lsbs=approx_lsbs
+            n_pixels, fa=cell, approx_lsbs=approx_lsbs, eval_mode=eval_mode
         )
     return variants

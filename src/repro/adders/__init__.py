@@ -31,8 +31,13 @@ from .gear_error import (
     monte_carlo_error_rate,
     paper_error_probability,
 )
+from .fastpath import (
+    AUTO_LUT_MAX_BITS,
+    LUT_MAX_BITS,
+    approx_segment_lut,
+)
 from .prefix import SpeculativePrefixAdder, build_kogge_stone_netlist
-from .ripple import ApproximateRippleAdder, ExactAdder
+from .ripple import EVAL_MODES, ApproximateRippleAdder, ExactAdder
 from .variants import aca_i, aca_ii, etaii, gda, known_adder_configs
 
 __all__ = [
@@ -62,6 +67,10 @@ __all__ = [
     "paper_error_probability",
     "ApproximateRippleAdder",
     "ExactAdder",
+    "EVAL_MODES",
+    "AUTO_LUT_MAX_BITS",
+    "LUT_MAX_BITS",
+    "approx_segment_lut",
     "SpeculativePrefixAdder",
     "build_kogge_stone_netlist",
     "aca_i",

@@ -81,17 +81,25 @@ class FullAdderSpec:
     def __post_init__(self) -> None:
         if len(self.table) != 8:
             raise ValueError(f"{self.name}: full-adder table needs 8 rows")
+        # Materialize the behavioural LUTs once: evaluate() sits on the
+        # ripple-adder hot path and must not rebuild them per call.
+        sum_lut = np.asarray([row[0] for row in self.table], dtype=np.uint8)
+        cout_lut = np.asarray([row[1] for row in self.table], dtype=np.uint8)
+        sum_lut.setflags(write=False)
+        cout_lut.setflags(write=False)
+        object.__setattr__(self, "_sum_lut", sum_lut)
+        object.__setattr__(self, "_cout_lut", cout_lut)
 
     # -- behavioural -------------------------------------------------------
     @property
     def sum_lut(self) -> np.ndarray:
         """Sum output for each of the 8 input rows, as a uint8 LUT."""
-        return np.asarray([row[0] for row in self.table], dtype=np.uint8)
+        return self._sum_lut
 
     @property
     def cout_lut(self) -> np.ndarray:
         """Carry output for each of the 8 input rows, as a uint8 LUT."""
-        return np.asarray([row[1] for row in self.table], dtype=np.uint8)
+        return self._cout_lut
 
     def evaluate(
         self, a: np.ndarray, b: np.ndarray, cin: np.ndarray

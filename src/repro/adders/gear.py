@@ -31,6 +31,13 @@ import numpy as np
 __all__ = ["GeArConfig", "GeArAdder"]
 
 
+def _as_int_array(x) -> np.ndarray:
+    arr = np.asarray(x, dtype=np.int64)
+    if np.any(arr < 0):
+        raise ValueError("operands must be non-negative integers")
+    return arr
+
+
 @dataclass(frozen=True)
 class GeArConfig:
     """Architectural parameters of a GeAr adder.
@@ -126,6 +133,19 @@ class GeArAdder:
     def width(self) -> int:
         return self.config.n
 
+    def _operands(self, a, b) -> Tuple[np.ndarray, np.ndarray]:
+        """Validated operands, masked to the architectural N bits.
+
+        The hardware datapath only ever sees N operand wires; bits above
+        N cannot exist, and negative values have no encoding.  The
+        behavioural model therefore rejects negatives (the silent
+        arithmetic right-shift they would take through the window
+        extraction corrupts every sub-adder) and truncates operands to
+        N bits exactly like :class:`~repro.adders.ripple`.
+        """
+        mask = (1 << self.config.n) - 1
+        return _as_int_array(a) & mask, _as_int_array(b) & mask
+
     # ------------------------------------------------------------------
     # approximate addition
     # ------------------------------------------------------------------
@@ -139,9 +159,11 @@ class GeArAdder:
         ]
 
     def add(self, a, b) -> np.ndarray:
-        """Approximate ``a + b``; result has ``N + 1`` bits."""
-        a = np.asarray(a, dtype=np.int64)
-        b = np.asarray(b, dtype=np.int64)
+        """Approximate ``a + b``; result has ``N + 1`` bits.
+
+        Operands must be non-negative and are masked to ``N`` bits.
+        """
+        a, b = self._operands(a, b)
         cfg = self.config
         sums = self._window_sums(a, b)
         mask_l = (1 << cfg.l) - 1
@@ -164,10 +186,10 @@ class GeArAdder:
         sub-adder's carry-out is 1 and all P prediction bits of sub-adder
         ``i + 1`` are propagating -- the paper's ``Co1 AND Cp2`` condition.
         Detection is *local* (first-pass); cascaded errors surface in
-        later correction iterations.
+        later correction iterations.  Operands must be non-negative and
+        are masked to ``N`` bits.
         """
-        a = np.asarray(a, dtype=np.int64)
-        b = np.asarray(b, dtype=np.int64)
+        a, b = self._operands(a, b)
         flags = self._detect_from_windows(a, b, self._window_sums(a, b))
         return np.stack(flags, axis=-1) if flags else np.zeros(a.shape + (0,), bool)
 
@@ -199,7 +221,8 @@ class GeArAdder:
         propagate).  With unlimited iterations the result is exact.
 
         Args:
-            a: First operand (array-like of non-negative ints).
+            a: First operand (array-like of non-negative ints, masked to
+                ``N`` bits).
             b: Second operand.
             max_iterations: Cap on correction iterations; ``None`` runs to
                 fixpoint (at most ``k - 1`` iterations are ever needed).
@@ -208,11 +231,13 @@ class GeArAdder:
             ``(sum, iterations)`` where ``iterations`` is the per-element
             number of correction rounds actually applied.
         """
-        a = np.asarray(a, dtype=np.int64)
-        b = np.asarray(b, dtype=np.int64)
+        a, b = self._operands(a, b)
         cfg = self.config
         if max_iterations is None:
-            max_iterations = cfg.k  # fixpoint is reached within k-1 rounds
+            # A missed carry can cascade through at most the k-1
+            # downstream sub-adders, one per round, so the fixpoint is
+            # always reached within k-1 iterations -- the documented cap.
+            max_iterations = cfg.k - 1
         sums = self._window_sums(a, b)
         # Track per-window injected carries (0/1) as they stabilize.
         injected = [np.zeros(np.broadcast_shapes(a.shape, b.shape), dtype=np.int64)

@@ -6,6 +6,15 @@ positions use one of the approximate full adders of Table III while the
 remaining (most-significant) positions use the accurate cell.  The same
 structure doubles as a two's-complement subtractor (for the SAD
 accelerator's ``|a - b|`` datapath).
+
+Two bit-identical evaluation engines are provided (``eval_mode``):
+
+* ``"loop"`` -- the legacy reference: a Python loop over every bit
+  position with per-cell truth-table lookups;
+* ``"lut"`` / ``"auto"`` -- the fast path of :mod:`.fastpath`: the
+  approximate LSB segment is collapsed into one precomputed lookup
+  table and the accurate MSB segment into a native integer add, so a
+  whole batched ``add`` costs two NumPy gathers and one vector add.
 """
 
 from __future__ import annotations
@@ -15,9 +24,18 @@ from typing import Tuple
 
 import numpy as np
 
+from .fastpath import (
+    AUTO_LUT_MAX_BITS,
+    LUT_MAX_BITS,
+    approx_segment_lut,
+    pack_segment_index,
+)
 from .fulladder import FULL_ADDERS, FullAdderSpec, full_adder
 
-__all__ = ["ApproximateRippleAdder", "ExactAdder"]
+__all__ = ["ApproximateRippleAdder", "ExactAdder", "EVAL_MODES"]
+
+#: Recognized evaluation engines for :class:`ApproximateRippleAdder`.
+EVAL_MODES = ("auto", "lut", "loop")
 
 
 def _as_int_array(x) -> np.ndarray:
@@ -25,6 +43,13 @@ def _as_int_array(x) -> np.ndarray:
     if np.any(arr < 0):
         raise ValueError("operands must be non-negative integers")
     return arr
+
+
+def _as_carry_in(cin) -> int:
+    cin = int(cin)
+    if cin not in (0, 1):
+        raise ValueError(f"cin must be 0 or 1, got {cin}")
+    return cin
 
 
 @dataclass(frozen=True)
@@ -41,7 +66,7 @@ class ExactAdder:
     def add(self, a, b, cin: int = 0) -> np.ndarray:
         """Exact ``a + b + cin`` (inputs truncated to ``width`` bits)."""
         mask = (1 << self.width) - 1
-        return (_as_int_array(a) & mask) + (_as_int_array(b) & mask) + int(cin)
+        return (_as_int_array(a) & mask) + (_as_int_array(b) & mask) + _as_carry_in(cin)
 
     def sub(self, a, b) -> np.ndarray:
         """Exact ``a - b`` as a signed integer."""
@@ -70,9 +95,20 @@ class ApproximateRippleAdder:
 
     The ``num_approx_lsbs`` least-significant positions instantiate
     ``approx_fa``; the rest instantiate ``accurate_fa``.  Evaluation is
-    bit-true and vectorized: operands are NumPy integer arrays, bits are
-    extracted per position, looked up in the cell truth tables, and the
-    carry is rippled.
+    bit-true and vectorized: operands are NumPy integer arrays.
+
+    Args:
+        width: Operand width in bits.
+        approx_fa: Table III cell (name or spec) for the LSB segment.
+        num_approx_lsbs: Number of approximated LSB positions.
+        accurate_fa: Cell for the remaining MSB positions.
+        eval_mode: Evaluation engine -- ``"auto"`` (default) uses the
+            segment/LUT fast path, compiling a LUT for approximate
+            segments up to ``AUTO_LUT_MAX_BITS`` bits and bit-looping
+            only over wider segments; ``"lut"`` forces LUT compilation
+            (up to ``LUT_MAX_BITS`` bits, else raises); ``"loop"`` is
+            the legacy full bit-loop reference.  All modes produce
+            bit-identical results.
 
     Example:
         >>> adder = ApproximateRippleAdder(8, approx_fa="ApxFA1",
@@ -87,12 +123,17 @@ class ApproximateRippleAdder:
         approx_fa: str | FullAdderSpec = "ApxFA1",
         num_approx_lsbs: int = 0,
         accurate_fa: str | FullAdderSpec = "AccuFA",
+        eval_mode: str = "auto",
     ) -> None:
         if width < 1:
             raise ValueError(f"width must be >= 1, got {width}")
         if not 0 <= num_approx_lsbs <= width:
             raise ValueError(
                 f"num_approx_lsbs must be in [0, {width}], got {num_approx_lsbs}"
+            )
+        if eval_mode not in EVAL_MODES:
+            raise ValueError(
+                f"eval_mode must be one of {EVAL_MODES}, got {eval_mode!r}"
             )
         self.width = width
         self.num_approx_lsbs = num_approx_lsbs
@@ -104,6 +145,24 @@ class ApproximateRippleAdder:
             if isinstance(accurate_fa, str)
             else accurate_fa
         )
+        self.eval_mode = eval_mode
+        # The MSB segment reduces to a native integer add only when the
+        # accurate cell really is the exact full adder.
+        self._msb_native = (
+            tuple(self.accurate_fa.table) == tuple(FULL_ADDERS["AccuFA"].table)
+        )
+        self._seg_lut: np.ndarray | None = None
+        if eval_mode != "loop" and num_approx_lsbs > 0:
+            limit = LUT_MAX_BITS if eval_mode == "lut" else AUTO_LUT_MAX_BITS
+            if num_approx_lsbs <= limit:
+                self._seg_lut = approx_segment_lut(
+                    self.approx_fa, num_approx_lsbs
+                )
+            elif eval_mode == "lut":
+                raise ValueError(
+                    f"eval_mode='lut' supports approximate segments up to "
+                    f"{LUT_MAX_BITS} bits, got {num_approx_lsbs}"
+                )
 
     @property
     def name(self) -> str:
@@ -111,6 +170,11 @@ class ApproximateRippleAdder:
             f"RCA{self.width}[{self.approx_fa.name}"
             f"x{self.num_approx_lsbs}]"
         )
+
+    @property
+    def uses_fast_path(self) -> bool:
+        """True when ``add``/``sub`` run the segment/LUT engine."""
+        return self.eval_mode != "loop"
 
     def cell_at(self, position: int) -> FullAdderSpec:
         """The full-adder spec used at bit ``position`` (0 = LSB)."""
@@ -127,8 +191,15 @@ class ApproximateRippleAdder:
         """Approximate ``a + b + cin``; result has ``width + 1`` bits."""
         a = _as_int_array(a)
         b = _as_int_array(b)
+        cin = _as_carry_in(cin)
+        if self.eval_mode == "loop":
+            return self._add_loop(a, b, cin)
+        return self._add_fast(a, b, cin)
+
+    def _add_loop(self, a: np.ndarray, b: np.ndarray, cin: int) -> np.ndarray:
+        """Legacy reference: per-cell ripple over every bit position."""
         carry = np.broadcast_to(
-            np.asarray(int(cin), dtype=np.int64), np.broadcast_shapes(a.shape, b.shape)
+            np.asarray(cin, dtype=np.int64), np.broadcast_shapes(a.shape, b.shape)
         ).copy()
         total = np.zeros_like(carry)
         for bit in range(self.width):
@@ -140,6 +211,76 @@ class ApproximateRippleAdder:
             carry = carry_u8.astype(np.int64)
         total |= carry << self.width
         return total
+
+    def _ripple_segment(
+        self, a: np.ndarray, b: np.ndarray, carry, start: int, stop: int
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Bit-loop over positions ``[start, stop)`` only.
+
+        Returns the segment's partial sum (aligned at bit ``start``) and
+        carry-out; used by the fast path for pieces it cannot collapse.
+        """
+        carry = np.broadcast_to(
+            np.asarray(carry, dtype=np.int64),
+            np.broadcast_shapes(a.shape, b.shape),
+        ).copy()
+        total = np.zeros_like(carry)
+        for bit in range(start, stop):
+            spec = self.cell_at(bit)
+            abit = (a >> bit) & 1
+            bbit = (b >> bit) & 1
+            s, carry_u8 = spec.evaluate(abit, bbit, carry)
+            total |= s.astype(np.int64) << bit
+            carry = carry_u8.astype(np.int64)
+        return total, carry
+
+    def _add_fast(self, a: np.ndarray, b: np.ndarray, cin: int) -> np.ndarray:
+        """Segment-split evaluation: LUT over the approximate LSBs plus a
+        native integer add over the accurate MSBs.
+
+        The LUT value is kept *packed* as ``(carry << s) | sum_lo``: with
+        an exact MSB segment the total is simply
+        ``((a_hi + b_hi) << s) + packed`` -- the carry lands on bit ``s``
+        by construction -- so no unpack step is needed on the hot path.
+        """
+        s = self.num_approx_lsbs
+        w = self.width
+        if s == 0:
+            if self._msb_native:
+                mask = (1 << w) - 1
+                total = (a & mask) + (b & mask) + cin
+            else:
+                hi, carry = self._ripple_segment(a, b, cin, 0, w)
+                total = hi | (carry << w)
+            return np.asarray(total, dtype=np.int64)
+        if self._seg_lut is not None:
+            mask_lo = (1 << s) - 1
+            idx = pack_segment_index(a & mask_lo, b & mask_lo, cin, s)
+            packed = self._seg_lut[idx]
+            if packed.dtype != np.int64:  # only the very largest tables
+                packed = packed.astype(np.int64)
+            if s == w:
+                # packed == (carry << w) | sum is already the result.
+                return np.asarray(packed, dtype=np.int64)
+            if self._msb_native:
+                mask_hi = (1 << (w - s)) - 1
+                hi = ((a >> s) & mask_hi) + ((b >> s) & mask_hi)
+                return np.asarray((hi << s) + packed, dtype=np.int64)
+            sum_lo = packed & mask_lo
+            hi, carry = self._ripple_segment(a, b, packed >> s, s, w)
+            return np.asarray(hi | sum_lo | (carry << w), dtype=np.int64)
+        # Approximate segment too wide for a LUT: bit-loop it alone.
+        sum_lo, carry = self._ripple_segment(a, b, cin, 0, s)
+        if s == w:
+            total = sum_lo | (carry << w)
+        elif self._msb_native:
+            mask_hi = (1 << (w - s)) - 1
+            hi = ((a >> s) & mask_hi) + ((b >> s) & mask_hi) + carry
+            total = (hi << s) | sum_lo
+        else:
+            hi, carry = self._ripple_segment(a, b, carry, s, w)
+            total = hi | sum_lo | (carry << w)
+        return np.asarray(total, dtype=np.int64)
 
     def add_modular(self, a, b, cin: int = 0) -> np.ndarray:
         """Approximate addition truncated to ``width`` bits (carry dropped)."""

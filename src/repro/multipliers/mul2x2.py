@@ -84,11 +84,16 @@ class Mul2x2Spec:
     def __post_init__(self) -> None:
         if len(self.table) != 16:
             raise ValueError(f"{self.name}: 2x2 table needs 16 rows")
+        # The 2x2 leaf multiply is the recursion's innermost hot path:
+        # build the LUT once instead of re-materializing it per call.
+        lut = np.asarray(self.table, dtype=np.int64)
+        lut.setflags(write=False)
+        object.__setattr__(self, "_lut", lut)
 
     @property
     def lut(self) -> np.ndarray:
         """Product LUT indexed by ``(a << 2) | b``."""
-        return np.asarray(self.table, dtype=np.int64)
+        return self._lut
 
     def multiply(self, a, b) -> np.ndarray:
         """Vectorized 2-bit x 2-bit product (operands masked to 2 bits)."""

@@ -25,7 +25,13 @@ import numpy as np
 from ..adders.ripple import ApproximateRippleAdder
 from .mul2x2 import Mul2x2Spec, multiplier_2x2
 
-__all__ = ["RecursiveMultiplier", "LEAF_POLICIES"]
+__all__ = ["RecursiveMultiplier", "LEAF_POLICIES", "PRODUCT_LUT_MAX_WIDTH"]
+
+#: Widest multiplier whose full product table is compiled in
+#: ``eval_mode="auto"``/``"lut"``: a width-8 table has ``2**16`` entries
+#: (one 512 KiB int64 array), built lazily with a single vectorized
+#: sweep of the reference recursion.
+PRODUCT_LUT_MAX_WIDTH = 8
 
 #: Named leaf policies: decide whether the 2x2 leaf at operand offsets
 #: ``(a_off, b_off)`` of a ``width``-bit multiplier is approximate.
@@ -55,6 +61,12 @@ class RecursiveMultiplier:
             partial-product summation adders (a Table III name).
         adder_approx_lsbs: Number of approximated LSBs in each summation
             adder (clamped to the adder's width).
+        eval_mode: Evaluation engine.  ``"auto"`` (default) and
+            ``"lut"`` run the summation adders through the segment/LUT
+            fast path and additionally collapse multipliers up to
+            ``PRODUCT_LUT_MAX_WIDTH`` bits into one lazily-built product
+            table; ``"loop"`` is the legacy cell-level reference.  All
+            modes are bit-identical.
 
     Example:
         >>> mul = RecursiveMultiplier(8, leaf_mul="ApxMulOur")
@@ -72,9 +84,18 @@ class RecursiveMultiplier:
         leaf_policy: str | Callable[[int, int, int], bool] = "all",
         adder_fa: str = "AccuFA",
         adder_approx_lsbs: int = 0,
+        eval_mode: str = "auto",
     ) -> None:
         if not _is_power_of_two(width) or width < 2:
             raise ValueError(f"width must be a power of two >= 2, got {width}")
+        from ..adders.ripple import EVAL_MODES
+
+        if eval_mode not in EVAL_MODES:
+            raise ValueError(
+                f"eval_mode must be one of {EVAL_MODES}, got {eval_mode!r}"
+            )
+        self.eval_mode = eval_mode
+        self._product_lut: np.ndarray | None = None
         self.width = width
         self.leaf_mul = multiplier_2x2(leaf_mul)
         self.accurate_mul = multiplier_2x2("AccMul")
@@ -112,6 +133,7 @@ class RecursiveMultiplier:
                 width,
                 approx_fa=self.adder_fa,
                 num_approx_lsbs=min(self.adder_approx_lsbs, width),
+                eval_mode=self.eval_mode,
             )
         return self._adders[width]
 
@@ -137,11 +159,31 @@ class RecursiveMultiplier:
         acc = self._adder(2 * w).add(p_hh << h, mid)  # aligned at << h
         return self._adder(2 * w).add(acc << h, p_ll)
 
+    def _build_product_lut(self) -> np.ndarray:
+        """Full product table, entry ``(a << width) | b``.
+
+        Built by one vectorized sweep of the reference recursion over
+        every operand pair, so it is bit-identical to the recursion by
+        construction.
+        """
+        n = 1 << self.width
+        a = np.repeat(np.arange(n, dtype=np.int64), n)
+        b = np.tile(np.arange(n, dtype=np.int64), n)
+        lut = self._multiply_rec(a, b, self.width, 0, 0)
+        lut.setflags(write=False)
+        return lut
+
     def multiply(self, a, b) -> np.ndarray:
         """Approximate product of two ``width``-bit unsigned operands."""
         mask = (1 << self.width) - 1
         a = np.asarray(a, dtype=np.int64) & mask
         b = np.asarray(b, dtype=np.int64) & mask
+        if self.eval_mode != "loop" and self.width <= PRODUCT_LUT_MAX_WIDTH:
+            if self._product_lut is None:
+                self._product_lut = self._build_product_lut()
+            return np.asarray(
+                self._product_lut[(a << self.width) | b], dtype=np.int64
+            )
         return self._multiply_rec(a, b, self.width, 0, 0)
 
     # ------------------------------------------------------------------

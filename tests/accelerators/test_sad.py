@@ -120,3 +120,42 @@ class TestPhysical:
     def test_power_scales_with_throughput(self):
         acc = SADAccelerator(n_pixels=64)
         assert acc.power_nw(2e6) == pytest.approx(2 * acc.power_nw(1e6))
+
+
+class TestTreeReduction:
+    """Satellite audit: non-power-of-two reductions and the wired-through
+    odd element (which bypasses the adder of its level)."""
+
+    @pytest.mark.parametrize("n_pixels", [3, 5, 7, 64])
+    def test_accurate_matches_numpy_sum(self, n_pixels, rng):
+        acc = SADAccelerator(n_pixels=n_pixels)
+        a = rng.integers(0, 256, (40, n_pixels))
+        b = rng.integers(0, 256, (40, n_pixels))
+        assert np.array_equal(acc.sad(a, b), np.sum(np.abs(a - b), axis=-1))
+
+    @pytest.mark.parametrize("n_pixels", [3, 5, 7, 64])
+    def test_legacy_loop_engine_matches_numpy_sum(self, n_pixels, rng):
+        acc = SADAccelerator(n_pixels=n_pixels, eval_mode="loop")
+        a = rng.integers(0, 256, (40, n_pixels))
+        b = rng.integers(0, 256, (40, n_pixels))
+        assert np.array_equal(acc.sad(a, b), np.sum(np.abs(a - b), axis=-1))
+
+    @pytest.mark.parametrize("n_pixels", [3, 5, 7, 13, 64])
+    @pytest.mark.parametrize("fa", ["ApxFA1", "ApxFA5"])
+    def test_fast_and_loop_engines_agree(self, n_pixels, fa, rng):
+        fast = SADAccelerator(n_pixels=n_pixels, fa=fa, approx_lsbs=4)
+        loop = SADAccelerator(
+            n_pixels=n_pixels, fa=fa, approx_lsbs=4, eval_mode="loop"
+        )
+        a = rng.integers(0, 256, (40, n_pixels))
+        b = rng.integers(0, 256, (40, n_pixels))
+        assert np.array_equal(fast.sad(a, b), loop.sad(a, b))
+
+    def test_tree_widths_cover_worst_case_operands(self):
+        """Maximal |a-b| (= 2**pixel_bits through the approximate
+        subtractor) survives every level without truncation."""
+        for n_pixels in (3, 5, 7, 9, 64):
+            acc = SADAccelerator(n_pixels=n_pixels)
+            a = np.full(n_pixels, 255)
+            b = np.zeros(n_pixels, dtype=int)
+            assert int(acc.sad(a, b)) == 255 * n_pixels

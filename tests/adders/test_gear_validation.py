@@ -1,0 +1,71 @@
+"""Regression tests for GeAr operand validation and correction bounds.
+
+The behavioural GeAr model used to accept negative and over-width
+operands without masking or raising: negatives took an arithmetic
+right-shift through the window extraction (corrupting every sub-adder's
+inputs) and bits above N leaked into the top window's carry.  It also
+defaulted the correction cap to ``k`` although the fixpoint is provably
+reached within ``k - 1`` iterations.
+"""
+
+import numpy as np
+import pytest
+
+from repro.adders.gear import GeArAdder, GeArConfig
+
+CONFIGS = [(8, 2, 2), (12, 4, 4), (16, 1, 3), (12, 4, 0), (16, 4, 4)]
+
+
+class TestOperandValidation:
+    @pytest.mark.parametrize("n,r,p", CONFIGS)
+    def test_negative_operands_rejected(self, n, r, p):
+        adder = GeArAdder(GeArConfig(n, r, p))
+        for method in (adder.add, adder.detect_errors):
+            with pytest.raises(ValueError, match="non-negative"):
+                method(np.array([-1]), np.array([1]))
+            with pytest.raises(ValueError, match="non-negative"):
+                method(np.array([1]), np.array([-5]))
+        with pytest.raises(ValueError, match="non-negative"):
+            adder.add_with_correction(-3, 1)
+
+    @pytest.mark.parametrize("n,r,p", CONFIGS)
+    def test_overwidth_operands_masked(self, n, r, p, rng):
+        """Bits above N do not exist in the datapath: 2**N + x == x."""
+        adder = GeArAdder(GeArConfig(n, r, p))
+        hi = 1 << n
+        a = rng.integers(0, hi, 500)
+        b = rng.integers(0, hi, 500)
+        assert np.array_equal(adder.add(a + hi, b), adder.add(a, b))
+        assert np.array_equal(adder.add(a, b + 4 * hi), adder.add(a, b))
+        assert np.array_equal(
+            adder.detect_errors(a + hi, b), adder.detect_errors(a, b)
+        )
+        got, _ = adder.add_with_correction(a + 2 * hi, b + hi)
+        assert np.array_equal(got, a + b)
+
+
+class TestCorrectionCap:
+    @pytest.mark.parametrize("n,r,p", CONFIGS)
+    def test_default_cap_is_k_minus_1_and_exact(self, n, r, p, rng):
+        """The documented 'at most k-1 iterations' bound is the default
+        and suffices for exactness on randomized operands."""
+        cfg = GeArConfig(n, r, p)
+        adder = GeArAdder(cfg)
+        hi = 1 << n
+        a = rng.integers(0, hi, 3000)
+        b = rng.integers(0, hi, 3000)
+        result, iterations = adder.add_with_correction(a, b)
+        assert np.array_equal(result, a + b)
+        assert int(iterations.max()) <= cfg.k - 1
+        # Explicitly capping at k-1 gives the same fixpoint.
+        capped, _ = adder.add_with_correction(a, b, max_iterations=cfg.k - 1)
+        assert np.array_equal(capped, result)
+
+    def test_worst_case_carry_chain_converges_within_bound(self):
+        """0xFF..F + 1 needs a correction at every boundary in sequence."""
+        cfg = GeArConfig(16, 2, 2)
+        adder = GeArAdder(cfg)
+        operand = (1 << 16) - 1
+        result, iterations = adder.add_with_correction(operand, 1)
+        assert int(result) == 1 << 16
+        assert int(iterations) <= cfg.k - 1

@@ -1,0 +1,34 @@
+"""Tier-1 wiring of the benchmark smoke check (``benchmarks/_smoke.py``).
+
+Runs the down-scaled Fig. 8 SAD surface under both evaluation engines
+and fails the suite on any divergence, so a fast-path regression can
+never land silently.
+"""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+BENCHMARKS_DIR = Path(__file__).resolve().parents[2] / "benchmarks"
+
+
+def _load_smoke():
+    spec = importlib.util.spec_from_file_location(
+        "repro_bench_smoke", BENCHMARKS_DIR / "_smoke.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_fast_path_never_diverges_on_fig8_surface():
+    smoke = _load_smoke()
+    records = smoke.run_smoke()
+    assert records, "smoke run produced no records"
+    assert {r["variant"] for r in records} == {
+        "AccuSAD", "ApxSAD1", "ApxSAD2", "ApxSAD3", "ApxSAD4", "ApxSAD5",
+    }
+    diverged = [r["variant"] for r in records if r["diverged"]]
+    assert not diverged, f"fast path diverged for {diverged}"
+    assert all(r["max_abs_diff"] == 0 for r in records)

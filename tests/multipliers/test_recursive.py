@@ -138,3 +138,47 @@ class TestStructure:
             > RecursiveMultiplier(8).delay_ps
             > RecursiveMultiplier(4).delay_ps
         )
+
+
+class TestFastPathEquivalence:
+    """Product-LUT / fast-adder engine vs the legacy cell-level recursion."""
+
+    @pytest.mark.parametrize("leaf_mul", ["ApxMulSoA", "ApxMulOur"])
+    @pytest.mark.parametrize("leaf_policy", ["all", "none", "low_half"])
+    def test_width4_exhaustive(self, leaf_mul, leaf_policy):
+        fast = RecursiveMultiplier(4, leaf_mul=leaf_mul, leaf_policy=leaf_policy)
+        loop = RecursiveMultiplier(
+            4, leaf_mul=leaf_mul, leaf_policy=leaf_policy, eval_mode="loop"
+        )
+        a = np.repeat(np.arange(16), 16)
+        b = np.tile(np.arange(16), 16)
+        assert np.array_equal(fast.multiply(a, b), loop.multiply(a, b))
+
+    @pytest.mark.parametrize("adder_fa,adder_lsbs", [("AccuFA", 0), ("ApxFA2", 3)])
+    def test_width8_uses_product_lut(self, adder_fa, adder_lsbs, rng):
+        fast = RecursiveMultiplier(
+            8, adder_fa=adder_fa, adder_approx_lsbs=adder_lsbs
+        )
+        loop = RecursiveMultiplier(
+            8, adder_fa=adder_fa, adder_approx_lsbs=adder_lsbs, eval_mode="loop"
+        )
+        a = rng.integers(0, 256, 4000)
+        b = rng.integers(0, 256, 4000)
+        got = fast.multiply(a, b)
+        assert fast._product_lut is not None  # LUT engaged at width 8
+        assert np.array_equal(got, loop.multiply(a, b))
+
+    def test_width16_no_product_lut_but_fast_adders(self, rng):
+        fast = RecursiveMultiplier(16, adder_fa="ApxFA1", adder_approx_lsbs=4)
+        loop = RecursiveMultiplier(
+            16, adder_fa="ApxFA1", adder_approx_lsbs=4, eval_mode="loop"
+        )
+        a = rng.integers(0, 1 << 16, 500)
+        b = rng.integers(0, 1 << 16, 500)
+        got = fast.multiply(a, b)
+        assert fast._product_lut is None  # above PRODUCT_LUT_MAX_WIDTH
+        assert np.array_equal(got, loop.multiply(a, b))
+
+    def test_invalid_eval_mode_rejected(self):
+        with pytest.raises(ValueError, match="eval_mode"):
+            RecursiveMultiplier(8, eval_mode="turbo")

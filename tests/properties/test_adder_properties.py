@@ -140,3 +140,41 @@ class TestGeArProperties:
         paper = paper_error_probability(config)
         exact = exact_error_probability(config)
         assert paper <= exact + 1e-9
+
+
+class TestFastPathProperties:
+    """Hypothesis spot checks: fast path == legacy loop at widths 16/32."""
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        fa=st.sampled_from(list(FULL_ADDER_NAMES)),
+        k=st.integers(min_value=0, max_value=16),
+        cin=st.integers(min_value=0, max_value=1),
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    def test_width16_batches_agree(self, fa, k, cin, seed):
+        fast = ApproximateRippleAdder(16, approx_fa=fa, num_approx_lsbs=k)
+        loop = ApproximateRippleAdder(
+            16, approx_fa=fa, num_approx_lsbs=k, eval_mode="loop"
+        )
+        rng = np.random.default_rng(seed)
+        a = rng.integers(0, 1 << 16, 256)
+        b = rng.integers(0, 1 << 16, 256)
+        assert np.array_equal(fast.add(a, b, cin), loop.add(a, b, cin))
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        fa=st.sampled_from(["ApxFA1", "ApxFA3", "ApxFA5"]),
+        k=st.integers(min_value=0, max_value=24),
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    def test_width32_batches_agree(self, fa, k, seed):
+        fast = ApproximateRippleAdder(32, approx_fa=fa, num_approx_lsbs=k)
+        loop = ApproximateRippleAdder(
+            32, approx_fa=fa, num_approx_lsbs=k, eval_mode="loop"
+        )
+        rng = np.random.default_rng(seed)
+        a = rng.integers(0, 1 << 32, 128)
+        b = rng.integers(0, 1 << 32, 128)
+        assert np.array_equal(fast.add(a, b), loop.add(a, b))
+        assert np.array_equal(fast.sub(a, b), loop.sub(a, b))
