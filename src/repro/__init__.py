@@ -21,6 +21,8 @@ describes:
   experiments;
 * :mod:`repro.media` -- synthetic images/video and SSIM;
 * :mod:`repro.dse` -- design-space exploration (Table IV / Fig. 4);
+* :mod:`repro.campaign` -- parallel, cached, resumable characterization
+  campaign engine behind the large sweeps;
 * :mod:`repro.survey` -- the Table I/II taxonomy as structured data;
 * :mod:`repro.characterization` -- published constants and reporting.
 
@@ -34,6 +36,7 @@ Quickstart:
 from . import (
     accelerators,
     adders,
+    campaign,
     characterization,
     dse,
     errors,
@@ -60,6 +63,7 @@ __version__ = "1.0.0"
 __all__ = [
     "accelerators",
     "adders",
+    "campaign",
     "characterization",
     "dse",
     "errors",

@@ -25,6 +25,7 @@ __all__ = [
     "SADAccelerator",
     "make_sad_variants",
     "characterize_sad_family",
+    "sad_family_tasks",
     "SAD_VARIANT_CELLS",
 ]
 
@@ -304,61 +305,84 @@ class SADAccelerator:
         )
 
 
-def characterize_sad_family(
+def sad_family_tasks(
     n_pixels: int = 64,
     lsb_counts: tuple = (2, 4, 6),
     n_samples: int = 3000,
     seed: int = 0,
 ) -> list:
-    """Quality/energy records for every (cell, LSB-count) SAD variant.
+    """Campaign tasks for the (cell, LSB-count) SAD family sweep.
 
-    Quality is measured against the exact SAD on uniform random blocks;
-    energy from the per-cell switching model.  The records feed the
-    approximation manager and the CLI.
-
-    Returns:
-        List of dicts with ``name``, ``fa``, ``approx_lsbs``,
-        ``mean_error_distance``, ``mrl`` (mean relative loss) and
-        ``energy_fj``.
+    All tasks share the sweep seed, so every variant is measured on the
+    same random blocks -- the fan-out reproduces the serial sweep bit
+    for bit.
     """
-    import numpy as np
+    from ..campaign import CampaignTask
 
-    rng = np.random.default_rng(seed)
-    a = rng.integers(0, 256, (n_samples, n_pixels))
-    b = rng.integers(0, 256, (n_samples, n_pixels))
-    exact = SADAccelerator(n_pixels)
-    truth = exact.sad(a, b)
-    records = [
-        {
-            "name": "AccuSAD",
-            "fa": "AccuFA",
-            "approx_lsbs": 0,
-            "mean_error_distance": 0.0,
-            "mean_relative_error": 0.0,
-            "energy_fj": round(exact.energy_per_op_fj, 0),
-        }
+    tasks = [
+        CampaignTask(
+            kind="sad_quality",
+            params={
+                "n_pixels": n_pixels,
+                "fa": "AccuFA",
+                "approx_lsbs": 0,
+                "n_samples": n_samples,
+                "name": "AccuSAD",
+            },
+            seed=seed,
+        )
     ]
     for variant, cell in SAD_VARIANT_CELLS.items():
         if variant == "AccuSAD":
             continue
         for lsbs in lsb_counts:
-            accelerator = SADAccelerator(n_pixels, fa=cell, approx_lsbs=lsbs)
-            result = accelerator.sad(a, b)
-            med = float(np.abs(result - truth).mean())
-            mre = float(
-                np.mean(np.abs(result - truth) / np.maximum(truth, 1))
+            tasks.append(
+                CampaignTask(
+                    kind="sad_quality",
+                    params={
+                        "n_pixels": n_pixels,
+                        "fa": cell,
+                        "approx_lsbs": int(lsbs),
+                        "n_samples": n_samples,
+                        "name": f"{variant}/{lsbs}",
+                    },
+                    seed=seed,
+                )
             )
-            records.append(
-                {
-                    "name": f"{variant}/{lsbs}",
-                    "fa": cell,
-                    "approx_lsbs": lsbs,
-                    "mean_error_distance": round(med, 2),
-                    "mean_relative_error": round(mre, 5),
-                    "energy_fj": round(accelerator.energy_per_op_fj, 0),
-                }
-            )
-    return records
+    return tasks
+
+
+def characterize_sad_family(
+    n_pixels: int = 64,
+    lsb_counts: tuple = (2, 4, 6),
+    n_samples: int = 3000,
+    seed: int = 0,
+    n_workers: int = 1,
+    cache_dir: str | None = None,
+) -> list:
+    """Quality/energy records for every (cell, LSB-count) SAD variant.
+
+    Quality is measured against the exact SAD on uniform random blocks;
+    energy from the per-cell switching model.  The records feed the
+    approximation manager and the CLI.  The sweep runs as a campaign
+    (:func:`repro.campaign.run_campaign`): ``n_workers`` fans the
+    variants out over processes, ``cache_dir`` reuses / checkpoints
+    finished records, and results are bit-identical for any worker
+    count.
+
+    Returns:
+        List of dicts with ``name``, ``fa``, ``approx_lsbs``,
+        ``mean_error_distance``, ``mean_relative_error`` and
+        ``energy_fj``.
+    """
+    from ..campaign import run_campaign
+
+    tasks = sad_family_tasks(
+        n_pixels, lsb_counts=lsb_counts, n_samples=n_samples, seed=seed
+    )
+    return list(
+        run_campaign(tasks, n_workers=n_workers, cache_dir=cache_dir).results
+    )
 
 
 def make_sad_variants(

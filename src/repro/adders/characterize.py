@@ -22,6 +22,7 @@ __all__ = [
     "AdderCharacterization",
     "characterize_adder",
     "characterize_ripple_family",
+    "ripple_family_tasks",
     "characterize_gear",
     "adder_energy_per_op_fj",
 ]
@@ -64,6 +65,29 @@ class AdderCharacterization:
             {k: round(v, 6) for k, v in self.metrics.as_dict().items()}
         )
         return row
+
+    def to_record(self) -> Dict:
+        """Full-precision JSON-serializable form (campaign cache)."""
+        return {
+            "name": self.name,
+            "width": self.width,
+            "area_ge": self.area_ge,
+            "delay_ps": self.delay_ps,
+            "lut_count": self.lut_count,
+            "metrics": self.metrics.as_dict(),
+        }
+
+    @classmethod
+    def from_record(cls, record: Dict) -> "AdderCharacterization":
+        """Inverse of :meth:`to_record`."""
+        return cls(
+            name=record["name"],
+            width=int(record["width"]),
+            area_ge=float(record["area_ge"]),
+            delay_ps=float(record["delay_ps"]),
+            metrics=ErrorMetrics.from_dict(record["metrics"]),
+            lut_count=int(record["lut_count"]),
+        )
 
 
 def _operand_sweep(
@@ -114,32 +138,64 @@ def characterize_adder(
     )
 
 
+def ripple_family_tasks(
+    width: int,
+    approx_lsb_counts: Iterable[int] = (0, 2, 4, 6),
+    fa_names: Iterable[str] | None = None,
+    n_samples: int = 100_000,
+    seed: int = 0,
+) -> List["CampaignTask"]:
+    """Campaign tasks for the (cell, #approx LSBs) ripple-adder sweep.
+
+    Every task carries the *same* seed so the family shares one operand
+    stimulus, exactly like the legacy serial loop.
+    """
+    from ..campaign import CampaignTask
+
+    names = list(fa_names) if fa_names is not None else [
+        n for n in FULL_ADDER_NAMES if n != "AccuFA"
+    ]
+    return [
+        CampaignTask(
+            kind="ripple_adder",
+            params={
+                "width": width,
+                "fa": fa_name,
+                "num_approx_lsbs": int(k),
+                "n_samples": n_samples,
+            },
+            seed=seed,
+        )
+        for fa_name in names
+        for k in approx_lsb_counts
+    ]
+
+
 def characterize_ripple_family(
     width: int,
     approx_lsb_counts: Iterable[int] = (0, 2, 4, 6),
     fa_names: Iterable[str] | None = None,
     n_samples: int = 100_000,
     seed: int = 0,
+    n_workers: int = 1,
+    cache_dir: str | None = None,
 ) -> List[AdderCharacterization]:
     """Characterize ripple adders over all (cell, #approx LSBs) choices.
 
     This reproduces the library-characterization sweep behind the
     paper's Sec. 6 case study (each ApxFA variant at 2/4/6 approximated
-    LSBs).
+    LSBs).  The sweep runs as a campaign
+    (:func:`repro.campaign.run_campaign`): pass ``n_workers`` to fan the
+    variants out over processes and ``cache_dir`` to reuse / checkpoint
+    results; records are bit-identical for any worker count.
     """
-    records = []
-    names = list(fa_names) if fa_names is not None else [
-        n for n in FULL_ADDER_NAMES if n != "AccuFA"
-    ]
-    for fa_name in names:
-        for k in approx_lsb_counts:
-            adder = ApproximateRippleAdder(
-                width, approx_fa=fa_name, num_approx_lsbs=k
-            )
-            records.append(
-                characterize_adder(adder, n_samples=n_samples, seed=seed)
-            )
-    return records
+    from ..campaign import run_campaign
+
+    tasks = ripple_family_tasks(
+        width, approx_lsb_counts, fa_names, n_samples=n_samples, seed=seed
+    )
+    result = run_campaign(tasks, n_workers=n_workers, cache_dir=cache_dir)
+    return [AdderCharacterization.from_record(rec) for rec in result.results]
 
 
 def characterize_gear(

@@ -1,0 +1,49 @@
+"""Characterization campaign engine (batching / caching / resume).
+
+The paper's quantitative results (Table III/IV, Fig. 4, Fig. 6, Fig. 9)
+all come from sweeping component configurations through
+characterization.  This package turns those sweeps into **campaigns**:
+lists of pure, seeded, JSON-describable tasks fanned out over a process
+pool, answered from an on-disk result cache when possible, and
+checkpointed task-by-task so an interrupted sweep resumes exactly where
+it died.
+
+Entry points:
+
+* :class:`CampaignTask` / :func:`derive_seed` -- task identity and
+  deterministic per-task seeding (:mod:`repro.campaign.task`);
+* :class:`ResultCache` -- atomic JSON store keyed by stable task hash
+  (:mod:`repro.campaign.cache`);
+* :func:`register` / :func:`task_kinds` -- the task-kind registry with
+  the built-in characterization workloads
+  (:mod:`repro.campaign.registry`);
+* :func:`run_campaign` -- the parallel runner returning per-task
+  results plus :class:`CampaignStats`
+  (:mod:`repro.campaign.runner`).
+
+The higher-level sweeps (:func:`repro.dse.explorer.explore_gear_space`,
+:func:`repro.adders.characterize.characterize_ripple_family`,
+:func:`repro.multipliers.characterize.fig6_multiplier_family`,
+:func:`repro.accelerators.sad.characterize_sad_family`) submit through
+this engine; the ``repro campaign`` CLI subcommand drives it directly.
+"""
+
+from .cache import ResultCache
+from .registry import execute_task, get_task_function, register, task_kinds
+from .runner import CampaignResult, CampaignStats, run_campaign
+from .task import CODE_VERSION, CampaignTask, derive_seed, stable_hash
+
+__all__ = [
+    "CODE_VERSION",
+    "CampaignTask",
+    "CampaignResult",
+    "CampaignStats",
+    "ResultCache",
+    "derive_seed",
+    "execute_task",
+    "get_task_function",
+    "register",
+    "run_campaign",
+    "stable_hash",
+    "task_kinds",
+]

@@ -1,0 +1,95 @@
+"""On-disk JSON result cache for campaign tasks.
+
+One file per task, named by the stable task hash and sharded into
+256 two-hex-digit subdirectories to keep directories small on large
+sweeps.  Writes are atomic (temp file + ``os.replace``), so a campaign
+killed mid-write never leaves a truncated entry behind -- the worst
+case on resume is one recomputed task.
+
+The cache doubles as the campaign checkpoint: the runner persists each
+result as it arrives, and a restarted campaign simply skips every task
+whose hash already resolves.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Any, Dict, Iterator, Optional
+
+__all__ = ["ResultCache"]
+
+
+class ResultCache:
+    """Filesystem-backed task-result store keyed by stable task hash.
+
+    Args:
+        cache_dir: Root directory; created on first write.
+    """
+
+    def __init__(self, cache_dir: str | os.PathLike) -> None:
+        self.root = Path(cache_dir)
+
+    def _path(self, key: str) -> Path:
+        if len(key) < 3 or any(c not in "0123456789abcdef" for c in key):
+            raise ValueError(f"malformed cache key {key!r}")
+        return self.root / key[:2] / f"{key}.json"
+
+    def get(self, key: str) -> Optional[Dict[str, Any]]:
+        """Cached entry for ``key`` or ``None`` (corrupt entries miss)."""
+        path = self._path(key)
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                return json.load(fh)
+        except FileNotFoundError:
+            return None
+        except (json.JSONDecodeError, OSError):
+            # A damaged entry is indistinguishable from a miss; the task
+            # reruns and the entry is rewritten atomically.
+            return None
+
+    def put(self, key: str, entry: Dict[str, Any]) -> None:
+        """Atomically persist ``entry`` under ``key``."""
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        # ".tmp" suffix keeps in-flight writes invisible to keys()'s
+        # "*.json" glob.
+        fd, tmp = tempfile.mkstemp(
+            dir=path.parent, prefix=".tmp-", suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                json.dump(entry, fh, sort_keys=True)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    def __contains__(self, key: str) -> bool:
+        return self._path(key).is_file()
+
+    def keys(self) -> Iterator[str]:
+        """All cached task hashes (order unspecified)."""
+        if not self.root.is_dir():
+            return
+        for shard in sorted(self.root.iterdir()):
+            if not shard.is_dir():
+                continue
+            for path in sorted(shard.glob("*.json")):
+                yield path.stem
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.keys())
+
+    def evict(self, key: str) -> bool:
+        """Drop one entry; returns whether it existed."""
+        try:
+            self._path(key).unlink()
+            return True
+        except FileNotFoundError:
+            return False

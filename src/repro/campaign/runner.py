@@ -1,0 +1,199 @@
+"""Parallel, cached, resumable campaign runner.
+
+:func:`run_campaign` takes a list of :class:`CampaignTask` and returns
+one result per task (input order preserved), fanning uncached tasks out
+over a ``multiprocessing`` pool:
+
+* **Caching** -- with a ``cache_dir``, every completed task is persisted
+  to a :class:`~repro.campaign.cache.ResultCache` keyed by the stable
+  task hash *as soon as it finishes*; already-cached tasks are never
+  re-executed.
+* **Resume** -- the incremental cache writes double as a checkpoint: a
+  killed campaign restarts and recomputes only the tasks whose results
+  never landed on disk.
+* **Determinism** -- task seeds travel *inside* the task (derived from
+  the task identity, see :func:`~repro.campaign.task.derive_seed`), so
+  results are bit-identical for any worker count, submission order, or
+  kill/resume history.
+* **Metrics** -- a :class:`CampaignStats` records tasks done, cache
+  hits, wall-clock, aggregate in-task compute time, and the implied
+  worker utilization; a ``progress`` callback streams completion.
+
+Duplicate tasks (same stable hash) are executed once and their result
+fanned out to every occurrence.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
+
+from .cache import ResultCache
+from .registry import execute_task, get_task_function
+from .task import CampaignTask
+
+__all__ = ["CampaignStats", "CampaignResult", "run_campaign"]
+
+ProgressCallback = Callable[[int, int], None]
+
+
+@dataclass
+class CampaignStats:
+    """Execution metrics of one :func:`run_campaign` call.
+
+    Attributes:
+        n_tasks: Tasks submitted (including duplicates).
+        n_unique: Distinct task hashes among them.
+        n_executed: Tasks actually computed this run.
+        n_cache_hits: Tasks answered from the on-disk cache.
+        n_workers: Worker processes used (1 = in-process serial).
+        wall_s: End-to-end wall-clock of the campaign.
+        task_s: Summed in-task compute time of executed tasks.
+    """
+
+    n_tasks: int = 0
+    n_unique: int = 0
+    n_executed: int = 0
+    n_cache_hits: int = 0
+    n_workers: int = 1
+    wall_s: float = 0.0
+    task_s: float = 0.0
+
+    @property
+    def worker_utilization(self) -> float:
+        """Fraction of the worker-seconds budget spent inside tasks."""
+        if self.n_executed == 0 or self.wall_s <= 0.0:
+            return 0.0
+        return min(1.0, self.task_s / (self.wall_s * self.n_workers))
+
+    def summary(self) -> str:
+        """One-line human-readable report for CLIs and benchmarks."""
+        return (
+            f"{self.n_tasks} tasks ({self.n_unique} unique): "
+            f"{self.n_executed} executed, {self.n_cache_hits} cache hits "
+            f"in {self.wall_s:.2f}s wall "
+            f"({self.n_workers} workers, "
+            f"{100.0 * self.worker_utilization:.0f}% utilization)"
+        )
+
+
+@dataclass
+class CampaignResult:
+    """Results aligned with the submitted task list, plus run metrics."""
+
+    tasks: List[CampaignTask]
+    results: List[Any]
+    stats: CampaignStats = field(default_factory=CampaignStats)
+
+    def __iter__(self):
+        return iter(self.results)
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+
+def _run_indexed_task(
+    payload: Tuple[int, CampaignTask],
+) -> Tuple[int, Any, float]:
+    """Pool worker: execute one task, returning (index, result, seconds)."""
+    index, task = payload
+    start = time.perf_counter()
+    result = execute_task(task)
+    return index, result, time.perf_counter() - start
+
+
+def run_campaign(
+    tasks: Iterable[CampaignTask],
+    n_workers: int = 1,
+    cache_dir: str | None = None,
+    progress: Optional[ProgressCallback] = None,
+    chunksize: int = 1,
+) -> CampaignResult:
+    """Run a characterization campaign, in parallel and through the cache.
+
+    Args:
+        tasks: Tasks to evaluate; results come back in the same order.
+        n_workers: Worker processes; ``<= 1`` runs serially in-process
+            (identical results -- seeds are per-task, not per-worker).
+        cache_dir: Optional result-cache directory.  Enables warm-start
+            (cached tasks are skipped) and checkpointing (each finished
+            task is persisted immediately, so an interrupted campaign
+            resumes from where it died).
+        progress: Optional ``progress(done, total)`` callback, invoked
+            after the cache scan and after every completed task.
+        chunksize: Tasks per pool dispatch (raise for very short tasks).
+
+    Returns:
+        :class:`CampaignResult` with per-task results and run stats.
+    """
+    task_list = list(tasks)
+    for task in task_list:
+        get_task_function(task.kind)  # fail fast on unknown kinds
+    start = time.perf_counter()
+    cache = ResultCache(cache_dir) if cache_dir else None
+    results: List[Any] = [None] * len(task_list)
+    stats = CampaignStats(n_tasks=len(task_list), n_workers=max(1, n_workers))
+
+    # Resolve cache hits and collapse duplicates to one execution each.
+    pending: Dict[str, List[int]] = {}
+    hit_keys: Dict[str, Any] = {}
+    for index, task in enumerate(task_list):
+        key = task.key
+        if key in hit_keys:
+            results[index] = hit_keys[key]
+            stats.n_cache_hits += 1
+            continue
+        if key in pending:
+            pending[key].append(index)
+            continue
+        if cache is not None:
+            entry = cache.get(key)
+            if entry is not None:
+                hit_keys[key] = entry["result"]
+                results[index] = entry["result"]
+                stats.n_cache_hits += 1
+                continue
+        pending[key] = [index]
+    stats.n_unique = len(pending) + len(hit_keys)
+    done = stats.n_cache_hits
+    if progress is not None:
+        progress(done, len(task_list))
+
+    def complete(index: int, result: Any, elapsed: float) -> None:
+        nonlocal done
+        task = task_list[index]
+        key = task.key
+        for occurrence in pending[key]:
+            results[occurrence] = result
+        done += len(pending[key])
+        stats.n_executed += 1
+        stats.task_s += elapsed
+        if cache is not None:
+            cache.put(
+                key,
+                {
+                    "task": task.as_dict(),
+                    "result": result,
+                    "elapsed_s": elapsed,
+                },
+            )
+        if progress is not None:
+            progress(done, len(task_list))
+
+    to_run = [(indices[0], task_list[indices[0]]) for indices in pending.values()]
+    if n_workers > 1 and len(to_run) > 1:
+        context = multiprocessing.get_context()
+        with context.Pool(processes=min(n_workers, len(to_run))) as pool:
+            for index, result, elapsed in pool.imap_unordered(
+                _run_indexed_task, to_run, chunksize=max(1, chunksize)
+            ):
+                complete(index, result, elapsed)
+    else:
+        for payload in to_run:
+            index, result, elapsed = _run_indexed_task(payload)
+            complete(index, result, elapsed)
+
+    stats.wall_s = time.perf_counter() - start
+    return CampaignResult(tasks=task_list, results=results, stats=stats)

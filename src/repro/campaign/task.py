@@ -1,0 +1,90 @@
+"""Campaign tasks: the unit of work of a characterization sweep.
+
+A :class:`CampaignTask` names a registered task *kind* (see
+:mod:`repro.campaign.registry`), its JSON-serializable parameters, and
+the RNG seed the task must use.  Its identity is the **stable task
+hash** -- a SHA-256 over the canonical JSON encoding of
+``(kind, params, seed, code version)`` -- which keys the on-disk result
+cache and makes sweeps resumable: re-submitting the same task after an
+interruption maps to the same cache entry, while any change to the
+parameters, the seed, or the engine's :data:`CODE_VERSION` invalidates
+it.
+
+Per-task seeds are *derived*, not enumerated: :func:`derive_seed`
+hashes ``(base_seed, task key)`` so a task's seed depends only on what
+the task *is*, never on submission order or worker count.  This is what
+makes campaign results bit-identical across ``n_workers`` settings and
+across kill/resume cycles.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict
+
+__all__ = ["CODE_VERSION", "CampaignTask", "derive_seed", "stable_hash"]
+
+#: Version tag of the characterization code paths.  Bump whenever a
+#: registered task function changes behaviour so stale cache entries
+#: stop matching.
+CODE_VERSION = "2026.08-1"
+
+
+def _canonical_json(obj: Any) -> str:
+    """Deterministic JSON encoding (sorted keys, no whitespace drift)."""
+    return json.dumps(obj, sort_keys=True, separators=(",", ":"))
+
+
+def stable_hash(obj: Any) -> str:
+    """Hex SHA-256 of the canonical JSON encoding of ``obj``."""
+    return hashlib.sha256(_canonical_json(obj).encode("utf-8")).hexdigest()
+
+
+def derive_seed(base_seed: int, *key_parts: Any) -> int:
+    """Deterministic 63-bit seed from a base seed and a task key.
+
+    Independent of enumeration order and worker count: the same
+    ``(base_seed, key)`` always yields the same seed, and distinct keys
+    decorrelate through SHA-256.
+    """
+    digest = hashlib.sha256(
+        _canonical_json([int(base_seed), list(key_parts)]).encode("utf-8")
+    ).digest()
+    return int.from_bytes(digest[:8], "big") & (2**63 - 1)
+
+
+@dataclass(frozen=True)
+class CampaignTask:
+    """One cacheable unit of characterization work.
+
+    Attributes:
+        kind: Registered task kind (``repro.campaign.registry``).
+        params: JSON-serializable keyword parameters of the task.
+        seed: RNG seed the task function must use.
+    """
+
+    kind: str
+    params: Dict[str, Any] = field(default_factory=dict)
+    seed: int = 0
+
+    @property
+    def key(self) -> str:
+        """Stable cache key: hash of kind, params, seed, code version."""
+        return stable_hash(
+            {
+                "kind": self.kind,
+                "params": self.params,
+                "seed": self.seed,
+                "code_version": CODE_VERSION,
+            }
+        )
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "params": self.params,
+            "seed": self.seed,
+            "code_version": CODE_VERSION,
+        }

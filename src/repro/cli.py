@@ -1,6 +1,6 @@
 """Command-line interface for the approximate-component library.
 
-Four subcommands mirror the workflows a library user runs most:
+The subcommands mirror the workflows a library user runs most:
 
 * ``repro characterize-adders`` -- Table III-style characterization of
   the 1-bit cells and multi-bit ripple adders.
@@ -8,11 +8,20 @@ Four subcommands mirror the workflows a library user runs most:
   constraint queries.
 * ``repro characterize-multipliers`` -- Fig. 5 / Fig. 6 multiplier
   characterization.
+* ``repro campaign`` -- the named characterization campaigns (Table IV,
+  Fig. 6, ripple/SAD/filter families) through the parallel, cached,
+  resumable campaign engine.
 * ``repro encode`` -- the HEVC-lite case study with a chosen SAD
   variant (Fig. 9 data points).
 
+The sweep subcommands accept ``--workers`` (process-pool fan-out) and
+``--cache-dir`` (result cache: warm starts and kill/resume).  Results
+are bit-identical for any worker count.
+
 Example:
     $ python -m repro.cli explore-gear --width 11 --min-accuracy 90
+    $ python -m repro.cli campaign table4 --model monte-carlo \\
+          --workers 4 --cache-dir .campaign-cache
 """
 
 from __future__ import annotations
@@ -21,17 +30,27 @@ import argparse
 import sys
 from typing import List, Sequence
 
-from .accelerators.sad import SAD_VARIANT_CELLS, SADAccelerator
-from .adders.characterize import characterize_adder, characterize_ripple_family
+from .accelerators.sad import (
+    SAD_VARIANT_CELLS,
+    SADAccelerator,
+    sad_family_tasks,
+)
+from .adders.characterize import (
+    characterize_adder,
+    characterize_ripple_family,
+    ripple_family_tasks,
+)
 from .adders.fulladder import FULL_ADDER_NAMES, FULL_ADDERS
+from .campaign import CampaignStats, run_campaign
 from .characterization.report import format_records, records_to_csv
-from .dse.explorer import explore_gear_space
+from .dse.explorer import explore_gear_space_campaign, gear_space_tasks
 from .dse.selection import select_max_accuracy, select_min_area
 from .logic.simulate import estimate_power
 from .media.synthetic import moving_sequence
 from .multipliers.characterize import (
     characterize_mul2x2_family,
     fig6_multiplier_family,
+    fig6_multiplier_tasks,
 )
 from .video.codec import HevcLiteEncoder
 
@@ -43,6 +62,27 @@ def _print(records: List[dict], columns, as_csv: bool, title: str) -> None:
         print(records_to_csv(records, columns))
     else:
         print(format_records(records, columns=columns, title=title))
+
+
+def _progress_printer(enabled: bool):
+    """Stderr task counter for long campaigns (None when disabled)."""
+    if not enabled:
+        return None
+
+    def progress(done: int, total: int) -> None:
+        end = "\n" if done == total else ""
+        print(f"\r  campaign: {done}/{total} tasks", end=end,
+              file=sys.stderr, flush=True)
+
+    return progress
+
+
+def _print_stats(stats: CampaignStats) -> None:
+    print(f"campaign stats: {stats.summary()}", file=sys.stderr)
+
+
+def _normalized_model(model: str) -> str:
+    return model.replace("-", "_")
 
 
 def _cmd_characterize_adders(args: argparse.Namespace) -> int:
@@ -62,7 +102,8 @@ def _cmd_characterize_adders(args: argparse.Namespace) -> int:
     _print(rows, None, args.csv, "1-bit full adders (Table III)")
     if args.width:
         records = characterize_ripple_family(
-            args.width, approx_lsb_counts=tuple(args.lsbs)
+            args.width, approx_lsb_counts=tuple(args.lsbs),
+            n_workers=args.workers, cache_dir=args.cache_dir,
         )
         family_rows = [r.as_row() for r in records]
         _print(
@@ -76,7 +117,18 @@ def _cmd_characterize_adders(args: argparse.Namespace) -> int:
 
 
 def _cmd_explore_gear(args: argparse.Namespace) -> int:
-    records = explore_gear_space(args.width)
+    result = explore_gear_space_campaign(
+        args.width,
+        model=_normalized_model(args.model),
+        n_samples=args.samples,
+        seed=args.seed,
+        n_workers=args.workers,
+        cache_dir=args.cache_dir,
+        progress=_progress_printer(args.workers > 1),
+    )
+    records = list(result.results)
+    if args.workers > 1 or args.cache_dir:
+        _print_stats(result.stats)
     for record in records:
         record["accuracy_percent"] = round(record["accuracy_percent"], 3)
     _print(
@@ -109,7 +161,8 @@ def _cmd_characterize_multipliers(args: argparse.Namespace) -> int:
     )
     if args.widths:
         records = fig6_multiplier_family(
-            widths=tuple(args.widths), n_samples=args.samples
+            widths=tuple(args.widths), n_samples=args.samples,
+            n_workers=args.workers, cache_dir=args.cache_dir,
         )
         rows = [r.as_row() for r in records]
         _print(
@@ -129,6 +182,8 @@ def _cmd_characterize_sad(args: argparse.Namespace) -> int:
         n_pixels=args.pixels,
         lsb_counts=tuple(args.lsbs),
         n_samples=args.samples,
+        n_workers=args.workers,
+        cache_dir=args.cache_dir,
     )
     _print(records, None, args.csv,
            f"SAD accelerator family ({args.pixels} pixels)")
@@ -199,6 +254,100 @@ def _cmd_encode(args: argparse.Namespace) -> int:
     return 0
 
 
+#: Output columns per named campaign (records are flattened first).
+_CAMPAIGN_COLUMNS = {
+    "table4": ["r", "p", "k", "l", "accuracy_percent", "lut_count",
+               "area_ge"],
+    "fig6": ["name", "width", "area_ge", "power_nw", "error_rate",
+             "normalized_med"],
+    "ripple": ["name", "width", "area_ge", "error_rate",
+               "mean_error_distance", "max_error_distance"],
+    "sad": ["name", "fa", "approx_lsbs", "mean_error_distance",
+            "mean_relative_error", "energy_fj"],
+    "filter": ["image", "fa", "approx_lsbs", "ssim", "area_ge"],
+}
+
+
+def _campaign_tasks(args: argparse.Namespace) -> List:
+    """Task list for the named campaign of ``repro campaign``."""
+    from .campaign import CampaignTask
+    from .media.synthetic import standard_images
+
+    name = args.campaign
+    if name == "table4":
+        return gear_space_tasks(
+            args.width or 11, model=_normalized_model(args.model),
+            n_samples=args.samples or 200_000, seed=args.seed,
+        )
+    if name == "fig6":
+        return fig6_multiplier_tasks(
+            widths=tuple(args.widths), n_samples=args.samples or 50_000,
+            seed=args.seed,
+        )
+    if name == "ripple":
+        return ripple_family_tasks(
+            args.width or 8, approx_lsb_counts=tuple(args.lsbs),
+            n_samples=args.samples or 100_000, seed=args.seed,
+        )
+    if name == "sad":
+        return sad_family_tasks(
+            n_pixels=args.pixels, lsb_counts=tuple(args.lsbs),
+            n_samples=args.samples or 3000, seed=args.seed,
+        )
+    if name == "filter":
+        images = sorted(standard_images(size=64))
+        return [
+            CampaignTask(
+                kind="filter_ssim",
+                params={"image": image, "fa": cell, "approx_lsbs": lsbs,
+                        "size": 64},
+                seed=args.seed,
+            )
+            for image in images
+            for cell in ("ApxFA1", "ApxFA2", "ApxFA3", "ApxFA4", "ApxFA5")
+            for lsbs in args.lsbs
+        ]
+    raise ValueError(f"unknown campaign {name!r}")
+
+
+def _flatten_record(record: dict) -> dict:
+    """Lift nested ``metrics`` dicts into top-level report columns."""
+    if not isinstance(record, dict):
+        return {"result": record}
+    flat = {k: v for k, v in record.items() if k != "metrics"}
+    metrics = record.get("metrics")
+    if isinstance(metrics, dict):
+        flat.update(
+            {k: round(v, 6) if isinstance(v, float) else v
+             for k, v in metrics.items()}
+        )
+    return flat
+
+
+def _cmd_campaign(args: argparse.Namespace) -> int:
+    tasks = _campaign_tasks(args)
+    result = run_campaign(
+        tasks,
+        n_workers=args.workers,
+        cache_dir=args.cache_dir,
+        progress=_progress_printer(not args.csv),
+    )
+    rows = [_flatten_record(record) for record in result.results]
+    for row in rows:
+        for key, value in row.items():
+            if isinstance(value, float):
+                row[key] = round(value, 6)
+    _print(
+        rows,
+        _CAMPAIGN_COLUMNS[args.campaign],
+        args.csv,
+        f"campaign {args.campaign!r} "
+        f"({len(tasks)} tasks, seed {args.seed})",
+    )
+    _print_stats(result.stats)
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the CLI argument parser (exposed for testing)."""
     parser = argparse.ArgumentParser(
@@ -206,6 +355,12 @@ def build_parser() -> argparse.ArgumentParser:
         description="Cross-layer approximate computing component library",
     )
     sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_campaign_flags(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--workers", type=int, default=1,
+                       help="campaign worker processes (1 = serial)")
+        p.add_argument("--cache-dir", default=None,
+                       help="campaign result cache (warm start / resume)")
 
     p = sub.add_parser(
         "characterize-adders", help="Table III characterization"
@@ -215,13 +370,22 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--lsbs", type=int, nargs="+", default=[2, 4, 6],
                    help="approximated-LSB counts for the family sweep")
     p.add_argument("--csv", action="store_true")
+    add_campaign_flags(p)
     p.set_defaults(func=_cmd_characterize_adders)
 
     p = sub.add_parser("explore-gear", help="Table IV / Fig. 4 sweep")
     p.add_argument("--width", type=int, default=11)
     p.add_argument("--min-accuracy", type=float, default=None,
                    help="also run the min-area selection at this bound")
+    p.add_argument("--model", default="exact",
+                   choices=["exact", "paper", "monte-carlo", "monte_carlo"],
+                   help="accuracy model for each design-space row")
+    p.add_argument("--samples", type=int, default=200_000,
+                   help="Monte Carlo samples per configuration")
+    p.add_argument("--seed", type=int, default=0,
+                   help="sweep seed (per-row seeds derive from it)")
     p.add_argument("--csv", action="store_true")
+    add_campaign_flags(p)
     p.set_defaults(func=_cmd_explore_gear)
 
     p = sub.add_parser(
@@ -230,6 +394,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--widths", type=int, nargs="*", default=[4, 8])
     p.add_argument("--samples", type=int, default=20_000)
     p.add_argument("--csv", action="store_true")
+    add_campaign_flags(p)
     p.set_defaults(func=_cmd_characterize_multipliers)
 
     p = sub.add_parser(
@@ -239,7 +404,34 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--lsbs", type=int, nargs="+", default=[2, 4, 6])
     p.add_argument("--samples", type=int, default=3000)
     p.add_argument("--csv", action="store_true")
+    add_campaign_flags(p)
     p.set_defaults(func=_cmd_characterize_sad)
+
+    p = sub.add_parser(
+        "campaign",
+        help="run a named characterization campaign (parallel + cached)",
+    )
+    p.add_argument("campaign",
+                   choices=["table4", "fig6", "ripple", "sad", "filter"],
+                   help="which characterization sweep to run")
+    p.add_argument("--width", type=int, default=0,
+                   help="operand width (table4: 11, ripple: 8 by default)")
+    p.add_argument("--widths", type=int, nargs="*", default=[2, 4, 8],
+                   help="fig6 multiplier widths")
+    p.add_argument("--lsbs", type=int, nargs="+", default=[2, 4, 6],
+                   help="approximated-LSB counts (ripple/sad/filter)")
+    p.add_argument("--pixels", type=int, default=64,
+                   help="pixels per SAD block")
+    p.add_argument("--model", default="exact",
+                   choices=["exact", "paper", "monte-carlo", "monte_carlo"],
+                   help="table4 accuracy model")
+    p.add_argument("--samples", type=int, default=0,
+                   help="samples per task (0 = campaign default)")
+    p.add_argument("--seed", type=int, default=0,
+                   help="campaign seed (per-task seeds derive from it)")
+    p.add_argument("--csv", action="store_true")
+    add_campaign_flags(p)
+    p.set_defaults(func=_cmd_campaign)
 
     p = sub.add_parser("luts", help="FPGA LUT-mapping estimates")
     p.add_argument("--k", type=int, default=6)

@@ -13,6 +13,19 @@ computing literature (and used implicitly throughout the paper):
   "maximum error value").
 * **accuracy %**: ``100 * (1 - ER)`` -- the paper's Table IV metric.
 * **PSNR**: peak signal-to-noise ratio for image-valued outputs.
+
+Dtype guarantee
+---------------
+Integral inputs are compared in **integer arithmetic** -- they are never
+silently cast to ``float64``, whose 53-bit mantissa would alias outputs
+above ``2**53`` (e.g. 32x32-bit recursive-multiplier products) and make
+ER / max-ED report zero error for genuinely wrong outputs.  Values that
+exceed the ``int64`` range (Python-int inputs, or ``uint64`` arrays) are
+handled via object-dtype exact integer arithmetic.  Floating point is
+only entered where a metric's *definition* requires division or
+averaging (MED, NMED, MRED, MSE, and the final scalar conversion), after
+the element-wise comparisons/differences have been computed exactly.
+Mixed integer/float input pairs fall back to ``float64`` throughout.
 """
 
 from __future__ import annotations
@@ -36,9 +49,31 @@ __all__ = [
 ]
 
 
+def _as_metric_array(x) -> np.ndarray:
+    """Coerce input to an array without losing integer precision.
+
+    Integer and object (big-int) dtypes pass through unchanged; bools
+    are widened to ``int64``; anything else becomes ``float64``.
+    """
+    arr = np.asarray(x)
+    if arr.dtype.kind == "b":
+        return arr.astype(np.int64)
+    if arr.dtype.kind in "iu" or arr.dtype == object:
+        return arr
+    return arr if arr.dtype.kind == "f" else arr.astype(np.float64)
+
+
 def _pair(approx, exact):
-    a = np.asarray(approx, dtype=np.float64)
-    e = np.asarray(exact, dtype=np.float64)
+    a = _as_metric_array(approx)
+    e = _as_metric_array(exact)
+    # Mixed integer/float pairs degrade to the legacy all-float path.
+    a_float = a.dtype.kind == "f"
+    e_float = e.dtype.kind == "f"
+    if a_float != e_float:
+        if not a_float:
+            a = a.astype(np.float64)
+        if not e_float:
+            e = e.astype(np.float64)
     if a.shape != e.shape:
         raise ValueError(
             f"approx shape {a.shape} != exact shape {e.shape}"
@@ -48,8 +83,31 @@ def _pair(approx, exact):
     return a, e
 
 
+def _abs_diff(a: np.ndarray, e: np.ndarray) -> np.ndarray:
+    """Element-wise ``|a - e|``, exact for integral inputs.
+
+    ``uint64`` subtraction wraps and mixed ``uint64``/``int64`` pairs
+    promote to ``float64`` under NumPy's rules, so those go through
+    object-dtype Python-int arithmetic instead.
+    """
+    if a.dtype.kind == "f":
+        return np.abs(a - e)
+    if (
+        a.dtype == object
+        or e.dtype == object
+        or a.dtype == np.uint64
+        or e.dtype == np.uint64
+    ):
+        return np.abs(a.astype(object) - e.astype(object))
+    return np.abs(a.astype(np.int64) - e.astype(np.int64))
+
+
 def error_rate(approx, exact) -> float:
-    """Fraction of samples where the approximate output is wrong."""
+    """Fraction of samples where the approximate output is wrong.
+
+    Integral inputs are compared exactly (no float rounding), so outputs
+    above ``2**53`` still register their errors.
+    """
     a, e = _pair(approx, exact)
     return float(np.mean(a != e))
 
@@ -57,7 +115,7 @@ def error_rate(approx, exact) -> float:
 def mean_error_distance(approx, exact) -> float:
     """Mean absolute deviation ``E[|approx - exact|]`` (MED)."""
     a, e = _pair(approx, exact)
-    return float(np.mean(np.abs(a - e)))
+    return float(np.mean(_abs_diff(a, e)))
 
 
 def normalized_med(approx, exact, max_output: float | None = None) -> float:
@@ -76,13 +134,18 @@ def mean_relative_error_distance(approx, exact) -> float:
     nonzero = e != 0
     if not np.any(nonzero):
         raise ValueError("all exact outputs are zero; MRED undefined")
-    return float(np.mean(np.abs(a[nonzero] - e[nonzero]) / np.abs(e[nonzero])))
+    d = _abs_diff(a, e)[nonzero]
+    return float(np.mean(d / np.abs(e[nonzero])))
 
 
 def max_error_distance(approx, exact) -> float:
-    """Worst-case absolute deviation (the paper's 'Max. Error Value')."""
+    """Worst-case absolute deviation (the paper's 'Max. Error Value').
+
+    The deviation itself is computed in exact integer arithmetic for
+    integral inputs; only the returned scalar is a float.
+    """
     a, e = _pair(approx, exact)
-    return float(np.max(np.abs(a - e)))
+    return float(np.max(_abs_diff(a, e)))
 
 
 def accuracy_percent(approx, exact) -> float:
@@ -93,7 +156,8 @@ def accuracy_percent(approx, exact) -> float:
 def mse(approx, exact) -> float:
     """Mean squared error."""
     a, e = _pair(approx, exact)
-    return float(np.mean((a - e) ** 2))
+    d = np.asarray(_abs_diff(a, e), dtype=np.float64)
+    return float(np.mean(d * d))
 
 
 def psnr(approx, exact, peak: float = 255.0) -> float:
@@ -139,6 +203,20 @@ class ErrorMetrics:
             "n_samples": self.n_samples,
         }
 
+    @classmethod
+    def from_dict(cls, data: Dict[str, float]) -> "ErrorMetrics":
+        """Rebuild from :meth:`as_dict` output (derived keys ignored)."""
+        return cls(
+            error_rate=float(data["error_rate"]),
+            mean_error_distance=float(data["mean_error_distance"]),
+            normalized_med=float(data["normalized_med"]),
+            max_error_distance=float(data["max_error_distance"]),
+            mean_relative_error_distance=float(
+                data["mean_relative_error_distance"]
+            ),
+            n_samples=int(data["n_samples"]),
+        )
+
 
 def compute_error_metrics(
     approx, exact, max_output: float | None = None
@@ -156,18 +234,17 @@ def compute_error_metrics(
         observed = float(np.max(np.abs(e)))
         max_output = observed if observed > 0 else 1.0
     nonzero = e != 0
+    d = _abs_diff(a, e)
     if np.any(nonzero):
-        mred = float(
-            np.mean(np.abs(a[nonzero] - e[nonzero]) / np.abs(e[nonzero]))
-        )
+        mred = float(np.mean(d[nonzero] / np.abs(e[nonzero])))
     else:
         mred = 0.0
-    med = float(np.mean(np.abs(a - e)))
+    med = float(np.mean(d))
     return ErrorMetrics(
         error_rate=float(np.mean(a != e)),
         mean_error_distance=med,
         normalized_med=med / max_output,
-        max_error_distance=float(np.max(np.abs(a - e))),
+        max_error_distance=float(np.max(d)),
         mean_relative_error_distance=mred,
         n_samples=int(a.size),
     )

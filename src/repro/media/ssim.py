@@ -80,8 +80,11 @@ def ssim_map(
     mu_xx = mu_x * mu_x
     mu_yy = mu_y * mu_y
     mu_xy = mu_x * mu_y
-    sigma_xx = _filter2_valid(x * x, window) - mu_xx
-    sigma_yy = _filter2_valid(y * y, window) - mu_yy
+    # E[x^2] - E[x]^2 can come out a hair negative on flat regions from
+    # floating-point cancellation; true variances are non-negative, so
+    # clamp at 0 exactly as the reference SSIM implementation does.
+    sigma_xx = np.maximum(_filter2_valid(x * x, window) - mu_xx, 0.0)
+    sigma_yy = np.maximum(_filter2_valid(y * y, window) - mu_yy, 0.0)
     sigma_xy = _filter2_valid(x * y, window) - mu_xy
 
     numerator = (2.0 * mu_xy + c1) * (2.0 * sigma_xy + c2)

@@ -23,6 +23,7 @@ __all__ = [
     "characterize_multiplier",
     "characterize_mul2x2_family",
     "fig6_multiplier_family",
+    "fig6_multiplier_tasks",
 ]
 
 _EXHAUSTIVE_WIDTH_LIMIT = 8
@@ -47,6 +48,27 @@ class MultiplierCharacterization:
         }
         row.update({k: round(v, 6) for k, v in self.metrics.as_dict().items()})
         return row
+
+    def to_record(self) -> Dict:
+        """Full-precision JSON-serializable form (campaign cache)."""
+        return {
+            "name": self.name,
+            "width": self.width,
+            "area_ge": self.area_ge,
+            "power_nw": self.power_nw,
+            "metrics": self.metrics.as_dict(),
+        }
+
+    @classmethod
+    def from_record(cls, record: Dict) -> "MultiplierCharacterization":
+        """Inverse of :meth:`to_record`."""
+        return cls(
+            name=record["name"],
+            width=int(record["width"]),
+            area_ge=float(record["area_ge"]),
+            power_nw=float(record["power_nw"]),
+            metrics=ErrorMetrics.from_dict(record["metrics"]),
+        )
 
 
 def _operand_sweep(width: int, n_samples: int, seed: int):
@@ -156,50 +178,85 @@ def characterize_mul2x2_family() -> List[Dict[str, float]]:
     return rows
 
 
+def fig6_multiplier_tasks(
+    widths: Iterable[int] = (2, 4, 8, 16),
+    leaf_mul: str = "ApxMulOur",
+    n_samples: int = 50_000,
+    seed: int = 0,
+) -> List["CampaignTask"]:
+    """Campaign tasks for the Fig. 6 multiplier family sweep.
+
+    One task per (width, variant); all share the sweep seed so the
+    family is characterized on one common stimulus, matching the legacy
+    serial loop.
+    """
+    from ..campaign import CampaignTask
+
+    tasks: List[CampaignTask] = []
+    for width in widths:
+        if width == 2:
+            for name in ("AccMul", "ApxMulSoA", "ApxMulOur"):
+                tasks.append(
+                    CampaignTask(
+                        kind="multiplier",
+                        params={
+                            "leaf_policy": "spec2x2",
+                            "leaf_mul": name,
+                            "name": name,
+                            "n_samples": n_samples,
+                        },
+                        seed=seed,
+                    )
+                )
+            continue
+        variants = {
+            f"AccMul{width}": {"leaf_policy": "none"},
+            f"ApxMul{width}_V1(all)": {
+                "leaf_mul": leaf_mul, "leaf_policy": "all",
+            },
+            f"ApxMul{width}_V2(low)": {
+                "leaf_mul": leaf_mul, "leaf_policy": "low_half",
+            },
+            f"ApxMul{width}_V3(low+adders)": {
+                "leaf_mul": leaf_mul,
+                "leaf_policy": "low_half",
+                "adder_fa": "ApxFA1",
+                "adder_approx_lsbs": width // 2,
+            },
+        }
+        for name, spec in variants.items():
+            params = {
+                "width": width,
+                "name": name,
+                "n_samples": n_samples,
+                **spec,
+            }
+            tasks.append(
+                CampaignTask(kind="multiplier", params=params, seed=seed)
+            )
+    return tasks
+
+
 def fig6_multiplier_family(
     widths: Iterable[int] = (2, 4, 8, 16),
     leaf_mul: str = "ApxMulOur",
     n_samples: int = 50_000,
     seed: int = 0,
+    n_workers: int = 1,
+    cache_dir: str | None = None,
 ) -> List[MultiplierCharacterization]:
-    """Accurate vs. approximate multipliers at each width (Fig. 6 data)."""
-    records: List[MultiplierCharacterization] = []
-    for width in widths:
-        if width == 2:
-            for name in ("AccMul", "ApxMulSoA", "ApxMulOur"):
-                spec = multiplier_2x2(name)
-                a, b = _operand_sweep(2, n_samples, seed)
-                metrics = compute_error_metrics(
-                    spec.multiply(a, b), a * b, max_output=9.0
-                )
-                records.append(
-                    MultiplierCharacterization(
-                        name=name,
-                        width=2,
-                        area_ge=spec.area_ge,
-                        power_nw=estimate_power(spec.netlist()).total_nw,
-                        metrics=metrics,
-                    )
-                )
-            continue
-        variants = {
-            f"AccMul{width}": RecursiveMultiplier(width, leaf_policy="none"),
-            f"ApxMul{width}_V1(all)": RecursiveMultiplier(
-                width, leaf_mul=leaf_mul, leaf_policy="all"
-            ),
-            f"ApxMul{width}_V2(low)": RecursiveMultiplier(
-                width, leaf_mul=leaf_mul, leaf_policy="low_half"
-            ),
-            f"ApxMul{width}_V3(low+adders)": RecursiveMultiplier(
-                width,
-                leaf_mul=leaf_mul,
-                leaf_policy="low_half",
-                adder_fa="ApxFA1",
-                adder_approx_lsbs=width // 2,
-            ),
-        }
-        for name, mul in variants.items():
-            records.append(
-                characterize_multiplier(mul, name=name, n_samples=n_samples, seed=seed)
-            )
-    return records
+    """Accurate vs. approximate multipliers at each width (Fig. 6 data).
+
+    Runs as a campaign: ``n_workers`` fans the variants out over a
+    process pool and ``cache_dir`` reuses / checkpoints finished
+    records; results are bit-identical for any worker count.
+    """
+    from ..campaign import run_campaign
+
+    tasks = fig6_multiplier_tasks(
+        widths, leaf_mul=leaf_mul, n_samples=n_samples, seed=seed
+    )
+    result = run_campaign(tasks, n_workers=n_workers, cache_dir=cache_dir)
+    return [
+        MultiplierCharacterization.from_record(rec) for rec in result.results
+    ]

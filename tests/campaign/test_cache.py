@@ -1,0 +1,76 @@
+"""Tests for the on-disk campaign result cache."""
+
+import json
+
+import pytest
+
+from repro.campaign import CampaignTask, ResultCache
+
+
+def _key(n: int) -> str:
+    return CampaignTask("gear_dse_row", {"n": n}).key
+
+
+class TestResultCache:
+    def test_miss_returns_none(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        assert cache.get(_key(1)) is None
+        assert _key(1) not in cache
+
+    def test_put_get_roundtrip(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        entry = {"task": {"kind": "k"}, "result": {"x": 1.5}, "elapsed_s": 0.1}
+        cache.put(_key(2), entry)
+        assert cache.get(_key(2)) == entry
+        assert _key(2) in cache
+
+    def test_sharded_layout(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = _key(3)
+        cache.put(key, {"result": 1})
+        assert (tmp_path / key[:2] / f"{key}.json").is_file()
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = _key(4)
+        cache.put(key, {"result": 1})
+        path = tmp_path / key[:2] / f"{key}.json"
+        path.write_text("{ truncated", encoding="utf-8")
+        assert cache.get(key) is None
+
+    def test_overwrite_is_atomic_replace(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = _key(5)
+        cache.put(key, {"result": 1})
+        cache.put(key, {"result": 2})
+        assert cache.get(key) == {"result": 2}
+        # No temp droppings left behind.
+        assert not list(tmp_path.glob("**/.tmp-*"))
+
+    def test_keys_and_len(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        keys = {_key(n) for n in range(6, 10)}
+        for k in keys:
+            cache.put(k, {"result": None})
+        assert set(cache.keys()) == keys
+        assert len(cache) == len(keys)
+
+    def test_evict(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = _key(11)
+        cache.put(key, {"result": 1})
+        assert cache.evict(key) is True
+        assert cache.get(key) is None
+        assert cache.evict(key) is False
+
+    def test_malformed_key_rejected(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        with pytest.raises(ValueError, match="malformed"):
+            cache.get("../../etc/passwd")
+
+    def test_entries_are_plain_json(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = _key(12)
+        cache.put(key, {"result": [1, 2.5, "three"]})
+        path = tmp_path / key[:2] / f"{key}.json"
+        assert json.loads(path.read_text()) == {"result": [1, 2.5, "three"]}

@@ -1,0 +1,56 @@
+"""Resume-after-kill: a SIGKILLed campaign restarts where it died."""
+
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+from repro.campaign import ResultCache, run_campaign
+from repro.dse.explorer import gear_space_tasks
+
+_SRC = str(Path(__file__).resolve().parents[2] / "src")
+
+_CHILD_SCRIPT = """
+import sys
+sys.path.insert(0, {src!r})
+from repro.campaign import run_campaign
+from repro.dse.explorer import gear_space_tasks
+
+tasks = gear_space_tasks(11, model="monte_carlo", n_samples=400_000, seed=5)
+run_campaign(tasks, cache_dir={cache_dir!r})
+"""
+
+
+class TestResumeAfterKill:
+    def test_sigkill_mid_campaign_then_resume(self, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        tasks = gear_space_tasks(11, model="monte_carlo", n_samples=400_000,
+                                 seed=5)
+        script = _CHILD_SCRIPT.format(src=_SRC, cache_dir=cache_dir)
+        child = subprocess.Popen([sys.executable, "-c", script])
+        # Give the child time to finish some, but not all, tasks.
+        deadline = time.monotonic() + 30.0
+        cache = ResultCache(cache_dir)
+        while time.monotonic() < deadline:
+            if child.poll() is not None:
+                break
+            if len(cache) >= 2:
+                break
+            time.sleep(0.05)
+        if child.poll() is None:
+            os.kill(child.pid, signal.SIGKILL)
+            child.wait(timeout=30)
+        cached_after_kill = set(cache.keys())
+        assert cached_after_kill, "no checkpoint landed before the kill"
+
+        # Resume: only the missing tasks are recomputed, nothing cached
+        # is re-executed, and no partially-written entry survives.
+        resumed = run_campaign(tasks, cache_dir=cache_dir)
+        assert resumed.stats.n_cache_hits == len(cached_after_kill)
+        assert resumed.stats.n_executed == len(tasks) - len(cached_after_kill)
+
+        # The resumed records are bit-identical to an uninterrupted run.
+        reference = run_campaign(tasks)
+        assert resumed.results == reference.results

@@ -92,3 +92,58 @@ class TestBundle:
         bundle = compute_error_metrics([1], [1])
         keys = set(bundle.as_dict())
         assert {"error_rate", "accuracy_percent", "max_error_distance"} <= keys
+
+
+class TestIntegerPrecision:
+    """Regression: integral inputs must not round through float64.
+
+    A float64 mantissa aliases integers above 2**53, so the legacy
+    all-float `_pair` reported ER = 0 for genuinely wrong 32x32-bit
+    multiplier products.
+    """
+
+    def test_error_above_2_53_detected(self):
+        exact = np.array([2**60, 7], dtype=np.int64)
+        approx = np.array([2**60 + 1, 7], dtype=np.int64)
+        # float64 cannot tell 2**60 and 2**60 + 1 apart.
+        assert float(approx[0]) == float(exact[0])
+        assert error_rate(approx, exact) == 0.5
+        assert max_error_distance(approx, exact) == 1.0
+
+    def test_bundle_above_2_53(self):
+        exact = np.array([2**60, 2**60], dtype=np.int64)
+        approx = np.array([2**60 + 2, 2**60], dtype=np.int64)
+        bundle = compute_error_metrics(approx, exact)
+        assert bundle.error_rate == 0.5
+        assert bundle.max_error_distance == 2.0
+        assert bundle.mean_error_distance == 1.0
+
+    def test_32x32_bit_product_style_values(self):
+        a = np.uint64((2**32 - 1)) * np.uint64(2**32 - 1)  # 2**64 - 2**33 + 1
+        exact = np.array([a], dtype=np.uint64)
+        approx = np.array([a - np.uint64(3)], dtype=np.uint64)
+        assert error_rate(approx, exact) == 1.0
+        assert max_error_distance(approx, exact) == 3.0
+
+    def test_python_ints_beyond_int64(self):
+        exact = [2**70, 2**70 + 8]
+        approx = [2**70, 2**70]
+        assert error_rate(approx, exact) == 0.5
+        assert max_error_distance(approx, exact) == 8.0
+        assert mean_error_distance(approx, exact) == 4.0
+
+    def test_mixed_int_float_still_works(self):
+        assert error_rate([1, 2], np.array([1.0, 2.5])) == 0.5
+        assert max_error_distance([1, 2], np.array([1.0, 2.5])) == 0.5
+
+    def test_bool_inputs(self):
+        assert error_rate([True, False], [True, True]) == 0.5
+        assert mean_error_distance([True, False], [True, True]) == 0.5
+
+    def test_exact_arithmetic_not_just_comparison(self):
+        # MED over huge values: differences are computed before any
+        # float conversion, so small deltas survive.
+        exact = np.array([2**60 + 4, 2**60], dtype=np.int64)
+        approx = np.array([2**60, 2**60], dtype=np.int64)
+        assert mean_error_distance(approx, exact) == 2.0
+        assert mse(approx, exact) == 8.0

@@ -85,3 +85,39 @@ class TestSsimMap:
         corrupted_zone = smap[:6, :6].mean()
         clean_zone = smap[-6:, -6:].mean()
         assert clean_zone > corrupted_zone
+
+
+class TestVarianceClamp:
+    """Regression: flat regions must not produce negative variances.
+
+    ``E[x^2] - E[x]^2`` can cancel to a tiny negative number on constant
+    patches, which skewed the Fig. 10 resilience curves; the reference
+    implementation clamps at 0.
+    """
+
+    def test_constant_image_ssim_is_one(self):
+        # The clamp keeps the tiny E[x^2] - mu^2 cancellation error from
+        # turning into a negative variance; the unclamped covariance may
+        # still carry +/- 1 ulp, hence approx rather than exact equality.
+        for value in (63.0, 77.0, 137.0, 200.0):
+            img = np.full((32, 32), value)
+            assert ssim(img, img) == pytest.approx(1.0, abs=1e-12)
+            assert ssim(img, img) <= 1.0
+
+    def test_constant_image_map_near_one_everywhere(self):
+        img = np.full((24, 24), 200.0)
+        smap = ssim_map(img, img)
+        assert np.all(smap <= 1.0)
+        assert np.all(smap == pytest.approx(1.0, abs=1e-12))
+
+    def test_flat_plus_speck_never_exceeds_one(self):
+        img = np.full((32, 32), 63.0)
+        distorted = img.copy()
+        distorted[16, 16] += 1.0
+        smap = ssim_map(img, distorted)
+        assert np.all(smap <= 1.0)
+        assert ssim(img, img) >= ssim(img, distorted)
+
+    def test_identical_images_ssim_one_any_content(self, rng):
+        img = rng.integers(0, 256, (40, 40)).astype(float)
+        assert ssim(img, img) == pytest.approx(1.0, abs=1e-12)

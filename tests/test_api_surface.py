@@ -16,6 +16,7 @@ SUBPACKAGES = [
     "repro.video",
     "repro.media",
     "repro.dse",
+    "repro.campaign",
     "repro.survey",
     "repro.characterization",
 ]

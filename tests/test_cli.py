@@ -82,3 +82,41 @@ class TestEncode:
         assert main(["encode", "--variant", "ApxSAD9",
                      "--frames", "2", "--size", "32"]) == 2
         assert "unknown variant" in capsys.readouterr().err
+
+
+class TestCampaignCommand:
+    def test_listed_in_known_commands(self):
+        args = build_parser().parse_args(["campaign", "table4"])
+        assert callable(args.func)
+
+    def test_table4_campaign(self, capsys):
+        assert main(["campaign", "table4", "--width", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "accuracy_percent" in out
+
+    def test_sad_campaign_csv(self, capsys):
+        assert main(["campaign", "sad", "--pixels", "16",
+                     "--samples", "100", "--lsbs", "2", "--csv"]) == 0
+        out = capsys.readouterr().out
+        assert out.splitlines()[0].startswith("name,")
+        assert "AccuSAD" in out
+
+    def test_cache_dir_and_workers(self, capsys, tmp_path):
+        cache = str(tmp_path / "cache")
+        argv = ["campaign", "table4", "--width", "8", "--model",
+                "monte-carlo", "--samples", "2000", "--workers", "2",
+                "--cache-dir", cache]
+        assert main(argv) == 0
+        cold = capsys.readouterr()
+        assert "0 cache hits" in cold.err
+        assert main(argv) == 0
+        warm = capsys.readouterr()
+        assert "0 executed" in warm.err
+        assert cold.out == warm.out
+
+    def test_explore_gear_accepts_campaign_flags(self, capsys, tmp_path):
+        assert main(["explore-gear", "--width", "8", "--model",
+                     "monte-carlo", "--samples", "2000", "--seed", "4",
+                     "--cache-dir", str(tmp_path / "c")]) == 0
+        out = capsys.readouterr().out
+        assert "max accuracy" in out
