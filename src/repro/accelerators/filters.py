@@ -50,6 +50,10 @@ class LowPassFilterAccelerator:
         fa: Table III full-adder cell for the approximated LSBs.
         approx_lsbs: Number of approximated LSBs in each tree adder.
         pixel_bits: Input pixel width (8 for grayscale images).
+        eval_mode: Evaluation engine forwarded to every tree adder
+            (``"auto"``/``"lut"``/``"loop"``, see
+            :class:`~repro.adders.ripple.ApproximateRippleAdder`); all
+            modes are bit-identical, which ``repro verify`` checks.
 
     Example:
         >>> acc = LowPassFilterAccelerator(fa="ApxFA1", approx_lsbs=0)
@@ -59,11 +63,16 @@ class LowPassFilterAccelerator:
     """
 
     def __init__(
-        self, fa: str = "AccuFA", approx_lsbs: int = 0, pixel_bits: int = 8
+        self,
+        fa: str = "AccuFA",
+        approx_lsbs: int = 0,
+        pixel_bits: int = 8,
+        eval_mode: str = "auto",
     ) -> None:
         self.fa = fa
         self.approx_lsbs = approx_lsbs
         self.pixel_bits = pixel_bits
+        self.eval_mode = eval_mode
         # Weighted terms reach pixel_bits + 2 (x4); the tree then grows
         # one bit per level for 3 levels (9 terms -> 5 -> 3 -> 2 -> 1).
         self._tree: List[ApproximateRippleAdder] = []
@@ -73,7 +82,10 @@ class LowPassFilterAccelerator:
             width += 1
             self._tree.append(
                 ApproximateRippleAdder(
-                    width, approx_fa=fa, num_approx_lsbs=min(approx_lsbs, width)
+                    width,
+                    approx_fa=fa,
+                    num_approx_lsbs=min(approx_lsbs, width),
+                    eval_mode=eval_mode,
                 )
             )
             remaining = (remaining + 1) // 2

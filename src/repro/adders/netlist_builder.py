@@ -132,7 +132,7 @@ def build_subtractor_netlist(adder: ApproximateRippleAdder) -> Netlist:
 
 
 def evaluate_adder_netlist(
-    netlist: Netlist, a, b, cin: int | None = 0
+    netlist: Netlist, a, b, cin=0
 ) -> np.ndarray:
     """Drive an adder/subtractor netlist with integer operands.
 
@@ -140,8 +140,10 @@ def evaluate_adder_netlist(
         netlist: Netlist from one of the builders above.
         a: First operand array (non-negative ints).
         b: Second operand array.
-        cin: Carry-in value; pass ``None`` for subtractor netlists
-            (which have no ``cin`` port).
+        cin: Carry-in, a scalar or a per-element array of 0/1 values
+            (the carry-in port is a primary input, so conformance sweeps
+            drive it as a full operand); pass ``None`` for subtractor
+            netlists (which have no ``cin`` port).
 
     Returns:
         Integer results assembled from ``s*``/``cout``
@@ -155,8 +157,12 @@ def evaluate_adder_netlist(
         stimuli[f"a{bit}"] = ((a >> bit) & 1).astype(np.uint8)
         stimuli[f"b{bit}"] = ((b >> bit) & 1).astype(np.uint8)
     if "cin" in netlist.inputs:
+        carry = np.asarray(0 if cin is None else cin, dtype=np.int64)
+        if np.any((carry != 0) & (carry != 1)):
+            raise ValueError("cin values must be 0 or 1")
         stimuli["cin"] = np.broadcast_to(
-            np.uint8(int(cin or 0)), np.broadcast_shapes(a.shape, b.shape)
+            carry.astype(np.uint8),
+            np.broadcast_shapes(a.shape, b.shape, carry.shape),
         )
     out = netlist.evaluate(stimuli)
     total = np.zeros(np.broadcast_shapes(a.shape, b.shape), dtype=np.int64)

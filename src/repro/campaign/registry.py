@@ -26,6 +26,7 @@ kind                      workload
 ``multiplier``            one Fig. 6 recursive/2x2 multiplier record
 ``sad_quality``           one SAD-accelerator quality/energy record
 ``filter_ssim``           one Fig. 10 low-pass-filter SSIM record
+``verify_component``      one differential-verification conformance report
 ========================  ====================================================
 """
 
@@ -279,3 +280,18 @@ def _filter_ssim(params: Dict[str, Any], seed: int) -> Dict[str, Any]:
         "ssim": ssim(exact, approx),
         "area_ge": accelerator.area_ge,
     }
+
+
+@register("verify_component")
+def _verify_component(params: Dict[str, Any], seed: int) -> Dict[str, Any]:
+    """One component's differential-verification conformance report.
+
+    The named budget is part of ``params`` (and hence of the cache key),
+    so cached fast-budget reports are never served to a full-budget run.
+    """
+    from ..verify.conformance import verify_component
+
+    report = verify_component(
+        params["component"], budget=params["budget"], seed=seed
+    )
+    return report.to_record()

@@ -11,6 +11,10 @@ The subcommands mirror the workflows a library user runs most:
 * ``repro campaign`` -- the named characterization campaigns (Table IV,
   Fig. 6, ripple/SAD/filter families) through the parallel, cached,
   resumable campaign engine.
+* ``repro verify`` -- cross-layer differential verification: every
+  component's evaluation paths cross-checked against each other, its
+  golden reference, metamorphic laws, and (for GeAr) the analytic /
+  exhaustive / Monte Carlo error models.
 * ``repro encode`` -- the HEVC-lite case study with a chosen SAD
   variant (Fig. 9 data points).
 
@@ -348,6 +352,56 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_verify(args: argparse.Namespace) -> int:
+    from .verify.conformance import verify_all
+    from .verify.oracle import resolve_components
+
+    try:
+        components = resolve_components(args.component)
+    except KeyError as exc:
+        print(exc.args[0], file=sys.stderr)
+        return 2
+    reports = verify_all(
+        components,
+        budget=args.budget,
+        seed=args.seed,
+        n_workers=args.workers,
+        cache_dir=args.cache_dir,
+        progress=_progress_printer(not args.csv),
+    )
+    rows = [
+        {
+            "component": report.component,
+            "budget": report.budget,
+            "checks": report.n_checks,
+            "failed": len(report.failures()),
+            "status": "ok" if report.passed else "FAIL",
+        }
+        for report in reports
+    ]
+    _print(
+        rows,
+        ["component", "budget", "checks", "failed", "status"],
+        args.csv,
+        f"differential verification ({len(reports)} components, "
+        f"budget {args.budget!r}, seed {args.seed})",
+    )
+    failed = [report for report in reports if not report.passed]
+    for report in failed:
+        for check in report.failures():
+            print(
+                f"FAIL {check.component} {check.check}: {check.detail}",
+                file=sys.stderr,
+            )
+    total_checks = sum(report.n_checks for report in reports)
+    print(
+        f"verify: {len(reports) - len(failed)}/{len(reports)} components "
+        f"passed ({total_checks} checks)",
+        file=sys.stderr,
+    )
+    return 1 if failed else 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the CLI argument parser (exposed for testing)."""
     parser = argparse.ArgumentParser(
@@ -432,6 +486,25 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--csv", action="store_true")
     add_campaign_flags(p)
     p.set_defaults(func=_cmd_campaign)
+
+    p = sub.add_parser(
+        "verify",
+        help="cross-layer differential verification (oracle registry)",
+    )
+    p.add_argument(
+        "component", nargs="?", default="all",
+        help="'all', a family (fa, ripple, gear, mul2x2, recmul, sad, "
+             "filter), an exact component name, or a comma list",
+    )
+    from .verify.report import BUDGETS
+
+    p.add_argument("--budget", default="fast", choices=sorted(BUDGETS),
+                   help="verification depth (stimulus / sample counts)")
+    p.add_argument("--seed", type=int, default=0,
+                   help="base seed (stimulus and law seeds derive from it)")
+    p.add_argument("--csv", action="store_true")
+    add_campaign_flags(p)
+    p.set_defaults(func=_cmd_verify)
 
     p = sub.add_parser("luts", help="FPGA LUT-mapping estimates")
     p.add_argument("--k", type=int, default=6)

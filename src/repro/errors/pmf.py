@@ -125,6 +125,30 @@ class ErrorPMF:
         """``P[|error| >= threshold]``."""
         return sum(p for v, p in self._mass.items() if abs(v) >= threshold)
 
+    def total_variation(self, other: "ErrorPMF") -> float:
+        """Total variation distance ``0.5 * sum_v |p(v) - q(v)|``.
+
+        The standard statistical distance between two discrete
+        distributions (0 = identical, 1 = disjoint supports); the
+        verification subsystem uses it to compare sampled error
+        distributions against exhaustively enumerated ones.
+        """
+        values = set(self._mass) | set(other._mass)
+        return 0.5 * sum(
+            abs(self.probability(v) - other.probability(v)) for v in values
+        )
+
+    def summary(self) -> Dict[str, float]:
+        """Headline statistics as one plain dict (reports, logging)."""
+        return {
+            "error_rate": self.error_rate,
+            "mean": self.mean,
+            "variance": self.variance,
+            "mean_abs": self.mean_abs,
+            "max_abs": float(self.max_abs),
+            "support_size": float(len(self._mass)),
+        }
+
     # ------------------------------------------------------------------
     # algebra
     # ------------------------------------------------------------------

@@ -20,10 +20,62 @@ import numpy as np
 from .netlist import Netlist
 from .simulate import exhaustive_stimuli, random_stimuli
 
-__all__ = ["EquivalenceReport", "check_equivalence", "count_error_cases"]
+__all__ = [
+    "EquivalenceReport",
+    "check_equivalence",
+    "count_error_cases",
+    "stratified_stimuli",
+]
 
 #: Input counts up to this bound are checked exhaustively.
 _EXHAUSTIVE_INPUT_LIMIT = 20
+
+#: Stimulus modes accepted by :func:`check_equivalence`.
+_MODES = ("auto", "exhaustive", "random", "stratified")
+
+
+def stratified_stimuli(
+    input_names: Sequence[str], n_vectors: int, seed: int = 0
+) -> Dict[str, np.ndarray]:
+    """Corner-biased random stimuli for wide interfaces.
+
+    Uniform vectors set each input to 1 with probability 1/2, which
+    almost never produces the all-ones / all-zeros neighbourhoods where
+    carry chains and speculative windows fail.  This generator spends
+    equal budget shares on uniform vectors, sparse vectors (few 1s),
+    dense vectors (few 0s), and exact corner vectors, mirroring the
+    operand strata of :mod:`repro.verify.oracle`.
+    """
+    if n_vectors < 1:
+        raise ValueError(f"n_vectors must be >= 1, got {n_vectors}")
+    rng = np.random.default_rng(seed)
+    n_inputs = len(input_names)
+    columns = []
+    n_corner = min(n_vectors, 2)
+    corners = np.zeros((n_corner, n_inputs), dtype=np.uint8)
+    if n_corner > 1:
+        corners[1] = 1
+    columns.append(corners)
+    remaining = n_vectors - n_corner
+    shares = (remaining // 3, remaining // 3,
+              remaining - 2 * (remaining // 3))
+    for stratum, share in zip(("uniform", "sparse", "dense"), shares):
+        if share == 0:
+            continue
+        if stratum == "uniform":
+            block = rng.integers(0, 2, size=(share, n_inputs), dtype=np.uint8)
+        else:
+            # Biased Bernoulli: ~2 flipped bits per vector on average.
+            p_flip = min(1.0, 2.0 / max(n_inputs, 1))
+            flips = rng.random(size=(share, n_inputs)) < p_flip
+            base = 0 if stratum == "sparse" else 1
+            block = np.where(flips, 1 - base, base).astype(np.uint8)
+        columns.append(block)
+    matrix = np.concatenate(columns, axis=0)[:n_vectors]
+    return {
+        name: np.ascontiguousarray(matrix[:, i])
+        for i, name in enumerate(input_names)
+    }
 
 
 @dataclass(frozen=True)
@@ -61,27 +113,43 @@ def check_equivalence(
     candidate: Netlist,
     n_random_vectors: int = 4096,
     seed: int = 0,
+    mode: str = "auto",
 ) -> EquivalenceReport:
     """Compare two netlists over their (shared) interface.
 
     Args:
         golden: Reference netlist.
         candidate: Netlist under check (same input/output names).
-        n_random_vectors: Vector count when the input space is too large
-            to enumerate.
-        seed: RNG seed for the random mode.
+        n_random_vectors: Vector count when the input space is not
+            enumerated.
+        seed: RNG seed for the sampling modes.
+        mode: Stimulus selection -- ``"auto"`` (default) enumerates
+            small input spaces and falls back to ``"stratified"``
+            sampling; ``"exhaustive"``, ``"random"`` and
+            ``"stratified"`` force the respective generator
+            (``"exhaustive"`` raises when the space is too large).
 
     Returns:
         An :class:`EquivalenceReport` (``exhaustive=True`` means the
         verdict is a proof, not a sample).
     """
+    if mode not in _MODES:
+        raise ValueError(f"mode must be one of {_MODES}, got {mode!r}")
     _comparable(golden, candidate)
     inputs = list(golden.inputs)
-    exhaustive = len(inputs) <= _EXHAUSTIVE_INPUT_LIMIT
+    fits = len(inputs) <= _EXHAUSTIVE_INPUT_LIMIT
+    if mode == "exhaustive" and not fits:
+        raise ValueError(
+            f"{len(inputs)} inputs exceed the exhaustive limit "
+            f"({_EXHAUSTIVE_INPUT_LIMIT}); pick a sampling mode"
+        )
+    exhaustive = fits if mode == "auto" else mode == "exhaustive"
     if exhaustive:
         stimuli = exhaustive_stimuli(inputs)
-    else:
+    elif mode == "random":
         stimuli = random_stimuli(inputs, n_random_vectors, seed)
+    else:
+        stimuli = stratified_stimuli(inputs, n_random_vectors, seed)
     out_a = golden.evaluate(stimuli)
     out_b = candidate.evaluate(stimuli)
     mismatch = np.zeros(

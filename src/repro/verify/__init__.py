@@ -1,0 +1,69 @@
+"""Cross-layer differential verification (``repro verify``).
+
+Public surface of the subsystem:
+
+* :mod:`.oracle` -- the component registry: every approximate design
+  with its golden reference and all equivalent evaluation paths;
+* :mod:`.conformance` -- pairwise path cross-checking and the
+  per-component / whole-registry drivers;
+* :mod:`.metamorphic` -- implementation-independent input/output laws;
+* :mod:`.statistics` -- GeAr error-model cross-validation with declared
+  tolerances (the paper's Table IV as a conformance check);
+* :mod:`.mutation` -- seeded-fault smoke-testing of the engine itself;
+* :mod:`.report` -- budgets and result records.
+"""
+
+from .conformance import check_paths, verify_all, verify_component
+from .metamorphic import LAWS, run_law
+from .mutation import (
+    Mutant,
+    MutationReport,
+    run_mutation_smoke,
+    seeded_mutants,
+)
+from .oracle import (
+    FAMILIES,
+    Oracle,
+    build_registry,
+    get_oracle,
+    oracle_names,
+    resolve_components,
+)
+from .report import (
+    BUDGETS,
+    Budget,
+    CheckResult,
+    ConformanceReport,
+    resolve_budget,
+)
+from .statistics import (
+    GEAR_TOLERANCES,
+    gear_statistics_checks,
+    verify_gear_statistics,
+)
+
+__all__ = [
+    "FAMILIES",
+    "Oracle",
+    "build_registry",
+    "get_oracle",
+    "oracle_names",
+    "resolve_components",
+    "check_paths",
+    "verify_component",
+    "verify_all",
+    "LAWS",
+    "run_law",
+    "GEAR_TOLERANCES",
+    "gear_statistics_checks",
+    "verify_gear_statistics",
+    "Mutant",
+    "MutationReport",
+    "seeded_mutants",
+    "run_mutation_smoke",
+    "BUDGETS",
+    "Budget",
+    "CheckResult",
+    "ConformanceReport",
+    "resolve_budget",
+]

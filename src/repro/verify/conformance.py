@@ -1,0 +1,180 @@
+"""Differential conformance engine.
+
+For every component the engine:
+
+1. generates a stimulus (exhaustive while the operand space fits the
+   budget, seeded stratified sampling above -- see
+   :func:`~.oracle.operand_space`);
+2. evaluates **all registered paths** and cross-checks every pair for
+   bit-identity;
+3. checks every path against the **golden** exact reference within the
+   oracle's declared error cap;
+4. runs the component's **metamorphic laws** (:mod:`.metamorphic`);
+5. for GeAr components, cross-validates the analytic / exhaustive /
+   Monte Carlo error statistics (:mod:`.statistics`).
+
+:func:`verify_all` fans components out through the campaign engine, so
+``repro verify --workers N --cache-dir D`` gets process parallelism,
+caching, and resumability for free.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Callable, Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from .metamorphic import run_law
+from .oracle import Oracle, get_oracle, operand_space, oracle_names
+from .report import Budget, CheckResult, ConformanceReport, resolve_budget
+from .statistics import gear_statistics_checks
+
+__all__ = ["check_paths", "verify_component", "verify_all"]
+
+
+def _mismatch_detail(
+    operands, out_a: np.ndarray, out_b: np.ndarray, limit: int = 3
+) -> str:
+    """First few counterexample inputs, for failure reports."""
+    diff = np.nonzero(out_a != out_b)
+    if not diff[0].size:
+        return ""
+    samples = []
+    for idx in diff[0][:limit]:
+        inputs = []
+        for operand in operands:
+            value = np.asarray(operand)[idx]
+            inputs.append(
+                int(value) if np.ndim(value) == 0 else value.tolist()
+            )
+        samples.append(tuple(inputs))
+    return f"counterexamples (inputs): {samples}"
+
+
+def check_paths(
+    oracle: Oracle, budget: Budget, seed: int
+) -> List[CheckResult]:
+    """Pairwise path conformance plus golden error-cap checks."""
+    operands, exhaustive = operand_space(oracle, budget, seed)
+    n_inputs = int(np.asarray(operands[0]).shape[0])
+    outputs = {name: fn(*operands) for name, fn in oracle.paths.items()}
+    golden = oracle.golden(*operands)
+    checks: List[CheckResult] = []
+
+    for name_a, name_b in combinations(sorted(outputs), 2):
+        mismatches = int(np.count_nonzero(outputs[name_a] != outputs[name_b]))
+        detail = ""
+        if mismatches:
+            detail = (
+                f"{mismatches} differing outputs; "
+                + _mismatch_detail(operands, outputs[name_a], outputs[name_b])
+            )
+        checks.append(CheckResult(
+            component=oracle.name,
+            check=f"path:{name_a}~{name_b}",
+            passed=mismatches == 0,
+            n_inputs=n_inputs,
+            exhaustive=exhaustive,
+            detail=detail,
+        ))
+
+    if oracle.error_cap is not None:
+        for name in sorted(outputs):
+            error = np.abs(
+                np.asarray(outputs[name], dtype=np.int64)
+                - np.asarray(golden, dtype=np.int64)
+            )
+            worst = int(error.max()) if error.size else 0
+            passed = worst <= oracle.error_cap
+            checks.append(CheckResult(
+                component=oracle.name,
+                check=f"golden:{name}",
+                passed=passed,
+                n_inputs=n_inputs,
+                exhaustive=exhaustive,
+                detail=(
+                    f"max |error| = {worst} (cap {oracle.error_cap})"
+                    if not passed else ""
+                ),
+            ))
+    return checks
+
+
+def verify_component(
+    component: str | Oracle,
+    budget: str | Budget = "fast",
+    seed: int = 0,
+) -> ConformanceReport:
+    """Run the full conformance suite on one component.
+
+    Args:
+        component: Registry name (``"gear/N8R2P2"``) or an
+            :class:`Oracle` instance (the mutation smoke-tester passes
+            sandboxed mutant oracles directly).
+        budget: Verification budget name or instance.
+        seed: Base seed; stimulus and law seeds derive from it.
+    """
+    from ..campaign import derive_seed
+
+    oracle = component if isinstance(component, Oracle) else get_oracle(component)
+    budget = resolve_budget(budget)
+    checks: List[CheckResult] = list(check_paths(
+        oracle, budget, derive_seed(seed, "verify_paths", oracle.name)
+    ))
+    for law_name in oracle.laws:
+        checks.append(run_law(
+            law_name, oracle, budget,
+            derive_seed(seed, "verify_law", law_name, oracle.name),
+        ))
+    if oracle.family == "gear":
+        checks.extend(gear_statistics_checks(
+            oracle.meta["config"], budget, seed, component=oracle.name
+        ))
+    return ConformanceReport(
+        component=oracle.name, budget=budget.name, checks=tuple(checks)
+    )
+
+
+def verify_all(
+    components: Optional[Sequence[str]] = None,
+    budget: str | Budget = "fast",
+    seed: int = 0,
+    n_workers: int = 1,
+    cache_dir: Optional[str] = None,
+    progress: Optional[Callable[[int, int], None]] = None,
+) -> List[ConformanceReport]:
+    """Verify many components, optionally fanned out as a campaign.
+
+    Named budgets route through :func:`repro.campaign.run_campaign`
+    (worker fan-out, result caching, resumability -- reports are
+    bit-identical for any worker count).  Ad-hoc :class:`Budget`
+    instances cannot ride the cache key, so they run in-process.
+
+    Returns:
+        One report per component, in input order.
+    """
+    from ..campaign import CampaignTask, derive_seed, run_campaign
+
+    if components is None:
+        components = oracle_names()
+    names = list(components)
+    if isinstance(budget, Budget):
+        reports = []
+        for index, name in enumerate(names):
+            reports.append(verify_component(name, budget, seed))
+            if progress is not None:
+                progress(index + 1, len(names))
+        return reports
+    tasks = [
+        CampaignTask(
+            kind="verify_component",
+            params={"component": name, "budget": budget},
+            seed=derive_seed(seed, "verify", name, budget),
+        )
+        for name in names
+    ]
+    result = run_campaign(
+        tasks, n_workers=n_workers, cache_dir=cache_dir, progress=progress
+    )
+    return [ConformanceReport.from_record(rec) for rec in result.results]

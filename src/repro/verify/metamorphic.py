@@ -1,0 +1,275 @@
+"""Metamorphic laws: input/output relations every component must obey.
+
+Where path conformance (:mod:`.conformance`) checks that redundant
+implementations agree with *each other*, metamorphic laws check
+properties that hold regardless of implementation -- commutativity,
+zero/identity operands, shift scaling, LSB-truncation error caps, the
+zero-LSB-window exactness of segmented ripple adders, and the GeAr
+correction-iteration convergence of the paper's Fig. 3 circuitry.
+
+Each law is a function ``law(oracle, budget, seed) -> CheckResult``
+registered in :data:`LAWS`; oracles opt in by listing law names in
+``Oracle.laws``.  Laws generate their own stimuli (from
+:func:`~.oracle.operand_space` or from purpose-built patterns), so a
+law can constrain inputs -- e.g. zeroed LSB windows -- that a generic
+sweep would hit only by chance.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Tuple
+
+import numpy as np
+
+from ..adders.gear import GeArAdder
+from ..adders.ripple import ApproximateRippleAdder
+from .oracle import Oracle, operand_space
+from .report import Budget, CheckResult
+
+__all__ = ["LAWS", "run_law"]
+
+LawFunction = Callable[[Oracle, Budget, int], CheckResult]
+
+LAWS: Dict[str, LawFunction] = {}
+
+
+def _law(name: str) -> Callable[[LawFunction], LawFunction]:
+    def decorator(fn: LawFunction) -> LawFunction:
+        LAWS[name] = fn
+        return fn
+
+    return decorator
+
+
+def run_law(name: str, oracle: Oracle, budget: Budget, seed: int) -> CheckResult:
+    """Execute one named law against an oracle."""
+    try:
+        law = LAWS[name]
+    except KeyError:
+        known = ", ".join(sorted(LAWS))
+        raise KeyError(f"unknown law {name!r}; known: {known}") from None
+    return law(oracle, budget, seed)
+
+
+def _primary_path(oracle: Oracle) -> Callable:
+    """The path a law evaluates (any; conformance proves them equal)."""
+    return next(iter(oracle.paths.values()))
+
+
+def _result(
+    oracle: Oracle, name: str, mismatches: int, n_inputs: int,
+    exhaustive: bool, detail: str = ""
+) -> CheckResult:
+    note = detail
+    if mismatches and not note:
+        note = f"{mismatches} violating inputs"
+    return CheckResult(
+        component=oracle.name,
+        check=f"law:{name}",
+        passed=mismatches == 0,
+        n_inputs=n_inputs,
+        exhaustive=exhaustive,
+        detail=note,
+    )
+
+
+def _count(bad) -> int:
+    return int(np.count_nonzero(bad))
+
+
+@_law("commutativity")
+def _commutativity(oracle: Oracle, budget: Budget, seed: int) -> CheckResult:
+    """Swapping the first two operands leaves the output unchanged.
+
+    Applied only to components whose cell truth tables are symmetric in
+    A/B (several Table III cells -- ApxFA1/3/4/5 -- are deliberately
+    asymmetric and are excluded at registration).
+    """
+    operands, exhaustive = operand_space(oracle, budget, seed)
+    fn = _primary_path(oracle)
+    swapped = (operands[1], operands[0]) + tuple(operands[2:])
+    bad = fn(*operands) != fn(*swapped)
+    return _result(oracle, "commutativity", _count(bad),
+                   len(operands[0]), exhaustive)
+
+
+@_law("zero_annihilates")
+def _zero_annihilates(oracle: Oracle, budget: Budget, seed: int) -> CheckResult:
+    """``f(a, 0) == 0 == f(0, b)`` for every multiplier design."""
+    operands, exhaustive = operand_space(oracle, budget, seed)
+    fn = _primary_path(oracle)
+    zero = np.zeros_like(operands[0])
+    bad = (fn(operands[0], zero) != 0) | (fn(zero, operands[1]) != 0)
+    return _result(oracle, "zero_annihilates", _count(bad),
+                   len(operands[0]), exhaustive)
+
+
+@_law("add_identity_zero")
+def _add_identity_zero(oracle: Oracle, budget: Budget, seed: int) -> CheckResult:
+    """``f(a, 0, cin=0) == a`` for exact adders."""
+    operands, exhaustive = operand_space(oracle, budget, seed)
+    fn = _primary_path(oracle)
+    zero = np.zeros_like(operands[0])
+    bad = fn(operands[0], zero, zero) != operands[0]
+    return _result(oracle, "add_identity_zero", _count(bad),
+                   len(operands[0]), exhaustive)
+
+
+@_law("shift_scaling")
+def _shift_scaling(oracle: Oracle, budget: Budget, seed: int) -> CheckResult:
+    """Operand shifts scale exact outputs: doubling inputs doubles the
+    output (adders: both operands; multipliers: one operand).
+
+    Only exact components are linear like this; approximate ones are
+    excluded at registration (their low-bit errors are not
+    shift-equivariant).
+    """
+    operands, exhaustive = operand_space(oracle, budget, seed)
+    fn = _primary_path(oracle)
+    width = oracle.operand_bits[0]
+    half_mask = (1 << (width - 1)) - 1
+    a = operands[0] & half_mask
+    b = operands[1] & half_mask
+    if len(oracle.operand_bits) >= 3:  # adder: (a, b, cin)
+        zero = np.zeros_like(a)
+        bad = fn(a << 1, b << 1, zero) != (fn(a, b, zero) << 1)
+    else:  # multiplier: scale one operand
+        bad = fn(a << 1, operands[1]) != (fn(a, operands[1]) << 1)
+    return _result(oracle, "shift_scaling", _count(bad), len(a), exhaustive)
+
+
+@_law("zero_lsb_window")
+def _zero_lsb_window(oracle: Oracle, budget: Budget, seed: int) -> CheckResult:
+    """Zeroed LSB windows leave the accurate MSB segment exact.
+
+    With both operands' low ``s`` bits zero and ``cin = 0``, every
+    Table III cell emits carry 0 on the ``(0, 0, 0)`` row, so no carry
+    enters the accurate segment and the result's bits ``>= s`` must
+    match the exact sum -- even though the approximate cells may emit
+    nonzero *sum* bits inside the window (ApxFA2/3 do).
+    """
+    operands, exhaustive = operand_space(oracle, budget, seed)
+    fn = _primary_path(oracle)
+    s = oracle.meta.get("lsbs", 0)
+    clear = ~np.int64((1 << s) - 1)
+    a = operands[0] & clear
+    b = operands[1] & clear
+    zero = np.zeros_like(a)
+    bad = (fn(a, b, zero) >> s) != ((a + b) >> s)
+    return _result(oracle, "zero_lsb_window", _count(bad), len(a), exhaustive)
+
+
+@_law("lsb_truncation_cap")
+def _lsb_truncation_cap(oracle: Oracle, budget: Budget, seed: int) -> CheckResult:
+    """Error magnitude stays under ``2**(k+1)`` for every truncation
+    depth ``k`` up to the component's own.
+
+    The approximate segment can only garble its ``k`` sum bits and the
+    carry into bit ``k``, so ``|approx - exact| < 2**(k+1)`` must hold
+    at *every* depth -- the cap (and hence worst-case error) grows
+    monotonically with the number of approximated LSBs.
+    """
+    operands, exhaustive = operand_space(oracle, budget, seed)
+    width = oracle.meta["width"]
+    fa = oracle.meta["fa"]
+    max_lsbs = oracle.meta["lsbs"]
+    a, b = operands[0], operands[1]
+    exact = a + b
+    violations = 0
+    for k in range(1, max_lsbs + 1):
+        adder = ApproximateRippleAdder(
+            width, approx_fa=fa, num_approx_lsbs=k
+        )
+        err = np.abs(adder.add(a, b) - exact)
+        violations += _count(err >= (1 << (k + 1)))
+    return _result(
+        oracle, "lsb_truncation_cap", violations,
+        len(a) * max_lsbs, exhaustive,
+        detail=f"depths 1..{max_lsbs}" if not violations else "",
+    )
+
+
+@_law("approx_le_exact")
+def _approx_le_exact(oracle: Oracle, budget: Budget, seed: int) -> CheckResult:
+    """GeAr only ever *misses* carries: ``add(a, b) <= a + b``."""
+    operands, exhaustive = operand_space(oracle, budget, seed)
+    fn = _primary_path(oracle)
+    a, b = operands[0], operands[1]
+    bad = fn(a, b) > (a + b)
+    return _result(oracle, "approx_le_exact", _count(bad), len(a), exhaustive)
+
+
+@_law("low_window_exact")
+def _low_window_exact(oracle: Oracle, budget: Budget, seed: int) -> CheckResult:
+    """GeAr sub-adder 0 is exact: result bits ``[0, L)`` match ``a + b``."""
+    operands, exhaustive = operand_space(oracle, budget, seed)
+    fn = _primary_path(oracle)
+    config = oracle.meta["config"]
+    mask_l = (1 << config.l) - 1
+    a, b = operands[0], operands[1]
+    bad = (fn(a, b) & mask_l) != ((a + b) & mask_l)
+    return _result(oracle, "low_window_exact", _count(bad), len(a), exhaustive)
+
+
+@_law("correction_convergence")
+def _correction_convergence(
+    oracle: Oracle, budget: Budget, seed: int
+) -> CheckResult:
+    """The paper's error-correction circuitry converges to the exact sum.
+
+    Three sub-properties on shared stimuli: (1) unlimited-iteration
+    correction is exact; (2) it never needs more than ``k - 1`` rounds;
+    (3) the number of erroneous outputs is non-increasing in the
+    iteration cap (each round can only fix carries, not break them).
+    """
+    operands, exhaustive = operand_space(oracle, budget, seed)
+    config = oracle.meta["config"]
+    adder = GeArAdder(config)
+    a, b = operands[0], operands[1]
+    exact = a + b
+    corrected, iterations = adder.add_with_correction(a, b)
+    violations = _count(corrected != exact)
+    violations += _count(iterations > config.k - 1)
+    detail = ""
+    previous = None
+    for cap in range(config.k):
+        capped, _ = adder.add_with_correction(a, b, max_iterations=cap)
+        n_errors = _count(capped != exact)
+        if previous is not None and n_errors > previous:
+            violations += n_errors - previous
+            detail = f"error count rose at max_iterations={cap}"
+        previous = n_errors
+    return _result(oracle, "correction_convergence", violations,
+                   len(a), exhaustive, detail=detail)
+
+
+@_law("sad_self_zero")
+def _sad_self_zero(oracle: Oracle, budget: Budget, seed: int) -> CheckResult:
+    """Exact SAD of a block against itself is zero."""
+    operands, exhaustive = operand_space(oracle, budget, seed)
+    fn = _primary_path(oracle)
+    bad = fn(operands[0], operands[0]) != 0
+    return _result(oracle, "sad_self_zero", _count(bad),
+                   operands[0].shape[0], exhaustive)
+
+
+@_law("nonnegative_output")
+def _nonnegative_output(oracle: Oracle, budget: Budget, seed: int) -> CheckResult:
+    """A sum of absolute values can never be negative."""
+    operands, exhaustive = operand_space(oracle, budget, seed)
+    fn = _primary_path(oracle)
+    bad = fn(*operands) < 0
+    return _result(oracle, "nonnegative_output", _count(bad),
+                   operands[0].shape[0], exhaustive)
+
+
+@_law("bounded_output")
+def _bounded_output(oracle: Oracle, budget: Budget, seed: int) -> CheckResult:
+    """Filter outputs stay inside the pixel range ``[0, 2**bits - 1]``."""
+    operands, exhaustive = operand_space(oracle, budget, seed)
+    fn = _primary_path(oracle)
+    hi = (1 << oracle.meta.get("pixel_bits", 8)) - 1
+    out = fn(*operands)
+    bad = (out < 0) | (out > hi)
+    return _result(oracle, "bounded_output", _count(bad),
+                   operands[0].shape[0], exhaustive)

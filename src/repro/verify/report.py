@@ -1,0 +1,160 @@
+"""Verification budgets and reports.
+
+The conformance engine (:mod:`.conformance`) grades every component
+against a *budget* -- how hard to try -- and reduces each individual
+cross-check to a :class:`CheckResult`.  A component's results are
+bundled into a :class:`ConformanceReport`, which round-trips through
+plain JSON so reports can travel through the campaign engine's result
+cache and worker processes unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+from typing import Dict, List, Tuple
+
+__all__ = [
+    "Budget",
+    "BUDGETS",
+    "resolve_budget",
+    "CheckResult",
+    "ConformanceReport",
+]
+
+
+@dataclass(frozen=True)
+class Budget:
+    """Effort knobs of one verification run.
+
+    Attributes:
+        name: Budget label (``"fast"``, ``"full"``, ``"mutation"``).
+        exhaustive_bits: Operand spaces up to ``2**exhaustive_bits``
+            inputs are swept exhaustively; larger spaces fall back to
+            seeded stratified sampling.
+        n_samples: Stimulus count for sampled sweeps (structured-input
+            components scale this down internally).
+        mc_samples: Monte Carlo samples for statistical cross-checks.
+        gear_exhaustive_bits: A GeAr configuration's ``4**N`` pair space
+            is enumerated (exhaustive rate + full error PMF) only while
+            ``2*N`` stays within this bound.
+    """
+
+    name: str
+    exhaustive_bits: int
+    n_samples: int
+    mc_samples: int
+    gear_exhaustive_bits: int
+
+
+#: Built-in budgets.  ``fast`` is the tier-1 / CLI default; ``full`` is
+#: the nightly profile (exhaustive through 2**20 input spaces, all
+#: Table IV widths enumerated); ``mutation`` is tuned so every
+#: single-site mutant of :mod:`.mutation` falls inside an exhaustive
+#: sweep and detection is structural, not probabilistic.
+BUDGETS: Dict[str, Budget] = {
+    "fast": Budget("fast", exhaustive_bits=16, n_samples=4096,
+                   mc_samples=20_000, gear_exhaustive_bits=16),
+    "full": Budget("full", exhaustive_bits=20, n_samples=65_536,
+                   mc_samples=200_000, gear_exhaustive_bits=22),
+    "mutation": Budget("mutation", exhaustive_bits=18, n_samples=8192,
+                       mc_samples=10_000, gear_exhaustive_bits=14),
+}
+
+
+def resolve_budget(budget: str | Budget) -> Budget:
+    """Budget instance from a name or a pass-through instance."""
+    if isinstance(budget, Budget):
+        return budget
+    try:
+        return BUDGETS[budget]
+    except KeyError:
+        known = ", ".join(sorted(BUDGETS))
+        raise KeyError(f"unknown budget {budget!r}; known: {known}") from None
+
+
+@dataclass(frozen=True)
+class CheckResult:
+    """Outcome of one cross-check.
+
+    Attributes:
+        component: Registry name of the component under check.
+        check: Check identifier -- ``"path:<x>~<y>"`` for pairwise path
+            conformance, ``"golden:<x>"`` for error-cap checks against
+            the exact reference, ``"law:<name>"`` for metamorphic laws,
+            ``"stat:<name>"`` for statistical cross-validations.
+        passed: Verdict.
+        n_inputs: Stimulus count the verdict rests on.
+        exhaustive: True when the stimulus covered the full input space
+            (the verdict is then a proof, not a sample).
+        detail: Free-form diagnostics (tolerances, counterexamples).
+    """
+
+    component: str
+    check: str
+    passed: bool
+    n_inputs: int
+    exhaustive: bool
+    detail: str = ""
+
+    def to_record(self) -> Dict:
+        """JSON-serializable form."""
+        return asdict(self)
+
+    @classmethod
+    def from_record(cls, record: Dict) -> "CheckResult":
+        """Inverse of :meth:`to_record`."""
+        return cls(
+            component=record["component"],
+            check=record["check"],
+            passed=bool(record["passed"]),
+            n_inputs=int(record["n_inputs"]),
+            exhaustive=bool(record["exhaustive"]),
+            detail=record.get("detail", ""),
+        )
+
+
+@dataclass(frozen=True)
+class ConformanceReport:
+    """All check results of one component under one budget."""
+
+    component: str
+    budget: str
+    checks: Tuple[CheckResult, ...]
+
+    @property
+    def passed(self) -> bool:
+        return all(c.passed for c in self.checks)
+
+    @property
+    def n_checks(self) -> int:
+        return len(self.checks)
+
+    def failures(self) -> List[CheckResult]:
+        """The failing checks, in execution order."""
+        return [c for c in self.checks if not c.passed]
+
+    def summary(self) -> str:
+        """One status line, e.g. ``"fa/ApxFA2: 6 checks, 0 failed"``."""
+        return (
+            f"{self.component}: {self.n_checks} checks, "
+            f"{len(self.failures())} failed"
+        )
+
+    def to_record(self) -> Dict:
+        """JSON-serializable form (campaign cache / worker transport)."""
+        return {
+            "component": self.component,
+            "budget": self.budget,
+            "checks": [c.to_record() for c in self.checks],
+        }
+
+    @classmethod
+    def from_record(cls, record: Dict) -> "ConformanceReport":
+        """Inverse of :meth:`to_record`."""
+        return cls(
+            component=record["component"],
+            budget=record["budget"],
+            checks=tuple(
+                CheckResult.from_record(c) for c in record["checks"]
+            ),
+        )

@@ -1,0 +1,194 @@
+"""Statistical cross-validation of the GeAr error models.
+
+The paper derives a closed-form error probability (Sec. 4.2,
+inclusion-exclusion over carry-miss events) and validates it by
+simulation (Table IV).  This module turns that validation into a
+conformance check with *declared tolerances*:
+
+* ``paper`` (:func:`~repro.adders.gear_error.paper_error_probability`)
+  vs ``exact`` (the dynamic program) -- both are analytically exact, so
+  they must agree to double-precision rounding (``1e-9``);
+* ``exhaustive`` enumeration of all ``4**N`` operand pairs vs ``exact``
+  -- ground truth vs model, tolerance ``1e-12``;
+* ``monte_carlo`` vs ``exact`` -- a binomial estimate, tolerated within
+  ``z * sigma`` of the true rate (``z = 6``: a one-in-a-billion false
+  alarm even across the full Table IV sweep);
+* the full error :class:`~repro.errors.pmf.ErrorPMF` from exhaustive
+  enumeration -- its ``error_rate`` must reproduce the exhaustive rate,
+  its support must be non-positive (GeAr only ever *misses* carries),
+  and the PMF empirically observed by the Monte Carlo stream must sit
+  within a total-variation ball of the exhaustive PMF.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, List, Optional
+
+import numpy as np
+
+from ..adders.gear import GeArAdder, GeArConfig
+from ..adders.gear_error import (
+    exact_error_probability,
+    exhaustive_error_rate,
+    monte_carlo_error_rate,
+    paper_error_probability,
+)
+from ..campaign import derive_seed
+from ..errors.pmf import ErrorPMF
+from .report import Budget, CheckResult, resolve_budget
+
+__all__ = [
+    "GEAR_TOLERANCES",
+    "gear_statistics_checks",
+    "verify_gear_statistics",
+]
+
+#: Declared agreement tolerances of the model cross-validation.
+GEAR_TOLERANCES = {
+    # Two exact analyses of the same process: float rounding only.
+    "paper_vs_exact": 1e-9,
+    # Enumeration vs dynamic program: both exact rationals in floats.
+    "exhaustive_vs_exact": 1e-12,
+    # Monte Carlo z-score bound (plus a 2/n floor for tiny rates).
+    "mc_sigma_z": 6.0,
+    # Empirical (MC) PMF vs exhaustive PMF, total variation distance.
+    "pmf_tv": 0.05,
+    # The paper's inclusion-exclusion expands 2**events terms; beyond
+    # this the model is evaluated truncated elsewhere, so skip it here.
+    "max_paper_events": 20,
+}
+
+
+def _check(
+    config: GeArConfig, name: str, passed: bool, n_inputs: int,
+    exhaustive: bool, detail: str, component: Optional[str]
+) -> CheckResult:
+    return CheckResult(
+        component=component or f"gear/N{config.n}R{config.r}P{config.p}",
+        check=f"stat:{name}",
+        passed=passed,
+        n_inputs=n_inputs,
+        exhaustive=exhaustive,
+        detail=detail,
+    )
+
+
+def _gear_error_pairs(config: GeArConfig) -> tuple:
+    """(approx, exact) sums over all ``4**N`` operand pairs."""
+    adder = GeArAdder(config)
+    mask = (1 << config.n) - 1
+    index = np.arange(1 << (2 * config.n), dtype=np.int64)
+    a = index & mask
+    b = index >> config.n
+    return adder.add(a, b), a + b
+
+
+def gear_statistics_checks(
+    config: GeArConfig,
+    budget: str | Budget = "fast",
+    seed: int = 0,
+    component: Optional[str] = None,
+) -> List[CheckResult]:
+    """Cross-validate every available error model of one configuration.
+
+    Args:
+        config: GeAr architecture under check.
+        budget: Verification budget (names or instance); controls the
+            Monte Carlo sample count and whether the ``4**N`` pair space
+            is enumerated.
+        seed: Base seed; the Monte Carlo stream seed derives from it.
+        component: Registry name to stamp on the results.
+
+    Returns:
+        One :class:`CheckResult` per model pair that the budget allows.
+    """
+    budget = resolve_budget(budget)
+    checks: List[CheckResult] = []
+    exact = exact_error_probability(config)
+
+    n_events = config.r * (config.k - 1)
+    if n_events <= GEAR_TOLERANCES["max_paper_events"]:
+        paper = paper_error_probability(config)
+        tol = GEAR_TOLERANCES["paper_vs_exact"]
+        diff = abs(paper - exact)
+        checks.append(_check(
+            config, "paper_vs_exact", diff <= tol, 0, True,
+            f"|{paper:.12g} - {exact:.12g}| = {diff:.3g} (tol {tol:g})",
+            component,
+        ))
+
+    mc_samples = budget.mc_samples
+    mc = monte_carlo_error_rate(
+        config, n_samples=mc_samples,
+        seed=derive_seed(seed, "verify_mc", config.n, config.r, config.p),
+    )
+    sigma = math.sqrt(max(exact * (1.0 - exact), 0.0) / mc_samples)
+    mc_tol = GEAR_TOLERANCES["mc_sigma_z"] * sigma + 2.0 / mc_samples
+    mc_diff = abs(mc - exact)
+    checks.append(_check(
+        config, "monte_carlo_vs_exact", mc_diff <= mc_tol,
+        mc_samples, False,
+        f"|{mc:.6g} - {exact:.6g}| = {mc_diff:.3g} (tol {mc_tol:.3g})",
+        component,
+    ))
+
+    if 2 * config.n <= budget.gear_exhaustive_bits:
+        n_pairs = 1 << (2 * config.n)
+        rate = exhaustive_error_rate(config)
+        tol = GEAR_TOLERANCES["exhaustive_vs_exact"]
+        diff = abs(rate - exact)
+        checks.append(_check(
+            config, "exhaustive_vs_exact", diff <= tol, n_pairs, True,
+            f"|{rate:.12g} - {exact:.12g}| = {diff:.3g} (tol {tol:g})",
+            component,
+        ))
+
+        approx_sums, exact_sums = _gear_error_pairs(config)
+        pmf = ErrorPMF.from_pairs(approx_sums, exact_sums)
+        pmf_ok = abs(pmf.error_rate - rate) <= tol
+        support_ok = max(pmf.support) <= 0
+        checks.append(_check(
+            config, "pmf_vs_exhaustive",
+            pmf_ok and support_ok, n_pairs, True,
+            f"PMF {pmf.summary()}; support max {max(pmf.support)}",
+            component,
+        ))
+
+        # The sampled error distribution must look like the true one.
+        rng = np.random.default_rng(
+            derive_seed(seed, "verify_pmf_mc", config.n, config.r, config.p)
+        )
+        hi = 1 << config.n
+        a = rng.integers(0, hi, size=mc_samples, dtype=np.int64)
+        b = rng.integers(0, hi, size=mc_samples, dtype=np.int64)
+        adder = GeArAdder(config)
+        mc_pmf = ErrorPMF.from_pairs(adder.add(a, b), a + b)
+        tv = pmf.total_variation(mc_pmf)
+        tv_tol = GEAR_TOLERANCES["pmf_tv"]
+        checks.append(_check(
+            config, "pmf_tv_mc_vs_exhaustive", tv <= tv_tol,
+            mc_samples, False,
+            f"TV = {tv:.4g} (tol {tv_tol:g})", component,
+        ))
+    return checks
+
+
+def verify_gear_statistics(
+    configs: Optional[Iterable[GeArConfig]] = None,
+    budget: str | Budget = "full",
+    seed: int = 0,
+) -> List[CheckResult]:
+    """Model-agreement checks over a configuration sweep.
+
+    With the defaults this is the acceptance gate for the paper's
+    Table IV: every valid ``N = 11`` configuration is checked
+    analytic-vs-exhaustive-vs-Monte-Carlo within the declared
+    tolerances.
+    """
+    if configs is None:
+        configs = GeArConfig.all_valid(11)
+    checks: List[CheckResult] = []
+    for config in configs:
+        checks.extend(gear_statistics_checks(config, budget, seed))
+    return checks

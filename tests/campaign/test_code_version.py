@@ -1,0 +1,50 @@
+"""CODE_VERSION must participate in the cache key.
+
+Regression guard: bumping :data:`repro.campaign.task.CODE_VERSION` has
+to invalidate every cached campaign result, otherwise stale entries from
+an older engine keep answering after a behavioural change.
+"""
+
+from repro.campaign import CampaignTask, ResultCache, run_campaign
+
+TASK = CampaignTask("gear_dse_row", {"n": 8, "r": 2, "p": 2}, seed=0)
+
+
+class TestCodeVersionInKey:
+    def test_key_changes_with_code_version(self, monkeypatch):
+        before = TASK.key
+        monkeypatch.setattr(
+            "repro.campaign.task.CODE_VERSION", "9999.99-test"
+        )
+        assert TASK.key != before
+
+    def test_key_restored_after_patch(self, monkeypatch):
+        before = TASK.key
+        with monkeypatch.context() as m:
+            m.setattr("repro.campaign.task.CODE_VERSION", "9999.99-test")
+        assert TASK.key == before
+
+    def test_stale_entry_is_a_cache_miss(self, tmp_path, monkeypatch):
+        cache = ResultCache(tmp_path)
+        cache.put(TASK.key, {"result": {"accuracy_percent": 0.0}})
+        monkeypatch.setattr(
+            "repro.campaign.task.CODE_VERSION", "9999.99-test"
+        )
+        assert cache.get(TASK.key) is None
+
+    def test_warm_start_recomputes_after_version_bump(
+        self, tmp_path, monkeypatch
+    ):
+        """End to end: a warm cache stops hitting once the version moves."""
+        first = run_campaign([TASK], cache_dir=str(tmp_path))
+        assert first.stats.n_executed == 1
+        warm = run_campaign([TASK], cache_dir=str(tmp_path))
+        assert warm.stats.n_cache_hits == 1 and warm.stats.n_executed == 0
+
+        monkeypatch.setattr(
+            "repro.campaign.task.CODE_VERSION", "9999.99-test"
+        )
+        bumped = run_campaign([TASK], cache_dir=str(tmp_path))
+        assert bumped.stats.n_cache_hits == 0
+        assert bumped.stats.n_executed == 1
+        assert bumped.results == first.results

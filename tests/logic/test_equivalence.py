@@ -5,8 +5,24 @@ import pytest
 from repro.adders.fulladder import FULL_ADDER_NAMES, FULL_ADDERS
 from repro.adders.netlist_builder import build_ripple_adder_netlist
 from repro.adders.ripple import ApproximateRippleAdder
-from repro.logic.equivalence import check_equivalence, count_error_cases
+from repro.logic.equivalence import (
+    check_equivalence,
+    count_error_cases,
+    stratified_stimuli,
+)
 from repro.logic.netlist import Netlist
+
+#: Table III of the paper, column "#Error Cases" -- hard-coded on
+#: purpose so a transcription slip in ``_TABLES`` cannot silently adjust
+#: both sides of the comparison.
+_TABLE_III_ERROR_CASES = {
+    "AccuFA": 0,
+    "ApxFA1": 2,
+    "ApxFA2": 2,
+    "ApxFA3": 3,
+    "ApxFA4": 3,
+    "ApxFA5": 4,
+}
 
 
 def xor_gate() -> Netlist:
@@ -69,6 +85,57 @@ class TestEquivalence:
         assert report.n_vectors == 256
 
 
+class TestStimulusModes:
+    def test_stratified_mode_on_wide_interface(self):
+        adder = ApproximateRippleAdder(12)
+        netlist = build_ripple_adder_netlist(adder)
+        report = check_equivalence(
+            netlist, netlist, n_random_vectors=256, mode="stratified"
+        )
+        assert report.equivalent and not report.exhaustive
+        assert report.n_vectors == 256
+
+    def test_forced_exhaustive_on_small_interface(self):
+        report = check_equivalence(
+            xor_gate(), xor_from_nands(), mode="exhaustive"
+        )
+        assert report.equivalent and report.exhaustive
+
+    def test_forced_exhaustive_rejected_when_too_wide(self):
+        adder = ApproximateRippleAdder(12)
+        netlist = build_ripple_adder_netlist(adder)
+        with pytest.raises(ValueError, match="exhaustive limit"):
+            check_equivalence(netlist, netlist, mode="exhaustive")
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError, match="mode must be one of"):
+            check_equivalence(xor_gate(), xor_gate(), mode="psychic")
+
+    def test_stratified_stimuli_cover_corners(self):
+        names = [f"i{k}" for k in range(24)]
+        stimuli = stratified_stimuli(names, 64, seed=0)
+        assert set(stimuli) == set(names)
+        rows = list(zip(*(stimuli[n].tolist() for n in names)))
+        assert tuple([0] * 24) in rows
+        assert tuple([1] * 24) in rows
+
+    def test_stratified_stimuli_deterministic(self):
+        names = ["a", "b", "c"]
+        one = stratified_stimuli(names, 32, seed=5)
+        two = stratified_stimuli(names, 32, seed=5)
+        for name in names:
+            assert (one[name] == two[name]).all()
+
+    def test_stratified_catches_carry_chain_bug(self):
+        """A fault on the top carry of a 12-bit adder needs long
+        propagate chains; the corner/dense strata hit it where tiny
+        uniform samples can miss it."""
+        good = build_ripple_adder_netlist(ApproximateRippleAdder(12))
+        report = check_equivalence(good, good, n_random_vectors=64,
+                                   mode="stratified")
+        assert report.equivalent  # sanity: no false alarms
+
+
 class TestErrorCases:
     @pytest.mark.parametrize("name", FULL_ADDER_NAMES)
     def test_error_cases_match_table_iii(self, name):
@@ -77,6 +144,17 @@ class TestErrorCases:
         assert count_error_cases(golden, candidate) == FULL_ADDERS[
             name
         ].n_error_cases
+
+    @pytest.mark.parametrize(
+        "name,expected", sorted(_TABLE_III_ERROR_CASES.items())
+    )
+    def test_error_cases_match_paper_hardcoded(self, name, expected):
+        """Netlist-level error-case counts against the paper's printed
+        Table III numbers (independent of the library's own tables)."""
+        golden = FULL_ADDERS["AccuFA"].netlist()
+        candidate = FULL_ADDERS[name].netlist()
+        assert count_error_cases(golden, candidate) == expected
+        assert FULL_ADDERS[name].n_error_cases == expected
 
     def test_too_many_inputs_rejected(self):
         adder = ApproximateRippleAdder(12)

@@ -75,6 +75,47 @@ class TestRippleProperties:
         assert int(adder.sub(a, b)) == raw - 256
 
 
+class TestRippleSumBounds:
+    @given(
+        a=st.integers(min_value=0, max_value=255),
+        b=st.integers(min_value=0, max_value=255),
+        fa=st.sampled_from(list(FULL_ADDER_NAMES)),
+        k=st.integers(min_value=0, max_value=8),
+        cin=st.integers(min_value=0, max_value=1),
+    )
+    def test_result_fits_width_plus_one_bits(self, a, b, fa, k, cin):
+        """Whatever the cells garble, the datapath is 9 wires wide."""
+        adder = ApproximateRippleAdder(8, approx_fa=fa, num_approx_lsbs=k)
+        assert 0 <= int(adder.add(a, b, cin)) < (1 << 9)
+
+    @given(
+        a=st.integers(min_value=0, max_value=255),
+        b=st.integers(min_value=0, max_value=255),
+        fa=st.sampled_from([n for n in FULL_ADDER_NAMES if n != "AccuFA"]),
+        k=st.integers(min_value=1, max_value=8),
+    )
+    def test_error_cap_matches_oracle_registry(self, a, b, fa, k):
+        """The inclusive cap declared by the verification oracles,
+        ``|error| <= 2**(k+1) - 1``, holds for every cell and depth."""
+        adder = ApproximateRippleAdder(8, approx_fa=fa, num_approx_lsbs=k)
+        error = abs(int(adder.add(a, b)) - (a + b))
+        assert error <= (1 << (k + 1)) - 1
+
+    @settings(deadline=None)
+    @given(
+        a=st.integers(min_value=0, max_value=(1 << 12) - 1),
+        b=st.integers(min_value=0, max_value=(1 << 12) - 1),
+        fa=st.sampled_from(["ApxFA2"]),
+        k=st.integers(min_value=0, max_value=12),
+    )
+    def test_symmetric_cells_commute(self, a, b, fa, k):
+        """AccuFA and ApxFA2 have A/B-symmetric tables, so any adder
+        built purely from them is commutative (the other cells are not,
+        which tests/verify's negative controls pin down)."""
+        adder = ApproximateRippleAdder(12, approx_fa=fa, num_approx_lsbs=k)
+        assert int(adder.add(a, b)) == int(adder.add(b, a))
+
+
 class TestFullAdderProperties:
     @given(
         name=st.sampled_from(list(FULL_ADDER_NAMES)),

@@ -1,0 +1,36 @@
+"""``repro verify`` CLI subcommand."""
+
+from repro.cli import main
+
+
+class TestVerifyCommand:
+    def test_verify_all_fast_exits_zero(self, capsys):
+        """Acceptance gate: the shipped registry verifies clean."""
+        assert main(["verify", "all", "--budget", "fast", "--seed", "0"]) == 0
+        captured = capsys.readouterr()
+        assert "29/29 components passed" in captured.err
+        assert "fa/AccuFA" in captured.out
+        assert "FAIL" not in captured.out
+
+    def test_family_selector_limits_scope(self, capsys):
+        assert main(["verify", "mul2x2", "--budget", "fast"]) == 0
+        out = capsys.readouterr().out
+        assert "mul2x2/AccMul" in out
+        assert "fa/AccuFA" not in out
+
+    def test_csv_output(self, capsys):
+        assert main(["verify", "fa/ApxFA2", "--budget", "fast", "--csv"]) == 0
+        out = capsys.readouterr().out
+        assert out.splitlines()[0] == "component,budget,checks,failed,status"
+        assert "fa/ApxFA2,fast," in out
+
+    def test_unknown_component_exits_2(self, capsys):
+        assert main(["verify", "fa/NoSuchCell"]) == 2
+        assert "unknown component" in capsys.readouterr().err
+
+    def test_workers_and_cache_flags_accepted(self, tmp_path, capsys):
+        argv = ["verify", "fa", "--budget", "fast", "--workers", "2",
+                "--cache-dir", str(tmp_path)]
+        assert main(argv) == 0
+        # Warm-start from the cache must reproduce the verdict.
+        assert main(argv) == 0

@@ -1,0 +1,132 @@
+"""Conformance engine: path cross-checking, drivers, report records."""
+
+import numpy as np
+import pytest
+
+from repro.verify.conformance import check_paths, verify_all, verify_component
+from repro.verify.oracle import Oracle, get_oracle
+from repro.verify.report import BUDGETS, ConformanceReport, resolve_budget
+
+
+def _toy_oracle(broken: bool) -> Oracle:
+    """4-bit adder oracle whose second path optionally drifts."""
+
+    def exact(a, b):
+        return np.asarray(a) + np.asarray(b)
+
+    def drifty(a, b):
+        out = np.asarray(a) + np.asarray(b)
+        if broken:
+            out = out.copy()
+            out[(np.asarray(a) == 3) & (np.asarray(b) == 5)] += 1
+        return out
+
+    return Oracle(
+        name="toy/add4",
+        family="ripple",
+        description="toy 4-bit adder",
+        operand_bits=(4, 4),
+        golden=exact,
+        paths={"ref": exact, "alt": drifty},
+        error_cap=0,
+    )
+
+
+class TestCheckPaths:
+    def test_agreeing_paths_pass(self):
+        checks = check_paths(_toy_oracle(broken=False), BUDGETS["fast"], 0)
+        assert checks and all(c.passed for c in checks)
+        names = {c.check for c in checks}
+        assert "path:alt~ref" in names
+        assert {"golden:ref", "golden:alt"} <= names
+
+    def test_single_site_drift_is_caught_with_counterexample(self):
+        checks = check_paths(_toy_oracle(broken=True), BUDGETS["fast"], 0)
+        failed = [c for c in checks if not c.passed]
+        assert failed
+        pairwise = next(c for c in failed if c.check == "path:alt~ref")
+        assert "counterexample" in pairwise.detail
+        assert "(3, 5)" in pairwise.detail
+
+    def test_exhaustive_flag_reflects_coverage(self):
+        checks = check_paths(_toy_oracle(broken=False), BUDGETS["fast"], 0)
+        assert all(c.exhaustive for c in checks)
+        assert all(c.n_inputs == 256 for c in checks)
+
+
+class TestVerifyComponent:
+    @pytest.mark.parametrize("name", [
+        "fa/ApxFA3",            # asymmetric cell, netlist + SOP paths
+        "ripple/ApxFA5x4w8",    # LUT fast path vs loop vs netlist
+        "gear/N8R2P2",          # exhaustive stats + prefix-free config
+        "mul2x2/ApxMulOur",     # paper's multiplier vs its netlist
+        "sad/AccuSADx0",        # structured stimulus accelerator
+    ])
+    def test_representative_components_pass(self, name):
+        report = verify_component(name, budget="fast", seed=0)
+        assert report.passed, report.summary()
+
+    def test_gear_component_includes_statistics_checks(self):
+        report = verify_component("gear/N8R2P2", budget="fast", seed=0)
+        kinds = {c.check.split(":")[0] for c in report.checks}
+        assert kinds == {"path", "law", "stat"}
+
+    def test_accepts_oracle_instance(self):
+        report = verify_component(_toy_oracle(broken=False), "fast", 0)
+        assert report.passed and report.component == "toy/add4"
+
+    def test_failure_is_reported_not_raised(self):
+        report = verify_component(_toy_oracle(broken=True), "fast", 0)
+        assert not report.passed
+        assert report.failures()
+        assert "0 failed" not in report.summary()
+
+
+class TestVerifyAll:
+    def test_subset_reports_in_input_order(self):
+        names = ["mul2x2/AccMul", "fa/ApxFA1"]
+        reports = verify_all(names, budget="fast", seed=0)
+        assert [r.component for r in reports] == names
+        assert all(r.passed for r in reports)
+
+    def test_campaign_and_inprocess_paths_agree(self):
+        """A Budget instance runs in-process; the named budget rides the
+        campaign engine.  Exhaustively-checked components must agree."""
+        names = ["fa/ApxFA2", "mul2x2/ApxMulSoA"]
+        via_campaign = verify_all(names, budget="fast", seed=0)
+        in_process = verify_all(names, budget=BUDGETS["fast"], seed=0)
+        assert (
+            [r.to_record() for r in via_campaign]
+            == [r.to_record() for r in in_process]
+        )
+
+    def test_worker_fanout_is_bit_identical(self):
+        names = ["fa/ApxFA4", "fa/ApxFA5", "mul2x2/AccMul"]
+        serial = verify_all(names, budget="fast", seed=0)
+        parallel = verify_all(names, budget="fast", seed=0, n_workers=2)
+        assert (
+            [r.to_record() for r in serial]
+            == [r.to_record() for r in parallel]
+        )
+
+    def test_cache_roundtrip(self, tmp_path):
+        names = ["fa/ApxFA1"]
+        cold = verify_all(names, budget="fast", seed=0,
+                          cache_dir=str(tmp_path))
+        warm = verify_all(names, budget="fast", seed=0,
+                          cache_dir=str(tmp_path))
+        assert cold[0].to_record() == warm[0].to_record()
+
+
+class TestReportRecords:
+    def test_report_record_roundtrip(self):
+        report = verify_component("fa/ApxFA1", budget="fast", seed=0)
+        clone = ConformanceReport.from_record(report.to_record())
+        assert clone == report
+        assert clone.passed == report.passed
+
+    def test_resolve_budget_accepts_names_and_instances(self):
+        assert resolve_budget("fast") is BUDGETS["fast"]
+        assert resolve_budget(BUDGETS["full"]) is BUDGETS["full"]
+        with pytest.raises(KeyError, match="unknown budget"):
+            resolve_budget("warp-speed")

@@ -1,0 +1,77 @@
+"""Metamorphic laws: positive runs, negative controls, registry hygiene."""
+
+import pytest
+
+from repro.verify.metamorphic import LAWS, run_law
+from repro.verify.oracle import build_registry, get_oracle
+from repro.verify.report import BUDGETS
+
+FAST = BUDGETS["fast"]
+
+
+class TestRegistryHygiene:
+    def test_every_declared_law_exists(self):
+        for oracle in build_registry().values():
+            for law in oracle.laws:
+                assert law in LAWS, f"{oracle.name} declares unknown {law!r}"
+
+    def test_unknown_law_raises(self):
+        with pytest.raises(KeyError, match="unknown law"):
+            run_law("conservation_of_momentum", get_oracle("fa/AccuFA"),
+                    FAST, 0)
+
+    def test_every_oracle_declared_law_passes(self):
+        for oracle in build_registry().values():
+            for law in oracle.laws:
+                result = run_law(law, oracle, FAST, seed=0)
+                assert result.passed, (
+                    f"{oracle.name} {result.check}: {result.detail}"
+                )
+
+
+class TestNegativeControls:
+    """Laws must FAIL where the property genuinely does not hold --
+    otherwise a passing law proves nothing."""
+
+    def test_commutativity_fails_on_asymmetric_cell(self):
+        # ApxFA1's table is not A/B-symmetric (rows 010 vs 100 differ),
+        # which is exactly why the registry does not declare the law.
+        oracle = get_oracle("fa/ApxFA1")
+        assert "commutativity" not in oracle.laws
+        result = run_law("commutativity", oracle, FAST, seed=0)
+        assert not result.passed
+
+    def test_shift_scaling_fails_on_approximate_adder(self):
+        oracle = get_oracle("ripple/ApxFA5x4w8")
+        result = run_law("shift_scaling", oracle, FAST, seed=0)
+        assert not result.passed
+
+    def test_sad_self_zero_fails_on_approximate_sad(self):
+        # ApxFA4 maps (0,1,1) -> (1,0), so |a - a| computed through the
+        # approximate subtractor is nonzero on some blocks.
+        oracle = get_oracle("sad/ApxSAD5x4")
+        assert "sad_self_zero" not in oracle.laws
+        result = run_law("sad_self_zero", oracle, FAST, seed=0)
+        assert not result.passed
+
+
+class TestLawSemantics:
+    def test_zero_lsb_window_holds_for_every_ripple_variant(self):
+        """All Table III cells emit carry 0 on the (0,0,0) row, so a
+        zeroed LSB window never corrupts the accurate MSB segment."""
+        for name, oracle in build_registry().items():
+            if oracle.family != "ripple":
+                continue
+            result = run_law("zero_lsb_window", oracle, FAST, seed=0)
+            assert result.passed, name
+
+    def test_correction_convergence_is_exhaustive_for_n8(self):
+        oracle = get_oracle("gear/N8R2P2")
+        result = run_law("correction_convergence", oracle, FAST, seed=0)
+        assert result.passed and result.exhaustive
+
+    def test_law_results_are_labelled(self):
+        oracle = get_oracle("gear/N8R2P2")
+        result = run_law("approx_le_exact", oracle, FAST, seed=0)
+        assert result.check == "law:approx_le_exact"
+        assert result.component == "gear/N8R2P2"

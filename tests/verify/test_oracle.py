@@ -1,0 +1,106 @@
+"""Oracle registry: coverage, stimulus generation, selectors."""
+
+import numpy as np
+import pytest
+
+from repro.verify.oracle import (
+    FAMILIES,
+    build_registry,
+    get_oracle,
+    operand_space,
+    oracle_names,
+    resolve_components,
+    stratified_operands,
+)
+from repro.verify.report import BUDGETS
+
+
+class TestRegistry:
+    def test_every_family_is_populated(self):
+        registry = build_registry()
+        families = {oracle.family for oracle in registry.values()}
+        assert families == set(FAMILIES)
+
+    def test_every_table3_cell_has_an_oracle(self):
+        names = oracle_names()
+        for cell in ("AccuFA", "ApxFA1", "ApxFA2", "ApxFA3", "ApxFA4",
+                     "ApxFA5"):
+            assert f"fa/{cell}" in names
+
+    def test_every_oracle_has_redundant_paths(self):
+        """Differential checking needs at least two independent routes."""
+        for oracle in build_registry().values():
+            assert len(oracle.paths) >= 2, oracle.name
+
+    def test_oracle_names_match_registry_keys(self):
+        for name, oracle in build_registry().items():
+            assert oracle.name == name
+            assert oracle.family == name.split("/")[0]
+
+    def test_exact_components_declare_zero_error_cap(self):
+        for name in ("fa/AccuFA", "ripple/AccuFAx0w8", "recmul/Acc4"):
+            assert get_oracle(name).error_cap == 0
+
+    def test_unknown_component_raises_with_suggestions(self):
+        with pytest.raises(KeyError, match="unknown component"):
+            get_oracle("fa/NoSuchCell")
+
+
+class TestSelectors:
+    def test_all_selects_everything(self):
+        assert resolve_components("all") == oracle_names()
+
+    def test_family_selector(self):
+        names = resolve_components("gear")
+        assert names and all(n.startswith("gear/") for n in names)
+
+    def test_exact_name_selector(self):
+        assert resolve_components("fa/ApxFA1") == ["fa/ApxFA1"]
+
+    def test_comma_union_deduplicates(self):
+        names = resolve_components("fa,fa/ApxFA1,mul2x2")
+        assert len(names) == len(set(names))
+        assert "mul2x2/AccMul" in names
+
+    def test_unknown_selector_raises(self):
+        with pytest.raises(KeyError, match="unknown component selector"):
+            resolve_components("bogus")
+
+
+class TestStimulus:
+    def test_exhaustive_for_small_spaces(self):
+        oracle = get_oracle("fa/AccuFA")
+        operands, exhaustive = operand_space(oracle, BUDGETS["fast"], seed=0)
+        assert exhaustive
+        assert len(operands) == 3
+        assert operands[0].size == 8  # 2**(1+1+1)
+        triples = set(zip(*(o.tolist() for o in operands)))
+        assert len(triples) == 8
+
+    def test_sampled_above_budget(self):
+        oracle = get_oracle("gear/N16R1P7")  # 32 input bits
+        operands, exhaustive = operand_space(oracle, BUDGETS["fast"], seed=0)
+        assert not exhaustive
+        assert operands[0].size == BUDGETS["fast"].n_samples
+
+    def test_stratified_is_deterministic_and_in_range(self):
+        a1, b1 = stratified_operands((12, 12), 2000, seed=7)
+        a2, b2 = stratified_operands((12, 12), 2000, seed=7)
+        assert np.array_equal(a1, a2) and np.array_equal(b1, b2)
+        for arr in (a1, b1):
+            assert arr.min() >= 0 and arr.max() < (1 << 12)
+
+    def test_stratified_seed_changes_samples(self):
+        a1, _ = stratified_operands((12, 12), 2000, seed=0)
+        a2, _ = stratified_operands((12, 12), 2000, seed=1)
+        assert not np.array_equal(a1, a2)
+
+    def test_stratified_includes_corners(self):
+        a, b = stratified_operands((8, 8), 512, seed=0)
+        pairs = set(zip(a.tolist(), b.tolist()))
+        assert {(0, 0), (255, 255), (0, 255), (255, 0)} <= pairs
+
+    def test_stratified_includes_propagate_chains(self):
+        """The complement stratum must produce a + b == all-ones pairs."""
+        a, b = stratified_operands((8, 8), 4096, seed=3)
+        assert np.count_nonzero((a + b) == 255) >= 100

@@ -1,0 +1,84 @@
+"""GeAr error-model cross-validation (the paper's Table IV as a test)."""
+
+import pytest
+
+from repro.adders.gear import GeArConfig
+from repro.verify.statistics import (
+    GEAR_TOLERANCES,
+    gear_statistics_checks,
+    verify_gear_statistics,
+)
+
+
+class TestTableIVAcceptance:
+    def test_all_n11_configurations_agree_within_tolerance(self):
+        """Acceptance gate: for every valid Table IV configuration the
+        analytic (paper + exact DP), exhaustive, and Monte Carlo error
+        rates agree within the declared tolerances, and the exhaustive
+        error PMF reproduces the error rate with a non-positive support.
+        """
+        checks = verify_gear_statistics()  # all_valid(11), budget "full"
+        assert checks, "no checks ran"
+        failed = [c for c in checks if not c.passed]
+        assert not failed, "; ".join(
+            f"{c.component} {c.check}: {c.detail}" for c in failed
+        )
+        # Every configuration must contribute the full check set: the
+        # "full" budget enumerates all 4**11 operand pairs.
+        by_kind = {}
+        for c in checks:
+            by_kind.setdefault(c.check, 0)
+            by_kind[c.check] += 1
+        n_configs = len(GeArConfig.all_valid(11))
+        assert by_kind["stat:paper_vs_exact"] == n_configs
+        assert by_kind["stat:exhaustive_vs_exact"] == n_configs
+        assert by_kind["stat:monte_carlo_vs_exact"] == n_configs
+        assert by_kind["stat:pmf_vs_exhaustive"] == n_configs
+        assert by_kind["stat:pmf_tv_mc_vs_exhaustive"] == n_configs
+
+
+class TestBudgetGating:
+    def test_fast_budget_skips_wide_enumerations(self):
+        config = GeArConfig(n=16, r=1, p=7)  # 4**16 pairs: never swept
+        checks = gear_statistics_checks(config, budget="fast", seed=0)
+        kinds = {c.check for c in checks}
+        assert "stat:monte_carlo_vs_exact" in kinds
+        assert "stat:exhaustive_vs_exact" not in kinds
+
+    def test_full_budget_enumerates_n11(self):
+        config = GeArConfig(n=11, r=1, p=5)
+        checks = gear_statistics_checks(config, budget="full", seed=0)
+        kinds = {c.check for c in checks}
+        assert "stat:exhaustive_vs_exact" in kinds
+        assert "stat:pmf_vs_exhaustive" in kinds
+
+    def test_component_label_propagates(self):
+        config = GeArConfig(n=8, r=2, p=2)
+        checks = gear_statistics_checks(
+            config, budget="fast", seed=0, component="gear/N8R2P2"
+        )
+        assert all(c.component == "gear/N8R2P2" for c in checks)
+
+    def test_default_label_from_config(self):
+        config = GeArConfig(n=8, r=2, p=2)
+        checks = gear_statistics_checks(config, budget="fast", seed=0)
+        assert all(c.component == "gear/N8R2P2" for c in checks)
+
+
+class TestTolerances:
+    def test_declared_tolerances_are_tight(self):
+        """The analytic models must agree to rounding error, not to some
+        hand-wavy percentage -- the point of declared tolerances."""
+        assert GEAR_TOLERANCES["paper_vs_exact"] <= 1e-6
+        assert GEAR_TOLERANCES["exhaustive_vs_exact"] <= 1e-9
+        assert 0 < GEAR_TOLERANCES["pmf_tv"] <= 0.1
+
+    def test_mc_check_is_seeded(self):
+        config = GeArConfig(n=8, r=2, p=2)
+        one = gear_statistics_checks(config, budget="fast", seed=0)
+        two = gear_statistics_checks(config, budget="fast", seed=0)
+        assert [c.to_record() for c in one] == [c.to_record() for c in two]
+
+    def test_unknown_budget_rejected(self):
+        with pytest.raises(KeyError, match="unknown budget"):
+            gear_statistics_checks(GeArConfig(8, 2, 2), budget="ludicrous")
