@@ -2,19 +2,88 @@
 
 Every benchmark regenerates one table or figure of the paper.  The
 rendered data is printed to stdout *and* written under
-``benchmarks/results/`` so the artifacts survive pytest's capture.
+``benchmarks/results/`` so the artifacts survive pytest's capture:
+
+* ``results/<name>.txt`` -- the human-readable table (:func:`emit`);
+* ``results/BENCH_<name>.json`` -- a machine-readable record of the
+  same run (:func:`emit_json`), seeding the repo's perf trajectory:
+  CI uploads these artifacts, and threshold checks / trend tooling
+  consume them without re-parsing text tables.
 """
 
 from __future__ import annotations
 
-import os
+import json
+import platform
+import sys
+import time
 from pathlib import Path
 
 RESULTS_DIR = Path(__file__).resolve().parent / "results"
 
+#: Bump when the JSON artifact layout changes shape.
+BENCH_SCHEMA_VERSION = 1
 
-def emit(name: str, text: str) -> None:
-    """Print a reproduction table and persist it to results/<name>.txt."""
+
+def _jsonable(value):
+    """Best-effort conversion of numpy scalars/arrays for json.dump."""
+    import numpy as np
+
+    if isinstance(value, (np.integer,)):
+        return int(value)
+    if isinstance(value, (np.floating,)):
+        return float(value)
+    if isinstance(value, (np.bool_,)):
+        return bool(value)
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    raise TypeError(f"not JSON-serializable: {type(value).__name__}")
+
+
+def emit(name: str, text: str, data=None, config=None) -> None:
+    """Print a reproduction table and persist it to results/<name>.txt.
+
+    When ``data`` is given, a machine-readable ``BENCH_<name>.json``
+    artifact is written alongside via :func:`emit_json`.
+    """
     RESULTS_DIR.mkdir(exist_ok=True)
     print(f"\n=== {name} ===\n{text}\n")
     (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    if data is not None:
+        emit_json(name, data, config)
+
+
+def emit_json(name: str, data, config=None) -> Path:
+    """Write the machine-readable ``BENCH_<name>.json`` artifact.
+
+    Args:
+        name: Benchmark name (matches the ``emit`` text artifact).
+        data: JSON-serializable payload -- typically the benchmark's
+            row records, including any timings and speedup ratios.
+        config: Optional mapping of the run's configuration knobs
+            (sizes, seeds, modes) so artifacts are self-describing.
+
+    Returns:
+        The path of the written artifact.
+    """
+    RESULTS_DIR.mkdir(exist_ok=True)
+    payload = {
+        "bench": name,
+        "schema_version": BENCH_SCHEMA_VERSION,
+        "generated_unix": time.time(),
+        "python": platform.python_version(),
+        "platform": sys.platform,
+        "config": dict(config or {}),
+        "data": data,
+    }
+    path = RESULTS_DIR / f"BENCH_{name}.json"
+    path.write_text(
+        json.dumps(payload, indent=2, sort_keys=False, default=_jsonable)
+        + "\n"
+    )
+    return path
+
+
+def load_bench_json(name: str) -> dict:
+    """Read back a ``BENCH_<name>.json`` artifact (for threshold checks)."""
+    return json.loads((RESULTS_DIR / f"BENCH_{name}.json").read_text())

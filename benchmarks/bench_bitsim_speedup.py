@@ -1,0 +1,142 @@
+"""Bit-parallel compiled engine vs scalar netlist walk, Table III kernels.
+
+Times the exhaustive gate-level kernels behind the paper's Table III /
+fault-resilience experiments under both evaluation engines
+(``eval_mode="bitsim"`` vs ``"scalar"``), verifies the results are
+bit-identical, and records the speedups under
+``benchmarks/results/bitsim_speedup.txt`` plus the machine-readable
+``BENCH_bitsim_speedup.json`` that CI's threshold check consumes.
+
+The acceptance bar (ISSUE/PR 4) is 20x on the exhaustive
+``count_error_cases`` and ``fault_error_rates`` sweeps of the 8-bit
+Table III ripple netlists; CI's smoke job enforces a relaxed 5x floor
+so shared runners do not flake the build.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.adders.fulladder import FULL_ADDER_NAMES
+from repro.adders.netlist_builder import build_ripple_adder_netlist
+from repro.adders.ripple import ApproximateRippleAdder
+from repro.characterization.report import format_records
+from repro.logic import count_error_cases, toggle_counts
+from repro.logic.bitsim import compile_netlist
+from repro.logic.faults import fault_error_rates
+from repro.logic.simulate import exhaustive_stimuli
+
+from _util import emit
+
+WIDTH = 8
+APPROX_LSBS = 4
+
+
+def _timed(fn):
+    t0 = time.perf_counter()
+    result = fn()
+    return result, time.perf_counter() - t0
+
+
+def _ripple_netlist(cell):
+    adder = ApproximateRippleAdder(
+        WIDTH, approx_fa=cell, num_approx_lsbs=APPROX_LSBS
+    )
+    return build_ripple_adder_netlist(adder)
+
+
+def _row(kernel, scalar_s, bitsim_s, identical):
+    return {
+        "kernel": kernel,
+        "scalar_ms": round(scalar_s * 1e3, 2),
+        "bitsim_ms": round(bitsim_s * 1e3, 3),
+        "speedup": round(scalar_s / bitsim_s, 1),
+        "bit_identical": identical,
+    }
+
+
+def _count_error_cases_kernel():
+    """Exhaustive 2**17 equivalence sweep: AccuFA ripple vs every
+    approximate Table III variant (the Table III '#Error Cases' column,
+    lifted to the 8-bit datapath)."""
+    golden = _ripple_netlist("AccuFA")
+    candidates = {
+        cell: _ripple_netlist(cell)
+        for cell in FULL_ADDER_NAMES
+        if cell != "AccuFA"
+    }
+    compile_netlist(golden)  # warm-up: compile outside the timer
+    for netlist in candidates.values():
+        compile_netlist(netlist)
+    bitsim, bitsim_s = _timed(lambda: {
+        cell: count_error_cases(golden, netlist, eval_mode="bitsim")
+        for cell, netlist in candidates.items()
+    })
+    scalar, scalar_s = _timed(lambda: {
+        cell: count_error_cases(golden, netlist, eval_mode="scalar")
+        for cell, netlist in candidates.items()
+    })
+    return _row(
+        "count_error_cases_2^17_x5", scalar_s, bitsim_s, bitsim == scalar
+    )
+
+
+def _fault_rates_kernel():
+    """Exhaustive single-stuck-at sweep of the ApxFA1 ripple netlist:
+    every injectable net, both polarities, all 2**17 vectors per fault."""
+    netlist = _ripple_netlist("ApxFA1")
+    stimuli = exhaustive_stimuli(netlist.inputs)
+    compile_netlist(netlist)
+    bitsim, bitsim_s = _timed(lambda: fault_error_rates(
+        netlist, stimuli=stimuli, eval_mode="bitsim"
+    ))
+    scalar, scalar_s = _timed(lambda: fault_error_rates(
+        netlist, stimuli=stimuli, eval_mode="scalar"
+    ))
+    return _row("fault_error_rates_exhaustive", scalar_s, bitsim_s,
+                bitsim == scalar)
+
+
+def _toggle_counts_kernel():
+    """Exhaustive switching-activity extraction (the power model's
+    input) on the ApxFA3 ripple netlist."""
+    netlist = _ripple_netlist("ApxFA3")
+    stimuli = exhaustive_stimuli(netlist.inputs)
+    compile_netlist(netlist)
+    bitsim, bitsim_s = _timed(
+        lambda: toggle_counts(netlist, stimuli, eval_mode="bitsim")
+    )
+    scalar, scalar_s = _timed(
+        lambda: toggle_counts(netlist, stimuli, eval_mode="scalar")
+    )
+    return _row("toggle_counts_exhaustive", scalar_s, bitsim_s,
+                bitsim == scalar)
+
+
+def sweep_speedups():
+    return [
+        _count_error_cases_kernel(),
+        _fault_rates_kernel(),
+        _toggle_counts_kernel(),
+    ]
+
+
+def test_bitsim_speedup(benchmark):
+    rows = benchmark.pedantic(sweep_speedups, rounds=1, iterations=1)
+    emit(
+        "bitsim_speedup",
+        format_records(
+            rows,
+            title="Bit-parallel compiled engine vs scalar walk "
+            f"({WIDTH}-bit Table III ripple netlists, exhaustive)",
+        ),
+        data={"rows": rows},
+        config={"width": WIDTH, "approx_lsbs": APPROX_LSBS,
+                "n_vectors": 2 ** (2 * WIDTH + 1)},
+    )
+    assert all(r["bit_identical"] for r in rows)
+    # The acceptance kernels must pay off decisively (ISSUE bar: 20x).
+    by_kernel = {r["kernel"]: r for r in rows}
+    assert by_kernel["count_error_cases_2^17_x5"]["speedup"] >= 20.0, rows
+    assert by_kernel["fault_error_rates_exhaustive"]["speedup"] >= 20.0, rows
+    assert all(r["speedup"] > 1.0 for r in rows), rows

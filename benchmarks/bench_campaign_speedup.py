@@ -85,6 +85,12 @@ def test_campaign_speedup(benchmark, tmp_path):
                 f"({N_SAMPLES} samples/row, host cores={_cores()})"
             ),
         ),
+        data={"rows": rows, "parallel_speedup": speedup},
+        config={
+            "n_samples": N_SAMPLES,
+            "n_workers": N_WORKERS,
+            "host_cores": _cores(),
+        },
     )
     # Bit-identical records no matter the worker count or cache state.
     reference = runs["serial"].results

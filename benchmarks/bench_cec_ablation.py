@@ -64,6 +64,7 @@ def test_cec_ablation(benchmark):
         format_records(area_rows, title="CEC vs integrated EDC: area")
         + "\n\n"
         + format_records(quality_rows, title="CEC quality recovery on SAD"),
+        data={"area_rows": area_rows, "quality_rows": quality_rows},
     )
     # Area savings grow with cascade size and cross 80% by 16 adders.
     savings = [row["saving_%"] for row in area_rows]

@@ -42,6 +42,7 @@ def test_config_modes(benchmark):
             title="Accuracy-configurable GeAr: quality vs latency/energy "
             "per mode",
         ),
+        data={"rows": rows},
     )
     by_adder = {}
     for row in rows:

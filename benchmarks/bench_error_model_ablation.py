@@ -73,6 +73,7 @@ def test_error_model_ablation(benchmark):
         format_records(
             rows, title="GeAr error models: paper IE vs exact DP vs truth"
         ),
+        data={"rows": rows},
     )
     for row in rows:
         # The DP is exact: it matches enumeration to double precision

@@ -112,6 +112,7 @@ def test_fastpath_speedup(benchmark):
             rows,
             title="Fast path (segment/LUT) vs legacy bit-loop, Fig. 6/8/9 kernels",
         ),
+        data={"rows": rows},
     )
     assert all(r["bit_identical"] for r in rows)
     # The LSB-segment LUT plus native MSB add must pay off decisively on

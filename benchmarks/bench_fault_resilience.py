@@ -60,6 +60,7 @@ def test_fault_resilience(benchmark):
             title="Single stuck-at fault exposure: exact vs approximate "
             "8-bit adders",
         ),
+        data={"rows": rows},
     )
     by_label = {r["adder"]: r for r in rows}
     exact = by_label["exact"]

@@ -52,6 +52,7 @@ def test_fig10(benchmark):
             title="Fig. 10: SSIM after approximate low-pass filtering "
             "(7 content classes)",
         ),
+        data={"rows": rows},
     )
     assert len(rows) == 7
     # Data-dependent resilience: for the same filter, SSIM varies across

@@ -49,7 +49,17 @@ def test_fig4(benchmark):
         f"Min-area with >=90% accuracy within R=3 (paper's walk): "
         f"{r3['name']} ({r3['lut_count']} LUTs)",
     ]
-    emit("fig4_gear_pareto", "\n".join(lines))
+    emit(
+        "fig4_gear_pareto",
+        "\n".join(lines),
+        data={
+            "records": records,
+            "front": front,
+            "max_accuracy": max_acc["name"],
+            "min_area_90": constrained["name"],
+            "min_area_90_r3": r3["name"],
+        },
+    )
     assert (max_acc["r"], max_acc["p"]) == (1, 9)
     assert (r3["r"], r3["p"]) == (3, 5)
     assert constrained["accuracy_percent"] >= 90.0

@@ -48,7 +48,11 @@ def test_fig5(benchmark):
                 title=f"{name} truth table",
             )
         )
-    emit("fig5_mul2x2", "\n\n".join(parts))
+    emit(
+        "fig5_mul2x2",
+        "\n\n".join(parts),
+        data={"rows": rows, "truth_tables": truth_tables},
+    )
 
     by_name = {r["name"]: r for r in rows}
     assert by_name["ApxMulSoA"]["n_error_cases"] == 1

@@ -31,6 +31,7 @@ def test_fig6(benchmark):
                      "normalized_med", "max_error_distance"],
             title="Fig. 6: accurate vs approximate multipliers (2x2..16x16)",
         ),
+        data={"rows": rows},
     )
     # Shape: at every width the approximate variants dominate the
     # accurate one in area and power, and accurate ones never err.

@@ -71,7 +71,12 @@ def test_fig8(benchmark):
         format_table(header, grid, title="Fig. 8: exact SAD surface"),
         format_records(rows, title="Approximate variants vs exact surface"),
     ]
-    emit("fig8_sad_surface", "\n\n".join(parts))
+    emit(
+        "fig8_sad_surface",
+        "\n\n".join(parts),
+        data={"rows": rows, "surface_exact": surface_exact},
+        config={"search": SEARCH},
+    )
     # Shape: every variant's surface follows the exact trend, and the
     # motion vector survives on this distinct-minimum block.
     assert all(r["corr_with_exact"] > 0.9 for r in rows)

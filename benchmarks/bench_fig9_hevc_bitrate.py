@@ -56,6 +56,13 @@ def test_fig9(benchmark):
         header + format_records(
             rows, title="Fig. 9: bit-rate increase vs approximated LSBs"
         ),
+        data={
+            "baseline": {
+                "total_bits": baseline.total_bits,
+                "psnr_db": baseline.psnr_db,
+            },
+            "rows": rows,
+        },
     )
     by_variant = {}
     for row in rows:

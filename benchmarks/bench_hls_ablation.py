@@ -114,6 +114,7 @@ def test_hls_ablation(benchmark):
         format_records(
             rows, title="Manual uniform vs HLS assignment (16-term SAD)"
         ),
+        data={"rows": rows},
     )
     by_strategy = {r["strategy"]: r for r in rows}
     for cand in ("ApxFA1x2", "ApxFA5x4"):

@@ -108,6 +108,12 @@ def test_multi_accelerator(benchmark):
         )
         + f"\n\ntotal energy {architecture.total_energy():.0f} vs exact "
         f"baseline {baseline:.0f} ({saving:.1f}% saved)",
+        data={
+            "rows": rows,
+            "total_energy": architecture.total_energy(),
+            "exact_baseline": baseline,
+            "saving_percent": saving,
+        },
     )
     # The managed architecture saves energy over always-exact ...
     assert architecture.total_energy() < baseline

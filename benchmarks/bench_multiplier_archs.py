@@ -72,6 +72,7 @@ def test_multiplier_archs(benchmark):
         format_records(
             rows, title="Multiplier architectures at 8x8 (beyond Fig. 6)"
         ),
+        data={"rows": rows},
     )
     by_name = {r["multiplier"]: r for r in rows}
     # Exact variants never err.

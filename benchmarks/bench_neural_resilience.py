@@ -77,6 +77,7 @@ def test_neural_resilience(benchmark):
             rows,
             title="MLP classification accuracy under approximate MACs",
         ),
+        data={"rows": rows},
     )
     by_name = {r["datapath"]: r for r in rows}
     exact = by_name["int8 exact"]["accuracy"]

@@ -49,7 +49,15 @@ def test_table1_survey(benchmark):
             ),
         ]
     )
-    emit("table1_survey", text)
+    emit(
+        "table1_survey",
+        text,
+        data={
+            "table1_rows": table1_rows,
+            "table2_rows": table2_rows,
+            "matrix_rows": matrix_rows,
+        },
+    )
     assert len(table1_rows) == 12
     assert len(table2_rows) == 5
     # Functional approximation spans all three layers (the paper's core

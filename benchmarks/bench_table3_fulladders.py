@@ -45,6 +45,7 @@ def test_table3(benchmark):
     emit(
         "table3_fulladders",
         format_records(rows, title="Table III: 1-bit full adders (ours vs paper)"),
+        data={"rows": rows},
     )
     # Shape assertions: error counts exact, orderings preserved.
     assert [r["errors(ours)"] for r in rows] == [0, 2, 2, 3, 3, 4]

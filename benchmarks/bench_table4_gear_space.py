@@ -46,6 +46,7 @@ def test_table4(benchmark):
                      "acc%_mc", "lut_count", "area_ge", "delay_ps"],
             title="Table IV: N=11 GeAr accuracy/area sweep (exact DP model)",
         ),
+        data={"records": records},
     )
     assert len(records) == 17
     best = max(records, key=lambda r: r["accuracy_percent"])

@@ -132,7 +132,7 @@ def build_subtractor_netlist(adder: ApproximateRippleAdder) -> Netlist:
 
 
 def evaluate_adder_netlist(
-    netlist: Netlist, a, b, cin=0
+    netlist: Netlist, a, b, cin=0, eval_mode: str | None = None
 ) -> np.ndarray:
     """Drive an adder/subtractor netlist with integer operands.
 
@@ -144,6 +144,9 @@ def evaluate_adder_netlist(
             (the carry-in port is a primary input, so conformance sweeps
             drive it as a full operand); pass ``None`` for subtractor
             netlists (which have no ``cin`` port).
+        eval_mode: Gate-simulation engine -- ``"bitsim"`` (64-lane
+            packed words, the default) or ``"scalar"`` (per-gate
+            reference walk); see :mod:`repro.logic.bitsim`.
 
     Returns:
         Integer results assembled from ``s*``/``cout``
@@ -164,7 +167,7 @@ def evaluate_adder_netlist(
             carry.astype(np.uint8),
             np.broadcast_shapes(a.shape, b.shape, carry.shape),
         )
-    out = netlist.evaluate(stimuli)
+    out = netlist.evaluate(stimuli, eval_mode=eval_mode)
     total = np.zeros(np.broadcast_shapes(a.shape, b.shape), dtype=np.int64)
     for bit in range(width):
         total |= out[f"s{bit}"].astype(np.int64) << bit

@@ -5,6 +5,12 @@ Synopsys DC -> :mod:`repro.logic.synth`, ModelSim -> netlist evaluation,
 SAIF/PrimeTime -> :mod:`repro.logic.simulate`.
 """
 
+from .bitsim import (
+    CompiledNetlist,
+    compile_netlist,
+    eval_mode,
+    set_default_eval_mode,
+)
 from .cells import CELL_LIBRARY, Cell, cell
 from .equivalence import EquivalenceReport, check_equivalence, count_error_cases
 from .faults import StuckAtFault, fault_error_rates, fault_sites, inject_stuck_at
@@ -30,6 +36,10 @@ __all__ = [
     "CELL_LIBRARY",
     "Cell",
     "cell",
+    "CompiledNetlist",
+    "compile_netlist",
+    "eval_mode",
+    "set_default_eval_mode",
     "LutMapping",
     "map_to_luts",
     "EquivalenceReport",

@@ -1,0 +1,515 @@
+"""Bit-parallel compiled netlist simulation (64 stimulus lanes per word).
+
+The scalar engine in :mod:`repro.logic.netlist` walks the gate list once
+per call and evaluates every gate with a truth-table gather over int64
+index arrays -- one array *element* per stimulus vector.  This module
+lowers a validated :class:`~repro.logic.netlist.Netlist` **once** into a
+flat, topologically-scheduled gate tape and executes it with NumPy
+``uint64`` bitwise ops, so each array element carries **64 packed
+stimulus lanes**.  That is the classic word-level logic-simulation trick
+block-based adder error-statistics work exploits to make exhaustive
+analysis tractable (Wu et al.; Balasubramanian et al., "Gate-Level
+Static Approximate Adders").
+
+Lane packing layout
+-------------------
+
+Stimulus vector ``j`` lives in word ``j // 64`` at bit ``j % 64``
+(LSB-first), for every net.  ``pack_lanes`` / ``unpack_lanes`` convert
+between 0/1 vectors and packed words; :func:`packed_exhaustive_stimuli`
+emits the full ``2**n`` counter sweep of
+:func:`repro.logic.simulate.exhaustive_stimuli` directly in packed form
+(input ``i`` is a periodic mask, no unpacked intermediate).  Invalid
+lanes of the final partial word are architectural don't-cares: every
+reduction masks them via :func:`lane_mask` before counting.
+
+Fault-overlay encoding
+----------------------
+
+:meth:`CompiledNetlist.run_packed` accepts ``stuck={net: 0 | 1}``: after
+a stuck net's driver is executed its word row is overwritten with the
+all-zeros / all-ones constant, so every consumer (and the primary
+output, if the net is one) reads the stuck value -- exactly the
+single-stuck-line semantics of
+:func:`repro.logic.faults.inject_stuck_at`, without rebuilding or
+recompiling a netlist per fault.
+
+The compiled tape is cached on the netlist (``netlist._bitsim_cache``)
+and invalidated by ``add_gate`` / ``set_outputs``; the scalar path stays
+available as the differential reference (``eval_mode="scalar"``).
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = [
+    "DEFAULT_EVAL_MODE",
+    "EVAL_MODES",
+    "CompiledNetlist",
+    "compile_netlist",
+    "resolve_eval_mode",
+    "set_default_eval_mode",
+    "eval_mode",
+    "pack_lanes",
+    "unpack_lanes",
+    "packed_exhaustive_stimuli",
+    "lane_mask",
+    "popcount",
+    "packed_toggles",
+]
+
+#: Recognised evaluation engines.
+EVAL_MODES = ("bitsim", "scalar")
+
+#: Process-wide default engine.  ``bitsim`` everywhere; flip to
+#: ``scalar`` (or use the :func:`eval_mode` context manager) to fall
+#: back to the legacy per-gate reference path.
+DEFAULT_EVAL_MODE = "bitsim"
+
+_mode_lock = threading.Lock()
+
+_WORD = np.uint64
+_ALL_ONES = np.uint64(0xFFFF_FFFF_FFFF_FFFF)
+
+#: Periodic lane masks for the six fastest-toggling exhaustive inputs:
+#: bit ``j`` of mask ``i`` equals ``(j >> i) & 1``.
+_PERIODIC_MASKS = tuple(
+    np.uint64(sum(1 << j for j in range(64) if (j >> i) & 1))
+    for i in range(6)
+)
+
+
+def set_default_eval_mode(mode: str) -> None:
+    """Set the process-wide default engine (``"bitsim"`` / ``"scalar"``)."""
+    global DEFAULT_EVAL_MODE
+    if mode not in EVAL_MODES:
+        raise ValueError(f"eval_mode must be one of {EVAL_MODES}, got {mode!r}")
+    with _mode_lock:
+        DEFAULT_EVAL_MODE = mode
+
+
+def resolve_eval_mode(mode: Optional[str]) -> str:
+    """Resolve ``None`` to the process default; validate explicit modes."""
+    if mode is None:
+        return DEFAULT_EVAL_MODE
+    if mode not in EVAL_MODES:
+        raise ValueError(f"eval_mode must be one of {EVAL_MODES}, got {mode!r}")
+    return mode
+
+
+@contextmanager
+def eval_mode(mode: str) -> Iterator[None]:
+    """Temporarily switch the process-wide default engine."""
+    previous = DEFAULT_EVAL_MODE
+    set_default_eval_mode(mode)
+    try:
+        yield
+    finally:
+        set_default_eval_mode(previous)
+
+
+# ----------------------------------------------------------------------
+# lane packing
+# ----------------------------------------------------------------------
+
+def n_words_for(n_lanes: int) -> int:
+    """Words needed to carry ``n_lanes`` stimulus lanes (min 1)."""
+    return max(1, (int(n_lanes) + 63) // 64)
+
+
+def pack_lanes(bits: np.ndarray) -> np.ndarray:
+    """Pack a 1-D 0/1 vector into uint64 words, lane ``j`` at bit ``j%64``."""
+    bits = np.ascontiguousarray(np.asarray(bits, dtype=np.uint8).ravel())
+    packed8 = np.packbits(bits, bitorder="little")
+    n_bytes = n_words_for(bits.size) * 8
+    if packed8.size != n_bytes:
+        packed8 = np.concatenate(
+            [packed8, np.zeros(n_bytes - packed8.size, dtype=np.uint8)]
+        )
+    return packed8.view(_WORD)
+
+
+def unpack_lanes(words: np.ndarray, n_lanes: int) -> np.ndarray:
+    """Inverse of :func:`pack_lanes`: first ``n_lanes`` bits as uint8."""
+    words = np.ascontiguousarray(words, dtype=_WORD)
+    return np.unpackbits(words.view(np.uint8), bitorder="little")[:n_lanes]
+
+
+def lane_mask(n_lanes: int) -> np.ndarray:
+    """Validity mask: bit set for every real lane, clear in the padding."""
+    n_words = n_words_for(n_lanes)
+    mask = np.full(n_words, _ALL_ONES, dtype=_WORD)
+    tail = n_lanes - 64 * (n_words - 1)
+    if 0 < tail < 64:
+        mask[-1] = _WORD((1 << tail) - 1)
+    elif tail <= 0:  # n_lanes == 0 (degenerate): no valid lanes at all
+        mask[-1] = _WORD(0)
+    return mask
+
+
+def packed_exhaustive_stimuli(
+    input_names: Sequence[str],
+) -> Dict[str, np.ndarray]:
+    """The full ``2**n`` counter sweep, already packed.
+
+    Bit-identical to ``pack_lanes`` applied to each column of
+    :func:`repro.logic.simulate.exhaustive_stimuli` (``input_names[0]``
+    toggles fastest), but built straight from periodic masks.
+    """
+    n = len(input_names)
+    n_lanes = 1 << n
+    n_words = n_words_for(n_lanes)
+    valid = lane_mask(n_lanes)
+    packed: Dict[str, np.ndarray] = {}
+    word_index = np.arange(n_words, dtype=np.uint64)
+    for i, name in enumerate(input_names):
+        if i < 6:
+            words = np.full(n_words, _PERIODIC_MASKS[i], dtype=_WORD)
+        else:
+            on = ((word_index >> _WORD(i - 6)) & _WORD(1)).astype(bool)
+            words = np.where(on, _ALL_ONES, _WORD(0))
+        packed[name] = words & valid
+    return packed
+
+
+# ----------------------------------------------------------------------
+# popcount / packed reductions
+# ----------------------------------------------------------------------
+
+if hasattr(np, "bitwise_count"):  # numpy >= 2.0
+    def _word_popcount(words: np.ndarray) -> np.ndarray:
+        return np.bitwise_count(words)
+else:  # pragma: no cover - exercised only on numpy < 2.0
+    _POPCOUNT8 = np.array(
+        [bin(i).count("1") for i in range(256)], dtype=np.uint8
+    )
+
+    def _word_popcount(words: np.ndarray) -> np.ndarray:
+        by_byte = _POPCOUNT8[
+            np.ascontiguousarray(words, dtype=_WORD).view(np.uint8)
+        ]
+        return by_byte.reshape(-1, 8).sum(axis=1).reshape(words.shape)
+
+
+def popcount(words: np.ndarray) -> int:
+    """Total number of set bits across a packed word array."""
+    return int(_word_popcount(np.asarray(words, dtype=_WORD)).sum())
+
+
+def packed_toggles(words: np.ndarray, n_lanes: int) -> int:
+    """Toggles between consecutive lanes of one packed waveform.
+
+    Equals ``np.count_nonzero(wave[1:] != wave[:-1])`` on the unpacked
+    vector: within-word transitions come from ``w ^ (w >> 1)`` (bit 63
+    masked out), cross-word transitions compare bit 63 of each word with
+    bit 0 of its successor, and transitions beyond the last valid lane
+    are masked away.
+    """
+    if n_lanes < 2:
+        return 0
+    words = np.ascontiguousarray(words, dtype=_WORD)
+    n_words = n_words_for(n_lanes)
+    within = (words ^ (words >> _WORD(1))) & _WORD(0x7FFF_FFFF_FFFF_FFFF)
+    # Valid within-word transition t sits between lanes t and t+1, so
+    # the final word keeps transitions 0 .. tail-2 only.
+    tail = n_lanes - 64 * (n_words - 1)
+    if tail >= 1:
+        within[-1] &= _WORD((1 << (tail - 1)) - 1)
+    total = popcount(within)
+    if n_words > 1:
+        boundary = (words[:-1] >> _WORD(63)) ^ (words[1:] & _WORD(1))
+        total += int(np.count_nonzero(boundary))
+    return total
+
+
+# ----------------------------------------------------------------------
+# gate kernels
+# ----------------------------------------------------------------------
+# Each kernel receives the input word rows and returns the output row.
+# Dispatch is by *truth table*, not cell name, so mutated or custom
+# cells with a recognised function still get the dedicated kernel.
+
+def _k_buf(a):
+    return a.copy()
+
+
+def _k_inv(a):
+    return ~a
+
+
+def _k_and(*ins):
+    out = ins[0] & ins[1]
+    for x in ins[2:]:
+        out = out & x
+    return out
+
+
+def _k_or(*ins):
+    out = ins[0] | ins[1]
+    for x in ins[2:]:
+        out = out | x
+    return out
+
+
+def _k_xor(*ins):
+    out = ins[0] ^ ins[1]
+    for x in ins[2:]:
+        out = out ^ x
+    return out
+
+
+def _k_nand(*ins):
+    return ~_k_and(*ins)
+
+
+def _k_nor(*ins):
+    return ~_k_or(*ins)
+
+
+def _k_xnor(*ins):
+    return ~_k_xor(*ins)
+
+
+def _k_maj3(a, b, c):
+    return (a & b) | (c & (a | b))
+
+
+def _k_min3(a, b, c):
+    return ~_k_maj3(a, b, c)
+
+
+def _k_mux2(s, a, b):
+    return (s & b) | (~s & a)
+
+
+def _k_aoi21(a, b, c):
+    return ~((a & b) | c)
+
+
+def _k_oai21(a, b, c):
+    return ~((a | b) & c)
+
+
+def _truth_of(n_inputs: int, fn: Callable[..., int]) -> Tuple[int, ...]:
+    """Truth tuple of a 0/1 python function (pin 0 is the index MSB)."""
+    rows = []
+    for index in range(1 << n_inputs):
+        bits = [(index >> (n_inputs - 1 - k)) & 1 for k in range(n_inputs)]
+        rows.append(int(bool(fn(*bits))))
+    return tuple(rows)
+
+
+def _build_kernel_registry() -> Dict[Tuple[int, ...], Callable]:
+    """Map truth tables of common boolean functions to fast kernels."""
+    registry: Dict[Tuple[int, ...], Callable] = {}
+    scalar_forms: List[Tuple[int, Callable, Callable]] = [
+        (1, lambda a: a, _k_buf),
+        (1, lambda a: 1 - a, _k_inv),
+        (3, lambda a, b, c: (a & b) | (c & (a | b)), _k_maj3),
+        (3, lambda a, b, c: 1 - ((a & b) | (c & (a | b))), _k_min3),
+        (3, lambda s, a, b: b if s else a, _k_mux2),
+        (3, lambda a, b, c: 1 - ((a & b) | c), _k_aoi21),
+        (3, lambda a, b, c: 1 - ((a | b) & c), _k_oai21),
+    ]
+    for n in (2, 3, 4):
+        from functools import reduce
+
+        scalar_forms += [
+            (n, lambda *xs: reduce(lambda p, q: p & q, xs), _k_and),
+            (n, lambda *xs: reduce(lambda p, q: p | q, xs), _k_or),
+            (n, lambda *xs: reduce(lambda p, q: p ^ q, xs), _k_xor),
+            (n, lambda *xs: 1 - reduce(lambda p, q: p & q, xs), _k_nand),
+            (n, lambda *xs: 1 - reduce(lambda p, q: p | q, xs), _k_nor),
+            (n, lambda *xs: 1 - reduce(lambda p, q: p ^ q, xs), _k_xnor),
+        ]
+    for n_inputs, scalar_fn, kernel in scalar_forms:
+        registry.setdefault(_truth_of(n_inputs, scalar_fn), kernel)
+    return registry
+
+
+_KERNELS: Dict[Tuple[int, ...], Callable] = _build_kernel_registry()
+
+
+def _generic_kernel(truth: Tuple[int, ...], n_inputs: int) -> Callable:
+    """Sum-of-minterms fallback for truth tables with no fast kernel.
+
+    Uses whichever of the on-set / off-set is smaller (complementing at
+    the end for the off-set), so the op count never exceeds
+    ``2**(n-1) * (n + 1)`` word ops.
+    """
+    on_set = [i for i, bit in enumerate(truth) if bit]
+    off_set = [i for i, bit in enumerate(truth) if not bit]
+    invert = len(off_set) < len(on_set)
+    terms = off_set if invert else on_set
+
+    def kernel(*ins):
+        shape = ins[0].shape
+        out = np.zeros(shape, dtype=_WORD)
+        for minterm in terms:
+            term = None
+            for pin in range(n_inputs):
+                literal = ins[pin]
+                if not (minterm >> (n_inputs - 1 - pin)) & 1:
+                    literal = ~literal
+                term = literal if term is None else term & literal
+            out |= term
+        return ~out if invert else out
+
+    if not terms:  # constant cell
+        const = _ALL_ONES if invert else _WORD(0)
+
+        def kernel(*ins):  # noqa: F811 - intentional constant override
+            return np.full(ins[0].shape, const, dtype=_WORD)
+
+    return kernel
+
+
+# ----------------------------------------------------------------------
+# compiler + executor
+# ----------------------------------------------------------------------
+
+class CompiledNetlist:
+    """A netlist lowered to a flat, topologically-scheduled gate tape.
+
+    Net rows live in one dense table indexed by slot: primary inputs
+    first (declaration order), then ``GND``/``VDD``, then one slot per
+    gate output in topological order.  Each tape entry binds a word
+    kernel to its input/output slots, so :meth:`run_packed` is a single
+    flat loop of NumPy bitwise ops.
+    """
+
+    def __init__(self, netlist) -> None:
+        order = netlist.topological_order()  # raises on loops
+        self.netlist_name: str = netlist.name
+        self.inputs: Tuple[str, ...] = tuple(netlist.inputs)
+        self.outputs: Tuple[str, ...] = tuple(netlist.outputs)
+
+        slots: Dict[str, int] = {}
+        for net in self.inputs:
+            slots[net] = len(slots)
+        self._gnd_slot = slots.setdefault("GND", len(slots))
+        self._vdd_slot = slots.setdefault("VDD", len(slots))
+        tape: List[Tuple[Callable, Tuple[int, ...], int]] = []
+        for gate in order:
+            for net in gate.inputs:
+                if net not in slots:
+                    # topological_order guarantees driver-before-consumer
+                    # for gate-driven nets; anything left is undriven.
+                    from .netlist import NetlistError
+
+                    raise NetlistError(
+                        f"gate {gate.cell.name} -> {gate.output}: "
+                        f"input net {net!r} has no driver"
+                    )
+            out_slot = slots.setdefault(gate.output, len(slots))
+            kernel = _KERNELS.get(tuple(gate.cell.truth))
+            if kernel is None:
+                kernel = _generic_kernel(
+                    tuple(gate.cell.truth), gate.cell.n_inputs
+                )
+            tape.append((
+                kernel,
+                tuple(slots[net] for net in gate.inputs),
+                out_slot,
+            ))
+        for net in self.outputs:
+            if net not in slots:
+                from .netlist import NetlistError
+
+                raise NetlistError(f"primary output {net!r} has no driver")
+        self._slots = slots
+        self._tape = tape
+        self.n_slots = len(slots)
+
+    # -- execution -----------------------------------------------------
+
+    def slot_of(self, net: str) -> int:
+        """Row index of a net in the value table returned by run_packed."""
+        return self._slots[net]
+
+    def run_packed(
+        self,
+        packed_inputs: Dict[str, np.ndarray],
+        n_words: Optional[int] = None,
+        stuck: Optional[Dict[str, int]] = None,
+    ) -> List[np.ndarray]:
+        """Execute the tape on packed stimulus words.
+
+        Args:
+            packed_inputs: Mapping from every primary input to a uint64
+                word array (all the same length).
+            n_words: Word count; inferred from the first input when
+                omitted (required for netlists without inputs).
+            stuck: Optional stuck-at overlay ``{net: 0 | 1}`` applied to
+                gate-driven nets (see module docstring).
+
+        Returns:
+            Value table: one uint64 row per slot.  Padding lanes are
+            unspecified; mask with :func:`lane_mask` before reducing.
+        """
+        if n_words is None:
+            if not self.inputs:
+                raise ValueError("n_words is required for input-less netlists")
+            n_words = int(
+                np.asarray(packed_inputs[self.inputs[0]]).shape[0]
+            )
+        values: List[Optional[np.ndarray]] = [None] * self.n_slots
+        for net in self.inputs:
+            values[self._slots[net]] = np.ascontiguousarray(
+                packed_inputs[net], dtype=_WORD
+            )
+        values[self._gnd_slot] = np.zeros(n_words, dtype=_WORD)
+        values[self._vdd_slot] = np.full(n_words, _ALL_ONES, dtype=_WORD)
+        if not stuck:
+            for kernel, in_slots, out_slot in self._tape:
+                values[out_slot] = kernel(*[values[s] for s in in_slots])
+        else:
+            overlay = {
+                self._slots[net]: (
+                    np.full(n_words, _ALL_ONES, dtype=_WORD)
+                    if value
+                    else np.zeros(n_words, dtype=_WORD)
+                )
+                for net, value in stuck.items()
+            }
+            for kernel, in_slots, out_slot in self._tape:
+                row = overlay.get(out_slot)
+                if row is None:
+                    row = kernel(*[values[s] for s in in_slots])
+                values[out_slot] = row
+        return values
+
+    def output_rows(self, values: List[np.ndarray]) -> List[np.ndarray]:
+        """Primary-output rows of a :meth:`run_packed` value table."""
+        return [values[self._slots[net]] for net in self.outputs]
+
+    def net_names(self) -> List[str]:
+        """Every net in slot order (inputs, GND/VDD, gate outputs)."""
+        names = [""] * self.n_slots
+        for net, slot in self._slots.items():
+            names[slot] = net
+        return names
+
+    def __repr__(self) -> str:
+        return (
+            f"CompiledNetlist({self.netlist_name!r}, {len(self.inputs)} in, "
+            f"{len(self._tape)} ops, {self.n_slots} slots)"
+        )
+
+
+def compile_netlist(netlist) -> CompiledNetlist:
+    """Compile (or fetch the cached compilation of) a netlist.
+
+    The compiled tape is cached on the netlist instance and invalidated
+    by the structural mutators (``add_gate``, ``set_outputs``).
+    """
+    cached = getattr(netlist, "_bitsim_cache", None)
+    if cached is None:
+        cached = CompiledNetlist(netlist)
+        netlist._bitsim_cache = cached
+    return cached

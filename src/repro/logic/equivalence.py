@@ -17,6 +17,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from . import bitsim
 from .netlist import Netlist
 from .simulate import exhaustive_stimuli, random_stimuli
 
@@ -108,12 +109,83 @@ def _comparable(a: Netlist, b: Netlist) -> None:
         )
 
 
+def _first_mismatch_lanes(
+    mismatch_words: np.ndarray, limit: int = 8
+) -> List[int]:
+    """Lane indices of the first ``limit`` set bits, in lane order."""
+    lanes: List[int] = []
+    for word_index in np.flatnonzero(mismatch_words):
+        word = int(mismatch_words[word_index])
+        base = 64 * int(word_index)
+        while word and len(lanes) < limit:
+            low = word & -word
+            lanes.append(base + low.bit_length() - 1)
+            word ^= low
+        if len(lanes) >= limit:
+            break
+    return lanes
+
+
+def _check_equivalence_packed(
+    golden: Netlist,
+    candidate: Netlist,
+    inputs: List[str],
+    exhaustive: bool,
+    stimuli: Optional[Dict[str, np.ndarray]],
+    n_random_vectors: int,
+) -> EquivalenceReport:
+    """Bit-parallel equivalence core: packed XOR + popcount reduction.
+
+    Exhaustive sweeps never materialize per-vector arrays at all -- the
+    stimulus is generated directly in packed form and counterexample
+    inputs are decoded from the mismatching lane index.
+    """
+    if exhaustive:
+        n_vectors = 1 << len(inputs)
+        packed = bitsim.packed_exhaustive_stimuli(inputs)
+    else:
+        n_vectors = n_random_vectors
+        packed = {net: bitsim.pack_lanes(stimuli[net]) for net in inputs}
+    n_words = bitsim.n_words_for(n_vectors)
+    compiled_a = bitsim.compile_netlist(golden)
+    compiled_b = bitsim.compile_netlist(candidate)
+    table_a = compiled_a.run_packed(packed, n_words)
+    table_b = compiled_b.run_packed(packed, n_words)
+    mismatch = np.zeros(n_words, dtype=np.uint64)
+    for net in golden.outputs:
+        mismatch |= (
+            table_a[compiled_a.slot_of(net)]
+            ^ table_b[compiled_b.slot_of(net)]
+        )
+    mismatch &= bitsim.lane_mask(n_vectors)
+    n_mismatches = bitsim.popcount(mismatch)
+    lanes = _first_mismatch_lanes(mismatch)
+    if exhaustive:
+        counterexamples = tuple(
+            {name: (lane >> i) & 1 for i, name in enumerate(inputs)}
+            for lane in lanes
+        )
+    else:
+        counterexamples = tuple(
+            {name: int(stimuli[name][lane]) for name in inputs}
+            for lane in lanes
+        )
+    return EquivalenceReport(
+        equivalent=n_mismatches == 0,
+        exhaustive=exhaustive,
+        n_vectors=n_vectors,
+        n_mismatches=n_mismatches,
+        counterexamples=counterexamples,
+    )
+
+
 def check_equivalence(
     golden: Netlist,
     candidate: Netlist,
     n_random_vectors: int = 4096,
     seed: int = 0,
     mode: str = "auto",
+    eval_mode: Optional[str] = None,
 ) -> EquivalenceReport:
     """Compare two netlists over their (shared) interface.
 
@@ -128,6 +200,9 @@ def check_equivalence(
             sampling; ``"exhaustive"``, ``"random"`` and
             ``"stratified"`` force the respective generator
             (``"exhaustive"`` raises when the space is too large).
+        eval_mode: Simulation engine -- ``"bitsim"`` (64 packed lanes
+            per word, the default) or ``"scalar"`` (the per-gate
+            reference walk).  Reports are bit-identical.
 
     Returns:
         An :class:`EquivalenceReport` (``exhaustive=True`` means the
@@ -135,6 +210,7 @@ def check_equivalence(
     """
     if mode not in _MODES:
         raise ValueError(f"mode must be one of {_MODES}, got {mode!r}")
+    engine = bitsim.resolve_eval_mode(eval_mode)
     _comparable(golden, candidate)
     inputs = list(golden.inputs)
     fits = len(inputs) <= _EXHAUSTIVE_INPUT_LIMIT
@@ -145,13 +221,19 @@ def check_equivalence(
         )
     exhaustive = fits if mode == "auto" else mode == "exhaustive"
     if exhaustive:
-        stimuli = exhaustive_stimuli(inputs)
+        stimuli = None if engine == "bitsim" else exhaustive_stimuli(inputs)
     elif mode == "random":
         stimuli = random_stimuli(inputs, n_random_vectors, seed)
     else:
         stimuli = stratified_stimuli(inputs, n_random_vectors, seed)
-    out_a = golden.evaluate(stimuli)
-    out_b = candidate.evaluate(stimuli)
+    if engine == "bitsim" and inputs:
+        return _check_equivalence_packed(
+            golden, candidate, inputs, exhaustive, stimuli, n_random_vectors
+        )
+    if stimuli is None:
+        stimuli = exhaustive_stimuli(inputs)
+    out_a = golden.evaluate(stimuli, eval_mode=engine)
+    out_b = candidate.evaluate(stimuli, eval_mode=engine)
     mismatch = np.zeros(
         np.asarray(stimuli[inputs[0]]).shape, dtype=bool
     ) if inputs else np.zeros((), dtype=bool)
@@ -171,7 +253,9 @@ def check_equivalence(
     )
 
 
-def count_error_cases(golden: Netlist, candidate: Netlist) -> int:
+def count_error_cases(
+    golden: Netlist, candidate: Netlist, eval_mode: Optional[str] = None
+) -> int:
     """The paper's '#Error Cases': differing input vectors (exhaustive).
 
     Raises:
@@ -183,5 +267,5 @@ def count_error_cases(golden: Netlist, candidate: Netlist) -> int:
             f"{len(golden.inputs)} inputs: error-case counting needs an "
             "exhaustive sweep; use check_equivalence for sampling"
         )
-    report = check_equivalence(golden, candidate)
+    report = check_equivalence(golden, candidate, eval_mode=eval_mode)
     return report.n_mismatches

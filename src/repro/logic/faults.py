@@ -20,10 +20,11 @@ approximate adder mask manufacturing faults better than the exact one?"
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from . import bitsim
 from .netlist import Netlist
 from .simulate import exhaustive_stimuli, random_stimuli
 
@@ -84,11 +85,48 @@ def inject_stuck_at(netlist: Netlist, fault: StuckAtFault) -> Netlist:
     return faulty
 
 
+def _fault_rates_packed(
+    netlist: Netlist,
+    faults: Sequence[StuckAtFault],
+    stimuli: Dict[str, np.ndarray],
+) -> Dict[StuckAtFault, float]:
+    """Bit-parallel fault sweep: one compile, one packed overlay per fault.
+
+    Every fault machine reuses the fault-free compiled tape with a
+    stuck-at overlay (:meth:`~repro.logic.bitsim.CompiledNetlist.
+    run_packed`), so no netlist is rebuilt, re-validated or recompiled
+    per fault; mismatches reduce via packed XOR + popcount.
+    """
+    inputs = list(netlist.inputs)
+    n_vectors = int(np.asarray(stimuli[inputs[0]]).size)
+    n_words = bitsim.n_words_for(n_vectors)
+    valid = bitsim.lane_mask(n_vectors)
+    compiled = bitsim.compile_netlist(netlist)
+    packed = {net: bitsim.pack_lanes(stimuli[net]) for net in inputs}
+    golden = compiled.run_packed(packed, n_words)
+    out_slots = [compiled.slot_of(net) for net in netlist.outputs]
+    sites = {gate.output for gate in netlist.gates}
+    rates: Dict[StuckAtFault, float] = {}
+    for fault in faults:
+        if fault.net not in sites:
+            raise ValueError(f"net {fault.net!r} is not an injectable site")
+        table = compiled.run_packed(
+            packed, n_words, stuck={fault.net: fault.value}
+        )
+        mismatch = np.zeros(n_words, dtype=np.uint64)
+        for slot in out_slots:
+            mismatch |= table[slot] ^ golden[slot]
+        rates[fault] = bitsim.popcount(mismatch & valid) / n_vectors
+    return rates
+
+
 def fault_error_rates(
     netlist: Netlist,
     faults: Sequence[StuckAtFault] | None = None,
     n_random_vectors: int = 2048,
     seed: int = 0,
+    stimuli: Dict[str, np.ndarray] | None = None,
+    eval_mode: Optional[str] = None,
 ) -> Dict[StuckAtFault, float]:
     """Output-error rate of each single-fault machine vs the fault-free one.
 
@@ -98,6 +136,13 @@ def fault_error_rates(
             every injectable net.
         n_random_vectors: Vector count when the input space is large.
         seed: RNG seed.
+        stimuli: Optional explicit stimulus (e.g. an exhaustive sweep of
+            an input space above the automatic 16-input cutoff); when
+            given, ``n_random_vectors``/``seed`` are ignored.
+        eval_mode: ``"bitsim"`` (default) simulates every fault through
+            a packed stuck-at overlay on one compiled tape;
+            ``"scalar"`` rebuilds and re-simulates a faulty netlist per
+            fault (the differential reference).  Rates are identical.
 
     Returns:
         Mapping fault -> fraction of vectors with any differing output.
@@ -107,15 +152,18 @@ def fault_error_rates(
             StuckAtFault(net, v) for net in fault_sites(netlist) for v in (0, 1)
         ]
     inputs = list(netlist.inputs)
-    if len(inputs) <= 16:
-        stimuli = exhaustive_stimuli(inputs)
-    else:
-        stimuli = random_stimuli(inputs, n_random_vectors, seed)
-    golden = netlist.evaluate(stimuli)
+    if stimuli is None:
+        if len(inputs) <= 16:
+            stimuli = exhaustive_stimuli(inputs)
+        else:
+            stimuli = random_stimuli(inputs, n_random_vectors, seed)
+    if bitsim.resolve_eval_mode(eval_mode) == "bitsim" and inputs:
+        return _fault_rates_packed(netlist, faults, stimuli)
+    golden = netlist.evaluate(stimuli, eval_mode="scalar")
     rates: Dict[StuckAtFault, float] = {}
     for fault in faults:
         faulty = inject_stuck_at(netlist, fault)
-        out = faulty.evaluate(stimuli)
+        out = faulty.evaluate(stimuli, eval_mode="scalar")
         mismatch = np.zeros(np.asarray(stimuli[inputs[0]]).shape, dtype=bool)
         for net in netlist.outputs:
             mismatch |= out[net] != golden[net]

@@ -4,10 +4,17 @@ A :class:`Netlist` is a directed acyclic graph of standard-cell instances
 connected by named nets.  It supports:
 
 * vectorized functional evaluation over NumPy arrays of 0/1 values
-  (ModelSim substitute),
+  (ModelSim substitute), through either the bit-parallel compiled
+  engine (:mod:`repro.logic.bitsim`, the default) or the legacy
+  per-gate scalar walk (``eval_mode="scalar"``, kept as the
+  differential reference),
 * structural checks (single driver per net, no combinational loops),
 * area roll-up in gate equivalents,
 * longest-path delay estimation (static timing substitute).
+
+The topological order and the compiled bit-parallel tape are both
+cached on the instance and invalidated by the structural mutators
+(:meth:`Netlist.add_gate`, :meth:`Netlist.set_outputs`).
 
 Power estimation lives in :mod:`repro.logic.simulate` because it needs a
 stimulus to count toggles.
@@ -15,8 +22,9 @@ stimulus to count toggles.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -81,6 +89,7 @@ class Netlist:
         self.gates: List[Gate] = []
         self._drivers: Dict[str, Gate] = {}
         self._order_cache: List[Gate] | None = None
+        self._bitsim_cache = None  # CompiledNetlist, see repro.logic.bitsim
 
     # ------------------------------------------------------------------
     # construction
@@ -97,6 +106,7 @@ class Netlist:
         self.gates.append(gate)
         self._drivers[output] = gate
         self._order_cache = None
+        self._bitsim_cache = None
         return gate
 
     def add_buffer(self, src: str, dst: str) -> Gate:
@@ -106,6 +116,7 @@ class Netlist:
     def set_outputs(self, outputs: Sequence[str]) -> None:
         """Declare (or re-declare) the primary outputs."""
         self.outputs = tuple(outputs)
+        self._bitsim_cache = None  # the compiled tape bakes in the outputs
 
     # ------------------------------------------------------------------
     # structure
@@ -130,49 +141,58 @@ class Netlist:
         self.topological_order()  # raises on cycles
 
     def topological_order(self) -> List[Gate]:
-        """Return gates in an evaluation-safe order (Kahn's algorithm)."""
+        """Return gates in an evaluation-safe order (linear-time Kahn's).
+
+        The order is computed once per structure and cached; every
+        consumer (:meth:`evaluate`, :meth:`delay_ps`, :meth:`validate`,
+        the bit-parallel compiler) reuses the cached schedule.
+        """
         if self._order_cache is not None:
             return self._order_cache
-        ready = set(self.inputs) | set(_CONST_NETS)
-        remaining = list(self.gates)
+        base = set(self.inputs) | set(_CONST_NETS)
+        pending = [0] * len(self.gates)
+        consumers: Dict[str, List[int]] = {}
+        for index, gate in enumerate(self.gates):
+            for net in gate.inputs:
+                if net in base:
+                    continue
+                # One pending count per pin: nets without any gate
+                # driver never decrement, so their consumers are
+                # reported as unschedulable below.
+                pending[index] += 1
+                consumers.setdefault(net, []).append(index)
+        queue = deque(
+            index for index, count in enumerate(pending) if count == 0
+        )
         order: List[Gate] = []
-        while remaining:
-            progressed = False
-            still: List[Gate] = []
-            for gate in remaining:
-                if all(net in ready for net in gate.inputs):
-                    order.append(gate)
-                    ready.add(gate.output)
-                    progressed = True
-                else:
-                    still.append(gate)
-            if not progressed:
-                bad = ", ".join(g.output for g in still[:5])
-                raise NetlistError(
-                    f"combinational loop or undriven net involving: {bad}"
-                )
-            remaining = still
+        while queue:
+            index = queue.popleft()
+            gate = self.gates[index]
+            order.append(gate)
+            for consumer in consumers.get(gate.output, ()):
+                pending[consumer] -= 1
+                if pending[consumer] == 0:
+                    queue.append(consumer)
+        if len(order) != len(self.gates):
+            stuck = [
+                gate.output
+                for count, gate in zip(pending, self.gates)
+                if count > 0
+            ]
+            raise NetlistError(
+                "combinational loop or undriven net involving: "
+                + ", ".join(stuck[:5])
+            )
         self._order_cache = order
         return order
 
     # ------------------------------------------------------------------
     # evaluation
     # ------------------------------------------------------------------
-    def evaluate(
-        self, stimuli: Dict[str, np.ndarray], trace: bool = False
-    ) -> Dict[str, np.ndarray]:
-        """Evaluate the netlist on vectors of 0/1 values.
-
-        Args:
-            stimuli: Mapping from every primary-input net to an array of
-                0/1 values.  All arrays must share one shape.
-            trace: When true, the returned mapping contains *every* net's
-                waveform (needed for toggle counting), not just the
-                primary outputs.
-
-        Returns:
-            Mapping from net name to its evaluated array.
-        """
+    def _checked_stimuli(
+        self, stimuli: Dict[str, np.ndarray]
+    ) -> Tuple[Dict[str, np.ndarray], Tuple[int, ...]]:
+        """Validate and normalize a stimulus mapping to uint8 arrays."""
         missing = [net for net in self.inputs if net not in stimuli]
         if missing:
             raise NetlistError(f"missing stimuli for inputs: {missing}")
@@ -187,6 +207,38 @@ class Netlist:
             values[net] = arr
         if shape is None:  # netlist with no inputs (constant logic)
             shape = ()
+        return values, shape
+
+    def evaluate(
+        self,
+        stimuli: Dict[str, np.ndarray],
+        trace: bool = False,
+        eval_mode: Optional[str] = None,
+    ) -> Dict[str, np.ndarray]:
+        """Evaluate the netlist on vectors of 0/1 values.
+
+        Args:
+            stimuli: Mapping from every primary-input net to an array of
+                0/1 values.  All arrays must share one shape.
+            trace: When true, the returned mapping contains *every* net's
+                waveform (needed for toggle counting), not just the
+                primary outputs.
+            eval_mode: ``"bitsim"`` packs the stimulus into 64-lane
+                uint64 words and runs the compiled tape of
+                :mod:`repro.logic.bitsim`; ``"scalar"`` walks the gate
+                list with truth-table gathers (the differential
+                reference).  ``None`` uses the process default
+                (``bitsim``).  Both engines are bit-identical.
+
+        Returns:
+            Mapping from net name to its evaluated uint8 array.
+        """
+        from . import bitsim
+
+        mode = bitsim.resolve_eval_mode(eval_mode)
+        values, shape = self._checked_stimuli(stimuli)
+        if mode == "bitsim":
+            return self._evaluate_bitsim(values, shape, trace)
         values["GND"] = np.zeros(shape, dtype=np.uint8)
         values["VDD"] = np.ones(shape, dtype=np.uint8)
 
@@ -200,6 +252,38 @@ class Netlist:
         if trace:
             return values
         return {net: values[net] for net in self.outputs}
+
+    def _evaluate_bitsim(
+        self,
+        values: Dict[str, np.ndarray],
+        shape: Tuple[int, ...],
+        trace: bool,
+    ) -> Dict[str, np.ndarray]:
+        """Pack a validated stimulus, run the compiled tape, unpack."""
+        from . import bitsim
+
+        compiled = bitsim.compile_netlist(self)
+        n_lanes = 1
+        for dim in shape:
+            n_lanes *= dim
+        packed = {
+            net: bitsim.pack_lanes(values[net]) for net in self.inputs
+        }
+        table = compiled.run_packed(
+            packed, n_words=bitsim.n_words_for(n_lanes)
+        )
+
+        def unpacked(slot: int) -> np.ndarray:
+            return bitsim.unpack_lanes(table[slot], n_lanes).reshape(shape)
+
+        if trace:
+            return {
+                net: unpacked(slot)
+                for slot, net in enumerate(compiled.net_names())
+            }
+        return {
+            net: unpacked(compiled.slot_of(net)) for net in self.outputs
+        }
 
     def evaluate_int(
         self, stimuli: Dict[str, np.ndarray]

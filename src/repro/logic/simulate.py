@@ -9,10 +9,11 @@ per-cell switching energy in the technology library.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, Sequence
+from typing import Dict, Iterable, Optional, Sequence
 
 import numpy as np
 
+from . import bitsim
 from .netlist import Netlist
 
 __all__ = [
@@ -71,14 +72,25 @@ def random_stimuli(
 
 
 def toggle_counts(
-    netlist: Netlist, stimuli: Dict[str, np.ndarray]
+    netlist: Netlist,
+    stimuli: Dict[str, np.ndarray],
+    eval_mode: Optional[str] = None,
 ) -> Dict[str, int]:
     """Count output toggles per net across consecutive stimulus vectors.
 
     This is the information a SAIF file would carry: how often each net
-    switched during the simulation.
+    switched during the simulation.  Under the bit-parallel engine the
+    toggles are reduced straight from the packed waveforms (XOR-shift +
+    popcount) without materializing per-vector traces.
     """
-    trace = netlist.evaluate(stimuli, trace=True)
+    if (
+        bitsim.resolve_eval_mode(eval_mode) == "bitsim"
+        and netlist.inputs
+        and all(np.asarray(stimuli.get(net, ())).ndim == 1
+                for net in netlist.inputs)
+    ):
+        return _toggle_counts_packed(netlist, stimuli)
+    trace = netlist.evaluate(stimuli, trace=True, eval_mode="scalar")
     counts: Dict[str, int] = {}
     for net, wave in trace.items():
         wave = np.asarray(wave)
@@ -89,12 +101,39 @@ def toggle_counts(
     return counts
 
 
+def _toggle_counts_packed(
+    netlist: Netlist, stimuli: Dict[str, np.ndarray]
+) -> Dict[str, int]:
+    """Toggle counts from packed waveforms, one popcount pass per net."""
+    inputs = list(netlist.inputs)
+    missing = [net for net in inputs if net not in stimuli]
+    if missing:
+        from .netlist import NetlistError
+
+        raise NetlistError(f"missing stimuli for inputs: {missing}")
+    sizes = {int(np.asarray(stimuli[net]).size) for net in inputs}
+    if len(sizes) > 1:
+        from .netlist import NetlistError
+
+        raise NetlistError("stimulus arrays must share one shape")
+    n_vectors = sizes.pop()
+    compiled = bitsim.compile_netlist(netlist)
+    packed = {net: bitsim.pack_lanes(stimuli[net]) for net in inputs}
+    table = compiled.run_packed(packed, bitsim.n_words_for(n_vectors))
+    valid = bitsim.lane_mask(n_vectors)
+    return {
+        net: bitsim.packed_toggles(table[slot] & valid, n_vectors)
+        for slot, net in enumerate(compiled.net_names())
+    }
+
+
 def estimate_power(
     netlist: Netlist,
     stimuli: Dict[str, np.ndarray] | None = None,
     frequency_hz: float = 100e6,
     seed: int = 0,
     n_random_vectors: int = 2048,
+    eval_mode: Optional[str] = None,
 ) -> PowerReport:
     """Estimate average power of a netlist under a stimulus.
 
@@ -110,6 +149,8 @@ def estimate_power(
         frequency_hz: Assumed operating frequency.
         seed: Seed for the generated stimulus (ignored if one is given).
         n_random_vectors: Length of the generated stimulus.
+        eval_mode: Simulation engine for the toggle capture
+            (``"bitsim"`` default / ``"scalar"`` reference).
 
     Returns:
         A :class:`PowerReport`.
@@ -120,7 +161,7 @@ def estimate_power(
         else:
             stimuli = random_stimuli(netlist.inputs, n_random_vectors, seed)
     n_vectors = int(np.asarray(next(iter(stimuli.values()))).shape[0])
-    counts = toggle_counts(netlist, stimuli)
+    counts = toggle_counts(netlist, stimuli, eval_mode=eval_mode)
     energy_fj = 0.0
     for gate in netlist.gates:
         energy_fj += counts.get(gate.output, 0) * gate.cell.energy_per_toggle_fj

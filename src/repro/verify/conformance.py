@@ -16,6 +16,14 @@ For every component the engine:
 :func:`verify_all` fans components out through the campaign engine, so
 ``repro verify --workers N --cache-dir D`` gets process parallelism,
 caching, and resumability for free.
+
+Netlist-path oracles (the ``netlist``/``sop`` routes of the Table III
+cells, ripple adders and 2x2 multipliers) simulate through the
+bit-parallel compiled engine (:mod:`repro.logic.bitsim`, 64 stimulus
+lanes per uint64 word), which is what keeps the exhaustive budgets --
+``2**17`` vectors per ripple component under the nightly ``full``
+profile -- cheap; ``repro.logic.bitsim.eval_mode("scalar")`` pins the
+legacy reference engine instead when debugging a path divergence.
 """
 
 from __future__ import annotations

@@ -11,7 +11,9 @@ with a pristine sibling path, which is precisely the bug class the
 engine exists to catch: one layer silently drifting from the others.
 Mutant input spaces are exhaustive under the ``mutation`` budget, so
 detection is structural (the corrupted entry *will* be exercised), and a
-miss is a genuine engine defect rather than sampling luck.
+miss is a genuine engine defect rather than sampling luck.  The pristine
+netlist reference paths ride the bit-parallel compiled engine
+(:mod:`repro.logic.bitsim`), so the exhaustive budgets stay cheap.
 """
 
 from __future__ import annotations

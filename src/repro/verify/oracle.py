@@ -214,7 +214,9 @@ def _symmetric_fa_table(spec: FullAdderSpec) -> bool:
 
 
 def fa_value_paths(
-    spec: FullAdderSpec, include_netlists: bool = True
+    spec: FullAdderSpec,
+    include_netlists: bool = True,
+    eval_mode: Optional[str] = None,
 ) -> Dict[str, Callable]:
     """Evaluation paths of a 1-bit cell, as 2-bit values ``2*cout + sum``.
 
@@ -222,6 +224,9 @@ def fa_value_paths(
         spec: Cell under verification (possibly a mutated copy).
         include_netlists: Also build the structural and two-level-SOP
             netlist simulation paths (available only for library cells).
+        eval_mode: Gate-simulation engine for the netlist paths
+            (``None`` -> process default, i.e. the bit-parallel
+            :mod:`repro.logic.bitsim` tape).
     """
 
     def table_path(a, b, cin):
@@ -239,7 +244,7 @@ def fa_value_paths(
                     "a": np.asarray(a, dtype=np.uint8),
                     "b": np.asarray(b, dtype=np.uint8),
                     "cin": np.asarray(cin, dtype=np.uint8),
-                })
+                }, eval_mode=eval_mode)
                 return (
                     out["sum"].astype(np.int64)
                     | (out["cout"].astype(np.int64) << 1)
@@ -250,9 +255,18 @@ def fa_value_paths(
 
 
 def ripple_paths(
-    width: int, fa: str, lsbs: int, include_netlist: bool = True
+    width: int,
+    fa: str,
+    lsbs: int,
+    include_netlist: bool = True,
+    eval_mode: Optional[str] = None,
 ) -> Dict[str, Callable]:
-    """LUT-fastpath / bit-loop / netlist paths of one ripple adder."""
+    """LUT-fastpath / bit-loop / netlist paths of one ripple adder.
+
+    ``eval_mode`` pins the gate-simulation engine of the netlist path
+    (``None`` -> process default, the bit-parallel tape) -- the
+    exhaustive conformance budgets sweep ``2**17`` vectors through it.
+    """
     from ..adders.netlist_builder import (
         build_ripple_adder_netlist,
         evaluate_adder_netlist,
@@ -272,7 +286,9 @@ def ripple_paths(
     if include_netlist:
         netlist = build_ripple_adder_netlist(loop)
         paths["netlist"] = (
-            lambda a, b, cin: evaluate_adder_netlist(netlist, a, b, cin)
+            lambda a, b, cin: evaluate_adder_netlist(
+                netlist, a, b, cin, eval_mode=eval_mode
+            )
         )
     return paths
 
@@ -300,7 +316,9 @@ def _ripple_add_cin(
 
 
 def mul2x2_value_paths(
-    spec: Mul2x2Spec, include_netlist: bool = True
+    spec: Mul2x2Spec,
+    include_netlist: bool = True,
+    eval_mode: Optional[str] = None,
 ) -> Dict[str, Callable]:
     """Truth-table and gate-level paths of a 2x2 multiplier."""
 
@@ -318,7 +336,7 @@ def mul2x2_value_paths(
                 "a0": (a & 1).astype(np.uint8),
                 "b1": ((b >> 1) & 1).astype(np.uint8),
                 "b0": (b & 1).astype(np.uint8),
-            })
+            }, eval_mode=eval_mode)
             return (
                 (out["p3"].astype(np.int64) << 3)
                 | (out["p2"].astype(np.int64) << 2)

@@ -1,0 +1,342 @@
+"""Bit-parallel engine: scalar-vs-bitsim identity + packed helpers.
+
+The bit-parallel compiled engine (:mod:`repro.logic.bitsim`) is the
+default simulation path for every consumer, so its contract is strict
+bit-identity with the legacy scalar walk.  These tests sweep the
+identity exhaustively over all Table III netlists (both structural and
+SOP forms) and the 8-bit ripple datapaths, and pin down the packed
+helper primitives and the compile-cache invalidation rules.
+"""
+
+import numpy as np
+import pytest
+
+from repro.adders.fulladder import FULL_ADDER_NAMES, FULL_ADDERS
+from repro.adders.netlist_builder import (
+    build_ripple_adder_netlist,
+    evaluate_adder_netlist,
+)
+from repro.adders.ripple import ApproximateRippleAdder
+from repro.logic import bitsim
+from repro.logic.bitsim import (
+    CompiledNetlist,
+    compile_netlist,
+    lane_mask,
+    n_words_for,
+    pack_lanes,
+    packed_exhaustive_stimuli,
+    packed_toggles,
+    popcount,
+    unpack_lanes,
+)
+from repro.logic.equivalence import check_equivalence, count_error_cases
+from repro.logic.faults import (
+    StuckAtFault,
+    fault_error_rates,
+    fault_sites,
+    inject_stuck_at,
+)
+from repro.logic.netlist import Netlist, NetlistError
+from repro.logic.simulate import (
+    estimate_power,
+    exhaustive_stimuli,
+    random_stimuli,
+    toggle_counts,
+)
+
+
+def _ripple_netlist(cell, width=8, lsbs=4):
+    adder = ApproximateRippleAdder(
+        width, approx_fa=cell, num_approx_lsbs=lsbs
+    )
+    return build_ripple_adder_netlist(adder)
+
+
+def _assert_traces_identical(netlist, stimuli):
+    """Full per-net waveform identity between the two engines."""
+    scalar = netlist.evaluate(stimuli, trace=True, eval_mode="scalar")
+    packed = netlist.evaluate(stimuli, trace=True, eval_mode="bitsim")
+    assert set(scalar) == set(packed)
+    for net in scalar:
+        np.testing.assert_array_equal(scalar[net], packed[net], err_msg=net)
+
+
+# ----------------------------------------------------------------------
+# exhaustive identity sweeps (satellite: Table III + ripple datapaths)
+# ----------------------------------------------------------------------
+
+class TestExhaustiveIdentity:
+    @pytest.mark.parametrize("cell", FULL_ADDER_NAMES)
+    def test_fulladder_structural_netlist(self, cell):
+        netlist = FULL_ADDERS[cell].netlist()
+        _assert_traces_identical(netlist, exhaustive_stimuli(netlist.inputs))
+
+    @pytest.mark.parametrize("cell", FULL_ADDER_NAMES)
+    def test_fulladder_sop_netlist(self, cell):
+        netlist = FULL_ADDERS[cell].sop_netlist()
+        _assert_traces_identical(netlist, exhaustive_stimuli(netlist.inputs))
+
+    @pytest.mark.parametrize("cell", FULL_ADDER_NAMES)
+    def test_ripple_netlist_all_2e17_vectors(self, cell):
+        netlist = _ripple_netlist(cell)
+        stimuli = exhaustive_stimuli(netlist.inputs)
+        scalar = netlist.evaluate(stimuli, eval_mode="scalar")
+        packed = netlist.evaluate(stimuli, eval_mode="bitsim")
+        for net in netlist.outputs:
+            np.testing.assert_array_equal(scalar[net], packed[net])
+
+    def test_adder_netlist_wrapper_matches(self):
+        netlist = _ripple_netlist("ApxFA2")
+        a = np.arange(256, dtype=np.int64)
+        b = np.arange(255, -1, -1, dtype=np.int64)
+        np.testing.assert_array_equal(
+            evaluate_adder_netlist(netlist, a, b, eval_mode="scalar"),
+            evaluate_adder_netlist(netlist, a, b, eval_mode="bitsim"),
+        )
+
+    def test_multidim_stimuli(self):
+        netlist = FULL_ADDERS["ApxFA1"].netlist()
+        rng = np.random.default_rng(3)
+        stimuli = {
+            net: rng.integers(0, 2, size=(5, 7), dtype=np.uint8)
+            for net in netlist.inputs
+        }
+        scalar = netlist.evaluate(stimuli, eval_mode="scalar")
+        packed = netlist.evaluate(stimuli, eval_mode="bitsim")
+        for net in netlist.outputs:
+            assert scalar[net].shape == (5, 7)
+            np.testing.assert_array_equal(scalar[net], packed[net])
+
+    def test_scalar_python_int_stimuli(self):
+        netlist = FULL_ADDERS["AccuFA"].netlist()
+        stimuli = {"a": 1, "b": 1, "cin": 0}
+        scalar = netlist.evaluate(stimuli, eval_mode="scalar")
+        packed = netlist.evaluate(stimuli, eval_mode="bitsim")
+        for net in netlist.outputs:
+            np.testing.assert_array_equal(scalar[net], packed[net])
+
+
+# ----------------------------------------------------------------------
+# consumer-level identity: equivalence / faults / toggles / power
+# ----------------------------------------------------------------------
+
+class TestConsumerIdentity:
+    def test_count_error_cases_identity(self):
+        golden = _ripple_netlist("AccuFA")
+        for cell in FULL_ADDER_NAMES:
+            candidate = _ripple_netlist(cell)
+            assert count_error_cases(
+                golden, candidate, eval_mode="bitsim"
+            ) == count_error_cases(golden, candidate, eval_mode="scalar")
+
+    @pytest.mark.parametrize("mode", ["exhaustive", "random", "stratified"])
+    def test_check_equivalence_reports_identical(self, mode):
+        golden = FULL_ADDERS["AccuFA"].netlist()
+        candidate = FULL_ADDERS["ApxFA4"].netlist()
+        packed = check_equivalence(
+            golden, candidate, mode=mode, n_random_vectors=512,
+            eval_mode="bitsim",
+        )
+        scalar = check_equivalence(
+            golden, candidate, mode=mode, n_random_vectors=512,
+            eval_mode="scalar",
+        )
+        assert packed == scalar
+
+    def test_fault_error_rates_identity_exhaustive(self):
+        netlist = FULL_ADDERS["ApxFA1"].netlist()
+        assert fault_error_rates(
+            netlist, eval_mode="bitsim"
+        ) == fault_error_rates(netlist, eval_mode="scalar")
+
+    def test_fault_error_rates_identity_explicit_stimuli(self):
+        netlist = _ripple_netlist("ApxFA3")
+        stimuli = random_stimuli(netlist.inputs, 1024, seed=11)
+        faults = [
+            StuckAtFault(net, value)
+            for net in fault_sites(netlist)[:6]
+            for value in (0, 1)
+        ]
+        assert fault_error_rates(
+            netlist, faults, stimuli=stimuli, eval_mode="bitsim"
+        ) == fault_error_rates(
+            netlist, faults, stimuli=stimuli, eval_mode="scalar"
+        )
+
+    def test_toggle_counts_identity(self):
+        netlist = _ripple_netlist("ApxFA5")
+        stimuli = random_stimuli(netlist.inputs, 999, seed=5)
+        assert toggle_counts(
+            netlist, stimuli, eval_mode="bitsim"
+        ) == toggle_counts(netlist, stimuli, eval_mode="scalar")
+
+    def test_estimate_power_identity(self):
+        netlist = FULL_ADDERS["ApxFA2"].netlist()
+        packed = estimate_power(netlist, eval_mode="bitsim")
+        scalar = estimate_power(netlist, eval_mode="scalar")
+        assert packed == scalar
+
+
+# ----------------------------------------------------------------------
+# the stuck-at overlay vs netlist rewriting
+# ----------------------------------------------------------------------
+
+class TestStuckOverlay:
+    @pytest.mark.parametrize("value", [0, 1])
+    def test_overlay_matches_inject_stuck_at(self, value):
+        netlist = FULL_ADDERS["AccuFA"].netlist()
+        stimuli = exhaustive_stimuli(netlist.inputs)
+        n_lanes = 1 << len(netlist.inputs)
+        packed = {net: pack_lanes(stimuli[net]) for net in netlist.inputs}
+        compiled = compile_netlist(netlist)
+        for net in fault_sites(netlist):
+            rewritten = inject_stuck_at(netlist, StuckAtFault(net, value))
+            expected = rewritten.evaluate(stimuli, eval_mode="scalar")
+            table = compiled.run_packed(packed, stuck={net: value})
+            for out, row in zip(netlist.outputs, compiled.output_rows(table)):
+                np.testing.assert_array_equal(
+                    unpack_lanes(row, n_lanes), expected[out],
+                    err_msg=f"stuck {net}={value}, output {out}",
+                )
+
+    def test_overlay_applies_to_primary_output_net(self):
+        nl = Netlist("t", inputs=["a", "b"], outputs=["y"])
+        nl.add_gate("AND2", ["a", "b"], "y")
+        compiled = compile_netlist(nl)
+        packed = packed_exhaustive_stimuli(nl.inputs)
+        table = compiled.run_packed(packed, stuck={"y": 1})
+        row = compiled.output_rows(table)[0]
+        assert unpack_lanes(row, 4).tolist() == [1, 1, 1, 1]
+
+
+# ----------------------------------------------------------------------
+# compilation + caching
+# ----------------------------------------------------------------------
+
+class TestCompileCache:
+    def test_compile_is_cached(self):
+        netlist = FULL_ADDERS["AccuFA"].netlist()
+        assert compile_netlist(netlist) is compile_netlist(netlist)
+
+    def test_add_gate_invalidates(self):
+        nl = Netlist("t", inputs=["a", "b"], outputs=["y"])
+        nl.add_gate("AND2", ["a", "b"], "y")
+        before = compile_netlist(nl)
+        nl.add_gate("INV", ["y"], "z")
+        after = compile_netlist(nl)
+        assert after is not before
+        assert "z" in after.net_names()
+
+    def test_set_outputs_invalidates(self):
+        nl = Netlist("t", inputs=["a", "b"], outputs=["y"])
+        nl.add_gate("AND2", ["a", "b"], "y")
+        nl.add_gate("INV", ["y"], "z")
+        before = compile_netlist(nl)
+        nl.set_outputs(["z"])
+        after = compile_netlist(nl)
+        assert after is not before
+        assert after.outputs == ("z",)
+        stimuli = exhaustive_stimuli(["a", "b"])
+        assert nl.evaluate(stimuli)["z"].tolist() == [1, 1, 1, 0]
+
+    def test_undriven_output_rejected(self):
+        nl = Netlist("t", inputs=["a"], outputs=["ghost"])
+        nl.add_gate("INV", ["a"], "y")
+        with pytest.raises(NetlistError, match="ghost"):
+            CompiledNetlist(nl)
+
+    def test_undriven_gate_input_rejected(self):
+        nl = Netlist("t", inputs=["a"], outputs=["y"])
+        nl.add_gate("AND2", ["a", "phantom"], "y")
+        with pytest.raises(NetlistError):
+            CompiledNetlist(nl)
+
+    def test_constant_nets_available(self):
+        nl = Netlist("t", inputs=["a"], outputs=["y"])
+        nl.add_gate("OR2", ["a", "VDD"], "y")
+        stimuli = {"a": np.array([0, 1], dtype=np.uint8)}
+        assert nl.evaluate(stimuli, eval_mode="bitsim")["y"].tolist() == [1, 1]
+
+    def test_generic_kernel_on_custom_truth_table(self):
+        """A cell whose truth table has no dedicated word kernel must
+        fall through to the sum-of-minterms fallback and still match."""
+        truth = (0, 1, 1, 0, 1, 0, 0, 0)  # no standard 3-input function
+        kernel = bitsim._generic_kernel(truth, 3)
+        packed = packed_exhaustive_stimuli(["a", "b", "c"])
+        out = kernel(packed["a"], packed["b"], packed["c"])
+        got = unpack_lanes(out & lane_mask(8), 8).tolist()
+        # Exhaustive lane i carries a=bit0, b=bit1, c=bit2 of i, and
+        # kernel pin 0 (here: a) is the truth-table index MSB.
+        want = [truth[(((i >> 0) & 1) << 2) | (((i >> 1) & 1) << 1)
+                      | ((i >> 2) & 1)] for i in range(8)]
+        assert got == want
+
+
+# ----------------------------------------------------------------------
+# packed helper primitives
+# ----------------------------------------------------------------------
+
+class TestPackedHelpers:
+    @pytest.mark.parametrize("n", [1, 2, 63, 64, 65, 100, 129, 1000])
+    def test_pack_unpack_roundtrip(self, n):
+        rng = np.random.default_rng(n)
+        bits = rng.integers(0, 2, size=n, dtype=np.uint8)
+        words = pack_lanes(bits)
+        assert words.dtype == np.uint64
+        assert words.size == n_words_for(n)
+        np.testing.assert_array_equal(unpack_lanes(words, n), bits)
+
+    @pytest.mark.parametrize("n_inputs", [1, 3, 6, 7, 9])
+    def test_packed_exhaustive_matches_packed_unpacked(self, n_inputs):
+        names = [f"i{k}" for k in range(n_inputs)]
+        unpacked = exhaustive_stimuli(names)
+        packed = packed_exhaustive_stimuli(names)
+        for name in names:
+            np.testing.assert_array_equal(
+                packed[name], pack_lanes(unpacked[name]), err_msg=name
+            )
+
+    @pytest.mark.parametrize("n", [1, 2, 63, 64, 65, 100, 129, 1000])
+    def test_packed_toggles_matches_unpacked(self, n):
+        rng = np.random.default_rng(n + 7)
+        wave = rng.integers(0, 2, size=n, dtype=np.uint8)
+        reference = int(np.count_nonzero(wave[1:] != wave[:-1]))
+        assert packed_toggles(pack_lanes(wave), n) == reference
+
+    def test_lane_mask_popcount(self):
+        assert popcount(lane_mask(0)) == 0
+        for n in (1, 63, 64, 65, 128, 130):
+            assert popcount(lane_mask(n)) == n
+
+    def test_popcount(self):
+        words = np.array([0, 1, 0xFFFF_FFFF_FFFF_FFFF, 1 << 63],
+                         dtype=np.uint64)
+        assert popcount(words) == 0 + 1 + 64 + 1
+
+
+# ----------------------------------------------------------------------
+# the eval-mode switch
+# ----------------------------------------------------------------------
+
+class TestEvalModeSwitch:
+    def test_default_is_bitsim(self):
+        assert bitsim.resolve_eval_mode(None) == "bitsim"
+
+    def test_context_manager_restores(self):
+        with bitsim.eval_mode("scalar"):
+            assert bitsim.resolve_eval_mode(None) == "scalar"
+        assert bitsim.resolve_eval_mode(None) == "bitsim"
+
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(ValueError, match="eval_mode"):
+            bitsim.resolve_eval_mode("quantum")
+        netlist = FULL_ADDERS["AccuFA"].netlist()
+        with pytest.raises(ValueError, match="eval_mode"):
+            netlist.evaluate({"a": 0, "b": 0, "cin": 0}, eval_mode="quantum")
+
+    def test_context_switches_whole_stack(self):
+        golden = FULL_ADDERS["AccuFA"].netlist()
+        candidate = FULL_ADDERS["ApxFA5"].netlist()
+        with bitsim.eval_mode("scalar"):
+            scalar = check_equivalence(golden, candidate)
+        assert scalar == check_equivalence(golden, candidate)
