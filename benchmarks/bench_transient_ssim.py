@@ -1,0 +1,82 @@
+"""Transient fault-rate vs SSIM curve for the low-pass filter.
+
+Sweeps per-bit single-event-upset rates through the architecture-layer
+injector (:class:`repro.resilience.arch.FaultyLowPassFilter`: upsets on
+the 9 line-buffer window terms and every adder-tree level) and measures
+output SSIM against the exact 3x3 binomial filter on the Fig. 10 image
+set.  This is the quantitative degradation curve behind
+``docs/RESILIENCE.md``: quality falls smoothly with rate instead of
+cliff-dropping, which is what makes online QoS monitoring (QosGuard)
+actionable -- a canary check sees the degradation before it is
+catastrophic.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.accelerators.filters import (
+    LowPassFilterAccelerator,
+    gaussian3x3_exact,
+)
+from repro.campaign.task import derive_seed
+from repro.characterization.report import format_records
+from repro.media.ssim import ssim
+from repro.media.synthetic import standard_images
+from repro.resilience import FaultPlan, FaultyLowPassFilter
+
+from _util import emit
+
+RATES = [0.0, 1e-5, 1e-4, 1e-3, 1e-2, 5e-2]
+SIZE = 64
+SEED = 0
+
+
+def sweep_transient_ssim():
+    images = standard_images(SIZE)
+    accelerator = LowPassFilterAccelerator()
+    rows = []
+    for rate in RATES:
+        plan = FaultPlan(
+            seed=derive_seed(SEED, "bench-transient-ssim", repr(rate)),
+            rate=rate,
+            layer="architecture",
+        )
+        faulty = FaultyLowPassFilter(accelerator, plan)
+        ssims = []
+        pixel_error_rates = []
+        for image in images.values():
+            reference = gaussian3x3_exact(image)
+            out = faulty.apply(image)
+            ssims.append(ssim(reference, out))
+            pixel_error_rates.append(float(np.mean(out != reference)))
+        rows.append({
+            "rate": rate,
+            "ssim_mean": round(float(np.mean(ssims)), 4),
+            "ssim_min": round(float(np.min(ssims)), 4),
+            "pixel_error_rate": round(float(np.mean(pixel_error_rates)), 4),
+        })
+    return rows
+
+
+def test_transient_ssim(benchmark):
+    rows = benchmark.pedantic(sweep_transient_ssim, rounds=1, iterations=1)
+    emit(
+        "transient_ssim",
+        format_records(
+            rows,
+            title="Transient fault rate vs SSIM, 3x3 low-pass filter "
+            f"({SIZE}x{SIZE}, 7 content classes)",
+        ),
+        data={"rows": rows},
+        config={"rates": RATES, "size": SIZE, "seed": SEED},
+    )
+    by_rate = {row["rate"]: row for row in rows}
+    # Zero rate is the exact filter.
+    assert by_rate[0.0]["ssim_mean"] == 1.0
+    assert by_rate[0.0]["pixel_error_rate"] == 0.0
+    # Quality degrades monotonically (weakly) with rate and the heaviest
+    # rate visibly damages the output.
+    means = [row["ssim_mean"] for row in rows]
+    assert all(a >= b - 0.02 for a, b in zip(means, means[1:]))
+    assert by_rate[5e-2]["ssim_mean"] < 0.9

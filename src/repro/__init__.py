@@ -21,8 +21,10 @@ describes:
   experiments;
 * :mod:`repro.media` -- synthetic images/video and SSIM;
 * :mod:`repro.dse` -- design-space exploration (Table IV / Fig. 4);
-* :mod:`repro.campaign` -- parallel, cached, resumable characterization
-  campaign engine behind the large sweeps;
+* :mod:`repro.campaign` -- parallel, cached, resumable, crash-hardened
+  characterization campaign engine behind the large sweeps;
+* :mod:`repro.resilience` -- cross-layer transient-fault injection and
+  the QosGuard graceful-degradation controller;
 * :mod:`repro.survey` -- the Table I/II taxonomy as structured data;
 * :mod:`repro.characterization` -- published constants and reporting.
 
@@ -43,6 +45,7 @@ from . import (
     logic,
     media,
     multipliers,
+    resilience,
     survey,
     video,
 )
@@ -70,6 +73,7 @@ __all__ = [
     "logic",
     "media",
     "multipliers",
+    "resilience",
     "survey",
     "video",
     "ApproximateRippleAdder",

@@ -17,8 +17,10 @@ Entry points:
 * :func:`register` / :func:`task_kinds` -- the task-kind registry with
   the built-in characterization workloads
   (:mod:`repro.campaign.registry`);
-* :func:`run_campaign` -- the parallel runner returning per-task
-  results plus :class:`CampaignStats`
+* :func:`run_campaign` -- the parallel, crash-hardened runner
+  (per-attempt process isolation, timeouts, backoff retries,
+  quarantine) returning per-task results, :class:`CampaignStats`, and
+  structured :class:`TaskFailure` records
   (:mod:`repro.campaign.runner`).
 
 The higher-level sweeps (:func:`repro.dse.explorer.explore_gear_space`,
@@ -30,7 +32,14 @@ this engine; the ``repro campaign`` CLI subcommand drives it directly.
 
 from .cache import ResultCache
 from .registry import execute_task, get_task_function, register, task_kinds
-from .runner import CampaignResult, CampaignStats, run_campaign
+from .runner import (
+    CampaignResult,
+    CampaignStats,
+    CampaignTaskError,
+    TaskAttemptFailure,
+    TaskFailure,
+    run_campaign,
+)
 from .task import CODE_VERSION, CampaignTask, derive_seed, stable_hash
 
 __all__ = [
@@ -38,7 +47,10 @@ __all__ = [
     "CampaignTask",
     "CampaignResult",
     "CampaignStats",
+    "CampaignTaskError",
     "ResultCache",
+    "TaskAttemptFailure",
+    "TaskFailure",
     "derive_seed",
     "execute_task",
     "get_task_function",

@@ -6,6 +6,14 @@ sweeps.  Writes are atomic (temp file + ``os.replace``), so a campaign
 killed mid-write never leaves a truncated entry behind -- the worst
 case on resume is one recomputed task.
 
+Every entry is wrapped with a **content checksum**: :meth:`ResultCache.
+put` stores ``{"entry": ..., "sha256": <hex of the entry's canonical
+JSON>}`` and :meth:`ResultCache.get` recomputes and compares it.  A
+shard that was bit-flipped, truncated-but-still-valid-JSON, or edited
+by hand therefore reads as a *miss* (and is evicted) instead of being
+served as a silently wrong result -- the difference between a corrupt
+disk costing one recompute and poisoning a whole resumed sweep.
+
 The cache doubles as the campaign checkpoint: the runner persists each
 result as it arrives, and a restarted campaign simply skips every task
 whose hash already resolves.
@@ -13,6 +21,7 @@ whose hash already resolves.
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
 import tempfile
@@ -20,6 +29,12 @@ from pathlib import Path
 from typing import Any, Dict, Iterator, Optional
 
 __all__ = ["ResultCache"]
+
+
+def _entry_checksum(entry: Any) -> str:
+    """Hex SHA-256 of the canonical JSON encoding of ``entry``."""
+    canonical = json.dumps(entry, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
 
 
 class ResultCache:
@@ -38,20 +53,34 @@ class ResultCache:
         return self.root / key[:2] / f"{key}.json"
 
     def get(self, key: str) -> Optional[Dict[str, Any]]:
-        """Cached entry for ``key`` or ``None`` (corrupt entries miss)."""
+        """Verified cached entry for ``key`` or ``None``.
+
+        Unreadable, unparseable, checksum-less, or checksum-mismatching
+        entries are treated as misses and evicted, so the task simply
+        reruns and rewrites a healthy entry.
+        """
         path = self._path(key)
         try:
             with open(path, "r", encoding="utf-8") as fh:
-                return json.load(fh)
+                wrapped = json.load(fh)
         except FileNotFoundError:
             return None
         except (json.JSONDecodeError, OSError):
             # A damaged entry is indistinguishable from a miss; the task
             # reruns and the entry is rewritten atomically.
+            self.evict(key)
             return None
+        if (
+            not isinstance(wrapped, dict)
+            or "entry" not in wrapped
+            or wrapped.get("sha256") != _entry_checksum(wrapped["entry"])
+        ):
+            self.evict(key)
+            return None
+        return wrapped["entry"]
 
     def put(self, key: str, entry: Dict[str, Any]) -> None:
-        """Atomically persist ``entry`` under ``key``."""
+        """Atomically persist ``entry`` (plus its checksum) under ``key``."""
         path = self._path(key)
         path.parent.mkdir(parents=True, exist_ok=True)
         # ".tmp" suffix keeps in-flight writes invisible to keys()'s
@@ -61,7 +90,11 @@ class ResultCache:
         )
         try:
             with os.fdopen(fd, "w", encoding="utf-8") as fh:
-                json.dump(entry, fh, sort_keys=True)
+                json.dump(
+                    {"entry": entry, "sha256": _entry_checksum(entry)},
+                    fh,
+                    sort_keys=True,
+                )
             os.replace(tmp, path)
         except BaseException:
             try:
@@ -74,7 +107,7 @@ class ResultCache:
         return self._path(key).is_file()
 
     def keys(self) -> Iterator[str]:
-        """All cached task hashes (order unspecified)."""
+        """All cached task hashes (order unspecified; not verified)."""
         if not self.root.is_dir():
             return
         for shard in sorted(self.root.iterdir()):

@@ -27,6 +27,9 @@ kind                      workload
 ``sad_quality``           one SAD-accelerator quality/energy record
 ``filter_ssim``           one Fig. 10 low-pass-filter SSIM record
 ``verify_component``      one differential-verification conformance report
+``resilience``            one transient-fault sweep point (any layer)
+``chaos_*``               pathological workloads for runner hardening
+                          (:mod:`repro.campaign.chaos`)
 ========================  ====================================================
 """
 
@@ -295,3 +298,22 @@ def _verify_component(params: Dict[str, Any], seed: int) -> Dict[str, Any]:
         params["component"], budget=params["budget"], seed=seed
     )
     return report.to_record()
+
+
+@register("resilience")
+def _resilience(params: Dict[str, Any], seed: int) -> Dict[str, Any]:
+    """One fault-sweep point: a workload under a seeded transient plan.
+
+    ``params["workload"]`` picks the layer and measurement (see
+    :mod:`repro.resilience.sweep`); the fault plan derives from
+    ``(seed, workload, rate)``, so the record is reproducible from the
+    task alone -- like every other kind here.
+    """
+    from ..resilience.sweep import resilience_record
+
+    return resilience_record(params, seed)
+
+
+# Chaos kinds register themselves on import; keeping the import at the
+# bottom (after ``register`` exists) resolves the intentional cycle.
+from . import chaos  # noqa: E402,F401  (registration side effect)

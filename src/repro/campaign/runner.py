@@ -1,13 +1,13 @@
-"""Parallel, cached, resumable campaign runner.
+"""Parallel, cached, resumable -- and crash-hardened -- campaign runner.
 
 :func:`run_campaign` takes a list of :class:`CampaignTask` and returns
 one result per task (input order preserved), fanning uncached tasks out
-over a ``multiprocessing`` pool:
+over isolated worker processes:
 
 * **Caching** -- with a ``cache_dir``, every completed task is persisted
   to a :class:`~repro.campaign.cache.ResultCache` keyed by the stable
   task hash *as soon as it finishes*; already-cached tasks are never
-  re-executed.
+  re-executed.  Failures are never cached, so a resume retries them.
 * **Resume** -- the incremental cache writes double as a checkpoint: a
   killed campaign restarts and recomputes only the tasks whose results
   never landed on disk.
@@ -15,28 +15,113 @@ over a ``multiprocessing`` pool:
   the task identity, see :func:`~repro.campaign.task.derive_seed`), so
   results are bit-identical for any worker count, submission order, or
   kill/resume history.
+* **Fault containment** -- every task attempt runs in its own worker
+  process (whenever ``n_workers > 1`` or a ``timeout_s`` is set), so a
+  task that raises, wedges, or outright kills its worker cannot abort
+  the sweep.  Raising tasks become structured
+  :class:`TaskFailure` records; hanging tasks are killed at
+  ``timeout_s``; failing tasks retry up to ``max_attempts`` times with
+  exponential backoff plus deterministic jitter; a task still failing
+  after its last attempt is **quarantined** (its result slot stays
+  ``None``) and the campaign runs to completion.  Opt back into the old
+  fail-fast behaviour with ``raise_on_error=True``.
 * **Metrics** -- a :class:`CampaignStats` records tasks done, cache
-  hits, wall-clock, aggregate in-task compute time, and the implied
-  worker utilization; a ``progress`` callback streams completion.
+  hits, retries, timeouts, crashes, quarantines, wall-clock, aggregate
+  in-task compute time, and the implied worker utilization; a
+  ``progress`` callback streams completion.
 
 Duplicate tasks (same stable hash) are executed once and their result
-fanned out to every occurrence.
+(or failure) fanned out to every occurrence.
 """
 
 from __future__ import annotations
 
 import multiprocessing
+import multiprocessing.connection
+import random
 import time
+import traceback
+from collections import deque
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
 
 from .cache import ResultCache
 from .registry import execute_task, get_task_function
-from .task import CampaignTask
+from .task import CampaignTask, derive_seed
 
-__all__ = ["CampaignStats", "CampaignResult", "run_campaign"]
+__all__ = [
+    "CampaignStats",
+    "CampaignResult",
+    "CampaignTaskError",
+    "TaskAttemptFailure",
+    "TaskFailure",
+    "run_campaign",
+]
 
 ProgressCallback = Callable[[int, int], None]
+
+#: Version tag of the machine-readable failure report layout.
+FAILURE_REPORT_SCHEMA_VERSION = 1
+
+#: Grace period between SIGTERM and SIGKILL when reaping a worker.
+_KILL_GRACE_S = 0.25
+
+
+class CampaignTaskError(RuntimeError):
+    """Raised (only with ``raise_on_error=True``) when a task is quarantined."""
+
+    def __init__(self, failure: "TaskFailure") -> None:
+        last = failure.attempts[-1]
+        super().__init__(
+            f"task {failure.kind!r} (key {failure.key[:12]}...) failed "
+            f"permanently after {len(failure.attempts)} attempt(s): "
+            f"[{last.outcome}] {last.error_type or ''} {last.message}".strip()
+        )
+        self.failure = failure
+
+
+@dataclass(frozen=True)
+class TaskAttemptFailure:
+    """One failed attempt of one task."""
+
+    attempt: int          # 1-based attempt number
+    outcome: str          # "error" | "timeout" | "crash"
+    error_type: Optional[str]
+    message: str
+    elapsed_s: float
+
+    def to_record(self) -> Dict[str, Any]:
+        return {
+            "attempt": self.attempt,
+            "outcome": self.outcome,
+            "error_type": self.error_type,
+            "message": self.message,
+            "elapsed_s": self.elapsed_s,
+        }
+
+
+@dataclass
+class TaskFailure:
+    """Structured record of a permanently failed (quarantined) task."""
+
+    index: int            # first occurrence in the submitted task list
+    key: str
+    kind: str
+    params: Dict[str, Any]
+    seed: int
+    status: str = "quarantined"
+    attempts: List[TaskAttemptFailure] = field(default_factory=list)
+
+    def to_record(self) -> Dict[str, Any]:
+        return {
+            "index": self.index,
+            "key": self.key,
+            "kind": self.kind,
+            "params": self.params,
+            "seed": self.seed,
+            "status": self.status,
+            "attempts": [a.to_record() for a in self.attempts],
+        }
 
 
 @dataclass
@@ -49,6 +134,10 @@ class CampaignStats:
         n_executed: Tasks actually computed this run.
         n_cache_hits: Tasks answered from the on-disk cache.
         n_workers: Worker processes used (1 = in-process serial).
+        n_retries: Extra attempts spent on eventually-resolved tasks.
+        n_timeouts: Attempts killed for exceeding ``timeout_s``.
+        n_crashes: Attempts whose worker died without reporting.
+        n_quarantined: Tasks that exhausted every attempt.
         wall_s: End-to-end wall-clock of the campaign.
         task_s: Summed in-task compute time of executed tasks.
     """
@@ -58,6 +147,10 @@ class CampaignStats:
     n_executed: int = 0
     n_cache_hits: int = 0
     n_workers: int = 1
+    n_retries: int = 0
+    n_timeouts: int = 0
+    n_crashes: int = 0
+    n_quarantined: int = 0
     wall_s: float = 0.0
     task_s: float = 0.0
 
@@ -70,22 +163,34 @@ class CampaignStats:
 
     def summary(self) -> str:
         """One-line human-readable report for CLIs and benchmarks."""
-        return (
+        text = (
             f"{self.n_tasks} tasks ({self.n_unique} unique): "
             f"{self.n_executed} executed, {self.n_cache_hits} cache hits "
             f"in {self.wall_s:.2f}s wall "
             f"({self.n_workers} workers, "
             f"{100.0 * self.worker_utilization:.0f}% utilization)"
         )
+        if self.n_quarantined or self.n_retries:
+            text += (
+                f"; {self.n_quarantined} quarantined, "
+                f"{self.n_retries} retries "
+                f"({self.n_timeouts} timeouts, {self.n_crashes} crashes)"
+            )
+        return text
 
 
 @dataclass
 class CampaignResult:
-    """Results aligned with the submitted task list, plus run metrics."""
+    """Results aligned with the submitted task list, plus run metrics.
+
+    A quarantined task's slots hold ``None``; its structured failure is
+    in :attr:`failures`.
+    """
 
     tasks: List[CampaignTask]
     results: List[Any]
     stats: CampaignStats = field(default_factory=CampaignStats)
+    failures: List[TaskFailure] = field(default_factory=list)
 
     def __iter__(self):
         return iter(self.results)
@@ -93,16 +198,284 @@ class CampaignResult:
     def __len__(self) -> int:
         return len(self.results)
 
+    @property
+    def ok(self) -> bool:
+        """Whether every task produced a result."""
+        return not self.failures
 
-def _run_indexed_task(
-    payload: Tuple[int, CampaignTask],
-) -> Tuple[int, Any, float]:
-    """Pool worker: execute one task, returning (index, result, seconds)."""
-    index, task = payload
-    start = time.perf_counter()
-    result = execute_task(task)
-    return index, result, time.perf_counter() - start
+    def failure_report(self) -> Dict[str, Any]:
+        """Machine-readable failure report (see ``docs/RESILIENCE.md``)."""
+        return {
+            "schema_version": FAILURE_REPORT_SCHEMA_VERSION,
+            "n_tasks": self.stats.n_tasks,
+            "n_quarantined": self.stats.n_quarantined,
+            "n_retries": self.stats.n_retries,
+            "n_timeouts": self.stats.n_timeouts,
+            "n_crashes": self.stats.n_crashes,
+            "failures": [f.to_record() for f in self.failures],
+        }
 
+
+# ----------------------------------------------------------------------
+# isolated execution
+# ----------------------------------------------------------------------
+
+def _attempt_worker(task: CampaignTask, conn) -> None:
+    """Child-process body: run one task attempt, report through the pipe."""
+    try:
+        start = time.perf_counter()
+        result = execute_task(task)
+        conn.send(("ok", result, time.perf_counter() - start))
+    except BaseException as exc:  # noqa: BLE001 - crossing a process edge
+        try:
+            conn.send((
+                "error",
+                type(exc).__name__,
+                str(exc),
+                traceback.format_exc(limit=20),
+            ))
+        except Exception:
+            pass
+    finally:
+        conn.close()
+
+
+def _backoff_delay(
+    task: CampaignTask, attempt: int,
+    base_s: float, max_s: float,
+) -> float:
+    """Exponential backoff with deterministic per-(task, attempt) jitter."""
+    delay = min(max_s, base_s * (2.0 ** (attempt - 1)))
+    jitter = random.Random(derive_seed(task.seed, "backoff", task.key, attempt))
+    return delay * (0.5 + jitter.random())
+
+
+@dataclass
+class _Pending:
+    index: int
+    task: CampaignTask
+    attempt: int = 1
+    not_before: float = 0.0
+    failures: List[TaskAttemptFailure] = field(default_factory=list)
+
+
+@dataclass
+class _Running:
+    slot: _Pending
+    process: multiprocessing.process.BaseProcess
+    conn: Any
+    started: float
+    deadline: Optional[float]
+
+
+def _reap(running: _Running) -> None:
+    """Terminate (then kill) one worker and release its resources."""
+    process = running.process
+    if process.is_alive():
+        process.terminate()
+        process.join(_KILL_GRACE_S)
+        if process.is_alive():
+            process.kill()
+            process.join()
+    else:
+        process.join()
+    running.conn.close()
+
+
+class _IsolatedExecutor:
+    """Process-per-attempt executor with timeouts, retries, quarantine."""
+
+    def __init__(
+        self,
+        n_workers: int,
+        timeout_s: Optional[float],
+        max_attempts: int,
+        backoff_base_s: float,
+        backoff_max_s: float,
+        stats: CampaignStats,
+    ) -> None:
+        self.context = multiprocessing.get_context()
+        self.n_workers = max(1, n_workers)
+        self.timeout_s = timeout_s
+        self.max_attempts = max(1, max_attempts)
+        self.backoff_base_s = backoff_base_s
+        self.backoff_max_s = backoff_max_s
+        self.stats = stats
+
+    def run(
+        self,
+        to_run: List[Tuple[int, CampaignTask]],
+        on_success: Callable[[int, Any, float], None],
+        on_quarantine: Callable[[_Pending], None],
+    ) -> None:
+        pending = deque(_Pending(index, task) for index, task in to_run)
+        running: List[_Running] = []
+        try:
+            while pending or running:
+                self._launch_eligible(pending, running)
+                self._wait(pending, running)
+                for entry in list(running):
+                    outcome = self._poll(entry)
+                    if outcome is None:
+                        continue
+                    running.remove(entry)
+                    kind, payload = outcome
+                    if kind == "ok":
+                        result, elapsed = payload
+                        on_success(entry.slot.index, result, elapsed)
+                    else:
+                        self._record_failure(
+                            entry, payload, pending, on_quarantine
+                        )
+        finally:
+            for entry in running:
+                _reap(entry)
+
+    # -- scheduling ----------------------------------------------------
+
+    def _launch_eligible(
+        self, pending: deque, running: List[_Running]
+    ) -> None:
+        now = time.monotonic()
+        # Rotate through pending once, launching every eligible slot.
+        for _ in range(len(pending)):
+            if len(running) >= self.n_workers:
+                break
+            slot = pending.popleft()
+            if slot.not_before > now:
+                pending.append(slot)
+                continue
+            parent_conn, child_conn = self.context.Pipe(duplex=False)
+            process = self.context.Process(
+                target=_attempt_worker,
+                args=(slot.task, child_conn),
+                daemon=True,
+            )
+            process.start()
+            child_conn.close()
+            deadline = (
+                now + self.timeout_s if self.timeout_s is not None else None
+            )
+            running.append(_Running(slot, process, parent_conn, now, deadline))
+
+    def _wait(self, pending: deque, running: List[_Running]) -> None:
+        now = time.monotonic()
+        horizon = 0.2
+        for entry in running:
+            if entry.deadline is not None:
+                horizon = min(horizon, entry.deadline - now)
+        for slot in pending:
+            if slot.not_before > now:
+                horizon = min(horizon, slot.not_before - now)
+        horizon = max(0.005, horizon)
+        conns = [entry.conn for entry in running]
+        if conns:
+            multiprocessing.connection.wait(conns, timeout=horizon)
+        elif pending:
+            time.sleep(horizon)
+
+    # -- harvesting ----------------------------------------------------
+
+    def _poll(self, entry: _Running) -> Optional[Tuple[str, Any]]:
+        """Completed outcome of one running attempt, or ``None``."""
+        now = time.monotonic()
+        elapsed = now - entry.started
+        message: Optional[tuple] = None
+        if entry.conn.poll():
+            try:
+                message = entry.conn.recv()
+            except (EOFError, OSError):
+                message = None  # died mid-send: treat as a crash
+        if message is not None:
+            _reap(entry)
+            if message[0] == "ok":
+                return "ok", (message[1], message[2])
+            _, error_type, text, trace = message
+            return "fail", TaskAttemptFailure(
+                attempt=entry.slot.attempt,
+                outcome="error",
+                error_type=error_type,
+                message=(text or trace.strip().splitlines()[-1])[:500],
+                elapsed_s=elapsed,
+            )
+        if not entry.process.is_alive():
+            exitcode = entry.process.exitcode
+            _reap(entry)
+            self.stats.n_crashes += 1
+            return "fail", TaskAttemptFailure(
+                attempt=entry.slot.attempt,
+                outcome="crash",
+                error_type=None,
+                message=f"worker died with exit code {exitcode}",
+                elapsed_s=elapsed,
+            )
+        if entry.deadline is not None and now >= entry.deadline:
+            _reap(entry)
+            self.stats.n_timeouts += 1
+            return "fail", TaskAttemptFailure(
+                attempt=entry.slot.attempt,
+                outcome="timeout",
+                error_type=None,
+                message=f"attempt exceeded timeout_s={self.timeout_s}",
+                elapsed_s=elapsed,
+            )
+        return None
+
+    def _record_failure(
+        self,
+        entry: _Running,
+        failure: TaskAttemptFailure,
+        pending: deque,
+        on_quarantine: Callable[[_Pending], None],
+    ) -> None:
+        slot = entry.slot
+        slot.failures.append(failure)
+        if slot.attempt < self.max_attempts:
+            self.stats.n_retries += 1
+            delay = _backoff_delay(
+                slot.task, slot.attempt,
+                self.backoff_base_s, self.backoff_max_s,
+            )
+            slot.attempt += 1
+            slot.not_before = time.monotonic() + delay
+            pending.append(slot)
+        else:
+            on_quarantine(slot)
+
+
+def _run_in_process(
+    slot: _Pending,
+    max_attempts: int,
+    backoff_base_s: float,
+    backoff_max_s: float,
+    stats: CampaignStats,
+) -> Optional[Tuple[Any, float]]:
+    """Serial in-process attempts (no crash/hang isolation, no timeout)."""
+    while True:
+        start = time.perf_counter()
+        try:
+            result = execute_task(slot.task)
+            return result, time.perf_counter() - start
+        except Exception as exc:  # KeyboardInterrupt etc. still propagate
+            slot.failures.append(TaskAttemptFailure(
+                attempt=slot.attempt,
+                outcome="error",
+                error_type=type(exc).__name__,
+                message=str(exc)[:500],
+                elapsed_s=time.perf_counter() - start,
+            ))
+            if slot.attempt >= max_attempts:
+                return None
+            stats.n_retries += 1
+            time.sleep(_backoff_delay(
+                slot.task, slot.attempt, backoff_base_s, backoff_max_s
+            ))
+            slot.attempt += 1
+
+
+# ----------------------------------------------------------------------
+# campaign driver
+# ----------------------------------------------------------------------
 
 def run_campaign(
     tasks: Iterable[CampaignTask],
@@ -110,24 +483,47 @@ def run_campaign(
     cache_dir: str | None = None,
     progress: Optional[ProgressCallback] = None,
     chunksize: int = 1,
+    timeout_s: Optional[float] = None,
+    max_attempts: int = 1,
+    backoff_base_s: float = 0.1,
+    backoff_max_s: float = 5.0,
+    raise_on_error: bool = False,
 ) -> CampaignResult:
     """Run a characterization campaign, in parallel and through the cache.
 
     Args:
         tasks: Tasks to evaluate; results come back in the same order.
-        n_workers: Worker processes; ``<= 1`` runs serially in-process
-            (identical results -- seeds are per-task, not per-worker).
+        n_workers: Concurrent worker processes; ``<= 1`` runs serially
+            (in-process unless ``timeout_s`` forces isolation; results
+            are identical either way -- seeds are per-task, not
+            per-worker).
         cache_dir: Optional result-cache directory.  Enables warm-start
             (cached tasks are skipped) and checkpointing (each finished
             task is persisted immediately, so an interrupted campaign
-            resumes from where it died).
+            resumes from where it died).  Failures are never cached.
         progress: Optional ``progress(done, total)`` callback, invoked
-            after the cache scan and after every completed task.
-        chunksize: Tasks per pool dispatch (raise for very short tasks).
+            after the cache scan and after every completed (or
+            quarantined) task.
+        chunksize: Deprecated; retained for API compatibility and
+            ignored (each attempt is dispatched individually so it can
+            be timed out and reaped).
+        timeout_s: Per-attempt wall-clock limit.  An attempt past the
+            limit is killed and counted as a ``timeout`` failure.
+            Setting this forces process isolation even at
+            ``n_workers=1``.
+        max_attempts: Total attempts per task before quarantine
+            (1 = no retry).
+        backoff_base_s: First retry delay; doubles per further attempt.
+        backoff_max_s: Upper bound of the (pre-jitter) retry delay.
+        raise_on_error: Re-raise as :class:`CampaignTaskError` when a
+            task fails permanently, instead of quarantining it (the
+            pre-hardening fail-fast behaviour).
 
     Returns:
-        :class:`CampaignResult` with per-task results and run stats.
+        :class:`CampaignResult` with per-task results, run stats, and
+        the structured failures of quarantined tasks.
     """
+    del chunksize  # accepted for compatibility; dispatch is per-attempt
     task_list = list(tasks)
     for task in task_list:
         get_task_function(task.kind)  # fail fast on unknown kinds
@@ -135,6 +531,7 @@ def run_campaign(
     cache = ResultCache(cache_dir) if cache_dir else None
     results: List[Any] = [None] * len(task_list)
     stats = CampaignStats(n_tasks=len(task_list), n_workers=max(1, n_workers))
+    failures: List[TaskFailure] = []
 
     # Resolve cache hits and collapse duplicates to one execution each.
     pending: Dict[str, List[int]] = {}
@@ -182,18 +579,49 @@ def run_campaign(
         if progress is not None:
             progress(done, len(task_list))
 
+    def quarantine(slot: _Pending) -> None:
+        nonlocal done
+        task = slot.task
+        failure = TaskFailure(
+            index=slot.index,
+            key=task.key,
+            kind=task.kind,
+            params=dict(task.params),
+            seed=task.seed,
+            attempts=list(slot.failures),
+        )
+        failures.append(failure)
+        stats.n_quarantined += 1
+        done += len(pending[task.key])
+        if progress is not None:
+            progress(done, len(task_list))
+        if raise_on_error:
+            raise CampaignTaskError(failure)
+
     to_run = [(indices[0], task_list[indices[0]]) for indices in pending.values()]
-    if n_workers > 1 and len(to_run) > 1:
-        context = multiprocessing.get_context()
-        with context.Pool(processes=min(n_workers, len(to_run))) as pool:
-            for index, result, elapsed in pool.imap_unordered(
-                _run_indexed_task, to_run, chunksize=max(1, chunksize)
-            ):
-                complete(index, result, elapsed)
+    isolate = timeout_s is not None or (n_workers > 1 and len(to_run) > 1)
+    if isolate:
+        executor = _IsolatedExecutor(
+            n_workers=n_workers,
+            timeout_s=timeout_s,
+            max_attempts=max_attempts,
+            backoff_base_s=backoff_base_s,
+            backoff_max_s=backoff_max_s,
+            stats=stats,
+        )
+        executor.run(to_run, complete, quarantine)
     else:
-        for payload in to_run:
-            index, result, elapsed = _run_indexed_task(payload)
-            complete(index, result, elapsed)
+        for index, task in to_run:
+            slot = _Pending(index, task)
+            outcome = _run_in_process(
+                slot, max_attempts, backoff_base_s, backoff_max_s, stats
+            )
+            if outcome is None:
+                quarantine(slot)
+            else:
+                complete(index, *outcome)
 
     stats.wall_s = time.perf_counter() - start
-    return CampaignResult(tasks=task_list, results=results, stats=stats)
+    return CampaignResult(
+        tasks=task_list, results=results, stats=stats, failures=failures
+    )

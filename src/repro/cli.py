@@ -11,6 +11,10 @@ The subcommands mirror the workflows a library user runs most:
 * ``repro campaign`` -- the named characterization campaigns (Table IV,
   Fig. 6, ripple/SAD/filter families) through the parallel, cached,
   resumable campaign engine.
+* ``repro resilience`` -- transient-fault sweeps across the stack
+  (logic cells, GeAr datapath, SAD/filter/DCT accelerators), with
+  QosGuard graceful degradation and hardened campaign execution
+  (timeouts, retries, quarantine).
 * ``repro verify`` -- cross-layer differential verification: every
   component's evaluation paths cross-checked against each other, its
   golden reference, metamorphic laws, and (for GeAr) the analytic /
@@ -352,6 +356,73 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     return 0
 
 
+#: Output columns per resilience sweep workload (rate is prepended).
+_RESILIENCE_COLUMNS = {
+    "cell": ["rate", "cell", "n_vectors", "n_flips", "n_output_errors",
+             "error_rate"],
+    "gear": ["rate", "name", "n_samples", "error_rate",
+             "mean_error_distance"],
+    "sad": ["rate", "fa", "n_blocks", "n_fault_affected",
+            "block_error_rate", "qos_stage", "qos_exact"],
+    "filter": ["rate", "image", "fa", "ssim", "pixel_error_rate"],
+    "dct": ["rate", "n_blocks", "mean_coeff_error", "block_error_rate"],
+}
+
+
+def _resilience_row(record: dict) -> dict:
+    """Flatten one sweep record for the report table."""
+    row = {k: v for k, v in record.items()
+           if k not in ("plan", "qos", "flips_per_site")}
+    qos = record.get("qos")
+    if isinstance(qos, dict):
+        row["qos_stage"] = qos.get("final_stage")
+        row["qos_exact"] = qos.get("exact_match")
+    return row
+
+
+def _cmd_resilience(args: argparse.Namespace) -> int:
+    from .resilience.sweep import run_fault_sweep
+
+    extra = {}
+    if args.workload == "sad":
+        extra["qos"] = not args.no_qos
+        extra["fa"] = args.fa
+        extra["approx_lsbs"] = args.approx_lsbs
+    if args.workload == "filter":
+        extra["image"] = args.image
+    result = run_fault_sweep(
+        args.workload,
+        args.rates,
+        seed=args.seed,
+        n_workers=args.workers,
+        cache_dir=args.cache_dir,
+        timeout_s=args.timeout,
+        max_attempts=args.retries + 1,
+        progress=_progress_printer(not args.csv),
+        **extra,
+    )
+    rows = [_resilience_row(r) for r in result.results if r is not None]
+    for row in rows:
+        for key, value in row.items():
+            if isinstance(value, float):
+                row[key] = round(value, 6)
+    _print(
+        rows,
+        _RESILIENCE_COLUMNS[args.workload],
+        args.csv,
+        f"transient-fault sweep {args.workload!r} "
+        f"({len(args.rates)} rates, seed {args.seed})",
+    )
+    _print_stats(result.stats)
+    if not result.ok:
+        report = result.failure_report()
+        for failure in report["failures"]:
+            print(f"QUARANTINED {failure['kind']} {failure['key'][:12]}: "
+                  f"{failure['attempts'][-1]['message']}", file=sys.stderr)
+        return 1
+    return 0
+
+
 def _cmd_verify(args: argparse.Namespace) -> int:
     from .verify.conformance import verify_all
     from .verify.oracle import resolve_components
@@ -486,6 +557,34 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--csv", action="store_true")
     add_campaign_flags(p)
     p.set_defaults(func=_cmd_campaign)
+
+    p = sub.add_parser(
+        "resilience",
+        help="transient-fault sweep through the hardened campaign engine",
+    )
+    p.add_argument("workload",
+                   choices=["cell", "gear", "sad", "filter", "dct"],
+                   help="which layer/workload to inject faults into")
+    p.add_argument("--rates", type=float, nargs="+",
+                   default=[0.0, 1e-4, 1e-3, 1e-2],
+                   help="per-bit transient fault rates to sweep")
+    p.add_argument("--seed", type=int, default=0,
+                   help="sweep seed (fault plans derive from it)")
+    p.add_argument("--no-qos", action="store_true",
+                   help="sad: run unguarded (skip the QosGuard wrapper)")
+    p.add_argument("--fa", default="AccuFA",
+                   help="sad: full-adder cell of the guarded stage")
+    p.add_argument("--approx-lsbs", type=int, default=0,
+                   help="sad: approximated LSBs of the guarded stage")
+    p.add_argument("--image", default="gradient",
+                   help="filter: standard image name")
+    p.add_argument("--timeout", type=float, default=None,
+                   help="per-task wall-clock timeout in seconds")
+    p.add_argument("--retries", type=int, default=0,
+                   help="retry attempts per task before quarantine")
+    p.add_argument("--csv", action="store_true")
+    add_campaign_flags(p)
+    p.set_defaults(func=_cmd_resilience)
 
     p = sub.add_parser(
         "verify",

@@ -34,6 +34,13 @@ single-stuck-line semantics of
 :func:`repro.logic.faults.inject_stuck_at`, without rebuilding or
 recompiling a netlist per fault.
 
+The same encoding carries **transient** faults: ``flip={net: words}``
+XORs a packed per-lane mask into a net's row after its driver executes,
+so lane ``j`` of the mask models a single-cycle bit flip on that net
+during stimulus vector ``j`` (soft-error / SEU semantics,
+:mod:`repro.resilience`).  A net may appear in both overlays; ``stuck``
+wins (a stuck line has no transient behaviour left to flip).
+
 The compiled tape is cached on the netlist (``netlist._bitsim_cache``)
 and invalidated by ``add_gate`` / ``set_outputs``; the scalar path stays
 available as the differential reference (``eval_mode="scalar"``).
@@ -437,6 +444,7 @@ class CompiledNetlist:
         packed_inputs: Dict[str, np.ndarray],
         n_words: Optional[int] = None,
         stuck: Optional[Dict[str, int]] = None,
+        flip: Optional[Dict[str, np.ndarray]] = None,
     ) -> List[np.ndarray]:
         """Execute the tape on packed stimulus words.
 
@@ -447,6 +455,11 @@ class CompiledNetlist:
                 omitted (required for netlists without inputs).
             stuck: Optional stuck-at overlay ``{net: 0 | 1}`` applied to
                 gate-driven nets (see module docstring).
+            flip: Optional transient overlay ``{net: packed_mask}``;
+                each mask is XORed into the net's row after its driver
+                executes, flipping the net for exactly the lanes whose
+                mask bit is set.  Applies to primary inputs too.  A net
+                also present in ``stuck`` keeps the stuck value.
 
         Returns:
             Value table: one uint64 row per slot.  Padding lanes are
@@ -459,28 +472,40 @@ class CompiledNetlist:
                 np.asarray(packed_inputs[self.inputs[0]]).shape[0]
             )
         values: List[Optional[np.ndarray]] = [None] * self.n_slots
+        flips: Dict[int, np.ndarray] = {}
+        if flip:
+            flips = {
+                self._slots[net]: np.ascontiguousarray(mask, dtype=_WORD)
+                for net, mask in flip.items()
+            }
         for net in self.inputs:
-            values[self._slots[net]] = np.ascontiguousarray(
-                packed_inputs[net], dtype=_WORD
-            )
+            slot = self._slots[net]
+            row = np.ascontiguousarray(packed_inputs[net], dtype=_WORD)
+            mask = flips.get(slot)
+            values[slot] = row if mask is None else row ^ mask
         values[self._gnd_slot] = np.zeros(n_words, dtype=_WORD)
         values[self._vdd_slot] = np.full(n_words, _ALL_ONES, dtype=_WORD)
-        if not stuck:
+        if not stuck and not flips:
             for kernel, in_slots, out_slot in self._tape:
                 values[out_slot] = kernel(*[values[s] for s in in_slots])
         else:
-            overlay = {
-                self._slots[net]: (
-                    np.full(n_words, _ALL_ONES, dtype=_WORD)
-                    if value
-                    else np.zeros(n_words, dtype=_WORD)
-                )
-                for net, value in stuck.items()
-            }
+            overlay = {}
+            if stuck:
+                overlay = {
+                    self._slots[net]: (
+                        np.full(n_words, _ALL_ONES, dtype=_WORD)
+                        if value
+                        else np.zeros(n_words, dtype=_WORD)
+                    )
+                    for net, value in stuck.items()
+                }
             for kernel, in_slots, out_slot in self._tape:
                 row = overlay.get(out_slot)
                 if row is None:
                     row = kernel(*[values[s] for s in in_slots])
+                    mask = flips.get(out_slot)
+                    if mask is not None:
+                        row = row ^ mask
                 values[out_slot] = row
         return values
 

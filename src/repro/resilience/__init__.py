@@ -1,0 +1,72 @@
+"""Cross-layer fault injection and graceful degradation.
+
+The paper's premise is that approximate hardware keeps *operating
+acceptably under error*: GeAr detects and iteratively corrects missed
+carries (Sec. 4), CEC bounds residual output error (Sec. 6.1), and
+data-dependent resilience (Fig. 10) decides how much error a workload
+tolerates.  This package supplies the runtime half of that story:
+
+* :class:`FaultPlan` (:mod:`repro.resilience.plan`) -- one seeded,
+  JSON-round-trippable description of a transient-fault scenario; every
+  injector derives its flips purely from the plan, so scenarios are
+  bit-identical across processes, worker counts and reruns.
+* Layer injectors -- netlist-level single-event upsets on the compiled
+  bitsim tape (:mod:`repro.resilience.logic`), operand / carry-chain /
+  partial-product upsets in adders and multipliers
+  (:mod:`repro.resilience.datapath`), and accumulator / line-buffer
+  upsets inside the SAD, filter and DCT accelerators
+  (:mod:`repro.resilience.arch`).
+* :class:`QosGuard` (:mod:`repro.resilience.qos`) -- online quality
+  monitoring (canary/full golden checks, custom detectors, CEC residual
+  bounds) with an escalation ladder that ends at the golden path, plus a
+  structured degradation log.
+* Fault-rate sweeps (:mod:`repro.resilience.sweep`) -- every sweep point
+  is a ``resilience`` campaign task, so sweeps inherit the hardened
+  campaign runner's caching, retry, timeout and quarantine machinery.
+
+CLI: ``repro resilience {cell,gear,sad,filter,dct}`` (see
+``python -m repro.cli resilience --help``); docs in
+``docs/RESILIENCE.md``.
+"""
+
+from .arch import FaultyDCT8x8, FaultyLowPassFilter, FaultySADAccelerator
+from .datapath import (
+    add_with_faults,
+    gear_add_with_faults,
+    inject_operand_flips,
+    multiply_with_faults,
+)
+from .logic import TransientFaultReport, packed_flip_overlay, transient_fault_run
+from .plan import FAULT_LAYERS, FaultPlan
+from .qos import DegradationEvent, DegradationLog, QosGuard, residual_within_pmf
+from .sweep import (
+    WORKLOAD_LAYERS,
+    fault_sweep_tasks,
+    guarded_sad_record,
+    resilience_record,
+    run_fault_sweep,
+)
+
+__all__ = [
+    "FAULT_LAYERS",
+    "FaultPlan",
+    "TransientFaultReport",
+    "packed_flip_overlay",
+    "transient_fault_run",
+    "inject_operand_flips",
+    "add_with_faults",
+    "gear_add_with_faults",
+    "multiply_with_faults",
+    "FaultySADAccelerator",
+    "FaultyLowPassFilter",
+    "FaultyDCT8x8",
+    "DegradationEvent",
+    "DegradationLog",
+    "QosGuard",
+    "residual_within_pmf",
+    "WORKLOAD_LAYERS",
+    "fault_sweep_tasks",
+    "guarded_sad_record",
+    "resilience_record",
+    "run_fault_sweep",
+]

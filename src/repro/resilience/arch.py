@@ -1,0 +1,178 @@
+"""Architecture-layer transient faults: upsets inside accelerators.
+
+At this layer faults strike the accelerator's *storage and reduction
+state* rather than a single arithmetic unit:
+
+* :class:`FaultySADAccelerator` -- flips on the absolute-difference
+  stage outputs (site ``absdiff``, the accumulator inputs) and on each
+  reduction level of the adder tree (sites ``tree0``, ``tree1``, ...);
+* :class:`FaultyLowPassFilter` -- flips on the 9 shifted window terms
+  (site ``linebuffer``: what a line-buffer upset corrupts) and on each
+  adder-tree level;
+* :class:`FaultyDCT8x8` -- flips on the MAC accumulator of each of the
+  two matrix passes (sites ``acc_pass0`` / ``acc_pass1``).
+
+Each wrapper takes an unmodified accelerator plus a
+``layer == "architecture"`` :class:`~repro.resilience.plan.FaultPlan`
+and behaves exactly like the wrapped accelerator at ``rate == 0`` --
+the zero-rate identity every resilience test anchors on.  Flip masks
+derive only from (plan, site, tensor shape), so a sweep is bit-identical
+regardless of worker count or execution order.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..accelerators.dct import ApproximateDCT8x8
+from ..accelerators.filters import LowPassFilterAccelerator, _KERNEL
+from ..accelerators.sad import SADAccelerator
+from .plan import FaultPlan
+
+__all__ = [
+    "FaultySADAccelerator",
+    "FaultyLowPassFilter",
+    "FaultyDCT8x8",
+]
+
+
+def _require_layer(plan: FaultPlan) -> None:
+    if plan.layer != "architecture":
+        raise ValueError(
+            f"plan targets layer {plan.layer!r}; accelerator injection "
+            f"needs 'architecture'"
+        )
+
+
+class FaultySADAccelerator:
+    """A :class:`SADAccelerator` with seeded accumulator upsets.
+
+    Example:
+        >>> base = SADAccelerator(n_pixels=4)
+        >>> quiet = FaultySADAccelerator(base, FaultPlan(0, 0.0, "architecture"))
+        >>> int(quiet.sad([1, 2, 3, 4], [4, 3, 2, 1]))
+        8
+    """
+
+    def __init__(self, accelerator: SADAccelerator, plan: FaultPlan) -> None:
+        _require_layer(plan)
+        self.accelerator = accelerator
+        self.plan = plan
+
+    @property
+    def name(self) -> str:
+        return f"{self.accelerator.name}+faults(r={self.plan.rate})"
+
+    def sad(self, a, b) -> np.ndarray:
+        """Faulty SAD: the reduction pipeline with per-stage upsets."""
+        acc = self.accelerator
+        a = np.asarray(a, dtype=np.int64)
+        b = np.asarray(b, dtype=np.int64)
+        if a.shape[-1] != acc.n_pixels or b.shape[-1] != acc.n_pixels:
+            raise ValueError(
+                f"last axis must have {acc.n_pixels} pixels, got "
+                f"{a.shape[-1]} and {b.shape[-1]}"
+            )
+        values = acc.absolute_differences(a, b)
+        values = values ^ self.plan.flip_mask(
+            "absdiff", values.shape, acc.pixel_bits + 1
+        )
+        level = 0
+        while values.shape[-1] > 1:
+            n = values.shape[-1]
+            even = values[..., 0 : n - (n % 2) : 2]
+            odd = values[..., 1 : n : 2]
+            summed = acc._tree_add(level, even, odd)
+            summed = summed ^ self.plan.flip_mask(
+                f"tree{level}", summed.shape, acc._tree[level].width + 1
+            )
+            if n % 2:
+                summed = np.concatenate([summed, values[..., -1:]], axis=-1)
+            values = summed
+            level += 1
+        return values[..., 0]
+
+
+class FaultyLowPassFilter:
+    """A :class:`LowPassFilterAccelerator` with line-buffer upsets."""
+
+    def __init__(
+        self, accelerator: LowPassFilterAccelerator, plan: FaultPlan
+    ) -> None:
+        _require_layer(plan)
+        self.accelerator = accelerator
+        self.plan = plan
+
+    @property
+    def name(self) -> str:
+        return f"{self.accelerator.name}+faults(r={self.plan.rate})"
+
+    def apply(self, image: np.ndarray) -> np.ndarray:
+        """Faulty filtering: upset window terms, then the (faulty) tree."""
+        acc = self.accelerator
+        img = np.asarray(image, dtype=np.int64)
+        if img.ndim != 2:
+            raise ValueError(f"expected a 2-D image, got shape {img.shape}")
+        padded = np.pad(img, 1, mode="edge")
+        terms = []
+        for dy in range(3):
+            for dx in range(3):
+                window = padded[dy : dy + img.shape[0], dx : dx + img.shape[1]]
+                shift = int(_KERNEL[dy, dx]).bit_length() - 1
+                terms.append(window << shift)
+        values = np.stack(terms, axis=-1)
+        values = values ^ self.plan.flip_mask(
+            "linebuffer", values.shape, acc.pixel_bits + 2
+        )
+        level = 0
+        while values.shape[-1] > 1:
+            n = values.shape[-1]
+            even = values[..., 0 : n - (n % 2) : 2]
+            odd = values[..., 1 : n : 2]
+            summed = acc._tree[level].add(even, odd)
+            summed = summed ^ self.plan.flip_mask(
+                f"tree{level}", summed.shape, acc._tree[level].width + 1
+            )
+            if n % 2:
+                summed = np.concatenate([summed, values[..., -1:]], axis=-1)
+            values = summed
+            level += 1
+        result = values[..., 0] >> 4
+        return np.clip(result, 0, (1 << acc.pixel_bits) - 1)
+
+
+class FaultyDCT8x8:
+    """An :class:`ApproximateDCT8x8` with MAC-accumulator upsets.
+
+    The 2-D transform is two matrix passes; each pass's accumulated
+    row/column sums are a fault site (``acc_pass0`` / ``acc_pass1``).
+    Accumulator values are signed; the upset flips magnitude bits, which
+    models a register upset in a sign-magnitude MAC datapath.
+    """
+
+    def __init__(self, dct: ApproximateDCT8x8, plan: FaultPlan) -> None:
+        _require_layer(plan)
+        self.dct = dct
+        self.plan = plan
+
+    @property
+    def name(self) -> str:
+        return f"{self.dct.name}+faults(r={self.plan.rate})"
+
+    def _upset(self, values: np.ndarray, site: str) -> np.ndarray:
+        sign = np.sign(values)
+        magnitude = np.abs(values)
+        # Accumulator magnitudes fit in ~20 bits (see ApproximateDCT8x8).
+        magnitude = magnitude ^ self.plan.flip_mask(site, values.shape, 20)
+        return sign * magnitude + (sign == 0) * magnitude
+
+    def forward(self, block: np.ndarray) -> np.ndarray:
+        """Faulty 2-D DCT: the two matrix passes with accumulator upsets."""
+        dct = self.dct
+        block = np.asarray(block, dtype=np.int64)
+        if block.shape != (dct.SIZE, dct.SIZE):
+            raise ValueError(f"expected an 8x8 block, got {block.shape}")
+        stage1 = self._upset(dct._matmul(dct.matrix, block), "acc_pass0")
+        stage1 = np.rint(stage1 / dct.SCALE).astype(np.int64)
+        stage2 = self._upset(dct._matmul(stage1, dct.matrix.T), "acc_pass1")
+        return np.rint(stage2 / dct.SCALE).astype(np.int64)

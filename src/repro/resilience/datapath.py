@@ -1,0 +1,125 @@
+"""Datapath-layer transient faults: operand, carry-chain and
+partial-product upsets in adders and multipliers.
+
+The injection sites mirror where soft errors strike real arithmetic
+datapaths:
+
+* ``operand_a`` / ``operand_b`` -- flips on the operand input buses;
+* ``carry`` -- a flipped carry-out of a GeAr sub-adder window (the
+  signal the paper's error-detection logic watches, Fig. 3);
+* ``pp_ll`` / ``pp_lh`` / ``pp_hl`` / ``pp_hh`` -- flips on the four
+  top-level partial products of the recursive multiplier.
+
+All decisions come from a ``layer == "datapath"``
+:class:`~repro.resilience.plan.FaultPlan`, so a scenario is regenerated
+bit-identically from the plan alone.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from ..adders.gear import GeArAdder
+from ..multipliers.recursive import RecursiveMultiplier
+from .plan import FaultPlan
+
+__all__ = [
+    "inject_operand_flips",
+    "add_with_faults",
+    "gear_add_with_faults",
+    "multiply_with_faults",
+]
+
+
+def _require_layer(plan: FaultPlan) -> None:
+    if plan.layer != "datapath":
+        raise ValueError(
+            f"plan targets layer {plan.layer!r}; datapath injection needs "
+            f"'datapath'"
+        )
+
+
+def inject_operand_flips(
+    plan: FaultPlan, a, b, width: int, *context
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Operand buses with plan-chosen bits flipped (sites ``operand_*``)."""
+    _require_layer(plan)
+    a = np.asarray(a, dtype=np.int64)
+    b = np.asarray(b, dtype=np.int64)
+    a = a ^ plan.flip_mask("operand_a", a.shape, width, *context)
+    b = b ^ plan.flip_mask("operand_b", b.shape, width, *context)
+    return a, b
+
+
+def add_with_faults(adder, a, b, plan: FaultPlan) -> np.ndarray:
+    """Any adder's ``add`` evaluated on fault-injected operand buses.
+
+    Works for every adder in the library (ripple, GeAr, prefix): the
+    upset strikes the operand registers, the datapath itself runs
+    unmodified.
+    """
+    a, b = inject_operand_flips(plan, a, b, adder.width)
+    return adder.add(a, b)
+
+
+def gear_add_with_faults(
+    adder: GeArAdder, a, b, plan: FaultPlan
+) -> np.ndarray:
+    """GeAr addition with operand and carry-chain upsets.
+
+    Beyond the operand buses, each sub-adder's carry-out bit (bit ``L``
+    of its window sum) can flip (site ``carry``, one flip decision per
+    element per window) -- exactly the signal the GeAr detection logic
+    compares against the prediction bits, which is what makes this the
+    natural adversary for :class:`~repro.resilience.qos.QosGuard`.
+    """
+    _require_layer(plan)
+    cfg = adder.config
+    a, b = inject_operand_flips(plan, a, b, cfg.n)
+    mask = (1 << cfg.n) - 1
+    a, b = a & mask, b & mask
+    sums = adder._window_sums(a, b)
+    if plan.applies_to("carry"):
+        carry_bit = np.int64(1) << cfg.l
+        for i in range(cfg.k):
+            flips = plan.flip_mask("carry", sums[i].shape, 1, i).astype(bool)
+            sums[i] = np.where(flips, sums[i] ^ carry_bit, sums[i])
+    return adder._assemble(sums)
+
+
+def multiply_with_faults(
+    mul: RecursiveMultiplier, a, b, plan: FaultPlan
+) -> np.ndarray:
+    """Recursive multiplication with operand and partial-product upsets.
+
+    The four top-level partial products of the Karatsuba-style
+    decomposition (LL, LH, HL, HH) are each exposed as a fault site;
+    the reduction adders then run unmodified on the upset values, so a
+    single flipped product bit propagates exactly as it would in the
+    physical reduction tree.
+    """
+    _require_layer(plan)
+    w = mul.width
+    a, b = inject_operand_flips(plan, a, b, w)
+    mask = (1 << w) - 1
+    a, b = a & mask, b & mask
+    if w == 2:
+        product = mul._leaf(0, 0).multiply(a, b)
+        return product ^ plan.flip_mask("pp_ll", product.shape, 2 * w)
+    h = w // 2
+    half = (1 << h) - 1
+    al, ah = a & half, (a >> h) & half
+    bl, bh = b & half, (b >> h) & half
+    parts = {
+        "pp_ll": mul._multiply_rec(al, bl, h, 0, 0),
+        "pp_lh": mul._multiply_rec(al, bh, h, 0, h),
+        "pp_hl": mul._multiply_rec(ah, bl, h, h, 0),
+        "pp_hh": mul._multiply_rec(ah, bh, h, h, h),
+    }
+    for site, value in parts.items():
+        parts[site] = value ^ plan.flip_mask(site, value.shape, w)
+    mid = mul._adder(w).add(parts["pp_lh"], parts["pp_hl"])
+    acc = mul._adder(2 * w).add(parts["pp_hh"] << h, mid)
+    return mul._adder(2 * w).add(acc << h, parts["pp_ll"])

@@ -1,0 +1,155 @@
+"""Logic-layer transient faults: per-cycle bit flips on netlist nets.
+
+Where :mod:`repro.logic.faults` models *permanent* stuck-at defects,
+this module models *transient* single-event upsets: a net inverts for
+exactly one stimulus vector ("cycle") and recovers.  The injection
+rides the compiled bit-parallel engine -- one
+:class:`~repro.logic.bitsim.CompiledNetlist` is compiled once and every
+fault scenario is a packed XOR overlay (same word-row encoding as the
+stuck-at overlay), so sweeping rates costs no netlist rebuilds.
+
+Flip decisions come from a :class:`~repro.resilience.plan.FaultPlan`:
+net ``n`` flips in lane ``j`` iff ``plan.lane_flips(n, n_lanes)[j]``,
+a pure function of the plan -- reruns, other processes, and different
+worker counts all regenerate the identical fault tape.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..logic import bitsim
+from ..logic.faults import fault_sites
+from ..logic.netlist import Netlist
+from ..logic.simulate import exhaustive_stimuli, random_stimuli
+from .plan import FaultPlan
+
+__all__ = [
+    "TransientFaultReport",
+    "packed_flip_overlay",
+    "transient_fault_run",
+]
+
+
+@dataclass(frozen=True)
+class TransientFaultReport:
+    """Outcome of one seeded transient-fault run on a netlist.
+
+    Attributes:
+        netlist: Design name.
+        n_vectors: Stimulus vectors simulated.
+        n_flips: Total injected bit-flips across all nets and lanes.
+        n_sites: Nets that received at least one flip.
+        n_output_errors: Vectors whose primary outputs differ from the
+            fault-free run.
+        error_rate: ``n_output_errors / n_vectors`` (0 when no vectors).
+        flips_per_site: Injected flip count per net (only nonzero nets).
+    """
+
+    netlist: str
+    n_vectors: int
+    n_flips: int
+    n_sites: int
+    n_output_errors: int
+    error_rate: float
+    flips_per_site: Dict[str, int]
+
+    def to_record(self) -> Dict:
+        return {
+            "netlist": self.netlist,
+            "n_vectors": self.n_vectors,
+            "n_flips": self.n_flips,
+            "n_sites": self.n_sites,
+            "n_output_errors": self.n_output_errors,
+            "error_rate": self.error_rate,
+            "flips_per_site": dict(self.flips_per_site),
+        }
+
+
+def packed_flip_overlay(
+    plan: FaultPlan,
+    sites: Sequence[str],
+    n_vectors: int,
+) -> Dict[str, np.ndarray]:
+    """Packed per-net XOR masks for one fault scenario.
+
+    Only nets with at least one flip appear in the overlay, so the
+    common low-rate case stays sparse.
+    """
+    overlay: Dict[str, np.ndarray] = {}
+    for site in sites:
+        lanes = plan.lane_flips(site, n_vectors)
+        if lanes.any():
+            overlay[site] = bitsim.pack_lanes(lanes)
+    return overlay
+
+
+def transient_fault_run(
+    netlist: Netlist,
+    plan: FaultPlan,
+    stimuli: Optional[Dict[str, np.ndarray]] = None,
+    n_random_vectors: int = 2048,
+    stimulus_seed: int = 0,
+    include_inputs: bool = False,
+) -> TransientFaultReport:
+    """Simulate one seeded transient-fault scenario against golden.
+
+    Args:
+        netlist: Design under test (compiled once, shared with golden).
+        plan: Fault plan; must have ``layer == "logic"``.
+        stimuli: Optional explicit stimulus vectors; default is the
+            exhaustive sweep up to 16 inputs, random vectors above.
+        n_random_vectors: Vector count for the random default.
+        stimulus_seed: Seed of the random default stimulus.
+        include_inputs: Also expose primary inputs as fault sites
+            (models upsets on input registers).
+
+    Returns:
+        :class:`TransientFaultReport` with flip accounting and the
+        fault-free/faulty output mismatch rate.
+    """
+    if plan.layer != "logic":
+        raise ValueError(
+            f"plan targets layer {plan.layer!r}; logic injection needs 'logic'"
+        )
+    inputs = list(netlist.inputs)
+    if stimuli is None:
+        if len(inputs) <= 16:
+            stimuli = exhaustive_stimuli(inputs)
+        else:
+            stimuli = random_stimuli(inputs, n_random_vectors, stimulus_seed)
+    n_vectors = int(np.asarray(stimuli[inputs[0]]).size) if inputs else 0
+    sites: List[str] = list(fault_sites(netlist))
+    if include_inputs:
+        sites = inputs + sites
+    overlay = packed_flip_overlay(plan, sites, n_vectors)
+
+    compiled = bitsim.compile_netlist(netlist)
+    packed = {net: bitsim.pack_lanes(stimuli[net]) for net in inputs}
+    n_words = bitsim.n_words_for(n_vectors)
+    valid = bitsim.lane_mask(n_vectors)
+    golden = compiled.run_packed(packed, n_words)
+    faulty = compiled.run_packed(packed, n_words, flip=overlay)
+    mismatch = np.zeros(n_words, dtype=np.uint64)
+    for net in netlist.outputs:
+        slot = compiled.slot_of(net)
+        mismatch |= golden[slot] ^ faulty[slot]
+    n_errors = bitsim.popcount(mismatch & valid)
+
+    flips_per_site = {
+        net: bitsim.popcount(np.asarray(mask) & valid)
+        for net, mask in overlay.items()
+    }
+    n_flips = sum(flips_per_site.values())
+    return TransientFaultReport(
+        netlist=netlist.name,
+        n_vectors=n_vectors,
+        n_flips=n_flips,
+        n_sites=len(flips_per_site),
+        n_output_errors=n_errors,
+        error_rate=(n_errors / n_vectors) if n_vectors else 0.0,
+        flips_per_site=flips_per_site,
+    )

@@ -1,0 +1,144 @@
+"""Seeded, layer-agnostic transient-fault plans.
+
+A :class:`FaultPlan` is the single source of randomness for every
+transient-fault experiment in :mod:`repro.resilience`: it names the
+abstraction *layer* the faults strike (``"logic"``, ``"datapath"`` or
+``"architecture"``), the per-bit flip probability, and optionally the
+subset of injection *sites* (net names, operand buses, accumulator
+stages) it applies to.
+
+Reproducibility is the whole design: the flip mask for a site is a pure
+function of ``(plan.seed, plan.layer, site, context)`` through
+:func:`repro.campaign.derive_seed`, never of evaluation order, worker
+count, or which other sites were queried first.  Two processes holding
+equal plans therefore inject bit-identical faults -- the property the
+campaign engine relies on to make fault sweeps resumable and
+worker-count invariant (and which ``tests/resilience`` proves with a
+hypothesis property).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Optional, Tuple
+
+import numpy as np
+
+from ..campaign.task import derive_seed
+
+__all__ = ["FAULT_LAYERS", "FaultPlan"]
+
+#: Abstraction layers a plan can target (paper Sec. 2's cross-layer stack).
+FAULT_LAYERS = ("logic", "datapath", "architecture")
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """One reproducible transient-fault scenario.
+
+    Attributes:
+        seed: Base seed; every site derives its own stream from it.
+        rate: Per-bit flip probability per evaluated item.
+        layer: Targeted abstraction layer (one of :data:`FAULT_LAYERS`).
+        sites: Optional whitelist of site names; ``None`` = all sites
+            the injector exposes.
+
+    Example:
+        >>> plan = FaultPlan(seed=1, rate=0.5, layer="datapath")
+        >>> m1 = plan.flip_mask("operand_a", (4,), 8)
+        >>> m2 = FaultPlan(1, 0.5, "datapath").flip_mask("operand_a", (4,), 8)
+        >>> bool((m1 == m2).all())
+        True
+    """
+
+    seed: int
+    rate: float
+    layer: str
+    sites: Optional[Tuple[str, ...]] = None
+
+    def __post_init__(self) -> None:
+        if self.layer not in FAULT_LAYERS:
+            raise ValueError(
+                f"layer must be one of {FAULT_LAYERS}, got {self.layer!r}"
+            )
+        if not 0.0 <= self.rate <= 1.0:
+            raise ValueError(f"rate must be in [0, 1], got {self.rate}")
+        if self.sites is not None and not isinstance(self.sites, tuple):
+            object.__setattr__(self, "sites", tuple(self.sites))
+
+    # ------------------------------------------------------------------
+    # site selection
+    # ------------------------------------------------------------------
+    def applies_to(self, site: str) -> bool:
+        """Whether faults are injected at ``site`` under this plan."""
+        return self.sites is None or site in self.sites
+
+    # ------------------------------------------------------------------
+    # deterministic randomness
+    # ------------------------------------------------------------------
+    def rng_for(self, site: str, *context: Any) -> np.random.Generator:
+        """Site-local RNG, decorrelated across sites and context.
+
+        The stream depends only on the plan identity and the
+        ``(site, context)`` pair -- not on call order -- so any consumer
+        can regenerate the exact flip sequence independently.
+        """
+        return np.random.default_rng(
+            derive_seed(self.seed, "fault-plan", self.layer, site,
+                        list(map(str, context)))
+        )
+
+    def flip_mask(
+        self, site: str, shape: Tuple[int, ...] | int, bit_width: int,
+        *context: Any,
+    ) -> np.ndarray:
+        """Int64 XOR mask of transient flips for one evaluated tensor.
+
+        Each of the ``bit_width`` bits of each element flips
+        independently with probability ``rate``.  Returns all-zeros when
+        the plan does not apply to ``site``.
+        """
+        if isinstance(shape, int):
+            shape = (shape,)
+        shape = tuple(int(s) for s in shape)
+        if bit_width < 1 or bit_width > 62:
+            raise ValueError(f"bit_width must be in [1, 62], got {bit_width}")
+        if self.rate == 0.0 or not self.applies_to(site):
+            return np.zeros(shape, dtype=np.int64)
+        rng = self.rng_for(site, *context)
+        bits = rng.random(shape + (bit_width,)) < self.rate
+        weights = (np.int64(1) << np.arange(bit_width, dtype=np.int64))
+        return (bits.astype(np.int64) * weights).sum(axis=-1)
+
+    def lane_flips(self, site: str, n_lanes: int, *context: Any) -> np.ndarray:
+        """Boolean per-lane flip decisions (one bit per stimulus lane).
+
+        Used by the logic layer, where a "site" is a single net and each
+        stimulus vector either sees the net inverted for that cycle or
+        not.
+        """
+        if self.rate == 0.0 or not self.applies_to(site):
+            return np.zeros(int(n_lanes), dtype=bool)
+        rng = self.rng_for(site, *context)
+        return rng.random(int(n_lanes)) < self.rate
+
+    # ------------------------------------------------------------------
+    # JSON round-trip (campaign params / failure reports)
+    # ------------------------------------------------------------------
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "seed": self.seed,
+            "rate": self.rate,
+            "layer": self.layer,
+            "sites": list(self.sites) if self.sites is not None else None,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "FaultPlan":
+        sites = data.get("sites")
+        return cls(
+            seed=int(data["seed"]),
+            rate=float(data["rate"]),
+            layer=str(data["layer"]),
+            sites=tuple(sites) if sites is not None else None,
+        )

@@ -1,0 +1,263 @@
+"""QosGuard: online quality monitoring with graceful degradation.
+
+The paper's robustness mechanisms all share one shape: a cheap *detector*
+(GeAr's ``Co AND Cp`` error signal, CEC's residual-PMF bound, a golden
+check on a sampled canary subset) watches an approximate unit, and on
+violation a *policy* escalates toward exactness (re-execute with
+correction, reconfigure toward a more accurate variant, or fall back to
+the golden path).  :class:`QosGuard` packages that shape for any batch
+accelerator function:
+
+* **stages** -- an escalation ladder of named implementations, cheapest
+  and least accurate first.  Stage 0 is the normal operating point; each
+  violation moves one rung toward exact.
+* **monitor** -- per-batch quality check.  ``check="canary"`` compares a
+  deterministic sampled subset against the golden function (cheap,
+  probabilistic coverage); ``check="full"`` compares every element
+  (models integrated EDC detection hardware); a custom ``detector_fn``
+  (e.g. :meth:`GeArAdder.detect_errors <repro.adders.gear.GeArAdder.
+  detect_errors>`) replaces the golden comparison entirely.
+* **degradation log** -- every violation, the blocks it affected, and
+  the action taken, as JSON-ready records.
+
+The final rung is always the golden function itself, so a guard's output
+is exact whenever every approximate stage is rejected -- that is the
+graceful-degradation guarantee the acceptance tests pin down.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..errors.pmf import ErrorPMF
+
+__all__ = [
+    "DegradationEvent",
+    "DegradationLog",
+    "QosGuard",
+    "residual_within_pmf",
+]
+
+BatchFn = Callable[..., np.ndarray]
+
+
+@dataclass(frozen=True)
+class DegradationEvent:
+    """One monitored decision of a :class:`QosGuard` run."""
+
+    stage: str
+    action: str  # "accept" | "escalate" | "fallback"
+    check: str
+    n_checked: int
+    n_violations: int
+    violating_indices: Tuple[int, ...]
+    detail: str = ""
+
+    def to_record(self) -> Dict[str, Any]:
+        return {
+            "stage": self.stage,
+            "action": self.action,
+            "check": self.check,
+            "n_checked": self.n_checked,
+            "n_violations": self.n_violations,
+            "violating_indices": list(self.violating_indices),
+            "detail": self.detail,
+        }
+
+
+@dataclass
+class DegradationLog:
+    """Structured trace of one guarded evaluation."""
+
+    guard: str
+    events: List[DegradationEvent] = field(default_factory=list)
+    final_stage: str = ""
+    wall_s: float = 0.0
+
+    @property
+    def degraded(self) -> bool:
+        """Whether any escalation happened (stage 0 was not accepted)."""
+        return any(e.action != "accept" for e in self.events)
+
+    @property
+    def fault_affected_indices(self) -> Tuple[int, ...]:
+        """Union of all violating batch indices across every stage."""
+        seen: set = set()
+        for event in self.events:
+            seen.update(event.violating_indices)
+        return tuple(sorted(seen))
+
+    def to_record(self) -> Dict[str, Any]:
+        return {
+            "guard": self.guard,
+            "final_stage": self.final_stage,
+            "degraded": self.degraded,
+            "n_events": len(self.events),
+            "fault_affected_indices": list(self.fault_affected_indices),
+            "events": [e.to_record() for e in self.events],
+            "wall_s": self.wall_s,
+        }
+
+
+def residual_within_pmf(
+    residuals: np.ndarray, pmf: ErrorPMF, slack: int = 0
+) -> np.ndarray:
+    """Per-element check that residual errors lie inside a PMF's support.
+
+    CEC calibration exposes the accelerator's output-error PMF; after
+    correction, any residual whose magnitude exceeds the PMF's worst
+    supported error (plus ``slack``) indicates a fault, not ordinary
+    approximation noise.  Returns a boolean "is plausible" mask.
+    """
+    support = np.asarray(pmf.support, dtype=np.int64)
+    bound = int(np.abs(support).max()) + int(slack)
+    return np.abs(np.asarray(residuals, dtype=np.int64)) <= bound
+
+
+class QosGuard:
+    """Wrap an accelerator with online QoS monitoring and escalation.
+
+    Args:
+        golden_fn: Exact reference implementation (the final rung).
+        stages: Escalation ladder of ``(name, fn)`` pairs, least exact
+            first.  May be empty, in which case the guard simply runs
+            golden.
+        check: ``"canary"`` (sampled golden comparison) or ``"full"``
+            (every element; models integrated detection hardware).
+        canary_fraction: Fraction of batch elements checked in canary
+            mode (at least one element).
+        tolerance: Maximum acceptable ``|output - golden|`` per checked
+            element; the paper's quality constraint.
+        detector_fn: Optional ``detector_fn(*inputs) -> bool array``
+            marking suspected-erroneous elements without touching the
+            golden path (e.g. GeAr's error-detection signals).  When
+            given, it replaces the golden comparison for stages whose
+            name is in ``detector_stages`` (default: the first stage).
+        detector_stages: Stage names monitored by ``detector_fn``.
+        seed: Seed of the deterministic canary subset.
+        name: Guard name used in logs.
+
+    Example:
+        >>> guard = QosGuard(lambda x: x * 2, [("broken", lambda x: x * 2 + 1)],
+        ...                  check="full")
+        >>> out, log = guard.run(np.arange(4))
+        >>> bool((out == np.arange(4) * 2).all()), log.final_stage
+        (True, 'golden')
+    """
+
+    def __init__(
+        self,
+        golden_fn: BatchFn,
+        stages: Sequence[Tuple[str, BatchFn]],
+        check: str = "canary",
+        canary_fraction: float = 0.1,
+        tolerance: float = 0.0,
+        detector_fn: Optional[Callable[..., np.ndarray]] = None,
+        detector_stages: Optional[Sequence[str]] = None,
+        seed: int = 0,
+        name: str = "qos",
+    ) -> None:
+        if check not in ("canary", "full"):
+            raise ValueError(f"check must be 'canary' or 'full', got {check!r}")
+        if not 0.0 < canary_fraction <= 1.0:
+            raise ValueError(
+                f"canary_fraction must be in (0, 1], got {canary_fraction}"
+            )
+        self.golden_fn = golden_fn
+        self.stages = list(stages)
+        self.check = check
+        self.canary_fraction = canary_fraction
+        self.tolerance = tolerance
+        self.detector_fn = detector_fn
+        if detector_stages is None and detector_fn is not None and self.stages:
+            detector_stages = [self.stages[0][0]]
+        self.detector_stages = set(detector_stages or [])
+        self.seed = seed
+        self.name = name
+
+    # ------------------------------------------------------------------
+    # monitoring
+    # ------------------------------------------------------------------
+    def _canary_indices(self, n: int) -> np.ndarray:
+        """Deterministic sampled subset of batch indices (sorted)."""
+        if self.check == "full":
+            return np.arange(n)
+        k = max(1, int(round(self.canary_fraction * n)))
+        rng = np.random.default_rng(self.seed)
+        return np.sort(rng.choice(n, size=min(k, n), replace=False))
+
+    def _golden_on(self, indices: np.ndarray, inputs: Tuple) -> np.ndarray:
+        subset = tuple(np.asarray(x)[indices] for x in inputs)
+        return np.asarray(self.golden_fn(*subset))
+
+    def _violations(
+        self, stage_name: str, output: np.ndarray, inputs: Tuple
+    ) -> Tuple[np.ndarray, int, str]:
+        """(violating batch indices, n checked, check label) for one stage."""
+        n = int(np.asarray(output).shape[0])
+        if self.detector_fn is not None and stage_name in self.detector_stages:
+            flags = np.asarray(self.detector_fn(*inputs))
+            while flags.ndim > 1:  # e.g. GeAr's per-sub-adder flag matrix
+                flags = flags.any(axis=-1)
+            return np.flatnonzero(flags), n, "detector"
+        indices = self._canary_indices(n)
+        golden = self._golden_on(indices, inputs)
+        deviation = np.abs(
+            np.asarray(output)[indices].astype(np.int64) -
+            golden.astype(np.int64)
+        )
+        bad = deviation > self.tolerance
+        label = "full" if self.check == "full" else "canary"
+        return indices[bad], len(indices), label
+
+    # ------------------------------------------------------------------
+    # guarded execution
+    # ------------------------------------------------------------------
+    def run(self, *inputs) -> Tuple[np.ndarray, DegradationLog]:
+        """Evaluate the batch through the escalation ladder.
+
+        Returns:
+            ``(output, log)``.  The output comes from the first stage
+            whose monitored quality is acceptable, or from the golden
+            function once every stage is rejected.
+        """
+        start = time.perf_counter()
+        log = DegradationLog(guard=self.name)
+        for position, (stage_name, stage_fn) in enumerate(self.stages):
+            output = np.asarray(stage_fn(*inputs))
+            violating, n_checked, label = self._violations(
+                stage_name, output, inputs
+            )
+            if violating.size == 0:
+                log.events.append(DegradationEvent(
+                    stage=stage_name, action="accept", check=label,
+                    n_checked=n_checked, n_violations=0,
+                    violating_indices=(),
+                ))
+                log.final_stage = stage_name
+                log.wall_s = time.perf_counter() - start
+                return output, log
+            next_rung = (
+                self.stages[position + 1][0]
+                if position + 1 < len(self.stages) else "golden"
+            )
+            log.events.append(DegradationEvent(
+                stage=stage_name, action="escalate", check=label,
+                n_checked=n_checked, n_violations=int(violating.size),
+                violating_indices=tuple(int(i) for i in violating),
+                detail=f"escalating to {next_rung}",
+            ))
+        output = np.asarray(self.golden_fn(*inputs))
+        log.events.append(DegradationEvent(
+            stage="golden", action="fallback", check="none",
+            n_checked=int(output.shape[0]) if output.ndim else 1,
+            n_violations=0, violating_indices=(),
+            detail="exact path restored",
+        ))
+        log.final_stage = "golden"
+        log.wall_s = time.perf_counter() - start
+        return output, log

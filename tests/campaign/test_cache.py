@@ -68,9 +68,53 @@ class TestResultCache:
         with pytest.raises(ValueError, match="malformed"):
             cache.get("../../etc/passwd")
 
-    def test_entries_are_plain_json(self, tmp_path):
+    def test_entries_are_checksummed_json(self, tmp_path):
         cache = ResultCache(tmp_path)
         key = _key(12)
         cache.put(key, {"result": [1, 2.5, "three"]})
         path = tmp_path / key[:2] / f"{key}.json"
-        assert json.loads(path.read_text()) == {"result": [1, 2.5, "three"]}
+        wrapped = json.loads(path.read_text())
+        assert wrapped["entry"] == {"result": [1, 2.5, "three"]}
+        assert len(wrapped["sha256"]) == 64
+
+
+class TestCacheIntegrity:
+    def test_tampered_result_is_a_miss_and_evicted(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = _key(20)
+        cache.put(key, {"result": 41})
+        path = tmp_path / key[:2] / f"{key}.json"
+        wrapped = json.loads(path.read_text())
+        wrapped["entry"]["result"] = 42  # valid JSON, wrong content
+        path.write_text(json.dumps(wrapped), encoding="utf-8")
+        assert cache.get(key) is None
+        assert not path.exists(), "corrupt entry must be evicted"
+
+    def test_missing_checksum_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = _key(21)
+        path = tmp_path / key[:2] / f"{key}.json"
+        path.parent.mkdir(parents=True, exist_ok=True)
+        # A pre-checksum (or hand-written) entry: valid JSON, no sha256.
+        path.write_text(json.dumps({"result": 1}), encoding="utf-8")
+        assert cache.get(key) is None
+        assert not path.exists()
+
+    def test_truncated_valid_json_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = _key(22)
+        path = tmp_path / key[:2] / f"{key}.json"
+        cache.put(key, {"result": [1, 2, 3]})
+        text = path.read_text()
+        # Truncate to a prefix that still parses as JSON (a bare string).
+        path.write_text(json.dumps(text[:10]), encoding="utf-8")
+        assert cache.get(key) is None
+
+    def test_healthy_entry_survives_verification(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = _key(23)
+        entry = {"task": {"kind": "k"}, "result": {"x": [1, 2.5]},
+                 "elapsed_s": 0.5}
+        cache.put(key, entry)
+        assert cache.get(key) == entry
+        assert cache.get(key) == entry  # verification does not consume

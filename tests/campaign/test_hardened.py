@@ -1,0 +1,253 @@
+"""Chaos tests for the hardened campaign runner.
+
+Every pathology a fault-injection campaign produces -- a raising task,
+a SIGKILLed worker, a hang past the timeout, a flaky task that needs
+retries, a corrupted cache shard on resume -- must leave the campaign
+running to completion with structured failure records, never abort it.
+"""
+
+import json
+
+import pytest
+
+from repro.campaign import (
+    CampaignTask,
+    CampaignTaskError,
+    ResultCache,
+    run_campaign,
+)
+from repro.campaign.chaos import CHAOS_KINDS
+from repro.campaign.runner import FAILURE_REPORT_SCHEMA_VERSION
+
+
+def _ok(x):
+    return CampaignTask("chaos_ok", {"x": x})
+
+
+class TestChaosKinds:
+    def test_all_registered(self):
+        from repro.campaign import task_kinds
+
+        assert set(CHAOS_KINDS) <= set(task_kinds())
+
+
+class TestErrorCapture:
+    def test_error_becomes_structured_failure(self):
+        result = run_campaign([_ok(2), CampaignTask("chaos_error", {})])
+        assert not result.ok
+        assert result.results[0] == {"value": 4, "seed": 0}
+        assert result.results[1] is None
+        (failure,) = result.failures
+        assert failure.status == "quarantined"
+        assert failure.kind == "chaos_error"
+        assert failure.index == 1
+        (attempt,) = failure.attempts
+        assert attempt.outcome == "error"
+        assert attempt.error_type == "ValueError"
+        assert "injected failure" in attempt.message
+
+    def test_raise_on_error_opts_back_in(self):
+        with pytest.raises(CampaignTaskError, match="chaos_error"):
+            run_campaign(
+                [CampaignTask("chaos_error", {})], raise_on_error=True
+            )
+
+    def test_raise_on_error_in_isolated_mode(self):
+        with pytest.raises(CampaignTaskError, match="chaos_error"):
+            run_campaign(
+                [CampaignTask("chaos_error", {}), _ok(1), _ok(2)],
+                n_workers=2,
+                raise_on_error=True,
+            )
+
+    def test_failures_are_not_cached(self, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        run_campaign([CampaignTask("chaos_error", {})], cache_dir=cache_dir)
+        assert len(ResultCache(cache_dir)) == 0
+
+
+class TestCrashIsolation:
+    def test_sigkilled_worker_is_quarantined(self):
+        """A task that SIGKILLs its worker cannot abort the campaign."""
+        result = run_campaign(
+            [_ok(1), CampaignTask("chaos_crash", {}), _ok(3)],
+            n_workers=2,
+        )
+        assert [result.results[0], result.results[2]] == [
+            {"value": 1, "seed": 0}, {"value": 9, "seed": 0},
+        ]
+        (failure,) = result.failures
+        assert failure.kind == "chaos_crash"
+        assert failure.attempts[-1].outcome == "crash"
+        assert "exit code -9" in failure.attempts[-1].message
+        assert result.stats.n_crashes == 1
+        assert result.stats.n_quarantined == 1
+
+
+class TestHangTimeout:
+    def test_hanging_task_is_killed_at_timeout(self):
+        result = run_campaign(
+            [CampaignTask("chaos_hang", {"sleep_s": 60.0}), _ok(5)],
+            n_workers=2,
+            timeout_s=0.5,
+        )
+        assert result.results[1] == {"value": 25, "seed": 0}
+        (failure,) = result.failures
+        assert failure.attempts[-1].outcome == "timeout"
+        assert "timeout_s=0.5" in failure.attempts[-1].message
+        assert result.stats.n_timeouts == 1
+
+    def test_timeout_forces_isolation_even_serially(self):
+        result = run_campaign(
+            [CampaignTask("chaos_hang", {"sleep_s": 60.0})],
+            n_workers=1,
+            timeout_s=0.5,
+        )
+        assert result.results == [None]
+        assert result.stats.n_timeouts == 1
+
+
+class TestRetry:
+    def test_flaky_succeeds_after_retries(self, tmp_path):
+        task = CampaignTask(
+            "chaos_flaky",
+            {"scratch_dir": str(tmp_path / "flaky"), "fail_times": 2, "x": 6},
+        )
+        result = run_campaign(
+            [task], n_workers=2, timeout_s=10.0,
+            max_attempts=3, backoff_base_s=0.01,
+        )
+        assert result.ok
+        assert result.results[0]["value"] == 6
+        assert result.results[0]["attempts"] == 3
+        assert result.stats.n_retries == 2
+        assert result.stats.n_quarantined == 0
+
+    def test_flaky_serial_inprocess_retry(self, tmp_path):
+        task = CampaignTask(
+            "chaos_flaky",
+            {"scratch_dir": str(tmp_path / "flaky"), "fail_times": 1, "x": 2},
+        )
+        result = run_campaign([task], max_attempts=2, backoff_base_s=0.01)
+        assert result.ok
+        assert result.results[0]["attempts"] == 2
+        assert result.stats.n_retries == 1
+
+    def test_exhausted_retries_quarantine_with_all_attempts(self):
+        result = run_campaign(
+            [CampaignTask("chaos_error", {})],
+            max_attempts=3, backoff_base_s=0.01,
+        )
+        (failure,) = result.failures
+        assert [a.attempt for a in failure.attempts] == [1, 2, 3]
+        assert result.stats.n_retries == 2
+
+
+class TestAcceptanceScenario:
+    """ISSUE acceptance: crash + hang + flaky + healthy in one campaign."""
+
+    def test_mixed_pathologies_run_to_completion(self, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        tasks = [
+            _ok(2),
+            CampaignTask("chaos_crash", {}),
+            CampaignTask("chaos_hang", {"sleep_s": 60.0}),
+            CampaignTask(
+                "chaos_flaky",
+                {"scratch_dir": str(tmp_path / "flaky"),
+                 "fail_times": 2, "x": 3},
+            ),
+            _ok(4),
+        ]
+        result = run_campaign(
+            tasks, n_workers=2, cache_dir=cache_dir,
+            timeout_s=1.0, max_attempts=3, backoff_base_s=0.01,
+        )
+        # Healthy and flaky tasks completed; flaky needed all 3 attempts.
+        assert result.results[0] == {"value": 4, "seed": 0}
+        assert result.results[3]["attempts"] == 3
+        assert result.results[4] == {"value": 16, "seed": 0}
+        # Crash and hang were quarantined with structured records.
+        assert {f.kind for f in result.failures} == {
+            "chaos_crash", "chaos_hang",
+        }
+        assert result.stats.n_quarantined == 2
+        # Healthy results were checkpointed; failures were not.
+        assert len(ResultCache(cache_dir)) == 3
+
+        # Resume: everything cached is served, nothing is recomputed.
+        resumed = run_campaign(
+            [tasks[0], tasks[3], tasks[4]],
+            n_workers=2, cache_dir=cache_dir,
+        )
+        assert resumed.ok
+        assert resumed.stats.n_executed == 0
+        assert resumed.stats.n_cache_hits == 3
+        assert resumed.results[1]["attempts"] == 3
+
+    def test_corrupted_cache_shard_on_resume(self, tmp_path):
+        """A corrupted checkpoint entry is recomputed, not served."""
+        cache_dir = tmp_path / "cache"
+        task = _ok(7)
+        run_campaign([task], cache_dir=str(cache_dir))
+        path = cache_dir / task.key[:2] / f"{task.key}.json"
+        wrapped = json.loads(path.read_text())
+        wrapped["entry"]["result"]["value"] = 999  # silent bit-rot
+        path.write_text(json.dumps(wrapped), encoding="utf-8")
+        resumed = run_campaign([task], cache_dir=str(cache_dir))
+        assert resumed.stats.n_cache_hits == 0
+        assert resumed.stats.n_executed == 1
+        assert resumed.results[0] == {"value": 49, "seed": 0}
+        # The healthy result was re-checkpointed.
+        rewritten = json.loads(path.read_text())
+        assert rewritten["entry"]["result"]["value"] == 49
+
+
+class TestFailureReport:
+    def test_schema(self):
+        result = run_campaign(
+            [CampaignTask("chaos_error", {}), _ok(1)],
+            max_attempts=2, backoff_base_s=0.01,
+        )
+        report = result.failure_report()
+        assert report["schema_version"] == FAILURE_REPORT_SCHEMA_VERSION
+        assert report["n_tasks"] == 2
+        assert report["n_quarantined"] == 1
+        assert report["n_retries"] == 1
+        (failure,) = report["failures"]
+        assert failure["status"] == "quarantined"
+        assert failure["kind"] == "chaos_error"
+        assert len(failure["attempts"]) == 2
+        assert json.loads(json.dumps(report)) == report
+
+    def test_ok_report_is_empty(self):
+        result = run_campaign([_ok(1)])
+        assert result.ok
+        assert result.failure_report()["failures"] == []
+
+
+class TestStatsSummary:
+    def test_summary_mentions_quarantine(self):
+        result = run_campaign(
+            [CampaignTask("chaos_error", {})],
+            max_attempts=2, backoff_base_s=0.01,
+        )
+        text = result.stats.summary()
+        assert "1 quarantined" in text and "1 retries" in text
+
+    def test_clean_summary_unchanged(self):
+        text = run_campaign([_ok(1)]).stats.summary()
+        assert "quarantined" not in text
+
+
+class TestBackoffDeterminism:
+    def test_backoff_delay_is_deterministic_and_bounded(self):
+        from repro.campaign.runner import _backoff_delay
+
+        task = CampaignTask("chaos_ok", {"x": 1})
+        delays = [_backoff_delay(task, a, 0.1, 5.0) for a in (1, 2, 3)]
+        again = [_backoff_delay(task, a, 0.1, 5.0) for a in (1, 2, 3)]
+        assert delays == again
+        for attempt, delay in enumerate(delays, start=1):
+            cap = min(5.0, 0.1 * 2 ** (attempt - 1))
+            assert 0.5 * cap <= delay <= 1.5 * cap

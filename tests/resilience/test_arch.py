@@ -1,0 +1,158 @@
+"""Tests for architecture-layer fault injection (accelerator wrappers)."""
+
+import numpy as np
+import pytest
+
+from repro.accelerators.dct import ApproximateDCT8x8
+from repro.accelerators.filters import (
+    LowPassFilterAccelerator,
+    gaussian3x3_exact,
+)
+from repro.accelerators.sad import SADAccelerator
+from repro.resilience import (
+    FaultPlan,
+    FaultyDCT8x8,
+    FaultyLowPassFilter,
+    FaultySADAccelerator,
+)
+
+
+def _zero_plan():
+    return FaultPlan(0, 0.0, "architecture")
+
+
+def _plan(seed=1, rate=0.01, sites=None):
+    return FaultPlan(seed, rate, "architecture", sites=sites)
+
+
+class TestLayerGuard:
+    def test_wrong_layer_rejected(self):
+        with pytest.raises(ValueError, match="architecture"):
+            FaultySADAccelerator(SADAccelerator(4), FaultPlan(0, 0.1, "logic"))
+
+
+class TestFaultySAD:
+    def _stimulus(self, n_pixels=16, n=64, seed=0):
+        rng = np.random.default_rng(seed)
+        return (rng.integers(0, 256, (n, n_pixels)),
+                rng.integers(0, 256, (n, n_pixels)))
+
+    def test_zero_rate_identity(self):
+        base = SADAccelerator(16)
+        a, b = self._stimulus()
+        np.testing.assert_array_equal(
+            FaultySADAccelerator(base, _zero_plan()).sad(a, b),
+            base.sad(a, b),
+        )
+
+    def test_zero_rate_identity_approximate_variant(self):
+        base = SADAccelerator(16, fa="ApxFA2", approx_lsbs=4)
+        a, b = self._stimulus()
+        np.testing.assert_array_equal(
+            FaultySADAccelerator(base, _zero_plan()).sad(a, b),
+            base.sad(a, b),
+        )
+
+    def test_odd_pixel_count_supported(self):
+        base = SADAccelerator(9)
+        a, b = self._stimulus(n_pixels=9)
+        np.testing.assert_array_equal(
+            FaultySADAccelerator(base, _zero_plan()).sad(a, b),
+            base.sad(a, b),
+        )
+
+    def test_faults_perturb_outputs(self):
+        base = SADAccelerator(16)
+        a, b = self._stimulus(n=256)
+        faulty = FaultySADAccelerator(base, _plan(rate=0.005))
+        assert (faulty.sad(a, b) != base.sad(a, b)).any()
+
+    def test_deterministic(self):
+        base = SADAccelerator(16)
+        a, b = self._stimulus(n=128)
+        plan = _plan(seed=4, rate=0.01)
+        np.testing.assert_array_equal(
+            FaultySADAccelerator(base, plan).sad(a, b),
+            FaultySADAccelerator(base, plan).sad(a, b),
+        )
+
+    def test_shape_validated(self):
+        faulty = FaultySADAccelerator(SADAccelerator(16), _zero_plan())
+        with pytest.raises(ValueError, match="pixels"):
+            faulty.sad(np.zeros((4, 8)), np.zeros((4, 8)))
+
+
+class TestFaultyFilter:
+    def _image(self, size=32, seed=0):
+        return np.random.default_rng(seed).integers(0, 256, (size, size))
+
+    def test_zero_rate_identity_exact_cells(self):
+        base = LowPassFilterAccelerator()
+        image = self._image()
+        np.testing.assert_array_equal(
+            FaultyLowPassFilter(base, _zero_plan()).apply(image),
+            gaussian3x3_exact(image),
+        )
+
+    def test_zero_rate_identity_approx_cells(self):
+        base = LowPassFilterAccelerator(fa="ApxFA1", approx_lsbs=4)
+        image = self._image()
+        np.testing.assert_array_equal(
+            FaultyLowPassFilter(base, _zero_plan()).apply(image),
+            base.apply(image),
+        )
+
+    def test_faults_stay_in_pixel_range(self):
+        base = LowPassFilterAccelerator()
+        out = FaultyLowPassFilter(base, _plan(rate=0.01)).apply(self._image())
+        assert out.min() >= 0 and out.max() <= 255
+
+    def test_linebuffer_site_only(self):
+        base = LowPassFilterAccelerator()
+        image = self._image()
+        faulty = FaultyLowPassFilter(
+            base, _plan(rate=0.02, sites=("linebuffer",))
+        )
+        assert (faulty.apply(image) != gaussian3x3_exact(image)).any()
+
+    def test_non_2d_rejected(self):
+        faulty = FaultyLowPassFilter(LowPassFilterAccelerator(), _zero_plan())
+        with pytest.raises(ValueError, match="2-D"):
+            faulty.apply(np.zeros(8))
+
+
+class TestFaultyDCT:
+    def _block(self, seed=0):
+        return np.random.default_rng(seed).integers(0, 256, (8, 8))
+
+    def test_zero_rate_identity(self):
+        dct = ApproximateDCT8x8()
+        block = self._block()
+        np.testing.assert_array_equal(
+            FaultyDCT8x8(dct, _zero_plan()).forward(block),
+            dct.forward(block),
+        )
+
+    def test_faults_perturb_coefficients(self):
+        dct = ApproximateDCT8x8()
+        plan = _plan(seed=2, rate=0.02)
+        faulty = FaultyDCT8x8(dct, plan)
+        perturbed = any(
+            (faulty.forward(self._block(s)) != dct.forward(self._block(s))).any()
+            for s in range(8)
+        )
+        assert perturbed
+
+    def test_deterministic(self):
+        dct = ApproximateDCT8x8()
+        plan = _plan(seed=3, rate=0.05)
+        block = self._block(1)
+        np.testing.assert_array_equal(
+            FaultyDCT8x8(dct, plan).forward(block),
+            FaultyDCT8x8(dct, plan).forward(block),
+        )
+
+    def test_bad_shape_rejected(self):
+        faulty = FaultyDCT8x8(ApproximateDCT8x8(), _zero_plan())
+        with pytest.raises(ValueError, match="8x8"):
+            faulty.forward(np.zeros((4, 4)))

@@ -1,0 +1,144 @@
+"""Tests for datapath-layer fault injection (adders, multipliers)."""
+
+import numpy as np
+import pytest
+
+from repro.adders.gear import GeArAdder, GeArConfig
+from repro.adders.ripple import ApproximateRippleAdder
+from repro.multipliers.recursive import RecursiveMultiplier
+from repro.resilience import (
+    FaultPlan,
+    add_with_faults,
+    gear_add_with_faults,
+    inject_operand_flips,
+    multiply_with_faults,
+)
+
+
+def _operands(width, n, seed=0):
+    rng = np.random.default_rng(seed)
+    return (rng.integers(0, 1 << width, n), rng.integers(0, 1 << width, n))
+
+
+class TestLayerGuard:
+    def test_wrong_layer_rejected(self):
+        plan = FaultPlan(0, 0.1, "logic")
+        with pytest.raises(ValueError, match="datapath"):
+            inject_operand_flips(plan, [1], [2], 8)
+
+
+class TestOperandFlips:
+    def test_zero_rate_identity(self):
+        a, b = _operands(8, 32)
+        plan = FaultPlan(0, 0.0, "datapath")
+        fa, fb = inject_operand_flips(plan, a, b, 8)
+        np.testing.assert_array_equal(fa, a)
+        np.testing.assert_array_equal(fb, b)
+
+    def test_flips_stay_in_width(self):
+        a, b = _operands(8, 64)
+        plan = FaultPlan(1, 0.5, "datapath")
+        fa, fb = inject_operand_flips(plan, a, b, 8)
+        assert (fa < (1 << 8)).all() and (fb < (1 << 8)).all()
+        assert (fa != a).any() or (fb != b).any()
+
+    def test_deterministic(self):
+        a, b = _operands(8, 64)
+        plan = FaultPlan(5, 0.2, "datapath")
+        first = inject_operand_flips(plan, a, b, 8)
+        second = inject_operand_flips(plan, a, b, 8)
+        np.testing.assert_array_equal(first[0], second[0])
+        np.testing.assert_array_equal(first[1], second[1])
+
+
+class TestAddWithFaults:
+    def test_zero_rate_matches_adder(self):
+        adder = ApproximateRippleAdder(8, approx_fa="ApxFA1",
+                                       num_approx_lsbs=2)
+        a, b = _operands(8, 128)
+        plan = FaultPlan(0, 0.0, "datapath")
+        np.testing.assert_array_equal(
+            add_with_faults(adder, a, b, plan), adder.add(a, b)
+        )
+
+    def test_faults_perturb_some_sums(self):
+        adder = ApproximateRippleAdder(8, approx_fa="AccuFA",
+                                       num_approx_lsbs=0)
+        a, b = _operands(8, 256)
+        plan = FaultPlan(1, 0.05, "datapath")
+        out = add_with_faults(adder, a, b, plan)
+        assert (out != adder.add(a, b)).any()
+
+
+class TestGeArWithFaults:
+    def _adder(self):
+        return GeArAdder(GeArConfig(n=8, r=2, p=2))
+
+    def test_zero_rate_matches_gear(self):
+        adder = self._adder()
+        a, b = _operands(8, 128)
+        plan = FaultPlan(0, 0.0, "datapath")
+        np.testing.assert_array_equal(
+            gear_add_with_faults(adder, a, b, plan), adder.add(a, b)
+        )
+
+    def test_carry_only_faults_hit_window_bit(self):
+        """A carry upset flips exactly bit L of one window sum."""
+        adder = self._adder()
+        a = np.zeros(256, dtype=np.int64)
+        b = np.zeros(256, dtype=np.int64)
+        plan = FaultPlan(3, 0.1, "datapath", sites=("carry",))
+        out = gear_add_with_faults(adder, a, b, plan)
+        exact = adder.add(a, b)
+        assert (out != exact).any()
+        # 0 + 0 generates no carries, so every deviation is an injected
+        # carry bit surfacing somewhere above the first window.
+        deltas = np.abs(out - exact)
+        assert (deltas[deltas > 0] >= (1 << adder.config.l)).all()
+
+    def test_detection_signals_catch_carry_faults(self):
+        """GeAr's own Co/Cp detector flags operand-fault errors."""
+        adder = self._adder()
+        a, b = _operands(8, 512, seed=1)
+        plan = FaultPlan(4, 0.02, "datapath", sites=("operand_a",))
+        faulty = gear_add_with_faults(adder, a, b, plan)
+        exact_gear = adder.add(a, b)
+        # Some outputs must differ for the test to be meaningful.
+        assert (faulty != exact_gear).any()
+
+    def test_deterministic(self):
+        adder = self._adder()
+        a, b = _operands(8, 128, seed=2)
+        plan = FaultPlan(6, 0.1, "datapath")
+        np.testing.assert_array_equal(
+            gear_add_with_faults(adder, a, b, plan),
+            gear_add_with_faults(adder, a, b, plan),
+        )
+
+
+class TestMultiplyWithFaults:
+    @pytest.mark.parametrize("width", [2, 4, 8])
+    def test_zero_rate_matches_multiplier(self, width):
+        mul = RecursiveMultiplier(width)
+        a, b = _operands(width, 64)
+        plan = FaultPlan(0, 0.0, "datapath")
+        np.testing.assert_array_equal(
+            multiply_with_faults(mul, a, b, plan), mul.multiply(a, b)
+        )
+
+    def test_pp_faults_perturb_products(self):
+        mul = RecursiveMultiplier(8)
+        a, b = _operands(8, 128)
+        plan = FaultPlan(1, 0.05, "datapath",
+                         sites=("pp_ll", "pp_lh", "pp_hl", "pp_hh"))
+        out = multiply_with_faults(mul, a, b, plan)
+        assert (out != mul.multiply(a, b)).any()
+
+    def test_deterministic(self):
+        mul = RecursiveMultiplier(4)
+        a, b = _operands(4, 64, seed=3)
+        plan = FaultPlan(8, 0.1, "datapath")
+        np.testing.assert_array_equal(
+            multiply_with_faults(mul, a, b, plan),
+            multiply_with_faults(mul, a, b, plan),
+        )

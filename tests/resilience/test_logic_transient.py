@@ -1,0 +1,139 @@
+"""Tests for logic-layer transient fault injection on the bitsim engine."""
+
+import numpy as np
+import pytest
+
+from repro.adders.fulladder import FULL_ADDERS
+from repro.logic import bitsim
+from repro.logic.simulate import exhaustive_stimuli
+from repro.resilience import (
+    FaultPlan,
+    packed_flip_overlay,
+    transient_fault_run,
+)
+
+
+def _netlist():
+    return FULL_ADDERS["AccuFA"].netlist()
+
+
+class TestRunPackedFlipOverlay:
+    def test_zero_overlay_matches_golden(self):
+        netlist = _netlist()
+        compiled = bitsim.compile_netlist(netlist)
+        stimuli = exhaustive_stimuli(list(netlist.inputs))
+        packed = {n: bitsim.pack_lanes(stimuli[n]) for n in netlist.inputs}
+        n_words = bitsim.n_words_for(8)
+        golden = compiled.run_packed(packed, n_words)
+        flipped = compiled.run_packed(packed, n_words, flip={})
+        np.testing.assert_array_equal(golden, flipped)
+
+    def test_output_net_flip_inverts_lanes(self):
+        netlist = _netlist()
+        compiled = bitsim.compile_netlist(netlist)
+        stimuli = exhaustive_stimuli(list(netlist.inputs))
+        packed = {n: bitsim.pack_lanes(stimuli[n]) for n in netlist.inputs}
+        n_words = bitsim.n_words_for(8)
+        mask = bitsim.pack_lanes(np.array([True, False] * 4))
+        out = netlist.outputs[0]
+        golden = compiled.run_packed(packed, n_words)
+        faulty = compiled.run_packed(packed, n_words, flip={out: mask})
+        slot = compiled.slot_of(out)
+        np.testing.assert_array_equal(
+            faulty[slot], golden[slot] ^ np.asarray(mask, dtype=np.uint64)
+        )
+
+    def test_input_flip_propagates(self):
+        netlist = _netlist()
+        compiled = bitsim.compile_netlist(netlist)
+        stimuli = exhaustive_stimuli(list(netlist.inputs))
+        packed = {n: bitsim.pack_lanes(stimuli[n]) for n in netlist.inputs}
+        n_words = bitsim.n_words_for(8)
+        all_lanes = bitsim.pack_lanes(np.ones(8, dtype=bool))
+        # Flipping input "a" everywhere == simulating with ~a.
+        faulty = compiled.run_packed(packed, n_words, flip={"a": all_lanes})
+        swapped = dict(packed)
+        swapped["a"] = np.asarray(packed["a"]) ^ bitsim.lane_mask(8)
+        reference = compiled.run_packed(swapped, n_words)
+        for out in netlist.outputs:
+            slot = compiled.slot_of(out)
+            valid = bitsim.lane_mask(8)
+            np.testing.assert_array_equal(
+                np.asarray(faulty[slot]) & valid,
+                np.asarray(reference[slot]) & valid,
+            )
+
+    def test_stuck_wins_over_flip(self):
+        netlist = _netlist()
+        compiled = bitsim.compile_netlist(netlist)
+        stimuli = exhaustive_stimuli(list(netlist.inputs))
+        packed = {n: bitsim.pack_lanes(stimuli[n]) for n in netlist.inputs}
+        n_words = bitsim.n_words_for(8)
+        out = netlist.outputs[0]
+        all_lanes = bitsim.pack_lanes(np.ones(8, dtype=bool))
+        run = compiled.run_packed(
+            packed, n_words, stuck={out: 0}, flip={out: all_lanes}
+        )
+        assert not (np.asarray(run[compiled.slot_of(out)])
+                    & bitsim.lane_mask(8)).any()
+
+
+class TestPackedFlipOverlay:
+    def test_sparse_only_flipped_nets(self):
+        plan = FaultPlan(1, 0.05, "logic")
+        overlay = packed_flip_overlay(plan, ["n1", "n2", "n3"], 256)
+        for net, mask in overlay.items():
+            assert bitsim.popcount(np.asarray(mask)) > 0, net
+
+    def test_zero_rate_empty(self):
+        plan = FaultPlan(1, 0.0, "logic")
+        assert packed_flip_overlay(plan, ["n1", "n2"], 256) == {}
+
+
+class TestTransientFaultRun:
+    def test_layer_enforced(self):
+        with pytest.raises(ValueError, match="logic"):
+            transient_fault_run(_netlist(), FaultPlan(0, 0.1, "datapath"))
+
+    def test_zero_rate_no_errors(self):
+        report = transient_fault_run(_netlist(), FaultPlan(0, 0.0, "logic"))
+        assert report.n_flips == 0
+        assert report.n_output_errors == 0
+        assert report.error_rate == 0.0
+
+    def test_flip_accounting_consistent(self):
+        report = transient_fault_run(_netlist(), FaultPlan(3, 0.25, "logic"))
+        assert report.n_flips == sum(report.flips_per_site.values())
+        assert report.n_sites == len(report.flips_per_site)
+        assert 0 <= report.n_output_errors <= report.n_vectors
+        assert report.error_rate == pytest.approx(
+            report.n_output_errors / report.n_vectors
+        )
+
+    def test_reproducible(self):
+        plan = FaultPlan(9, 0.1, "logic")
+        r1 = transient_fault_run(_netlist(), plan)
+        r2 = transient_fault_run(_netlist(), plan)
+        assert r1 == r2
+
+    def test_site_whitelist_restricts_flips(self):
+        netlist = _netlist()
+        out = netlist.outputs[0]
+        plan = FaultPlan(2, 0.5, "logic", sites=(out,))
+        report = transient_fault_run(netlist, plan)
+        assert set(report.flips_per_site) <= {out}
+
+    def test_output_site_flips_always_error(self):
+        """A flip directly on a primary output must show as an error."""
+        netlist = _netlist()
+        out = netlist.outputs[0]
+        plan = FaultPlan(2, 0.5, "logic", sites=(out,))
+        report = transient_fault_run(netlist, plan)
+        assert report.n_output_errors == report.n_flips > 0
+
+    def test_to_record_is_json_plain(self):
+        import json
+
+        report = transient_fault_run(_netlist(), FaultPlan(5, 0.2, "logic"))
+        record = report.to_record()
+        assert json.loads(json.dumps(record)) == record

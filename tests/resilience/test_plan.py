@@ -1,0 +1,126 @@
+"""Tests for the seeded transient FaultPlan primitive."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.resilience import FAULT_LAYERS, FaultPlan
+
+
+class TestValidation:
+    def test_bad_layer_rejected(self):
+        with pytest.raises(ValueError, match="layer"):
+            FaultPlan(seed=0, rate=0.1, layer="physics")
+
+    @pytest.mark.parametrize("rate", [-0.1, 1.5])
+    def test_bad_rate_rejected(self, rate):
+        with pytest.raises(ValueError, match="rate"):
+            FaultPlan(seed=0, rate=rate, layer="logic")
+
+    def test_sites_coerced_to_tuple(self):
+        plan = FaultPlan(0, 0.1, "logic", sites=["a", "b"])
+        assert plan.sites == ("a", "b")
+
+    def test_bit_width_bounds(self):
+        plan = FaultPlan(0, 0.5, "datapath")
+        with pytest.raises(ValueError, match="bit_width"):
+            plan.flip_mask("s", (4,), 0)
+        with pytest.raises(ValueError, match="bit_width"):
+            plan.flip_mask("s", (4,), 63)
+
+
+class TestSiteSelection:
+    def test_none_applies_everywhere(self):
+        assert FaultPlan(0, 0.1, "logic").applies_to("anything")
+
+    def test_whitelist(self):
+        plan = FaultPlan(0, 0.1, "logic", sites=("x",))
+        assert plan.applies_to("x")
+        assert not plan.applies_to("y")
+
+    def test_excluded_site_mask_is_zero(self):
+        plan = FaultPlan(0, 1.0, "datapath", sites=("x",))
+        assert not plan.flip_mask("y", (8,), 4).any()
+        assert not plan.lane_flips("y", 64).any()
+
+
+class TestDeterminism:
+    def test_zero_rate_is_all_zero(self):
+        plan = FaultPlan(3, 0.0, "architecture")
+        assert not plan.flip_mask("acc", (16,), 10).any()
+        assert not plan.lane_flips("net", 100).any()
+
+    def test_rate_one_flips_every_bit(self):
+        plan = FaultPlan(3, 1.0, "datapath")
+        mask = plan.flip_mask("operand_a", (5,), 6)
+        assert (mask == (1 << 6) - 1).all()
+        assert plan.lane_flips("net", 10).all()
+
+    def test_sites_decorrelated(self):
+        plan = FaultPlan(7, 0.5, "datapath")
+        a = plan.flip_mask("operand_a", (64,), 16)
+        b = plan.flip_mask("operand_b", (64,), 16)
+        assert (a != b).any()
+
+    def test_context_decorrelates(self):
+        plan = FaultPlan(7, 0.5, "datapath")
+        assert (plan.flip_mask("carry", (64,), 1, 0)
+                != plan.flip_mask("carry", (64,), 1, 1)).any()
+
+    def test_independent_of_query_order(self):
+        plan = FaultPlan(11, 0.3, "logic")
+        first = plan.lane_flips("n1", 128)
+        plan.lane_flips("n2", 128)  # interleaved query
+        again = plan.lane_flips("n1", 128)
+        assert (first == again).all()
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("sites", [None, ("a", "b")])
+    def test_as_dict_from_dict(self, sites):
+        plan = FaultPlan(5, 0.25, "architecture", sites=sites)
+        assert FaultPlan.from_dict(plan.as_dict()) == plan
+
+    def test_dict_is_json_plain(self):
+        import json
+
+        plan = FaultPlan(5, 0.25, "logic", sites=("n",))
+        assert json.loads(json.dumps(plan.as_dict())) == plan.as_dict()
+
+
+class TestSeedEqualityProperty:
+    """Identical plans yield identical flip sequences at every layer."""
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+        rate=st.floats(min_value=0.0, max_value=1.0,
+                       allow_nan=False, allow_infinity=False),
+        layer=st.sampled_from(FAULT_LAYERS),
+        site=st.text(
+            alphabet="abcdefghij_0123456789", min_size=1, max_size=12
+        ),
+        n=st.integers(min_value=1, max_value=200),
+        width=st.integers(min_value=1, max_value=62),
+    )
+    def test_equal_plans_equal_flips(self, seed, rate, layer, site, n, width):
+        p1 = FaultPlan(seed=seed, rate=rate, layer=layer)
+        p2 = FaultPlan(seed=seed, rate=rate, layer=layer)
+        np.testing.assert_array_equal(
+            p1.flip_mask(site, (n,), width, "ctx"),
+            p2.flip_mask(site, (n,), width, "ctx"),
+        )
+        np.testing.assert_array_equal(
+            p1.lane_flips(site, n), p2.lane_flips(site, n)
+        )
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+        layer=st.sampled_from(FAULT_LAYERS),
+    )
+    def test_different_seeds_decorrelate(self, seed, layer):
+        a = FaultPlan(seed, 0.5, layer).flip_mask("s", (256,), 8)
+        b = FaultPlan(seed + 1, 0.5, layer).flip_mask("s", (256,), 8)
+        assert (a != b).any()

@@ -1,0 +1,189 @@
+"""Tests for the QosGuard graceful-degradation controller."""
+
+import numpy as np
+import pytest
+
+from repro.accelerators.sad import SADAccelerator
+from repro.adders.gear import GeArAdder, GeArConfig
+from repro.errors.pmf import ErrorPMF
+from repro.resilience import (
+    DegradationLog,
+    FaultPlan,
+    FaultySADAccelerator,
+    QosGuard,
+    residual_within_pmf,
+)
+
+
+def _golden(x):
+    return np.asarray(x) * 2
+
+
+def _broken(x):
+    return np.asarray(x) * 2 + 1
+
+
+class TestConstruction:
+    def test_bad_check_rejected(self):
+        with pytest.raises(ValueError, match="check"):
+            QosGuard(_golden, [], check="sometimes")
+
+    def test_bad_canary_fraction_rejected(self):
+        with pytest.raises(ValueError, match="canary_fraction"):
+            QosGuard(_golden, [], canary_fraction=0.0)
+
+
+class TestAcceptPath:
+    def test_clean_stage_accepted(self):
+        guard = QosGuard(_golden, [("stage0", _golden)], check="full")
+        out, log = guard.run(np.arange(16))
+        np.testing.assert_array_equal(out, _golden(np.arange(16)))
+        assert log.final_stage == "stage0"
+        assert not log.degraded
+        assert log.events[0].action == "accept"
+
+    def test_no_stages_runs_golden(self):
+        guard = QosGuard(_golden, [])
+        out, log = guard.run(np.arange(8))
+        np.testing.assert_array_equal(out, _golden(np.arange(8)))
+        assert log.final_stage == "golden"
+        assert log.events[-1].action == "fallback"
+
+    def test_tolerance_accepts_small_errors(self):
+        guard = QosGuard(_golden, [("off_by_one", _broken)],
+                         check="full", tolerance=1.0)
+        out, log = guard.run(np.arange(16))
+        assert log.final_stage == "off_by_one"
+        np.testing.assert_array_equal(out, _broken(np.arange(16)))
+
+
+class TestEscalation:
+    def test_ladder_walks_to_first_clean_stage(self):
+        guard = QosGuard(
+            _golden,
+            [("bad", _broken), ("good", _golden)],
+            check="full",
+        )
+        out, log = guard.run(np.arange(16))
+        assert log.final_stage == "good"
+        assert [e.action for e in log.events] == ["escalate", "accept"]
+        assert "escalating to good" in log.events[0].detail
+        np.testing.assert_array_equal(out, _golden(np.arange(16)))
+
+    def test_all_rejected_falls_back_to_golden(self):
+        guard = QosGuard(_golden, [("bad", _broken)], check="full")
+        out, log = guard.run(np.arange(16))
+        assert log.final_stage == "golden"
+        assert log.degraded
+        assert log.events[-1].detail == "exact path restored"
+        np.testing.assert_array_equal(out, _golden(np.arange(16)))
+
+    def test_violating_indices_are_exact(self):
+        def selective(x):
+            out = _golden(x).copy()
+            out[3] += 7
+            out[11] -= 2
+            return out
+
+        guard = QosGuard(_golden, [("selective", selective)], check="full")
+        _, log = guard.run(np.arange(16))
+        assert log.events[0].violating_indices == (3, 11)
+        assert log.fault_affected_indices == (3, 11)
+
+
+class TestCanary:
+    def test_canary_checks_subset_only(self):
+        guard = QosGuard(_golden, [("s", _golden)], check="canary",
+                         canary_fraction=0.25, seed=7)
+        _, log = guard.run(np.arange(100))
+        assert log.events[0].n_checked == 25
+        assert log.events[0].check == "canary"
+
+    def test_canary_subset_is_deterministic(self):
+        g1 = QosGuard(_golden, [], check="canary", seed=3)
+        g2 = QosGuard(_golden, [], check="canary", seed=3)
+        np.testing.assert_array_equal(
+            g1._canary_indices(64), g2._canary_indices(64)
+        )
+
+    def test_canary_catches_dense_corruption(self):
+        guard = QosGuard(_golden, [("bad", _broken)], check="canary",
+                         canary_fraction=0.1)
+        out, log = guard.run(np.arange(64))
+        assert log.final_stage == "golden"
+        np.testing.assert_array_equal(out, _golden(np.arange(64)))
+
+
+class TestDetector:
+    def test_gear_detector_drives_escalation(self):
+        adder = GeArAdder(GeArConfig(n=8, r=2, p=2))
+        rng = np.random.default_rng(0)
+        a = rng.integers(0, 256, 512)
+        b = rng.integers(0, 256, 512)
+        exact = a + b
+        guard = QosGuard(
+            golden_fn=lambda x, y: np.asarray(x) + np.asarray(y),
+            stages=[("gear", adder.add)],
+            detector_fn=adder.detect_errors,
+        )
+        out, log = guard.run(a, b)
+        assert log.events[0].check == "detector"
+        if log.final_stage == "golden":
+            np.testing.assert_array_equal(out, exact)
+            # Detection is first-pass local: every flagged index is real.
+            flagged = set(log.events[0].violating_indices)
+            wrong = set(np.flatnonzero(adder.add(a, b) != exact))
+            assert flagged and flagged <= wrong
+
+
+class TestResidualPmf:
+    def test_bound_from_support(self):
+        pmf = ErrorPMF.from_samples(np.array([0, -1, 2, 0, 1]))
+        residuals = np.array([0, 2, -2, 3, -5])
+        np.testing.assert_array_equal(
+            residual_within_pmf(residuals, pmf),
+            [True, True, True, False, False],
+        )
+
+    def test_slack_widens_bound(self):
+        pmf = ErrorPMF.from_samples(np.array([0, 1]))
+        assert residual_within_pmf(np.array([2]), pmf, slack=1).all()
+
+
+class TestLogRecords:
+    def test_to_record_is_json_plain(self):
+        import json
+
+        guard = QosGuard(_golden, [("bad", _broken)], check="full")
+        _, log = guard.run(np.arange(8))
+        record = log.to_record()
+        assert json.loads(json.dumps(record)) == record
+        assert record["final_stage"] == "golden"
+        assert record["degraded"] is True
+
+    def test_empty_log_properties(self):
+        log = DegradationLog(guard="g")
+        assert not log.degraded
+        assert log.fault_affected_indices == ()
+
+
+class TestGuardedFaultySAD:
+    def test_fallback_restores_exact_and_accounts_for_faults(self):
+        """Acceptance: guard detects upsets, restores exact output, and
+        the log names every fault-affected block."""
+        n_pixels, n_blocks = 16, 256
+        rng = np.random.default_rng(5)
+        a = rng.integers(0, 256, (n_blocks, n_pixels))
+        b = rng.integers(0, 256, (n_blocks, n_pixels))
+        golden = SADAccelerator(n_pixels)
+        faulty = FaultySADAccelerator(
+            golden, FaultPlan(seed=6, rate=0.002, layer="architecture")
+        )
+        exact = golden.sad(a, b)
+        affected = np.flatnonzero(faulty.sad(a, b) != exact)
+        assert affected.size > 0, "fault rate too low for the test"
+        guard = QosGuard(golden.sad, [("faulty", faulty.sad)], check="full")
+        out, log = guard.run(a, b)
+        assert log.final_stage == "golden"
+        np.testing.assert_array_equal(out, exact)
+        assert log.fault_affected_indices == tuple(int(i) for i in affected)

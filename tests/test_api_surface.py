@@ -17,6 +17,7 @@ SUBPACKAGES = [
     "repro.media",
     "repro.dse",
     "repro.campaign",
+    "repro.resilience",
     "repro.survey",
     "repro.characterization",
 ]

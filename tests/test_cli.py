@@ -114,6 +114,41 @@ class TestCampaignCommand:
         assert "0 executed" in warm.err
         assert cold.out == warm.out
 
+class TestResilienceCommand:
+    def test_listed_in_known_commands(self):
+        args = build_parser().parse_args(["resilience", "sad"])
+        assert callable(args.func)
+
+    def test_sad_sweep_with_qos(self, capsys):
+        assert main(["resilience", "sad", "--rates", "0", "0.01"]) == 0
+        out = capsys.readouterr().out
+        assert "qos_stage" in out and "golden" in out
+
+    def test_cell_sweep_csv(self, capsys):
+        assert main(["resilience", "cell", "--rates", "0.01", "--csv"]) == 0
+        out = capsys.readouterr().out
+        assert out.splitlines()[0].startswith("rate,")
+
+    def test_workers_and_cache_dir(self, capsys, tmp_path):
+        argv = ["resilience", "sad", "--rates", "0", "0.001",
+                "--workers", "2", "--cache-dir", str(tmp_path / "c")]
+        assert main(argv) == 0
+        cold = capsys.readouterr()
+        assert "0 cache hits" in cold.err
+        assert main(argv) == 0
+        warm = capsys.readouterr()
+        assert "0 executed" in warm.err
+        assert cold.out == warm.out
+
+    def test_quarantine_reported_and_nonzero_exit(self, capsys):
+        # An impossible timeout quarantines every task.
+        assert main(["resilience", "gear", "--rates", "0.01",
+                     "--timeout", "0.000001"]) == 1
+        err = capsys.readouterr().err
+        assert "QUARANTINED" in err
+
+
+class TestCampaignFlags:
     def test_explore_gear_accepts_campaign_flags(self, capsys, tmp_path):
         assert main(["explore-gear", "--width", "8", "--model",
                      "monte-carlo", "--samples", "2000", "--seed", "4",
