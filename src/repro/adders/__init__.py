@@ -22,6 +22,7 @@ from .fulladder import (
     full_adder,
 )
 from .gear import GeArAdder, GeArConfig
+from .hetero import HeteroGeArAdder, HeteroGeArConfig
 from .gear_error import (
     ErrorEvent,
     accuracy_percent,
@@ -58,6 +59,8 @@ __all__ = [
     "full_adder",
     "GeArAdder",
     "GeArConfig",
+    "HeteroGeArAdder",
+    "HeteroGeArConfig",
     "ErrorEvent",
     "accuracy_percent",
     "error_events",

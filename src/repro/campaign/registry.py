@@ -21,6 +21,7 @@ kind                      workload
 ========================  ====================================================
 ``gear_dse_row``          one Table IV / Fig. 4 design-space record
 ``gear_mc_chunk``         one Monte Carlo shard of a GeAr error-rate estimate
+``analytic``              one exact analytic error record (GeAr or HeteroGeAr)
 ``ripple_adder``          one ripple-adder characterization (Sec. 6 library)
 ``gear_adder``            one simulated GeAr characterization
 ``multiplier``            one Fig. 6 recursive/2x2 multiplier record
@@ -135,6 +136,45 @@ def _gear_mc_chunk(params: Dict[str, Any], seed: int) -> Dict[str, Any]:
     n_samples = int(params["n_samples"])
     rate = monte_carlo_error_rate(config, n_samples=n_samples, seed=seed)
     return {"error_rate": rate, "n_samples": n_samples}
+
+
+@register("analytic")
+def _analytic(params: Dict[str, Any], seed: int) -> Dict[str, Any]:
+    """One exact analytic error record for a block adder configuration.
+
+    ``params`` names the configuration either homogeneously
+    (``n``/``r``/``p``) or heterogeneously (``segments``: a list of
+    ``[r, p]`` pairs or a ``"r:p,r:p,..."`` string).  The record is
+    computed by the PMF-convolution engine
+    (:func:`repro.errors.analytic_summary`) -- no sampling, so ``seed``
+    is part of the cache key but never consumed.
+    """
+    from ..adders.hetero import HeteroGeArAdder, HeteroGeArConfig
+    from ..errors.analytic import analytic_summary
+
+    if "segments" in params:
+        spec = params["segments"]
+        if isinstance(spec, str):
+            config = HeteroGeArConfig.from_string(spec)
+        else:
+            config = HeteroGeArConfig(tuple((int(r), int(p)) for r, p in spec))
+    else:
+        config = HeteroGeArConfig.from_gear_params(
+            int(params["n"]), int(params["r"]), int(params["p"])
+        )
+    adder = HeteroGeArAdder(config)
+    record: Dict[str, Any] = {
+        "name": params.get("name", config.name),
+        "n": config.n,
+        "k": config.k,
+        "segments": [list(seg) for seg in config.segments],
+        "never_overestimates": config.never_overestimates,
+        "lut_count": adder.lut_count,
+        "area_ge": adder.area_ge,
+        "delay_ps": adder.delay_ps,
+    }
+    record.update(analytic_summary(config))
+    return record
 
 
 @register("ripple_adder")

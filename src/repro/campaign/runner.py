@@ -20,7 +20,10 @@ over isolated worker processes:
   task that raises, wedges, or outright kills its worker cannot abort
   the sweep.  Raising tasks become structured
   :class:`TaskFailure` records; hanging tasks are killed at
-  ``timeout_s``; failing tasks retry up to ``max_attempts`` times with
+  ``timeout_s`` (and an attempt that *completes* over the limit by the
+  worker's own clock is rejected as a timeout too, so verdicts do not
+  depend on parent polling latency); failing tasks retry up to
+  ``max_attempts`` times with
   exponential backoff plus deterministic jitter; a task still failing
   after its last attempt is **quarantined** (its result slot stays
   ``None``) and the campaign runs to completion.  Opt back into the old
@@ -389,7 +392,27 @@ class _IsolatedExecutor:
         if message is not None:
             _reap(entry)
             if message[0] == "ok":
-                return "ok", (message[1], message[2])
+                task_elapsed = message[2]
+                if (
+                    self.timeout_s is not None
+                    and task_elapsed > self.timeout_s
+                ):
+                    # The attempt finished, but over budget.  Judging by
+                    # the worker's own clock (not the harvest deadline)
+                    # keeps the verdict independent of parent polling
+                    # latency: a result that beats the pipe to the first
+                    # poll does not dodge its timeout.
+                    self.stats.n_timeouts += 1
+                    return "fail", TaskAttemptFailure(
+                        attempt=entry.slot.attempt,
+                        outcome="timeout",
+                        error_type=None,
+                        message=(
+                            f"attempt exceeded timeout_s={self.timeout_s}"
+                        ),
+                        elapsed_s=task_elapsed,
+                    )
+                return "ok", (message[1], task_elapsed)
             _, error_type, text, trace = message
             return "fail", TaskAttemptFailure(
                 attempt=entry.slot.attempt,
@@ -508,9 +531,10 @@ def run_campaign(
             ignored (each attempt is dispatched individually so it can
             be timed out and reaped).
         timeout_s: Per-attempt wall-clock limit.  An attempt past the
-            limit is killed and counted as a ``timeout`` failure.
-            Setting this forces process isolation even at
-            ``n_workers=1``.
+            limit is killed and counted as a ``timeout`` failure; an
+            attempt that completes but reports a task runtime over the
+            limit is rejected as a timeout as well.  Setting this
+            forces process isolation even at ``n_workers=1``.
         max_attempts: Total attempts per task before quarantine
             (1 = no retry).
         backoff_base_s: First retry delay; doubles per further attempt.

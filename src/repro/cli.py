@@ -19,6 +19,10 @@ The subcommands mirror the workflows a library user runs most:
   component's evaluation paths cross-checked against each other, its
   golden reference, metamorphic laws, and (for GeAr) the analytic /
   exhaustive / Monte Carlo error models.
+* ``repro analytic`` -- exact PMF-convolution error analysis of block
+  adders: per-configuration statistics for homogeneous GeAr and
+  heterogeneous segment layouts, and ``--sweep`` for the heterogeneous
+  Pareto front compared against the homogeneous Table IV front.
 * ``repro encode`` -- the HEVC-lite case study with a chosen SAD
   variant (Fig. 9 data points).
 
@@ -473,6 +477,117 @@ def _cmd_verify(args: argparse.Namespace) -> int:
     return 1 if failed else 0
 
 
+def _analytic_configs(args: argparse.Namespace) -> List:
+    """Parse ``--config N,R,P`` and ``--segments r:p,...`` specs."""
+    from .adders.hetero import HeteroGeArConfig
+
+    configs = []
+    for spec in args.config:
+        parts = spec.split(",")
+        if len(parts) != 3:
+            raise ValueError(f"--config expects N,R,P, got {spec!r}")
+        n, r, p = (int(part) for part in parts)
+        configs.append(HeteroGeArConfig.from_gear_params(n, r, p))
+    for spec in args.segments:
+        configs.append(HeteroGeArConfig.from_string(spec))
+    return configs
+
+
+def _segments_str(segments) -> str:
+    """Comma-free segment spelling (CSV-safe), e.g. ``4p0-2p2-2p2``."""
+    return "-".join(f"{r}p{p}" for r, p in segments)
+
+
+def _cmd_analytic(args: argparse.Namespace) -> int:
+    from .dse.hetero import explore_hetero_space, hetero_front_report
+    from .errors.analytic import analytic_summary
+
+    if args.sweep:
+        records = explore_hetero_space(
+            args.width,
+            max_segments=args.max_segments,
+            max_p=args.max_p,
+            seed=args.seed,
+            n_workers=args.workers,
+            cache_dir=args.cache_dir,
+            progress=_progress_printer(not args.csv),
+        )
+        report = hetero_front_report(records)
+        rows = [
+            {
+                "segments": _segments_str(record["segments"]),
+                "source": record["source"],
+                "k": record["k"],
+                "lut_count": record["lut_count"],
+                "accuracy_percent": round(record["accuracy_percent"], 6),
+                "error_rate": round(record["error_rate"], 6),
+                "nmed": round(record["nmed"], 9),
+            }
+            for record in report["front"]
+        ]
+        _print(
+            rows,
+            ["segments", "source", "k", "lut_count", "accuracy_percent",
+             "error_rate", "nmed"],
+            args.csv,
+            f"heterogeneous Pareto front, N={args.width} "
+            f"({len(records)} exact design points)",
+        )
+        verdict = ("matches or dominates" if report["matches_or_dominates"]
+                   else "DOES NOT DOMINATE")
+        print(
+            f"\nvs homogeneous Table IV front "
+            f"({len(report['gear_front'])} points): {verdict}; "
+            f"{len(report['strict_wins'])} strict heterogeneous wins"
+        )
+        for win in report["strict_wins"]:
+            print(
+                f"  {_segments_str(win['segments'])}: "
+                f"{win['lut_count']} LUTs, "
+                f"{win['accuracy_percent']:.6f}% accuracy"
+            )
+        return 0
+
+    try:
+        configs = _analytic_configs(args)
+    except ValueError as exc:
+        print(f"bad configuration spec: {exc}", file=sys.stderr)
+        return 2
+    if not configs:
+        print("nothing to analyse: pass --config N,R,P and/or "
+              "--segments r:p,... (or --sweep)", file=sys.stderr)
+        return 2
+    from .adders.hetero import HeteroGeArAdder
+
+    rows = []
+    for config in configs:
+        adder = HeteroGeArAdder(config)
+        summary = analytic_summary(config)
+        rows.append(
+            {
+                "segments": _segments_str(config.segments),
+                "n": config.n,
+                "k": config.k,
+                "error_rate": round(summary["error_rate"], 9),
+                "accuracy_percent": round(summary["accuracy_percent"], 6),
+                "mean": round(summary["mean"], 6),
+                "med": round(summary["med"], 6),
+                "nmed": round(summary["nmed"], 9),
+                "max_abs": int(summary["max_abs"]),
+                "lut_count": adder.lut_count,
+                "delay_ps": round(adder.delay_ps, 1),
+            }
+        )
+    _print(
+        rows,
+        ["segments", "n", "k", "error_rate", "accuracy_percent", "mean",
+         "med", "nmed", "max_abs", "lut_count", "delay_ps"],
+        args.csv,
+        "exact analytic error statistics (PMF convolution)",
+    )
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the CLI argument parser (exposed for testing)."""
     parser = argparse.ArgumentParser(
@@ -604,6 +719,33 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--csv", action="store_true")
     add_campaign_flags(p)
     p.set_defaults(func=_cmd_verify)
+
+    p = sub.add_parser(
+        "analytic",
+        help="exact PMF-convolution error analysis of block adders",
+    )
+    p.add_argument("--config", action="append", default=[],
+                   metavar="N,R,P",
+                   help="homogeneous GeAr configuration (repeatable)")
+    p.add_argument("--segments", action="append", default=[],
+                   metavar="R:P,R:P,...",
+                   help="heterogeneous segment spec, low segment first "
+                        "(repeatable)")
+    p.add_argument("--sweep", action="store_true",
+                   help="Pareto-sweep the heterogeneous space and compare "
+                        "against the homogeneous Table IV front")
+    p.add_argument("--width", type=int, default=8,
+                   help="sweep operand width")
+    p.add_argument("--max-segments", type=int, default=3,
+                   help="sweep cap on heterogeneous segment count")
+    p.add_argument("--max-p", type=int, default=None,
+                   help="sweep cap on per-segment prediction depth")
+    p.add_argument("--seed", type=int, default=0,
+                   help="sweep seed (cache identity only -- results are "
+                        "exact)")
+    p.add_argument("--csv", action="store_true")
+    add_campaign_flags(p)
+    p.set_defaults(func=_cmd_analytic)
 
     p = sub.add_parser("luts", help="FPGA LUT-mapping estimates")
     p.add_argument("--k", type=int, default=6)

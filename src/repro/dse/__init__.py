@@ -1,12 +1,16 @@
 """Design-space exploration: sweeps, Pareto fronts, constrained selection."""
 
 from .explorer import explore_gear_space, explore_multiplier_space
+from .hetero import explore_hetero_space, hetero_front_report, hetero_space_tasks
 from .pareto import dominates, pareto_front, pareto_indices
 from .selection import filter_records, select_max_accuracy, select_min_area
 
 __all__ = [
     "explore_gear_space",
     "explore_multiplier_space",
+    "explore_hetero_space",
+    "hetero_front_report",
+    "hetero_space_tasks",
     "dominates",
     "pareto_front",
     "pareto_indices",

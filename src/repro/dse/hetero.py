@@ -1,0 +1,168 @@
+"""Heterogeneous block-adder design-space exploration.
+
+The homogeneous GeAr sweep (:func:`repro.dse.explore_gear_space`)
+reproduces the paper's Table IV front.  This module Pareto-searches the
+much larger *heterogeneous* space -- per-segment ``(r_i, p_i)`` choices,
+Farahmand et al. (arXiv 2106.08800) -- which is only tractable because
+every design point is evaluated by the exact PMF-convolution engine
+(:mod:`repro.errors.analytic`) instead of simulation.
+
+The sweep always unions the homogeneous embeddings into the candidate
+set (tagged ``source="gear"``), so the heterogeneous front *provably*
+matches or dominates the homogeneous front at equal area: every
+homogeneous design is also a heterogeneous candidate.  The interesting
+output is where the front strictly improves -- unequal blocks spending
+prediction bits only where carries matter.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from ..adders.gear import GeArConfig
+from ..adders.hetero import HeteroGeArConfig
+from ..campaign import CampaignTask, derive_seed, run_campaign
+from .pareto import dominates, pareto_front
+
+__all__ = [
+    "explore_hetero_space",
+    "hetero_front_report",
+    "hetero_space_tasks",
+]
+
+#: Table IV objectives: smaller area, higher accuracy.
+OBJECTIVES: Tuple[Tuple[str, bool], ...] = (
+    ("lut_count", True),
+    ("accuracy_percent", False),
+)
+
+
+def hetero_space_tasks(
+    n: int = 8,
+    max_segments: int = 3,
+    max_p: int | None = None,
+    min_p: int = 0,
+    include_homogeneous: bool = True,
+    seed: int = 0,
+) -> List[CampaignTask]:
+    """One ``analytic`` campaign task per candidate configuration.
+
+    Enumerates :meth:`HeteroGeArConfig.all_valid` under the given caps
+    and (by default) the homogeneous ``GeArConfig.all_valid`` embeddings
+    -- including those whose segment count exceeds ``max_segments``, so
+    the comparison against the full Table IV front is fair.  Duplicate
+    segment layouts keep their homogeneous tag.
+    """
+    candidates: Dict[Tuple[Tuple[int, int], ...], str] = {}
+    for cfg in HeteroGeArConfig.all_valid(
+        n, max_segments=max_segments, max_p=max_p, min_p=min_p
+    ):
+        candidates[cfg.segments] = "hetero"
+    if include_homogeneous:
+        for gear in GeArConfig.all_valid(n):
+            candidates[HeteroGeArConfig.from_gear(gear).segments] = "gear"
+    tasks = []
+    for segments, source in sorted(candidates.items()):
+        spec = [list(seg) for seg in segments]
+        tasks.append(
+            CampaignTask(
+                kind="analytic",
+                params={"segments": spec, "source": source},
+                seed=derive_seed(seed, "analytic", n, str(segments)),
+            )
+        )
+    return tasks
+
+
+def explore_hetero_space(
+    n: int = 8,
+    max_segments: int = 3,
+    max_p: int | None = None,
+    min_p: int = 0,
+    include_homogeneous: bool = True,
+    seed: int = 0,
+    n_workers: int = 1,
+    cache_dir: str | None = None,
+    progress=None,
+) -> List[Dict]:
+    """Exact analytic records for the heterogeneous design space.
+
+    Args:
+        n: Operand width.
+        max_segments: Cap on heterogeneous segment count (the space
+            grows fast; homogeneous embeddings are exempt).
+        max_p: Cap on per-segment prediction depth (default: no cap).
+        min_p: Floor on per-segment prediction depth.
+        include_homogeneous: Also evaluate every valid homogeneous GeAr
+            embedding (``source="gear"``), guaranteeing the combined
+            front dominates the Table IV front.
+        seed: Sweep seed (cache identity only -- records are exact).
+        n_workers: Worker processes for the campaign (1 = serial).
+        cache_dir: Optional campaign result cache.
+        progress: Optional campaign progress callback.
+
+    Returns:
+        One record per configuration (see the ``analytic`` task kind),
+        each tagged with its ``source``, sorted by ``lut_count`` then
+        descending accuracy.
+    """
+    tasks = hetero_space_tasks(
+        n, max_segments=max_segments, max_p=max_p, min_p=min_p,
+        include_homogeneous=include_homogeneous, seed=seed,
+    )
+    result = run_campaign(
+        tasks, n_workers=n_workers, cache_dir=cache_dir, progress=progress
+    )
+    records = []
+    for task, record in zip(result.tasks, result.results):
+        tagged = dict(record)
+        tagged["source"] = task.params["source"]
+        records.append(tagged)
+    records.sort(key=lambda r: (r["lut_count"], -r["accuracy_percent"]))
+    return records
+
+
+def hetero_front_report(records: Sequence[Dict]) -> Dict:
+    """Compare the combined Pareto front against the homogeneous one.
+
+    Args:
+        records: Output of :func:`explore_hetero_space` (must contain
+            ``source``-tagged records, with ``source="gear"`` rows for
+            the homogeneous baseline).
+
+    Returns:
+        A dict with the combined ``front``, the homogeneous
+        ``gear_front``, ``matches_or_dominates`` (True when every
+        homogeneous front point is matched or beaten at its area), and
+        ``strict_wins`` -- heterogeneous front records that strictly
+        dominate at least one homogeneous front point.
+    """
+    records = list(records)
+    gear_records = [r for r in records if r.get("source") == "gear"]
+    if not gear_records:
+        raise ValueError(
+            "records carry no source='gear' rows; run explore_hetero_space "
+            "with include_homogeneous=True"
+        )
+    front = pareto_front(records, OBJECTIVES)
+    gear_front = pareto_front(gear_records, OBJECTIVES)
+    matches = all(
+        any(
+            f["lut_count"] <= g["lut_count"]
+            and f["accuracy_percent"] >= g["accuracy_percent"]
+            for f in front
+        )
+        for g in gear_front
+    )
+    strict_wins = [
+        f
+        for f in front
+        if f.get("source") == "hetero"
+        and any(dominates(f, g, OBJECTIVES) for g in gear_front)
+    ]
+    return {
+        "front": front,
+        "gear_front": gear_front,
+        "matches_or_dominates": matches,
+        "strict_wins": strict_wins,
+    }

@@ -12,6 +12,14 @@ from .metrics import (
     normalized_med,
     psnr,
 )
+from .analytic import (
+    BlockErrorEvent,
+    analytic_error_pmf,
+    analytic_error_rate,
+    analytic_summary,
+    block_error_events,
+    exhaustive_error_pmf,
+)
 from .interval import ErrorInterval, adder_error_interval
 from .pmf import ErrorPMF
 from .sensitivity import NodeSensitivity, rank_node_sensitivity
@@ -35,6 +43,12 @@ __all__ = [
     "normalized_med",
     "psnr",
     "ErrorPMF",
+    "BlockErrorEvent",
+    "analytic_error_pmf",
+    "analytic_error_rate",
+    "analytic_summary",
+    "block_error_events",
+    "exhaustive_error_pmf",
     "ErrorInterval",
     "adder_error_interval",
     "NodeSensitivity",

@@ -102,6 +102,33 @@ def _abs_diff(a: np.ndarray, e: np.ndarray) -> np.ndarray:
     return np.abs(a.astype(np.int64) - e.astype(np.int64))
 
 
+def _exact_max_abs(e: np.ndarray):
+    """Maximum ``|e|`` without precision loss.
+
+    Returns a Python ``int`` for integral/object inputs (values above
+    ``2**53`` survive exactly) and a ``float`` only for float inputs.
+    """
+    if e.dtype.kind == "f":
+        return float(np.max(np.abs(e)))
+    if e.dtype == object or e.dtype == np.uint64:
+        return max(abs(int(v)) for v in e.ravel())
+    return int(np.max(np.abs(e.astype(np.int64))))
+
+
+def _exact_ratio(d: np.ndarray, denominator) -> float:
+    """``mean(d) / denominator`` with one final correctly-rounded ratio.
+
+    For integral ``d`` and an integer ``denominator`` the whole
+    computation stays in arbitrary-precision integer arithmetic --
+    ``sum(d) / (n * denominator)`` is a single big-int division -- so
+    wide-adder outputs above ``2**53`` cannot alias before the ratio.
+    """
+    if d.dtype.kind != "f" and isinstance(denominator, int):
+        total = int(np.sum(d.astype(object)))
+        return total / (d.size * denominator)
+    return float(np.mean(np.asarray(d, dtype=np.float64))) / denominator
+
+
 def error_rate(approx, exact) -> float:
     """Fraction of samples where the approximate output is wrong.
 
@@ -119,13 +146,22 @@ def mean_error_distance(approx, exact) -> float:
 
 
 def normalized_med(approx, exact, max_output: float | None = None) -> float:
-    """MED normalized by the maximum exact output magnitude (NMED)."""
+    """MED normalized by the maximum exact output magnitude (NMED).
+
+    For integral inputs the normalizer and the error sum stay in exact
+    integer arithmetic until the final ratio (a single big-int
+    division), so exact outputs above ``2**53`` -- wide adders, large
+    multiplier products -- do not silently alias in a ``float64``
+    intermediate.
+    """
     a, e = _pair(approx, exact)
     if max_output is None:
-        max_output = float(np.max(np.abs(e)))
+        max_output = _exact_max_abs(e)
+    elif isinstance(max_output, float) and max_output.is_integer():
+        max_output = int(max_output)
     if max_output == 0:
         raise ValueError("max_output is zero; NMED undefined")
-    return mean_error_distance(a, e) / max_output
+    return _exact_ratio(_abs_diff(a, e), max_output)
 
 
 def mean_relative_error_distance(approx, exact) -> float:
@@ -230,11 +266,13 @@ def compute_error_metrics(
             maximum observed exact magnitude (1.0 if all-zero).
     """
     a, e = _pair(approx, exact)
-    if max_output is None:
-        observed = float(np.max(np.abs(e)))
-        max_output = observed if observed > 0 else 1.0
-    nonzero = e != 0
     d = _abs_diff(a, e)
+    if max_output is None:
+        observed = _exact_max_abs(e)
+        max_output = observed if observed > 0 else 1
+    elif isinstance(max_output, float) and max_output.is_integer():
+        max_output = int(max_output)
+    nonzero = e != 0
     if np.any(nonzero):
         mred = float(np.mean(d[nonzero] / np.abs(e[nonzero])))
     else:
@@ -243,7 +281,7 @@ def compute_error_metrics(
     return ErrorMetrics(
         error_rate=float(np.mean(a != e)),
         mean_error_distance=med,
-        normalized_med=med / max_output,
+        normalized_med=_exact_ratio(d, max_output),
         max_error_distance=float(np.max(d)),
         mean_relative_error_distance=mred,
         n_samples=int(a.size),

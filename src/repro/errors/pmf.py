@@ -24,7 +24,13 @@ class ErrorPMF:
 
     Instances are immutable; all operations return new PMFs.  Probability
     mass below ``prune_tol`` is dropped (and the PMF re-normalized) to
-    keep supports compact across long convolution chains.
+    keep supports compact across long convolution chains.  Roundoff
+    artifacts are tolerated and repaired on construction: negative
+    masses within ``prune_tol`` of zero are pruned like positive dust,
+    and total mass within ``mass_tol`` of 1.0 is renormalized exactly --
+    so long convolution chains (``convolve_n`` at large ``n``) cannot
+    let the total drift.  Genuinely negative masses or totals outside
+    ``mass_tol`` still raise.
 
     Example:
         >>> coin = ErrorPMF({0: 0.5, 1: 0.5})
@@ -33,21 +39,29 @@ class ErrorPMF:
         0.5
     """
 
-    #: Mass threshold below which support points are pruned.
+    #: Mass threshold below which support points are pruned (applied
+    #: symmetrically: tiny negative roundoff masses are dropped too).
     prune_tol = 1e-12
+
+    #: Tolerated drift of the total mass from 1.0 before construction
+    #: fails instead of renormalizing.
+    mass_tol = 1e-6
 
     def __init__(self, mass: Mapping[int, float]) -> None:
         cleaned: Dict[int, float] = {}
         for value, prob in mass.items():
-            if prob < 0:
+            if prob < -self.prune_tol:
                 raise ValueError(f"negative probability {prob} at {value}")
             if prob > self.prune_tol:
                 cleaned[int(value)] = cleaned.get(int(value), 0.0) + float(prob)
         if not cleaned:
             raise ValueError("PMF needs at least one support point")
         total = sum(cleaned.values())
-        if abs(total - 1.0) > 1e-6:
-            raise ValueError(f"PMF mass sums to {total}, expected 1")
+        if abs(total - 1.0) > self.mass_tol:
+            raise ValueError(
+                f"PMF mass sums to {total}, expected 1 "
+                f"(tolerance {self.mass_tol:g})"
+            )
         self._mass: Dict[int, float] = {
             v: p / total for v, p in sorted(cleaned.items())
         }
@@ -118,8 +132,15 @@ class ErrorPMF:
         return max(abs(v) for v in self._mass)
 
     def mode(self) -> int:
-        """The most likely value (ties broken toward smaller values)."""
-        return max(self._mass, key=lambda v: (self._mass[v], -abs(v)))
+        """The most likely value (ties broken toward smaller values).
+
+        Among all values sharing the maximum probability, the
+        numerically smallest is returned -- e.g. a ``{-3, 3}`` tie
+        yields ``-3`` -- so the result never depends on insertion
+        order.
+        """
+        best = max(self._mass.values())
+        return min(v for v, p in self._mass.items() if p == best)
 
     def tail_probability(self, threshold: int) -> float:
         """``P[|error| >= threshold]``."""

@@ -39,6 +39,7 @@ from .report import (
 from .statistics import (
     GEAR_TOLERANCES,
     gear_statistics_checks,
+    hetero_statistics_checks,
     verify_gear_statistics,
 )
 
@@ -56,6 +57,7 @@ __all__ = [
     "run_law",
     "GEAR_TOLERANCES",
     "gear_statistics_checks",
+    "hetero_statistics_checks",
     "verify_gear_statistics",
     "Mutant",
     "MutationReport",

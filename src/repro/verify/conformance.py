@@ -36,7 +36,7 @@ import numpy as np
 from .metamorphic import run_law
 from .oracle import Oracle, get_oracle, operand_space, oracle_names
 from .report import Budget, CheckResult, ConformanceReport, resolve_budget
-from .statistics import gear_statistics_checks
+from .statistics import gear_statistics_checks, hetero_statistics_checks
 
 __all__ = ["check_paths", "verify_component", "verify_all"]
 
@@ -137,6 +137,10 @@ def verify_component(
         ))
     if oracle.family == "gear":
         checks.extend(gear_statistics_checks(
+            oracle.meta["config"], budget, seed, component=oracle.name
+        ))
+    elif oracle.family == "hetero":
+        checks.extend(hetero_statistics_checks(
             oracle.meta["config"], budget, seed, component=oracle.name
         ))
     return ConformanceReport(

@@ -211,6 +211,22 @@ def _low_window_exact(oracle: Oracle, budget: Budget, seed: int) -> CheckResult:
     return _result(oracle, "low_window_exact", _count(bad), len(a), exhaustive)
 
 
+@_law("block0_exact")
+def _block0_exact(oracle: Oracle, budget: Budget, seed: int) -> CheckResult:
+    """Segment 0 of a heterogeneous block adder is exact.
+
+    The first segment has no prediction bits (``p_0 = 0``) and a true
+    carry-in of 0, so result bits ``[0, r_0)`` must match ``a + b``.
+    """
+    operands, exhaustive = operand_space(oracle, budget, seed)
+    fn = _primary_path(oracle)
+    r0 = oracle.meta["config"].segments[0][0]
+    mask = (1 << r0) - 1
+    a, b = operands[0], operands[1]
+    bad = (fn(a, b) & mask) != ((a + b) & mask)
+    return _result(oracle, "block0_exact", _count(bad), len(a), exhaustive)
+
+
 @_law("correction_convergence")
 def _correction_convergence(
     oracle: Oracle, budget: Budget, seed: int

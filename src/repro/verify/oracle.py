@@ -48,10 +48,12 @@ __all__ = [
     "ripple_paths",
     "mul2x2_value_paths",
     "gear_pure_python",
+    "hetero_pure_python",
 ]
 
 #: Families in registry (and CLI) order.
-FAMILIES = ("fa", "ripple", "gear", "mul2x2", "recmul", "sad", "filter")
+FAMILIES = ("fa", "ripple", "gear", "hetero", "mul2x2", "recmul", "sad",
+            "filter")
 
 
 @dataclass
@@ -384,6 +386,47 @@ def gear_pure_python(config: GeArConfig) -> Callable:
     return path
 
 
+def hetero_pure_python(config) -> Callable:
+    """Scalar re-implementation of the heterogeneous window equation.
+
+    Written directly against the segment description (each sub-adder
+    sums the ``p_i + r_i``-bit window below ``t_i + r_i`` with carry-in
+    0 and keeps its top ``r_i`` bits), sharing no code with
+    :class:`~repro.adders.hetero.HeteroGeArAdder` -- a drift in either
+    implementation breaks path conformance.
+    """
+    segments = tuple(config.segments)
+    n = sum(r for r, _ in segments)
+    mask_n = (1 << n) - 1
+
+    def path(a, b):
+        a_arr = np.asarray(a, dtype=np.int64)
+        b_arr = np.asarray(b, dtype=np.int64)
+        shape = np.broadcast_shapes(a_arr.shape, b_arr.shape)
+        a_flat = np.broadcast_to(a_arr, shape).ravel().tolist()
+        b_flat = np.broadcast_to(b_arr, shape).ravel().tolist()
+        out = []
+        for x, y in zip(a_flat, b_flat):
+            x &= mask_n
+            y &= mask_n
+            result = 0
+            base = 0
+            window = 0
+            for r, p in segments:
+                lo = base - p
+                width = p + r
+                mask_w = (1 << width) - 1
+                window = ((x >> lo) & mask_w) + ((y >> lo) & mask_w)
+                result |= ((window >> p) & ((1 << r) - 1)) << base
+                base += r
+            last_width = segments[-1][0] + segments[-1][1]
+            result |= ((window >> last_width) & 1) << n
+            out.append(result)
+        return np.asarray(out, dtype=np.int64).reshape(shape)
+
+    return path
+
+
 # ----------------------------------------------------------------------
 # registry
 # ----------------------------------------------------------------------
@@ -551,6 +594,52 @@ def _gear_oracles() -> List[Oracle]:
     return oracles
 
 
+#: Heterogeneous configurations under differential verification: the
+#: GeAr(8,2,2) embedding (cross-family consistency with ``gear/N8R2P2``),
+#: a genuinely unequal-block N=8 design, the minimal *overestimating*
+#: design (prediction deeper than the previous window -- exercises the
+#: positive-error branch of the analytic engine), and an N=16 design for
+#: the sampled budgets.
+_HETERO_VERIFY_SEGMENTS = (
+    ((4, 0), (2, 2), (2, 2)),
+    ((3, 0), (3, 2), (2, 2)),
+    ((2, 0), (1, 1), (2, 3)),
+    ((6, 0), (4, 3), (3, 2), (3, 3)),
+)
+
+
+def _hetero_oracles() -> List[Oracle]:
+    from ..adders.hetero import HeteroGeArAdder, HeteroGeArConfig
+
+    oracles = []
+    for segments in _HETERO_VERIFY_SEGMENTS:
+        config = HeteroGeArConfig(segments)
+        adder = HeteroGeArAdder(config)
+        n = config.n
+        laws = ["commutativity", "block0_exact"]
+        if config.never_overestimates:
+            laws.append("approx_le_exact")
+        label = "-".join(f"{r}p{p}" for r, p in segments)
+        oracles.append(Oracle(
+            name=f"hetero/{label}",
+            family="hetero",
+            description=f"{config.name} behavioural adder",
+            operand_bits=(n, n),
+            golden=lambda a, b, _m=(1 << n) - 1: (
+                (np.asarray(a, dtype=np.int64) & _m)
+                + (np.asarray(b, dtype=np.int64) & _m)
+            ),
+            paths={
+                "window": adder.add,
+                "pure_python": hetero_pure_python(config),
+            },
+            laws=tuple(laws),
+            error_cap=None,
+            meta={"config": config},
+        ))
+    return oracles
+
+
 def _mul2x2_oracles() -> List[Oracle]:
     oracles = []
     for name in MULTIPLIER_2X2_NAMES:
@@ -701,8 +790,8 @@ def build_registry() -> Dict[str, Oracle]:
     """All component oracles, keyed ``"<family>/<component>"``."""
     registry: Dict[str, Oracle] = {}
     for builder in (_fa_oracles, _ripple_oracles, _gear_oracles,
-                    _mul2x2_oracles, _recmul_oracles, _sad_oracles,
-                    _filter_oracles):
+                    _hetero_oracles, _mul2x2_oracles, _recmul_oracles,
+                    _sad_oracles, _filter_oracles):
         for oracle in builder():
             if oracle.name in registry:
                 raise ValueError(f"duplicate oracle {oracle.name!r}")

@@ -17,7 +17,16 @@ conformance check with *declared tolerances*:
   enumeration -- its ``error_rate`` must reproduce the exhaustive rate,
   its support must be non-positive (GeAr only ever *misses* carries),
   and the PMF empirically observed by the Monte Carlo stream must sit
-  within a total-variation ball of the exhaustive PMF.
+  within a total-variation ball of the exhaustive PMF;
+* the PMF-convolution engine (:mod:`repro.errors.analytic`) vs all of
+  the above -- its rate must match the DP to ``1e-9`` and its full PMF
+  must match exhaustive enumeration in total variation.
+
+:func:`hetero_statistics_checks` runs the same cross-validation for
+heterogeneous block adders, where the analytic engine *is* the primary
+model (there is no closed-form DP): analytic vs exhaustive enumeration,
+analytic vs Monte Carlo within ``z * sigma``, and the support-sign
+invariant for configurations that provably never overestimate.
 """
 
 from __future__ import annotations
@@ -35,12 +44,18 @@ from ..adders.gear_error import (
     paper_error_probability,
 )
 from ..campaign import derive_seed
+from ..errors.analytic import (
+    analytic_error_pmf,
+    analytic_error_rate,
+    exhaustive_error_pmf,
+)
 from ..errors.pmf import ErrorPMF
 from .report import Budget, CheckResult, resolve_budget
 
 __all__ = [
     "GEAR_TOLERANCES",
     "gear_statistics_checks",
+    "hetero_statistics_checks",
     "verify_gear_statistics",
 ]
 
@@ -54,6 +69,10 @@ GEAR_TOLERANCES = {
     "mc_sigma_z": 6.0,
     # Empirical (MC) PMF vs exhaustive PMF, total variation distance.
     "pmf_tv": 0.05,
+    # PMF-convolution engine vs the dynamic program: float rounding only.
+    "analytic_vs_exact": 1e-9,
+    # Analytic PMF vs exhaustive PMF: both exact rationals in floats.
+    "analytic_pmf_tv": 1e-9,
     # The paper's inclusion-exclusion expands 2**events terms; beyond
     # this the model is evaluated truncated elsewhere, so skip it here.
     "max_paper_events": 20,
@@ -107,6 +126,15 @@ def gear_statistics_checks(
     checks: List[CheckResult] = []
     exact = exact_error_probability(config)
 
+    analytic = analytic_error_rate(config)
+    tol = GEAR_TOLERANCES["analytic_vs_exact"]
+    diff = abs(analytic - exact)
+    checks.append(_check(
+        config, "analytic_vs_exact", diff <= tol, 0, True,
+        f"|{analytic:.12g} - {exact:.12g}| = {diff:.3g} (tol {tol:g})",
+        component,
+    ))
+
     n_events = config.r * (config.k - 1)
     if n_events <= GEAR_TOLERANCES["max_paper_events"]:
         paper = paper_error_probability(config)
@@ -155,6 +183,16 @@ def gear_statistics_checks(
             component,
         ))
 
+        # The convolution engine must reproduce the *whole* exhaustive
+        # distribution, not just its rate.
+        analytic_pmf = analytic_error_pmf(config)
+        tv = analytic_pmf.total_variation(pmf)
+        tv_tol = GEAR_TOLERANCES["analytic_pmf_tv"]
+        checks.append(_check(
+            config, "analytic_pmf_vs_exhaustive", tv <= tv_tol,
+            n_pairs, True, f"TV = {tv:.4g} (tol {tv_tol:g})", component,
+        ))
+
         # The sampled error distribution must look like the true one.
         rng = np.random.default_rng(
             derive_seed(seed, "verify_pmf_mc", config.n, config.r, config.p)
@@ -171,6 +209,79 @@ def gear_statistics_checks(
             mc_samples, False,
             f"TV = {tv:.4g} (tol {tv_tol:g})", component,
         ))
+    return checks
+
+
+def hetero_statistics_checks(
+    config,
+    budget: str | Budget = "fast",
+    seed: int = 0,
+    component: Optional[str] = None,
+) -> List[CheckResult]:
+    """Cross-validate the analytic engine on one heterogeneous config.
+
+    For :class:`~repro.adders.hetero.HeteroGeArConfig` there is no
+    closed-form DP, so the PMF-convolution engine is the model under
+    test: it must agree with exhaustive enumeration (rate and full-PMF
+    total variation) when the pair space fits the budget, sit within
+    ``z * sigma`` of a Monte Carlo estimate always, and -- for
+    configurations whose prediction depths are monotone
+    (``never_overestimates``) -- produce a non-positive support.
+    """
+    from ..adders.hetero import HeteroGeArAdder
+
+    budget = resolve_budget(budget)
+    stamp = component or f"hetero/{config.name}"
+    checks: List[CheckResult] = []
+    pmf = analytic_error_pmf(config)
+    rate = pmf.error_rate
+
+    def _hcheck(name, passed, n_inputs, exhaustive, detail):
+        checks.append(CheckResult(
+            component=stamp, check=f"stat:{name}", passed=passed,
+            n_inputs=n_inputs, exhaustive=exhaustive, detail=detail,
+        ))
+
+    if config.never_overestimates:
+        worst = max(pmf.support)
+        _hcheck(
+            "analytic_support_sign", worst <= 0, 0, True,
+            f"support max {worst} (monotone prediction depths)",
+        )
+
+    adder = HeteroGeArAdder(config)
+    mc_samples = budget.mc_samples
+    rng = np.random.default_rng(
+        derive_seed(seed, "verify_hetero_mc", config.name)
+    )
+    hi = 1 << config.n
+    a = rng.integers(0, hi, size=mc_samples, dtype=np.int64)
+    b = rng.integers(0, hi, size=mc_samples, dtype=np.int64)
+    mc = float(np.mean(adder.add(a, b) != a + b))
+    sigma = math.sqrt(max(rate * (1.0 - rate), 0.0) / mc_samples)
+    mc_tol = GEAR_TOLERANCES["mc_sigma_z"] * sigma + 2.0 / mc_samples
+    mc_diff = abs(mc - rate)
+    _hcheck(
+        "monte_carlo_vs_analytic", mc_diff <= mc_tol, mc_samples, False,
+        f"|{mc:.6g} - {rate:.6g}| = {mc_diff:.3g} (tol {mc_tol:.3g})",
+    )
+
+    if 2 * config.n <= budget.gear_exhaustive_bits:
+        n_pairs = 1 << (2 * config.n)
+        exh = exhaustive_error_pmf(config)
+        tol = GEAR_TOLERANCES["exhaustive_vs_exact"]
+        diff = abs(exh.error_rate - rate)
+        _hcheck(
+            "analytic_vs_exhaustive", diff <= tol, n_pairs, True,
+            f"|{exh.error_rate:.12g} - {rate:.12g}| = {diff:.3g} "
+            f"(tol {tol:g})",
+        )
+        tv = pmf.total_variation(exh)
+        tv_tol = GEAR_TOLERANCES["analytic_pmf_tv"]
+        _hcheck(
+            "analytic_pmf_vs_exhaustive", tv <= tv_tol, n_pairs, True,
+            f"TV = {tv:.4g} (tol {tv_tol:g})",
+        )
     return checks
 
 

@@ -106,6 +106,17 @@ class TestHangTimeout:
         assert result.results == [None]
         assert result.stats.n_timeouts == 1
 
+    def test_completed_but_overdue_attempt_is_a_timeout(self):
+        # A fast task can land its result in the pipe before the parent
+        # ever polls the deadline; the verdict must come from the
+        # worker's own clock, not from who wins that race.
+        result = run_campaign([_ok(3)], timeout_s=1e-9)
+        assert result.results == [None]
+        (failure,) = result.failures
+        assert failure.attempts[-1].outcome == "timeout"
+        assert "timeout_s=1e-09" in failure.attempts[-1].message
+        assert result.stats.n_timeouts == 1
+
 
 class TestRetry:
     def test_flaky_succeeds_after_retries(self, tmp_path):

@@ -140,6 +140,29 @@ class TestIntegerPrecision:
         assert error_rate([True, False], [True, True]) == 0.5
         assert mean_error_distance([True, False], [True, True]) == 0.5
 
+    def test_nmed_normalizer_stays_exact(self):
+        # Regression: the NMED normalizer used to collapse through
+        # float64 before the division.  Here the max |exact| (2**53 + 1)
+        # and the error sum (3 * 2**50) come from different elements, so
+        # the legacy float path returns exactly 0.1875 while the true
+        # ratio is 3*2**50 / (2 * (2**53 + 1)).
+        from fractions import Fraction
+
+        exact = [2**53 + 1, 3 * 2**50]
+        approx = [2**53 + 1, 0]
+        truth = float(Fraction(3 * 2**50, 2 * (2**53 + 1)))
+        assert truth != 0.1875
+        assert normalized_med(approx, exact) == truth
+        bundle = compute_error_metrics(approx, exact)
+        assert bundle.normalized_med == truth
+
+    def test_nmed_explicit_integral_max_output_exact(self):
+        exact = [2**60 + 4, 2**60]
+        approx = [2**60, 2**60]
+        assert normalized_med(approx, exact, max_output=2**60) == pytest.approx(
+            2 / 2**60, rel=1e-15
+        )
+
     def test_exact_arithmetic_not_just_comparison(self):
         # MED over huge values: differences are computed before any
         # float conversion, so small deltas survive.

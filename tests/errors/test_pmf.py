@@ -24,6 +24,19 @@ class TestConstruction:
         with pytest.raises(ValueError, match="negative"):
             ErrorPMF({0: 1.2, 1: -0.2})
 
+    def test_negative_roundoff_dust_pruned(self):
+        # Sub-epsilon negative masses are float roundoff, not errors.
+        pmf = ErrorPMF({0: 1.0, 5: -1e-15})
+        assert pmf.support == (0,)
+
+    def test_mass_drift_within_tolerance_renormalized(self):
+        pmf = ErrorPMF({0: 0.5 + 2e-7, 1: 0.5})
+        assert sum(p for _, p in pmf.items()) == pytest.approx(1.0, abs=1e-15)
+
+    def test_mass_drift_beyond_tolerance_rejected(self):
+        with pytest.raises(ValueError, match="tolerance"):
+            ErrorPMF({0: 0.5, 1: 0.5 + 1e-3})
+
     def test_empty_rejected(self):
         with pytest.raises(ValueError, match="support"):
             ErrorPMF({})
@@ -57,6 +70,17 @@ class TestQueries:
     def test_mode(self):
         pmf = ErrorPMF({0: 0.6, 5: 0.4})
         assert pmf.mode() == 0
+
+    def test_mode_tie_breaks_toward_smaller_value(self):
+        # Regression: +/-v ties used to fall back to dict insertion
+        # order; the docstring promises the smaller value wins.
+        assert ErrorPMF({3: 0.4, -3: 0.4, 7: 0.2}).mode() == -3
+        assert ErrorPMF({-3: 0.4, 3: 0.4, 7: 0.2}).mode() == -3
+
+    def test_mode_tie_is_insertion_order_independent(self):
+        forward = ErrorPMF({2: 0.25, 5: 0.25, 9: 0.25, 12: 0.25})
+        backward = ErrorPMF({12: 0.25, 9: 0.25, 5: 0.25, 2: 0.25})
+        assert forward.mode() == backward.mode() == 2
 
     def test_tail_probability(self):
         pmf = ErrorPMF({0: 0.5, -2: 0.3, 4: 0.2})
@@ -128,6 +152,15 @@ class TestAlgebra:
         pmf = ErrorPMF({-1: 0.3, 0: 0.4, 1: 0.3})
         total = pmf.convolve_n(64)
         assert sum(p for _, p in total.items()) == pytest.approx(1.0, abs=1e-9)
+
+    def test_mass_conserved_at_large_n(self):
+        # Regression: 256 convolutions of a wide PMF accumulate enough
+        # float roundoff to trip a strict mass check; construction must
+        # renormalize so the chain stays a valid distribution.
+        pmf = ErrorPMF({v: 1 / 7 for v in range(-3, 4)})
+        total = pmf.convolve_n(256)
+        assert sum(p for _, p in total.items()) == pytest.approx(1.0, abs=1e-12)
+        assert total.mean == pytest.approx(0.0, abs=1e-6)
 
     def test_clt_shape(self):
         """Many convolutions approach a normal: mean and variance scale."""

@@ -89,3 +89,50 @@ class TestAlgebraicLaws:
         b = ErrorPMF.delta(0)
         mix = a.mixture(b, weight=w)
         assert math.isclose(mix.mean, w * a.mean, abs_tol=1e-9)
+
+    @settings(max_examples=60, deadline=None)
+    @given(a=pmfs())
+    def test_scale_minus_one_is_negate(self, a):
+        assert a.scale(-1) == a.negate()
+
+
+class TestTotalVariationMetric:
+    @settings(max_examples=60, deadline=None)
+    @given(a=pmfs(), b=pmfs())
+    def test_symmetric(self, a, b):
+        assert math.isclose(
+            a.total_variation(b), b.total_variation(a), abs_tol=1e-12
+        )
+
+    @settings(max_examples=60, deadline=None)
+    @given(a=pmfs())
+    def test_identity_of_indiscernibles(self, a):
+        assert a.total_variation(a) == 0.0
+
+    @settings(max_examples=40, deadline=None)
+    @given(a=pmfs(max_support=4), b=pmfs(max_support=4), c=pmfs(max_support=4))
+    def test_triangle_inequality(self, a, b, c):
+        assert (
+            a.total_variation(c)
+            <= a.total_variation(b) + b.total_variation(c) + 1e-12
+        )
+
+    @settings(max_examples=60, deadline=None)
+    @given(a=pmfs(), b=pmfs())
+    def test_bounded_unit_interval(self, a, b):
+        tv = a.total_variation(b)
+        assert -1e-12 <= tv <= 1.0 + 1e-12
+
+
+class TestModeDeterminism:
+    @settings(max_examples=60, deadline=None)
+    @given(a=pmfs())
+    def test_mode_is_insertion_order_independent(self, a):
+        reversed_pmf = ErrorPMF(dict(reversed(list(a.items()))))
+        assert a.mode() == reversed_pmf.mode()
+
+    @settings(max_examples=60, deadline=None)
+    @given(a=pmfs())
+    def test_mode_attains_maximal_probability(self, a):
+        best = max(p for _, p in a.items())
+        assert a.probability(a.mode()) == best

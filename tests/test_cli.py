@@ -155,3 +155,50 @@ class TestCampaignFlags:
                      "--cache-dir", str(tmp_path / "c")]) == 0
         out = capsys.readouterr().out
         assert "max accuracy" in out
+
+
+class TestAnalyticCommand:
+    def test_listed_in_known_commands(self):
+        args = build_parser().parse_args(["analytic", "--config", "8,2,2"])
+        assert callable(args.func)
+
+    def test_config_table(self, capsys):
+        assert main(["analytic", "--config", "8,2,2",
+                     "--segments", "4:0,2:2,2:2"]) == 0
+        out = capsys.readouterr().out
+        # GeAr(8,2,2) and its explicit segment spelling are one design.
+        assert out.count("4p0-2p2-2p2") == 2
+        assert "0.1875" in out  # exact error rate, not an estimate
+
+    def test_csv_mode(self, capsys):
+        assert main(["analytic", "--config", "8,2,2", "--csv"]) == 0
+        lines = capsys.readouterr().out.splitlines()
+        assert lines[0].startswith("segments,n,k,error_rate,")
+        assert lines[1].split(",")[3] == "0.1875"
+
+    def test_sweep_reports_front_and_verdict(self, capsys):
+        assert main(["analytic", "--sweep", "--width", "6",
+                     "--max-segments", "3", "--max-p", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "heterogeneous Pareto front, N=6" in out
+        assert "matches or dominates" in out
+
+    def test_sweep_accepts_campaign_flags(self, capsys, tmp_path):
+        argv = ["analytic", "--sweep", "--width", "6", "--max-segments",
+                "2", "--max-p", "2", "--cache-dir", str(tmp_path / "c")]
+        assert main(argv) == 0
+        cold = capsys.readouterr().out
+        assert main(argv) == 0
+        assert capsys.readouterr().out == cold
+
+    def test_no_work_exits_2(self, capsys):
+        assert main(["analytic"]) == 2
+        assert "nothing to analyse" in capsys.readouterr().err
+
+    def test_bad_spec_exits_2(self, capsys):
+        assert main(["analytic", "--config", "8,3"]) == 2
+        assert "bad configuration spec" in capsys.readouterr().err
+
+    def test_invalid_segments_exit_2(self, capsys):
+        assert main(["analytic", "--segments", "4:0,9:9"]) == 2
+        assert "bad configuration spec" in capsys.readouterr().err

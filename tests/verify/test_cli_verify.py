@@ -8,7 +8,7 @@ class TestVerifyCommand:
         """Acceptance gate: the shipped registry verifies clean."""
         assert main(["verify", "all", "--budget", "fast", "--seed", "0"]) == 0
         captured = capsys.readouterr()
-        assert "29/29 components passed" in captured.err
+        assert "33/33 components passed" in captured.err
         assert "fa/AccuFA" in captured.out
         assert "FAIL" not in captured.out
 
