@@ -28,7 +28,14 @@ from typing import List, Tuple
 
 import numpy as np
 
-__all__ = ["GeArConfig", "GeArAdder"]
+__all__ = ["GeArConfig", "GeArAdder", "GEAR_EVAL_MODES"]
+
+#: Evaluation engines for :class:`GeArAdder.add`: ``"auto"``/``"window"``
+#: is the vectorized int64 window equation; ``"partsim"`` packs several
+#: additions per uint64 word and evaluates every sub-adder window as a
+#: masked word operation (:mod:`repro.datapath.partsim`).  Both are
+#: bit-identical (proven via the ``gear`` oracle family).
+GEAR_EVAL_MODES = ("auto", "window", "partsim")
 
 
 def _as_int_array(x) -> np.ndarray:
@@ -122,8 +129,15 @@ class GeArAdder:
         256
     """
 
-    def __init__(self, config: GeArConfig) -> None:
+    def __init__(self, config: GeArConfig, eval_mode: str = "auto") -> None:
+        if eval_mode not in GEAR_EVAL_MODES:
+            raise ValueError(
+                f"eval_mode must be one of {GEAR_EVAL_MODES}, "
+                f"got {eval_mode!r}"
+            )
         self.config = config
+        self.eval_mode = eval_mode
+        self._partsim_layout = None
 
     @property
     def name(self) -> str:
@@ -164,6 +178,8 @@ class GeArAdder:
         Operands must be non-negative and are masked to ``N`` bits.
         """
         a, b = self._operands(a, b)
+        if self.eval_mode == "partsim":
+            return self._add_partsim(a, b)
         cfg = self.config
         sums = self._window_sums(a, b)
         mask_l = (1 << cfg.l) - 1
@@ -175,6 +191,32 @@ class GeArAdder:
         # Final carry comes from the last sub-adder's window overflow.
         result = result | (((sums[-1] >> cfg.l) & 1) << cfg.n)
         return result
+
+    def _add_partsim(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Packed evaluation: all sub-adder windows as word operations.
+
+        Several operand pairs share one uint64 word; each sub-adder
+        window is extracted with a shift plus a partition mask and
+        summed with its carries confined to the field -- the dropped
+        inter-block carry of the GeAr approximation is exactly the
+        partition point between windows.
+        """
+        from ..datapath.partsim import PartitionLayout, packed_window_add
+
+        cfg = self.config
+        if self._partsim_layout is None:
+            self._partsim_layout = PartitionLayout(cfg.n + 1)
+        layout = self._partsim_layout
+        shape = np.broadcast_shapes(a.shape, b.shape)
+        count = int(np.prod(shape, dtype=np.int64)) if shape else 1
+        wa = layout.pack(np.broadcast_to(a, shape).ravel())
+        wb = layout.pack(np.broadcast_to(b, shape).ravel())
+        windows = [
+            (start, width, 0 if i == 0 else cfg.p, width if i == 0 else cfg.r)
+            for i, (start, width) in enumerate(cfg.sub_adder_windows())
+        ]
+        out = packed_window_add(layout, wa, wb, windows, cfg.n)
+        return layout.unpack(out, count).reshape(shape)
 
     # ------------------------------------------------------------------
     # error detection and correction
@@ -214,18 +256,26 @@ class GeArAdder:
     ) -> Tuple[np.ndarray, np.ndarray]:
         """Approximate addition with iterative error recovery.
 
-        Each iteration detects sub-adders whose carry prediction failed
-        and re-executes them with an injected carry (the paper forces the
-        LSBs of the offending sub-adder's inputs to 1, which is equivalent
-        to adding 1 at the window base when the prediction bits
-        propagate).  With unlimited iterations the result is exact.
+        Each round detects sub-adders whose carry prediction failed and
+        re-executes them with an injected carry (the paper forces the
+        LSBs of the offending sub-adder's inputs to 1, which is
+        equivalent to adding 1 at the window base when the prediction
+        bits propagate).  Detection is simultaneous across sub-adders
+        from the state at the *start* of the round -- Fig. 3's parallel
+        detection logic -- so a missed carry that cascades through ``m``
+        sub-adder boundaries genuinely costs ``m`` rounds, one per
+        boundary.  (An earlier revision applied injections sequentially
+        low-to-high *within* a round, which let any cascade collapse
+        into a single reported round: ``iterations`` never exceeded 1
+        and every partial-correction mode of the configurable adder was
+        silently exact.)  With unlimited rounds the result is exact.
 
         Args:
             a: First operand (array-like of non-negative ints, masked to
                 ``N`` bits).
             b: Second operand.
-            max_iterations: Cap on correction iterations; ``None`` runs to
-                fixpoint (at most ``k - 1`` iterations are ever needed).
+            max_iterations: Cap on correction rounds; ``None`` runs to
+                fixpoint (at most ``k - 1`` rounds are ever needed).
 
         Returns:
             ``(sum, iterations)`` where ``iterations`` is the per-element
@@ -236,24 +286,32 @@ class GeArAdder:
         if max_iterations is None:
             # A missed carry can cascade through at most the k-1
             # downstream sub-adders, one per round, so the fixpoint is
-            # always reached within k-1 iterations -- the documented cap.
+            # always reached within k-1 rounds -- the documented cap.
             max_iterations = cfg.k - 1
         sums = self._window_sums(a, b)
+        shape = np.broadcast_shapes(a.shape, b.shape)
         # Track per-window injected carries (0/1) as they stabilize.
-        injected = [np.zeros(np.broadcast_shapes(a.shape, b.shape), dtype=np.int64)
-                    for _ in range(cfg.k)]
-        iterations = np.zeros(np.broadcast_shapes(a.shape, b.shape), dtype=np.int64)
+        injected = [np.zeros(shape, dtype=np.int64) for _ in range(cfg.k)]
+        iterations = np.zeros(shape, dtype=np.int64)
         mask_p = (1 << cfg.p) - 1
+        propagates = []
+        for i in range(1, cfg.k):
+            start = i * cfg.r
+            if cfg.p:
+                propagates.append(
+                    (((a >> start) ^ (b >> start)) & mask_p) == mask_p
+                )
+            else:
+                propagates.append(np.ones(shape, dtype=bool))
         for _ in range(max_iterations):
-            changed = np.zeros(iterations.shape, dtype=bool)
+            # Snapshot every carry-out before applying any injection:
+            # all detectors observe the same round-start state.
+            couts = [(sums[i] >> cfg.l) & 1 for i in range(cfg.k - 1)]
+            changed = np.zeros(shape, dtype=bool)
             for i in range(1, cfg.k):
-                start = i * cfg.r
-                prev_cout = (sums[i - 1] >> cfg.l) & 1
-                if cfg.p:
-                    propagate = (((a >> start) ^ (b >> start)) & mask_p) == mask_p
-                else:
-                    propagate = np.ones(iterations.shape, dtype=bool)
-                want = ((prev_cout == 1) & propagate).astype(np.int64)
+                want = ((couts[i - 1] == 1) & propagates[i - 1]).astype(
+                    np.int64
+                )
                 flip = want != injected[i]
                 if np.any(flip):
                     delta = want - injected[i]

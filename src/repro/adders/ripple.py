@@ -32,10 +32,18 @@ from .fastpath import (
 )
 from .fulladder import FULL_ADDERS, FullAdderSpec, full_adder
 
-__all__ = ["ApproximateRippleAdder", "ExactAdder", "EVAL_MODES"]
+__all__ = ["ApproximateRippleAdder", "ExactAdder", "EVAL_MODES", "MAX_WIDTH"]
 
 #: Recognized evaluation engines for :class:`ApproximateRippleAdder`.
-EVAL_MODES = ("auto", "lut", "loop")
+EVAL_MODES = ("auto", "lut", "loop", "partsim")
+
+#: Widest supported adder.  Every engine accumulates into signed int64
+#: (the scalar reference contract), whose 63 value bits must hold the
+#: ``width + 1``-bit result: the legacy bit-loop's ``carry << width``
+#: lands on the sign bit at width 63 and overflows outright at 64, and
+#: the exact reference ``a + b`` wraps the same way.  Wider adders are
+#: rejected at construction instead of silently corrupting sums.
+MAX_WIDTH = 62
 
 
 def _as_int_array(x) -> np.ndarray:
@@ -62,6 +70,13 @@ class ExactAdder:
     """
 
     width: int
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.width <= MAX_WIDTH:
+            raise ValueError(
+                f"width must be in [1, {MAX_WIDTH}] (int64 reference "
+                f"arithmetic), got {self.width}"
+            )
 
     def add(self, a, b, cin: int = 0) -> np.ndarray:
         """Exact ``a + b + cin`` (inputs truncated to ``width`` bits)."""
@@ -125,8 +140,11 @@ class ApproximateRippleAdder:
         accurate_fa: str | FullAdderSpec = "AccuFA",
         eval_mode: str = "auto",
     ) -> None:
-        if width < 1:
-            raise ValueError(f"width must be >= 1, got {width}")
+        if not 1 <= width <= MAX_WIDTH:
+            raise ValueError(
+                f"width must be in [1, {MAX_WIDTH}] (int64 reference "
+                f"arithmetic), got {width}"
+            )
         if not 0 <= num_approx_lsbs <= width:
             raise ValueError(
                 f"num_approx_lsbs must be in [0, {width}], got {num_approx_lsbs}"
@@ -152,7 +170,8 @@ class ApproximateRippleAdder:
             tuple(self.accurate_fa.table) == tuple(FULL_ADDERS["AccuFA"].table)
         )
         self._seg_lut: np.ndarray | None = None
-        if eval_mode != "loop" and num_approx_lsbs > 0:
+        self._partsim_layout = None
+        if eval_mode in ("auto", "lut") and num_approx_lsbs > 0:
             limit = LUT_MAX_BITS if eval_mode == "lut" else AUTO_LUT_MAX_BITS
             if num_approx_lsbs <= limit:
                 self._seg_lut = approx_segment_lut(
@@ -194,6 +213,8 @@ class ApproximateRippleAdder:
         cin = _as_carry_in(cin)
         if self.eval_mode == "loop":
             return self._add_loop(a, b, cin)
+        if self.eval_mode == "partsim":
+            return self._add_partsim(a, b, cin)
         return self._add_fast(a, b, cin)
 
     def _add_loop(self, a: np.ndarray, b: np.ndarray, cin: int) -> np.ndarray:
@@ -281,6 +302,49 @@ class ApproximateRippleAdder:
             hi, carry = self._ripple_segment(a, b, carry, s, w)
             total = hi | sum_lo | (carry << w)
         return np.asarray(total, dtype=np.int64)
+
+    def _add_partsim(
+        self, a: np.ndarray, b: np.ndarray, cin: int
+    ) -> np.ndarray:
+        """Partitioned-SIMD evaluation: several additions per uint64 word.
+
+        The operands are packed into the fields of a
+        :class:`~repro.datapath.partsim.PartitionLayout`; the
+        approximate LSB segment ripples through the packed masked-cell
+        evaluator (all fields at once per bit position) and a native
+        accurate MSB segment is one guarded word addition.  Bit-identical
+        to the other engines -- the segment evaluator applies the same
+        truth table in the same cell order.
+        """
+        from ..datapath.partsim import PartitionLayout, packed_cell_ripple
+
+        if self._partsim_layout is None:
+            self._partsim_layout = PartitionLayout(self.width + 1)
+        layout = self._partsim_layout
+        mask = (1 << self.width) - 1
+        shape = np.broadcast_shapes(a.shape, b.shape)
+        count = int(np.prod(shape, dtype=np.int64)) if shape else 1
+        aw = layout.pack(np.broadcast_to(a & mask, shape).ravel())
+        bw = layout.pack(np.broadcast_to(b & mask, shape).ravel())
+        carry = layout.base if cin else np.uint64(0)
+        s, w = self.num_approx_lsbs, self.width
+        sum_lo = np.uint64(0)
+        if s:
+            sum_lo, carry = packed_cell_ripple(
+                layout, aw, bw, carry, self.approx_fa.table, 0, s
+            )
+        if s == w:
+            out = sum_lo | (carry << w)
+        elif self._msb_native:
+            mask_hi = layout.spread((1 << (w - s)) - 1)
+            hi = ((aw >> s) & mask_hi) + ((bw >> s) & mask_hi) + carry
+            out = (hi << s) | sum_lo
+        else:
+            sum_hi, carry = packed_cell_ripple(
+                layout, aw, bw, carry, self.accurate_fa.table, s, w
+            )
+            out = sum_lo | sum_hi | (carry << w)
+        return layout.unpack(out, count).reshape(shape)
 
     def add_modular(self, a, b, cin: int = 0) -> np.ndarray:
         """Approximate addition truncated to ``width`` bits (carry dropped)."""

@@ -17,7 +17,6 @@ the ones the paper sweeps for Fig. 6 -- are exposed:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Callable, Dict, List, Tuple
 
 import numpy as np
@@ -65,8 +64,13 @@ class RecursiveMultiplier:
             ``"lut"`` run the summation adders through the segment/LUT
             fast path and additionally collapse multipliers up to
             ``PRODUCT_LUT_MAX_WIDTH`` bits into one lazily-built product
-            table; ``"loop"`` is the legacy cell-level reference.  All
-            modes are bit-identical.
+            table; ``"partsim"`` additionally collapses every
+            half-width-8 *quadrant* of a wider multiplier into its own
+            sub-product table (keyed by operand offsets, so each table
+            bakes in that quadrant's exact leaf-policy mix), replacing
+            the bottom three recursion levels with four gathers per
+            16-bit node; ``"loop"`` is the legacy cell-level reference.
+            All modes are bit-identical.
 
     Example:
         >>> mul = RecursiveMultiplier(8, leaf_mul="ApxMulOur")
@@ -88,7 +92,17 @@ class RecursiveMultiplier:
     ) -> None:
         if not _is_power_of_two(width) or width < 2:
             raise ValueError(f"width must be a power of two >= 2, got {width}")
-        from ..adders.ripple import EVAL_MODES
+        from ..adders.ripple import EVAL_MODES, MAX_WIDTH
+
+        if 2 * width > MAX_WIDTH:
+            # The final summation adder is 2*width bits wide and the
+            # whole datapath runs on int64 reference arithmetic, so a
+            # 32x32 multiplier (64-bit products) was never representable
+            # -- reject it instead of silently wrapping.
+            raise ValueError(
+                f"width {width} needs a {2 * width}-bit summation adder, "
+                f"beyond the int64-backed maximum of {MAX_WIDTH} bits"
+            )
 
         if eval_mode not in EVAL_MODES:
             raise ValueError(
@@ -96,6 +110,7 @@ class RecursiveMultiplier:
             )
         self.eval_mode = eval_mode
         self._product_lut: np.ndarray | None = None
+        self._quad_luts: Dict[Tuple[int, int], np.ndarray] = {}
         self.width = width
         self.leaf_mul = multiplier_2x2(leaf_mul)
         self.accurate_mul = multiplier_2x2("AccMul")
@@ -129,11 +144,16 @@ class RecursiveMultiplier:
     def _adder(self, width: int) -> ApproximateRippleAdder:
         """Summation adder of the given width (cached per width)."""
         if width not in self._adders:
+            # Inside the partsim multiplier the summation adders run in
+            # "auto": the segment-LUT + native-add path is faster than
+            # packing each partial product into partition words and the
+            # modes are bit-identical anyway.
+            mode = "auto" if self.eval_mode == "partsim" else self.eval_mode
             self._adders[width] = ApproximateRippleAdder(
                 width,
                 approx_fa=self.adder_fa,
                 num_approx_lsbs=min(self.adder_approx_lsbs, width),
-                eval_mode=self.eval_mode,
+                eval_mode=mode,
             )
         return self._adders[width]
 
@@ -173,6 +193,46 @@ class RecursiveMultiplier:
         lut.setflags(write=False)
         return lut
 
+    def _quad_lut(self, a_off: int, b_off: int) -> np.ndarray:
+        """Sub-product table of the 8x8 quadrant at ``(a_off, b_off)``.
+
+        Entry ``(a << 8) | b`` holds the quadrant's 16-bit sub-product.
+        Built by one vectorized sweep of the reference recursion *at
+        those offsets*, so each table is bit-identical to the recursion
+        it replaces -- including the per-offset leaf-policy decisions.
+        """
+        key = (a_off, b_off)
+        if key not in self._quad_luts:
+            n = 1 << 8
+            a = np.repeat(np.arange(n, dtype=np.int64), n)
+            b = np.tile(np.arange(n, dtype=np.int64), n)
+            lut = self._multiply_rec(a, b, 8, a_off, b_off)
+            lut.setflags(write=False)
+            self._quad_luts[key] = lut
+        return self._quad_luts[key]
+
+    def _multiply_partsim(
+        self, a: np.ndarray, b: np.ndarray, w: int, a_off: int, b_off: int
+    ) -> np.ndarray:
+        """Recursion with 16-bit nodes evaluated as four quadrant gathers."""
+        h = w // 2
+        mask = (1 << h) - 1
+        al, ah = a & mask, (a >> h) & mask
+        bl, bh = b & mask, (b >> h) & mask
+        if h == 8:
+            p_ll = self._quad_lut(a_off, b_off)[(al << 8) | bl]
+            p_lh = self._quad_lut(a_off, b_off + h)[(al << 8) | bh]
+            p_hl = self._quad_lut(a_off + h, b_off)[(ah << 8) | bl]
+            p_hh = self._quad_lut(a_off + h, b_off + h)[(ah << 8) | bh]
+        else:
+            p_ll = self._multiply_partsim(al, bl, h, a_off, b_off)
+            p_lh = self._multiply_partsim(al, bh, h, a_off, b_off + h)
+            p_hl = self._multiply_partsim(ah, bl, h, a_off + h, b_off)
+            p_hh = self._multiply_partsim(ah, bh, h, a_off + h, b_off + h)
+        mid = self._adder(w).add(p_lh, p_hl)  # w+1 bits
+        acc = self._adder(2 * w).add(p_hh << h, mid)  # aligned at << h
+        return self._adder(2 * w).add(acc << h, p_ll)
+
     def multiply(self, a, b) -> np.ndarray:
         """Approximate product of two ``width``-bit unsigned operands."""
         mask = (1 << self.width) - 1
@@ -184,6 +244,8 @@ class RecursiveMultiplier:
             return np.asarray(
                 self._product_lut[(a << self.width) | b], dtype=np.int64
             )
+        if self.eval_mode == "partsim":
+            return self._multiply_partsim(a, b, self.width, 0, 0)
         return self._multiply_rec(a, b, self.width, 0, 0)
 
     # ------------------------------------------------------------------

@@ -164,6 +164,54 @@ class TestErrorCorrection:
         _, iters = adder.add_with_correction(a, b)
         assert int(iters.max()) <= config.k
 
+    def test_all_propagate_cascade_needs_k_minus_1_rounds(self):
+        """Regression: 0xFF + 0x01 on GeAr(8,1,1) cascades one missed
+        carry through every sub-adder boundary.  Round-start detection
+        (Fig. 3) resolves one boundary per round, so the fixpoint takes
+        exactly k - 1 = 6 rounds.  An earlier revision applied
+        injections sequentially within a round and reported 1."""
+        config = GeArConfig(8, 1, 1)
+        adder = GeArAdder(config)
+        result, iters = adder.add_with_correction(0xFF, 0x01)
+        assert int(result) == 0x100
+        assert int(iters) == config.k - 1
+
+    def test_capped_cascade_is_genuinely_partial(self):
+        """With the cascade above, a one-round cap must NOT be exact --
+        pre-fix it silently was, collapsing every intermediate accuracy
+        mode of the configurable adder."""
+        adder = GeArAdder(GeArConfig(8, 1, 1))
+        result, iters = adder.add_with_correction(
+            0xFF, 0x01, max_iterations=1
+        )
+        assert int(iters) == 1
+        assert int(result) != 0x100
+
+    def test_capped_correction_converges_without_overshoot(self, rng):
+        """Each extra round fixes more elements and never overshoots.
+
+        Note the *magnitude* of the residual error is deliberately not
+        asserted monotone: a mid-cascade round can wrap a block's kept
+        bits (e.g. 111 -> 000 with a carry-out) before the next round
+        injects that carry downstream, transiently growing ``|err|``.
+        The per-element *count* of inexact results does shrink, and the
+        corrected sum never exceeds the exact one."""
+        config = GeArConfig(12, 1, 2)
+        adder = GeArAdder(config)
+        a = rng.integers(0, 1 << 12, 2000)
+        b = rng.integers(0, 1 << 12, 2000)
+        exact = a + b
+        previous = None
+        for cap in range(config.k):
+            result, _ = adder.add_with_correction(a, b, max_iterations=cap)
+            assert np.all(result <= exact)
+            inexact = int((result != exact).sum())
+            if previous is not None:
+                assert inexact <= previous
+            previous = inexact
+        full, _ = adder.add_with_correction(a, b)
+        assert np.array_equal(full, exact)
+
 
 class TestPhysicalModels:
     def test_lut_count_model(self):

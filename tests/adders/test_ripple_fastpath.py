@@ -141,3 +141,53 @@ class TestCarryInValidation:
     def test_exact_adder_rejects_bad_cin(self):
         with pytest.raises(ValueError, match="cin"):
             ExactAdder(8).add(1, 2, cin=3)
+
+
+class TestPackedSegmentDtype:
+    """Regression for the uint16 packing overflow (satellite fix).
+
+    A packed LUT entry ``(carry << seg_bits) | sum_lo`` needs
+    ``seg_bits + 1`` bits; the table build used to hard-code uint16,
+    which would silently wrap the carry for any future bump of
+    ``LUT_MAX_BITS`` past 15.  The dtype is now selected per width.
+    """
+
+    @pytest.mark.parametrize(
+        "seg_bits, dtype",
+        [(1, np.uint16), (12, np.uint16), (15, np.uint16),
+         (16, np.uint32), (24, np.uint32), (31, np.uint32)],
+    )
+    def test_dtype_holds_carry_and_sum(self, seg_bits, dtype):
+        from repro.adders.fastpath import packed_segment_dtype
+
+        assert packed_segment_dtype(seg_bits) is dtype
+        # The selected dtype really holds the widest packed entry.
+        widest = (1 << (seg_bits + 1)) - 1
+        assert int(np.asarray(widest).astype(dtype)) == widest
+
+    @pytest.mark.parametrize("seg_bits", [32, 40, 64])
+    def test_unpackable_widths_rejected(self, seg_bits):
+        from repro.adders.fastpath import packed_segment_dtype
+
+        with pytest.raises(ValueError, match="cannot be packed"):
+            packed_segment_dtype(seg_bits)
+
+    def test_current_lut_cap_stays_within_uint16(self):
+        """Every width the cap allows today packs losslessly: exhaust
+        the widest cached table and check carry and sum round-trip."""
+        from repro.adders.fastpath import (
+            pack_segment_index,
+            unpack_segment_result,
+        )
+
+        seg_bits = 6
+        lut = approx_segment_lut(FULL_ADDERS["AccuFA"], seg_bits)
+        hi = 1 << seg_bits
+        a = np.repeat(np.arange(hi, dtype=np.int64), hi)
+        b = np.tile(np.arange(hi, dtype=np.int64), hi)
+        for cin in (0, 1):
+            packed = lut[pack_segment_index(a, b, cin, seg_bits)]
+            sum_lo, carry = unpack_segment_result(packed, seg_bits)
+            total = a + b + cin
+            assert np.array_equal(sum_lo, total & (hi - 1))
+            assert np.array_equal(carry, total >> seg_bits)

@@ -1,0 +1,1 @@
+"""Tests for the partitioned-SIMD datapath layer."""

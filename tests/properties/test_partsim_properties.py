@@ -1,0 +1,185 @@
+"""Cross-path bit-identity of the partitioned-SIMD evaluator.
+
+Two layers of evidence that ``eval_mode="partsim"`` is exactly the
+datapath it claims to be:
+
+* every oracle in the verification registry that exposes a ``partsim``
+  path is swept against *all* of its other paths -- exhaustively when
+  the input space fits, on the registry's structured stimuli otherwise;
+* hypothesis draws random widths, partition layouts (via width ->
+  slot selection), cell mixes, and operand distributions and checks the
+  packed engines against the scalar references directly.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.adders.fulladder import FULL_ADDER_NAMES
+from repro.adders.gear import GeArAdder
+from repro.adders.hetero import HeteroGeArAdder, HeteroGeArConfig
+from repro.adders.ripple import MAX_WIDTH, ApproximateRippleAdder
+from repro.datapath.partsim import PartitionLayout
+from repro.verify.oracle import build_registry, operand_space
+from repro.verify.report import Budget
+
+from .test_adder_properties import gear_configs
+
+
+def _partsim_oracles():
+    return [
+        oracle for oracle in build_registry().values()
+        if "partsim" in oracle.paths
+    ]
+
+
+class TestRegistryConformance:
+    def test_every_wired_family_has_partsim_paths(self):
+        families = {oracle.family for oracle in _partsim_oracles()}
+        assert families == {"ripple", "gear", "hetero", "recmul", "sad"}
+
+    def test_partsim_agrees_with_every_path_exhaustively(self):
+        """All-pairs bit-identity on the full input space of every
+        registered component small enough to sweep (N <= 8 adders and
+        multipliers are exhaustive by construction)."""
+        budget = Budget(
+            name="partsim-exhaustive", exhaustive_bits=17, n_samples=4000,
+            mc_samples=0, gear_exhaustive_bits=0,
+        )
+        swept = 0
+        for oracle in _partsim_oracles():
+            if oracle.input_gen is not None:
+                continue
+            operands, exhaustive = operand_space(oracle, budget, seed=7)
+            if not exhaustive:
+                continue
+            expected = oracle.paths["partsim"](*operands)
+            for name, path in oracle.paths.items():
+                assert np.array_equal(path(*operands), expected), (
+                    f"{oracle.name}: partsim != {name}"
+                )
+            swept += 1
+        assert swept >= 8
+
+    def test_partsim_agrees_on_stratified_stimuli(self):
+        """Components too wide to sweep get the registry's stratified
+        operand strata (corners, sparse/dense, propagate chains)."""
+        budget = Budget(
+            name="partsim-sampled", exhaustive_bits=0, n_samples=3000,
+            mc_samples=0, gear_exhaustive_bits=0,
+        )
+        for oracle in _partsim_oracles():
+            operands, _ = operand_space(oracle, budget, seed=11)
+            expected = oracle.paths["partsim"](*operands)
+            for name, path in oracle.paths.items():
+                assert np.array_equal(path(*operands), expected), (
+                    f"{oracle.name}: partsim != {name}"
+                )
+
+
+class TestRippleCrossPath:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        width=st.integers(min_value=1, max_value=MAX_WIDTH),
+        fa=st.sampled_from(list(FULL_ADDER_NAMES)),
+        lsbs_frac=st.floats(min_value=0.0, max_value=1.0),
+        cin=st.integers(min_value=0, max_value=1),
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    def test_random_width_and_layout(self, width, fa, lsbs_frac, cin, seed):
+        """Random widths pick random slot layouts (8/16/32/64) and
+        random approximate/accurate splits; partsim must equal the
+        scalar loop everywhere."""
+        lsbs = int(round(lsbs_frac * width))
+        loop = ApproximateRippleAdder(
+            width, approx_fa=fa, num_approx_lsbs=lsbs, eval_mode="loop"
+        )
+        partsim = ApproximateRippleAdder(
+            width, approx_fa=fa, num_approx_lsbs=lsbs, eval_mode="partsim"
+        )
+        rng = np.random.default_rng(seed)
+        hi = 1 << width
+        a = rng.integers(0, hi, 64)
+        b = rng.integers(0, hi, 64)
+        # Mix in corner and propagate-chain operands.
+        a[:4] = [0, hi - 1, hi - 1, hi >> 1]
+        b[:4] = [0, hi - 1, 1, hi >> 1]
+        b[4] = (~a[4]) & (hi - 1)
+        assert np.array_equal(
+            loop.add(a, b, cin), partsim.add(a, b, cin)
+        )
+
+
+class TestGeArCrossPath:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        config=gear_configs(max_n=24),
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    def test_random_configs(self, config, seed):
+        window = GeArAdder(config)
+        partsim = GeArAdder(config, eval_mode="partsim")
+        rng = np.random.default_rng(seed)
+        hi = 1 << config.n
+        a = rng.integers(0, hi, 64)
+        b = rng.integers(0, hi, 64)
+        a[:2] = [hi - 1, 0]
+        b[:2] = [1, 0]
+        assert np.array_equal(window.add(a, b), partsim.add(a, b))
+
+
+def hetero_segments():
+    """Strategy for valid heterogeneous segment tuples.
+
+    Block 0 has no prediction; later blocks predict at most down to bit
+    0 (``p_i <= t_i``).
+    """
+
+    @st.composite
+    def build(draw):
+        k = draw(st.integers(min_value=2, max_value=4))
+        segments = [(draw(st.integers(min_value=1, max_value=5)), 0)]
+        for _ in range(k - 1):
+            t = sum(r for r, _ in segments)
+            r = draw(st.integers(min_value=1, max_value=5))
+            p = draw(st.integers(min_value=0, max_value=min(t, 6)))
+            segments.append((r, p))
+        if sum(r for r, _ in segments) > 20:
+            return None
+        return tuple(segments)
+
+    return build().filter(lambda s: s is not None)
+
+
+class TestHeteroCrossPath:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        segments=hetero_segments(),
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    def test_random_segmentations(self, segments, seed):
+        config = HeteroGeArConfig(segments)
+        window = HeteroGeArAdder(config)
+        partsim = HeteroGeArAdder(config, eval_mode="partsim")
+        rng = np.random.default_rng(seed)
+        hi = 1 << config.n
+        a = rng.integers(0, hi, 64)
+        b = rng.integers(0, hi, 64)
+        a[:2] = [hi - 1, 0]
+        b[:2] = [1, hi - 1]
+        assert np.array_equal(window.add(a, b), partsim.add(a, b))
+
+
+class TestLayoutRoundTrip:
+    @settings(max_examples=80, deadline=None)
+    @given(
+        field_bits=st.integers(min_value=1, max_value=63),
+        count=st.integers(min_value=1, max_value=40),
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    def test_pack_unpack_identity(self, field_bits, count, seed):
+        layout = PartitionLayout(field_bits)
+        rng = np.random.default_rng(seed)
+        values = rng.integers(0, 1 << field_bits, (3, count))
+        words = layout.pack(values)
+        assert np.array_equal(layout.unpack(words, count), values)
