@@ -58,26 +58,68 @@ class ResultCache:
         Unreadable, unparseable, checksum-less, or checksum-mismatching
         entries are treated as misses and evicted, so the task simply
         reruns and rewrites a healthy entry.
+
+        Eviction is *stat-guarded*: with many processes sharing the
+        store (the service layer makes same-key traffic the common
+        case), a concurrent ``put`` may atomically replace the shard
+        between this reader opening a damaged file and deciding to
+        evict it.  Unlinking by path at that point would destroy the
+        fresh, healthy entry.  The eviction therefore only fires if the
+        path still holds the exact file object (device/inode/mtime/
+        size) whose content failed verification.
         """
         path = self._path(key)
         try:
-            with open(path, "r", encoding="utf-8") as fh:
-                wrapped = json.load(fh)
+            fh = open(path, "r", encoding="utf-8")
         except FileNotFoundError:
             return None
-        except (json.JSONDecodeError, OSError):
-            # A damaged entry is indistinguishable from a miss; the task
-            # reruns and the entry is rewritten atomically.
-            self.evict(key)
+        except OSError:
             return None
+        with fh:
+            try:
+                stat = os.fstat(fh.fileno())
+                wrapped = json.load(fh)
+            except (json.JSONDecodeError, OSError, ValueError):
+                # Damaged entry: indistinguishable from a miss; evict
+                # (unless a concurrent writer already replaced it) so
+                # the task reruns and rewrites a healthy entry.
+                self._evict_stale(key, stat)
+                return None
         if (
             not isinstance(wrapped, dict)
             or "entry" not in wrapped
             or wrapped.get("sha256") != _entry_checksum(wrapped["entry"])
         ):
-            self.evict(key)
+            self._evict_stale(key, stat)
             return None
         return wrapped["entry"]
+
+    def _evict_stale(self, key: str, stat: os.stat_result) -> bool:
+        """Evict ``key`` only if the shard is still the file ``stat`` saw.
+
+        A concurrent atomic replace changes the inode (and mtime), so a
+        reader that lost the race leaves the fresh entry untouched --
+        the damaged file it read is already gone.  The residual window
+        between the stat comparison and the unlink is nanoseconds wide
+        and, at worst, costs one recompute; it can never serve a torn
+        entry (``get`` verifies checksums on every read).
+        """
+        path = self._path(key)
+        try:
+            current = os.stat(path)
+        except (FileNotFoundError, OSError):
+            return False
+        if (
+            (current.st_dev, current.st_ino,
+             current.st_mtime_ns, current.st_size)
+            != (stat.st_dev, stat.st_ino, stat.st_mtime_ns, stat.st_size)
+        ):
+            return False
+        try:
+            path.unlink()
+            return True
+        except (FileNotFoundError, OSError):
+            return False
 
     def put(self, key: str, entry: Dict[str, Any]) -> None:
         """Atomically persist ``entry`` (plus its checksum) under ``key``."""

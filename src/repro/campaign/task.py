@@ -29,7 +29,7 @@ __all__ = ["CODE_VERSION", "CampaignTask", "derive_seed", "stable_hash"]
 #: Version tag of the characterization code paths.  Bump whenever a
 #: registered task function changes behaviour so stale cache entries
 #: stop matching.
-CODE_VERSION = "2026.08-1"
+CODE_VERSION = "2026.08-2"
 
 
 def _canonical_json(obj: Any) -> str:

@@ -25,6 +25,10 @@ The subcommands mirror the workflows a library user runs most:
   Pareto front compared against the homogeneous Table IV front.
 * ``repro encode`` -- the HEVC-lite case study with a chosen SAD
   variant (Fig. 9 data points).
+* ``repro serve`` -- approximate-compute-as-a-service: the asyncio
+  HTTP/JSON front-end over the campaign engine (multi-tenant
+  weighted-fair queueing, shared content-addressed result store, QoS
+  admission against the analytic predictor, SSE job streams).
 
 The sweep subcommands accept ``--workers`` (process-pool fan-out) and
 ``--cache-dir`` (result cache: warm starts and kill/resume).  Results
@@ -588,6 +592,64 @@ def _cmd_analytic(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_tenant_spec(spec: str):
+    """``name:weight[:rate[:burst[:backlog]]]`` -> TenantConfig."""
+    from .service.tenants import TenantConfig
+
+    parts = spec.split(":")
+    if not parts[0]:
+        raise ValueError(f"tenant spec needs a name: {spec!r}")
+    name = parts[0]
+    weight = float(parts[1]) if len(parts) > 1 and parts[1] else 1.0
+    rate = float(parts[2]) if len(parts) > 2 and parts[2] else float("inf")
+    burst = int(parts[3]) if len(parts) > 3 and parts[3] else 64
+    backlog = int(parts[4]) if len(parts) > 4 and parts[4] else 256
+    return TenantConfig(name=name, weight=weight, rate_per_s=rate,
+                        burst=burst, max_backlog=backlog)
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from .service.app import ServiceApp, ServiceConfig
+    from .service.http import serve, sockname
+
+    try:
+        tenants = {
+            config.name: config
+            for config in (_parse_tenant_spec(s) for s in args.tenant)
+        }
+    except ValueError as exc:
+        print(f"bad --tenant spec: {exc}", file=sys.stderr)
+        return 2
+
+    async def run() -> None:
+        app = ServiceApp(ServiceConfig(
+            cache_dir=args.cache_dir,
+            n_workers=args.workers,
+            tenants=tenants,
+            allow_chaos=args.allow_chaos,
+        ))
+        await app.start()
+        server = await serve(app, host=args.host, port=args.port)
+        host, port = sockname(server)
+        print(f"repro service on http://{host}:{port} "
+              f"({args.workers} workers, "
+              f"cache={'on' if args.cache_dir else 'off'})",
+              file=sys.stderr)
+        try:
+            async with server:
+                await server.serve_forever()
+        finally:
+            await app.stop()
+
+    try:
+        asyncio.run(run())
+    except KeyboardInterrupt:
+        print("\nservice stopped", file=sys.stderr)
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the CLI argument parser (exposed for testing)."""
     parser = argparse.ArgumentParser(
@@ -753,6 +815,25 @@ def build_parser() -> argparse.ArgumentParser:
                    help="also map W-bit ripple adders")
     p.add_argument("--csv", action="store_true")
     p.set_defaults(func=_cmd_luts)
+
+    p = sub.add_parser(
+        "serve",
+        help="serve approximate-compute jobs over HTTP (asyncio + SSE)",
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8080,
+                   help="TCP port (0 = pick a free one)")
+    p.add_argument("--workers", type=int, default=2,
+                   help="concurrent job executors")
+    p.add_argument("--cache-dir", default=None,
+                   help="shared content-addressed result store directory")
+    p.add_argument("--tenant", action="append", default=[],
+                   metavar="NAME:WEIGHT[:RATE[:BURST[:BACKLOG]]]",
+                   help="per-tenant policy (repeatable); others get the "
+                        "default policy")
+    p.add_argument("--allow-chaos", action="store_true",
+                   help="also serve chaos_* kinds (testing only)")
+    p.set_defaults(func=_cmd_serve)
 
     p = sub.add_parser("encode", help="HEVC-lite case study (Fig. 9)")
     p.add_argument("--variant", default="ApxSAD2")

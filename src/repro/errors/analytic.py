@@ -54,7 +54,9 @@ __all__ = [
     "analytic_error_rate",
     "analytic_summary",
     "block_error_events",
+    "config_from_params",
     "exhaustive_error_pmf",
+    "predict_error_statistics",
 ]
 
 #: Per-bit event probabilities for uniform random operands.
@@ -269,6 +271,58 @@ def analytic_summary(config) -> Dict[str, float]:
         "max_abs": float(pmf.max_abs),
         "support_size": float(len(pmf.support)),
     }
+
+
+def config_from_params(params: Dict) -> "object":
+    """Block-adder config from JSON-ish task params, or ``None``.
+
+    Accepts the parameter spellings the campaign kinds use --
+    ``{"segments": [[r, p], ...]}``, ``{"segments": "r:p,r:p,..."}``,
+    or homogeneous ``{"n": ..., "r": ..., "p": ...}`` -- and returns a
+    :class:`~repro.adders.HeteroGeArConfig`.  Returns ``None`` when the
+    params do not describe a block adder at all (so callers can skip
+    prediction); raises ``ValueError`` when they *try* to but are
+    invalid (so callers can reject the request).
+    """
+    from ..adders.hetero import HeteroGeArConfig
+
+    if "segments" in params:
+        spec = params["segments"]
+        if isinstance(spec, str):
+            return HeteroGeArConfig.from_string(spec)
+        return HeteroGeArConfig(tuple((int(r), int(p)) for r, p in spec))
+    if all(field in params for field in ("n", "r", "p")):
+        return HeteroGeArConfig.from_gear_params(
+            int(params["n"]), int(params["r"]), int(params["p"])
+        )
+    return None
+
+
+def predict_error_statistics(params: Dict) -> Dict[str, float]:
+    """Millisecond QoS prediction for a block-adder job's params.
+
+    The service's admission controller calls this with a request's raw
+    ``params`` to decide -- *before anything executes* -- whether the
+    named approximate configuration meets a declared error budget.  The
+    statistics are the exact :func:`analytic_summary` of the PMF
+    engine, not an estimate, so an admission decision is a guarantee
+    (the property suite checks it against exhaustive enumeration).
+
+    Returns the summary dict plus ``n`` (operand width), ``k`` (segment
+    count), and ``exact`` (whether the config degenerates to a plain
+    adder).  Raises ``ValueError`` when the params do not describe a
+    block adder.
+    """
+    config = config_from_params(params)
+    if config is None:
+        raise ValueError(
+            f"params do not describe a block adder: {sorted(params)}"
+        )
+    stats = analytic_summary(config)
+    stats["n"] = float(config.n)
+    stats["k"] = float(config.k)
+    stats["exact"] = bool(config.is_exact)
+    return stats
 
 
 def exhaustive_error_pmf(config) -> ErrorPMF:

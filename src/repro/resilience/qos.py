@@ -84,6 +84,16 @@ class DegradationLog:
         return any(e.action != "accept" for e in self.events)
 
     @property
+    def degraded_to_exact(self) -> bool:
+        """Whether every approximate stage was rejected (golden served).
+
+        This is the signal the service layer surfaces per request: a
+        QoS-negotiated job whose runtime monitoring exhausted the
+        escalation ladder was answered by the exact fallback.
+        """
+        return self.final_stage == "golden"
+
+    @property
     def fault_affected_indices(self) -> Tuple[int, ...]:
         """Union of all violating batch indices across every stage."""
         seen: set = set()
@@ -96,6 +106,7 @@ class DegradationLog:
             "guard": self.guard,
             "final_stage": self.final_stage,
             "degraded": self.degraded,
+            "degraded_to_exact": self.degraded_to_exact,
             "n_events": len(self.events),
             "fault_affected_indices": list(self.fault_affected_indices),
             "events": [e.to_record() for e in self.events],

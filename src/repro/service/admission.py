@@ -1,0 +1,156 @@
+"""QoS admission control: predict quality analytically, then commit.
+
+A request may declare an error budget -- "best effort at <= 1% error,
+else exact".  For block-adder job families the exact PMF-convolution
+engine (:func:`repro.errors.analytic.predict_error_statistics`) answers
+in milliseconds whether the requested approximate configuration meets
+that budget, **without running anything**:
+
+* prediction meets the budget -> admit the approximate configuration
+  as-is (``mode="approximate"``); the prediction is exact, so this is a
+  guarantee, not a bet (see ``tests/service/test_admission_properties``
+  for the exhaustive cross-check).
+* prediction violates the budget -> rewrite the job to the exact
+  single-block fallback before it ever runs (``mode="exact_fallback"``).
+  The exact configuration has error 0, so a declared budget is always
+  satisfiable -- negotiation can degrade a request, never refuse it.
+
+Job kinds the analytic engine cannot predict (media pipelines,
+multipliers, ...) fall through to runtime enforcement: ``resilience``
+jobs with a QosGuard ladder are admitted ``mode="guarded"`` (the
+escalation ladder ends at the golden path, surfacing
+``degraded_to_exact`` in the result), and everything else is admitted
+unchanged (``mode="as_declared"``) with the declaration echoed back.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+from ..errors.analytic import predict_error_statistics
+from .schemas import JobSpec, QosSpec, SchemaError
+
+__all__ = ["AdmissionDecision", "PREDICTABLE_KINDS", "negotiate"]
+
+#: Kinds whose params name a block-adder configuration the analytic
+#: engine can predict exactly at admission time.
+PREDICTABLE_KINDS = ("analytic", "gear_dse_row", "gear_adder", "gear_mc_chunk")
+
+#: Widths past this are refused for analytic prediction (the DP stays
+#: millisecond-fast well beyond, but doubles lose exactness ~N=26).
+MAX_PREDICT_WIDTH = 26
+
+
+@dataclass(frozen=True)
+class AdmissionDecision:
+    """The negotiated outcome of one job admission."""
+
+    mode: str  # "approximate" | "exact_fallback" | "guarded" | "as_declared"
+    spec: JobSpec
+    qos: Optional[QosSpec] = None
+    predicted: Dict[str, float] = field(default_factory=dict)
+    prediction_us: float = 0.0
+    detail: str = ""
+
+    def to_record(self) -> Dict[str, Any]:
+        return {
+            "mode": self.mode,
+            "qos": self.qos.to_record() if self.qos else None,
+            "predicted": dict(self.predicted),
+            "prediction_us": round(self.prediction_us, 1),
+            "detail": self.detail,
+        }
+
+
+def _exact_fallback_spec(spec: JobSpec, width: int) -> JobSpec:
+    """Rewrite a block-adder job to its exact single-block twin."""
+    params = dict(spec.params)
+    if "segments" in params:
+        params["segments"] = [[width, 0]]
+    else:
+        params["r"], params["p"] = width, 0
+    return JobSpec(
+        kind=spec.kind,
+        params=params,
+        seed=spec.seed,
+        qos=spec.qos,
+        timeout_s=spec.timeout_s,
+        max_attempts=spec.max_attempts,
+    )
+
+
+def negotiate(spec: JobSpec) -> AdmissionDecision:
+    """Negotiate one validated job's QoS before it reaches the queue.
+
+    Raises:
+        SchemaError: The QoS declaration names a predictable kind but
+            its params do not form a valid block-adder configuration.
+    """
+    if spec.qos is None:
+        return AdmissionDecision(mode="as_declared", spec=spec,
+                                 detail="no QoS declared")
+
+    if spec.kind == "resilience" and spec.params.get("qos"):
+        return AdmissionDecision(
+            mode="guarded",
+            spec=spec,
+            qos=spec.qos,
+            detail=(
+                "runtime QosGuard escalation ladder enforces the budget; "
+                "degraded_to_exact is reported per request"
+            ),
+        )
+
+    if spec.kind not in PREDICTABLE_KINDS:
+        return AdmissionDecision(
+            mode="as_declared",
+            spec=spec,
+            qos=spec.qos,
+            detail=f"kind {spec.kind!r} has no analytic predictor",
+        )
+
+    start = time.perf_counter()
+    try:
+        predicted = predict_error_statistics(spec.params)
+    except (ValueError, TypeError) as exc:
+        raise SchemaError(
+            f"qos declared but params are not a valid block-adder "
+            f"configuration: {exc}",
+            "params",
+        )
+    if predicted["n"] > MAX_PREDICT_WIDTH:
+        raise SchemaError(
+            f"analytic prediction supports widths <= {MAX_PREDICT_WIDTH}, "
+            f"got n={int(predicted['n'])}",
+            "params",
+        )
+    prediction_us = (time.perf_counter() - start) * 1e6
+
+    metric_value = predicted[spec.qos.metric]
+    if metric_value <= spec.qos.error_budget:
+        return AdmissionDecision(
+            mode="approximate",
+            spec=spec,
+            qos=spec.qos,
+            predicted=predicted,
+            prediction_us=prediction_us,
+            detail=(
+                f"predicted {spec.qos.metric}={metric_value:.6g} <= "
+                f"budget {spec.qos.error_budget:.6g}"
+            ),
+        )
+    width = int(predicted["n"])
+    return AdmissionDecision(
+        mode="exact_fallback",
+        spec=_exact_fallback_spec(spec, width),
+        qos=spec.qos,
+        predicted=predicted,
+        prediction_us=prediction_us,
+        detail=(
+            f"predicted {spec.qos.metric}={metric_value:.6g} > "
+            f"budget {spec.qos.error_budget:.6g}; "
+            f"rewritten to exact single-block adder (n={width})"
+        ),
+    )

@@ -1,0 +1,261 @@
+"""The service application: routing, admission, and job bookkeeping.
+
+:class:`ServiceApp` is transport-agnostic -- it maps parsed
+:class:`~repro.service.http.Request` objects to JSON responses or SSE
+streams.  The HTTP layer (real sockets or in-process test stubs) sits
+in front; the :class:`~repro.service.workers.WorkerPool`, the
+:class:`~repro.service.queue.AsyncFairQueue`, and the
+:class:`~repro.service.store.SharedResultStore` sit behind.
+
+API surface (all JSON):
+
+======  ==========================  =====================================
+method  path                        answer
+======  ==========================  =====================================
+GET     ``/v1/healthz``             liveness probe
+GET     ``/v1/kinds``               job kinds this deployment serves
+GET     ``/v1/stats``               queue/store/worker/tenant counters
+POST    ``/v1/jobs``                submit a job (``X-Tenant`` header);
+                                    200 on an instant cache hit, 202
+                                    when queued, 400/413 on bad
+                                    requests, 429 with ``Retry-After``
+                                    on rate-limit or backlog overflow
+GET     ``/v1/jobs/<id>``           job status + result/failure
+GET     ``/v1/jobs/<id>/events``    SSE stream (replay + live follow;
+                                    honors ``Last-Event-ID``)
+======  ==========================  =====================================
+
+A submitted job is admission-negotiated (QoS budgets against the exact
+analytic predictor), content-addressed by its stable campaign task
+hash, answered from the shared store when warm, and otherwise queued
+weighted-fair per tenant.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Union
+
+from ..campaign import CampaignTask
+from ..campaign.registry import task_kinds
+from .admission import negotiate
+from .http import HttpError, Request, Response, SSEStream, json_response
+from .jobs import Job
+from .queue import AsyncFairQueue, BacklogFull, RateLimited
+from .schemas import SchemaError, validate_job_request
+from .store import SharedResultStore
+from .tenants import TenantConfig, TenantRegistry
+from .workers import WorkerPool
+
+__all__ = ["ServiceApp", "ServiceConfig"]
+
+_JOB_PATH = re.compile(r"^/v1/jobs/([A-Za-z0-9_-]+)$")
+_EVENTS_PATH = re.compile(r"^/v1/jobs/([A-Za-z0-9_-]+)/events$")
+
+#: Tenant header; absent means the anonymous public tenant.
+TENANT_HEADER = "x-tenant"
+DEFAULT_TENANT = "public"
+
+
+@dataclass
+class ServiceConfig:
+    """Deployment knobs of one :class:`ServiceApp`."""
+
+    cache_dir: Optional[str] = None
+    n_workers: int = 2
+    tenants: Dict[str, TenantConfig] = field(default_factory=dict)
+    default_tenant: TenantConfig = field(
+        default_factory=lambda: TenantConfig(name="default")
+    )
+    allow_chaos: bool = False
+    max_jobs_retained: int = 10_000
+    clock: Optional[Callable[[], float]] = None
+
+
+class ServiceApp:
+    """Asyncio application serving approximate-compute jobs."""
+
+    def __init__(self, config: Optional[ServiceConfig] = None) -> None:
+        self.config = config or ServiceConfig()
+        self.tenants = TenantRegistry(
+            tenants=dict(self.config.tenants),
+            default=self.config.default_tenant,
+            clock=self.config.clock,
+        )
+        self.queue = AsyncFairQueue(self.tenants)
+        self.store = SharedResultStore(self.config.cache_dir)
+        self.pool = WorkerPool(self, n_workers=self.config.n_workers)
+        self.jobs: Dict[str, Job] = {}
+        self._job_order: List[str] = []
+        self._next_job = 0
+        self.n_jobs_accepted = 0
+        self.n_jobs_rejected = 0
+        self.completed_per_tenant: Dict[str, int] = {}
+        self.completion_order: List[str] = []
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    async def start(self, paused: bool = False) -> None:
+        await self.pool.start(paused=paused)
+
+    async def stop(self) -> None:
+        await self.pool.stop()
+
+    def on_job_finished(self, job: Job) -> None:
+        """Worker-pool callback: account one finished job."""
+        self.completed_per_tenant[job.tenant] = (
+            self.completed_per_tenant.get(job.tenant, 0) + 1
+        )
+        self.completion_order.append(job.job_id)
+
+    # ------------------------------------------------------------------
+    # routing
+    # ------------------------------------------------------------------
+    async def dispatch(
+        self, request: Request
+    ) -> Union[Response, SSEStream]:
+        """Route one request; raises :class:`HttpError` for error paths."""
+        path = request.path.rstrip("/") or "/"
+        if path == "/v1/healthz":
+            self._require_method(request, "GET")
+            return json_response(200, {"ok": True})
+        if path == "/v1/kinds":
+            self._require_method(request, "GET")
+            return json_response(200, {"kinds": self._served_kinds()})
+        if path == "/v1/stats":
+            self._require_method(request, "GET")
+            return json_response(200, self.stats())
+        if path == "/v1/jobs":
+            self._require_method(request, "POST")
+            return self._submit(request)
+        match = _JOB_PATH.match(path)
+        if match:
+            self._require_method(request, "GET")
+            return json_response(200, self._job(match.group(1)).to_record())
+        match = _EVENTS_PATH.match(path)
+        if match:
+            self._require_method(request, "GET")
+            job = self._job(match.group(1))
+            after = -1
+            last_id = request.header("last-event-id")
+            if last_id:
+                try:
+                    after = int(last_id)
+                except ValueError:
+                    raise HttpError(400, {
+                        "error": "bad_request",
+                        "message": f"bad Last-Event-ID {last_id!r}",
+                    })
+            return SSEStream(job=job, after=after)
+        raise HttpError(404, {"error": "not_found", "path": request.path})
+
+    @staticmethod
+    def _require_method(request: Request, method: str) -> None:
+        if request.method != method:
+            raise HttpError(405, {
+                "error": "method_not_allowed",
+                "method": request.method,
+                "allowed": [method],
+            })
+
+    def _served_kinds(self) -> List[str]:
+        kinds = task_kinds()
+        if not self.config.allow_chaos:
+            kinds = [k for k in kinds if not k.startswith("chaos_")]
+        return kinds
+
+    def _job(self, job_id: str) -> Job:
+        job = self.jobs.get(job_id)
+        if job is None:
+            raise HttpError(404, {"error": "not_found", "job_id": job_id})
+        return job
+
+    # ------------------------------------------------------------------
+    # submission
+    # ------------------------------------------------------------------
+    def _submit(self, request: Request) -> Response:
+        tenant = request.header(TENANT_HEADER, DEFAULT_TENANT) or \
+            DEFAULT_TENANT
+        payload = request.json()
+        try:
+            spec = validate_job_request(
+                payload, allow_chaos=self.config.allow_chaos
+            )
+            decision = negotiate(spec)
+        except SchemaError as exc:
+            self.n_jobs_rejected += 1
+            raise HttpError(400, exc.to_record())
+
+        admitted = decision.spec
+        task = CampaignTask(
+            kind=admitted.kind, params=admitted.params, seed=admitted.seed
+        )
+        job_id = f"j{self._next_job:08d}"
+        self._next_job += 1
+        job = Job(job_id, tenant, admitted, task.key, decision)
+        job.emit("accepted", tenant=tenant, kind=admitted.kind, key=task.key)
+        job.emit("admitted", **decision.to_record())
+
+        entry = self.store.get(task.key)
+        if entry is not None:
+            # Content-addressed hit: answered without queue or worker.
+            self._retain(job)
+            job.emit("cache_hit", tier="store")
+            job.complete(entry["result"], served_from="cache")
+            self.n_jobs_accepted += 1
+            self.on_job_finished(job)
+            return json_response(200, job.to_record())
+
+        try:
+            self.queue.submit_nowait(tenant, job)
+        except RateLimited as exc:
+            self.n_jobs_rejected += 1
+            raise HttpError(429, {
+                "error": "rate_limited",
+                "tenant": tenant,
+                "retry_after_s": round(exc.retry_after_s, 3),
+            })
+        except BacklogFull as exc:
+            self.n_jobs_rejected += 1
+            raise HttpError(429, {
+                "error": "backlog_full",
+                "tenant": tenant,
+                "max_backlog": exc.max_backlog,
+            })
+        self._retain(job)
+        job.emit("queued", backlog=self.queue.core.backlog(tenant))
+        self.n_jobs_accepted += 1
+        return json_response(202, job.to_record(include_result=False))
+
+    def _retain(self, job: Job) -> None:
+        self.jobs[job.job_id] = job
+        self._job_order.append(job.job_id)
+        while len(self._job_order) > self.config.max_jobs_retained:
+            stale = self._job_order.pop(0)
+            dropped = self.jobs.get(stale)
+            if dropped is not None and dropped.state in ("done", "failed"):
+                del self.jobs[stale]
+            else:
+                self._job_order.append(stale)  # still active: keep it
+                break
+
+    # ------------------------------------------------------------------
+    # reporting
+    # ------------------------------------------------------------------
+    def stats(self) -> Dict[str, Any]:
+        return {
+            "jobs": {
+                "accepted": self.n_jobs_accepted,
+                "rejected": self.n_jobs_rejected,
+                "retained": len(self.jobs),
+                "completed_per_tenant": dict(
+                    sorted(self.completed_per_tenant.items())
+                ),
+            },
+            "queue": self.queue.core.to_record(),
+            "store": self.store.to_record(),
+            "workers": self.pool.to_record(),
+            "tenants": self.tenants.to_record(),
+        }

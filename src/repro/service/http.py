@@ -1,0 +1,252 @@
+"""Minimal asyncio HTTP/1.1 layer (stdlib only, no framework).
+
+Just enough HTTP for a JSON job API plus SSE streaming: request-line +
+headers + ``Content-Length`` bodies on the way in; status + headers +
+body (or an unbounded ``text/event-stream``) on the way out.  One
+request per connection (``Connection: close``) keeps the state machine
+trivial and the tests deterministic.
+
+The transport is abstracted to *any* object with ``write`` /
+``drain`` / ``close`` -- the production server passes a real
+:class:`asyncio.StreamWriter`, while the in-process test harness passes
+a buffer-backed stub, so every handler path is exercised without
+opening sockets (one loopback smoke test covers the real-socket path).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Dict, Optional, Tuple
+from urllib.parse import parse_qsl, unquote, urlsplit
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .app import ServiceApp
+
+__all__ = [
+    "HttpError",
+    "Request",
+    "Response",
+    "SSEStream",
+    "handle_connection",
+    "json_response",
+    "read_request",
+    "serve",
+    "sockname",
+]
+
+#: Upper bound on request bodies (1 MiB) and on the header block.
+MAX_BODY_BYTES = 1 << 20
+MAX_HEADER_BYTES = 32 * 1024
+
+_REASONS = {
+    200: "OK", 202: "Accepted", 400: "Bad Request", 404: "Not Found",
+    405: "Method Not Allowed", 413: "Payload Too Large",
+    429: "Too Many Requests", 500: "Internal Server Error",
+}
+
+
+class HttpError(Exception):
+    """A request that must be answered with an error status."""
+
+    def __init__(self, status: int, body: Dict[str, Any]) -> None:
+        super().__init__(f"HTTP {status}")
+        self.status = status
+        self.body = body
+
+
+@dataclass
+class Request:
+    """One parsed HTTP request."""
+
+    method: str
+    path: str
+    query: Dict[str, str] = field(default_factory=dict)
+    headers: Dict[str, str] = field(default_factory=dict)
+    body: bytes = b""
+
+    def json(self) -> Any:
+        """Decoded JSON body; raises :class:`HttpError` 400 on garbage."""
+        if not self.body:
+            raise HttpError(400, {"error": "bad_request",
+                                  "message": "empty body; JSON expected"})
+        try:
+            return json.loads(self.body)
+        except json.JSONDecodeError as exc:
+            raise HttpError(400, {"error": "bad_request",
+                                  "message": f"invalid JSON: {exc}"})
+
+    def header(self, name: str, default: str = "") -> str:
+        return self.headers.get(name.lower(), default)
+
+
+@dataclass
+class Response:
+    """A buffered (non-streaming) HTTP response."""
+
+    status: int
+    body: bytes = b""
+    content_type: str = "application/json"
+    headers: Dict[str, str] = field(default_factory=dict)
+
+    def encode(self) -> bytes:
+        reason = _REASONS.get(self.status, "Unknown")
+        lines = [
+            f"HTTP/1.1 {self.status} {reason}",
+            f"Content-Type: {self.content_type}",
+            f"Content-Length: {len(self.body)}",
+            "Connection: close",
+        ]
+        for name, value in self.headers.items():
+            lines.append(f"{name}: {value}")
+        head = ("\r\n".join(lines) + "\r\n\r\n").encode("utf-8")
+        return head + self.body
+
+
+def json_response(
+    status: int, payload: Any, headers: Optional[Dict[str, str]] = None
+) -> Response:
+    body = json.dumps(payload, sort_keys=True).encode("utf-8")
+    return Response(status=status, body=body, headers=dict(headers or {}))
+
+
+@dataclass
+class SSEStream:
+    """Handler sentinel: stream this job's events instead of a body."""
+
+    job: Any  # repro.service.jobs.Job
+    after: int = -1
+
+
+async def read_request(reader: asyncio.StreamReader) -> Optional[Request]:
+    """Parse one request off ``reader``; ``None`` on a closed connection.
+
+    Raises:
+        HttpError: 400 on malformed framing, 413 on oversized bodies.
+    """
+    try:
+        head = await reader.readuntil(b"\r\n\r\n")
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None  # clean EOF before any bytes: client went away
+        raise HttpError(400, {"error": "bad_request",
+                              "message": "truncated request head"})
+    except asyncio.LimitOverrunError:
+        raise HttpError(413, {"error": "too_large",
+                              "message": "request head too large"})
+    if len(head) > MAX_HEADER_BYTES:
+        raise HttpError(413, {"error": "too_large",
+                              "message": "request head too large"})
+    lines = head.decode("latin-1").split("\r\n")
+    parts = lines[0].split(" ")
+    if len(parts) != 3 or not parts[2].startswith("HTTP/1."):
+        raise HttpError(400, {"error": "bad_request",
+                              "message": f"malformed request line {lines[0]!r}"})
+    method, target, _version = parts
+    split = urlsplit(target)
+    path = unquote(split.path)
+    query = dict(parse_qsl(split.query))
+    headers: Dict[str, str] = {}
+    for line in lines[1:]:
+        if not line:
+            continue
+        if ":" not in line:
+            raise HttpError(400, {"error": "bad_request",
+                                  "message": f"malformed header {line!r}"})
+        name, _, value = line.partition(":")
+        headers[name.strip().lower()] = value.strip()
+    body = b""
+    length = headers.get("content-length")
+    if length is not None:
+        try:
+            n = int(length)
+        except ValueError:
+            raise HttpError(400, {"error": "bad_request",
+                                  "message": "bad Content-Length"})
+        if n > MAX_BODY_BYTES:
+            raise HttpError(413, {"error": "too_large",
+                                  "message": f"body exceeds {MAX_BODY_BYTES}"})
+        if n:
+            try:
+                body = await reader.readexactly(n)
+            except asyncio.IncompleteReadError:
+                raise HttpError(400, {"error": "bad_request",
+                                      "message": "truncated body"})
+    return Request(method=method.upper(), path=path, query=query,
+                   headers=headers, body=body)
+
+
+async def _write_sse(writer: Any, stream: SSEStream) -> None:
+    """Stream a job's events until a terminal event closes the stream."""
+    from .sse import format_event
+
+    head = (
+        "HTTP/1.1 200 OK\r\n"
+        "Content-Type: text/event-stream\r\n"
+        "Cache-Control: no-store\r\n"
+        "Connection: close\r\n\r\n"
+    ).encode("utf-8")
+    writer.write(head)
+    await writer.drain()
+    async for event in stream.job.stream(after=stream.after):
+        writer.write(format_event(event))
+        await writer.drain()
+
+
+async def handle_connection(
+    app: "ServiceApp", reader: asyncio.StreamReader, writer: Any
+) -> None:
+    """Serve one connection: read a request, dispatch, write the answer.
+
+    ``writer`` only needs ``write`` / ``drain`` / ``close`` (and
+    optionally ``wait_closed``), so asyncio transport stubs work.
+    """
+    try:
+        try:
+            request = await read_request(reader)
+            if request is None:
+                return
+            outcome = await app.dispatch(request)
+        except HttpError as exc:
+            outcome = json_response(exc.status, exc.body)
+        except Exception as exc:  # noqa: BLE001 - connection must answer
+            outcome = json_response(
+                500,
+                {"error": "internal", "error_type": type(exc).__name__,
+                 "message": str(exc)[:500]},
+            )
+        if isinstance(outcome, SSEStream):
+            await _write_sse(writer, outcome)
+        else:
+            writer.write(outcome.encode())
+            await writer.drain()
+    except (ConnectionResetError, BrokenPipeError):
+        pass  # client vanished mid-answer; nothing to salvage
+    finally:
+        try:
+            writer.close()
+            wait_closed = getattr(writer, "wait_closed", None)
+            if wait_closed is not None:
+                await wait_closed()
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+
+
+async def serve(
+    app: "ServiceApp", host: str = "127.0.0.1", port: int = 8080
+) -> asyncio.AbstractServer:
+    """Bind the app on a real socket; returns the asyncio server."""
+
+    async def on_connection(reader: asyncio.StreamReader,
+                            writer: asyncio.StreamWriter) -> None:
+        await handle_connection(app, reader, writer)
+
+    return await asyncio.start_server(on_connection, host=host, port=port)
+
+
+def sockname(server: asyncio.AbstractServer) -> Tuple[str, int]:
+    """(host, port) the server actually bound (port 0 resolves here)."""
+    sock = server.sockets[0]
+    name = sock.getsockname()
+    return name[0], name[1]

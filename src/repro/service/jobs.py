@@ -1,0 +1,169 @@
+"""Job lifecycle: states, structured events, and SSE subscriptions.
+
+A :class:`Job` is one admitted request travelling through the service:
+
+``queued -> running -> done | failed``
+
+(with ``done`` reachable directly for cache hits).  Every transition
+appends a :class:`JobEvent` to the job's ordered event log.  The log is
+the single source of truth for observers: the SSE endpoint *replays* it
+from any position and then follows live appends through per-subscriber
+queues, so a client that connects after completion sees exactly the
+same stream as one that watched from the start -- deterministic,
+gap-free, terminated by a ``completed`` or ``failed`` event.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+from typing import Any, AsyncIterator, Dict, List, Optional
+
+from .admission import AdmissionDecision
+from .schemas import JobSpec
+
+__all__ = ["Job", "JobEvent", "TERMINAL_EVENTS"]
+
+#: Event types that end a job's stream.
+TERMINAL_EVENTS = ("completed", "failed")
+
+
+@dataclass(frozen=True)
+class JobEvent:
+    """One entry of a job's ordered event log."""
+
+    seq: int
+    event: str
+    data: Dict[str, Any] = field(default_factory=dict)
+
+    def to_record(self) -> Dict[str, Any]:
+        return {"seq": self.seq, "event": self.event, "data": dict(self.data)}
+
+
+class Job:
+    """One admitted job and its observable history."""
+
+    def __init__(
+        self,
+        job_id: str,
+        tenant: str,
+        spec: JobSpec,
+        key: str,
+        decision: AdmissionDecision,
+    ) -> None:
+        self.job_id = job_id
+        self.tenant = tenant
+        self.spec = spec
+        self.key = key
+        self.decision = decision
+        self.state = "queued"
+        self.result: Any = None
+        self.failure: Optional[Dict[str, Any]] = None
+        self.served_from: Optional[str] = None  # "cache" | "dedupe" | None
+        self.events: List[JobEvent] = []
+        self.done = asyncio.Event()
+        self._subscribers: List[asyncio.Queue] = []
+
+    # -- event log -----------------------------------------------------
+
+    def emit(self, event: str, **data: Any) -> JobEvent:
+        """Append one event and fan it out to live subscribers."""
+        entry = JobEvent(seq=len(self.events), event=event, data=data)
+        self.events.append(entry)
+        for queue in self._subscribers:
+            queue.put_nowait(entry)
+        return entry
+
+    # -- transitions ---------------------------------------------------
+
+    def mark_running(self) -> None:
+        self.state = "running"
+        self.emit("started", key=self.key)
+
+    def complete(self, result: Any, served_from: Optional[str] = None) -> None:
+        self.state = "done"
+        self.result = result
+        self.served_from = served_from
+        data: Dict[str, Any] = {"state": "done"}
+        if served_from:
+            data["served_from"] = served_from
+        qos = self.qos_summary()
+        if qos is not None:
+            data["qos"] = qos
+        self.emit("completed", **data)
+        self.done.set()
+
+    def fail(self, failure: Dict[str, Any]) -> None:
+        self.state = "failed"
+        self.failure = failure
+        self.emit("failed", state="failed", failure=failure)
+        self.done.set()
+
+    def qos_summary(self) -> Optional[Dict[str, Any]]:
+        """Admission mode plus any runtime degradation, for responses."""
+        if self.decision.qos is None:
+            return None
+        summary: Dict[str, Any] = {
+            "mode": self.decision.mode,
+            "error_budget": self.decision.qos.error_budget,
+            "metric": self.decision.qos.metric,
+        }
+        record = self.result if isinstance(self.result, dict) else {}
+        runtime = record.get("qos") if isinstance(record.get("qos"), dict) \
+            else None
+        if runtime is not None:
+            summary["final_stage"] = runtime.get("final_stage")
+            summary["degraded_to_exact"] = runtime.get("degraded_to_exact")
+        return summary
+
+    # -- subscriptions -------------------------------------------------
+
+    async def stream(self, after: int = -1) -> AsyncIterator[JobEvent]:
+        """Replay events past ``after`` (seq), then follow live ones.
+
+        Terminates after yielding a terminal event, so SSE streams end
+        instead of stalling -- even for jobs that failed or were served
+        from cache long before the subscriber arrived.
+        """
+        queue: asyncio.Queue = asyncio.Queue()
+        self._subscribers.append(queue)
+        try:
+            seen = after
+            for entry in list(self.events):
+                if entry.seq > seen:
+                    seen = entry.seq
+                    yield entry
+                    if entry.event in TERMINAL_EVENTS:
+                        return
+            while True:
+                entry = await queue.get()
+                if entry.seq <= seen:
+                    continue
+                seen = entry.seq
+                yield entry
+                if entry.event in TERMINAL_EVENTS:
+                    return
+        finally:
+            self._subscribers.remove(queue)
+
+    # -- reporting -----------------------------------------------------
+
+    def to_record(self, include_result: bool = True) -> Dict[str, Any]:
+        record: Dict[str, Any] = {
+            "job_id": self.job_id,
+            "tenant": self.tenant,
+            "state": self.state,
+            "kind": self.spec.kind,
+            "key": self.key,
+            "seed": self.spec.seed,
+            "admission": self.decision.to_record(),
+            "served_from": self.served_from,
+            "n_events": len(self.events),
+        }
+        qos = self.qos_summary()
+        if qos is not None:
+            record["qos"] = qos
+        if include_result:
+            record["result"] = self.result
+            record["failure"] = self.failure
+        return record

@@ -1,0 +1,219 @@
+"""Request validation for the service API (stdlib-only, schema-lite).
+
+The service accepts JSON job requests and turns them into
+:class:`~repro.campaign.task.CampaignTask` descriptions.  Validation is
+strict and structured: every rejection is a :class:`SchemaError` naming
+the offending field, which the HTTP layer renders as a 400 with a
+machine-readable body -- a bad request never reaches the queue, the
+admission controller, or a worker.
+
+A job request looks like::
+
+    {
+      "kind": "analytic",                  # registered campaign kind
+      "params": {"n": 8, "r": 2, "p": 2},  # JSON-object task params
+      "seed": 0,                           # optional, default 0
+      "qos": {"error_budget": 0.01,        # optional QoS declaration
+              "metric": "error_rate"},
+      "timeout_s": 5.0,                    # optional hardened execution
+      "max_attempts": 2                    # optional bounded retries
+    }
+
+Chaos kinds (``chaos_*``) are refused unless the app opts in -- they
+exist to exercise the hardened runner, not to serve tenants.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+__all__ = [
+    "JobSpec",
+    "QosSpec",
+    "SchemaError",
+    "QOS_METRICS",
+    "validate_job_request",
+]
+
+#: Metrics a QoS declaration may budget, as reported by the analytic
+#: engine (:func:`repro.errors.analytic.predict_error_statistics`).
+QOS_METRICS = ("error_rate", "nmed", "med")
+
+#: Hard caps on hardened-execution knobs a request may ask for.
+MAX_TIMEOUT_S = 300.0
+MAX_ATTEMPTS = 5
+
+#: Upper bound on the canonical JSON size of ``params`` (anti-abuse).
+MAX_PARAMS_BYTES = 64 * 1024
+
+
+class SchemaError(ValueError):
+    """A request failed validation; ``field`` names the culprit."""
+
+    def __init__(self, message: str, fieldname: str = "") -> None:
+        super().__init__(message)
+        self.field = fieldname
+
+    def to_record(self) -> Dict[str, str]:
+        return {"error": "bad_request", "field": self.field,
+                "message": str(self)}
+
+
+@dataclass(frozen=True)
+class QosSpec:
+    """A request's declared quality budget ("best effort at <= budget")."""
+
+    error_budget: float
+    metric: str = "error_rate"
+
+    def to_record(self) -> Dict[str, Any]:
+        return {"error_budget": self.error_budget, "metric": self.metric}
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """A validated job request, ready for admission control."""
+
+    kind: str
+    params: Dict[str, Any] = field(default_factory=dict)
+    seed: int = 0
+    qos: Optional[QosSpec] = None
+    timeout_s: Optional[float] = None
+    max_attempts: int = 1
+
+    def to_record(self) -> Dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "params": dict(self.params),
+            "seed": self.seed,
+            "qos": self.qos.to_record() if self.qos else None,
+            "timeout_s": self.timeout_s,
+            "max_attempts": self.max_attempts,
+        }
+
+
+def _require(condition: bool, message: str, fieldname: str) -> None:
+    if not condition:
+        raise SchemaError(message, fieldname)
+
+
+def _json_size(obj: Any) -> int:
+    import json
+
+    return len(json.dumps(obj, separators=(",", ":")))
+
+
+def _validate_qos(payload: Any) -> QosSpec:
+    _require(isinstance(payload, dict), "qos must be an object", "qos")
+    unknown = set(payload) - {"error_budget", "metric"}
+    _require(not unknown, f"unknown qos fields: {sorted(unknown)}", "qos")
+    budget = payload.get("error_budget")
+    _require(
+        isinstance(budget, (int, float)) and not isinstance(budget, bool),
+        "qos.error_budget must be a number",
+        "qos.error_budget",
+    )
+    _require(
+        0.0 <= float(budget) <= 1.0,
+        f"qos.error_budget must be in [0, 1], got {budget}",
+        "qos.error_budget",
+    )
+    metric = payload.get("metric", "error_rate")
+    _require(
+        metric in QOS_METRICS,
+        f"qos.metric must be one of {list(QOS_METRICS)}, got {metric!r}",
+        "qos.metric",
+    )
+    return QosSpec(error_budget=float(budget), metric=metric)
+
+
+def validate_job_request(
+    payload: Any, allow_chaos: bool = False
+) -> JobSpec:
+    """Validate one POST /v1/jobs body into a :class:`JobSpec`.
+
+    Raises:
+        SchemaError: With the offending field name, on any violation --
+            unknown top-level fields, unregistered or disallowed kinds,
+            non-object params, oversized params, out-of-range seeds or
+            hardened-execution knobs, malformed QoS declarations.
+    """
+    from ..campaign.registry import task_kinds
+
+    _require(isinstance(payload, dict), "request body must be a JSON object",
+             "")
+    allowed = {"kind", "params", "seed", "qos", "timeout_s", "max_attempts"}
+    unknown = set(payload) - allowed
+    _require(not unknown, f"unknown fields: {sorted(unknown)}", "")
+
+    kind = payload.get("kind")
+    _require(isinstance(kind, str) and kind, "kind must be a non-empty string",
+             "kind")
+    known = task_kinds()
+    _require(kind in known, f"unknown kind {kind!r}", "kind")
+    _require(
+        allow_chaos or not kind.startswith("chaos_"),
+        f"kind {kind!r} is not served",
+        "kind",
+    )
+
+    params = payload.get("params", {})
+    _require(isinstance(params, dict), "params must be a JSON object",
+             "params")
+    try:
+        size = _json_size(params)
+    except (TypeError, ValueError):
+        raise SchemaError("params must be JSON-serializable", "params")
+    _require(
+        size <= MAX_PARAMS_BYTES,
+        f"params too large ({size} > {MAX_PARAMS_BYTES} bytes)",
+        "params",
+    )
+
+    seed = payload.get("seed", 0)
+    _require(
+        isinstance(seed, int) and not isinstance(seed, bool),
+        "seed must be an integer",
+        "seed",
+    )
+    _require(0 <= seed < 2**63, "seed must be in [0, 2**63)", "seed")
+
+    timeout_s = payload.get("timeout_s")
+    if timeout_s is not None:
+        _require(
+            isinstance(timeout_s, (int, float))
+            and not isinstance(timeout_s, bool),
+            "timeout_s must be a number",
+            "timeout_s",
+        )
+        _require(
+            0.0 < float(timeout_s) <= MAX_TIMEOUT_S,
+            f"timeout_s must be in (0, {MAX_TIMEOUT_S}]",
+            "timeout_s",
+        )
+        timeout_s = float(timeout_s)
+
+    max_attempts = payload.get("max_attempts", 1)
+    _require(
+        isinstance(max_attempts, int) and not isinstance(max_attempts, bool),
+        "max_attempts must be an integer",
+        "max_attempts",
+    )
+    _require(
+        1 <= max_attempts <= MAX_ATTEMPTS,
+        f"max_attempts must be in [1, {MAX_ATTEMPTS}]",
+        "max_attempts",
+    )
+
+    qos = payload.get("qos")
+    qos_spec = _validate_qos(qos) if qos is not None else None
+
+    return JobSpec(
+        kind=kind,
+        params=dict(params),
+        seed=seed,
+        qos=qos_spec,
+        timeout_s=timeout_s,
+        max_attempts=max_attempts,
+    )

@@ -1,0 +1,67 @@
+"""Server-Sent-Events encoding for job streams.
+
+The wire format is the standard ``text/event-stream``: each event is
+
+.. code-block:: text
+
+    id: <seq>
+    event: <type>
+    data: <one-line JSON>
+    <blank line>
+
+The event ``id`` is the job's event-log sequence number, so a client
+reconnecting with ``Last-Event-ID`` resumes exactly where it stopped
+(:meth:`repro.service.jobs.Job.stream` replays the log past that
+position, then follows live).  Streams always terminate after a
+``completed`` or ``failed`` event -- no observer is ever left holding
+an open connection to a job that already resolved.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Iterable, List, Optional
+
+from .jobs import JobEvent
+
+__all__ = ["format_event", "parse_stream"]
+
+
+def format_event(event: JobEvent) -> bytes:
+    """Encode one job event as an SSE frame."""
+    data = json.dumps(event.data, sort_keys=True, separators=(",", ":"))
+    return (
+        f"id: {event.seq}\nevent: {event.event}\ndata: {data}\n\n"
+    ).encode("utf-8")
+
+
+def parse_stream(raw: bytes) -> List[Dict]:
+    """Decode an SSE byte stream back into event dicts (for tests/clients).
+
+    Returns ``[{"id": int | None, "event": str, "data": ...}, ...]`` in
+    stream order; unknown fields are ignored per the SSE spec.
+    """
+    events: List[Dict] = []
+    for frame in raw.decode("utf-8").split("\n\n"):
+        if not frame.strip():
+            continue
+        event_id: Optional[int] = None
+        event_type = "message"
+        data_lines: List[str] = []
+        for line in frame.splitlines():
+            if line.startswith("id:"):
+                event_id = int(line[3:].strip())
+            elif line.startswith("event:"):
+                event_type = line[6:].strip()
+            elif line.startswith("data:"):
+                data_lines.append(line[5:].strip())
+        data = json.loads("\n".join(data_lines)) if data_lines else None
+        events.append({"id": event_id, "event": event_type, "data": data})
+    return events
+
+
+def replay_frames(events: Iterable[JobEvent], after: int = -1) -> bytes:
+    """Concatenated frames for already-logged events past ``after``."""
+    return b"".join(
+        format_event(event) for event in events if event.seq > after
+    )

@@ -1,0 +1,95 @@
+"""Shared content-addressed result store over the campaign cache.
+
+The campaign's :class:`~repro.campaign.cache.ResultCache` already keys
+results by the stable task hash (kind, params, seed, code version).
+:class:`SharedResultStore` promotes it to the service's shared store:
+
+* a **memory tier** in front of the disk tier, so a repeated request --
+  from *any* tenant; the key is content-addressed, tenancy plays no
+  part in identity -- is answered in microseconds without touching the
+  filesystem or re-executing anything;
+* the **disk tier** is the very same checksummed, sharded, atomically
+  replaced cache the campaign runner writes, so the service and batch
+  campaigns share warm results in both directions;
+* per-tier hit/miss counters for the stats endpoint and benchmarks.
+
+The memory tier is bounded (FIFO eviction at ``max_memory_entries``) so
+a long-lived server cannot grow without bound; the disk tier remains
+the full history.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Any, Dict, Optional
+
+from ..campaign.cache import ResultCache
+
+__all__ = ["SharedResultStore"]
+
+
+class SharedResultStore:
+    """Two-tier (memory + optional disk) store keyed by task hash."""
+
+    def __init__(
+        self,
+        cache_dir: Optional[str] = None,
+        max_memory_entries: int = 4096,
+    ) -> None:
+        if max_memory_entries < 1:
+            raise ValueError(
+                f"max_memory_entries must be >= 1, got {max_memory_entries}"
+            )
+        self.disk = ResultCache(cache_dir) if cache_dir else None
+        self.max_memory_entries = max_memory_entries
+        self._memory: "OrderedDict[str, Dict[str, Any]]" = OrderedDict()
+        self.n_memory_hits = 0
+        self.n_disk_hits = 0
+        self.n_misses = 0
+        self.n_puts = 0
+
+    def get(self, key: str) -> Optional[Dict[str, Any]]:
+        """Cached entry for ``key`` (memory first, then verified disk)."""
+        entry = self._memory.get(key)
+        if entry is not None:
+            self.n_memory_hits += 1
+            return entry
+        if self.disk is not None:
+            entry = self.disk.get(key)
+            if entry is not None:
+                self.n_disk_hits += 1
+                self._remember(key, entry)
+                return entry
+        self.n_misses += 1
+        return None
+
+    def put(self, key: str, entry: Dict[str, Any]) -> None:
+        """Persist ``entry`` to both tiers (disk write is atomic)."""
+        self._remember(key, entry)
+        if self.disk is not None:
+            self.disk.put(key, entry)
+        self.n_puts += 1
+
+    def _remember(self, key: str, entry: Dict[str, Any]) -> None:
+        memory = self._memory
+        if key in memory:
+            memory.move_to_end(key)
+        memory[key] = entry
+        while len(memory) > self.max_memory_entries:
+            memory.popitem(last=False)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._memory or (
+            self.disk is not None and key in self.disk
+        )
+
+    def to_record(self) -> Dict[str, Any]:
+        return {
+            "memory_entries": len(self._memory),
+            "max_memory_entries": self.max_memory_entries,
+            "disk": self.disk is not None,
+            "n_memory_hits": self.n_memory_hits,
+            "n_disk_hits": self.n_disk_hits,
+            "n_misses": self.n_misses,
+            "n_puts": self.n_puts,
+        }

@@ -1,0 +1,177 @@
+"""Worker-pool bridge from the async service onto the campaign runner.
+
+Each worker is an asyncio task draining the weighted-fair queue.  A
+popped job is executed through :func:`repro.campaign.run_campaign` in a
+worker thread (``asyncio.to_thread``), which buys the service every
+hardening the batch path already has: jobs with a ``timeout_s`` run in
+per-attempt *isolated processes* that can be reaped when they hang,
+failures retry with deterministic backoff up to ``max_attempts``, and a
+job that exhausts its attempts surfaces the campaign's structured
+:class:`~repro.campaign.runner.TaskFailure` record -- the client sees a
+``failed`` event with machine-readable attempts, never a stalled
+stream.
+
+**Single-flight deduplication**: jobs are content-addressed by their
+stable task hash, so when several tenants submit the identical request
+concurrently, the first popped job becomes the *leader* (it runs the
+campaign task once) and the rest attach as *followers* awaiting the
+leader's future.  Exactly one campaign execution happens per unique
+key; the store then serves everyone else forever.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Tuple
+
+from ..campaign import CampaignTask, run_campaign
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .app import ServiceApp
+    from .jobs import Job
+
+__all__ = ["WorkerPool"]
+
+
+class WorkerPool:
+    """N asyncio workers bridging the fair queue to the campaign runner."""
+
+    def __init__(self, app: "ServiceApp", n_workers: int = 2) -> None:
+        if n_workers < 1:
+            raise ValueError(f"n_workers must be >= 1, got {n_workers}")
+        self.app = app
+        self.n_workers = n_workers
+        self._tasks: List[asyncio.Task] = []
+        self._inflight: Dict[str, asyncio.Future] = {}
+        self.n_campaign_executions = 0
+        self.n_dedupe_joins = 0
+
+    # -- lifecycle -----------------------------------------------------
+
+    async def start(self, paused: bool = False) -> None:
+        if self._tasks:
+            raise RuntimeError("worker pool already started")
+        if paused:
+            self.app.queue.pause()
+        self._tasks = [
+            asyncio.create_task(self._worker_loop(i), name=f"svc-worker-{i}")
+            for i in range(self.n_workers)
+        ]
+
+    def pause(self) -> None:
+        """Stop dispatching new jobs (in-flight ones finish)."""
+        self.app.queue.pause()
+
+    def resume(self) -> None:
+        self.app.queue.resume()
+
+    async def stop(self) -> None:
+        for task in self._tasks:
+            task.cancel()
+        await asyncio.gather(*self._tasks, return_exceptions=True)
+        self._tasks = []
+
+    # -- execution -----------------------------------------------------
+
+    async def _worker_loop(self, index: int) -> None:
+        queue = self.app.queue
+        while True:
+            tenant, job = await queue.get()
+            del tenant  # scheduling already accounted for the tenant
+            try:
+                await self._execute(job)
+            except Exception as exc:  # noqa: BLE001 - worker must survive
+                job.fail({
+                    "error": "internal",
+                    "error_type": type(exc).__name__,
+                    "message": str(exc)[:500],
+                })
+            finally:
+                self.app.on_job_finished(job)
+
+    async def _execute(self, job: "Job") -> None:
+        store = self.app.store
+        key = job.key
+
+        entry = store.get(key)
+        if entry is not None:
+            job.emit("cache_hit", tier="store")
+            job.complete(entry["result"], served_from="cache")
+            return
+
+        leader_future = self._inflight.get(key)
+        if leader_future is not None:
+            # Follower: identical request already executing.
+            self.n_dedupe_joins += 1
+            job.emit("deduplicated", key=key)
+            result, failure = await leader_future
+            if failure is None:
+                job.complete(result, served_from="dedupe")
+            else:
+                job.fail(failure)
+            return
+
+        loop = asyncio.get_running_loop()
+        future: asyncio.Future = loop.create_future()
+        self._inflight[key] = future
+        job.mark_running()
+        self.n_campaign_executions += 1
+        try:
+            result, failure = await asyncio.to_thread(
+                self._run_one, job
+            )
+        except BaseException:
+            self._inflight.pop(key, None)
+            if not future.done():
+                future.set_exception(RuntimeError("leader aborted"))
+            raise
+        if failure is None:
+            store.put(key, {
+                "task": self._task_for(job).as_dict(),
+                "result": result,
+                "elapsed_s": 0.0,
+            })
+            job.complete(result)
+        else:
+            job.fail(failure)
+        self._inflight.pop(key, None)
+        future.set_result((result, failure))
+
+    def _task_for(self, job: "Job") -> CampaignTask:
+        spec = job.decision.spec
+        return CampaignTask(kind=spec.kind, params=spec.params, seed=spec.seed)
+
+    def _run_one(
+        self, job: "Job"
+    ) -> Tuple[Any, Optional[Dict[str, Any]]]:
+        """Blocking body: one hardened single-task campaign.
+
+        Runs on a worker thread.  ``timeout_s`` forces per-attempt
+        process isolation inside :func:`run_campaign`, so a wedged task
+        is reaped there without stalling this thread forever.
+        """
+        spec = job.decision.spec
+        task = self._task_for(job)
+        result = run_campaign(
+            [task],
+            n_workers=1,
+            cache_dir=None,  # the SharedResultStore owns persistence
+            timeout_s=spec.timeout_s,
+            max_attempts=spec.max_attempts,
+            backoff_base_s=0.05,
+            backoff_max_s=1.0,
+        )
+        if result.ok:
+            return result.results[0], None
+        failure = result.failures[0].to_record()
+        failure["error"] = "task_failed"
+        return None, failure
+
+    def to_record(self) -> Dict[str, Any]:
+        return {
+            "n_workers": self.n_workers,
+            "running": not self.app.queue.paused,
+            "inflight": len(self._inflight),
+            "n_campaign_executions": self.n_campaign_executions,
+            "n_dedupe_joins": self.n_dedupe_joins,
+        }

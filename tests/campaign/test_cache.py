@@ -1,6 +1,8 @@
 """Tests for the on-disk campaign result cache."""
 
 import json
+import multiprocessing
+import os
 
 import pytest
 
@@ -118,3 +120,126 @@ class TestCacheIntegrity:
         cache.put(key, entry)
         assert cache.get(key) == entry
         assert cache.get(key) == entry  # verification does not consume
+
+
+def _hammer_put(cache_dir: str, key: str, worker: int, rounds: int) -> None:
+    """Child-process body: rewrite the same key as fast as possible."""
+    cache = ResultCache(cache_dir)
+    for i in range(rounds):
+        cache.put(key, {"result": {"worker": worker, "round": i}})
+
+
+class TestCacheContention:
+    """Many writers, one key: the service layer's common case."""
+
+    N_WRITERS = 4
+    N_ROUNDS = 50
+
+    def test_concurrent_same_key_puts_never_serve_torn_entries(
+        self, tmp_path
+    ):
+        """A reader racing N writers sees only complete, valid entries.
+
+        Atomic shard replacement means every ``get`` resolves to some
+        writer's *finished* entry -- never a mix, never a truncation.
+        The checksum layer would turn a torn read into a miss, so the
+        strongest assertion is that no read is ever a checksum miss
+        once the first put has landed.
+        """
+        key = _key(30)
+        ctx = multiprocessing.get_context("fork")
+        writers = [
+            ctx.Process(
+                target=_hammer_put,
+                args=(str(tmp_path), key, w, self.N_ROUNDS),
+            )
+            for w in range(self.N_WRITERS)
+        ]
+        cache = ResultCache(tmp_path)
+        for proc in writers:
+            proc.start()
+        try:
+            observed = 0
+            while any(proc.is_alive() for proc in writers):
+                entry = cache.get(key)
+                if entry is None:
+                    continue  # only before the very first put lands
+                observed += 1
+                payload = entry["result"]
+                assert set(entry) == {"result"}
+                assert 0 <= payload["worker"] < self.N_WRITERS
+                assert 0 <= payload["round"] < self.N_ROUNDS
+        finally:
+            for proc in writers:
+                proc.join()
+        assert all(proc.exitcode == 0 for proc in writers)
+        assert observed > 0
+
+        final = cache.get(key)
+        assert final is not None, "final entry must verify cleanly"
+        assert final["result"]["round"] == self.N_ROUNDS - 1
+        # Atomic replace leaves no temp droppings behind.
+        assert not list(tmp_path.glob("**/.tmp-*"))
+        assert len(cache) == 1
+
+    def test_eviction_never_clobbers_concurrent_replacement(
+        self, tmp_path, monkeypatch
+    ):
+        """Regression: damaged-entry eviction must be stat-guarded.
+
+        Scenario: reader opens a corrupt shard; while it is parsing, a
+        concurrent writer atomically replaces the shard with a fresh,
+        healthy entry; the reader's parse fails and it decides to
+        evict.  An unguarded ``path.unlink()`` would now destroy the
+        *fresh* entry (the damaged inode is already gone).  The guard
+        compares the stat captured at read time and must leave the
+        replacement untouched.
+        """
+        import repro.campaign.cache as cache_mod
+
+        cache = ResultCache(tmp_path)
+        key = _key(31)
+        path = tmp_path / key[:2] / f"{key}.json"
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text("{ corrupt", encoding="utf-8")
+        fresh = {"task": {"kind": "k"}, "result": {"x": 1}, "elapsed_s": 0.0}
+
+        real_load = json.load
+        raced = []
+
+        def racing_load(fh, *args, **kwargs):
+            try:
+                return real_load(fh, *args, **kwargs)
+            except json.JSONDecodeError:
+                if not raced:
+                    raced.append(True)
+                    # The concurrent writer wins the race mid-parse.
+                    ResultCache(tmp_path).put(key, fresh)
+                raise
+
+        monkeypatch.setattr(cache_mod.json, "load", racing_load)
+        assert cache.get(key) is None  # the damaged read is a miss
+        assert raced, "the race injection must have fired"
+        # ... but the concurrently written fresh entry survived.
+        assert cache.get(key) == fresh
+        assert path.is_file()
+
+    def test_stat_guard_still_evicts_unreplaced_damage(self, tmp_path):
+        """Without a racing writer, damaged entries are still evicted."""
+        cache = ResultCache(tmp_path)
+        key = _key(32)
+        path = tmp_path / key[:2] / f"{key}.json"
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text("{ corrupt", encoding="utf-8")
+        assert cache.get(key) is None
+        assert not path.exists(), "unreplaced damage must be evicted"
+
+    def test_interleaved_put_get_across_instances(self, tmp_path):
+        """Two cache instances on one directory stay coherent."""
+        writer = ResultCache(tmp_path)
+        reader = ResultCache(tmp_path)
+        key = _key(33)
+        for i in range(20):
+            writer.put(key, {"result": i})
+            assert reader.get(key) == {"result": i}
+        assert os.listdir(tmp_path / key[:2]) == [f"{key}.json"]

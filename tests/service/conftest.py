@@ -1,0 +1,158 @@
+"""Deterministic in-process harness for the service test suite.
+
+No real sockets (except one loopback smoke test): requests are raw
+HTTP bytes fed into an :class:`asyncio.StreamReader`, the connection
+handler writes into a buffer-backed transport stub, and the response is
+parsed back.  Every handler, framing, and SSE path is exercised exactly
+as over TCP, but scheduling stays single-loop deterministic.
+
+Tests drive coroutines with plain ``asyncio.run`` (no pytest-asyncio
+dependency); the ``service_harness`` fixture hands them an async
+context manager that builds, starts, and tears down a
+:class:`~repro.service.app.ServiceApp`.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from contextlib import asynccontextmanager
+from typing import Any, Dict, List, Optional, Tuple
+
+import pytest
+
+from repro.service.app import ServiceApp, ServiceConfig
+from repro.service.http import handle_connection
+from repro.service.sse import parse_stream
+
+
+class StubWriter:
+    """Transport stub: collects everything a handler writes."""
+
+    def __init__(self) -> None:
+        self.buffer = bytearray()
+        self.closed = False
+
+    def write(self, data: bytes) -> None:
+        self.buffer.extend(data)
+
+    async def drain(self) -> None:
+        await asyncio.sleep(0)  # a real writer yields; so does the stub
+
+    def close(self) -> None:
+        self.closed = True
+
+    async def wait_closed(self) -> None:
+        return None
+
+
+def encode_request(
+    method: str,
+    path: str,
+    body: Optional[bytes] = None,
+    headers: Optional[Dict[str, str]] = None,
+) -> bytes:
+    head = [f"{method} {path} HTTP/1.1", "Host: testserver"]
+    for name, value in (headers or {}).items():
+        head.append(f"{name}: {value}")
+    if body:
+        head.append(f"Content-Length: {len(body)}")
+    return ("\r\n".join(head) + "\r\n\r\n").encode("utf-8") + (body or b"")
+
+
+def parse_response(raw: bytes) -> Tuple[int, Dict[str, str], Any]:
+    head, _, body = raw.partition(b"\r\n\r\n")
+    lines = head.decode("latin-1").split("\r\n")
+    status = int(lines[0].split(" ")[1])
+    headers: Dict[str, str] = {}
+    for line in lines[1:]:
+        name, _, value = line.partition(":")
+        headers[name.strip().lower()] = value.strip()
+    payload: Any = body
+    if headers.get("content-type", "").startswith("application/json") and body:
+        payload = json.loads(body)
+    return status, headers, payload
+
+
+class InProcessClient:
+    """Drives a :class:`ServiceApp` through the HTTP layer, sans sockets."""
+
+    def __init__(self, app: ServiceApp) -> None:
+        self.app = app
+
+    async def raw(self, request_bytes: bytes) -> bytes:
+        reader = asyncio.StreamReader()
+        reader.feed_data(request_bytes)
+        reader.feed_eof()
+        writer = StubWriter()
+        await handle_connection(self.app, reader, writer)
+        assert writer.closed, "handler must close the connection"
+        return bytes(writer.buffer)
+
+    async def request(
+        self,
+        method: str,
+        path: str,
+        body: Any = None,
+        headers: Optional[Dict[str, str]] = None,
+    ) -> Tuple[int, Dict[str, str], Any]:
+        payload = (
+            json.dumps(body).encode("utf-8") if body is not None else None
+        )
+        raw = await self.raw(encode_request(method, path, payload, headers))
+        return parse_response(raw)
+
+    async def get(self, path: str, **kw) -> Tuple[int, Dict[str, str], Any]:
+        return await self.request("GET", path, **kw)
+
+    async def post_job(
+        self, payload: Dict[str, Any], tenant: str = "public"
+    ) -> Tuple[int, Any]:
+        status, _, body = await self.request(
+            "POST", "/v1/jobs", body=payload, headers={"X-Tenant": tenant}
+        )
+        return status, body
+
+    async def sse_events(
+        self, job_id: str, last_event_id: Optional[int] = None,
+        timeout: float = 30.0,
+    ) -> List[Dict[str, Any]]:
+        """Collect a job's full SSE stream (terminates on completed/failed)."""
+        headers = {}
+        if last_event_id is not None:
+            headers["Last-Event-ID"] = str(last_event_id)
+        raw = await asyncio.wait_for(
+            self.raw(encode_request(
+                "GET", f"/v1/jobs/{job_id}/events", None, headers
+            )),
+            timeout,
+        )
+        head, _, stream = raw.partition(b"\r\n\r\n")
+        assert b"200" in head.split(b"\r\n")[0], head
+        assert b"text/event-stream" in head, head
+        return parse_stream(stream)
+
+    async def wait_done(self, job_id: str, timeout: float = 30.0) -> Any:
+        """Await a job's terminal state via its done event; returns record."""
+        job = self.app.jobs[job_id]
+        await asyncio.wait_for(job.done.wait(), timeout)
+        return job.to_record()
+
+
+@asynccontextmanager
+async def running_app(**overrides):
+    """Build, start, and reliably tear down a ServiceApp + client."""
+    paused = overrides.pop("paused", False)
+    config = ServiceConfig(**overrides)
+    app = ServiceApp(config)
+    await app.start(paused=paused)
+    try:
+        yield app, InProcessClient(app)
+    finally:
+        await app.stop()
+
+
+@pytest.fixture
+def service_harness():
+    """The async app context manager, injectable into asyncio.run bodies."""
+    return running_app

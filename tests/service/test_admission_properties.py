@@ -1,0 +1,152 @@
+"""Property suite: QoS admission decisions are guarantees, not bets.
+
+The admission controller (:func:`repro.service.admission.negotiate`)
+admits an approximate block-adder configuration exactly when the
+analytic PMF engine predicts its error metric within the declared
+budget.  Because the engine is exact, that promise must survive the
+strongest possible cross-check: enumerating *every* operand pair.
+
+Hypothesis drives random homogeneous GeAr and heterogeneous segment
+configurations (widths kept <= 8 so exhaustive enumeration stays in
+the tens of thousands of pairs) against random budgets and metrics:
+
+* ``mode == "approximate"``  => the exhaustively measured metric meets
+  the budget;
+* ``mode == "exact_fallback"`` => the rewritten job is the exact
+  single-block twin (measured error identically zero) and the original
+  configuration genuinely violated the budget;
+* negotiation never refuses a valid configuration -- a declared budget
+  is always satisfiable.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors.analytic import (
+    config_from_params,
+    exhaustive_error_pmf,
+)
+from repro.service.admission import negotiate
+from repro.service.schemas import QOS_METRICS, validate_job_request
+
+MAX_WIDTH = 8  # 2^(2*8) = 65536 operand pairs: exhaustive stays fast
+
+
+@st.composite
+def gear_params(draw):
+    """Valid homogeneous GeAr ``{"n", "r", "p"}`` params, width <= 8."""
+    r = draw(st.integers(1, 4))
+    p = draw(st.integers(0, 3))
+    blocks = draw(st.integers(0, 3))
+    n = (r + p) + blocks * r
+    if n > MAX_WIDTH or n < 1:
+        n = r + p if 0 < r + p <= MAX_WIDTH else r
+    return {"n": n, "r": r, "p": p}
+
+
+@st.composite
+def hetero_params(draw):
+    """Valid heterogeneous ``{"segments": [[r, p], ...]}``, width <= 8."""
+    first_r = draw(st.integers(1, 4))
+    segments = [[first_r, 0]]
+    base = first_r
+    for _ in range(draw(st.integers(0, 2))):
+        r = draw(st.integers(1, 3))
+        if base + r > MAX_WIDTH:
+            break
+        p = draw(st.integers(0, min(base, 3)))
+        segments.append([r, p])
+        base += r
+    return {"segments": segments}
+
+
+params_strategy = st.one_of(gear_params(), hetero_params())
+budget_strategy = st.one_of(
+    st.just(0.0),
+    st.just(1.0),
+    st.floats(0.0, 1.0, allow_nan=False, allow_infinity=False),
+)
+
+
+def measured_metrics(params):
+    """Ground-truth metrics of ``params`` by full operand enumeration."""
+    config = config_from_params(params)
+    pmf = exhaustive_error_pmf(config)
+    n = config.n
+    return config, {
+        "error_rate": pmf.error_rate,
+        "med": pmf.mean_abs,
+        "nmed": pmf.mean_abs / float((1 << (n + 1)) - 2),
+    }
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    params=params_strategy,
+    budget=budget_strategy,
+    metric=st.sampled_from(QOS_METRICS),
+)
+def test_admission_decision_is_exhaustively_sound(params, budget, metric):
+    """Admitted approximate => measured metric within budget; fallback
+    => exact twin with zero error and an honest violation."""
+    spec = validate_job_request({
+        "kind": "analytic",
+        "params": params,
+        "qos": {"error_budget": budget, "metric": metric},
+    })
+    decision = negotiate(spec)  # never raises for valid adder params
+    assert decision.mode in ("approximate", "exact_fallback")
+    assert decision.prediction_us > 0.0
+
+    admitted_config, admitted = measured_metrics(decision.spec.params)
+
+    if decision.mode == "approximate":
+        # The admitted configuration is the declared one, and the
+        # exhaustively measured metric honors the budget.
+        assert decision.spec.params == spec.params
+        assert admitted[metric] <= budget + 1e-9, (
+            f"admitted {params} at budget {budget} but measured "
+            f"{metric}={admitted[metric]}"
+        )
+    else:
+        # The declared configuration genuinely violates the budget...
+        _, declared = measured_metrics(spec.params)
+        assert declared[metric] > budget - 1e-9
+        # ...and the rewrite is the exact single-block twin.
+        assert admitted_config.is_exact
+        assert admitted["error_rate"] == 0.0
+        assert admitted["med"] == 0.0
+        assert admitted_config.n == config_from_params(spec.params).n
+
+
+@settings(max_examples=60, deadline=None)
+@given(params=params_strategy)
+def test_analytic_prediction_matches_exhaustive(params):
+    """The admission-time prediction equals ground truth (it is the
+    exact PMF engine, so agreement is equality, not approximation)."""
+    from repro.errors.analytic import predict_error_statistics
+
+    predicted = predict_error_statistics(params)
+    _, measured = measured_metrics(params)
+    assert abs(predicted["error_rate"] - measured["error_rate"]) < 1e-12
+    assert abs(predicted["med"] - measured["med"]) < 1e-9
+    assert abs(predicted["nmed"] - measured["nmed"]) < 1e-12
+
+
+@settings(max_examples=40, deadline=None)
+@given(params=params_strategy, budget=budget_strategy)
+def test_negotiation_never_refuses_valid_params(params, budget):
+    """A declared budget is always satisfiable: degrade, never refuse."""
+    spec = validate_job_request({
+        "kind": "analytic",
+        "params": params,
+        "qos": {"error_budget": budget},
+    })
+    decision = negotiate(spec)
+    assert decision.spec.kind == spec.kind
+    assert decision.spec.seed == spec.seed
+    if budget >= 1.0:
+        # error_rate can never exceed 1: a full budget admits anything.
+        assert decision.mode == "approximate"

@@ -1,0 +1,119 @@
+"""Chaos integration: pathological jobs through the full service path.
+
+The campaign layer's chaos kinds (``chaos_hang``, ``chaos_error``, ...)
+are replayed here through admission, the fair queue, and the worker
+pool, proving the service inherits the hardened runner's containment:
+a tenant whose job wedges a worker gets a *structured* failure (timed
+out, quarantined, machine-readable attempts) while other tenants' jobs
+complete normally -- and an SSE subscriber of the doomed job sees a
+terminating ``failed`` event, never a stalled stream.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+
+def test_hung_job_is_reaped_while_other_tenants_complete(service_harness):
+    async def body():
+        async with service_harness(
+            n_workers=2, allow_chaos=True
+        ) as (app, client):
+            status, doomed = await client.post_job(
+                {
+                    "kind": "chaos_hang",
+                    "params": {"sleep_s": 60.0},
+                    "timeout_s": 0.5,
+                    "max_attempts": 1,
+                },
+                tenant="victim",
+            )
+            assert status == 202
+
+            healthy = []
+            for i in range(4):
+                status, accepted = await client.post_job(
+                    {"kind": "chaos_ok", "params": {"x": i}},
+                    tenant=f"bystander-{i % 2}",
+                )
+                assert status == 202
+                healthy.append(accepted["job_id"])
+
+            # Bystanders complete even though a worker is wedged on the
+            # hung job the whole time.
+            records = await asyncio.gather(*(
+                client.wait_done(job_id, timeout=60.0) for job_id in healthy
+            ))
+            assert [r["result"]["value"] for r in records] == [0, 1, 4, 9]
+
+            doomed_record = await client.wait_done(
+                doomed["job_id"], timeout=60.0
+            )
+            assert doomed_record["state"] == "failed"
+            failure = doomed_record["failure"]
+            assert failure["error"] == "task_failed"
+            assert failure["attempts"][-1]["outcome"] == "timeout"
+            assert doomed_record["result"] is None
+
+            # The failed job's SSE stream terminates with a structured
+            # "failed" event -- the client is never left hanging.
+            events = await client.sse_events(doomed["job_id"], timeout=10.0)
+            assert events[-1]["event"] == "failed"
+            assert events[-1]["data"]["failure"]["error"] == "task_failed"
+
+    asyncio.run(body())
+
+
+def test_erroring_job_reports_attempts(service_harness):
+    async def body():
+        async with service_harness(
+            n_workers=1, allow_chaos=True
+        ) as (app, client):
+            status, accepted = await client.post_job({
+                "kind": "chaos_error",
+                "params": {"message": "injected"},
+                "max_attempts": 2,
+            })
+            assert status == 202
+            record = await client.wait_done(accepted["job_id"], timeout=60.0)
+            assert record["state"] == "failed"
+            attempts = record["failure"]["attempts"]
+            assert len(attempts) == 2
+            assert all(a["outcome"] == "error" for a in attempts)
+            assert all(a["error_type"] == "ValueError" for a in attempts)
+            assert "injected" in attempts[0]["message"]
+
+            # Failures are not cached: a retry is a fresh execution.
+            executions = app.pool.n_campaign_executions
+            status, again = await client.post_job({
+                "kind": "chaos_error",
+                "params": {"message": "injected"},
+                "max_attempts": 2,
+            })
+            assert status == 202
+            await client.wait_done(again["job_id"], timeout=60.0)
+            assert app.pool.n_campaign_executions == executions + 1
+
+    asyncio.run(body())
+
+
+def test_flaky_job_recovers_within_budgeted_attempts(service_harness, tmp_path):
+    async def body():
+        async with service_harness(
+            n_workers=1, allow_chaos=True
+        ) as (app, client):
+            status, accepted = await client.post_job({
+                "kind": "chaos_flaky",
+                "params": {
+                    "x": 7,
+                    "fail_times": 1,
+                    "scratch_dir": str(tmp_path / "flaky"),
+                },
+                "max_attempts": 3,
+            })
+            assert status == 202
+            record = await client.wait_done(accepted["job_id"], timeout=60.0)
+            assert record["state"] == "done"
+            assert record["result"]["value"] == 7
+
+    asyncio.run(body())

@@ -1,0 +1,201 @@
+"""Concurrency tests: weighted-fair scheduling, dedupe, SSE replay.
+
+These are the acceptance tests of the service tentpole: 32 concurrent
+clients across 4 tenant classes submit against a *paused* worker pool
+(so admission order is pinned), the pool is then resumed with a single
+worker, and the completion order must follow the start-time fair
+schedule -- a weight-4 tenant drains four jobs for every weight-1
+tenant's one.  Everything is seeded and single-loop deterministic.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+from repro.service.tenants import TenantConfig
+
+TENANTS = {
+    "gold": TenantConfig(name="gold", weight=4.0),
+    "silver": TenantConfig(name="silver", weight=2.0),
+    "bronze": TenantConfig(name="bronze", weight=1.0),
+    "free": TenantConfig(name="free", weight=1.0),
+}
+WEIGHTS = {"gold": 4, "silver": 2, "bronze": 1, "free": 1}
+
+
+def _counts(app, job_ids):
+    out = {}
+    for job_id in job_ids:
+        tenant = app.jobs[job_id].tenant
+        out[tenant] = out.get(tenant, 0) + 1
+    return out
+
+
+def test_weighted_fair_completion_order_32_clients(service_harness):
+    """4 tenants x 8 concurrent clients; completions follow the weights."""
+
+    async def body():
+        async with service_harness(
+            n_workers=1, tenants=dict(TENANTS), paused=True
+        ) as (app, client):
+            # 32 concurrent clients: one coroutine per request, all
+            # racing through the HTTP layer while dispatch is held.
+            submissions = [
+                client.post_job(
+                    {"kind": "analytic",
+                     "params": {"n": 6, "r": 2, "p": 2},
+                     "seed": 1000 + seq},
+                    tenant=tenant,
+                )
+                for seq, (round_, tenant) in enumerate(
+                    (r, t) for r in range(8) for t in TENANTS
+                )
+            ]
+            responses = await asyncio.gather(*submissions)
+            assert all(status == 202 for status, _ in responses)
+            assert len(app.queue) == 32
+
+            app.pool.resume()
+            await asyncio.gather(*(
+                client.wait_done(body["job_id"]) for _, body in responses
+            ))
+
+            order = list(app.completion_order)
+            assert len(order) == 32
+
+            # Weighted-fair share: the first full virtual round (16
+            # dispatches) splits 8/4/2/2 across weights 4/2/1/1.
+            # Tolerate +-1 against scheduler tie-breaks.
+            for prefix, scale in ((8, 1), (16, 2)):
+                counts = _counts(app, order[:prefix])
+                for tenant, weight in WEIGHTS.items():
+                    expected = weight * scale
+                    assert abs(counts.get(tenant, 0) - expected) <= 1, (
+                        f"first {prefix}: {counts} !~ weights {WEIGHTS}"
+                    )
+
+            # Per-tenant FIFO: each tenant's jobs complete in admission
+            # order (job ids are assigned at admission).
+            for tenant in TENANTS:
+                mine = [j for j in order if app.jobs[j].tenant == tenant]
+                assert mine == sorted(mine), f"{tenant} completed {mine}"
+                assert len(mine) == 8
+
+            stats = app.stats()
+            assert stats["queue"]["n_dispatched"] == 32
+            assert stats["jobs"]["completed_per_tenant"] == {
+                t: 8 for t in TENANTS
+            }
+
+    asyncio.run(body())
+
+
+def test_identical_requests_dedupe_to_one_execution(service_harness):
+    """32 cache-identical requests -> exactly one campaign execution."""
+
+    async def body():
+        async with service_harness(
+            n_workers=4, tenants=dict(TENANTS), paused=True
+        ) as (app, client):
+            payload = {"kind": "analytic", "params": {"n": 8, "r": 3, "p": 2}}
+            responses = await asyncio.gather(*(
+                client.post_job(dict(payload), tenant=tenant)
+                for tenant in TENANTS for _ in range(8)
+            ))
+            # Nothing has executed yet, so nothing is cache-warm: all 32
+            # are admitted and queued behind one shared task hash.
+            assert all(status == 202 for status, _ in responses)
+
+            app.pool.resume()
+            records = await asyncio.gather(*(
+                client.wait_done(body["job_id"]) for _, body in responses
+            ))
+
+            assert app.pool.n_campaign_executions == 1
+            assert all(r["state"] == "done" for r in records)
+            results = [r["result"] for r in records]
+            assert all(res == results[0] for res in results)
+            assert {r["key"] for r in records} == {records[0]["key"]}
+
+            # Exactly one job ran the campaign; the rest were served by
+            # the in-flight leader or the content-addressed store.
+            served = sorted(
+                (r["served_from"] or "executed") for r in records
+            )
+            assert served.count("executed") == 1
+            assert set(served) <= {"executed", "dedupe", "cache"}
+
+    asyncio.run(body())
+
+
+def test_sse_replays_completed_job(service_harness):
+    """A subscriber arriving after completion sees the full stream."""
+
+    async def body():
+        async with service_harness(n_workers=1) as (app, client):
+            status, accepted = await client.post_job(
+                {"kind": "analytic", "params": {"n": 6, "r": 2, "p": 2}}
+            )
+            assert status == 202
+            job_id = accepted["job_id"]
+            await client.wait_done(job_id)
+
+            events = await client.sse_events(job_id)
+            names = [e["event"] for e in events]
+            assert names[0] == "accepted"
+            assert "admitted" in names and "queued" in names
+            assert names[-1] == "completed"
+            assert [e["id"] for e in events] == list(range(len(events)))
+            assert events[-1]["data"]["state"] == "done"
+
+            # Replaying twice yields byte-identical histories.
+            assert await client.sse_events(job_id) == events
+
+            # Last-Event-ID resumes mid-stream without gaps.
+            tail = await client.sse_events(job_id, last_event_id=1)
+            assert tail == events[2:]
+
+    asyncio.run(body())
+
+
+def test_sse_live_follow_sees_completion(service_harness):
+    """A subscriber attached before execution follows events live."""
+
+    async def body():
+        async with service_harness(n_workers=1, paused=True) as (app, client):
+            status, accepted = await client.post_job(
+                {"kind": "analytic", "params": {"n": 8, "r": 2, "p": 2}}
+            )
+            assert status == 202
+            job_id = accepted["job_id"]
+
+            collector = asyncio.create_task(client.sse_events(job_id))
+            for _ in range(5):  # let the subscriber attach and replay
+                await asyncio.sleep(0)
+            assert not collector.done()
+
+            app.pool.resume()
+            events = await collector
+            names = [e["event"] for e in events]
+            assert names[-1] == "completed"
+            assert "started" in names  # emitted after the subscriber joined
+
+    asyncio.run(body())
+
+
+def test_bad_last_event_id_is_400(service_harness):
+    async def body():
+        async with service_harness(n_workers=1) as (app, client):
+            status, accepted = await client.post_job(
+                {"kind": "analytic", "params": {"n": 4, "r": 2, "p": 0}}
+            )
+            assert status == 202
+            job_id = accepted["job_id"]
+            await client.wait_done(job_id)
+            status, _, payload = await client.get(
+                f"/v1/jobs/{job_id}/events",
+                headers={"Last-Event-ID": "zzz"},
+            )
+            assert status == 400 and payload["error"] == "bad_request"
+
+    asyncio.run(body())

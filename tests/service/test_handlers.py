@@ -1,0 +1,208 @@
+"""Handler-level tests: routing, validation, and error responses.
+
+All through the real HTTP layer via asyncio transport stubs -- the same
+bytes a socket would carry, without any socket.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+from .conftest import encode_request, parse_response
+
+
+def test_healthz_and_kinds(service_harness):
+    async def body():
+        async with service_harness(n_workers=1) as (app, client):
+            status, _, payload = await client.get("/v1/healthz")
+            assert status == 200 and payload == {"ok": True}
+
+            status, _, payload = await client.get("/v1/kinds")
+            assert status == 200
+            assert "analytic" in payload["kinds"]
+            assert "resilience" in payload["kinds"]
+            # Chaos kinds are hidden unless the deployment opts in.
+            assert not any(k.startswith("chaos_") for k in payload["kinds"])
+
+    asyncio.run(body())
+
+
+def test_chaos_kinds_listed_when_allowed(service_harness):
+    async def body():
+        async with service_harness(n_workers=1, allow_chaos=True) as (_, c):
+            status, _, payload = await c.get("/v1/kinds")
+            assert status == 200 and "chaos_ok" in payload["kinds"]
+
+    asyncio.run(body())
+
+
+def test_unknown_route_404_and_method_405(service_harness):
+    async def body():
+        async with service_harness(n_workers=1) as (_, client):
+            status, _, payload = await client.get("/v1/nope")
+            assert status == 404 and payload["error"] == "not_found"
+
+            status, _, payload = await client.request("DELETE", "/v1/healthz")
+            assert status == 405
+            assert payload["error"] == "method_not_allowed"
+            assert payload["allowed"] == ["GET"]
+
+    asyncio.run(body())
+
+
+def test_submit_validation_errors(service_harness):
+    async def body():
+        async with service_harness(n_workers=1) as (_, client):
+            # Garbage JSON -> 400 before any validation.
+            raw = await client.raw(encode_request(
+                "POST", "/v1/jobs", b"{not json", {}
+            ))
+            status, _, payload = parse_response(raw)
+            assert status == 400 and payload["error"] == "bad_request"
+
+            # Unknown kind -> structured field-level rejection.
+            status, payload = await client.post_job({"kind": "nope"})
+            assert status == 400 and payload["field"] == "kind"
+
+            # Chaos kind refused without the opt-in.
+            status, payload = await client.post_job(
+                {"kind": "chaos_ok", "params": {"x": 2}}
+            )
+            assert status == 400 and payload["field"] == "kind"
+
+            # Unknown top-level field.
+            status, payload = await client.post_job(
+                {"kind": "analytic", "params": {"n": 4, "r": 2, "p": 0},
+                 "frobnicate": 1}
+            )
+            assert status == 400 and "frobnicate" in payload["message"]
+
+            # Bad QoS budget.
+            status, payload = await client.post_job(
+                {"kind": "analytic", "params": {"n": 4, "r": 2, "p": 0},
+                 "qos": {"error_budget": 2.0}}
+            )
+            assert status == 400 and payload["field"] == "qos.error_budget"
+
+            # QoS on a non-block-adder param set -> admission rejection.
+            status, payload = await client.post_job(
+                {"kind": "analytic", "params": {"segments": "zzz"},
+                 "qos": {"error_budget": 0.1}}
+            )
+            assert status == 400 and payload["field"] == "params"
+
+    asyncio.run(body())
+
+
+def test_oversized_body_is_413(service_harness):
+    async def body():
+        async with service_harness(n_workers=1) as (_, client):
+            huge = b"x" * (2 << 20)
+            raw = await client.raw(encode_request("POST", "/v1/jobs", huge))
+            status, _, payload = parse_response(raw)
+            assert status == 413 and payload["error"] == "too_large"
+
+    asyncio.run(body())
+
+
+def test_job_lifecycle_and_status(service_harness):
+    async def body():
+        async with service_harness(n_workers=1) as (app, client):
+            status, accepted = await client.post_job(
+                {"kind": "analytic", "params": {"n": 8, "r": 2, "p": 2}},
+                tenant="acme",
+            )
+            assert status == 202
+            assert accepted["state"] in ("queued", "running", "done")
+            job_id = accepted["job_id"]
+            assert accepted["tenant"] == "acme"
+            assert accepted["admission"]["mode"] == "as_declared"
+
+            record = await client.wait_done(job_id)
+            assert record["state"] == "done"
+            assert record["result"]["error_rate"] == 0.1875
+
+            status, _, fetched = await client.get(f"/v1/jobs/{job_id}")
+            assert status == 200
+            assert fetched["state"] == "done"
+            assert fetched["result"]["accuracy_percent"] == 81.25
+
+            status, _, payload = await client.get("/v1/jobs/zzz")
+            assert status == 404 and payload["error"] == "not_found"
+
+    asyncio.run(body())
+
+
+def test_cache_hit_served_inline_without_execution(service_harness):
+    async def body():
+        async with service_harness(n_workers=1) as (app, client):
+            payload = {"kind": "analytic", "params": {"n": 6, "r": 2, "p": 2}}
+            status, first = await client.post_job(payload, tenant="a")
+            assert status == 202
+            await client.wait_done(first["job_id"])
+            executions = app.pool.n_campaign_executions
+            assert executions == 1
+
+            # Identical request from a *different* tenant: answered 200
+            # inline from the content-addressed store, no new execution.
+            status, second = await client.post_job(payload, tenant="b")
+            assert status == 200
+            assert second["state"] == "done"
+            assert second["served_from"] == "cache"
+            assert app.pool.n_campaign_executions == executions
+
+            # Both tenants saw byte-identical results.
+            first_record = await client.wait_done(first["job_id"])
+            assert second["result"] == first_record["result"]
+            assert second["key"] == first_record["key"]
+
+    asyncio.run(body())
+
+
+def test_qos_negotiation_modes(service_harness):
+    async def body():
+        async with service_harness(n_workers=1) as (app, client):
+            # Budget met: admitted approximate, prediction recorded.
+            status, ok = await client.post_job({
+                "kind": "analytic", "params": {"n": 8, "r": 2, "p": 2},
+                "qos": {"error_budget": 0.5},
+            })
+            assert status == 202
+            assert ok["admission"]["mode"] == "approximate"
+            assert ok["admission"]["predicted"]["error_rate"] == 0.1875
+            assert ok["admission"]["prediction_us"] > 0.0
+            record = await client.wait_done(ok["job_id"])
+            assert record["qos"]["mode"] == "approximate"
+
+            # Budget not met: rewritten to the exact single-block twin.
+            status, fb = await client.post_job({
+                "kind": "analytic", "params": {"n": 8, "r": 2, "p": 2},
+                "qos": {"error_budget": 0.01},
+            })
+            assert status == 202
+            assert fb["admission"]["mode"] == "exact_fallback"
+            record = await client.wait_done(fb["job_id"])
+            assert record["result"]["error_rate"] == 0.0
+            assert record["result"]["segments"] == [[8, 0]]
+
+    asyncio.run(body())
+
+
+def test_stats_endpoint_counts(service_harness):
+    async def body():
+        async with service_harness(n_workers=1) as (app, client):
+            payload = {"kind": "analytic", "params": {"n": 4, "r": 2, "p": 0}}
+            status, first = await client.post_job(payload)
+            assert status == 202
+            await client.wait_done(first["job_id"])
+            status, cached = await client.post_job(payload)
+            assert status == 200
+
+            status, _, stats = await client.get("/v1/stats")
+            assert status == 200
+            assert stats["jobs"]["accepted"] == 2
+            assert stats["store"]["n_memory_hits"] >= 1
+            assert stats["workers"]["n_campaign_executions"] == 1
+            assert stats["jobs"]["completed_per_tenant"]["public"] == 2
+
+    asyncio.run(body())

@@ -1,0 +1,244 @@
+"""Property suite for the weighted-fair queue and its admission guards.
+
+Everything here runs against the synchronous scheduler core
+(:class:`~repro.service.queue.WeightedFairQueue`) and the deterministic
+token bucket under an injected virtual clock, so hypothesis can drive
+thousands of schedules without an event loop or a single sleep.
+
+Invariants pinned:
+
+* **conservation** -- every accepted item is dispatched exactly once,
+  in per-tenant FIFO order, regardless of submit/pop interleaving;
+* **weighted share** -- under saturation, dispatch counts track tenant
+  weights within one item;
+* **priority monotonicity** -- doubling a tenant's weight never demotes
+  any of its items' dispatch positions;
+* **rate limiting** -- a tenant can never get more than
+  ``burst + rate * elapsed`` items admitted, and ``retry_after_s`` is
+  an honest wait;
+* **bounded backlog** -- the per-tenant queue depth never exceeds
+  ``max_backlog``; overflow raises instead of queueing.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.service.queue import BacklogFull, WeightedFairQueue
+from repro.service.tenants import TenantConfig, TenantRegistry, TokenBucket
+
+TENANT_NAMES = ("a", "b", "c", "d")
+
+
+def make_registry(
+    weights,
+    rate_per_s: float = math.inf,
+    burst: int = 1_000_000,
+    max_backlog: int = 1_000_000,
+    clock=None,
+) -> TenantRegistry:
+    tenants = {
+        name: TenantConfig(
+            name=name,
+            weight=weight,
+            rate_per_s=rate_per_s,
+            burst=burst,
+            max_backlog=max_backlog,
+        )
+        for name, weight in weights.items()
+    }
+    return TenantRegistry(
+        tenants=tenants,
+        default=TenantConfig(name="default"),
+        clock=clock or (lambda: 0.0),
+    )
+
+
+weights_strategy = st.lists(
+    st.floats(0.25, 8.0, allow_nan=False, allow_infinity=False),
+    min_size=len(TENANT_NAMES),
+    max_size=len(TENANT_NAMES),
+)
+
+ops_strategy = st.lists(
+    st.one_of(
+        st.integers(0, len(TENANT_NAMES) - 1).map(lambda i: ("submit", i)),
+        st.just(("pop", None)),
+    ),
+    max_size=200,
+)
+
+
+@settings(max_examples=200, deadline=None)
+@given(weights=weights_strategy, ops=ops_strategy)
+def test_conservation_and_per_tenant_fifo(weights, ops):
+    """Accepted == dispatched, exactly once, FIFO within each tenant."""
+    queue = WeightedFairQueue(
+        make_registry(dict(zip(TENANT_NAMES, weights)))
+    )
+    submitted = {name: [] for name in TENANT_NAMES}
+    popped = {name: [] for name in TENANT_NAMES}
+    counter = itertools.count()
+
+    for op, arg in ops:
+        if op == "submit":
+            tenant = TENANT_NAMES[arg]
+            item = next(counter)
+            queue.submit(tenant, item)
+            submitted[tenant].append(item)
+        else:
+            entry = queue.pop()
+            if entry is not None:
+                popped[entry[0]].append(entry[1])
+    while (entry := queue.pop()) is not None:
+        popped[entry[0]].append(entry[1])
+
+    assert popped == submitted
+    assert queue.n_dispatched == queue.n_submitted
+    assert len(queue) == 0
+    assert all(queue.backlog(name) == 0 for name in TENANT_NAMES)
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    weight=st.integers(1, 5),
+    depth=st.integers(2, 40),
+)
+def test_weighted_share_under_saturation(weight, depth):
+    """A weight-w tenant drains w items per item of a weight-1 tenant."""
+    queue = WeightedFairQueue(
+        make_registry({"heavy": float(weight), "light": 1.0})
+    )
+    for i in range(depth):
+        queue.submit("heavy", ("heavy", i))
+        queue.submit("light", ("light", i))
+
+    heavy = light = 0
+    while light < depth // 2 and (entry := queue.pop()) is not None:
+        if entry[0] == "heavy":
+            heavy += 1
+        else:
+            light += 1
+    if light:
+        # Start-time fairness: within any prefix the heavy tenant holds
+        # a w-proportional share, up to one item of quantization.
+        assert heavy >= min(depth, weight * light) - 1
+        assert heavy <= weight * (light + 1)
+
+
+@settings(max_examples=150, deadline=None)
+@given(
+    sequence=st.lists(
+        st.integers(0, len(TENANT_NAMES) - 1), min_size=1, max_size=60
+    ),
+    boosted=st.integers(0, len(TENANT_NAMES) - 1),
+    weights=weights_strategy,
+)
+def test_priority_monotonicity(sequence, boosted, weights):
+    """Doubling one tenant's weight never demotes its items."""
+
+    def dispatch_order(weight_list):
+        queue = WeightedFairQueue(
+            make_registry(dict(zip(TENANT_NAMES, weight_list)))
+        )
+        for item, tenant_index in enumerate(sequence):
+            queue.submit(TENANT_NAMES[tenant_index], item)
+        order = []
+        while (entry := queue.pop()) is not None:
+            order.append(entry[1])
+        return order
+
+    base = dispatch_order(list(weights))
+    raised = list(weights)
+    raised[boosted] *= 2.0
+    boosted_order = dispatch_order(raised)
+
+    for item, tenant_index in enumerate(sequence):
+        if tenant_index == boosted:
+            assert boosted_order.index(item) <= base.index(item), (
+                f"item {item} demoted from {base.index(item)} to "
+                f"{boosted_order.index(item)} by a weight raise"
+            )
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    rate=st.floats(0.5, 20.0, allow_nan=False, allow_infinity=False),
+    burst=st.integers(1, 10),
+    steps=st.lists(
+        st.tuples(
+            st.floats(0.0, 2.0, allow_nan=False, allow_infinity=False),
+            st.integers(1, 5),
+        ),
+        max_size=50,
+    ),
+)
+def test_token_bucket_admission_bound(rate, burst, steps):
+    """Accepted jobs never exceed ``burst + rate * elapsed`` tokens."""
+    now = [0.0]
+    bucket = TokenBucket(rate, burst, clock=lambda: now[0])
+    accepted = 0
+    elapsed = 0.0
+    for advance, tries in steps:
+        now[0] += advance
+        elapsed += advance
+        for _ in range(tries):
+            if bucket.try_acquire():
+                accepted += 1
+        assert accepted <= burst + rate * elapsed + 1e-6
+        assert 0.0 <= bucket.tokens <= burst + 1e-9
+
+    # retry_after_s is an honest wait: advancing exactly that far
+    # makes the next acquisition succeed.
+    if not bucket.try_acquire():
+        wait = bucket.retry_after_s()
+        assert wait > 0.0
+        now[0] += wait + 1e-9
+        assert bucket.try_acquire()
+
+
+@settings(max_examples=100, deadline=None)
+@given(max_backlog=st.integers(1, 10), overflow=st.integers(1, 10))
+def test_backlog_is_bounded(max_backlog, overflow):
+    """Depth caps at ``max_backlog``; overflow sheds, pop frees a slot."""
+    queue = WeightedFairQueue(
+        make_registry({"t": 1.0}, max_backlog=max_backlog)
+    )
+    for i in range(max_backlog):
+        queue.submit("t", i)
+    assert queue.backlog("t") == max_backlog
+
+    for _ in range(overflow):
+        with pytest.raises(BacklogFull):
+            queue.submit("t", "rejected")
+    assert queue.backlog("t") == max_backlog
+    assert queue.n_rejected_backlog == overflow
+
+    assert queue.pop() is not None
+    queue.submit("t", "fits-again")
+    assert queue.backlog("t") == max_backlog
+
+
+@settings(max_examples=100, deadline=None)
+@given(burst=st.integers(1, 8), extra=st.integers(1, 8))
+def test_rate_limited_submission_is_not_queued(burst, extra):
+    """A rate-limit rejection consumes neither backlog nor heap space."""
+    from repro.service.queue import RateLimited
+
+    queue = WeightedFairQueue(
+        make_registry({"t": 1.0}, rate_per_s=1.0, burst=burst)
+    )
+    for i in range(burst):
+        queue.submit("t", i)
+    for _ in range(extra):
+        with pytest.raises(RateLimited) as excinfo:
+            queue.submit("t", "rejected")
+        assert excinfo.value.retry_after_s > 0.0
+    assert len(queue) == burst
+    assert queue.n_rejected_rate == extra
+    assert queue.n_submitted == burst

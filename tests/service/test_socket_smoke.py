@@ -1,0 +1,83 @@
+"""Loopback smoke test: the one test that uses a real TCP socket.
+
+Everything else in this suite drives the HTTP layer through in-process
+transport stubs; this test closes the loop by binding ``serve()`` on an
+ephemeral loopback port and speaking actual bytes through
+``asyncio.open_connection`` -- submit, poll, and stream a job exactly
+as a curl client would.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+from repro.service.http import serve, sockname
+from repro.service.sse import parse_stream
+
+from .conftest import encode_request, parse_response, running_app
+
+
+async def _roundtrip(host, port, request_bytes, timeout=30.0):
+    reader, writer = await asyncio.open_connection(host, port)
+    try:
+        writer.write(request_bytes)
+        await writer.drain()
+        return await asyncio.wait_for(reader.read(), timeout)
+    finally:
+        writer.close()
+        await writer.wait_closed()
+
+
+def test_loopback_socket_serves_jobs():
+    async def body():
+        async with running_app(n_workers=1) as (app, _):
+            server = await serve(app, host="127.0.0.1", port=0)
+            host, port = sockname(server)
+            try:
+                raw = await _roundtrip(
+                    host, port, encode_request("GET", "/v1/healthz")
+                )
+                status, _, payload = parse_response(raw)
+                assert status == 200 and payload == {"ok": True}
+
+                body_bytes = json.dumps({
+                    "kind": "analytic",
+                    "params": {"n": 8, "r": 2, "p": 2},
+                    "qos": {"error_budget": 0.5},
+                }).encode()
+                raw = await _roundtrip(host, port, encode_request(
+                    "POST", "/v1/jobs", body_bytes,
+                    {"X-Tenant": "socketeer"},
+                ))
+                status, _, accepted = parse_response(raw)
+                assert status == 202
+                assert accepted["admission"]["mode"] == "approximate"
+                job_id = accepted["job_id"]
+
+                for _ in range(200):
+                    raw = await _roundtrip(host, port, encode_request(
+                        "GET", f"/v1/jobs/{job_id}"
+                    ))
+                    status, _, record = parse_response(raw)
+                    assert status == 200
+                    if record["state"] in ("done", "failed"):
+                        break
+                    await asyncio.sleep(0.05)
+                assert record["state"] == "done"
+                assert record["result"]["error_rate"] == 0.1875
+                assert record["tenant"] == "socketeer"
+
+                # SSE over the socket: replay ends with "completed".
+                raw = await _roundtrip(host, port, encode_request(
+                    "GET", f"/v1/jobs/{job_id}/events"
+                ))
+                head, _, stream = raw.partition(b"\r\n\r\n")
+                assert b"text/event-stream" in head
+                events = parse_stream(stream)
+                assert events[-1]["event"] == "completed"
+            finally:
+                server.close()
+                await server.wait_closed()
+
+    asyncio.run(body())
