@@ -1,21 +1,33 @@
-"""Service front-end throughput: cached-hit latency and fan-in rate.
+"""Service front-end throughput: cached hits, fan-in, and engine ratio.
 
 Drives the approximate-compute service entirely in-process (the same
 transport-stub path as ``tests/service``): a real ``ServiceApp`` with
 its worker pool, fair queue, and shared store, minus socket noise, so
-the numbers isolate the service stack itself.
+the numbers isolate the service stack itself.  Clients speak HTTP/1.1
+**keep-alive**: many requests are pipelined down one connection and
+each response is read back by its ``Content-Length`` frame, exactly
+like a reusing client library would.
 
 Measured:
 
 * **cached-hit latency** -- microseconds for a POST /v1/jobs answered
   200 straight from the content-addressed memory tier;
+* **keep-alive pipelining** -- the same cached hits batched down a
+  single persistent connection, in responses/s;
 * **throughput at 32 concurrent clients** -- 32 unique jobs across 4
   tenants, submitted concurrently and drained by the pool, in jobs/s;
 * **dedupe fan-in** -- 32 concurrent *identical* jobs: one campaign
-  execution, everyone served.
+  execution, everyone served;
+* **hardened engine ratio** -- the same 32 unique jobs *with a
+  per-task ``timeout_s``* (the hardened path) drained twice: once on
+  ``isolation="process"`` (a fresh worker process per attempt) and
+  once on the default warm persistent pool.  Both runs use identical
+  keep-alive clients, so the ratio isolates the execution engine.
 
 Smoke gates (kept deliberately loose for CI containers): a cached hit
-answers in under 50 ms and the 32-client drain sustains >= 5 jobs/s.
+answers in under 50 ms, the 32-client drain sustains >= 5 jobs/s, the
+dedupe fan-in executes exactly once, and the warm engine drains the
+hardened sweep >= 2x faster than process-per-attempt.
 """
 
 from __future__ import annotations
@@ -34,9 +46,12 @@ from _util import emit
 N_CLIENTS = 32
 N_TENANTS = 4
 N_HIT_SAMPLES = 200
+PIPELINE_DEPTH = 8
+HARDENED_TIMEOUT_S = 10.0
 
 GATE_CACHED_HIT_MS = 50.0
 GATE_JOBS_PER_S = 5.0
+GATE_WARM_SPEEDUP = 2.0
 
 
 class _SinkWriter:
@@ -66,22 +81,91 @@ def _post(payload: dict, tenant: str) -> bytes:
     return head.encode() + body
 
 
-async def _request(app: ServiceApp, raw: bytes) -> dict:
+def _split_responses(raw: bytes) -> list:
+    """Parse back-to-back Content-Length-framed responses into JSON."""
+    out = []
+    view = bytes(raw)
+    while view:
+        head, sep, rest = view.partition(b"\r\n\r\n")
+        if not sep:
+            break
+        length = 0
+        for line in head.decode("latin-1").split("\r\n"):
+            if line.lower().startswith("content-length:"):
+                length = int(line.split(":", 1)[1])
+        out.append(json.loads(rest[:length]))
+        view = rest[length:]
+    return out
+
+
+async def _pipelined(app: ServiceApp, raws: list) -> list:
+    """Send many requests down ONE keep-alive connection; parse all."""
     reader = asyncio.StreamReader()
-    reader.feed_data(raw)
+    for raw in raws:
+        reader.feed_data(raw)
     reader.feed_eof()
     writer = _SinkWriter()
     await handle_connection(app, reader, writer)
-    _, _, body = bytes(writer.buffer).partition(b"\r\n\r\n")
-    return json.loads(body)
+    responses = _split_responses(bytes(writer.buffer))
+    assert len(responses) == len(raws), (
+        f"pipelined {len(raws)} requests, parsed {len(responses)} responses"
+    )
+    return responses
 
 
-async def bench() -> list:
-    tenants = {
+async def _request(app: ServiceApp, raw: bytes) -> dict:
+    return (await _pipelined(app, [raw]))[0]
+
+
+def _hardened_submits(seed_base: int) -> list:
+    return [
+        _post(
+            {"kind": "analytic", "params": {"n": 8, "r": 2, "p": 2},
+             "seed": seed_base + i, "timeout_s": HARDENED_TIMEOUT_S},
+            tenant=f"t{i % N_TENANTS}",
+        )
+        for i in range(N_CLIENTS)
+    ]
+
+
+def _tenants() -> dict:
+    return {
         f"t{i}": TenantConfig(name=f"t{i}", weight=float(1 << i))
         for i in range(N_TENANTS)
     }
-    app = ServiceApp(ServiceConfig(n_workers=4, tenants=tenants))
+
+
+async def _drain_hardened(isolation: str, seed_base: int) -> float:
+    """32 unique hardened jobs over keep-alive pipelines; wall seconds."""
+    app = ServiceApp(ServiceConfig(
+        n_workers=4, tenants=_tenants(), isolation=isolation,
+    ))
+    await app.start()
+    try:
+        submits = _hardened_submits(seed_base)
+        chunks = [
+            submits[i:i + PIPELINE_DEPTH]
+            for i in range(0, len(submits), PIPELINE_DEPTH)
+        ]
+        start = time.perf_counter()
+        accepted = await asyncio.gather(*(
+            _pipelined(app, chunk) for chunk in chunks
+        ))
+        flat = [a for chunk in accepted for a in chunk]
+        await asyncio.gather(*(
+            app.jobs[a["job_id"]].done.wait() for a in flat
+        ))
+        wall_s = time.perf_counter() - start
+        for a in flat:
+            job = app.jobs[a["job_id"]]
+            assert job.state == "done", (isolation, job.to_record())
+    finally:
+        await app.stop()
+    return wall_s
+
+
+async def bench() -> list:
+    app = ServiceApp(ServiceConfig(n_workers=4, tenants=_tenants()))
     await app.start()
     rows = []
     try:
@@ -158,8 +242,38 @@ async def bench() -> list:
             "p95_us": round(sorted(hit_us)[int(0.95 * len(hit_us))], 1),
             "mean_us": round(statistics.fmean(hit_us), 1),
         })
+
+        # -- keep-alive pipelining: the same hits, one connection
+        start = time.perf_counter()
+        responses = await _pipelined(app, [warm] * N_HIT_SAMPLES)
+        pipeline_s = time.perf_counter() - start
+        assert all(r["served_from"] == "cache" for r in responses)
+        rows.append({
+            "metric": "keepalive_pipelined_hits",
+            "samples": N_HIT_SAMPLES,
+            "wall_s": round(pipeline_s, 4),
+            "responses_per_s": round(N_HIT_SAMPLES / pipeline_s, 1),
+        })
     finally:
         await app.stop()
+
+    # -- hardened engine ratio: identical sweep, both engines ----------
+    process_s = await _drain_hardened("process", seed_base=9000)
+    warm_s = await _drain_hardened("warm", seed_base=9000)
+    speedup = process_s / warm_s if warm_s > 0 else float("inf")
+    rows.append({
+        "metric": "hardened_32_process",
+        "jobs": N_CLIENTS,
+        "wall_s": round(process_s, 4),
+        "jobs_per_s": round(N_CLIENTS / process_s, 1),
+    })
+    rows.append({
+        "metric": "hardened_32_warm",
+        "jobs": N_CLIENTS,
+        "wall_s": round(warm_s, 4),
+        "jobs_per_s": round(N_CLIENTS / warm_s, 1),
+        "speedup": round(speedup, 2),
+    })
 
     # -- smoke gates -----------------------------------------------------
     assert rows[1]["executions"] == 1, (
@@ -171,6 +285,10 @@ async def bench() -> list:
     )
     assert unique_jobs_per_s >= GATE_JOBS_PER_S, (
         f"throughput {unique_jobs_per_s:.1f} jobs/s < {GATE_JOBS_PER_S}"
+    )
+    assert speedup >= GATE_WARM_SPEEDUP, (
+        f"hardened warm speedup {speedup:.2f}x < gate {GATE_WARM_SPEEDUP}x "
+        f"(process {process_s:.3f}s vs warm {warm_s:.3f}s)"
     )
     return rows
 
@@ -193,8 +311,11 @@ def main() -> None:
             "n_clients": N_CLIENTS,
             "n_tenants": N_TENANTS,
             "n_hit_samples": N_HIT_SAMPLES,
+            "pipeline_depth": PIPELINE_DEPTH,
+            "hardened_timeout_s": HARDENED_TIMEOUT_S,
             "gate_cached_hit_ms": GATE_CACHED_HIT_MS,
             "gate_jobs_per_s": GATE_JOBS_PER_S,
+            "gate_warm_speedup": GATE_WARM_SPEEDUP,
         },
     )
 

@@ -21,7 +21,10 @@ Entry points:
   (per-attempt process isolation, timeouts, backoff retries,
   quarantine) returning per-task results, :class:`CampaignStats`, and
   structured :class:`TaskFailure` records
-  (:mod:`repro.campaign.runner`).
+  (:mod:`repro.campaign.runner`);
+* :class:`WarmPool` -- the persistent pre-forked execution engine
+  behind ``isolation="warm"``: same fault semantics, milliseconds less
+  dispatch overhead per task (:mod:`repro.campaign.warmpool`).
 
 The higher-level sweeps (:func:`repro.dse.explorer.explore_gear_space`,
 :func:`repro.adders.characterize.characterize_ripple_family`,
@@ -41,6 +44,7 @@ from .runner import (
     run_campaign,
 )
 from .task import CODE_VERSION, CampaignTask, derive_seed, stable_hash
+from .warmpool import WarmPool
 
 __all__ = [
     "CODE_VERSION",
@@ -51,6 +55,7 @@ __all__ = [
     "ResultCache",
     "TaskAttemptFailure",
     "TaskFailure",
+    "WarmPool",
     "derive_seed",
     "execute_task",
     "get_task_function",

@@ -14,6 +14,8 @@ kind           behaviour
 ``chaos_crash``SIGKILLs its own worker process (hard crash, no
                traceback ever escapes)
 ``chaos_hang`` sleeps ``params["sleep_s"]`` seconds (default 3600)
+``chaos_stubborn`` ignores SIGTERM, then hangs -- reapers must
+               escalate to SIGKILL to reclaim the worker
 ``chaos_flaky``fails with ``RuntimeError`` for the first
                ``params["fail_times"]`` attempts, then succeeds; the
                attempt counter lives in ``params["scratch_dir"]`` so it
@@ -38,7 +40,8 @@ from .registry import register
 __all__ = ["CHAOS_KINDS"]
 
 CHAOS_KINDS = (
-    "chaos_ok", "chaos_error", "chaos_crash", "chaos_hang", "chaos_flaky",
+    "chaos_ok", "chaos_error", "chaos_crash", "chaos_hang",
+    "chaos_stubborn", "chaos_flaky",
 )
 
 
@@ -66,6 +69,18 @@ def _chaos_crash(params: Dict[str, Any], seed: int) -> Dict[str, Any]:
 @register("chaos_hang")
 def _chaos_hang(params: Dict[str, Any], seed: int) -> Dict[str, Any]:
     """Wedges the worker well past any sane per-task timeout."""
+    time.sleep(float(params.get("sleep_s", 3600.0)))
+    return {"slept": True}
+
+
+@register("chaos_stubborn")
+def _chaos_stubborn(params: Dict[str, Any], seed: int) -> Dict[str, Any]:
+    """Ignores SIGTERM and then hangs: only SIGKILL reclaims the worker.
+
+    Exercises the reaper's terminate-then-kill escalation path (both
+    the process-per-attempt reaper and warm-pool recycling).
+    """
+    signal.signal(signal.SIGTERM, signal.SIG_IGN)
     time.sleep(float(params.get("sleep_s", 3600.0)))
     return {"slept": True}
 

@@ -41,6 +41,7 @@ from __future__ import annotations
 
 import multiprocessing
 import multiprocessing.connection
+import os
 import random
 import time
 import traceback
@@ -65,6 +66,15 @@ ProgressCallback = Callable[[int, int], None]
 
 #: Version tag of the machine-readable failure report layout.
 FAILURE_REPORT_SCHEMA_VERSION = 1
+
+#: Environment knob for the default execution engine of isolated
+#: campaigns: ``process`` (process-per-attempt, the default) or
+#: ``warm`` (persistent pre-forked pool, see
+#: :mod:`repro.campaign.warmpool`).  Explicit ``isolation=`` arguments
+#: always win over the environment.
+ISOLATION_ENV_VAR = "REPRO_CAMPAIGN_ISOLATION"
+
+_ISOLATION_MODES = ("process", "warm")
 
 #: Grace period between SIGTERM and SIGKILL when reaping a worker.
 _KILL_GRACE_S = 0.25
@@ -143,6 +153,10 @@ class CampaignStats:
         n_quarantined: Tasks that exhausted every attempt.
         wall_s: End-to-end wall-clock of the campaign.
         task_s: Summed in-task compute time of executed tasks.
+        isolation: Execution engine used for isolated tasks --
+            ``"process"`` (process-per-attempt) or ``"warm"``
+            (persistent worker pool); ``"process"`` also covers the
+            serial in-process fast path.
     """
 
     n_tasks: int = 0
@@ -156,6 +170,7 @@ class CampaignStats:
     n_quarantined: int = 0
     wall_s: float = 0.0
     task_s: float = 0.0
+    isolation: str = "process"
 
     @property
     def worker_utilization(self) -> float:
@@ -269,6 +284,35 @@ class _Running:
     conn: Any
     started: float
     deadline: Optional[float]
+
+
+def _record_attempt_failure(
+    slot: _Pending,
+    failure: TaskAttemptFailure,
+    pending: deque,
+    on_quarantine: Callable[[_Pending], None],
+    stats: CampaignStats,
+    max_attempts: int,
+    backoff_base_s: float,
+    backoff_max_s: float,
+) -> None:
+    """Charge one failed attempt: requeue with backoff or quarantine.
+
+    Shared by the process-per-attempt executor and the warm-pool
+    scheduler so retry accounting and backoff scheduling stay
+    bit-identical across engines.
+    """
+    slot.failures.append(failure)
+    if slot.attempt < max_attempts:
+        stats.n_retries += 1
+        delay = _backoff_delay(
+            slot.task, slot.attempt, backoff_base_s, backoff_max_s
+        )
+        slot.attempt += 1
+        slot.not_before = time.monotonic() + delay
+        pending.append(slot)
+    else:
+        on_quarantine(slot)
 
 
 def _reap(running: _Running) -> None:
@@ -451,19 +495,10 @@ class _IsolatedExecutor:
         pending: deque,
         on_quarantine: Callable[[_Pending], None],
     ) -> None:
-        slot = entry.slot
-        slot.failures.append(failure)
-        if slot.attempt < self.max_attempts:
-            self.stats.n_retries += 1
-            delay = _backoff_delay(
-                slot.task, slot.attempt,
-                self.backoff_base_s, self.backoff_max_s,
-            )
-            slot.attempt += 1
-            slot.not_before = time.monotonic() + delay
-            pending.append(slot)
-        else:
-            on_quarantine(slot)
+        _record_attempt_failure(
+            entry.slot, failure, pending, on_quarantine, self.stats,
+            self.max_attempts, self.backoff_base_s, self.backoff_max_s,
+        )
 
 
 def _run_in_process(
@@ -511,6 +546,8 @@ def run_campaign(
     backoff_base_s: float = 0.1,
     backoff_max_s: float = 5.0,
     raise_on_error: bool = False,
+    isolation: Optional[str] = None,
+    warm_pool: Optional[Any] = None,
 ) -> CampaignResult:
     """Run a characterization campaign, in parallel and through the cache.
 
@@ -542,12 +579,35 @@ def run_campaign(
         raise_on_error: Re-raise as :class:`CampaignTaskError` when a
             task fails permanently, instead of quarantining it (the
             pre-hardening fail-fast behaviour).
+        isolation: Execution engine for isolated attempts --
+            ``"process"`` spawns a fresh worker per attempt (default;
+            strongest containment), ``"warm"`` streams tasks over the
+            persistent pre-forked :class:`~repro.campaign.warmpool.WarmPool`
+            (same fault semantics, milliseconds less dispatch overhead
+            per task).  ``None`` reads the ``REPRO_CAMPAIGN_ISOLATION``
+            environment variable (default ``"process"``); passing
+            ``warm_pool`` implies ``"warm"``.  Results are bit-identical
+            across engines.
+        warm_pool: Optional already-started
+            :class:`~repro.campaign.warmpool.WarmPool` to execute on
+            (e.g. the service's shared pool); the campaign leases its
+            workers for the duration and never closes it.  Without one,
+            a pool is created for the run and torn down afterwards.
 
     Returns:
         :class:`CampaignResult` with per-task results, run stats, and
         the structured failures of quarantined tasks.
     """
     del chunksize  # accepted for compatibility; dispatch is per-attempt
+    if isolation is None:
+        if warm_pool is not None:
+            isolation = "warm"
+        else:
+            isolation = os.environ.get(ISOLATION_ENV_VAR, "process")
+    if isolation not in _ISOLATION_MODES:
+        raise ValueError(
+            f"isolation must be one of {_ISOLATION_MODES}, got {isolation!r}"
+        )
     task_list = list(tasks)
     for task in task_list:
         get_task_function(task.kind)  # fail fast on unknown kinds
@@ -624,7 +684,28 @@ def run_campaign(
 
     to_run = [(indices[0], task_list[indices[0]]) for indices in pending.values()]
     isolate = timeout_s is not None or (n_workers > 1 and len(to_run) > 1)
-    if isolate:
+    use_warm = isolation == "warm" and (warm_pool is not None or isolate)
+    if use_warm:
+        from .warmpool import WarmPool
+
+        stats.isolation = "warm"
+        pool = warm_pool
+        owned = pool is None
+        if owned:
+            pool = WarmPool(n_workers=max(1, n_workers)).start()
+        try:
+            stats.n_workers = pool.n_workers
+            pool.run_tasks(
+                to_run, complete, quarantine, stats,
+                timeout_s=timeout_s,
+                max_attempts=max_attempts,
+                backoff_base_s=backoff_base_s,
+                backoff_max_s=backoff_max_s,
+            )
+        finally:
+            if owned:
+                pool.close()
+    elif isolate:
         executor = _IsolatedExecutor(
             n_workers=n_workers,
             timeout_s=timeout_s,

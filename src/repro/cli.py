@@ -43,6 +43,7 @@ Example:
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Sequence
 
@@ -593,7 +594,11 @@ def _cmd_analytic(args: argparse.Namespace) -> int:
 
 
 def _parse_tenant_spec(spec: str):
-    """``name:weight[:rate[:burst[:backlog]]]`` -> TenantConfig."""
+    """``name:weight[:rate[:burst[:backlog[:quota]]]]`` -> TenantConfig.
+
+    ``quota`` caps the tenant's stored result bytes (429
+    ``quota_exceeded`` past it); empty or omitted means unlimited.
+    """
     from .service.tenants import TenantConfig
 
     parts = spec.split(":")
@@ -604,8 +609,10 @@ def _parse_tenant_spec(spec: str):
     rate = float(parts[2]) if len(parts) > 2 and parts[2] else float("inf")
     burst = int(parts[3]) if len(parts) > 3 and parts[3] else 64
     backlog = int(parts[4]) if len(parts) > 4 and parts[4] else 256
+    quota = int(parts[5]) if len(parts) > 5 and parts[5] else None
     return TenantConfig(name=name, weight=weight, rate_per_s=rate,
-                        burst=burst, max_backlog=backlog)
+                        burst=burst, max_backlog=backlog,
+                        max_result_bytes=quota)
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
@@ -629,6 +636,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             n_workers=args.workers,
             tenants=tenants,
             allow_chaos=args.allow_chaos,
+            isolation=args.isolation or "warm",
         ))
         await app.start()
         server = await serve(app, host=args.host, port=args.port)
@@ -663,6 +671,12 @@ def build_parser() -> argparse.ArgumentParser:
                        help="campaign worker processes (1 = serial)")
         p.add_argument("--cache-dir", default=None,
                        help="campaign result cache (warm start / resume)")
+        p.add_argument("--isolation", choices=["process", "warm"],
+                       default=None,
+                       help="execution engine for isolated attempts: "
+                            "'process' spawns a worker per attempt, "
+                            "'warm' streams tasks over a persistent "
+                            "pre-forked pool (results are identical)")
 
     p = sub.add_parser(
         "characterize-adders", help="Table III characterization"
@@ -828,11 +842,15 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--cache-dir", default=None,
                    help="shared content-addressed result store directory")
     p.add_argument("--tenant", action="append", default=[],
-                   metavar="NAME:WEIGHT[:RATE[:BURST[:BACKLOG]]]",
+                   metavar="NAME:WEIGHT[:RATE[:BURST[:BACKLOG[:QUOTA]]]]",
                    help="per-tenant policy (repeatable); others get the "
-                        "default policy")
+                        "default policy; QUOTA caps stored result bytes")
     p.add_argument("--allow-chaos", action="store_true",
                    help="also serve chaos_* kinds (testing only)")
+    p.add_argument("--isolation", choices=["process", "warm"],
+                   default="warm",
+                   help="job execution engine: persistent warm pool "
+                        "(default) or process-per-attempt")
     p.set_defaults(func=_cmd_serve)
 
     p = sub.add_parser("encode", help="HEVC-lite case study (Fig. 9)")
@@ -852,6 +870,11 @@ def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
+    if getattr(args, "isolation", None) and args.func is not _cmd_serve:
+        # Campaign subcommands thread the engine choice through the
+        # runner's environment knob so every nested run_campaign call
+        # (sweeps, verify, resilience) picks it up.
+        os.environ["REPRO_CAMPAIGN_ISOLATION"] = args.isolation
     return args.func(args)
 
 

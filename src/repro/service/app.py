@@ -60,7 +60,16 @@ DEFAULT_TENANT = "public"
 
 @dataclass
 class ServiceConfig:
-    """Deployment knobs of one :class:`ServiceApp`."""
+    """Deployment knobs of one :class:`ServiceApp`.
+
+    ``isolation`` selects the execution engine behind the worker pool:
+    ``"warm"`` (default) runs jobs on a persistent pre-forked
+    :class:`~repro.campaign.warmpool.WarmPool`; ``"process"`` spawns a
+    fresh worker process per attempt (``chaos_*`` kinds always use the
+    process engine regardless).  ``shutdown_grace_s`` bounds how long
+    :meth:`ServiceApp.stop` waits for in-flight jobs before failing
+    them with a terminal ``shutdown`` event.
+    """
 
     cache_dir: Optional[str] = None
     n_workers: int = 2
@@ -71,6 +80,8 @@ class ServiceConfig:
     allow_chaos: bool = False
     max_jobs_retained: int = 10_000
     clock: Optional[Callable[[], float]] = None
+    isolation: str = "warm"
+    shutdown_grace_s: float = 5.0
 
 
 class ServiceApp:
@@ -85,7 +96,11 @@ class ServiceApp:
         )
         self.queue = AsyncFairQueue(self.tenants)
         self.store = SharedResultStore(self.config.cache_dir)
-        self.pool = WorkerPool(self, n_workers=self.config.n_workers)
+        self.pool = WorkerPool(
+            self,
+            n_workers=self.config.n_workers,
+            isolation=self.config.isolation,
+        )
         self.jobs: Dict[str, Job] = {}
         self._job_order: List[str] = []
         self._next_job = 0
@@ -207,6 +222,21 @@ class ServiceApp:
             self.n_jobs_accepted += 1
             self.on_job_finished(job)
             return json_response(200, job.to_record())
+
+        quota = self.tenants.config(tenant).max_result_bytes
+        if quota is not None:
+            used = self.store.tenant_bytes(tenant)
+            if used >= quota:
+                # Enforced at admission against bytes already stored, so
+                # jobs in flight may overshoot by at most one backlog's
+                # worth of results -- documented in docs/SERVICE.md.
+                self.n_jobs_rejected += 1
+                raise HttpError(429, {
+                    "error": "quota_exceeded",
+                    "tenant": tenant,
+                    "used_bytes": used,
+                    "max_result_bytes": quota,
+                })
 
         try:
             self.queue.submit_nowait(tenant, job)

@@ -2,9 +2,25 @@
 
 Just enough HTTP for a JSON job API plus SSE streaming: request-line +
 headers + ``Content-Length`` bodies on the way in; status + headers +
-body (or an unbounded ``text/event-stream``) on the way out.  One
-request per connection (``Connection: close``) keeps the state machine
-trivial and the tests deterministic.
+body (or an unbounded ``text/event-stream``) on the way out.
+
+Connections are **persistent** (HTTP/1.1 keep-alive with sequential
+pipelining): a client may send many requests down one connection and
+read the same number of ``Content-Length``-framed responses back, which
+removes a connection setup/teardown from every job on the service hot
+path.  The negotiation rules:
+
+* HTTP/1.1 requests keep the connection open unless they carry
+  ``Connection: close``; HTTP/1.0 requests close unless they carry
+  ``Connection: keep-alive``.
+* **Framing-level** errors (truncated head, missing or bad
+  ``Content-Length`` -- 400/411/413) poison the byte stream, so their
+  error response always carries ``Connection: close`` and the
+  connection ends.  **Dispatch-level** errors (404, 405, 429, ...)
+  leave the framing intact and keep the connection alive.
+* SSE streams (``text/event-stream``) are unframed and terminate their
+  connection; :data:`MAX_REQUESTS_PER_CONNECTION` bounds how long any
+  single connection can monopolize a handler task.
 
 The transport is abstracted to *any* object with ``write`` /
 ``drain`` / ``close`` -- the production server passes a real
@@ -40,20 +56,38 @@ __all__ = [
 MAX_BODY_BYTES = 1 << 20
 MAX_HEADER_BYTES = 32 * 1024
 
+#: Requests served over one keep-alive connection before the server
+#: closes it (bounds per-connection state and handler-task lifetime).
+MAX_REQUESTS_PER_CONNECTION = 1000
+
+#: Methods whose requests carry a body and therefore must declare
+#: ``Content-Length`` (411 otherwise -- the parser never guesses framing).
+_BODY_METHODS = ("POST", "PUT", "PATCH")
+
 _REASONS = {
     200: "OK", 202: "Accepted", 400: "Bad Request", 404: "Not Found",
-    405: "Method Not Allowed", 413: "Payload Too Large",
-    429: "Too Many Requests", 500: "Internal Server Error",
+    405: "Method Not Allowed", 411: "Length Required",
+    413: "Payload Too Large", 429: "Too Many Requests",
+    500: "Internal Server Error",
 }
 
 
 class HttpError(Exception):
-    """A request that must be answered with an error status."""
+    """A request that must be answered with an error status.
 
-    def __init__(self, status: int, body: Dict[str, Any]) -> None:
+    ``framing=True`` marks errors raised while *parsing* the request:
+    the byte stream is unrecoverable past them, so the connection
+    closes after the error response.  Dispatch-level errors keep a
+    keep-alive connection open.
+    """
+
+    def __init__(
+        self, status: int, body: Dict[str, Any], framing: bool = False
+    ) -> None:
         super().__init__(f"HTTP {status}")
         self.status = status
         self.body = body
+        self.framing = framing
 
 
 @dataclass
@@ -65,6 +99,7 @@ class Request:
     query: Dict[str, str] = field(default_factory=dict)
     headers: Dict[str, str] = field(default_factory=dict)
     body: bytes = b""
+    version: str = "HTTP/1.1"
 
     def json(self) -> Any:
         """Decoded JSON body; raises :class:`HttpError` 400 on garbage."""
@@ -80,6 +115,18 @@ class Request:
     def header(self, name: str, default: str = "") -> str:
         return self.headers.get(name.lower(), default)
 
+    @property
+    def keep_alive(self) -> bool:
+        """Whether this request asks to keep the connection open.
+
+        HTTP/1.1 defaults to persistent unless ``Connection: close``;
+        HTTP/1.0 defaults to closing unless ``Connection: keep-alive``.
+        """
+        connection = self.header("connection").lower()
+        if self.version == "HTTP/1.0":
+            return connection == "keep-alive"
+        return connection != "close"
+
 
 @dataclass
 class Response:
@@ -90,13 +137,13 @@ class Response:
     content_type: str = "application/json"
     headers: Dict[str, str] = field(default_factory=dict)
 
-    def encode(self) -> bytes:
+    def encode(self, keep_alive: bool = False) -> bytes:
         reason = _REASONS.get(self.status, "Unknown")
         lines = [
             f"HTTP/1.1 {self.status} {reason}",
             f"Content-Type: {self.content_type}",
             f"Content-Length: {len(self.body)}",
-            "Connection: close",
+            f"Connection: {'keep-alive' if keep_alive else 'close'}",
         ]
         for name, value in self.headers.items():
             lines.append(f"{name}: {value}")
@@ -123,7 +170,11 @@ async def read_request(reader: asyncio.StreamReader) -> Optional[Request]:
     """Parse one request off ``reader``; ``None`` on a closed connection.
 
     Raises:
-        HttpError: 400 on malformed framing, 413 on oversized bodies.
+        HttpError: 400 on malformed framing, 411 on bodied requests
+            without a usable ``Content-Length``, 413 on oversized heads
+            or bodies.  All carry ``framing=True`` -- the byte stream
+            cannot be re-synchronized past them, so the connection must
+            close after answering.
     """
     try:
         head = await reader.readuntil(b"\r\n\r\n")
@@ -131,19 +182,23 @@ async def read_request(reader: asyncio.StreamReader) -> Optional[Request]:
         if not exc.partial:
             return None  # clean EOF before any bytes: client went away
         raise HttpError(400, {"error": "bad_request",
-                              "message": "truncated request head"})
+                              "message": "truncated request head"},
+                        framing=True)
     except asyncio.LimitOverrunError:
         raise HttpError(413, {"error": "too_large",
-                              "message": "request head too large"})
+                              "message": "request head too large"},
+                        framing=True)
     if len(head) > MAX_HEADER_BYTES:
         raise HttpError(413, {"error": "too_large",
-                              "message": "request head too large"})
+                              "message": "request head too large"},
+                        framing=True)
     lines = head.decode("latin-1").split("\r\n")
     parts = lines[0].split(" ")
     if len(parts) != 3 or not parts[2].startswith("HTTP/1."):
         raise HttpError(400, {"error": "bad_request",
-                              "message": f"malformed request line {lines[0]!r}"})
-    method, target, _version = parts
+                              "message": f"malformed request line {lines[0]!r}"},
+                        framing=True)
+    method, target, version = parts
     split = urlsplit(target)
     path = unquote(split.path)
     query = dict(parse_qsl(split.query))
@@ -153,9 +208,17 @@ async def read_request(reader: asyncio.StreamReader) -> Optional[Request]:
             continue
         if ":" not in line:
             raise HttpError(400, {"error": "bad_request",
-                                  "message": f"malformed header {line!r}"})
+                                  "message": f"malformed header {line!r}"},
+                            framing=True)
         name, _, value = line.partition(":")
         headers[name.strip().lower()] = value.strip()
+    method = method.upper()
+    if "transfer-encoding" in headers:
+        raise HttpError(411, {
+            "error": "length_required",
+            "message": "Transfer-Encoding is not supported; "
+                       "send a Content-Length body",
+        }, framing=True)
     body = b""
     length = headers.get("content-length")
     if length is not None:
@@ -163,18 +226,33 @@ async def read_request(reader: asyncio.StreamReader) -> Optional[Request]:
             n = int(length)
         except ValueError:
             raise HttpError(400, {"error": "bad_request",
-                                  "message": "bad Content-Length"})
+                                  "message": "bad Content-Length"},
+                            framing=True)
+        if n < 0:
+            raise HttpError(400, {"error": "bad_request",
+                                  "message": "bad Content-Length"},
+                            framing=True)
         if n > MAX_BODY_BYTES:
             raise HttpError(413, {"error": "too_large",
-                                  "message": f"body exceeds {MAX_BODY_BYTES}"})
+                                  "message": f"body exceeds {MAX_BODY_BYTES}"},
+                            framing=True)
         if n:
             try:
                 body = await reader.readexactly(n)
             except asyncio.IncompleteReadError:
                 raise HttpError(400, {"error": "bad_request",
-                                      "message": "truncated body"})
-    return Request(method=method.upper(), path=path, query=query,
-                   headers=headers, body=body)
+                                      "message": "truncated body"},
+                                framing=True)
+    elif method in _BODY_METHODS:
+        # Without a declared length the parser would have to guess
+        # where this request's body ends and the next request begins;
+        # answer 411 instead of hanging on a read or mis-framing.
+        raise HttpError(411, {
+            "error": "length_required",
+            "message": f"{method} requires a Content-Length header",
+        }, framing=True)
+    return Request(method=method, path=path, query=query,
+                   headers=headers, body=body, version=version)
 
 
 async def _write_sse(writer: Any, stream: SSEStream) -> None:
@@ -197,30 +275,50 @@ async def _write_sse(writer: Any, stream: SSEStream) -> None:
 async def handle_connection(
     app: "ServiceApp", reader: asyncio.StreamReader, writer: Any
 ) -> None:
-    """Serve one connection: read a request, dispatch, write the answer.
+    """Serve one connection: sequential requests until close/EOF/error.
 
     ``writer`` only needs ``write`` / ``drain`` / ``close`` (and
     optionally ``wait_closed``), so asyncio transport stubs work.
     """
     try:
-        try:
-            request = await read_request(reader)
+        for served in range(1, MAX_REQUESTS_PER_CONNECTION + 1):
+            try:
+                request = await read_request(reader)
+            except HttpError as exc:
+                # Framing error: the stream cannot be trusted past it.
+                writer.write(
+                    json_response(exc.status, exc.body).encode(
+                        keep_alive=False
+                    )
+                )
+                await writer.drain()
+                return
             if request is None:
                 return
-            outcome = await app.dispatch(request)
-        except HttpError as exc:
-            outcome = json_response(exc.status, exc.body)
-        except Exception as exc:  # noqa: BLE001 - connection must answer
-            outcome = json_response(
-                500,
-                {"error": "internal", "error_type": type(exc).__name__,
-                 "message": str(exc)[:500]},
+            keep_alive = (
+                request.keep_alive and served < MAX_REQUESTS_PER_CONNECTION
             )
-        if isinstance(outcome, SSEStream):
-            await _write_sse(writer, outcome)
-        else:
-            writer.write(outcome.encode())
+            try:
+                outcome = await app.dispatch(request)
+            except HttpError as exc:
+                if exc.framing:
+                    keep_alive = False
+                outcome = json_response(exc.status, exc.body)
+            except Exception as exc:  # noqa: BLE001 - connection must answer
+                keep_alive = False  # handler state is suspect: bail out
+                outcome = json_response(
+                    500,
+                    {"error": "internal", "error_type": type(exc).__name__,
+                     "message": str(exc)[:500]},
+                )
+            if isinstance(outcome, SSEStream):
+                # SSE is unframed: it owns the rest of the connection.
+                await _write_sse(writer, outcome)
+                return
+            writer.write(outcome.encode(keep_alive=keep_alive))
             await writer.drain()
+            if not keep_alive:
+                return
     except (ConnectionResetError, BrokenPipeError):
         pass  # client vanished mid-answer; nothing to salvage
     finally:

@@ -81,6 +81,8 @@ class Job:
         self.emit("started", key=self.key)
 
     def complete(self, result: Any, served_from: Optional[str] = None) -> None:
+        if self.done.is_set():
+            return  # already terminal (e.g. failed during shutdown drain)
         self.state = "done"
         self.result = result
         self.served_from = served_from
@@ -94,6 +96,8 @@ class Job:
         self.done.set()
 
     def fail(self, failure: Dict[str, Any]) -> None:
+        if self.done.is_set():
+            return  # terminal transitions are one-shot
         self.state = "failed"
         self.failure = failure
         self.emit("failed", state="failed", failure=failure)

@@ -11,7 +11,13 @@ results by the stable task hash (kind, params, seed, code version).
 * the **disk tier** is the very same checksummed, sharded, atomically
   replaced cache the campaign runner writes, so the service and batch
   campaigns share warm results in both directions;
-* per-tier hit/miss counters for the stats endpoint and benchmarks.
+* per-tier hit/miss counters for the stats endpoint and benchmarks;
+* **per-tenant byte accounting**: every :meth:`SharedResultStore.put`
+  charges the canonical-JSON size of the stored *result* to the tenant
+  whose job produced it, backing the ``max_result_bytes`` quota in
+  :class:`~repro.service.tenants.TenantConfig` (enforced at submission
+  with a structured 429).  Tenancy still plays no part in *identity*:
+  any tenant reads any warm key; only the producer pays for it.
 
 The memory tier is bounded (FIFO eviction at ``max_memory_entries``) so
 a long-lived server cannot grow without bound; the disk tier remains
@@ -20,12 +26,18 @@ the full history.
 
 from __future__ import annotations
 
+import json
 from collections import OrderedDict
 from typing import Any, Dict, Optional
 
 from ..campaign.cache import ResultCache
 
-__all__ = ["SharedResultStore"]
+__all__ = ["SharedResultStore", "result_size_bytes"]
+
+
+def result_size_bytes(result: Any) -> int:
+    """Canonical-JSON byte size of one stored result (quota unit)."""
+    return len(json.dumps(result, sort_keys=True, default=str).encode("utf-8"))
 
 
 class SharedResultStore:
@@ -47,6 +59,7 @@ class SharedResultStore:
         self.n_disk_hits = 0
         self.n_misses = 0
         self.n_puts = 0
+        self.bytes_by_tenant: Dict[str, int] = {}
 
     def get(self, key: str) -> Optional[Dict[str, Any]]:
         """Cached entry for ``key`` (memory first, then verified disk)."""
@@ -63,12 +76,28 @@ class SharedResultStore:
         self.n_misses += 1
         return None
 
-    def put(self, key: str, entry: Dict[str, Any]) -> None:
-        """Persist ``entry`` to both tiers (disk write is atomic)."""
+    def put(
+        self, key: str, entry: Dict[str, Any], tenant: Optional[str] = None
+    ) -> None:
+        """Persist ``entry`` to both tiers (disk write is atomic).
+
+        With a ``tenant``, the canonical-JSON size of the entry's
+        ``result`` is charged against that tenant's stored-bytes
+        account (the ``max_result_bytes`` quota unit).
+        """
         self._remember(key, entry)
         if self.disk is not None:
             self.disk.put(key, entry)
         self.n_puts += 1
+        if tenant is not None:
+            self.bytes_by_tenant[tenant] = (
+                self.bytes_by_tenant.get(tenant, 0)
+                + result_size_bytes(entry.get("result"))
+            )
+
+    def tenant_bytes(self, tenant: str) -> int:
+        """Result bytes stored on behalf of ``tenant`` so far."""
+        return self.bytes_by_tenant.get(tenant, 0)
 
     def _remember(self, key: str, entry: Dict[str, Any]) -> None:
         memory = self._memory
@@ -92,4 +121,5 @@ class SharedResultStore:
             "n_disk_hits": self.n_disk_hits,
             "n_misses": self.n_misses,
             "n_puts": self.n_puts,
+            "bytes_by_tenant": dict(sorted(self.bytes_by_tenant.items())),
         }

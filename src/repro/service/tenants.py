@@ -9,6 +9,9 @@ A tenant is a named client class with three knobs:
   rate: bursts up to ``burst`` jobs, sustained at ``rate_per_s``.
 * ``max_backlog`` -- how many of its jobs may sit queued at once; the
   overflow answer is a structured 429, never an unbounded queue.
+* ``max_result_bytes`` -- optional cap on the tenant's footprint in the
+  shared result store (canonical-JSON bytes of results its jobs
+  stored); submissions past the cap answer 429 ``quota_exceeded``.
 
 Everything is deterministic under an injected clock, so the rate-limit
 invariants are property-testable without sleeping.
@@ -18,7 +21,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Any, Callable, Dict
+from typing import Any, Callable, Dict, Optional
 
 __all__ = ["TenantConfig", "TenantRegistry", "TokenBucket"]
 
@@ -34,6 +37,7 @@ class TenantConfig:
     rate_per_s: float = math.inf
     burst: int = 64
     max_backlog: int = 256
+    max_result_bytes: Optional[int] = None
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -48,6 +52,11 @@ class TenantConfig:
             raise ValueError(
                 f"max_backlog must be >= 1, got {self.max_backlog}"
             )
+        if self.max_result_bytes is not None and self.max_result_bytes < 1:
+            raise ValueError(
+                f"max_result_bytes must be >= 1 or None, "
+                f"got {self.max_result_bytes}"
+            )
 
     def to_record(self) -> Dict[str, Any]:
         return {
@@ -58,6 +67,7 @@ class TenantConfig:
             ),
             "burst": self.burst,
             "max_backlog": self.max_backlog,
+            "max_result_bytes": self.max_result_bytes,
         }
 
 
@@ -143,6 +153,7 @@ class TenantRegistry:
                 rate_per_s=base.rate_per_s,
                 burst=base.burst,
                 max_backlog=base.max_backlog,
+                max_result_bytes=base.max_result_bytes,
             )
         return self._configs[name]
 

@@ -1,15 +1,23 @@
-"""Worker-pool bridge from the async service onto the campaign runner.
+"""Worker-pool bridge from the async service onto the campaign engines.
 
 Each worker is an asyncio task draining the weighted-fair queue.  A
-popped job is executed through :func:`repro.campaign.run_campaign` in a
-worker thread (``asyncio.to_thread``), which buys the service every
-hardening the batch path already has: jobs with a ``timeout_s`` run in
-per-attempt *isolated processes* that can be reaped when they hang,
-failures retry with deterministic backoff up to ``max_attempts``, and a
-job that exhausts its attempts surfaces the campaign's structured
-:class:`~repro.campaign.runner.TaskFailure` record -- the client sees a
-``failed`` event with machine-readable attempts, never a stalled
-stream.
+popped job executes in a worker thread (``asyncio.to_thread``) on one
+of two engines:
+
+* the **warm engine** (default): a persistent pre-forked
+  :class:`~repro.campaign.warmpool.WarmPool` shared by all workers.
+  Each job is one pipe round-trip to an already-imported worker
+  process -- no per-job ``multiprocessing`` spawn -- with the same
+  hardened semantics the batch path has: a job with a ``timeout_s``
+  that wedges its warm worker gets the worker SIGKILLed and respawned,
+  failures retry with deterministic backoff up to ``max_attempts``,
+  and exhausted jobs surface the campaign's structured
+  :class:`~repro.campaign.runner.TaskFailure` record.
+* **process-per-attempt** (``isolation="process"``, and always for
+  ``chaos_*`` kinds): the classic
+  :func:`repro.campaign.run_campaign` path where every attempt gets a
+  fresh worker process.  Chaos kinds stay here by design -- a task
+  written to contaminate its interpreter should never share one.
 
 **Single-flight deduplication**: jobs are content-addressed by their
 stable task hash, so when several tenants submit the identical request
@@ -17,6 +25,12 @@ concurrently, the first popped job becomes the *leader* (it runs the
 campaign task once) and the rest attach as *followers* awaiting the
 leader's future.  Exactly one campaign execution happens per unique
 key; the store then serves everyone else forever.
+
+**Draining shutdown**: :meth:`WorkerPool.stop` pauses dispatch, gives
+in-flight jobs a bounded grace period to finish, then cancels the
+workers and fails every job still queued or in flight with a terminal
+``shutdown`` event -- an SSE subscriber always sees its stream
+terminate, never a silent drop.
 """
 
 from __future__ import annotations
@@ -25,6 +39,7 @@ import asyncio
 from typing import TYPE_CHECKING, Any, Dict, List, Optional, Tuple
 
 from ..campaign import CampaignTask, run_campaign
+from ..campaign.warmpool import WarmPool
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from .app import ServiceApp
@@ -34,15 +49,27 @@ __all__ = ["WorkerPool"]
 
 
 class WorkerPool:
-    """N asyncio workers bridging the fair queue to the campaign runner."""
+    """N asyncio workers bridging the fair queue to the campaign engines."""
 
-    def __init__(self, app: "ServiceApp", n_workers: int = 2) -> None:
+    def __init__(
+        self,
+        app: "ServiceApp",
+        n_workers: int = 2,
+        isolation: str = "warm",
+    ) -> None:
         if n_workers < 1:
             raise ValueError(f"n_workers must be >= 1, got {n_workers}")
+        if isolation not in ("warm", "process"):
+            raise ValueError(
+                f"isolation must be 'warm' or 'process', got {isolation!r}"
+            )
         self.app = app
         self.n_workers = n_workers
+        self.isolation = isolation
+        self.warm: Optional[WarmPool] = None
         self._tasks: List[asyncio.Task] = []
         self._inflight: Dict[str, asyncio.Future] = {}
+        self._busy: Dict[str, "Job"] = {}
         self.n_campaign_executions = 0
         self.n_dedupe_joins = 0
 
@@ -53,6 +80,8 @@ class WorkerPool:
             raise RuntimeError("worker pool already started")
         if paused:
             self.app.queue.pause()
+        if self.isolation == "warm":
+            self.warm = WarmPool(n_workers=self.n_workers).start()
         self._tasks = [
             asyncio.create_task(self._worker_loop(i), name=f"svc-worker-{i}")
             for i in range(self.n_workers)
@@ -65,11 +94,62 @@ class WorkerPool:
     def resume(self) -> None:
         self.app.queue.resume()
 
-    async def stop(self) -> None:
+    async def stop(self, grace_s: Optional[float] = None) -> None:
+        """Drain, then tear down: no job's event stream is left dangling.
+
+        1. Pause dispatch so nothing new starts.
+        2. Give in-flight jobs up to ``grace_s`` (default: the app's
+           ``shutdown_grace_s``) to reach a terminal state.
+        3. Cancel the worker tasks and close the warm pool.
+        4. Fail every job still queued or in flight with a terminal
+           ``shutdown`` failure, flushing the ``failed`` SSE event to
+           any subscriber.
+        """
+        if grace_s is None:
+            grace_s = getattr(self.app.config, "shutdown_grace_s", 5.0)
+        self.app.queue.pause()
+        draining = [
+            job for job in self._busy.values() if not job.done.is_set()
+        ]
+        if draining and grace_s > 0.0:
+            waits = asyncio.gather(
+                *(job.done.wait() for job in draining),
+                return_exceptions=True,
+            )
+            try:
+                await asyncio.wait_for(waits, timeout=grace_s)
+            except asyncio.TimeoutError:
+                pass
         for task in self._tasks:
             task.cancel()
         await asyncio.gather(*self._tasks, return_exceptions=True)
         self._tasks = []
+        if self.warm is not None:
+            self.warm.close()
+        # Flush still-queued jobs: they never reached a worker loop, so
+        # terminal accounting happens here.
+        while True:
+            popped = self.app.queue.core.pop()
+            if popped is None:
+                break
+            _, job = popped
+            job.fail({
+                "error": "shutdown",
+                "message": "service stopped before the job ran",
+            })
+            self.app.on_job_finished(job)
+        # In-flight jobs that outlived the grace period: their worker
+        # loop already accounted them on cancellation (its ``finally``
+        # also popped them from ``_busy``, so iterate the drain list);
+        # just terminate the stream.
+        for job in draining:
+            if not job.done.is_set():
+                job.fail({
+                    "error": "shutdown",
+                    "message": "service stopped during execution",
+                })
+        self._busy.clear()
+        self._inflight.clear()
 
     # -- execution -----------------------------------------------------
 
@@ -78,6 +158,7 @@ class WorkerPool:
         while True:
             tenant, job = await queue.get()
             del tenant  # scheduling already accounted for the tenant
+            self._busy[job.job_id] = job
             try:
                 await self._execute(job)
             except Exception as exc:  # noqa: BLE001 - worker must survive
@@ -87,6 +168,7 @@ class WorkerPool:
                     "message": str(exc)[:500],
                 })
             finally:
+                self._busy.pop(job.job_id, None)
                 self.app.on_job_finished(job)
 
     async def _execute(self, job: "Job") -> None:
@@ -124,13 +206,14 @@ class WorkerPool:
             self._inflight.pop(key, None)
             if not future.done():
                 future.set_exception(RuntimeError("leader aborted"))
+                future.exception()  # may have no follower to retrieve it
             raise
         if failure is None:
             store.put(key, {
                 "task": self._task_for(job).as_dict(),
                 "result": result,
                 "elapsed_s": 0.0,
-            })
+            }, tenant=job.tenant)
             job.complete(result)
         else:
             job.fail(failure)
@@ -144,14 +227,28 @@ class WorkerPool:
     def _run_one(
         self, job: "Job"
     ) -> Tuple[Any, Optional[Dict[str, Any]]]:
-        """Blocking body: one hardened single-task campaign.
+        """Blocking body: one hardened task execution on a worker thread.
 
-        Runs on a worker thread.  ``timeout_s`` forces per-attempt
-        process isolation inside :func:`run_campaign`, so a wedged task
-        is reaped there without stalling this thread forever.
+        Non-chaos kinds ride the warm pool (one pipe round-trip on a
+        persistent worker; hung workers are recycled there).  Chaos
+        kinds -- and everything when ``isolation="process"`` -- run the
+        classic single-task campaign with per-attempt process spawns.
         """
         spec = job.decision.spec
         task = self._task_for(job)
+        if self.warm is not None and not spec.kind.startswith("chaos_"):
+            result, task_failure = self.warm.execute(
+                task,
+                timeout_s=spec.timeout_s,
+                max_attempts=spec.max_attempts,
+                backoff_base_s=0.05,
+                backoff_max_s=1.0,
+            )
+            if task_failure is None:
+                return result, None
+            failure = task_failure.to_record()
+            failure["error"] = "task_failed"
+            return None, failure
         result = run_campaign(
             [task],
             n_workers=1,
@@ -160,6 +257,7 @@ class WorkerPool:
             max_attempts=spec.max_attempts,
             backoff_base_s=0.05,
             backoff_max_s=1.0,
+            isolation="process",
         )
         if result.ok:
             return result.results[0], None
@@ -168,10 +266,14 @@ class WorkerPool:
         return None, failure
 
     def to_record(self) -> Dict[str, Any]:
-        return {
+        record = {
             "n_workers": self.n_workers,
+            "isolation": self.isolation,
             "running": not self.app.queue.paused,
             "inflight": len(self._inflight),
             "n_campaign_executions": self.n_campaign_executions,
             "n_dedupe_joins": self.n_dedupe_joins,
         }
+        if self.warm is not None:
+            record["warm"] = self.warm.to_record()
+        return record

@@ -4,7 +4,10 @@ Everything else in this suite drives the HTTP layer through in-process
 transport stubs; this test closes the loop by binding ``serve()`` on an
 ephemeral loopback port and speaking actual bytes through
 ``asyncio.open_connection`` -- submit, poll, and stream a job exactly
-as a curl client would.
+as a curl client would.  The whole request/poll conversation happens
+over **one persistent connection** (HTTP/1.1 keep-alive), reading each
+response by its ``Content-Length`` frame; only the SSE stream takes a
+second connection, which the server terminates after the final event.
 """
 
 from __future__ import annotations
@@ -18,15 +21,21 @@ from repro.service.sse import parse_stream
 from .conftest import encode_request, parse_response, running_app
 
 
-async def _roundtrip(host, port, request_bytes, timeout=30.0):
-    reader, writer = await asyncio.open_connection(host, port)
-    try:
-        writer.write(request_bytes)
-        await writer.drain()
-        return await asyncio.wait_for(reader.read(), timeout)
-    finally:
-        writer.close()
-        await writer.wait_closed()
+async def _read_framed(reader, timeout=30.0):
+    """One keep-alive response off the wire: head + Content-Length body."""
+    head = await asyncio.wait_for(reader.readuntil(b"\r\n\r\n"), timeout)
+    length = 0
+    for line in head.decode("latin-1").split("\r\n"):
+        if line.lower().startswith("content-length:"):
+            length = int(line.split(":", 1)[1])
+    body = await asyncio.wait_for(reader.readexactly(length), timeout)
+    return head + body
+
+
+async def _request(reader, writer, request_bytes, timeout=30.0):
+    writer.write(request_bytes)
+    await writer.drain()
+    return await _read_framed(reader, timeout)
 
 
 def test_loopback_socket_serves_jobs():
@@ -34,19 +43,21 @@ def test_loopback_socket_serves_jobs():
         async with running_app(n_workers=1) as (app, _):
             server = await serve(app, host="127.0.0.1", port=0)
             host, port = sockname(server)
+            reader, writer = await asyncio.open_connection(host, port)
             try:
-                raw = await _roundtrip(
-                    host, port, encode_request("GET", "/v1/healthz")
+                raw = await _request(
+                    reader, writer, encode_request("GET", "/v1/healthz")
                 )
-                status, _, payload = parse_response(raw)
+                status, headers, payload = parse_response(raw)
                 assert status == 200 and payload == {"ok": True}
+                assert headers["connection"] == "keep-alive"
 
                 body_bytes = json.dumps({
                     "kind": "analytic",
                     "params": {"n": 8, "r": 2, "p": 2},
                     "qos": {"error_budget": 0.5},
                 }).encode()
-                raw = await _roundtrip(host, port, encode_request(
+                raw = await _request(reader, writer, encode_request(
                     "POST", "/v1/jobs", body_bytes,
                     {"X-Tenant": "socketeer"},
                 ))
@@ -55,8 +66,9 @@ def test_loopback_socket_serves_jobs():
                 assert accepted["admission"]["mode"] == "approximate"
                 job_id = accepted["job_id"]
 
+                # Poll the job over the same connection until terminal.
                 for _ in range(200):
-                    raw = await _roundtrip(host, port, encode_request(
+                    raw = await _request(reader, writer, encode_request(
                         "GET", f"/v1/jobs/{job_id}"
                     ))
                     status, _, record = parse_response(raw)
@@ -67,17 +79,27 @@ def test_loopback_socket_serves_jobs():
                 assert record["state"] == "done"
                 assert record["result"]["error_rate"] == 0.1875
                 assert record["tenant"] == "socketeer"
+            finally:
+                writer.close()
+                await writer.wait_closed()
 
-                # SSE over the socket: replay ends with "completed".
-                raw = await _roundtrip(host, port, encode_request(
+            # SSE takes its own connection and the server closes it
+            # after the terminal event: read() to EOF terminates.
+            sse_reader, sse_writer = await asyncio.open_connection(host, port)
+            try:
+                sse_writer.write(encode_request(
                     "GET", f"/v1/jobs/{job_id}/events"
                 ))
+                await sse_writer.drain()
+                raw = await asyncio.wait_for(sse_reader.read(), 30.0)
                 head, _, stream = raw.partition(b"\r\n\r\n")
                 assert b"text/event-stream" in head
                 events = parse_stream(stream)
                 assert events[-1]["event"] == "completed"
             finally:
-                server.close()
-                await server.wait_closed()
+                sse_writer.close()
+                await sse_writer.wait_closed()
+            server.close()
+            await server.wait_closed()
 
     asyncio.run(body())

@@ -202,3 +202,34 @@ class TestAnalyticCommand:
     def test_invalid_segments_exit_2(self, capsys):
         assert main(["analytic", "--segments", "4:0,9:9"]) == 2
         assert "bad configuration spec" in capsys.readouterr().err
+
+
+class TestIsolationFlags:
+    def test_tenant_spec_parses_result_byte_quota(self):
+        from repro.cli import _parse_tenant_spec
+
+        config = _parse_tenant_spec("gold:4:10:8:32:5000")
+        assert config.name == "gold"
+        assert config.weight == 4.0
+        assert config.max_result_bytes == 5000
+        # Omitted or empty quota field means unlimited.
+        assert _parse_tenant_spec("free:1").max_result_bytes is None
+        assert _parse_tenant_spec("free:1:::256:").max_result_bytes is None
+
+    def test_serve_parser_accepts_isolation(self):
+        args = build_parser().parse_args(["serve", "--isolation", "process"])
+        assert args.isolation == "process"
+        assert build_parser().parse_args(["serve"]).isolation == "warm"
+
+    def test_campaign_isolation_flag_sets_env_default(
+        self, capsys, monkeypatch, tmp_path
+    ):
+        import os
+
+        monkeypatch.delenv("REPRO_CAMPAIGN_ISOLATION", raising=False)
+        assert main(["explore-gear", "--width", "8", "--model",
+                     "monte-carlo", "--samples", "500", "--seed", "1",
+                     "--cache-dir", str(tmp_path / "c"),
+                     "--isolation", "warm"]) == 0
+        assert os.environ.get("REPRO_CAMPAIGN_ISOLATION") == "warm"
+        assert "max accuracy" in capsys.readouterr().out
