@@ -1,0 +1,14 @@
+"""Make the package runnable: ``python -m repro`` == ``python -m repro.cli``.
+
+The service tests (and operators) launch ``python -m repro serve`` as a
+subprocess; routing through :func:`repro.cli.main` keeps one entry point.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from .cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

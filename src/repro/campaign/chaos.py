@@ -20,6 +20,9 @@ kind           behaviour
                ``params["fail_times"]`` attempts, then succeeds; the
                attempt counter lives in ``params["scratch_dir"]`` so it
                survives worker isolation
+``chaos_probe``sleeps ``params["sleep_s"]``, then appends one line to
+               ``params["probe_file"]`` -- an execution counter for
+               exactly-once assertions across service restarts
 ============== =======================================================
 
 All kinds are deterministic given their params (plus, for
@@ -41,7 +44,7 @@ __all__ = ["CHAOS_KINDS"]
 
 CHAOS_KINDS = (
     "chaos_ok", "chaos_error", "chaos_crash", "chaos_hang",
-    "chaos_stubborn", "chaos_flaky",
+    "chaos_stubborn", "chaos_flaky", "chaos_probe",
 )
 
 
@@ -109,3 +112,26 @@ def _chaos_flaky(params: Dict[str, Any], seed: int) -> Dict[str, Any]:
             )
         return {"value": int(params.get("x", 0)), "attempts": attempt}
     return {"value": int(params.get("x", 0)), "attempts": fail_times + 1}
+
+
+@register("chaos_probe")
+def _chaos_probe(params: Dict[str, Any], seed: int) -> Dict[str, Any]:
+    """Sleeps, then appends one line to ``probe_file``: a side-effect probe.
+
+    The order matters: a worker killed mid-sleep leaves *zero* lines,
+    so after a crash-and-restart the line count equals the number of
+    executions that ran to completion -- the observable the
+    kill-restart suite asserts is exactly one per unique task.  The
+    append is a single ``O_APPEND`` write (atomic for short lines on
+    POSIX), so concurrent completions cannot interleave bytes.
+    """
+    time.sleep(float(params.get("sleep_s", 0.0)))
+    line = f"{params.get('x', 0)} seed={seed}\n".encode("utf-8")
+    fd = os.open(
+        params["probe_file"], os.O_CREAT | os.O_WRONLY | os.O_APPEND, 0o644
+    )
+    try:
+        os.write(fd, line)
+    finally:
+        os.close(fd)
+    return {"value": int(params.get("x", 0)), "probed": True}

@@ -548,6 +548,7 @@ def run_campaign(
     raise_on_error: bool = False,
     isolation: Optional[str] = None,
     warm_pool: Optional[Any] = None,
+    deadline_s: Optional[float] = None,
 ) -> CampaignResult:
     """Run a characterization campaign, in parallel and through the cache.
 
@@ -593,12 +594,20 @@ def run_campaign(
             (e.g. the service's shared pool); the campaign leases its
             workers for the duration and never closes it.  Without one,
             a pool is created for the run and torn down afterwards.
+        deadline_s: Remaining end-to-end budget (the service's deadline
+            net of queue wait).  Clamps ``timeout_s`` so no single
+            attempt can outlive the budget; a clamped attempt that runs
+            out is reported as an ordinary ``timeout`` failure.
 
     Returns:
         :class:`CampaignResult` with per-task results, run stats, and
         the structured failures of quarantined tasks.
     """
     del chunksize  # accepted for compatibility; dispatch is per-attempt
+    if deadline_s is not None:
+        timeout_s = (
+            deadline_s if timeout_s is None else min(timeout_s, deadline_s)
+        )
     if isolation is None:
         if warm_pool is not None:
             isolation = "warm"

@@ -354,6 +354,7 @@ class WarmPool:
         max_attempts: int = 1,
         backoff_base_s: float = 0.1,
         backoff_max_s: float = 5.0,
+        deadline_s: Optional[float] = None,
     ):
         """Run one task with full hardened semantics on a leased worker.
 
@@ -364,6 +365,13 @@ class WarmPool:
         back.  Thread-safe -- concurrent callers lease distinct
         workers.
 
+        ``deadline_s`` is an *absolute budget across all attempts*
+        (the service's end-to-end deadline, already net of queue wait):
+        each attempt's timeout is clamped to the remaining budget,
+        backoff sleeps never overrun it, and once it is spent the
+        remaining retries are abandoned with a ``timeout`` attempt
+        record instead of being burned on an answer nobody will read.
+
         Returns:
             ``(result, None)`` on success, ``(None, TaskFailure)``
             after the last failed attempt.
@@ -371,8 +379,30 @@ class WarmPool:
         from .runner import TaskAttemptFailure, TaskFailure, _backoff_delay
 
         max_attempts = max(1, max_attempts)
+        deadline_at = (
+            time.monotonic() + deadline_s if deadline_s is not None else None
+        )
         failures: List[TaskAttemptFailure] = []
         for attempt in range(1, max_attempts + 1):
+            attempt_timeout = timeout_s
+            if deadline_at is not None:
+                remaining = deadline_at - time.monotonic()
+                if remaining <= 0.0:
+                    failures.append(TaskAttemptFailure(
+                        attempt=attempt,
+                        outcome="timeout",
+                        error_type=None,
+                        message=(
+                            f"deadline budget ({deadline_s:.3f}s) exhausted "
+                            f"before attempt {attempt}"
+                        ),
+                        elapsed_s=0.0,
+                    ))
+                    break
+                attempt_timeout = (
+                    remaining if attempt_timeout is None
+                    else min(attempt_timeout, remaining)
+                )
             try:
                 worker = self._lease()
             except RuntimeError:
@@ -384,16 +414,21 @@ class WarmPool:
                     elapsed_s=0.0,
                 ))
                 break
-            outcome, worker = self._attempt(worker, task, timeout_s, attempt)
+            outcome, worker = self._attempt(
+                worker, task, attempt_timeout, attempt
+            )
             self._release(worker)
             if outcome[0] == "ok":
                 self.n_tasks_done += 1
                 return outcome[1][0], None
             failures.append(outcome[1])
             if attempt < max_attempts and not self._closed:
-                time.sleep(_backoff_delay(
+                delay = _backoff_delay(
                     task, attempt, backoff_base_s, backoff_max_s
-                ))
+                )
+                if deadline_at is not None:
+                    delay = min(delay, max(0.0, deadline_at - time.monotonic()))
+                time.sleep(delay)
         return None, TaskFailure(
             index=0,
             key=task.key,

@@ -617,8 +617,10 @@ def _parse_tenant_spec(spec: str):
 
 def _cmd_serve(args: argparse.Namespace) -> int:
     import asyncio
+    import signal
 
     from .service.app import ServiceApp, ServiceConfig
+    from .service.brownout import SloConfig
     from .service.http import serve, sockname
 
     try:
@@ -630,6 +632,19 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         print(f"bad --tenant spec: {exc}", file=sys.stderr)
         return 2
 
+    slo = None
+    if args.slo_latency is not None or args.slo_queue_depth is not None:
+        try:
+            slo = SloConfig(
+                target_latency_s=args.slo_latency
+                if args.slo_latency is not None else 2.0,
+                max_queue_depth=args.slo_queue_depth
+                if args.slo_queue_depth is not None else 128,
+            )
+        except ValueError as exc:
+            print(f"bad --slo-* flags: {exc}", file=sys.stderr)
+            return 2
+
     async def run() -> None:
         app = ServiceApp(ServiceConfig(
             cache_dir=args.cache_dir,
@@ -637,19 +652,58 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             tenants=tenants,
             allow_chaos=args.allow_chaos,
             isolation=args.isolation or "warm",
+            state_dir=args.state_dir,
+            slo=slo,
         ))
         await app.start()
         server = await serve(app, host=args.host, port=args.port)
         host, port = sockname(server)
         print(f"repro service on http://{host}:{port} "
               f"({args.workers} workers, "
-              f"cache={'on' if args.cache_dir else 'off'})",
+              f"cache={'on' if app.store.disk is not None else 'off'}, "
+              f"journal={'on' if app.journal is not None else 'off'})",
               file=sys.stderr)
+        if app.recovery:
+            print(f"recovered from journal: "
+                  f"{app.recovery.get('n_restored', 0)} jobs restored, "
+                  f"{app.recovery.get('n_requeued', 0)} requeued",
+              file=sys.stderr)
+
+        # Graceful drain on SIGTERM/SIGINT: new POSTs get a structured
+        # 503 ``draining`` while queued/in-flight jobs get the worker
+        # pool's grace period; the journal is closed cleanly on the
+        # way out.  A second signal (or SIGKILL) still crashes, which
+        # is precisely what the journal is for.
+        shutdown = asyncio.Event()
+        loop = asyncio.get_running_loop()
+
+        def request_shutdown() -> None:
+            app.begin_drain()
+            shutdown.set()
+
+        handled = []
+        for sig in (signal.SIGTERM, signal.SIGINT):
+            try:
+                loop.add_signal_handler(sig, request_shutdown)
+                handled.append(sig)
+            except (NotImplementedError, RuntimeError):
+                pass  # non-Unix loop: fall back to KeyboardInterrupt
         try:
             async with server:
-                await server.serve_forever()
+                serving = asyncio.ensure_future(server.serve_forever())
+                await shutdown.wait()
+                print("draining: refusing new jobs, finishing queued ones",
+                      file=sys.stderr)
+                serving.cancel()
+                try:
+                    await serving
+                except asyncio.CancelledError:
+                    pass
         finally:
+            for sig in handled:
+                loop.remove_signal_handler(sig)
             await app.stop()
+            print("service stopped", file=sys.stderr)
 
     try:
         asyncio.run(run())
@@ -851,6 +905,18 @@ def build_parser() -> argparse.ArgumentParser:
                    default="warm",
                    help="job execution engine: persistent warm pool "
                         "(default) or process-per-attempt")
+    p.add_argument("--state-dir", default=None,
+                   help="crash-safety directory: durable job journal "
+                        "(replayed on restart) plus the result store "
+                        "unless --cache-dir overrides it")
+    p.add_argument("--slo-latency", type=float, default=None,
+                   metavar="SECONDS",
+                   help="arm the overload brownout controller with this "
+                        "end-to-end latency target")
+    p.add_argument("--slo-queue-depth", type=int, default=None,
+                   metavar="N",
+                   help="queue depth past which brownout escalation "
+                        "starts (arms the controller)")
     p.set_defaults(func=_cmd_serve)
 
     p = sub.add_parser("encode", help="HEVC-lite case study (Fig. 9)")

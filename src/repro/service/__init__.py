@@ -24,6 +24,12 @@ many concurrent clients:
   :func:`repro.campaign.run_campaign`: single-flight deduplication per
   task hash, hardened execution (per-attempt process isolation,
   timeouts, quarantine) for jobs that request it.
+* :class:`JobJournal` (:mod:`repro.service.journal`) -- the durable
+  append-only admission/event log behind ``--state-dir``: a killed
+  server replays it on restart and re-admits every job it had promised.
+* :class:`BrownoutController` (:mod:`repro.service.brownout`) -- the
+  overload ladder: degrade to cheaper approximate configurations, then
+  to exact single-block twins, and only then shed with a 503.
 
 ``repro serve`` (see :mod:`repro.cli`) runs the server; the
 deterministic in-process test harness lives under ``tests/service``.
@@ -31,7 +37,9 @@ deterministic in-process test harness lives under ``tests/service``.
 
 from .admission import AdmissionDecision, negotiate
 from .app import ServiceApp, ServiceConfig
+from .brownout import BrownoutController, ShedLoad, SloConfig
 from .jobs import Job, JobEvent
+from .journal import JobJournal, ReplayedJob, ReplayReport
 from .queue import AsyncFairQueue, BacklogFull, RateLimited, WeightedFairQueue
 from .schemas import SchemaError, validate_job_request
 from .store import SharedResultStore
@@ -42,13 +50,19 @@ __all__ = [
     "AdmissionDecision",
     "AsyncFairQueue",
     "BacklogFull",
+    "BrownoutController",
     "Job",
     "JobEvent",
+    "JobJournal",
     "RateLimited",
+    "ReplayReport",
+    "ReplayedJob",
     "SchemaError",
     "ServiceApp",
     "ServiceConfig",
     "SharedResultStore",
+    "ShedLoad",
+    "SloConfig",
     "TenantConfig",
     "TenantRegistry",
     "TokenBucket",

@@ -63,6 +63,30 @@ class AdmissionDecision:
             "detail": self.detail,
         }
 
+    @classmethod
+    def from_record(
+        cls, record: Dict[str, Any], spec: JobSpec
+    ) -> "AdmissionDecision":
+        """Rebuild a decision from :meth:`to_record` (journal replay).
+
+        The spec is re-attached from its own journaled record rather
+        than re-negotiated, so a recovered job keeps exactly the
+        admission it was answered with -- including any brownout
+        rewrite active at its original admission.
+        """
+        qos = record.get("qos")
+        return cls(
+            mode=record.get("mode", "as_declared"),
+            spec=spec,
+            qos=QosSpec(
+                error_budget=float(qos["error_budget"]),
+                metric=qos.get("metric", "error_rate"),
+            ) if qos else None,
+            predicted=dict(record.get("predicted", {})),
+            prediction_us=float(record.get("prediction_us", 0.0)),
+            detail=record.get("detail", ""),
+        )
+
 
 def _exact_fallback_spec(spec: JobSpec, width: int) -> JobSpec:
     """Rewrite a block-adder job to its exact single-block twin."""
@@ -78,6 +102,7 @@ def _exact_fallback_spec(spec: JobSpec, width: int) -> JobSpec:
         qos=spec.qos,
         timeout_s=spec.timeout_s,
         max_attempts=spec.max_attempts,
+        deadline_ms=spec.deadline_ms,
     )
 
 

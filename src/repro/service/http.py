@@ -68,7 +68,7 @@ _REASONS = {
     200: "OK", 202: "Accepted", 400: "Bad Request", 404: "Not Found",
     405: "Method Not Allowed", 411: "Length Required",
     413: "Payload Too Large", 429: "Too Many Requests",
-    500: "Internal Server Error",
+    500: "Internal Server Error", 503: "Service Unavailable",
 }
 
 
@@ -82,12 +82,17 @@ class HttpError(Exception):
     """
 
     def __init__(
-        self, status: int, body: Dict[str, Any], framing: bool = False
+        self,
+        status: int,
+        body: Dict[str, Any],
+        framing: bool = False,
+        headers: Optional[Dict[str, str]] = None,
     ) -> None:
         super().__init__(f"HTTP {status}")
         self.status = status
         self.body = body
         self.framing = framing
+        self.headers = dict(headers or {})
 
 
 @dataclass
@@ -287,7 +292,7 @@ async def handle_connection(
             except HttpError as exc:
                 # Framing error: the stream cannot be trusted past it.
                 writer.write(
-                    json_response(exc.status, exc.body).encode(
+                    json_response(exc.status, exc.body, exc.headers).encode(
                         keep_alive=False
                     )
                 )
@@ -303,7 +308,7 @@ async def handle_connection(
             except HttpError as exc:
                 if exc.framing:
                     keep_alive = False
-                outcome = json_response(exc.status, exc.body)
+                outcome = json_response(exc.status, exc.body, exc.headers)
             except Exception as exc:  # noqa: BLE001 - connection must answer
                 keep_alive = False  # handler state is suspect: bail out
                 outcome = json_response(

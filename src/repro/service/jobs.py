@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import asyncio
 from dataclasses import dataclass, field
-from typing import Any, AsyncIterator, Dict, List, Optional
+from typing import Any, AsyncIterator, Callable, Dict, List, Optional
 
 from .admission import AdmissionDecision
 from .schemas import JobSpec
@@ -50,29 +50,57 @@ class Job:
         spec: JobSpec,
         key: str,
         decision: AdmissionDecision,
+        deadline_at: Optional[float] = None,
     ) -> None:
         self.job_id = job_id
         self.tenant = tenant
         self.spec = spec
         self.key = key
         self.decision = decision
+        #: Absolute wall-clock deadline (epoch seconds); ``None`` means
+        #: unbounded.  Wall time (not monotonic) so it survives restart.
+        self.deadline_at = deadline_at
         self.state = "queued"
         self.result: Any = None
         self.failure: Optional[Dict[str, Any]] = None
         self.served_from: Optional[str] = None  # "cache" | "dedupe" | None
+        self.recovered = False  # replayed from the journal after restart
+        self.submitted_at: Optional[float] = None  # monotonic, for latency
         self.events: List[JobEvent] = []
         self.done = asyncio.Event()
+        #: Write-through sink (the app's journal hook); called with
+        #: every appended event *before* subscriber fan-out, so a
+        #: terminal event is durable before any observer can see it.
+        self.on_event: Optional[Callable[["Job", JobEvent], None]] = None
         self._subscribers: List[asyncio.Queue] = []
 
     # -- event log -----------------------------------------------------
 
     def emit(self, event: str, **data: Any) -> JobEvent:
-        """Append one event and fan it out to live subscribers."""
+        """Append one event and fan it out to live subscribers.
+
+        Sequence numbers continue from the restored log on a recovered
+        job, so SSE clients resuming with ``Last-Event-ID`` across a
+        restart see one gap-free, monotonic stream.
+        """
         entry = JobEvent(seq=len(self.events), event=event, data=data)
         self.events.append(entry)
+        if self.on_event is not None:
+            self.on_event(self, entry)
         for queue in self._subscribers:
             queue.put_nowait(entry)
         return entry
+
+    def restore_events(
+        self, events: List[JobEvent]
+    ) -> None:
+        """Install a replayed event log (contiguous from seq 0), silently.
+
+        Used only during journal recovery -- nothing is re-journaled
+        and there are no subscribers yet.
+        """
+        self.events = list(events)
+        self.recovered = True
 
     # -- transitions ---------------------------------------------------
 
@@ -163,6 +191,8 @@ class Job:
             "admission": self.decision.to_record(),
             "served_from": self.served_from,
             "n_events": len(self.events),
+            "deadline_at": self.deadline_at,
+            "recovered": self.recovered,
         }
         qos = self.qos_summary()
         if qos is not None:

@@ -79,8 +79,16 @@ class WeightedFairQueue:
 
     # -- admission -----------------------------------------------------
 
-    def submit(self, tenant: str, item: Any, cost: float = 1.0) -> int:
+    def submit(
+        self, tenant: str, item: Any, cost: float = 1.0, charge: bool = True
+    ) -> int:
         """Admit one item for ``tenant``; returns its submission sequence.
+
+        ``charge=False`` bypasses the token bucket and backlog bound --
+        reserved for journal-replay requeues of jobs that already paid
+        admission in a previous process life (restart recovery must
+        never re-toll, and never shed, a promise the service already
+        made).
 
         Raises:
             RateLimited: The tenant's token bucket is empty.
@@ -89,13 +97,14 @@ class WeightedFairQueue:
         if cost <= 0.0:
             raise ValueError(f"cost must be > 0, got {cost}")
         config = self.tenants.config(tenant)
-        if self._backlog.get(tenant, 0) >= config.max_backlog:
-            self.n_rejected_backlog += 1
-            raise BacklogFull(tenant, config.max_backlog)
-        bucket = self.tenants.bucket(tenant)
-        if not bucket.try_acquire():
-            self.n_rejected_rate += 1
-            raise RateLimited(tenant, bucket.retry_after_s())
+        if charge:
+            if self._backlog.get(tenant, 0) >= config.max_backlog:
+                self.n_rejected_backlog += 1
+                raise BacklogFull(tenant, config.max_backlog)
+            bucket = self.tenants.bucket(tenant)
+            if not bucket.try_acquire():
+                self.n_rejected_rate += 1
+                raise RateLimited(tenant, bucket.retry_after_s())
         start = max(self._virtual, self._last_finish.get(tenant, 0.0))
         finish = start + cost / config.weight
         self._last_finish[tenant] = finish
@@ -163,9 +172,11 @@ class AsyncFairQueue:
         self._paused = False
         self._notify()
 
-    def submit_nowait(self, tenant: str, item: Any, cost: float = 1.0) -> int:
+    def submit_nowait(
+        self, tenant: str, item: Any, cost: float = 1.0, charge: bool = True
+    ) -> int:
         """Synchronous admission (raises like the core); wakes a getter."""
-        seq = self.core.submit(tenant, item, cost)
+        seq = self.core.submit(tenant, item, cost, charge=charge)
         self._notify()
         return seq
 

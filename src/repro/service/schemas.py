@@ -16,8 +16,15 @@ A job request looks like::
       "qos": {"error_budget": 0.01,        # optional QoS declaration
               "metric": "error_rate"},
       "timeout_s": 5.0,                    # optional hardened execution
-      "max_attempts": 2                    # optional bounded retries
+      "max_attempts": 2,                   # optional bounded retries
+      "deadline_ms": 2000                  # optional end-to-end deadline
     }
+
+``deadline_ms`` is a *relative* end-to-end deadline: admission stamps
+an absolute deadline, and the job fails fast with a structured
+``deadline_exceeded`` once queue wait plus execution would cross it --
+a late answer is a wrong answer, so the service stops burning workers
+on it (see docs/SERVICE.md, "Deadline propagation").
 
 Chaos kinds (``chaos_*``) are refused unless the app opts in -- they
 exist to exercise the hardened runner, not to serve tenants.
@@ -43,6 +50,7 @@ QOS_METRICS = ("error_rate", "nmed", "med")
 #: Hard caps on hardened-execution knobs a request may ask for.
 MAX_TIMEOUT_S = 300.0
 MAX_ATTEMPTS = 5
+MAX_DEADLINE_MS = 24 * 3600 * 1000
 
 #: Upper bound on the canonical JSON size of ``params`` (anti-abuse).
 MAX_PARAMS_BYTES = 64 * 1024
@@ -81,6 +89,7 @@ class JobSpec:
     qos: Optional[QosSpec] = None
     timeout_s: Optional[float] = None
     max_attempts: int = 1
+    deadline_ms: Optional[int] = None
 
     def to_record(self) -> Dict[str, Any]:
         return {
@@ -90,7 +99,25 @@ class JobSpec:
             "qos": self.qos.to_record() if self.qos else None,
             "timeout_s": self.timeout_s,
             "max_attempts": self.max_attempts,
+            "deadline_ms": self.deadline_ms,
         }
+
+    @classmethod
+    def from_record(cls, record: Dict[str, Any]) -> "JobSpec":
+        """Rebuild a spec from :meth:`to_record` output (journal replay)."""
+        qos = record.get("qos")
+        return cls(
+            kind=record["kind"],
+            params=dict(record.get("params", {})),
+            seed=int(record.get("seed", 0)),
+            qos=QosSpec(
+                error_budget=float(qos["error_budget"]),
+                metric=qos.get("metric", "error_rate"),
+            ) if qos else None,
+            timeout_s=record.get("timeout_s"),
+            max_attempts=int(record.get("max_attempts", 1)),
+            deadline_ms=record.get("deadline_ms"),
+        )
 
 
 def _require(condition: bool, message: str, fieldname: str) -> None:
@@ -143,7 +170,8 @@ def validate_job_request(
 
     _require(isinstance(payload, dict), "request body must be a JSON object",
              "")
-    allowed = {"kind", "params", "seed", "qos", "timeout_s", "max_attempts"}
+    allowed = {"kind", "params", "seed", "qos", "timeout_s", "max_attempts",
+               "deadline_ms"}
     unknown = set(payload) - allowed
     _require(not unknown, f"unknown fields: {sorted(unknown)}", "")
 
@@ -206,6 +234,19 @@ def validate_job_request(
         "max_attempts",
     )
 
+    deadline_ms = payload.get("deadline_ms")
+    if deadline_ms is not None:
+        _require(
+            isinstance(deadline_ms, int) and not isinstance(deadline_ms, bool),
+            "deadline_ms must be an integer",
+            "deadline_ms",
+        )
+        _require(
+            1 <= deadline_ms <= MAX_DEADLINE_MS,
+            f"deadline_ms must be in [1, {MAX_DEADLINE_MS}]",
+            "deadline_ms",
+        )
+
     qos = payload.get("qos")
     qos_spec = _validate_qos(qos) if qos is not None else None
 
@@ -216,4 +257,5 @@ def validate_job_request(
         qos=qos_spec,
         timeout_s=timeout_s,
         max_attempts=max_attempts,
+        deadline_ms=deadline_ms,
     )

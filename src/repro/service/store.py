@@ -99,6 +99,35 @@ class SharedResultStore:
         """Result bytes stored on behalf of ``tenant`` so far."""
         return self.bytes_by_tenant.get(tenant, 0)
 
+    def rebuild_tenant_bytes(self, attribution: Dict[str, str]) -> int:
+        """Re-derive the per-tenant byte accounts from the disk tier.
+
+        ``attribution`` maps store keys to the tenant whose job
+        produced them (the journal knows; the content-addressed disk
+        tier deliberately does not).  Each attributed key still present
+        -- and checksum-clean -- in the persistent tier is re-charged
+        to its producer, so ``max_result_bytes`` quotas survive a
+        restart instead of silently resetting to zero.
+
+        Returns the number of keys re-charged.  Keys whose entry has
+        vanished (or failed its checksum and was evicted) cost nothing:
+        the bytes are genuinely no longer stored.
+        """
+        if self.disk is None:
+            return 0
+        recharged = 0
+        for key, tenant in attribution.items():
+            entry = self.disk.get(key)
+            if entry is None:
+                continue
+            self._remember(key, entry)
+            self.bytes_by_tenant[tenant] = (
+                self.bytes_by_tenant.get(tenant, 0)
+                + result_size_bytes(entry.get("result"))
+            )
+            recharged += 1
+        return recharged
+
     def _remember(self, key: str, entry: Dict[str, Any]) -> None:
         memory = self._memory
         if key in memory:

@@ -175,6 +175,16 @@ class WorkerPool:
         store = self.app.store
         key = job.key
 
+        if self._past_deadline(job):
+            # The job aged out while queued: fail fast instead of
+            # burning a worker on an answer that is already too late.
+            job.fail({
+                "error": "deadline_exceeded",
+                "stage": "queue_wait",
+                "deadline_at": job.deadline_at,
+            })
+            return
+
         entry = store.get(key)
         if entry is not None:
             job.emit("cache_hit", tier="store")
@@ -198,9 +208,10 @@ class WorkerPool:
         self._inflight[key] = future
         job.mark_running()
         self.n_campaign_executions += 1
+        deadline_s = self._remaining(job)
         try:
             result, failure = await asyncio.to_thread(
-                self._run_one, job
+                self._run_one, job, deadline_s
             )
         except BaseException:
             self._inflight.pop(key, None)
@@ -208,6 +219,13 @@ class WorkerPool:
                 future.set_exception(RuntimeError("leader aborted"))
                 future.exception()  # may have no follower to retrieve it
             raise
+        if failure is not None and self._past_deadline(job):
+            failure = {
+                "error": "deadline_exceeded",
+                "stage": "execution",
+                "deadline_at": job.deadline_at,
+                "task_failure": failure,
+            }
         if failure is None:
             store.put(key, {
                 "task": self._task_for(job).as_dict(),
@@ -224,8 +242,20 @@ class WorkerPool:
         spec = job.decision.spec
         return CampaignTask(kind=spec.kind, params=spec.params, seed=spec.seed)
 
+    def _past_deadline(self, job: "Job") -> bool:
+        return (
+            job.deadline_at is not None
+            and self.app.wall() >= job.deadline_at
+        )
+
+    def _remaining(self, job: "Job") -> Optional[float]:
+        """Wall-clock budget left before the job's deadline (``None``=∞)."""
+        if job.deadline_at is None:
+            return None
+        return max(0.0, job.deadline_at - self.app.wall())
+
     def _run_one(
-        self, job: "Job"
+        self, job: "Job", deadline_s: Optional[float] = None
     ) -> Tuple[Any, Optional[Dict[str, Any]]]:
         """Blocking body: one hardened task execution on a worker thread.
 
@@ -233,6 +263,9 @@ class WorkerPool:
         persistent worker; hung workers are recycled there).  Chaos
         kinds -- and everything when ``isolation="process"`` -- run the
         classic single-task campaign with per-attempt process spawns.
+        ``deadline_s`` (remaining end-to-end budget, net of queue wait)
+        caps both engines so a deadlined job can never outlive its
+        promise.
         """
         spec = job.decision.spec
         task = self._task_for(job)
@@ -243,6 +276,7 @@ class WorkerPool:
                 max_attempts=spec.max_attempts,
                 backoff_base_s=0.05,
                 backoff_max_s=1.0,
+                deadline_s=deadline_s,
             )
             if task_failure is None:
                 return result, None
@@ -258,6 +292,7 @@ class WorkerPool:
             backoff_base_s=0.05,
             backoff_max_s=1.0,
             isolation="process",
+            deadline_s=deadline_s,
         )
         if result.ok:
             return result.results[0], None

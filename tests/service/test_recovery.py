@@ -1,0 +1,279 @@
+"""Restart recovery: the journal keeps every promise across a crash.
+
+These tests crash the service the honest way -- :meth:`ServiceApp.abandon`
+cancels the workers and drops the journal handle without any graceful
+shutdown bookkeeping, exactly the state a ``kill -9`` leaves on disk --
+then boot a second app on the same ``state_dir`` and assert:
+
+* terminal jobs come back read-only with results re-served from the
+  content-addressed store (no re-execution);
+* accepted-but-unfinished jobs are re-queued (without re-tolling the
+  tenant's admission rate) and run to completion exactly once;
+* SSE streams resume gap-free across the restart from ``Last-Event-ID``;
+* per-tenant stored-byte quotas are re-derived from the disk tier;
+* ``/readyz`` stays 503 until replay finishes, and a draining service
+  answers new POSTs with a structured 503.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+from repro.service.app import ServiceApp, ServiceConfig
+from repro.service.tenants import TenantConfig
+
+from .conftest import InProcessClient, running_app
+
+
+def _job(seed, n=8):
+    return {"kind": "analytic", "params": {"n": n, "r": 2, "p": 2},
+            "seed": seed}
+
+
+class TestCleanRestart:
+    def test_terminal_jobs_survive_with_results(self, tmp_path):
+        state = str(tmp_path / "state")
+
+        async def body():
+            async with running_app(state_dir=state, n_workers=1) as \
+                    (app, client):
+                status, accepted = await client.post_job(_job(1))
+                assert status == 202
+                job_id = accepted["job_id"]
+                first = await client.wait_done(job_id)
+                assert first["state"] == "done"
+
+            async with running_app(state_dir=state, n_workers=1) as \
+                    (app2, client2):
+                status, _, record = await client2.get(f"/v1/jobs/{job_id}")
+                assert status == 200
+                assert record["state"] == "done"
+                assert record["recovered"] is True
+                assert record["result"] == first["result"]
+                assert app2.recovery["n_restored"] == 1
+                assert app2.recovery["n_requeued"] == 0
+
+                # The identical request is a store hit: zero re-runs.
+                status, replay = await client2.post_job(_job(1))
+                assert status == 200
+                assert replay["served_from"] == "cache"
+                assert app2.pool.n_campaign_executions == 0
+
+                # Job ids never collide with the previous life's.
+                status, fresh = await client2.post_job(_job(2))
+                assert status == 202
+                assert fresh["job_id"] != job_id
+
+        asyncio.run(body())
+
+
+class TestCrashRestart:
+    def test_queued_jobs_reexecute_exactly_once(self, tmp_path):
+        state = str(tmp_path / "state")
+
+        async def body():
+            app = ServiceApp(ServiceConfig(state_dir=state, n_workers=1))
+            await app.start(paused=True)  # accepted but never dispatched
+            client = InProcessClient(app)
+            submitted = []
+            for seed in range(3):
+                status, accepted = await client.post_job(_job(seed))
+                assert status == 202
+                submitted.append(accepted["job_id"])
+            await app.abandon()  # kill -9: no drain, no terminal events
+
+            app2 = ServiceApp(ServiceConfig(state_dir=state, n_workers=1))
+            assert app2.ready is False
+            client2 = InProcessClient(app2)
+            status, _, not_ready = await client2.get("/readyz")
+            assert status == 503 and not_ready["ready"] is False
+
+            await app2.start()
+            status, _, ready = await client2.get("/readyz")
+            assert status == 200 and ready["ready"] is True
+            assert app2.recovery["n_requeued"] == 3
+
+            try:
+                for job_id in submitted:
+                    record = await client2.wait_done(job_id)
+                    assert record["state"] == "done", record
+                    assert record["recovered"] is True
+                # Exactly one execution per unique accepted job; the
+                # first life ran zero (it was paused when it died).
+                assert app2.pool.n_campaign_executions == 3
+                stats = app2.stats()
+                assert stats["recovery"]["n_requeued"] == 3
+            finally:
+                await app2.stop()
+
+        asyncio.run(body())
+
+    def test_recovery_requeue_bypasses_rate_limits(self, tmp_path):
+        """Re-admitting journaled jobs must never re-toll the tenant:
+        a rate-limited tenant's crashed backlog still comes back whole."""
+        state = str(tmp_path / "state")
+        tenants = {
+            "slow": TenantConfig(name="slow", rate_per_s=1000.0, burst=4),
+        }
+
+        async def body():
+            app = ServiceApp(ServiceConfig(
+                state_dir=state, n_workers=1, tenants=tenants,
+            ))
+            await app.start(paused=True)
+            client = InProcessClient(app)
+            accepted_ids = []
+            for seed in range(4):  # exactly the burst allowance
+                status, body = await client.post_job(
+                    _job(seed), tenant="slow"
+                )
+                assert status == 202
+                accepted_ids.append(body["job_id"])
+            await app.abandon()
+
+            # Fresh token bucket in the new life -- yet replay must not
+            # consume it, or legitimate new traffic would be starved.
+            app2 = ServiceApp(ServiceConfig(
+                state_dir=state, n_workers=1, tenants=tenants,
+            ))
+            await app2.start(paused=True)
+            client2 = InProcessClient(app2)
+            try:
+                assert app2.recovery["n_requeued"] == 4
+                for seed in range(100, 104):  # a full new burst still fits
+                    status, _ = await client2.post_job(
+                        _job(seed), tenant="slow"
+                    )
+                    assert status == 202
+            finally:
+                await app2.stop()
+
+        asyncio.run(body())
+
+    def test_sse_resumes_gap_free_across_restart(self, tmp_path):
+        state = str(tmp_path / "state")
+
+        async def body():
+            app = ServiceApp(ServiceConfig(state_dir=state, n_workers=1))
+            await app.start(paused=True)
+            client = InProcessClient(app)
+            status, accepted = await client.post_job(_job(7))
+            assert status == 202
+            job_id = accepted["job_id"]
+            seen = [e.seq for e in app.jobs[job_id].events]
+            assert seen == [0, 1, 2]  # accepted, admitted, queued
+            await app.abandon()
+
+            app2 = ServiceApp(ServiceConfig(state_dir=state, n_workers=1))
+            await app2.start()
+            client2 = InProcessClient(app2)
+            try:
+                await client2.wait_done(job_id)
+                # Resume exactly where the pre-crash client stopped.
+                resumed = await client2.sse_events(job_id, last_event_id=2)
+                ids = [e["id"] for e in resumed]
+                assert ids == list(range(3, 3 + len(ids)))
+                assert resumed[-1]["event"] == "completed"
+                assert any(e["event"] == "recovered" for e in resumed)
+
+                # And a from-scratch replay is one contiguous stream.
+                full = await client2.sse_events(job_id)
+                assert [e["id"] for e in full] == \
+                    list(range(len(full)))
+                assert [e["id"] for e in full][-1] == ids[-1]
+            finally:
+                await app2.stop()
+
+        asyncio.run(body())
+
+    def test_tenant_byte_quota_survives_restart(self, tmp_path):
+        state = str(tmp_path / "state")
+        tenants = {
+            "hog": TenantConfig(name="hog", max_result_bytes=8),
+        }
+
+        async def body():
+            async with running_app(
+                state_dir=state, n_workers=1, tenants=tenants,
+            ) as (app, client):
+                status, accepted = await client.post_job(
+                    _job(1), tenant="hog"
+                )
+                assert status == 202
+                await client.wait_done(accepted["job_id"])
+                used = app.store.tenant_bytes("hog")
+                assert used > 8
+
+            async with running_app(
+                state_dir=state, n_workers=1, tenants=tenants,
+            ) as (app2, client2):
+                # Rebuilt from the disk tier, not reset to zero.
+                assert app2.store.tenant_bytes("hog") == used
+                assert app2.recovery["n_recharged"] == 1
+                status, rejected = await client2.post_job(
+                    _job(2), tenant="hog"
+                )
+                assert status == 429
+                assert rejected["error"] == "quota_exceeded"
+                assert rejected["used_bytes"] == used
+
+        asyncio.run(body())
+
+    def test_compaction_bounds_segments_and_preserves_recovery(
+        self, tmp_path
+    ):
+        state = str(tmp_path / "state")
+
+        async def body():
+            # Tiny segments force constant rollover; compaction (at
+            # replay and at job completion) must keep the count bounded
+            # without losing any terminal job.
+            async with running_app(
+                state_dir=state, n_workers=1,
+                journal_segment_bytes=2048, compact_segments=2,
+            ) as (app, client):
+                for seed in range(12):
+                    status, accepted = await client.post_job(_job(seed))
+                    assert status in (200, 202)
+                    if status == 202:
+                        await client.wait_done(accepted["job_id"])
+                assert len(app.journal.segments()) <= 4
+
+            async with running_app(
+                state_dir=state, n_workers=1,
+                journal_segment_bytes=2048, compact_segments=2,
+            ) as (app2, _):
+                assert app2.recovery["n_restored"] == 12
+                assert all(
+                    job.state == "done" for job in app2.jobs.values()
+                )
+
+        asyncio.run(body())
+
+
+class TestDrain:
+    def test_draining_answers_structured_503(self, service_harness):
+        async def body():
+            async with service_harness(n_workers=1) as (app, client):
+                status, accepted = await client.post_job(_job(1))
+                assert status == 202
+                app.begin_drain()
+
+                status, headers, rejected = await client.request(
+                    "POST", "/v1/jobs", body=_job(2),
+                    headers={"X-Tenant": "public"},
+                )
+                assert status == 503
+                assert rejected["error"] == "draining"
+                assert headers["retry-after"] == "1"
+
+                status, _, ready = await client.get("/readyz")
+                assert status == 503 and ready["draining"] is True
+                status, _, alive = await client.get("/healthz")
+                assert status == 200 and alive["ok"] is True
+
+                # Already-accepted work still finishes during the drain.
+                record = await client.wait_done(accepted["job_id"])
+                assert record["state"] == "done"
+
+        asyncio.run(body())
